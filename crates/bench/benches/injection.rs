@@ -1,0 +1,79 @@
+//! Experiment C4 (paper §2.2): fault-injection throughput — the
+//! cost-effectiveness claim ("the cost of a computer programmer is
+//! usually much higher than the cost of a group of high-end PCs ... let
+//! the computers do the work"). Measures single sandboxed injections and
+//! whole per-function campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use healers_core::process_factory;
+use injector::{case_seed, run_campaign, run_case, targets_from_simlibc, CampaignConfig, CaseKey};
+use simproc::{CVal, Proc};
+use typelattice::plan;
+
+fn injection(c: &mut Criterion) {
+    // One sandboxed injection, end to end: fresh process image,
+    // materialisation, call, classification.
+    let mut group = c.benchmark_group("single_injection");
+    for func in ["strlen", "strcpy", "qsort"] {
+        let target = targets_from_simlibc()
+            .into_iter()
+            .find(|t| t.name == func)
+            .unwrap();
+        let plans = plan(&target.proto);
+        let key = CaseKey::Ladder { param: 0, rung_idx: 0, value_idx: 0 };
+        let seed = case_seed(2003, func, &key);
+        let imp = target.imp;
+        group.bench_with_input(BenchmarkId::from_parameter(func), &(), |b, ()| {
+            let mut call = move |p: &mut Proc, a: &[CVal]| imp(p, a);
+            b.iter(|| {
+                black_box(run_case(
+                    process_factory,
+                    &plans,
+                    &key,
+                    seed,
+                    200_000,
+                    &mut call,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Whole-function campaigns: ladder search + pairwise validation.
+    let mut group = c.benchmark_group("per_function_campaign");
+    group.sample_size(10);
+    for func in ["strlen", "strcpy", "memcpy", "isalpha"] {
+        let targets: Vec<_> = targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == func)
+            .collect();
+        let config =
+            CampaignConfig { pair_values: 4, fuel: 200_000, ..CampaignConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(func), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    run_campaign("libsimc.so.1", &targets, process_factory, &config)
+                        .total_tests(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Process-image creation — the sandbox cost floor.
+    c.bench_function("process_factory", |b| {
+        b.iter(|| black_box(process_factory().cycles()))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(40);
+    targets = injection
+}
+criterion_main!(benches);

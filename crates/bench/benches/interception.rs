@@ -1,0 +1,88 @@
+//! Experiment C2 (paper §1 "low overhead" + Figure 1): per-call cost of
+//! interception, by protection level. The paper's claim is twofold:
+//! wrapper overhead is small, and "an application should only pay the
+//! overhead for the protection it actually needs" — so the chain
+//! direct < dispatched < robustness/security < profiling must hold, with
+//! unwrapped symbols costing nothing extra.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use healers_bench::{bench_campaign, call_fixture, strcpy_args};
+use healers_core::as_preload_library;
+use simproc::CVal;
+use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+
+fn interception(c: &mut Criterion) {
+    let campaign = bench_campaign(&["strcpy", "strlen", "malloc", "free", "exit"]);
+    let robust = build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
+    let secure = build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
+    let profile = build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+    let strcpy_raw = simlibc::find_symbol("strcpy").unwrap().imp;
+    // Dispatch cost in isolation: the loader binding around the RAW
+    // symbol (no wrapper hooks).
+    let plain = interpose::SharedLibrary::simlibc();
+    let binding = plain.symbol("strcpy").unwrap().binding.clone();
+    // And the full preload path through the robustness wrapper.
+    let preload = as_preload_library(&robust);
+    let robust_binding = preload.symbol("strcpy").unwrap().binding.clone();
+
+    let mut group = c.benchmark_group("strcpy_per_call");
+    group.bench_function("direct", |b| {
+        let (mut p, dst, src) = call_fixture();
+        b.iter(|| black_box(strcpy_raw(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("loader_dispatch", |b| {
+        let (mut p, dst, src) = call_fixture();
+        b.iter(|| black_box(binding.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("robustness_wrapper", |b| {
+        let (mut p, dst, src) = call_fixture();
+        let w = robust.get("strcpy").unwrap();
+        b.iter(|| black_box(w.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("robustness_via_preload", |b| {
+        let (mut p, dst, src) = call_fixture();
+        b.iter(|| black_box(robust_binding.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("security_wrapper", |b| {
+        let (mut p, dst, src) = call_fixture();
+        let w = secure.get("strcpy").unwrap();
+        b.iter(|| black_box(w.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("profiling_wrapper", |b| {
+        let (mut p, dst, src) = call_fixture();
+        let w = profile.get("strcpy").unwrap();
+        b.iter(|| black_box(w.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.finish();
+
+    // Pay-for-what-you-need: a function without checks is not even
+    // interposed by the robustness wrapper.
+    let mut group = c.benchmark_group("abs_per_call");
+    let abs_raw = simlibc::find_symbol("abs").unwrap().imp;
+    group.bench_function("direct", |b| {
+        let mut p = healers_core::process_factory();
+        b.iter(|| black_box(abs_raw(&mut p, &[CVal::Int(-5)]).unwrap()))
+    });
+    assert!(robust.get("abs").is_none(), "abs needs no protection");
+    group.bench_function("profiling_wrapper", |b| {
+        let campaign = bench_campaign(&["abs"]);
+        let profile =
+            build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+        let w = profile.get("abs").unwrap().clone();
+        let mut p = healers_core::process_factory();
+        b.iter(|| black_box(w.call(&mut p, &[CVal::Int(-5)]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(40);
+    targets = interception
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Experiment C2b (paper §2.3): the cost of each micro-generator,
+//! measured by composing the profiling wrapper's hook pipeline one
+//! micro-generator at a time — the runtime counterpart of Figure 3's
+//! prefix/postfix fragments. Also benchmarks wrapper *generation* itself
+//! ("can adapt quickly to new software releases").
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use healers_bench::{bench_campaign, call_fixture, strcpy_args};
+use profiler::Stats;
+use wrappergen::hooks::{
+    CallCounterHook, CollectErrorsHook, ExectimeHook, FuncErrorsHook, LogCallHook,
+};
+use wrappergen::{build_wrapper, Hook, WrappedFn, WrapperConfig, WrapperKind};
+
+fn hook_stack(upto: usize, stats: &Arc<Stats>) -> Vec<Arc<dyn Hook>> {
+    let all: Vec<Arc<dyn Hook>> = vec![
+        Arc::new(ExectimeHook::new(Arc::clone(stats))),
+        Arc::new(CollectErrorsHook::new(Arc::clone(stats))),
+        Arc::new(FuncErrorsHook::new(Arc::clone(stats))),
+        Arc::new(CallCounterHook::new(Arc::clone(stats))),
+    ];
+    all.into_iter().take(upto).collect()
+}
+
+fn microgen(c: &mut Criterion) {
+    let proto = simlibc::prototypes()
+        .into_iter()
+        .find(|p| p.name == "strcpy")
+        .unwrap();
+    let imp = simlibc::find_symbol("strcpy").unwrap().imp;
+    let stats = Arc::new(Stats::new());
+
+    let mut group = c.benchmark_group("microgen_increments");
+    let names = [
+        "0_none",
+        "1_exectime",
+        "2_collect_errors",
+        "3_func_errors",
+        "4_call_counter",
+    ];
+    for (n, label) in names.iter().enumerate() {
+        let wrapped = WrappedFn::new(proto.clone(), imp, hook_stack(n, &stats));
+        group.bench_function(*label, |b| {
+            let (mut p, dst, src) = call_fixture();
+            b.iter(|| black_box(wrapped.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+        });
+    }
+    // The log-call micro-generator formats arguments: the expensive one.
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let logged = WrappedFn::new(
+        proto.clone(),
+        imp,
+        vec![Arc::new(LogCallHook::new(Arc::clone(&log)))],
+    );
+    group.bench_function("log_call_only", |b| {
+        let (mut p, dst, src) = call_fixture();
+        b.iter(|| {
+            log.lock().clear();
+            black_box(logged.call(&mut p, &strcpy_args(dst, src)).unwrap())
+        })
+    });
+    group.finish();
+
+    // Wrapper (re)generation cost — the adaptivity claim: regenerating
+    // wrappers for a new library release is automatic and fast.
+    let campaign = bench_campaign(&["strcpy", "strlen", "malloc", "free", "memcpy"]);
+    let mut group = c.benchmark_group("wrapper_generation");
+    for kind in [WrapperKind::Robustness, WrapperKind::Security, WrapperKind::Profiling] {
+        group.bench_function(kind.tag(), |b| {
+            b.iter(|| {
+                black_box(build_wrapper(kind, &campaign.api, &WrapperConfig::default()).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(40);
+    targets = microgen
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Experiment C5 (paper §3.3): whole-application overhead of the
+//! profiling wrapper — the Figure 5 workload run bare and wrapped. The
+//! paper's claim: "its run time overhead is small for most applications".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use healers_bench::bench_campaign;
+use healers_core::Toolkit;
+use interpose::{Executable, Session};
+use simproc::{CVal, Fault};
+use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+
+const TEXT: &str = "the quick brown fox jumps over the lazy dog \
+the dog barks the fox runs the end of the benchmark corpus";
+
+/// A tokenise-and-measure workload: string-heavy, like the Figure 5 app.
+fn workload_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    let buf = s.malloc(256)?;
+    let text = s.literal(TEXT);
+    s.call("strcpy", &[CVal::Ptr(buf), CVal::Ptr(text)])?;
+    let delim = s.literal(" ");
+    let mut tok = s.call("strtok", &[CVal::Ptr(buf), CVal::Ptr(delim)])?;
+    let mut total = 0i64;
+    while !tok.is_null() {
+        total += s.call("strlen", &[tok])?.as_int();
+        tok = s.call("strtok", &[CVal::NULL, CVal::Ptr(delim)])?;
+    }
+    Ok(total as i32)
+}
+
+fn workload() -> Executable {
+    Executable::new(
+        "bench-workload",
+        &["libsimc.so.1"],
+        &["malloc", "strcpy", "strtok", "strlen"],
+        workload_entry,
+    )
+}
+
+fn profiling(c: &mut Criterion) {
+    let toolkit = Toolkit::new();
+    let campaign = bench_campaign(&["malloc", "strcpy", "strtok", "strlen"]);
+    let profile = build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+    let robust = build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
+
+    let mut group = c.benchmark_group("whole_application");
+    group.bench_function("bare", |b| {
+        b.iter(|| black_box(toolkit.run(&workload()).unwrap().status.clone().unwrap()))
+    });
+    group.bench_function("profiling_wrapper", |b| {
+        b.iter(|| {
+            black_box(
+                toolkit
+                    .run_protected(&workload(), &[&profile])
+                    .unwrap()
+                    .status
+                    .clone()
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("robustness_wrapper", |b| {
+        b.iter(|| {
+            black_box(
+                toolkit
+                    .run_protected(&workload(), &[&robust])
+                    .unwrap()
+                    .status
+                    .clone()
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    // Report generation itself (the at-exit path).
+    let snapshot = {
+        let out = toolkit.run_protected(&workload(), &[&profile]).unwrap();
+        assert!(out.status.is_ok());
+        profile.stats.snapshot()
+    };
+    let mut group = c.benchmark_group("report_generation");
+    group.bench_function("xml_document", |b| {
+        b.iter(|| black_box(profiler::to_xml("bench-workload", "profiling", &snapshot).len()))
+    });
+    group.bench_function("text_report", |b| {
+        b.iter(|| black_box(profiler::render_report("bench-workload", &snapshot).len()))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(40);
+    targets = profiling
+}
+criterion_main!(benches);

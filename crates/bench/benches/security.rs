@@ -1,0 +1,87 @@
+//! Experiment C3 (paper §3.4): the cost of heap-smashing protection —
+//! allocator traffic and guarded writes, with and without the security
+//! wrapper's canaries. The paper's claim is that the protection is cheap
+//! enough for production root daemons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use healers_bench::bench_campaign;
+use healers_core::process_factory;
+use simproc::CVal;
+use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+
+fn security(c: &mut Criterion) {
+    let campaign = bench_campaign(&["malloc", "free", "calloc", "realloc", "strcpy", "exit"]);
+    let secure = build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
+
+    // malloc/free pairs, bare vs canary-protected.
+    let mut group = c.benchmark_group("malloc_free_pair");
+    group.bench_function("bare", |b| {
+        let mut p = process_factory();
+        b.iter(|| {
+            let ptr = simlibc::heap::malloc(&mut p, 64).unwrap();
+            simlibc::heap::free(&mut p, black_box(ptr)).unwrap();
+        })
+    });
+    group.bench_function("canary_protected", |b| {
+        let mut p = process_factory();
+        let malloc = secure.get("malloc").unwrap().clone();
+        let free = secure.get("free").unwrap().clone();
+        b.iter(|| {
+            let ptr = malloc.call(&mut p, &[CVal::Int(64)]).unwrap();
+            free.call(&mut p, &[black_box(ptr)]).unwrap();
+        })
+    });
+    group.finish();
+
+    // Guarded string writes by destination size: the bounds check is
+    // O(heap chunks) while the copy is O(n) — the crossover matters.
+    let src_sizes = [8usize, 64, 512, 4096];
+    let mut group = c.benchmark_group("strcpy_guarded");
+    for n in src_sizes {
+        let payload = "x".repeat(n);
+        group.bench_function(format!("bare_{n}B"), |b| {
+            let mut p = process_factory();
+            let src = p.alloc_cstr(&payload);
+            let dst = simlibc::heap::malloc(&mut p, n as u64 + 1).unwrap();
+            let f = simlibc::find_symbol("strcpy").unwrap().imp;
+            b.iter(|| black_box(f(&mut p, &[CVal::Ptr(dst), CVal::Ptr(src)]).unwrap()))
+        });
+        group.bench_function(format!("guarded_{n}B"), |b| {
+            let mut p = process_factory();
+            let src = p.alloc_cstr(&payload);
+            let malloc = secure.get("malloc").unwrap().clone();
+            let dst = malloc.call(&mut p, &[CVal::Int(n as i64 + 1)]).unwrap();
+            let w = secure.get("strcpy").unwrap().clone();
+            b.iter(|| black_box(w.call(&mut p, &[dst, CVal::Ptr(src)]).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Detection is not free only at allocation time: the violation path
+    // itself (attack traffic) should also be cheap to reject.
+    let mut group = c.benchmark_group("attack_rejection");
+    group.bench_function("oversized_strcpy_denied", |b| {
+        let mut p = process_factory();
+        let attack = p.alloc_cstr(&"A".repeat(512));
+        let malloc = secure.get("malloc").unwrap().clone();
+        let dst = malloc.call(&mut p, &[CVal::Int(32)]).unwrap();
+        let w = secure.get("strcpy").unwrap().clone();
+        b.iter(|| {
+            let err = w.call(&mut p, &[dst, CVal::Ptr(attack)]).unwrap_err();
+            black_box(err)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(40);
+    targets = security
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # healers-bench — shared fixtures for the benchmark harness
+//!
+//! The paper makes quantitative claims in prose rather than tables; each
+//! Criterion bench target regenerates one of them (see `EXPERIMENTS.md`,
+//! experiments C2–C5):
+//!
+//! * `interception` — per-call cost: direct vs loader-dispatched vs each
+//!   wrapper type ("low overhead during normal operations; an application
+//!   should only pay the overhead for the protection it actually needs");
+//! * `microgen` — per-micro-generator overhead increments, composed one
+//!   at a time (the §2.3 flexibility claim);
+//! * `security` — allocator and `strcpy` cost with vs without canaries;
+//! * `injection` — fault-injection campaign throughput (the §2.2
+//!   cost-effectiveness claim);
+//! * `profiling` — a whole application run bare vs under the profiling
+//!   wrapper.
+
+use healers_core::process_factory;
+use injector::{run_campaign, targets_from_simlibc, CampaignConfig, CampaignResult};
+use simproc::{CVal, Proc, VirtAddr};
+
+/// A campaign sized for building wrappers in benches (full ladders, small
+/// pairwise phase).
+pub fn bench_campaign(funcs: &[&str]) -> CampaignResult {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| funcs.is_empty() || funcs.contains(&t.name.as_str()))
+        .collect();
+    run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 200_000, ..CampaignConfig::default() },
+    )
+}
+
+/// A process with a valid string and destination buffer materialised,
+/// for call benchmarks.
+pub fn call_fixture() -> (Proc, VirtAddr, VirtAddr) {
+    let mut p = process_factory();
+    let src = p.alloc_cstr("a moderately sized benchmark string");
+    let dst = simlibc::heap::malloc(&mut p, 256).expect("fixture malloc");
+    (p, dst, src)
+}
+
+/// Standard argument vector for `strcpy(dst, src)`.
+pub fn strcpy_args(dst: VirtAddr, src: VirtAddr) -> [CVal; 2] {
+    [CVal::Ptr(dst), CVal::Ptr(src)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let (mut p, dst, src) = call_fixture();
+        let f = simlibc::find_symbol("strcpy").unwrap();
+        let r = (f.imp)(&mut p, &strcpy_args(dst, src)).unwrap();
+        assert_eq!(r.as_ptr(), dst);
+    }
+
+    #[test]
+    fn bench_campaign_filters() {
+        let c = bench_campaign(&["abs"]);
+        assert_eq!(c.reports.len(), 1);
+    }
+}

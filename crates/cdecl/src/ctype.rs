@@ -1,0 +1,408 @@
+//! The C type model extracted from headers and man pages.
+
+use std::fmt;
+
+/// Width of a C integer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntWidth {
+    /// `short`
+    Short,
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `long long`
+    LongLong,
+}
+
+impl IntWidth {
+    /// Size in bytes on the simulated (LP64) machine.
+    pub fn size(self) -> u64 {
+        match self {
+            IntWidth::Short => 2,
+            IntWidth::Int => 4,
+            IntWidth::Long | IntWidth::LongLong => 8,
+        }
+    }
+}
+
+/// A C type as it appears in library prototypes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// `void`
+    Void,
+    /// `char` / `unsigned char` / `signed char`
+    Char {
+        /// Whether the char is signed (plain `char` is signed here).
+        signed: bool,
+    },
+    /// Integer types.
+    Int {
+        /// Signedness.
+        signed: bool,
+        /// Width class.
+        width: IntWidth,
+    },
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// A pointer type.
+    Ptr {
+        /// The pointed-to type.
+        pointee: Box<CType>,
+        /// Whether the pointee is `const`-qualified (`const char *`).
+        const_pointee: bool,
+    },
+    /// An array in a parameter list (decays to pointer) or declaration.
+    Array {
+        /// Element type.
+        elem: Box<CType>,
+        /// Declared length, if given.
+        len: Option<u64>,
+    },
+    /// A function pointer, e.g. `int (*cmp)(const void*, const void*)`.
+    FuncPtr {
+        /// Return type.
+        ret: Box<CType>,
+        /// Parameter types.
+        params: Vec<CType>,
+    },
+    /// A named struct/union/enum or unresolved typedef, e.g. `FILE`.
+    Named(String),
+}
+
+impl CType {
+    /// Plain `int`.
+    pub const INT: CType = CType::Int { signed: true, width: IntWidth::Int };
+    /// `unsigned long`, the usual `size_t` expansion.
+    pub const ULONG: CType = CType::Int { signed: false, width: IntWidth::Long };
+    /// `long`.
+    pub const LONG: CType = CType::Int { signed: true, width: IntWidth::Long };
+
+    /// A pointer to `self`.
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr { pointee: Box::new(self), const_pointee: false }
+    }
+
+    /// A pointer to `const self`.
+    pub fn const_ptr_to(self) -> CType {
+        CType::Ptr { pointee: Box::new(self), const_pointee: true }
+    }
+
+    /// Whether this is any pointer type (including arrays, which decay,
+    /// and function pointers).
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Ptr { .. } | CType::Array { .. } | CType::FuncPtr { .. })
+    }
+
+    /// Whether this is a pointer whose pointee may be written through
+    /// (`char *` yes, `const char *` no).
+    pub fn is_writable_pointer(&self) -> bool {
+        matches!(self, CType::Ptr { const_pointee: false, .. })
+    }
+
+    /// Whether this is a `char*`-family pointer (C string candidate).
+    pub fn is_char_pointer(&self) -> bool {
+        match self {
+            CType::Ptr { pointee, .. } => matches!(**pointee, CType::Char { .. }),
+            _ => false,
+        }
+    }
+
+    /// Whether this is `void*`-family.
+    pub fn is_void_pointer(&self) -> bool {
+        match self {
+            CType::Ptr { pointee, .. } => matches!(**pointee, CType::Void),
+            _ => false,
+        }
+    }
+
+    /// Whether this is an integer (including char) type.
+    pub fn is_integral(&self) -> bool {
+        matches!(self, CType::Char { .. } | CType::Int { .. })
+    }
+
+    /// Whether this is a floating type.
+    pub fn is_floating(&self) -> bool {
+        matches!(self, CType::Float | CType::Double)
+    }
+
+    /// Size in bytes on the simulated LP64 machine; `None` for `void` and
+    /// incomplete named types.
+    pub fn size(&self) -> Option<u64> {
+        match self {
+            CType::Void => None,
+            CType::Char { .. } => Some(1),
+            CType::Int { width, .. } => Some(width.size()),
+            CType::Float => Some(4),
+            CType::Double => Some(8),
+            CType::Ptr { .. } | CType::FuncPtr { .. } => Some(8),
+            CType::Array { elem, len } => {
+                let l = (*len)?;
+                Some(elem.size()? * l)
+            }
+            CType::Named(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Char { signed: true } => write!(f, "char"),
+            CType::Char { signed: false } => write!(f, "unsigned char"),
+            CType::Int { signed, width } => {
+                if !signed {
+                    write!(f, "unsigned ")?;
+                }
+                match width {
+                    IntWidth::Short => write!(f, "short"),
+                    IntWidth::Int => write!(f, "int"),
+                    IntWidth::Long => write!(f, "long"),
+                    IntWidth::LongLong => write!(f, "long long"),
+                }
+            }
+            CType::Float => write!(f, "float"),
+            CType::Double => write!(f, "double"),
+            CType::Ptr { pointee, const_pointee } => {
+                // `const char*` reads naturally for scalar pointees; when
+                // the pointee is itself a pointer the qualifier must sit
+                // at its own level: `void* const*`, not `const void**`.
+                if *const_pointee && pointee.is_pointer() {
+                    write!(f, "{pointee} const*")
+                } else {
+                    if *const_pointee {
+                        write!(f, "const ")?;
+                    }
+                    write!(f, "{pointee}*")
+                }
+            }
+            CType::Array { elem, len } => match len {
+                Some(n) => write!(f, "{elem}[{n}]"),
+                None => write!(f, "{elem}[]"),
+            },
+            CType::FuncPtr { ret, params } => {
+                write!(f, "{ret} (*)(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            CType::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A named (or anonymous) function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name if the declaration had one.
+    pub name: Option<String>,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+impl Param {
+    /// A parameter with a name.
+    pub fn named(name: impl Into<String>, ty: CType) -> Self {
+        Param { name: Some(name.into()), ty }
+    }
+
+    /// An anonymous parameter.
+    pub fn anon(ty: CType) -> Self {
+        Param { name: None, ty }
+    }
+
+    /// The name to use in generated code: the declared name or `aN`
+    /// (matching the paper's generated wrapper, which calls the argument
+    /// of `wctrans` `a1`).
+    pub fn display_name(&self, index: usize) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("a{}", index + 1),
+        }
+    }
+}
+
+impl CType {
+    /// Renders `self name` as a C declarator — function pointers put the
+    /// name inside (`int (*cmp)(const void*, const void*)`), everything
+    /// else is `type name`.
+    pub fn declare(&self, name: &str) -> String {
+        match self {
+            CType::FuncPtr { ret, params } => {
+                let ps = if params.is_empty() {
+                    "void".to_string()
+                } else {
+                    params
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                format!("{ret} (*{name})({ps})")
+            }
+            CType::Array { elem, len } => match len {
+                Some(n) => format!("{elem} {name}[{n}]"),
+                None => format!("{elem} {name}[]"),
+            },
+            other => format!("{other} {name}"),
+        }
+    }
+}
+
+/// A function prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prototype {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters, in order. Empty for `f(void)`.
+    pub params: Vec<Param>,
+    /// Whether the prototype ends with `...`.
+    pub variadic: bool,
+}
+
+impl Prototype {
+    /// Builds a prototype.
+    pub fn new(name: impl Into<String>, ret: CType, params: Vec<Param>) -> Self {
+        Prototype { name: name.into(), ret, params, variadic: false }
+    }
+
+    /// Number of fixed parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for Prototype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}(", self.ret, self.name)?;
+        if self.params.is_empty() && !self.variadic {
+            write!(f, "void")?;
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &p.name {
+                Some(n) => write!(f, "{}", p.ty.declare(n))?,
+                None => write!(f, "{}", p.ty)?,
+            }
+        }
+        if self.variadic {
+            if !self.params.is_empty() {
+                write!(f, ", ")?;
+            }
+            write!(f, "...")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scalar_types() {
+        assert_eq!(CType::INT.to_string(), "int");
+        assert_eq!(CType::ULONG.to_string(), "unsigned long");
+        assert_eq!(CType::Char { signed: true }.to_string(), "char");
+        assert_eq!(CType::Void.to_string(), "void");
+        assert_eq!(CType::Double.to_string(), "double");
+        assert_eq!(
+            CType::Int { signed: true, width: IntWidth::LongLong }.to_string(),
+            "long long"
+        );
+    }
+
+    #[test]
+    fn display_pointers() {
+        assert_eq!(CType::Char { signed: true }.const_ptr_to().to_string(), "const char*");
+        assert_eq!(CType::Void.ptr_to().to_string(), "void*");
+        assert_eq!(
+            CType::Char { signed: true }.ptr_to().ptr_to().to_string(),
+            "char**"
+        );
+    }
+
+    #[test]
+    fn display_funcptr() {
+        let cmp = CType::FuncPtr {
+            ret: Box::new(CType::INT),
+            params: vec![CType::Void.const_ptr_to(), CType::Void.const_ptr_to()],
+        };
+        assert_eq!(cmp.to_string(), "int (*)(const void*, const void*)");
+    }
+
+    #[test]
+    fn classification() {
+        let cp = CType::Char { signed: true }.const_ptr_to();
+        assert!(cp.is_pointer());
+        assert!(cp.is_char_pointer());
+        assert!(!cp.is_writable_pointer());
+        assert!(CType::Void.ptr_to().is_void_pointer());
+        assert!(CType::INT.is_integral());
+        assert!(CType::Double.is_floating());
+        assert!(!CType::INT.is_pointer());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(CType::INT.size(), Some(4));
+        assert_eq!(CType::ULONG.size(), Some(8));
+        assert_eq!(CType::Void.size(), None);
+        assert_eq!(CType::Char { signed: true }.ptr_to().size(), Some(8));
+        let arr = CType::Array { elem: Box::new(CType::INT), len: Some(4) };
+        assert_eq!(arr.size(), Some(16));
+        assert_eq!(CType::Named("FILE".into()).size(), None);
+    }
+
+    #[test]
+    fn prototype_display_matches_c() {
+        let p = Prototype::new(
+            "strncpy",
+            CType::Char { signed: true }.ptr_to(),
+            vec![
+                Param::named("dst", CType::Char { signed: true }.ptr_to()),
+                Param::named("src", CType::Char { signed: true }.const_ptr_to()),
+                Param::named("n", CType::ULONG),
+            ],
+        );
+        assert_eq!(
+            p.to_string(),
+            "char* strncpy(char* dst, const char* src, unsigned long n)"
+        );
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    fn prototype_void_params() {
+        let p = Prototype::new("rand", CType::INT, vec![]);
+        assert_eq!(p.to_string(), "int rand(void)");
+    }
+
+    #[test]
+    fn variadic_display() {
+        let mut p = Prototype::new(
+            "printf",
+            CType::INT,
+            vec![Param::named("fmt", CType::Char { signed: true }.const_ptr_to())],
+        );
+        p.variadic = true;
+        assert_eq!(p.to_string(), "int printf(const char* fmt, ...)");
+    }
+
+    #[test]
+    fn param_display_names() {
+        assert_eq!(Param::anon(CType::INT).display_name(0), "a1");
+        assert_eq!(Param::named("n", CType::INT).display_name(3), "n");
+    }
+}

@@ -1,0 +1,148 @@
+//! Whole-header scanning: preprocessor stripping, struct-body elision and
+//! declaration harvesting — the "parses the header files ... to generate
+//! the prototype information for all global functions" step of Figure 2.
+
+use crate::ctype::Prototype;
+use crate::parser::{parse_declarations, Decl, ParseError, TypedefTable};
+
+/// Everything harvested from one header.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderInfo {
+    /// Function prototypes found, in order.
+    pub prototypes: Vec<Prototype>,
+    /// Typedef names introduced.
+    pub typedefs: Vec<String>,
+    /// Declarations the subset parser could not handle (the paper notes
+    /// "some manual editing may be needed"); kept for diagnostics.
+    pub skipped: Vec<String>,
+}
+
+/// Strips `#...` preprocessor lines and replaces `{ ... }` bodies with `;`
+/// so struct definitions and inline functions don't derail the
+/// declaration parser.
+fn preprocess(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut depth = 0usize;
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                }
+                c if depth == 0 => out.push(c),
+                _ => {}
+            }
+        }
+        if depth == 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a header file's text. Unparseable declarations are recorded in
+/// [`HeaderInfo::skipped`] rather than failing the whole header, because
+/// real headers always contain constructs outside any practical subset.
+pub fn parse_header(text: &str, typedefs: &mut TypedefTable) -> HeaderInfo {
+    let clean = preprocess(text);
+    let mut info = HeaderInfo::default();
+    for stmt in clean.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let stmt_sc = format!("{stmt};");
+        match parse_declarations(&stmt_sc, typedefs) {
+            Ok(decls) => {
+                for d in decls {
+                    match d {
+                        Decl::Proto(p) => info.prototypes.push(p),
+                        Decl::Typedef { name, .. } => info.typedefs.push(name),
+                        Decl::Var { .. } => {}
+                    }
+                }
+            }
+            Err(ParseError { .. }) => info.skipped.push(stmt.to_string()),
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::CType;
+
+    const SAMPLE_HEADER: &str = r#"
+#ifndef _STRING_H
+#define _STRING_H 1
+#include <stddef.h>
+
+/* Copying functions. */
+char *strcpy(char *dest, const char *src);
+char *strncpy(char *dest, const char *src, size_t n);
+void *memcpy(void *dest, const void *src, size_t n);
+
+typedef struct _entry { int k; int v; } entry_t;
+
+size_t strlen(const char *s);
+extern int some_global;
+struct weird_thing make_weird(int x, ...);
+int sum_array(int xs[8], size_t n);
+
+#endif
+"#;
+
+    #[test]
+    fn harvests_prototypes_and_skips_junk() {
+        let mut t = TypedefTable::with_builtins();
+        let info = parse_header(SAMPLE_HEADER, &mut t);
+        let names: Vec<_> = info.prototypes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["strcpy", "strncpy", "memcpy", "strlen", "make_weird", "sum_array"]
+        );
+        assert!(info.skipped.is_empty(), "{:?}", info.skipped);
+    }
+
+    #[test]
+    fn struct_bodies_do_not_break_parsing() {
+        let mut t = TypedefTable::with_builtins();
+        let info = parse_header("struct point { int x; int y; };\nint f(void);", &mut t);
+        assert_eq!(info.prototypes.len(), 1);
+        assert_eq!(info.prototypes[0].name, "f");
+    }
+
+    #[test]
+    fn typedefs_carry_forward() {
+        let mut t = TypedefTable::with_builtins();
+        let info = parse_header(
+            "typedef unsigned long mylen_t;\nmylen_t measure(const char *s);",
+            &mut t,
+        );
+        assert_eq!(info.typedefs, vec!["mylen_t"]);
+        assert_eq!(info.prototypes[0].ret, CType::ULONG);
+    }
+
+    #[test]
+    fn unparseable_lines_recorded() {
+        let mut t = TypedefTable::with_builtins();
+        let info = parse_header("int f(void);\n@garbage@;\nint g(void);", &mut t);
+        assert_eq!(info.prototypes.len(), 2);
+        assert_eq!(info.skipped.len(), 1);
+    }
+
+    #[test]
+    fn preprocessor_lines_stripped() {
+        let mut t = TypedefTable::with_builtins();
+        let info = parse_header("#define FOO 1\nint f(void);", &mut t);
+        assert_eq!(info.prototypes.len(), 1);
+    }
+}

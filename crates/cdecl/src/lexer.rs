@@ -1,0 +1,231 @@
+//! A small lexer for the C declaration subset HEALERS extracts from
+//! headers and man pages.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Number(u64),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `...`
+    Ellipsis,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Star => write!(f, "*"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Ellipsis => write!(f, "..."),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at byte {}", self.ch, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a declaration string. Comments (`/* */` and `//`) are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the declaration subset.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                let mut j = i + 2;
+                while j + 1 < bytes.len() && !(bytes[j] == b'*' && bytes[j + 1] == b'/') {
+                    j += 1;
+                }
+                i = (j + 2).min(bytes.len());
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' if bytes.get(i + 1) == Some(&b'.') && bytes.get(i + 2) == Some(&b'.') => {
+                out.push(Token::Ellipsis);
+                i += 3;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    text.trim_end_matches(['u', 'U', 'l', 'L']).parse()
+                };
+                match value {
+                    Ok(n) => out.push(Token::Number(n)),
+                    Err(_) => return Err(LexError { offset: start, ch: c }),
+                }
+            }
+            other => return Err(LexError { offset: i, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_prototype() {
+        let toks = lex("char *strcpy(char *dest, const char *src);").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("char".into()),
+                Token::Star,
+                Token::Ident("strcpy".into()),
+                Token::LParen,
+                Token::Ident("char".into()),
+                Token::Star,
+                Token::Ident("dest".into()),
+                Token::Comma,
+                Token::Ident("const".into()),
+                Token::Ident("char".into()),
+                Token::Star,
+                Token::Ident("src".into()),
+                Token::RParen,
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_arrays() {
+        let toks = lex("int buf[16]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("int".into()),
+                Token::Ident("buf".into()),
+                Token::LBracket,
+                Token::Number(16),
+                Token::RBracket,
+            ]
+        );
+        assert_eq!(lex("0x10").unwrap(), vec![Token::Number(16)]);
+        assert_eq!(lex("10UL").unwrap(), vec![Token::Number(10)]);
+    }
+
+    #[test]
+    fn lexes_ellipsis() {
+        let toks = lex("int printf(const char *fmt, ...);").unwrap();
+        assert!(toks.contains(&Token::Ellipsis));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex("int /* width */ x; // trailing\nint y;").unwrap();
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["int", "x", "int", "y"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("int x @ y").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_skipped_to_eof() {
+        let toks = lex("int x /* never closed").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cdecl — prototype extraction for HEALERS
+//!
+//! The first stage of the HEALERS pipeline (paper §2.2, Figure 2): "the
+//! system parses the header files and manual pages from C libraries to
+//! generate the prototype information for all global functions". This
+//! crate provides
+//!
+//! * a C type model ([`CType`], [`Prototype`]);
+//! * a declaration parser for the practical subset found in libc headers,
+//!   including function-pointer parameters ([`parse_prototype`],
+//!   [`parse_declarations`], [`parse_type`]);
+//! * whole-header and man-page SYNOPSIS harvesting ([`header`],
+//!   [`manpage`]);
+//! * the XML-style declaration files of the §3.1 demo ([`xml`]).
+//!
+//! ```
+//! use cdecl::{parse_prototype, TypedefTable};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let typedefs = TypedefTable::with_builtins();
+//! let proto = parse_prototype("wctrans_t wctrans(const char* a1);", &typedefs)?;
+//! assert_eq!(proto.to_string(), "long wctrans(const char* a1)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ctype;
+pub mod header;
+mod lexer;
+pub mod manpage;
+mod parser;
+pub mod xml;
+
+pub use ctype::{CType, IntWidth, Param, Prototype};
+pub use header::{parse_header, HeaderInfo};
+pub use lexer::{lex, LexError, Token};
+pub use manpage::{parse_manpage, synopsis_section, ManpageInfo};
+pub use parser::{parse_declarations, parse_prototype, parse_type, Decl, ParseError, TypedefTable};

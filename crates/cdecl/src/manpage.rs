@@ -1,0 +1,131 @@
+//! Man-page SYNOPSIS extraction — the second prototype source the paper's
+//! Figure 2 feeds into the fault injector ("parses the header files and
+//! manual pages from C libraries").
+
+use crate::ctype::Prototype;
+use crate::parser::{parse_prototype, TypedefTable};
+
+/// Prototypes harvested from one man page.
+#[derive(Debug, Clone, Default)]
+pub struct ManpageInfo {
+    /// Prototypes found in the SYNOPSIS section.
+    pub prototypes: Vec<Prototype>,
+    /// SYNOPSIS lines that did not parse.
+    pub skipped: Vec<String>,
+}
+
+/// Extracts the SYNOPSIS section from (roff-rendered or plain) man-page
+/// text: everything between a `SYNOPSIS` heading and the next all-caps
+/// heading.
+pub fn synopsis_section(text: &str) -> Option<String> {
+    let mut in_synopsis = false;
+    let mut out = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let is_heading = !trimmed.is_empty()
+            && !line.starts_with(char::is_whitespace)
+            && trimmed
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace());
+        if is_heading {
+            if in_synopsis {
+                break;
+            }
+            in_synopsis = trimmed == "SYNOPSIS";
+            continue;
+        }
+        if in_synopsis {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Parses the prototypes out of a man page.
+pub fn parse_manpage(text: &str, typedefs: &TypedefTable) -> ManpageInfo {
+    let mut info = ManpageInfo::default();
+    let Some(section) = synopsis_section(text) else {
+        return info;
+    };
+    // Join continuation lines: a declaration ends at `;`.
+    let mut pending = String::new();
+    for line in section.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("#include") {
+            continue;
+        }
+        pending.push_str(line);
+        pending.push(' ');
+        if line.ends_with(';') {
+            let decl = pending.trim().to_string();
+            pending.clear();
+            match parse_prototype(&decl, typedefs) {
+                Ok(p) => info.prototypes.push(p),
+                Err(_) => info.skipped.push(decl),
+            }
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRCPY_MAN: &str = r#"
+STRCPY(3)                  Linux Programmer's Manual                 STRCPY(3)
+
+NAME
+       strcpy, strncpy - copy a string
+
+SYNOPSIS
+       #include <string.h>
+
+       char *strcpy(char *dest, const char *src);
+
+       char *strncpy(char *dest, const char *src,
+                     size_t n);
+
+DESCRIPTION
+       The strcpy() function copies the string pointed to by src.
+"#;
+
+    #[test]
+    fn extracts_synopsis() {
+        let s = synopsis_section(STRCPY_MAN).unwrap();
+        assert!(s.contains("strcpy"));
+        assert!(!s.contains("DESCRIPTION"));
+        assert!(!s.contains("copies the string"));
+    }
+
+    #[test]
+    fn parses_prototypes_including_continuations() {
+        let t = TypedefTable::with_builtins();
+        let info = parse_manpage(STRCPY_MAN, &t);
+        let names: Vec<_> = info.prototypes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["strcpy", "strncpy"]);
+        assert_eq!(info.prototypes[1].arity(), 3);
+        assert!(info.skipped.is_empty());
+    }
+
+    #[test]
+    fn missing_synopsis_yields_empty() {
+        let t = TypedefTable::with_builtins();
+        let info = parse_manpage("NAME\n  foo - bar\n", &t);
+        assert!(info.prototypes.is_empty());
+    }
+
+    #[test]
+    fn unparseable_synopsis_lines_recorded() {
+        let t = TypedefTable::with_builtins();
+        let text = "SYNOPSIS\n       int f(void);\n       weird !! decl;\nSEE ALSO\n";
+        let info = parse_manpage(text, &t);
+        assert_eq!(info.prototypes.len(), 1);
+        assert_eq!(info.skipped.len(), 1);
+    }
+}

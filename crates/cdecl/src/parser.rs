@@ -1,0 +1,785 @@
+//! Recursive-descent parser for the C declaration subset.
+//!
+//! HEALERS only needs prototypes of global functions, so the grammar here
+//! covers declaration specifiers, pointer/array/function declarators
+//! (including function-pointer parameters like `qsort`'s comparator) and
+//! typedefs — not expressions, statements or struct bodies.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ctype::{CType, IntWidth, Param, Prototype};
+use crate::lexer::{lex, LexError, Token};
+
+/// A parse error with some context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Registered typedef names and their expansions.
+#[derive(Debug, Clone)]
+pub struct TypedefTable {
+    map: HashMap<String, CType>,
+}
+
+impl Default for TypedefTable {
+    fn default() -> Self {
+        TypedefTable::with_builtins()
+    }
+}
+
+impl TypedefTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TypedefTable { map: HashMap::new() }
+    }
+
+    /// A table pre-seeded with the POSIX typedefs the simulated C library
+    /// uses.
+    pub fn with_builtins() -> Self {
+        let mut t = TypedefTable::new();
+        t.define("size_t", CType::ULONG);
+        t.define("ssize_t", CType::LONG);
+        t.define("ptrdiff_t", CType::LONG);
+        t.define("wchar_t", CType::INT);
+        t.define("wint_t", CType::Int { signed: false, width: IntWidth::Int });
+        t.define("wctrans_t", CType::LONG);
+        t.define("wctype_t", CType::ULONG);
+        t.define("time_t", CType::LONG);
+        t.define("clock_t", CType::LONG);
+        t.define("intptr_t", CType::LONG);
+        t.define("uintptr_t", CType::ULONG);
+        t.define("FILE", CType::Named("FILE".into()));
+        t.define("div_t", CType::Named("div_t".into()));
+        t.define("ldiv_t", CType::Named("ldiv_t".into()));
+        t.define("va_list", CType::Named("va_list".into()));
+        t
+    }
+
+    /// Defines (or redefines) a typedef.
+    pub fn define(&mut self, name: impl Into<String>, ty: CType) {
+        self.map.insert(name.into(), ty);
+    }
+
+    /// Looks up a typedef.
+    pub fn resolve(&self, name: &str) -> Option<&CType> {
+        self.map.get(name)
+    }
+
+    /// Whether `name` is a known typedef.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+}
+
+/// One parsed declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// A function prototype.
+    Proto(Prototype),
+    /// A typedef introducing `name` for a type.
+    Typedef {
+        /// The new name.
+        name: String,
+        /// Its expansion.
+        ty: CType,
+    },
+    /// An object (variable) declaration, e.g. `extern int errno;`.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Its type.
+        ty: CType,
+    },
+}
+
+const STORAGE_WORDS: &[&str] = &["extern", "static", "inline", "register", "auto", "__inline"];
+const QUALIFIER_WORDS: &[&str] = &["const", "volatile", "restrict", "__restrict", "__const"];
+
+/// Parses a single function prototype, e.g.
+/// `"char *strcpy(char *dest, const char *src);"`.
+///
+/// # Errors
+///
+/// [`ParseError`] if the text is not a prototype in the supported subset.
+///
+/// ```
+/// use cdecl::{parse_prototype, TypedefTable};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = TypedefTable::with_builtins();
+/// let p = parse_prototype("size_t strlen(const char *s);", &t)?;
+/// assert_eq!(p.name, "strlen");
+/// assert_eq!(p.arity(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_prototype(src: &str, typedefs: &TypedefTable) -> Result<Prototype, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: &tokens, pos: 0, typedefs };
+    let decl = p.parse_declaration()?;
+    p.eat_if(&Token::Semi);
+    p.expect_end()?;
+    match decl {
+        Decl::Proto(proto) => Ok(proto),
+        other => Err(ParseError::new(format!("expected a function prototype, got {other:?}"))),
+    }
+}
+
+/// Parses a standalone type (with optional abstract declarator), e.g.
+/// `"const char*"` or `"int (*)(const void*, const void*)"`.
+///
+/// # Errors
+///
+/// [`ParseError`] if the text is not a type in the supported subset.
+pub fn parse_type(src: &str, typedefs: &TypedefTable) -> Result<CType, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: &tokens, pos: 0, typedefs };
+    let (base, _, base_const) = p.parse_specifiers()?;
+    let node = p.parse_declarator()?;
+    p.expect_end()?;
+    let (name, built) = apply(node, base, base_const)?;
+    if name.is_some() {
+        return Err(ParseError::new("expected an abstract type, found a declarator name"));
+    }
+    match built {
+        Built::Ty(t) => Ok(t),
+        Built::Func { ret, params, .. } => Ok(CType::FuncPtr {
+            ret: Box::new(ret),
+            params: params.into_iter().map(|p| p.ty).collect(),
+        }),
+    }
+}
+
+/// Parses a sequence of declarations separated by `;`, updating the
+/// typedef table as `typedef`s are encountered.
+///
+/// # Errors
+///
+/// [`ParseError`] on the first declaration outside the subset.
+pub fn parse_declarations(
+    src: &str,
+    typedefs: &mut TypedefTable,
+) -> Result<Vec<Decl>, ParseError> {
+    let tokens = lex(src)?;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Consume stray semicolons.
+        if tokens[pos] == Token::Semi {
+            pos += 1;
+            continue;
+        }
+        let mut p = Parser { toks: &tokens, pos, typedefs };
+        let decl = p.parse_declaration()?;
+        pos = p.pos;
+        if pos < tokens.len() {
+            if tokens[pos] != Token::Semi {
+                return Err(ParseError::new(format!(
+                    "expected `;` after declaration, found `{}`",
+                    tokens[pos]
+                )));
+            }
+            pos += 1;
+        }
+        if let Decl::Typedef { name, ty } = &decl {
+            typedefs.define(name.clone(), ty.clone());
+        }
+        out.push(decl);
+    }
+    Ok(out)
+}
+
+/// Internal declarator tree (standard C declarator recursion).
+#[derive(Debug)]
+enum DeclNode {
+    Name(Option<String>),
+    Ptr { inner: Box<DeclNode>, is_const: bool },
+    Array { inner: Box<DeclNode>, len: Option<u64> },
+    Func { inner: Box<DeclNode>, params: Vec<Param>, variadic: bool },
+}
+
+/// Intermediate "type being built": either an object type or a function
+/// type awaiting its declarator context.
+#[derive(Debug)]
+enum Built {
+    Ty(CType),
+    Func { ret: CType, params: Vec<Param>, variadic: bool },
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    typedefs: &'a TypedefTable,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected `{t}`, found `{}`",
+                self.peek().map(|x| x.to_string()).unwrap_or_else(|| "<eof>".into())
+            )))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "trailing tokens starting at `{}`",
+                self.toks[self.pos]
+            )))
+        }
+    }
+
+    /// Parses declaration-specifiers. Returns (base type, is_typedef,
+    /// base_is_const).
+    fn parse_specifiers(&mut self) -> Result<(CType, bool, bool), ParseError> {
+        let mut is_typedef = false;
+        let mut is_const = false;
+        let mut signedness: Option<bool> = None;
+        let mut long_count = 0u8;
+        let mut short = false;
+        let mut core: Option<CType> = None;
+        let mut saw_int_word = false;
+
+        loop {
+            let word = match self.peek() {
+                Some(Token::Ident(s)) => s.clone(),
+                _ => break,
+            };
+            match word.as_str() {
+                "typedef" => {
+                    is_typedef = true;
+                    self.pos += 1;
+                }
+                w if STORAGE_WORDS.contains(&w) => {
+                    self.pos += 1;
+                }
+                w if QUALIFIER_WORDS.contains(&w) => {
+                    is_const |= w.contains("const");
+                    self.pos += 1;
+                }
+                "signed" => {
+                    signedness = Some(true);
+                    self.pos += 1;
+                }
+                "unsigned" => {
+                    signedness = Some(false);
+                    self.pos += 1;
+                }
+                "short" => {
+                    short = true;
+                    self.pos += 1;
+                }
+                "long" => {
+                    long_count += 1;
+                    self.pos += 1;
+                }
+                "int" => {
+                    saw_int_word = true;
+                    self.pos += 1;
+                }
+                "char" => {
+                    core = Some(CType::Char { signed: true });
+                    self.pos += 1;
+                }
+                "float" => {
+                    core = Some(CType::Float);
+                    self.pos += 1;
+                }
+                "double" => {
+                    core = Some(CType::Double);
+                    self.pos += 1;
+                }
+                "void" => {
+                    core = Some(CType::Void);
+                    self.pos += 1;
+                }
+                "struct" | "union" | "enum" => {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Ident(tag)) => {
+                            core = Some(CType::Named(tag.clone()));
+                        }
+                        other => {
+                            return Err(ParseError::new(format!(
+                                "expected tag after `{word}`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                other => {
+                    // A typedef name is a specifier only if we have no core
+                    // type yet; otherwise it is the declarator name.
+                    if core.is_none()
+                        && !saw_int_word
+                        && signedness.is_none()
+                        && long_count == 0
+                        && !short
+                        && self.typedefs.contains(other)
+                    {
+                        core = Some(self.typedefs.resolve(other).expect("contains").clone());
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let base = match core {
+            Some(CType::Char { .. }) => CType::Char { signed: signedness.unwrap_or(true) },
+            Some(CType::Double) if long_count > 0 => CType::Double, // long double ≈ double
+            Some(t) => {
+                if signedness.is_some() || long_count > 0 || short {
+                    // e.g. `unsigned size_t` — out of subset.
+                    if let CType::Int { width, .. } = t {
+                        CType::Int { signed: signedness.unwrap_or(true), width }
+                    } else {
+                        return Err(ParseError::new("conflicting type specifiers"));
+                    }
+                } else {
+                    t
+                }
+            }
+            None => {
+                if !saw_int_word && signedness.is_none() && long_count == 0 && !short {
+                    return Err(ParseError::new(format!(
+                        "expected a type, found `{}`",
+                        self.peek().map(|x| x.to_string()).unwrap_or_else(|| "<eof>".into())
+                    )));
+                }
+                let width = if short {
+                    IntWidth::Short
+                } else if long_count >= 2 {
+                    IntWidth::LongLong
+                } else if long_count == 1 {
+                    IntWidth::Long
+                } else {
+                    IntWidth::Int
+                };
+                CType::Int { signed: signedness.unwrap_or(true), width }
+            }
+        };
+        Ok((base, is_typedef, is_const))
+    }
+
+    fn parse_declarator(&mut self) -> Result<DeclNode, ParseError> {
+        if self.eat_if(&Token::Star) {
+            // Qualifiers after `*`: `const` makes this pointer level
+            // const-qualified (`void *const *`); `restrict`/`volatile`
+            // don't change the model.
+            let mut is_const = false;
+            while let Some(Token::Ident(s)) = self.peek() {
+                if !QUALIFIER_WORDS.contains(&s.as_str()) {
+                    break;
+                }
+                is_const |= s.contains("const");
+                self.pos += 1;
+            }
+            let inner = self.parse_declarator()?;
+            return Ok(DeclNode::Ptr { inner: Box::new(inner), is_const });
+        }
+        self.parse_direct()
+    }
+
+    fn parse_direct(&mut self) -> Result<DeclNode, ParseError> {
+        let mut node = match self.peek() {
+            Some(Token::LParen) => {
+                // `(` starts a parenthesised declarator only if what
+                // follows could begin one; otherwise it is a parameter
+                // list of an abstract declarator.
+                let next = self.toks.get(self.pos + 1);
+                let starts_declarator = match next {
+                    Some(Token::Star) | Some(Token::LParen) => true,
+                    Some(Token::Ident(s)) => {
+                        !self.typedefs.contains(s)
+                            && !is_type_word(s)
+                            && !QUALIFIER_WORDS.contains(&s.as_str())
+                            && !STORAGE_WORDS.contains(&s.as_str())
+                    }
+                    _ => false,
+                };
+                if starts_declarator {
+                    self.pos += 1;
+                    let inner = self.parse_declarator()?;
+                    self.expect(&Token::RParen)?;
+                    inner
+                } else {
+                    DeclNode::Name(None)
+                }
+            }
+            Some(Token::Ident(s)) if !is_type_word(s) => {
+                let name = s.clone();
+                self.pos += 1;
+                DeclNode::Name(Some(name))
+            }
+            _ => DeclNode::Name(None),
+        };
+
+        loop {
+            if self.eat_if(&Token::LParen) {
+                let (params, variadic) = self.parse_param_list()?;
+                self.expect(&Token::RParen)?;
+                node = DeclNode::Func { inner: Box::new(node), params, variadic };
+            } else if self.eat_if(&Token::LBracket) {
+                let len = match self.peek() {
+                    Some(Token::Number(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        Some(n)
+                    }
+                    _ => None,
+                };
+                self.expect(&Token::RBracket)?;
+                node = DeclNode::Array { inner: Box::new(node), len };
+            } else {
+                break;
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_param_list(&mut self) -> Result<(Vec<Param>, bool), ParseError> {
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.peek() == Some(&Token::RParen) {
+            return Ok((params, variadic));
+        }
+        // `(void)` means no parameters.
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == "void")
+            && self.toks.get(self.pos + 1) == Some(&Token::RParen)
+        {
+            self.pos += 1;
+            return Ok((params, variadic));
+        }
+        loop {
+            if self.eat_if(&Token::Ellipsis) {
+                variadic = true;
+                break;
+            }
+            let (base, is_typedef, base_const) = self.parse_specifiers()?;
+            if is_typedef {
+                return Err(ParseError::new("typedef inside parameter list"));
+            }
+            let node = self.parse_declarator()?;
+            let (name, built) = apply(node, base, base_const)?;
+            let ty = match built {
+                Built::Ty(t) => decay(t),
+                Built::Func { ret, params, .. } => CType::FuncPtr {
+                    ret: Box::new(ret),
+                    params: params.into_iter().map(|p| p.ty).collect(),
+                },
+            };
+            params.push(Param { name, ty });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok((params, variadic))
+    }
+
+    fn parse_declaration(&mut self) -> Result<Decl, ParseError> {
+        let (base, is_typedef, base_const) = self.parse_specifiers()?;
+        let node = self.parse_declarator()?;
+        let (name, built) = apply(node, base, base_const)?;
+        match built {
+            Built::Func { ret, params, variadic } => {
+                let name =
+                    name.ok_or_else(|| ParseError::new("function prototype without a name"))?;
+                if is_typedef {
+                    return Err(ParseError::new("typedef of function type not supported"));
+                }
+                Ok(Decl::Proto(Prototype { name, ret, params, variadic }))
+            }
+            Built::Ty(ty) => {
+                let name =
+                    name.ok_or_else(|| ParseError::new("declaration without a name"))?;
+                if is_typedef {
+                    Ok(Decl::Typedef { name, ty })
+                } else {
+                    Ok(Decl::Var { name, ty })
+                }
+            }
+        }
+    }
+}
+
+fn is_type_word(s: &str) -> bool {
+    matches!(
+        s,
+        "void" | "char" | "short" | "int" | "long" | "float" | "double" | "signed"
+            | "unsigned" | "struct" | "union" | "enum"
+    )
+}
+
+/// Array-to-pointer decay for parameters.
+fn decay(t: CType) -> CType {
+    match t {
+        CType::Array { elem, .. } => CType::Ptr { pointee: elem, const_pointee: false },
+        other => other,
+    }
+}
+
+/// Applies a declarator tree to a base type, producing the declared name
+/// and its type. `base_const` is the constness of the declaration's base
+/// specifier (`const char` in `const char *s`).
+fn apply(
+    node: DeclNode,
+    base: CType,
+    base_const: bool,
+) -> Result<(Option<String>, Built), ParseError> {
+    match node {
+        DeclNode::Name(name) => Ok((name, Built::Ty(base))),
+        DeclNode::Ptr { inner, is_const } => {
+            let new_base = CType::Ptr { pointee: Box::new(base), const_pointee: base_const };
+            // A `const` written after this `*` qualifies the pointer type
+            // just built, i.e. it becomes the next level's pointee-const.
+            apply(*inner, new_base, is_const)
+        }
+        DeclNode::Array { inner, len } => {
+            let new_base = CType::Array { elem: Box::new(base), len };
+            apply(*inner, new_base, base_const)
+        }
+        DeclNode::Func { inner, params, variadic } => {
+            // `base` is the return type of this function declarator.
+            match *inner {
+                DeclNode::Name(name) => {
+                    Ok((name, Built::Func { ret: base, params, variadic }))
+                }
+                DeclNode::Ptr { inner: pinner, .. } => {
+                    // `ret (*name)(params)` — a function pointer object.
+                    let fp = CType::FuncPtr {
+                        ret: Box::new(base),
+                        params: params.into_iter().map(|p| p.ty).collect(),
+                    };
+                    apply(*pinner, fp, false)
+                }
+                other => Err(ParseError::new(format!(
+                    "unsupported declarator shape: function suffix on {other:?}"
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TypedefTable {
+        TypedefTable::with_builtins()
+    }
+
+    #[test]
+    fn simple_prototype() {
+        let p = parse_prototype("int abs(int j);", &table()).unwrap();
+        assert_eq!(p.name, "abs");
+        assert_eq!(p.ret, CType::INT);
+        assert_eq!(p.params, vec![Param::named("j", CType::INT)]);
+    }
+
+    #[test]
+    fn pointer_return_and_const_param() {
+        let p = parse_prototype("char *strcpy(char *dest, const char *src);", &table()).unwrap();
+        assert_eq!(p.ret, CType::Char { signed: true }.ptr_to());
+        assert_eq!(p.params[0].ty, CType::Char { signed: true }.ptr_to());
+        assert_eq!(p.params[1].ty, CType::Char { signed: true }.const_ptr_to());
+        assert_eq!(p.params[1].name.as_deref(), Some("src"));
+    }
+
+    #[test]
+    fn typedef_expansion() {
+        let p = parse_prototype("size_t strlen(const char *s);", &table()).unwrap();
+        assert_eq!(p.ret, CType::ULONG);
+    }
+
+    #[test]
+    fn paper_figure3_wctrans() {
+        // The exact function shown in the paper's Figure 3.
+        let p = parse_prototype("wctrans_t wctrans(const char* a1);", &table()).unwrap();
+        assert_eq!(p.name, "wctrans");
+        assert_eq!(p.ret, CType::LONG);
+        assert_eq!(p.params[0].ty, CType::Char { signed: true }.const_ptr_to());
+    }
+
+    #[test]
+    fn void_params() {
+        let p = parse_prototype("int rand(void);", &table()).unwrap();
+        assert!(p.params.is_empty());
+        let q = parse_prototype("int rand();", &table()).unwrap();
+        assert!(q.params.is_empty());
+    }
+
+    #[test]
+    fn void_pointer_params() {
+        let p = parse_prototype(
+            "void *memcpy(void *dest, const void *src, size_t n);",
+            &table(),
+        )
+        .unwrap();
+        assert!(p.ret.is_void_pointer());
+        assert!(p.params[0].ty.is_void_pointer());
+        assert!(p.params[0].ty.is_writable_pointer());
+        assert!(!p.params[1].ty.is_writable_pointer());
+        assert_eq!(p.params[2].ty, CType::ULONG);
+    }
+
+    #[test]
+    fn function_pointer_parameter() {
+        let p = parse_prototype(
+            "void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(p.params.len(), 4);
+        let cmp = &p.params[3];
+        assert_eq!(cmp.name.as_deref(), Some("compar"));
+        match &cmp.ty {
+            CType::FuncPtr { ret, params } => {
+                assert_eq!(**ret, CType::INT);
+                assert_eq!(params.len(), 2);
+                assert!(params[0].is_void_pointer());
+            }
+            other => panic!("expected function pointer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variadic_prototype() {
+        let p = parse_prototype("int snprintf(char *str, size_t size, const char *format, ...);", &table()).unwrap();
+        assert!(p.variadic);
+        assert_eq!(p.params.len(), 3);
+    }
+
+    #[test]
+    fn unsigned_long_long() {
+        let p = parse_prototype("unsigned long long strtoull(const char *s, char **end, int base);", &table()).unwrap();
+        assert_eq!(p.ret, CType::Int { signed: false, width: IntWidth::LongLong });
+        // char** parameter
+        assert_eq!(
+            p.params[1].ty,
+            CType::Char { signed: true }.ptr_to().ptr_to()
+        );
+    }
+
+    #[test]
+    fn struct_return() {
+        let p = parse_prototype("div_t div(int numerator, int denominator);", &table()).unwrap();
+        assert_eq!(p.ret, CType::Named("div_t".into()));
+    }
+
+    #[test]
+    fn array_param_decays() {
+        let p = parse_prototype("int sum(int values[16], int n);", &table()).unwrap();
+        assert_eq!(p.params[0].ty, CType::INT.ptr_to());
+    }
+
+    #[test]
+    fn typedef_declaration_updates_table() {
+        let mut t = table();
+        let decls = parse_declarations(
+            "typedef unsigned long my_size; my_size my_strlen(const char *s);",
+            &mut t,
+        )
+        .unwrap();
+        assert_eq!(decls.len(), 2);
+        assert!(matches!(&decls[0], Decl::Typedef { name, .. } if name == "my_size"));
+        match &decls[1] {
+            Decl::Proto(p) => assert_eq!(p.ret, CType::ULONG),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_declaration() {
+        let mut t = table();
+        let decls = parse_declarations("extern int opterr;", &mut t).unwrap();
+        assert_eq!(decls, vec![Decl::Var { name: "opterr".into(), ty: CType::INT }]);
+    }
+
+    #[test]
+    fn anonymous_params_get_positional_names() {
+        let p = parse_prototype("int strcmp(const char *, const char *);", &table()).unwrap();
+        assert_eq!(p.params[0].display_name(0), "a1");
+        assert_eq!(p.params[1].display_name(1), "a2");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_prototype("strcpy(char *d);", &table()).is_err(), "no return type");
+        assert!(parse_prototype("int 5x(void);", &table()).is_err());
+        assert!(parse_prototype("int f(void) int g(void);", &table()).is_err());
+    }
+
+    #[test]
+    fn struct_tag_types() {
+        let mut t = table();
+        let decls =
+            parse_declarations("struct tm *localtime(const long *timep);", &mut t).unwrap();
+        match &decls[0] {
+            Decl::Proto(p) => {
+                assert_eq!(p.ret, CType::Named("tm".into()).ptr_to());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn restrict_qualifiers_are_ignored() {
+        let p = parse_prototype(
+            "char *strncpy(char *restrict dest, const char *restrict src, size_t n);",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(p.params.len(), 3);
+        assert!(p.params[0].ty.is_writable_pointer());
+    }
+}

@@ -1,0 +1,379 @@
+//! The XML-style declaration files of the paper's §3.1 demo ("our system
+//! will create a XML-style declaration file that describes the prototype
+//! of each function in the library"), plus the small writer the profiling
+//! wrapper reuses for its self-describing documents.
+
+use std::fmt;
+
+use crate::ctype::{CType, Param, Prototype};
+use crate::parser::{parse_type, ParseError, TypedefTable};
+
+/// A minimal, escaping XML writer.
+///
+/// ```
+/// use cdecl::xml::XmlWriter;
+/// let mut w = XmlWriter::new();
+/// w.open("library", &[("name", "libc")]);
+/// w.leaf("function", &[("name", "strcpy")]);
+/// w.close();
+/// let doc = w.finish();
+/// assert!(doc.contains("<library name=\"libc\">"));
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    buf: String,
+    stack: Vec<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl XmlWriter {
+    /// A writer with the standard XML declaration already emitted.
+    pub fn new() -> Self {
+        let mut w = XmlWriter { buf: String::new(), stack: Vec::new() };
+        w.buf.push_str("<?xml version=\"1.0\"?>\n");
+        w
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.buf.push_str("  ");
+        }
+    }
+
+    fn write_attrs(&mut self, attrs: &[(&str, &str)]) {
+        for (k, v) in attrs {
+            self.buf.push(' ');
+            self.buf.push_str(k);
+            self.buf.push_str("=\"");
+            self.buf.push_str(&escape(v));
+            self.buf.push('"');
+        }
+    }
+
+    /// Opens an element.
+    pub fn open(&mut self, tag: &str, attrs: &[(&str, &str)]) {
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.write_attrs(attrs);
+        self.buf.push_str(">\n");
+        self.stack.push(tag.to_string());
+    }
+
+    /// Writes a self-closing element.
+    pub fn leaf(&mut self, tag: &str, attrs: &[(&str, &str)]) {
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.write_attrs(attrs);
+        self.buf.push_str("/>\n");
+    }
+
+    /// Writes an element with text content.
+    pub fn text_element(&mut self, tag: &str, attrs: &[(&str, &str)], text: &str) {
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.write_attrs(attrs);
+        self.buf.push('>');
+        self.buf.push_str(&escape(text));
+        self.buf.push_str("</");
+        self.buf.push_str(tag);
+        self.buf.push_str(">\n");
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no element is open.
+    pub fn close(&mut self) {
+        let tag = self.stack.pop().expect("close without open");
+        self.indent();
+        self.buf.push_str("</");
+        self.buf.push_str(&tag);
+        self.buf.push_str(">\n");
+    }
+
+    /// Finishes the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if elements remain open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.buf
+    }
+}
+
+/// Serialises a library's prototypes into a declaration file.
+pub fn write_declaration_file(library: &str, protos: &[Prototype]) -> String {
+    let mut w = XmlWriter::new();
+    w.open("library", &[("name", library)]);
+    for p in protos {
+        w.open("function", &[("name", &p.name)]);
+        w.leaf("return", &[("type", &p.ret.to_string())]);
+        for (i, param) in p.params.iter().enumerate() {
+            let ty = param.ty.to_string();
+            let name = param.display_name(i);
+            w.leaf("param", &[("name", &name), ("type", &ty)]);
+        }
+        if p.variadic {
+            w.leaf("varargs", &[]);
+        }
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
+/// An error reading a declaration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "declaration file error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<ParseError> for XmlError {
+    fn from(e: ParseError) -> Self {
+        XmlError { message: e.to_string() }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// One parsed tag: name + attributes + whether it was a close tag.
+#[derive(Debug)]
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+    closing: bool,
+}
+
+fn tags(doc: &str) -> Result<Vec<Tag>, XmlError> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find('<') {
+        let end = rest[start..]
+            .find('>')
+            .ok_or_else(|| XmlError { message: "unterminated tag".into() })?
+            + start;
+        let inner = &rest[start + 1..end];
+        rest = &rest[end + 1..];
+        if inner.starts_with('?') || inner.starts_with('!') {
+            continue;
+        }
+        let closing = inner.starts_with('/');
+        let body = inner.trim_start_matches('/').trim_end_matches('/').trim();
+        let mut parts = body.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or_default().to_string();
+        let mut attrs = Vec::new();
+        if let Some(attr_text) = parts.next() {
+            let mut s = attr_text.trim();
+            while !s.is_empty() {
+                let eq = match s.find('=') {
+                    Some(i) => i,
+                    None => break,
+                };
+                let key = s[..eq].trim().to_string();
+                let after = s[eq + 1..].trim_start();
+                if !after.starts_with('"') {
+                    return Err(XmlError { message: format!("unquoted attribute `{key}`") });
+                }
+                let close_quote = after[1..]
+                    .find('"')
+                    .ok_or_else(|| XmlError { message: format!("unterminated attribute `{key}`") })?;
+                let value = unescape(&after[1..1 + close_quote]);
+                attrs.push((key, value));
+                s = after[close_quote + 2..].trim_start();
+            }
+        }
+        out.push(Tag { name, attrs, closing });
+    }
+    Ok(out)
+}
+
+fn attr<'a>(tag: &'a Tag, key: &str) -> Option<&'a str> {
+    tag.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses a declaration file produced by [`write_declaration_file`].
+///
+/// Types that fail to parse against `typedefs` degrade to
+/// [`CType::Named`] with the raw text, so a file is never rejected merely
+/// because a struct type's definition isn't available.
+///
+/// # Errors
+///
+/// [`XmlError`] on malformed XML or missing required attributes.
+pub fn parse_declaration_file(
+    doc: &str,
+    typedefs: &TypedefTable,
+) -> Result<(String, Vec<Prototype>), XmlError> {
+    let mut library = String::new();
+    let mut protos: Vec<Prototype> = Vec::new();
+    let mut current: Option<Prototype> = None;
+    let parse_or_named = |text: &str| -> CType {
+        parse_type(text, typedefs).unwrap_or_else(|_| CType::Named(text.to_string()))
+    };
+
+    for tag in tags(doc)? {
+        match (tag.name.as_str(), tag.closing) {
+            ("library", false) => {
+                library = attr(&tag, "name")
+                    .ok_or_else(|| XmlError { message: "library without name".into() })?
+                    .to_string();
+            }
+            ("function", false) => {
+                let name = attr(&tag, "name")
+                    .ok_or_else(|| XmlError { message: "function without name".into() })?;
+                current = Some(Prototype::new(name, CType::Void, vec![]));
+            }
+            ("function", true) => {
+                protos.push(
+                    current
+                        .take()
+                        .ok_or_else(|| XmlError { message: "stray </function>".into() })?,
+                );
+            }
+            ("return", false) => {
+                let ty = attr(&tag, "type")
+                    .ok_or_else(|| XmlError { message: "return without type".into() })?;
+                if let Some(p) = current.as_mut() {
+                    p.ret = parse_or_named(ty);
+                }
+            }
+            ("param", false) => {
+                let ty = attr(&tag, "type")
+                    .ok_or_else(|| XmlError { message: "param without type".into() })?;
+                let name = attr(&tag, "name").map(str::to_string);
+                if let Some(p) = current.as_mut() {
+                    p.params.push(Param { name, ty: parse_or_named(ty) });
+                }
+            }
+            ("varargs", false) => {
+                if let Some(p) = current.as_mut() {
+                    p.variadic = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((library, protos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_prototype;
+
+    fn protos() -> Vec<Prototype> {
+        let t = TypedefTable::with_builtins();
+        vec![
+            parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap(),
+            parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+            parse_prototype("int snprintf(char *str, size_t size, const char *fmt, ...);", &t)
+                .unwrap(),
+            parse_prototype(
+                "void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));",
+                &t,
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn declaration_file_roundtrip() {
+        let original = protos();
+        let doc = write_declaration_file("libsimc.so.1", &original);
+        let t = TypedefTable::with_builtins();
+        let (lib, parsed) = parse_declaration_file(&doc, &t).unwrap();
+        assert_eq!(lib, "libsimc.so.1");
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(&original) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ret, b.ret, "{}", a.name);
+            assert_eq!(a.params.len(), b.params.len());
+            assert_eq!(a.variadic, b.variadic);
+            for (pa, pb) in a.params.iter().zip(&b.params) {
+                assert_eq!(pa.ty, pb.ty, "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn writer_escapes_special_chars() {
+        let mut w = XmlWriter::new();
+        w.leaf("t", &[("v", "a<b&c\"d")]);
+        let doc = w.finish();
+        assert!(doc.contains("a&lt;b&amp;c&quot;d"), "{doc}");
+    }
+
+    #[test]
+    fn unknown_types_degrade_to_named() {
+        let doc = r#"<?xml version="1.0"?>
+<library name="libx">
+  <function name="mystery">
+    <return type="struct opaque_thing*"/>
+    <param name="a1" type="opaque_t"/>
+  </function>
+</library>
+"#;
+        let t = TypedefTable::with_builtins();
+        let (_, parsed) = parse_declaration_file(doc, &t).unwrap();
+        assert_eq!(parsed[0].params[0].ty, CType::Named("opaque_t".into()));
+    }
+
+    #[test]
+    fn malformed_xml_rejected() {
+        let t = TypedefTable::with_builtins();
+        assert!(parse_declaration_file("<library name=\"x\"", &t).is_err());
+        assert!(parse_declaration_file("<library><function/></library>", &t).is_err());
+    }
+
+    #[test]
+    fn text_element_writes_content() {
+        let mut w = XmlWriter::new();
+        w.open("doc", &[]);
+        w.text_element("note", &[("k", "v")], "x < y");
+        w.close();
+        let doc = w.finish();
+        assert!(doc.contains("<note k=\"v\">x &lt; y</note>"), "{doc}");
+    }
+
+    #[test]
+    fn writer_is_indented() {
+        let doc = write_declaration_file("l", &protos());
+        assert!(doc.contains("\n  <function"), "{doc}");
+        assert!(doc.contains("\n    <param"), "{doc}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the declaration parser: pretty-printed prototypes
+//! re-parse to the same AST, and declaration files round-trip, for
+//! arbitrarily generated types in the supported subset.
+
+use proptest::prelude::*;
+
+use cdecl::xml::{parse_declaration_file, write_declaration_file};
+use cdecl::{parse_prototype, parse_type, CType, IntWidth, Param, Prototype, TypedefTable};
+
+fn scalar() -> impl Strategy<Value = CType> {
+    prop_oneof![
+        Just(CType::Void),
+        any::<bool>().prop_map(|signed| CType::Char { signed }),
+        (any::<bool>(), prop_oneof![
+            Just(IntWidth::Short),
+            Just(IntWidth::Int),
+            Just(IntWidth::Long),
+            Just(IntWidth::LongLong)
+        ])
+            .prop_map(|(signed, width)| CType::Int { signed, width }),
+        Just(CType::Float),
+        Just(CType::Double),
+    ]
+}
+
+/// Data-pointer types: scalars and (const-qualified) pointers over them.
+fn data_type() -> impl Strategy<Value = CType> {
+    scalar().prop_recursive(3, 8, 4, |inner| {
+        (inner, any::<bool>()).prop_map(|(t, c)| {
+            if c {
+                t.const_ptr_to()
+            } else {
+                t.ptr_to()
+            }
+        })
+    })
+}
+
+/// Types as they appear in parameter lists (post array decay): data
+/// types plus simple function pointers. C cannot name a function pointer
+/// returning a function pointer without a typedef, so the generator
+/// stays inside the expressible subset (as the parser does).
+fn param_type() -> impl Strategy<Value = CType> {
+    prop_oneof![
+        4 => data_type(),
+        1 => (
+            data_type(),
+            prop::collection::vec(
+                data_type().prop_filter("void param", |t| *t != CType::Void),
+                0..3
+            )
+        )
+            .prop_map(|(ret, params)| CType::FuncPtr { ret: Box::new(ret), params }),
+    ]
+}
+
+/// A parameter type that is legal in C (no bare void params).
+fn legal_param() -> impl Strategy<Value = CType> {
+    param_type().prop_filter("void is not a parameter type", |t| *t != CType::Void)
+}
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not a C keyword or typedef", |s| {
+        ![
+            "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned",
+            "struct", "union", "enum", "const", "volatile", "restrict", "extern", "static",
+            "typedef", "inline", "register", "auto",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn prototype() -> impl Strategy<Value = Prototype> {
+    (
+        identifier(),
+        data_type(), // return type (void allowed; functions cannot return functions)
+        prop::collection::vec((identifier(), legal_param()), 0..5),
+        any::<bool>(),
+    )
+        .prop_map(|(name, ret, params, variadic)| {
+            let mut seen = std::collections::BTreeSet::new();
+            let params = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pname, ty))| {
+                    // Ensure distinct, non-colliding parameter names.
+                    let pname = if seen.insert(pname.clone()) && pname != name {
+                        pname
+                    } else {
+                        format!("p{i}")
+                    };
+                    Param::named(pname, ty)
+                })
+                .collect();
+            let mut p = Prototype::new(name, ret, params);
+            p.variadic = variadic;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn type_display_reparses(ty in param_type()) {
+        let table = TypedefTable::with_builtins();
+        let text = ty.to_string();
+        let parsed = parse_type(&text, &table)
+            .map_err(|e| TestCaseError::fail(format!("`{text}`: {e}")))?;
+        prop_assert_eq!(parsed, ty, "`{}`", text);
+    }
+
+    #[test]
+    fn prototype_display_reparses(proto in prototype()) {
+        let table = TypedefTable::with_builtins();
+        let text = format!("{proto};");
+        let parsed = parse_prototype(&text, &table)
+            .map_err(|e| TestCaseError::fail(format!("`{text}`: {e}")))?;
+        prop_assert_eq!(&parsed.name, &proto.name);
+        prop_assert_eq!(&parsed.ret, &proto.ret);
+        prop_assert_eq!(parsed.variadic, proto.variadic);
+        prop_assert_eq!(parsed.params.len(), proto.params.len());
+        for (a, b) in parsed.params.iter().zip(&proto.params) {
+            prop_assert_eq!(&a.ty, &b.ty, "`{}`", text);
+        }
+    }
+
+    #[test]
+    fn declaration_file_roundtrips(protos in prop::collection::vec(prototype(), 0..8)) {
+        let table = TypedefTable::with_builtins();
+        let doc = write_declaration_file("libprop.so", &protos);
+        let (lib, parsed) = parse_declaration_file(&doc, &table)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(lib, "libprop.so");
+        prop_assert_eq!(parsed.len(), protos.len());
+        for (a, b) in parsed.iter().zip(&protos) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.ret, &b.ret);
+            prop_assert_eq!(a.params.len(), b.params.len());
+            prop_assert_eq!(a.variadic, b.variadic);
+        }
+    }
+}

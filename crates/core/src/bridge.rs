@@ -1,0 +1,55 @@
+//! Bridging generated wrappers into the dynamic loader: a
+//! [`WrapperLibrary`] becomes a preloadable [`SharedLibrary`] whose
+//! bindings dispatch through the wrapped functions.
+
+use interpose::{Binding, SharedLibrary};
+use wrappergen::WrapperLibrary;
+
+/// Converts a generated wrapper into a shared library for `LD_PRELOAD`.
+pub fn as_preload_library(wrapper: &WrapperLibrary) -> SharedLibrary {
+    let mut lib = SharedLibrary::new(&wrapper.soname);
+    for (name, wrapped) in wrapper.iter() {
+        let w = wrapped.clone();
+        lib.define(
+            name,
+            wrapped.proto().clone(),
+            Binding::new(move |proc, args| w.call(proc, args)),
+        );
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+    use simproc::CVal;
+    use typelattice::{RobustApi, RobustFunction, SafePred};
+    use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+
+    #[test]
+    fn preload_library_dispatches_through_wrapper() {
+        let t = TypedefTable::with_builtins();
+        let api = RobustApi {
+            library: "libsimc.so.1".into(),
+            functions: vec![RobustFunction {
+                proto: parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+                preds: vec![SafePred::CStr],
+                fully_robust: true,
+                skipped: false,
+            }],
+        };
+        let wrapper = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+        let lib = as_preload_library(&wrapper);
+        assert_eq!(lib.soname(), "libhealers_robust.so.1");
+        let mut p = simlibc::testutil::libc_proc();
+        // Through the preload binding, strlen(NULL) is contained.
+        let r = lib
+            .symbol("strlen")
+            .unwrap()
+            .binding
+            .call(&mut p, &[CVal::NULL])
+            .unwrap();
+        assert_eq!(r, CVal::Int(-1));
+    }
+}

@@ -1,0 +1,330 @@
+//! The HEALERS toolkit facade: the end-to-end pipeline of Figure 2
+//! driven from one place.
+
+use cdecl::xml::write_declaration_file;
+use injector::{run_campaign, CampaignConfig, CampaignResult, TargetFn};
+use interpose::{AppInfo, Executable, Loader, RunOutcome, SharedLibrary, System};
+use simproc::Proc;
+use typelattice::RobustApi;
+use wrappergen::{build_wrapper, WrapperConfig, WrapperKind, WrapperLibrary};
+
+use crate::bridge::as_preload_library;
+
+/// The toolkit: a simulated system plus campaign configuration.
+#[derive(Debug)]
+pub struct Toolkit {
+    system: System,
+    config: CampaignConfig,
+}
+
+impl Default for Toolkit {
+    fn default() -> Self {
+        Toolkit::new()
+    }
+}
+
+impl Toolkit {
+    /// A toolkit over the standard simulated system (libc + libm) with
+    /// default campaign settings.
+    pub fn new() -> Self {
+        Toolkit { system: System::standard(), config: CampaignConfig::default() }
+    }
+
+    /// Overrides the campaign configuration.
+    pub fn with_config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Enables a wrapper for *every* application on the system — the
+    /// administrator path of §2.1 ("a system administrator can enable a
+    /// wrapper on a system wide basis through a dynamic link loader").
+    pub fn enable_system_wide(&mut self, wrapper: &WrapperLibrary) {
+        self.system.enable_system_wide(as_preload_library(wrapper));
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    // ----- §3.1: wrapping libraries ------------------------------------
+
+    /// Lists all libraries in the system: `(soname, exported symbols)`.
+    pub fn list_libraries(&self) -> Vec<(String, usize)> {
+        self.system
+            .libraries()
+            .iter()
+            .map(|l| (l.soname().to_string(), l.len()))
+            .collect()
+    }
+
+    /// All functions defined in one library.
+    pub fn list_functions(&self, soname: &str) -> Option<Vec<String>> {
+        self.system
+            .library(soname)
+            .map(|l| l.symbol_names().iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The XML-style declaration file describing each function's
+    /// prototype.
+    pub fn declaration_file(&self, soname: &str) -> Option<String> {
+        self.system
+            .library(soname)
+            .map(|l| write_declaration_file(soname, &l.prototypes()))
+    }
+
+    /// Fault-injection targets for a library (host implementations are
+    /// only known for the simulated libraries).
+    pub fn targets(&self, soname: &str) -> Option<Vec<TargetFn>> {
+        match soname {
+            simlibc::LIB_NAME => Some(injector::targets_from_simlibc()),
+            simlibc::math::MATH_LIB_NAME => Some(injector::targets_from_simmath()),
+            _ => None,
+        }
+    }
+
+    /// Runs the automated fault-injection campaign over a library,
+    /// deriving its robust API (Figure 2).
+    pub fn derive_robust_api(&self, soname: &str) -> Option<CampaignResult> {
+        let targets = self.targets(soname)?;
+        Some(run_campaign(soname, &targets, process_factory, &self.config))
+    }
+
+    /// Builds campaign targets from a §3.1 declaration file: the XML
+    /// document produced by [`Toolkit::declaration_file`] (possibly
+    /// hand-edited, as the paper allows) paired with the system's symbol
+    /// bindings. Functions whose symbols are not installed are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`cdecl::xml::XmlError`] when the document is malformed.
+    pub fn targets_from_declaration_file(
+        &self,
+        doc: &str,
+    ) -> Result<(String, Vec<TargetFn>), cdecl::xml::XmlError> {
+        let table = cdecl::TypedefTable::with_builtins();
+        let (library, protos) = cdecl::xml::parse_declaration_file(doc, &table)?;
+        let lookup = |name: &str| {
+            simlibc::find_symbol(name).map(|s| s.imp).or_else(|| {
+                simlibc::math::math_symbols()
+                    .into_iter()
+                    .find(|s| s.name == name)
+                    .map(|s| s.imp)
+            })
+        };
+        let targets = protos
+            .into_iter()
+            .filter_map(|proto| {
+                lookup(&proto.name).map(|imp| TargetFn {
+                    name: proto.name.clone(),
+                    proto,
+                    imp,
+                })
+            })
+            .collect();
+        Ok((library, targets))
+    }
+
+    // ----- §2.3: wrapper generation -------------------------------------
+
+    /// Generates one of the standard wrapper libraries from a robust API.
+    pub fn generate_wrapper(
+        &self,
+        kind: WrapperKind,
+        api: &RobustApi,
+        config: &WrapperConfig,
+    ) -> WrapperLibrary {
+        build_wrapper(kind, api, config)
+    }
+
+    /// Converts a generated wrapper into a preloadable shared library.
+    pub fn preload_library(&self, wrapper: &WrapperLibrary) -> SharedLibrary {
+        as_preload_library(wrapper)
+    }
+
+    // ----- §3.2: wrapping applications -----------------------------------
+
+    /// Extracts the linked-library and undefined-function lists of an
+    /// executable (Figure 4).
+    pub fn analyze_executable(&self, exe: &Executable) -> AppInfo {
+        interpose::inspect(&self.system, exe)
+    }
+
+    // ----- running applications -------------------------------------------
+
+    /// Runs an executable unprotected.
+    ///
+    /// # Errors
+    ///
+    /// Link errors; runtime faults are inside the outcome.
+    pub fn run(&self, exe: &Executable) -> Result<RunOutcome, interpose::LinkError> {
+        interpose::run(&Loader::new(), &self.system, exe)
+    }
+
+    /// Runs an executable with wrappers preloaded, in order.
+    ///
+    /// # Errors
+    ///
+    /// Link errors; runtime faults are inside the outcome.
+    pub fn run_protected(
+        &self,
+        exe: &Executable,
+        wrappers: &[&WrapperLibrary],
+    ) -> Result<RunOutcome, interpose::LinkError> {
+        let mut loader = Loader::new();
+        for w in wrappers {
+            loader.preload(as_preload_library(w));
+        }
+        interpose::run(&loader, &self.system, exe)
+    }
+}
+
+/// The process factory used for injection sandboxes.
+pub fn process_factory() -> Proc {
+    simlibc::setup::init_process()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::{CVal, Fault};
+
+    fn quick() -> Toolkit {
+        Toolkit::new().with_config(CampaignConfig {
+            pair_values: 4,
+            fuel: 200_000,
+            ..CampaignConfig::default()
+        })
+    }
+
+    #[test]
+    fn lists_libraries_and_functions() {
+        let tk = Toolkit::new();
+        let libs = tk.list_libraries();
+        assert_eq!(libs[0].0, "libsimc.so.1");
+        assert!(libs[0].1 >= 90);
+        assert_eq!(libs[1].0, "libsimm.so.1");
+        let fns = tk.list_functions("libsimc.so.1").unwrap();
+        assert!(fns.iter().any(|f| f == "strcpy"));
+        assert!(tk.list_functions("libnope.so").is_none());
+    }
+
+    #[test]
+    fn declaration_file_roundtrips() {
+        let tk = Toolkit::new();
+        let doc = tk.declaration_file("libsimm.so.1").unwrap();
+        let t = cdecl::TypedefTable::with_builtins();
+        let (lib, protos) = cdecl::xml::parse_declaration_file(&doc, &t).unwrap();
+        assert_eq!(lib, "libsimm.so.1");
+        assert_eq!(protos.len(), 5);
+    }
+
+    #[test]
+    fn end_to_end_campaign_wrapper_containment() {
+        // The core promise: campaign -> robust API -> wrapper -> the
+        // previously crashing call is now contained.
+        let tk = quick();
+        let targets: Vec<_> = injector::targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == "strlen")
+            .collect();
+        let result =
+            injector::run_campaign("libsimc.so.1", &targets, process_factory, tk.config());
+        assert!(result.total_failures() > 0);
+        let wrapper = tk.generate_wrapper(
+            wrappergen::WrapperKind::Robustness,
+            &result.api,
+            &WrapperConfig::default(),
+        );
+        let mut p = process_factory();
+        let r = wrapper.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1), "contained, not crashed");
+    }
+
+    #[test]
+    fn system_wide_wrapper_protects_without_per_process_preload() {
+        let mut tk = quick();
+        let targets: Vec<_> = injector::targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == "strlen")
+            .collect();
+        let result =
+            injector::run_campaign("libsimc.so.1", &targets, process_factory, tk.config());
+        let wrapper = tk.generate_wrapper(
+            wrappergen::WrapperKind::Robustness,
+            &result.api,
+            &WrapperConfig::default(),
+        );
+        fn entry(s: &mut interpose::Session<'_>) -> Result<i32, Fault> {
+            let r = s.call("strlen", &[simproc::CVal::NULL])?;
+            Ok(r.as_int() as i32)
+        }
+        let exe = Executable::new("anyapp", &["libsimc.so.1"], &["strlen"], entry);
+        // Before: crash.
+        assert!(tk.run(&exe).unwrap().status.is_err());
+        // Admin enables the wrapper once, system-wide.
+        tk.enable_system_wide(&wrapper);
+        // After: every plain `run` is protected.
+        assert_eq!(tk.run(&exe).unwrap().status, Ok(-1));
+    }
+
+    #[test]
+    fn declaration_file_drives_a_campaign() {
+        // The §3.1 artifact is not just for show: the campaign can start
+        // from it (the user may have hand-edited prototypes, as the
+        // paper allows).
+        let tk = quick();
+        let doc = tk.declaration_file("libsimm.so.1").unwrap();
+        let (library, targets) = tk.targets_from_declaration_file(&doc).unwrap();
+        assert_eq!(library, "libsimm.so.1");
+        assert_eq!(targets.len(), 5);
+        let result =
+            injector::run_campaign(&library, &targets, process_factory, tk.config());
+        assert!(result.api.function("mnorm").unwrap().has_checks());
+        // Malformed documents error instead of guessing.
+        assert!(tk.targets_from_declaration_file("<library").is_err());
+    }
+
+    fn fragile_entry(s: &mut interpose::Session<'_>) -> Result<i32, Fault> {
+        // Reads a config value that does not exist and measures it —
+        // the NULL-deref pattern behind countless real crashes.
+        let name = s.literal("MISSING_CONFIG");
+        let value = s.call("getenv", &[CVal::Ptr(name)])?;
+        let len = s.call("strlen", &[value])?; // strlen(NULL) without wrapper
+        Ok(len.as_int() as i32)
+    }
+
+    #[test]
+    fn run_protected_saves_the_fragile_app() {
+        let tk = quick();
+        let exe = Executable::new(
+            "fragile",
+            &["libsimc.so.1"],
+            &["getenv", "strlen"],
+            fragile_entry,
+        );
+        // Unprotected: crashes.
+        let out = tk.run(&exe).unwrap();
+        assert!(matches!(out.status, Err(Fault::Segv { .. })));
+        // With the robustness wrapper: survives (strlen returns -1).
+        let targets: Vec<_> = injector::targets_from_simlibc()
+            .into_iter()
+            .filter(|t| ["strlen", "getenv"].contains(&t.name.as_str()))
+            .collect();
+        let result =
+            injector::run_campaign("libsimc.so.1", &targets, process_factory, tk.config());
+        let wrapper = tk.generate_wrapper(
+            wrappergen::WrapperKind::Robustness,
+            &result.api,
+            &WrapperConfig::default(),
+        );
+        let out = tk.run_protected(&exe, &[&wrapper]).unwrap();
+        assert_eq!(out.status, Ok(-1), "{:?}", out.status);
+    }
+}

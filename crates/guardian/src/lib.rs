@@ -1,0 +1,36 @@
+//! # guardian — heap-smashing detection for the HEALERS security wrapper
+//!
+//! The paper's §3.4 demo: "our security wrapper can detect such buffer
+//! overflows and terminate the attacker's program". The mechanism (from
+//! Fetzer & Xiao's SRDS'01 fault-containment-wrappers paper) is a canary
+//! word appended to every wrapped allocation plus an allocation registry:
+//!
+//! * [`CanaryRegistry`] — live protected allocations, canary writing and
+//!   verification, whole-heap sweeps;
+//! * [`GuardOracle`] — the extent oracle wrappers use to bound string and
+//!   memory writes: registry sizes first, then heap chunk bounds, then
+//!   stack-frame bounds (libsafe's rule) and page mappings.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use guardian::{CanaryRegistry, CANARY_LEN};
+//! use simlibc::{heap, testutil::libc_proc};
+//!
+//! let mut p = libc_proc();
+//! let registry = Arc::new(CanaryRegistry::new());
+//! let ptr = heap::malloc(&mut p, 16 + CANARY_LEN).unwrap();
+//! registry.protect(&mut p, ptr, 16).unwrap();
+//!
+//! // A one-byte overflow is caught on the next check:
+//! p.mem.write_u8(ptr.add(16), 0x41).unwrap();
+//! assert!(registry.sweep(&p).is_err());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod oracle;
+mod registry;
+
+pub use oracle::GuardOracle;
+pub use registry::{canary_value, CanaryRegistry, GuardedAlloc, Violation, CANARY_LEN, CANARY_SEED};

@@ -1,0 +1,100 @@
+//! The guard oracle: the most precise extent answer available, layered
+//! from (1) the canary registry's requested sizes, (2) heap chunk bounds,
+//! (3) stack-frame bounds and page mappings.
+
+use std::sync::Arc;
+
+use simlibc::heap::HeapOracle;
+use simproc::{ExtentOracle, Proc, VirtAddr};
+
+use crate::registry::CanaryRegistry;
+
+/// Extent oracle combining the canary registry with the allocation-aware
+/// heap oracle. This is what security and robustness wrappers consult.
+#[derive(Debug, Clone)]
+pub struct GuardOracle {
+    registry: Arc<CanaryRegistry>,
+}
+
+impl GuardOracle {
+    /// Builds an oracle over a shared registry.
+    pub fn new(registry: Arc<CanaryRegistry>) -> Self {
+        GuardOracle { registry }
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<CanaryRegistry> {
+        &self.registry
+    }
+
+    fn refined(&self, proc: &Proc, addr: VirtAddr) -> Option<Option<u64>> {
+        // Registry first: requested size beats chunk size (the chunk
+        // includes the guard word and rounding slack).
+        if let Some(ext) = self.registry.extent_within(addr) {
+            return Some(Some(ext));
+        }
+        if self.registry.contains(addr) {
+            // Inside a protected allocation's guard word: not writable.
+            return Some(None);
+        }
+        let _ = proc;
+        None
+    }
+}
+
+impl ExtentOracle for GuardOracle {
+    fn writable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        match self.refined(proc, addr) {
+            Some(ext) => ext,
+            None => HeapOracle::new().writable_extent(proc, addr),
+        }
+    }
+
+    fn readable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        match self.refined(proc, addr) {
+            Some(ext) => ext,
+            None => HeapOracle::new().readable_extent(proc, addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CANARY_LEN;
+    use simlibc::heap;
+    use simlibc::testutil::libc_proc;
+
+    #[test]
+    fn registry_extent_beats_chunk_extent() {
+        let mut p = libc_proc();
+        let registry = Arc::new(CanaryRegistry::new());
+        let oracle = GuardOracle::new(Arc::clone(&registry));
+        // Unprotected allocation: chunk-bounded extent.
+        let plain = heap::malloc(&mut p, 20).unwrap();
+        let chunk_ext = oracle.writable_extent(&p, plain).unwrap();
+        assert!(chunk_ext >= 20);
+        // Protected allocation: request-bounded extent (tighter).
+        let guarded = heap::malloc(&mut p, 20 + CANARY_LEN).unwrap();
+        registry.protect(&mut p, guarded, 20).unwrap();
+        assert_eq!(oracle.writable_extent(&p, guarded), Some(20));
+        assert_eq!(oracle.readable_extent(&p, guarded), Some(20));
+        // The guard word itself is off limits.
+        assert_eq!(oracle.writable_extent(&p, guarded.add(20)), None);
+    }
+
+    #[test]
+    fn falls_back_outside_the_registry() {
+        let mut p = libc_proc();
+        let oracle = GuardOracle::new(Arc::new(CanaryRegistry::new()));
+        let d = p.alloc_data_zeroed(32);
+        assert!(oracle.writable_extent(&p, d).unwrap() >= 32);
+        assert_eq!(oracle.writable_extent(&p, simproc::layout::WILD_ADDR), None);
+        // Stack rule survives the layering.
+        p.push_frame("f").unwrap();
+        let buf = p.stack_alloc(16).unwrap();
+        let ext = oracle.writable_extent(&p, buf).unwrap();
+        let frame = p.frame_containing(buf).unwrap();
+        assert_eq!(ext, frame.ret_slot.diff(buf));
+    }
+}

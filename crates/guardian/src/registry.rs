@@ -1,0 +1,250 @@
+//! The canary registry: heap allocations protected by the security
+//! wrapper (paper §3.4 and the SRDS'01 fault-containment-wrapper paper it
+//! demonstrates).
+//!
+//! The security wrapper's `malloc` hook over-allocates by one guard word,
+//! writes a per-address canary after the user's bytes, and records the
+//! allocation here. Its `free`/`realloc` hooks — and periodic sweeps —
+//! verify the canary *before* the allocator's `unlink` ever touches
+//! attacker-controlled metadata.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use simproc::{Fault, Proc, VirtAddr};
+
+/// Guard word length appended to each protected allocation.
+pub const CANARY_LEN: u64 = 8;
+
+/// Seed mixed into each canary so one leaked canary does not reveal all.
+pub const CANARY_SEED: u64 = 0x48454c_4552_5321; // "HEALERS!"
+
+/// The canary value guarding the allocation at `payload`.
+pub fn canary_value(payload: VirtAddr) -> u64 {
+    // A cheap diffusion of the address; not cryptographic, like the era's.
+    let x = payload.get().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ CANARY_SEED;
+    x | 1 // never zero
+}
+
+/// One protected allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardedAlloc {
+    /// Payload address handed to the application.
+    pub payload: VirtAddr,
+    /// Size the application requested (the canary sits right after).
+    pub requested: u64,
+}
+
+impl GuardedAlloc {
+    /// Address of the guard word.
+    pub fn canary_addr(&self) -> VirtAddr {
+        self.payload.add(self.requested)
+    }
+}
+
+/// Registry of live protected allocations. Shared between the wrapper
+/// hooks via `Arc`.
+#[derive(Debug, Default)]
+pub struct CanaryRegistry {
+    live: Mutex<BTreeMap<u64, GuardedAlloc>>,
+}
+
+/// A detected integrity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The damaged allocation.
+    pub alloc: GuardedAlloc,
+    /// The canary value found in memory.
+    pub found: u64,
+}
+
+impl Violation {
+    /// The fault the security wrapper raises for this violation.
+    pub fn fault(&self) -> Fault {
+        Fault::security(format!(
+            "heap canary clobbered at {} (allocation of {} bytes at {})",
+            self.alloc.canary_addr(),
+            self.alloc.requested,
+            self.alloc.payload
+        ))
+    }
+}
+
+impl CanaryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CanaryRegistry::default()
+    }
+
+    /// Writes the canary for a fresh allocation and records it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fault if the guard word cannot be written (the
+    /// underlying allocation was bogus).
+    pub fn protect(&self, proc: &mut Proc, payload: VirtAddr, requested: u64) -> Result<(), Fault> {
+        let alloc = GuardedAlloc { payload, requested };
+        proc.mem.write_u64(alloc.canary_addr(), canary_value(payload))?;
+        self.live.lock().insert(payload.get(), alloc);
+        Ok(())
+    }
+
+    /// Verifies the canary of the allocation at `payload`, if it is
+    /// protected. `Ok(None)` means "not ours" (e.g. allocated before the
+    /// wrapper was preloaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] if the guard word was overwritten.
+    pub fn verify(&self, proc: &Proc, payload: VirtAddr) -> Result<Option<GuardedAlloc>, Violation> {
+        let guard = self.live.lock();
+        let Some(alloc) = guard.get(&payload.get()).copied() else {
+            return Ok(None);
+        };
+        let found = proc
+            .mem
+            .peek_bytes(alloc.canary_addr(), 8)
+            .map(|b| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&b);
+                u64::from_le_bytes(w)
+            })
+            .unwrap_or(0);
+        if found == canary_value(alloc.payload) {
+            Ok(Some(alloc))
+        } else {
+            Err(Violation { alloc, found })
+        }
+    }
+
+    /// Removes an allocation from protection (it is being freed).
+    pub fn release(&self, payload: VirtAddr) -> Option<GuardedAlloc> {
+        self.live.lock().remove(&payload.get())
+    }
+
+    /// Sweeps every live canary — the wrapper runs this at process exit
+    /// and tests run it after suspect operations.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn sweep(&self, proc: &Proc) -> Result<(), Violation> {
+        let allocs: Vec<GuardedAlloc> = self.live.lock().values().copied().collect();
+        for alloc in allocs {
+            self.verify(proc, alloc.payload)?;
+        }
+        Ok(())
+    }
+
+    /// The requested size of a protected allocation, if `addr` points
+    /// inside one — the registry's contribution to the extent oracle.
+    pub fn extent_within(&self, addr: VirtAddr) -> Option<u64> {
+        let guard = self.live.lock();
+        // The allocation with the greatest payload <= addr.
+        let (_, alloc) = guard.range(..=addr.get()).next_back()?;
+        let end = alloc.payload.add(alloc.requested);
+        if addr >= alloc.payload && addr < end {
+            Some(end.diff(addr))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `addr` points inside any protected allocation (payload or
+    /// guard word).
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        let guard = self.live.lock();
+        match guard.range(..=addr.get()).next_back() {
+            Some((_, alloc)) => {
+                addr >= alloc.payload && addr < alloc.canary_addr().add(CANARY_LEN)
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live protected allocations.
+    pub fn len(&self) -> usize {
+        self.live.lock().len()
+    }
+
+    /// `true` when nothing is protected.
+    pub fn is_empty(&self) -> bool {
+        self.live.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simlibc::heap;
+    use simlibc::testutil::libc_proc;
+
+    fn guarded_alloc(proc: &mut Proc, reg: &CanaryRegistry, n: u64) -> VirtAddr {
+        let ptr = heap::malloc(proc, n + CANARY_LEN).unwrap();
+        reg.protect(proc, ptr, n).unwrap();
+        ptr
+    }
+
+    #[test]
+    fn protect_verify_release_roundtrip() {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let ptr = guarded_alloc(&mut p, &reg, 32);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.verify(&p, ptr).unwrap().is_some());
+        assert!(reg.sweep(&p).is_ok());
+        let released = reg.release(ptr).unwrap();
+        assert_eq!(released.requested, 32);
+        assert!(reg.is_empty());
+        // Unknown pointers are "not ours".
+        assert!(reg.verify(&p, ptr).unwrap().is_none());
+    }
+
+    #[test]
+    fn one_byte_overflow_is_detected() {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let ptr = guarded_alloc(&mut p, &reg, 16);
+        // Write exactly within bounds: fine.
+        p.mem.write_bytes(ptr, &[0xAA; 16]).unwrap();
+        assert!(reg.verify(&p, ptr).is_ok());
+        // One byte past the end: caught.
+        p.mem.write_u8(ptr.add(16), 0x41).unwrap();
+        let v = reg.verify(&p, ptr).unwrap_err();
+        assert_eq!(v.alloc.payload, ptr);
+        assert!(v.fault().to_string().contains("canary"));
+    }
+
+    #[test]
+    fn sweep_finds_any_violation() {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let a = guarded_alloc(&mut p, &reg, 8);
+        let b = guarded_alloc(&mut p, &reg, 8);
+        p.mem.write_u8(b.add(8), 1).unwrap();
+        let v = reg.sweep(&p).unwrap_err();
+        assert_eq!(v.alloc.payload, b);
+        let _ = a;
+    }
+
+    #[test]
+    fn extent_within_is_request_sized() {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let ptr = guarded_alloc(&mut p, &reg, 20);
+        assert_eq!(reg.extent_within(ptr), Some(20));
+        assert_eq!(reg.extent_within(ptr.add(5)), Some(15));
+        assert_eq!(reg.extent_within(ptr.add(20)), None, "guard word is not writable");
+        assert_eq!(reg.extent_within(ptr.sub(1)), None);
+        assert!(reg.contains(ptr.add(20)), "guard word still 'inside' for ownership checks");
+    }
+
+    #[test]
+    fn canary_values_differ_by_address_and_are_nonzero() {
+        let a = canary_value(VirtAddr::new(0x1000));
+        let b = canary_value(VirtAddr::new(0x1010));
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        assert_eq!(a, canary_value(VirtAddr::new(0x1000)), "deterministic");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for canary soundness and completeness:
+//!
+//! * **no false positives** — any sequence of in-bounds writes never
+//!   trips a canary;
+//! * **no false negatives** — any write that crosses the end of a
+//!   protected allocation by at least one byte into the guard word is
+//!   detected on the next check.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use guardian::{CanaryRegistry, GuardOracle, CANARY_LEN};
+use simlibc::heap;
+use simlibc::testutil::libc_proc;
+use simproc::{ExtentOracle, Proc, VirtAddr};
+
+fn guarded(p: &mut Proc, reg: &CanaryRegistry, n: u64) -> VirtAddr {
+    let ptr = heap::malloc(p, n + CANARY_LEN).unwrap();
+    reg.protect(p, ptr, n).unwrap();
+    ptr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn in_bounds_writes_never_false_positive(
+        sizes in prop::collection::vec(1u64..200, 1..12),
+        writes in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u8>()), 0..40),
+    ) {
+        let mut p = libc_proc();
+        let reg = Arc::new(CanaryRegistry::new());
+        let allocs: Vec<(VirtAddr, u64)> = sizes
+            .iter()
+            .map(|n| (guarded(&mut p, &reg, *n), *n))
+            .collect();
+        for (which, offset, byte) in writes {
+            let (ptr, n) = allocs[which as usize % allocs.len()];
+            let off = offset as u64 % n;
+            // An in-bounds write of arbitrary length that stays inside.
+            let len = ((byte as u64) % (n - off)).max(1);
+            p.mem
+                .write_bytes(ptr.add(off), &vec![byte; len as usize])
+                .unwrap();
+        }
+        prop_assert!(reg.sweep(&p).is_ok(), "no in-bounds write may trip a canary");
+    }
+
+    #[test]
+    fn any_overflow_into_guard_is_detected(
+        n in 1u64..200,
+        overflow_off in 0u64..8,
+        byte in any::<u8>(),
+    ) {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let ptr = guarded(&mut p, &reg, n);
+        // Corrupt one byte inside the guard word.
+        let target = ptr.add(n + overflow_off);
+        let original = p.mem.read_u8(target).unwrap();
+        prop_assume!(original != byte); // must actually change it
+        p.mem.write_u8(target, byte).unwrap();
+        let v = reg.verify(&p, ptr);
+        prop_assert!(v.is_err(), "overflow byte at +{overflow_off} must be caught");
+        prop_assert_eq!(v.unwrap_err().alloc.payload, ptr);
+    }
+
+    #[test]
+    fn oracle_extent_equals_requested_size(
+        n in 1u64..200,
+        probe in 0u64..200,
+    ) {
+        let mut p = libc_proc();
+        let reg = Arc::new(CanaryRegistry::new());
+        let ptr = guarded(&mut p, &reg, n);
+        let oracle = GuardOracle::new(Arc::clone(&reg));
+        let off = probe % n;
+        prop_assert_eq!(oracle.writable_extent(&p, ptr.add(off)), Some(n - off));
+        // The guard word itself is never writable through the oracle.
+        prop_assert_eq!(oracle.writable_extent(&p, ptr.add(n)), None);
+    }
+
+    #[test]
+    fn release_forgets_and_protect_again_works(
+        n in 1u64..100,
+        rounds in 1usize..6,
+    ) {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        for _ in 0..rounds {
+            let ptr = guarded(&mut p, &reg, n);
+            prop_assert!(reg.verify(&p, ptr).unwrap().is_some());
+            reg.release(ptr);
+            prop_assert!(reg.verify(&p, ptr).unwrap().is_none());
+            heap::free(&mut p, ptr).unwrap();
+        }
+        prop_assert!(reg.is_empty());
+    }
+}

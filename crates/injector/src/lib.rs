@@ -1,0 +1,42 @@
+//! # injector — automated fault injection for HEALERS
+//!
+//! Implements the paper's §2.2 pipeline (Figure 2): given the prototypes
+//! of a shared library's functions, probe each function with a hierarchy
+//! of argument types — wild pointers first, progressively better-behaved
+//! values — classify every outcome on the CRASH scale, and derive the
+//! library's **robust API**: the weakest argument type per parameter for
+//! which no robustness failure occurs. A validation pass over argument
+//! *combinations* then catches relational failures (`strcpy` with a
+//! too-small destination) and escalates to relational types.
+//!
+//! Every case is replayable ([`replay_cases`]), which is how the test
+//! suite and examples demonstrate that generated wrappers contain the
+//! very crashes the campaign found.
+//!
+//! ```no_run
+//! use injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+//! use simlibc::setup::init_process;
+//!
+//! let targets = targets_from_simlibc();
+//! let result = run_campaign("libsimc.so.1", &targets, init_process, &CampaignConfig::default());
+//! println!("{}", injector::render_table(&result));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod outcome;
+mod report;
+mod sandbox;
+mod search;
+
+pub use outcome::{classify, Outcome, TestOutcome};
+pub use report::{render_table, to_xml};
+pub use sandbox::{
+    case_seed, materialize, run_case, run_case_opts, value_count, CaseKey, Dispatch, ProcFactory,
+};
+pub use search::{
+    replay_cases, run_campaign, run_campaign_parallel, targets_from_simlibc, targets_from_simmath,
+    CampaignConfig,
+    CampaignResult, CrashCase, FunctionReport, ParamResult, ReplaySummary, TargetFn,
+};

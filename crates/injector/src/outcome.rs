@@ -1,0 +1,171 @@
+//! Outcome classification on the CRASH scale (Koopman & DeVale's Ballista
+//! taxonomy, which the paper cites as its robustness-failure model).
+
+use std::fmt;
+
+use simproc::{CVal, Fault};
+
+/// How a single injected call behaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Returned normally, errno untouched.
+    Pass,
+    /// Returned normally with an error reported via errno — the *desired*
+    /// behaviour for invalid inputs.
+    GracefulError,
+    /// Segmentation fault, wild jump or arithmetic trap.
+    Crash,
+    /// `abort()` / assertion failure.
+    Abort,
+    /// Execution budget exhausted.
+    Hang,
+    /// The call terminated the whole process (`exit`).
+    Terminated,
+    /// Returned "successfully" but corrupted process state (heap
+    /// metadata) — Ballista's Silent failure, detected by post-call
+    /// invariant checks.
+    Silent,
+    /// A protection wrapper refused or contained the call (only seen when
+    /// replaying through a wrapper — never in a bare campaign).
+    Contained,
+    /// The host implementation panicked — a bug in the simulation itself,
+    /// never counted against the library under test.
+    HostBug,
+}
+
+impl Outcome {
+    /// Whether this outcome is a robustness failure chargeable to the
+    /// library.
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            Outcome::Crash
+                | Outcome::Abort
+                | Outcome::Hang
+                | Outcome::Terminated
+                | Outcome::Silent
+        )
+    }
+
+    /// Short tag for tables and XML.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Outcome::Pass => "pass",
+            Outcome::GracefulError => "error",
+            Outcome::Crash => "crash",
+            Outcome::Abort => "abort",
+            Outcome::Hang => "hang",
+            Outcome::Terminated => "exit",
+            Outcome::Silent => "silent",
+            Outcome::Contained => "contained",
+            Outcome::HostBug => "host-bug",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The full record of one injected call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Classification.
+    pub outcome: Outcome,
+    /// The fault, when one occurred.
+    pub fault: Option<Fault>,
+    /// errno after the call.
+    pub errno: i32,
+    /// Return value, when the call returned.
+    pub ret: Option<CVal>,
+}
+
+/// Classifies the result of a call given errno before/after.
+pub fn classify(
+    result: Result<CVal, Fault>,
+    errno_before: i32,
+    errno_after: i32,
+) -> TestOutcome {
+    match result {
+        Ok(ret) => {
+            let outcome = if errno_after != errno_before && errno_after != 0 {
+                Outcome::GracefulError
+            } else {
+                Outcome::Pass
+            };
+            TestOutcome { outcome, fault: None, errno: errno_after, ret: Some(ret) }
+        }
+        Err(fault) => {
+            let outcome = match &fault {
+                Fault::Segv { .. } | Fault::WildJump { .. } | Fault::DivByZero { .. } => {
+                    Outcome::Crash
+                }
+                Fault::Abort { .. } => Outcome::Abort,
+                Fault::Hang => Outcome::Hang,
+                Fault::Exit(_) => Outcome::Terminated,
+                Fault::SecurityViolation { .. } => Outcome::Contained,
+            };
+            TestOutcome { outcome, fault: Some(fault), errno: errno_after, ret: None }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::{Access, VirtAddr};
+
+    #[test]
+    fn ok_with_errno_is_graceful() {
+        let t = classify(Ok(CVal::Int(-1)), 0, simproc::errno::EINVAL);
+        assert_eq!(t.outcome, Outcome::GracefulError);
+        assert!(!t.outcome.is_failure());
+    }
+
+    #[test]
+    fn ok_without_errno_change_is_pass() {
+        let t = classify(Ok(CVal::Int(0)), 0, 0);
+        assert_eq!(t.outcome, Outcome::Pass);
+        // Pre-existing errno unchanged is still a pass.
+        let t = classify(Ok(CVal::Int(0)), 5, 5);
+        assert_eq!(t.outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn faults_map_to_crash_scale() {
+        let segv = Fault::segv(VirtAddr::new(1), Access::Read, "t");
+        assert_eq!(classify(Err(segv), 0, 0).outcome, Outcome::Crash);
+        assert_eq!(classify(Err(Fault::Hang), 0, 0).outcome, Outcome::Hang);
+        assert_eq!(classify(Err(Fault::abort("x")), 0, 0).outcome, Outcome::Abort);
+        assert_eq!(classify(Err(Fault::Exit(1)), 0, 0).outcome, Outcome::Terminated);
+        assert_eq!(
+            classify(Err(Fault::security("canary")), 0, 0).outcome,
+            Outcome::Contained
+        );
+        assert_eq!(
+            classify(Err(Fault::WildJump { target: VirtAddr::NULL }), 0, 0).outcome,
+            Outcome::Crash
+        );
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(Outcome::Crash.is_failure());
+        assert!(Outcome::Hang.is_failure());
+        assert!(Outcome::Terminated.is_failure());
+        assert!(Outcome::Silent.is_failure());
+        assert!(!Outcome::Pass.is_failure());
+        assert!(!Outcome::GracefulError.is_failure());
+        assert!(!Outcome::Contained.is_failure());
+        assert!(!Outcome::HostBug.is_failure());
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Outcome::Crash.tag(), "crash");
+        assert_eq!(Outcome::GracefulError.tag(), "error");
+        assert_eq!(Outcome::Contained.to_string(), "contained");
+    }
+}

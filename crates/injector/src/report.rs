@@ -1,0 +1,134 @@
+//! Rendering campaign results: the robustness table of the §3.1 demo and
+//! the XML documents HEALERS ships to its collection server.
+
+use std::fmt::Write as _;
+
+use cdecl::xml::XmlWriter;
+
+use crate::outcome::Outcome;
+use crate::search::CampaignResult;
+
+/// Renders the campaign as a fixed-width text table: one row per
+/// function, failure counts by class, and the derived safe types.
+pub fn render_table(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Robustness campaign over {} — {} functions, {} injected calls, {} failures",
+        result.library,
+        result.reports.len(),
+        result.total_tests(),
+        result.total_failures()
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
+        "function", "tests", "crash", "abort", "hang", "resid", "derived robust argument types"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    for r in &result.reports {
+        if r.skipped {
+            let _ = writeln!(out, "{:<14} {:>6}  (skipped: terminates by contract)", r.name, "-");
+            continue;
+        }
+        let count = |o: Outcome| r.histogram.get(&o).copied().unwrap_or(0);
+        let types = r
+            .params
+            .iter()
+            .map(|p| p.chosen_name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  [{}]{}",
+            r.name,
+            r.tests,
+            count(Outcome::Crash),
+            count(Outcome::Abort),
+            count(Outcome::Hang),
+            r.residual_failures,
+            types,
+            if r.fully_robust { "" } else { "  (!residual)" }
+        );
+    }
+    out
+}
+
+/// Serialises the campaign as a self-describing XML document (the format
+/// sent to the central server in §2.3).
+pub fn to_xml(result: &CampaignResult) -> String {
+    let mut w = XmlWriter::new();
+    w.open(
+        "campaign",
+        &[
+            ("library", result.library.as_str()),
+            ("tests", &result.total_tests().to_string()),
+            ("failures", &result.total_failures().to_string()),
+        ],
+    );
+    for r in &result.reports {
+        w.open(
+            "function",
+            &[
+                ("name", r.name.as_str()),
+                ("tests", &r.tests.to_string()),
+                ("fully-robust", if r.fully_robust { "true" } else { "false" }),
+                ("skipped", if r.skipped { "true" } else { "false" }),
+            ],
+        );
+        for (o, n) in &r.histogram {
+            w.leaf("outcome", &[("kind", o.tag()), ("count", &n.to_string())]);
+        }
+        for (i, p) in r.params.iter().enumerate() {
+            w.open(
+                "param",
+                &[("index", &(i + 1).to_string()), ("robust-type", p.chosen_name.as_str())],
+            );
+            for (rung, failures) in &p.tried {
+                w.leaf(
+                    "rung",
+                    &[("type", rung.as_str()), ("failures", &failures.to_string())],
+                );
+            }
+            w.close();
+        }
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{run_campaign, targets_from_simlibc, CampaignConfig};
+    use simlibc::setup::init_process;
+
+    fn small_result() -> CampaignResult {
+        let targets: Vec<_> = targets_from_simlibc()
+            .into_iter()
+            .filter(|t| ["strlen", "abs", "exit"].contains(&t.name.as_str()))
+            .collect();
+        let config = CampaignConfig { pair_values: 4, fuel: 200_000, ..Default::default() };
+        run_campaign("libsimc.so.1", &targets, init_process, &config)
+    }
+
+    #[test]
+    fn table_mentions_functions_and_types() {
+        let table = render_table(&small_result());
+        assert!(table.contains("strlen"), "{table}");
+        assert!(table.contains("cstr"), "{table}");
+        assert!(table.contains("skipped"), "{table}");
+        assert!(table.contains("injected calls"), "{table}");
+    }
+
+    #[test]
+    fn xml_is_well_formed_enough() {
+        let xml = to_xml(&small_result());
+        assert!(xml.starts_with("<?xml"));
+        assert_eq!(xml.matches("<campaign").count(), 1);
+        assert_eq!(xml.matches("</campaign>").count(), 1);
+        assert_eq!(xml.matches("<function").count(), xml.matches("</function>").count());
+        assert!(xml.contains("robust-type"));
+    }
+}

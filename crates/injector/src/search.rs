@@ -1,0 +1,678 @@
+//! The campaign engine: the weakest-robust-type search of Figure 2.
+
+use std::collections::BTreeMap;
+
+use cdecl::Prototype;
+use simproc::{CVal, Fault, HostFn, Proc};
+use typelattice::{plan, ParamPlan, RobustApi, RobustFunction, SafePred};
+
+use crate::outcome::Outcome;
+use crate::sandbox::{
+    case_seed, materialize, run_case_opts, value_count, CaseKey, Dispatch, ProcFactory,
+};
+
+/// A function under test.
+#[derive(Debug, Clone)]
+pub struct TargetFn {
+    /// Symbol name.
+    pub name: String,
+    /// Parsed prototype.
+    pub proto: Prototype,
+    /// Host implementation.
+    pub imp: HostFn,
+}
+
+/// All of `libsimc.so.1` as campaign targets.
+pub fn targets_from_simlibc() -> Vec<TargetFn> {
+    simlibc::symbols()
+        .iter()
+        .zip(simlibc::prototypes())
+        .map(|(s, proto)| TargetFn { name: s.name.to_string(), proto, imp: s.imp })
+        .collect()
+}
+
+/// The math library as campaign targets.
+pub fn targets_from_simmath() -> Vec<TargetFn> {
+    let table = cdecl::TypedefTable::with_builtins();
+    simlibc::math::math_symbols()
+        .iter()
+        .map(|s| TargetFn {
+            name: s.name.to_string(),
+            proto: cdecl::parse_prototype(s.proto, &table).expect("math proto"),
+            imp: s.imp,
+        })
+        .collect()
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Fuel budget per call (the hang watchdog).
+    pub fuel: u64,
+    /// Cap on value indices per parameter in the pairwise validation
+    /// phase (bounds the cross product).
+    pub pair_values: usize,
+    /// Symbols excluded from injection (process-terminating by contract).
+    pub skip: Vec<String>,
+    /// Detect Silent failures (heap-metadata corruption after a
+    /// "successful" call). Disable to ablate: without it, in-arena
+    /// overflows look like passes and relational types are never derived.
+    pub detect_silent: bool,
+    /// Run the pairwise validation phase. Disable to ablate: without it,
+    /// per-parameter search misses relational failures entirely.
+    pub validate_pairs: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2003,
+            fuel: simproc::DEFAULT_CALL_FUEL,
+            pair_values: 8,
+            skip: vec!["exit".into(), "abort".into()],
+            detect_silent: true,
+            validate_pairs: true,
+        }
+    }
+}
+
+/// One recorded robustness failure.
+#[derive(Debug, Clone)]
+pub struct CrashCase {
+    /// Function name.
+    pub func: String,
+    /// Replay key.
+    pub key: CaseKey,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Fault detail, when present.
+    pub fault: Option<Fault>,
+}
+
+/// Per-parameter search result.
+#[derive(Debug, Clone)]
+pub struct ParamResult {
+    /// Rung finally chosen (index into the ladder).
+    pub chosen: usize,
+    /// Name of the chosen rung.
+    pub chosen_name: String,
+    /// `(rung name, failures observed)` for every rung tried.
+    pub tried: Vec<(String, usize)>,
+}
+
+/// Per-function campaign report.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Pretty prototype.
+    pub proto: String,
+    /// Number of injected calls.
+    pub tests: usize,
+    /// Outcome histogram over all injected calls.
+    pub histogram: BTreeMap<Outcome, usize>,
+    /// Per-parameter results.
+    pub params: Vec<ParamResult>,
+    /// Failures remaining after the final validation pass.
+    pub residual_failures: usize,
+    /// `true` when no rung combination contained every failure.
+    pub fully_robust: bool,
+    /// `true` when the function was excluded from injection.
+    pub skipped: bool,
+}
+
+/// The whole campaign's output.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Library name.
+    pub library: String,
+    /// Per-function reports.
+    pub reports: Vec<FunctionReport>,
+    /// The derived robust API (input to wrapper generation).
+    pub api: RobustApi,
+    /// Every robustness failure observed, replayable.
+    pub crashes: Vec<CrashCase>,
+}
+
+impl CampaignResult {
+    /// Total injected calls.
+    pub fn total_tests(&self) -> usize {
+        self.reports.iter().map(|r| r.tests).sum()
+    }
+
+    /// Total robustness failures observed (pre-wrapper).
+    pub fn total_failures(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+/// Runs the fault-injection campaign over `targets`, deriving the robust
+/// API of the library.
+pub fn run_campaign(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let mut reports = Vec::new();
+    let mut functions = Vec::new();
+    let mut crashes = Vec::new();
+
+    for target in targets {
+        if config.skip.iter().any(|s| s == &target.name) {
+            reports.push(FunctionReport {
+                name: target.name.clone(),
+                proto: target.proto.to_string(),
+                tests: 0,
+                histogram: BTreeMap::new(),
+                params: Vec::new(),
+                residual_failures: 0,
+                fully_robust: true,
+                skipped: true,
+            });
+            functions.push(RobustFunction::trivial(target.proto.clone()));
+            continue;
+        }
+        let (report, robust, mut cases) = search_function(target, factory, config);
+        reports.push(report);
+        functions.push(robust);
+        crashes.append(&mut cases);
+    }
+
+    CampaignResult {
+        library: library.to_string(),
+        reports,
+        api: RobustApi { library: library.to_string(), functions },
+        crashes,
+    }
+}
+
+/// [`run_campaign`] fanned out across worker threads, one function per
+/// task. Results are identical to the serial run (every case is
+/// deterministic in the seed and the per-function search is independent);
+/// only wall-clock time changes — the "group of high-end PCs" economics
+/// of §2.2, on one machine.
+pub fn run_campaign_parallel(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    threads: usize,
+) -> CampaignResult {
+    let threads = threads.max(1);
+    let mut slots: Vec<Option<(FunctionReport, RobustFunction, Vec<CrashCase>)>> =
+        (0..targets.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(target) = targets.get(i) else { break };
+                let outcome = if config.skip.iter().any(|s| s == &target.name) {
+                    (
+                        FunctionReport {
+                            name: target.name.clone(),
+                            proto: target.proto.to_string(),
+                            tests: 0,
+                            histogram: BTreeMap::new(),
+                            params: Vec::new(),
+                            residual_failures: 0,
+                            fully_robust: true,
+                            skipped: true,
+                        },
+                        RobustFunction::trivial(target.proto.clone()),
+                        Vec::new(),
+                    )
+                } else {
+                    search_function(target, factory, config)
+                };
+                slots_mutex.lock().expect("slot lock")[i] = Some(outcome);
+            });
+        }
+    });
+
+    let mut reports = Vec::with_capacity(targets.len());
+    let mut functions = Vec::with_capacity(targets.len());
+    let mut crashes = Vec::new();
+    for slot in slots {
+        let (report, robust, mut cases) = slot.expect("every slot filled");
+        reports.push(report);
+        functions.push(robust);
+        crashes.append(&mut cases);
+    }
+    CampaignResult {
+        library: library.to_string(),
+        reports,
+        api: RobustApi { library: library.to_string(), functions },
+        crashes,
+    }
+}
+
+fn record(histogram: &mut BTreeMap<Outcome, usize>, outcome: Outcome) {
+    *histogram.entry(outcome).or_insert(0) += 1;
+}
+
+/// Whether a combo's materialised arguments jointly satisfy the chosen
+/// predicates (evaluated with the allocation-aware oracle, like the
+/// wrapper will).
+fn combo_in_contract(
+    factory: ProcFactory,
+    plans: &[ParamPlan],
+    chosen: &[usize],
+    key: &CaseKey,
+    seed: u64,
+) -> bool {
+    let mut proc = factory();
+    let args = materialize(&mut proc, plans, key, seed);
+    let oracle = simlibc::heap::HeapOracle::new();
+    plans.iter().enumerate().all(|(i, p)| {
+        p.ladder[chosen[i]].pred.check(&proc, &oracle, &args, i)
+    })
+}
+
+fn search_function(
+    target: &TargetFn,
+    factory: ProcFactory,
+    config: &CampaignConfig,
+) -> (FunctionReport, RobustFunction, Vec<CrashCase>) {
+    let plans = plan(&target.proto);
+    let imp = target.imp;
+    let mut call = move |p: &mut Proc, a: &[CVal]| imp(p, a);
+    let mut histogram = BTreeMap::new();
+    let mut tests = 0usize;
+    let mut crashes = Vec::new();
+    let mut chosen = vec![0usize; plans.len()];
+    let mut params = Vec::new();
+
+    // Phase 1: per-parameter ladder climb (others pinned benign).
+    for (i, p) in plans.iter().enumerate() {
+        let mut tried = Vec::new();
+        let mut picked = p.ladder.len() - 1;
+        for (r, rung) in p.ladder.iter().enumerate() {
+            let mut failures = 0usize;
+            let probe_key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: 0 };
+            let n = value_count(factory, &plans, i, r, case_seed(config.seed, &target.name, &probe_key));
+            for k in 0..n {
+                let key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: k };
+                let seed = case_seed(config.seed, &target.name, &key);
+                let out = run_case_opts(
+                    factory,
+                    &plans,
+                    &key,
+                    seed,
+                    config.fuel,
+                    config.detect_silent,
+                    &mut call,
+                );
+                tests += 1;
+                record(&mut histogram, out.outcome);
+                if out.outcome.is_failure() {
+                    failures += 1;
+                    crashes.push(CrashCase {
+                        func: target.name.clone(),
+                        key,
+                        outcome: out.outcome,
+                        fault: out.fault,
+                    });
+                }
+            }
+            tried.push((rung.name.clone(), failures));
+            if failures == 0 {
+                picked = r;
+                break;
+            }
+        }
+        chosen[i] = picked;
+        params.push(ParamResult {
+            chosen: picked,
+            chosen_name: plans[i].ladder[picked].name.clone(),
+            tried,
+        });
+    }
+
+    // Phase 2: pairwise validation at the chosen rungs, escalating on
+    // residual failures (catches relational failures the per-parameter
+    // pass cannot see, e.g. strcpy(small_dst, long_src)). Combinations
+    // that jointly violate the chosen predicates are skipped: the
+    // wrapper will reject those, so they are out of contract.
+    let max_escalations: usize = if config.validate_pairs {
+        plans.iter().map(|p| p.ladder.len()).sum()
+    } else {
+        0
+    };
+    // Generator output lengths are context-independent; cache them so the
+    // pairwise phase does not rebuild a scratch process per (param, rung)
+    // per escalation round.
+    let mut count_cache: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    let mut residual = 0usize;
+    for _round in 0..=max_escalations {
+        if !config.validate_pairs {
+            break;
+        }
+        residual = 0;
+        let mut failing_params: Vec<usize> = Vec::new();
+        for i in 0..plans.len() {
+            for j in (i + 1)..plans.len() {
+                let mut cached_count = |param: usize, rung: usize| {
+                    *count_cache.entry((param, rung)).or_insert_with(|| {
+                        let key = CaseKey::Ladder { param, rung_idx: rung, value_idx: 0 };
+                        value_count(
+                            factory,
+                            &plans,
+                            param,
+                            rung,
+                            case_seed(config.seed, &target.name, &key),
+                        )
+                    })
+                };
+                let ni = cached_count(i, chosen[i]).min(config.pair_values);
+                let nj = cached_count(j, chosen[j]).min(config.pair_values);
+                for vi in 0..ni {
+                    for vj in 0..nj {
+                        for j_first in [false, true] {
+                            let key = CaseKey::Pair {
+                                i,
+                                j,
+                                vi,
+                                vj,
+                                j_first,
+                                rungs: chosen.clone(),
+                            };
+                            let seed = case_seed(config.seed, &target.name, &key);
+                            if !combo_in_contract(factory, &plans, &chosen, &key, seed) {
+                                continue;
+                            }
+                            let out = run_case_opts(
+                                factory,
+                                &plans,
+                                &key,
+                                seed,
+                                config.fuel,
+                                config.detect_silent,
+                                &mut call,
+                            );
+                            tests += 1;
+                            record(&mut histogram, out.outcome);
+                            if out.outcome.is_failure() {
+                                residual += 1;
+                                failing_params.push(i);
+                                failing_params.push(j);
+                                crashes.push(CrashCase {
+                                    func: target.name.clone(),
+                                    key,
+                                    outcome: out.outcome,
+                                    fault: out.fault,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if residual == 0 {
+            break;
+        }
+        // Escalate an implicated parameter that still has headroom.
+        let candidate = failing_params
+            .iter()
+            .copied()
+            .find(|&p| chosen[p] + 1 < plans[p].ladder.len())
+            .or_else(|| (0..plans.len()).find(|&p| chosen[p] + 1 < plans[p].ladder.len()));
+        match candidate {
+            Some(p) => chosen[p] += 1,
+            None => break,
+        }
+    }
+
+    // Sync the recorded choices.
+    for (i, pr) in params.iter_mut().enumerate() {
+        pr.chosen = chosen[i];
+        pr.chosen_name = plans[i].ladder[chosen[i]].name.clone();
+    }
+
+    let fully_robust = residual == 0;
+    let preds: Vec<SafePred> = plans
+        .iter()
+        .zip(&chosen)
+        .map(|(p, &r)| p.ladder[r].pred.clone())
+        .collect();
+    let report = FunctionReport {
+        name: target.name.clone(),
+        proto: target.proto.to_string(),
+        tests,
+        histogram,
+        params,
+        residual_failures: residual,
+        fully_robust,
+        skipped: false,
+    };
+    let robust = RobustFunction {
+        proto: target.proto.clone(),
+        preds,
+        fully_robust,
+        skipped: false,
+    };
+    (report, robust, crashes)
+}
+
+/// Replays recorded crash cases through an arbitrary dispatch (typically
+/// a generated wrapper) and reports how many still fail — the
+/// before/after comparison of the paper's §3.1 demo.
+pub fn replay_cases(
+    cases: &[CrashCase],
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    dispatch: &mut dyn FnMut(&str, &mut Proc, &[CVal]) -> Result<CVal, Fault>,
+) -> ReplaySummary {
+    let mut still_failing = 0usize;
+    let mut contained = 0usize;
+    let mut graceful = 0usize;
+    let mut by_function: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for case in cases {
+        let Some(target) = targets.iter().find(|t| t.name == case.func) else {
+            continue;
+        };
+        let plans: Vec<ParamPlan> = plan(&target.proto);
+        let seed = case_seed(config.seed, &case.func, &case.key);
+        let name = case.func.clone();
+        let mut call = |p: &mut Proc, a: &[CVal]| dispatch(&name, p, a);
+        let boxed: Dispatch<'_> = &mut call;
+        let out = run_case_opts(
+            factory,
+            &plans,
+            &case.key,
+            seed,
+            config.fuel,
+            config.detect_silent,
+            boxed,
+        );
+        let entry = by_function.entry(case.func.clone()).or_insert((0, 0));
+        entry.0 += 1;
+        match out.outcome {
+            o if o.is_failure() => {
+                still_failing += 1;
+                entry.1 += 1;
+            }
+            Outcome::Contained => contained += 1,
+            Outcome::GracefulError => graceful += 1,
+            _ => {}
+        }
+    }
+    ReplaySummary { total: cases.len(), still_failing, contained, graceful, by_function }
+}
+
+/// Outcome of replaying crash cases through a wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Cases replayed.
+    pub total: usize,
+    /// Cases that still ended in a robustness failure.
+    pub still_failing: usize,
+    /// Cases the wrapper deliberately contained/terminated.
+    pub contained: usize,
+    /// Cases turned into graceful errno errors.
+    pub graceful: usize,
+    /// Per-function `(replayed, still failing)` breakdown.
+    pub by_function: BTreeMap<String, (usize, usize)>,
+}
+
+impl ReplaySummary {
+    /// Functions with uncontained failures, worst first.
+    pub fn uncontained(&self) -> Vec<(&str, usize, usize)> {
+        let mut v: Vec<_> = self
+            .by_function
+            .iter()
+            .filter(|(_, (_, fail))| *fail > 0)
+            .map(|(f, (total, fail))| (f.as_str(), *fail, *total))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simlibc::setup::init_process;
+
+    fn single_target(name: &str) -> Vec<TargetFn> {
+        targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == name)
+            .collect()
+    }
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn strlen_needs_a_cstr() {
+        let targets = single_target("strlen");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("strlen").unwrap();
+        assert_eq!(f.preds, vec![SafePred::CStr]);
+        assert!(f.fully_robust);
+        assert!(result.total_failures() > 0, "the bare function must have crashed");
+    }
+
+    #[test]
+    fn strcpy_derives_relational_contract() {
+        let targets = single_target("strcpy");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("strcpy").unwrap();
+        assert!(f.fully_robust, "{:?}", result.reports[0]);
+        // dest must be at least strong enough to hold src.
+        match &f.preds[0] {
+            SafePred::HoldsCStrOf { src: 1 } => {}
+            SafePred::NullOr(inner) => {
+                assert_eq!(**inner, SafePred::HoldsCStrOf { src: 1 })
+            }
+            other => panic!("unexpected dest contract: {other:?}"),
+        }
+        assert_eq!(f.preds[1], SafePred::CStr);
+    }
+
+    #[test]
+    fn abs_is_robust_for_any_int() {
+        let targets = single_target("abs");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("abs").unwrap();
+        assert_eq!(f.preds, vec![SafePred::Always]);
+        assert_eq!(result.total_failures(), 0);
+    }
+
+    #[test]
+    fn isalpha_contract_is_char_range() {
+        let targets = single_target("isalpha");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("isalpha").unwrap();
+        assert_eq!(f.preds, vec![SafePred::IntInRange { min: -1, max: 255 }]);
+    }
+
+    #[test]
+    fn div_requires_nonzero_divisor() {
+        let targets = single_target("div");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("div").unwrap();
+        assert_eq!(f.preds[1], SafePred::IntNonZero, "{:?}", result.reports[0].params);
+    }
+
+    #[test]
+    fn time_keeps_null_permissiveness() {
+        let targets = single_target("time");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        let f = result.api.function("time").unwrap();
+        match &f.preds[0] {
+            SafePred::NullOr(_) => {}
+            other => panic!("time(NULL) must stay legal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_list_produces_trivial_contract() {
+        let targets = single_target("exit");
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &quick_config());
+        assert!(result.reports[0].skipped);
+        assert!(result.api.function("exit").unwrap().skipped);
+        assert_eq!(result.total_tests(), 0);
+    }
+
+    #[test]
+    fn replay_through_identity_still_fails() {
+        let targets = single_target("strlen");
+        let config = quick_config();
+        let result = run_campaign("libsimc.so.1", &targets, init_process, &config);
+        let mut dispatch = |name: &str, p: &mut Proc, a: &[CVal]| {
+            let t = simlibc::find_symbol(name).unwrap();
+            (t.imp)(p, a)
+        };
+        let summary = replay_cases(&result.crashes, &targets, init_process, &config, &mut dispatch);
+        assert_eq!(summary.total, result.crashes.len());
+        assert_eq!(summary.still_failing, summary.total, "identity dispatch contains nothing");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let targets: Vec<_> = targets_from_simlibc()
+            .into_iter()
+            .filter(|t| {
+                ["strlen", "strcpy", "isalpha", "abs", "exit", "memset"]
+                    .contains(&t.name.as_str())
+            })
+            .collect();
+        let config = quick_config();
+        let serial = run_campaign("l", &targets, init_process, &config);
+        let parallel = run_campaign_parallel("l", &targets, init_process, &config, 4);
+        assert_eq!(serial.total_tests(), parallel.total_tests());
+        assert_eq!(serial.total_failures(), parallel.total_failures());
+        for (a, b) in serial.reports.iter().zip(&parallel.reports) {
+            assert_eq!(a.name, b.name, "order preserved");
+            assert_eq!(a.histogram, b.histogram, "{}", a.name);
+            assert_eq!(a.skipped, b.skipped);
+        }
+        for (a, b) in serial.api.functions.iter().zip(&parallel.api.functions) {
+            assert_eq!(a.preds, b.preds, "{}", a.proto.name);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let targets = single_target("strncpy");
+        let config = quick_config();
+        let r1 = run_campaign("l", &targets, init_process, &config);
+        let r2 = run_campaign("l", &targets, init_process, &config);
+        assert_eq!(r1.total_tests(), r2.total_tests());
+        assert_eq!(r1.total_failures(), r2.total_failures());
+        assert_eq!(
+            r1.api.function("strncpy").unwrap().preds,
+            r2.api.function("strncpy").unwrap().preds
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Application inspection — the §3.2 demo and Figure 4: "Our toolkit can
+//! automatically extract the list of libraries linked to this application
+//! as well as the list of undefined functions in the application."
+
+use std::fmt::Write as _;
+
+use cdecl::xml::XmlWriter;
+
+use crate::library::Executable;
+use crate::loader::System;
+
+/// What inspection found for one executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppInfo {
+    /// Program name.
+    pub name: String,
+    /// `(soname, installed?)` for each `DT_NEEDED` entry.
+    pub libraries: Vec<(String, bool)>,
+    /// `(symbol, providing library if any)` for each undefined symbol.
+    pub undefined: Vec<(String, Option<String>)>,
+    /// Whether the program is setuid root (drives wrapper choice:
+    /// security wrapper for root processes, per Figure 1).
+    pub setuid_root: bool,
+}
+
+/// Inspects an executable against a system's library list.
+pub fn inspect(system: &System, exe: &Executable) -> AppInfo {
+    let libraries = exe
+        .needed
+        .iter()
+        .map(|soname| (soname.clone(), system.library(soname).is_some()))
+        .collect();
+    let undefined = exe
+        .undefined
+        .iter()
+        .map(|symbol| {
+            let provider = exe
+                .needed
+                .iter()
+                .find(|soname| {
+                    system
+                        .library(soname)
+                        .map(|l| l.symbol(symbol).is_some())
+                        .unwrap_or(false)
+                })
+                .cloned();
+            (symbol.clone(), provider)
+        })
+        .collect();
+    AppInfo {
+        name: exe.name.clone(),
+        libraries,
+        undefined,
+        setuid_root: exe.setuid_root,
+    }
+}
+
+/// Renders the Figure-4 style listing.
+pub fn render(info: &AppInfo) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Application: {}{}",
+        info.name,
+        if info.setuid_root { "  (setuid root)" } else { "" }
+    );
+    let _ = writeln!(out, "Linked libraries:");
+    for (soname, installed) in &info.libraries {
+        let _ = writeln!(
+            out,
+            "  {} {}",
+            soname,
+            if *installed { "" } else { "(NOT FOUND)" }
+        );
+    }
+    let _ = writeln!(out, "Undefined functions:");
+    for (symbol, provider) in &info.undefined {
+        match provider {
+            Some(lib) => {
+                let _ = writeln!(out, "  {symbol:<16} -> {lib}");
+            }
+            None => {
+                let _ = writeln!(out, "  {symbol:<16} -> UNRESOLVED");
+            }
+        }
+    }
+    out
+}
+
+/// The XML form of the listing (every demo artefact is also a document).
+pub fn to_xml(info: &AppInfo) -> String {
+    let mut w = XmlWriter::new();
+    w.open(
+        "application",
+        &[
+            ("name", info.name.as_str()),
+            ("setuid-root", if info.setuid_root { "true" } else { "false" }),
+        ],
+    );
+    for (soname, installed) in &info.libraries {
+        w.leaf(
+            "library",
+            &[("soname", soname), ("installed", if *installed { "true" } else { "false" })],
+        );
+    }
+    for (symbol, provider) in &info.undefined {
+        match provider {
+            Some(lib) => w.leaf("undefined", &[("symbol", symbol), ("provider", lib)]),
+            None => w.leaf("undefined", &[("symbol", symbol)]),
+        }
+    }
+    w.close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::Fault;
+
+    fn entry(_s: &mut crate::session::Session<'_>) -> Result<i32, Fault> {
+        Ok(0)
+    }
+
+    fn exe() -> Executable {
+        Executable::new(
+            "wordcount",
+            &["libsimc.so.1", "libsimm.so.1", "libmissing.so.9"],
+            &["strtok", "mgcd", "mystery_fn"],
+            entry,
+        )
+        .setuid()
+    }
+
+    #[test]
+    fn inspection_finds_providers_and_gaps() {
+        let system = System::standard();
+        let info = inspect(&system, &exe());
+        assert_eq!(
+            info.libraries,
+            vec![
+                ("libsimc.so.1".to_string(), true),
+                ("libsimm.so.1".to_string(), true),
+                ("libmissing.so.9".to_string(), false),
+            ]
+        );
+        assert_eq!(info.undefined[0], ("strtok".to_string(), Some("libsimc.so.1".into())));
+        assert_eq!(info.undefined[1], ("mgcd".to_string(), Some("libsimm.so.1".into())));
+        assert_eq!(info.undefined[2], ("mystery_fn".to_string(), None));
+        assert!(info.setuid_root);
+    }
+
+    #[test]
+    fn rendering_mentions_everything() {
+        let system = System::standard();
+        let text = render(&inspect(&system, &exe()));
+        assert!(text.contains("wordcount"));
+        assert!(text.contains("setuid root"));
+        assert!(text.contains("libsimc.so.1"));
+        assert!(text.contains("NOT FOUND"));
+        assert!(text.contains("UNRESOLVED"));
+        assert!(text.contains("strtok"));
+    }
+
+    #[test]
+    fn xml_form() {
+        let system = System::standard();
+        let xml = to_xml(&inspect(&system, &exe()));
+        assert!(xml.contains("<application name=\"wordcount\""));
+        assert!(xml.contains("installed=\"false\""));
+        assert!(xml.contains("provider=\"libsimm.so.1\""));
+    }
+}

@@ -1,0 +1,47 @@
+//! # interpose — the dynamic-link loader simulation (paper §2.1, Figure 1)
+//!
+//! "Our software is implemented as a dynamically loadable C library
+//! wrapper. The wrapper sits between an application and the C library. It
+//! intercepts every C library function call from the application."
+//!
+//! This crate reproduces the mechanism:
+//!
+//! * [`SharedLibrary`] — sonames + symbol tables; [`Binding`]s can be raw
+//!   host functions or wrapper closures;
+//! * [`System`] — the installed library list (the §3.1 demo's "list all
+//!   libraries in the system");
+//! * [`Loader`] — `LD_PRELOAD` semantics: wrappers resolve first, in
+//!   order, then the executable's `DT_NEEDED` chain;
+//! * [`Executable`] / [`Session`] / [`run`] — simulated applications that
+//!   call libc by name through the linked image, so a preloaded wrapper
+//!   transparently intercepts them;
+//! * [`inspect`] — the §3.2 application-centric demo (Figure 4).
+//!
+//! ```
+//! use interpose::{Loader, System, Executable, Session};
+//! use simproc::{CVal, Fault};
+//!
+//! fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+//!     let msg = s.literal("hi");
+//!     s.call("puts", &[CVal::Ptr(msg)])?;
+//!     Ok(0)
+//! }
+//!
+//! let system = System::standard();
+//! let exe = Executable::new("hi", &["libsimc.so.1"], &["puts"], entry);
+//! let out = interpose::run(&Loader::new(), &system, &exe).unwrap();
+//! assert_eq!(out.stdout, "hi\n");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod inspect;
+mod library;
+mod loader;
+mod session;
+
+pub use inspect::{inspect, render as render_app_info, to_xml as app_info_xml, AppInfo};
+pub use library::{AppEntry, Binding, Executable, SharedLibrary, Symbol};
+pub use loader::{LinkError, LinkedImage, Loader, ResolvedFrom, System};
+pub use session::{run, RunOutcome, Session};

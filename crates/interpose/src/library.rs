@@ -1,0 +1,237 @@
+//! Shared libraries and executables as the dynamic loader sees them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cdecl::Prototype;
+use simproc::{CVal, Fault, Proc};
+
+/// A callable binding: either a raw host function or a wrapper closure
+/// around one (wrappers capture shared state — stats tables, canary
+/// registries — so they are `Arc<dyn Fn>`).
+#[derive(Clone)]
+pub struct Binding(Arc<dyn Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync>);
+
+impl Binding {
+    /// Wraps a callable.
+    pub fn new(f: impl Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync + 'static) -> Self {
+        Binding(Arc::new(f))
+    }
+
+    /// Binds a plain host function.
+    pub fn from_host(f: simproc::HostFn) -> Self {
+        Binding(Arc::new(f))
+    }
+
+    /// Invokes the binding.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the bound function faults with.
+    pub fn call(&self, proc: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+        (self.0)(proc, args)
+    }
+}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Binding(..)")
+    }
+}
+
+/// One exported symbol of a shared library.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Parsed prototype.
+    pub proto: Prototype,
+    /// The callable behind it.
+    pub binding: Binding,
+}
+
+/// A simulated shared library: a soname plus a symbol table.
+#[derive(Debug, Clone)]
+pub struct SharedLibrary {
+    soname: String,
+    symbols: BTreeMap<String, Symbol>,
+}
+
+impl SharedLibrary {
+    /// Creates an empty library.
+    pub fn new(soname: impl Into<String>) -> Self {
+        SharedLibrary { soname: soname.into(), symbols: BTreeMap::new() }
+    }
+
+    /// The simulated C library (`libsimc.so.1`), with every symbol bound
+    /// to its raw (unprotected) implementation.
+    pub fn simlibc() -> Self {
+        let mut lib = SharedLibrary::new(simlibc::LIB_NAME);
+        for (sym, proto) in simlibc::symbols().iter().zip(simlibc::prototypes()) {
+            lib.define(sym.name, proto, Binding::from_host(sym.imp));
+        }
+        lib
+    }
+
+    /// The simulated math library (`libsimm.so.1`).
+    pub fn simmath() -> Self {
+        let table = cdecl::TypedefTable::with_builtins();
+        let mut lib = SharedLibrary::new(simlibc::math::MATH_LIB_NAME);
+        for sym in simlibc::math::math_symbols() {
+            let proto = cdecl::parse_prototype(sym.proto, &table).expect("math proto");
+            lib.define(sym.name, proto, Binding::from_host(sym.imp));
+        }
+        lib
+    }
+
+    /// The library's soname.
+    pub fn soname(&self) -> &str {
+        &self.soname
+    }
+
+    /// Defines (or replaces) a symbol.
+    pub fn define(&mut self, name: &str, proto: Prototype, binding: Binding) {
+        self.symbols.insert(
+            name.to_string(),
+            Symbol { name: name.to_string(), proto, binding },
+        );
+    }
+
+    /// Looks up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// All symbol names, sorted.
+    pub fn symbol_names(&self) -> Vec<&str> {
+        self.symbols.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of exported symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` if the library exports nothing.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// All prototypes, sorted by name — the input to declaration files.
+    pub fn prototypes(&self) -> Vec<Prototype> {
+        self.symbols.values().map(|s| s.proto.clone()).collect()
+    }
+}
+
+/// The entry point of a simulated application.
+pub type AppEntry = fn(&mut crate::session::Session<'_>) -> Result<i32, Fault>;
+
+/// A simulated executable: name, dependency list (`DT_NEEDED`), undefined
+/// symbols (its PLT imports) and an entry point.
+#[derive(Debug, Clone)]
+pub struct Executable {
+    /// Program name.
+    pub name: String,
+    /// Libraries the executable was linked against.
+    pub needed: Vec<String>,
+    /// Undefined symbols the loader must resolve.
+    pub undefined: Vec<String>,
+    /// Whether the program runs with root privilege (setuid).
+    pub setuid_root: bool,
+    /// The program body.
+    pub entry: AppEntry,
+}
+
+impl Executable {
+    /// Builds an executable description.
+    pub fn new(
+        name: impl Into<String>,
+        needed: &[&str],
+        undefined: &[&str],
+        entry: AppEntry,
+    ) -> Self {
+        Executable {
+            name: name.into(),
+            needed: needed.iter().map(|s| s.to_string()).collect(),
+            undefined: undefined.iter().map(|s| s.to_string()).collect(),
+            setuid_root: false,
+            entry,
+        }
+    }
+
+    /// Marks the executable setuid-root (the §3.4 victim).
+    pub fn setuid(mut self) -> Self {
+        self.setuid_root = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simlibc_library_has_every_symbol() {
+        let lib = SharedLibrary::simlibc();
+        assert_eq!(lib.soname(), "libsimc.so.1");
+        assert_eq!(lib.len(), simlibc::symbols().len());
+        assert!(lib.symbol("strcpy").is_some());
+        assert!(lib.symbol("frobnicate").is_none());
+        assert!(!lib.is_empty());
+        let names = lib.symbol_names();
+        assert!(names.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn simmath_library_loads() {
+        let lib = SharedLibrary::simmath();
+        assert_eq!(lib.soname(), "libsimm.so.1");
+        assert!(lib.symbol("mgcd").is_some());
+        assert_eq!(lib.len(), 5);
+    }
+
+    #[test]
+    fn binding_dispatches() {
+        let lib = SharedLibrary::simlibc();
+        let mut p = simlibc::setup::init_process();
+        let s = p.alloc_cstr("four");
+        let sym = lib.symbol("strlen").unwrap();
+        let r = sym.binding.call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        assert_eq!(r, CVal::Int(4));
+    }
+
+    #[test]
+    fn define_replaces() {
+        let mut lib = SharedLibrary::new("test.so");
+        let proto = cdecl::parse_prototype(
+            "int answer(void);",
+            &cdecl::TypedefTable::with_builtins(),
+        )
+        .unwrap();
+        lib.define("answer", proto.clone(), Binding::new(|_, _| Ok(CVal::Int(1))));
+        lib.define("answer", proto, Binding::new(|_, _| Ok(CVal::Int(42))));
+        assert_eq!(lib.len(), 1);
+        let mut p = simproc::Proc::new();
+        let r = lib.symbol("answer").unwrap().binding.call(&mut p, &[]).unwrap();
+        assert_eq!(r, CVal::Int(42));
+    }
+
+    fn dummy_entry(_s: &mut crate::session::Session<'_>) -> Result<i32, Fault> {
+        Ok(0)
+    }
+
+    #[test]
+    fn executable_description() {
+        let exe = Executable::new(
+            "netd",
+            &["libsimc.so.1"],
+            &["strcpy", "malloc"],
+            dummy_entry,
+        )
+        .setuid();
+        assert!(exe.setuid_root);
+        assert_eq!(exe.needed, vec!["libsimc.so.1"]);
+        assert_eq!(exe.undefined.len(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! The dynamic link loader: symbol resolution with `LD_PRELOAD`
+//! semantics. "On most Unix systems a user interested in using a wrapper
+//! can preload it by defining the LD_PRELOAD environment variable ... a
+//! system administrator can enable a wrapper on a system wide basis
+//! through a dynamic link loader" (§2.1, Figure 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::library::{Executable, SharedLibrary, Symbol};
+
+/// The set of shared libraries installed on the simulated system —
+/// what the §3.1 demo lists ("Our toolkit can list all libraries in the
+/// system").
+#[derive(Debug, Clone, Default)]
+pub struct System {
+    libraries: Vec<SharedLibrary>,
+    /// Wrappers enabled system-wide by the administrator ("through a
+    /// dynamic link loader", §2.1) — they interpose every load, after
+    /// any per-process `LD_PRELOAD` entries.
+    system_preload: Vec<SharedLibrary>,
+}
+
+impl System {
+    /// An empty system.
+    pub fn new() -> Self {
+        System::default()
+    }
+
+    /// The standard simulated system: libc + libm.
+    pub fn standard() -> Self {
+        let mut s = System::new();
+        s.install(SharedLibrary::simlibc());
+        s.install(SharedLibrary::simmath());
+        s
+    }
+
+    /// Installs a library (system-wide).
+    pub fn install(&mut self, lib: SharedLibrary) {
+        self.libraries.push(lib);
+    }
+
+    /// All installed libraries.
+    pub fn libraries(&self) -> &[SharedLibrary] {
+        &self.libraries
+    }
+
+    /// Finds a library by soname.
+    pub fn library(&self, soname: &str) -> Option<&SharedLibrary> {
+        self.libraries.iter().find(|l| l.soname() == soname)
+    }
+
+    /// Enables a wrapper system-wide: every subsequently loaded
+    /// executable resolves symbols through it, regardless of its own
+    /// `LD_PRELOAD`.
+    pub fn enable_system_wide(&mut self, wrapper: SharedLibrary) {
+        self.system_preload.push(wrapper);
+    }
+
+    /// The system-wide wrapper list.
+    pub fn system_preloaded(&self) -> &[SharedLibrary] {
+        &self.system_preload
+    }
+}
+
+/// A link-time failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A `DT_NEEDED` library is not installed.
+    MissingLibrary {
+        /// The missing soname.
+        soname: String,
+    },
+    /// An undefined symbol could not be resolved in any searched library.
+    UnresolvedSymbol {
+        /// The symbol name.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::MissingLibrary { soname } => {
+                write!(f, "error while loading shared libraries: {soname}: cannot open")
+            }
+            LinkError::UnresolvedSymbol { symbol } => {
+                write!(f, "undefined symbol: {symbol}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Where a symbol was resolved from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedFrom {
+    /// soname of the providing library.
+    pub library: String,
+    /// `true` if the provider was a preloaded wrapper.
+    pub preloaded: bool,
+}
+
+/// A fully linked process image: every undefined symbol bound.
+#[derive(Debug, Clone)]
+pub struct LinkedImage {
+    /// The executable's name.
+    pub name: String,
+    bindings: BTreeMap<String, (Symbol, ResolvedFrom)>,
+}
+
+impl LinkedImage {
+    /// The binding for `symbol`, if the executable imports it.
+    pub fn lookup(&self, symbol: &str) -> Option<&Symbol> {
+        self.bindings.get(symbol).map(|(s, _)| s)
+    }
+
+    /// Which library provided `symbol`.
+    pub fn provider(&self, symbol: &str) -> Option<&ResolvedFrom> {
+        self.bindings.get(symbol).map(|(_, p)| p)
+    }
+
+    /// All imported symbols, sorted.
+    pub fn imports(&self) -> Vec<&str> {
+        self.bindings.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// The loader: an ordered preload list (wrappers) ahead of the system
+/// search path — `LD_PRELOAD` exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Loader {
+    preload: Vec<SharedLibrary>,
+}
+
+impl Loader {
+    /// A loader with an empty preload list.
+    pub fn new() -> Self {
+        Loader::default()
+    }
+
+    /// Appends a wrapper library to `LD_PRELOAD`.
+    pub fn preload(&mut self, wrapper: SharedLibrary) -> &mut Self {
+        self.preload.push(wrapper);
+        self
+    }
+
+    /// The current preload list.
+    pub fn preloaded(&self) -> &[SharedLibrary] {
+        &self.preload
+    }
+
+    /// Resolves one symbol: preload list first (in order), then the
+    /// executable's `DT_NEEDED` libraries (in order).
+    fn resolve(
+        &self,
+        system: &System,
+        exe: &Executable,
+        symbol: &str,
+    ) -> Result<(Symbol, ResolvedFrom), LinkError> {
+        for lib in self.preload.iter().chain(&system.system_preload) {
+            if let Some(sym) = lib.symbol(symbol) {
+                return Ok((
+                    sym.clone(),
+                    ResolvedFrom { library: lib.soname().to_string(), preloaded: true },
+                ));
+            }
+        }
+        for soname in &exe.needed {
+            let lib = system
+                .library(soname)
+                .ok_or_else(|| LinkError::MissingLibrary { soname: soname.clone() })?;
+            if let Some(sym) = lib.symbol(symbol) {
+                return Ok((
+                    sym.clone(),
+                    ResolvedFrom { library: soname.clone(), preloaded: false },
+                ));
+            }
+        }
+        Err(LinkError::UnresolvedSymbol { symbol: symbol.to_string() })
+    }
+
+    /// Links an executable against the system, producing a runnable
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] when a needed library or symbol is missing.
+    pub fn load(&self, system: &System, exe: &Executable) -> Result<LinkedImage, LinkError> {
+        // Missing NEEDED libraries fail even with no symbols to resolve.
+        for soname in &exe.needed {
+            if system.library(soname).is_none() {
+                return Err(LinkError::MissingLibrary { soname: soname.clone() });
+            }
+        }
+        let mut bindings = BTreeMap::new();
+        for symbol in &exe.undefined {
+            let resolved = self.resolve(system, exe, symbol)?;
+            bindings.insert(symbol.clone(), resolved);
+        }
+        Ok(LinkedImage { name: exe.name.clone(), bindings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Binding;
+    use simproc::{CVal, Fault};
+
+    fn entry(_s: &mut crate::session::Session<'_>) -> Result<i32, Fault> {
+        Ok(0)
+    }
+
+    fn sample_exe() -> Executable {
+        Executable::new("app", &["libsimc.so.1", "libsimm.so.1"], &["strlen", "mgcd"], entry)
+    }
+
+    #[test]
+    fn standard_system_lists_libraries() {
+        let system = System::standard();
+        let names: Vec<_> = system.libraries().iter().map(|l| l.soname()).collect();
+        assert_eq!(names, vec!["libsimc.so.1", "libsimm.so.1"]);
+        assert!(system.library("libsimc.so.1").is_some());
+        assert!(system.library("libdoesnot.so").is_none());
+    }
+
+    #[test]
+    fn plain_link_resolves_from_needed() {
+        let system = System::standard();
+        let image = Loader::new().load(&system, &sample_exe()).unwrap();
+        assert_eq!(image.imports(), vec!["mgcd", "strlen"]);
+        let from = image.provider("strlen").unwrap();
+        assert_eq!(from.library, "libsimc.so.1");
+        assert!(!from.preloaded);
+        assert_eq!(image.provider("mgcd").unwrap().library, "libsimm.so.1");
+    }
+
+    #[test]
+    fn preload_interposes() {
+        let system = System::standard();
+        let mut wrapper = SharedLibrary::new("libhealers_robust.so");
+        let proto = simlibc::prototypes()
+            .into_iter()
+            .find(|p| p.name == "strlen")
+            .unwrap();
+        wrapper.define("strlen", proto, Binding::new(|_, _| Ok(CVal::Int(-7))));
+        let mut loader = Loader::new();
+        loader.preload(wrapper);
+        let image = loader.load(&system, &sample_exe()).unwrap();
+        let from = image.provider("strlen").unwrap();
+        assert!(from.preloaded);
+        assert_eq!(from.library, "libhealers_robust.so");
+        // mgcd is untouched by the wrapper — falls through to libm.
+        assert!(!image.provider("mgcd").unwrap().preloaded);
+        // And the interposed binding is the wrapper's.
+        let mut p = simlibc::setup::init_process();
+        let r = image.lookup("strlen").unwrap().binding.call(&mut p, &[]).unwrap();
+        assert_eq!(r, CVal::Int(-7));
+    }
+
+    #[test]
+    fn preload_order_first_wins() {
+        let system = System::standard();
+        let proto = simlibc::prototypes()
+            .into_iter()
+            .find(|p| p.name == "strlen")
+            .unwrap();
+        let mut w1 = SharedLibrary::new("w1.so");
+        w1.define("strlen", proto.clone(), Binding::new(|_, _| Ok(CVal::Int(1))));
+        let mut w2 = SharedLibrary::new("w2.so");
+        w2.define("strlen", proto, Binding::new(|_, _| Ok(CVal::Int(2))));
+        let mut loader = Loader::new();
+        loader.preload(w1).preload(w2);
+        let image = loader.load(&system, &sample_exe()).unwrap();
+        assert_eq!(image.provider("strlen").unwrap().library, "w1.so");
+    }
+
+    #[test]
+    fn system_wide_wrapper_interposes_every_load() {
+        let mut system = System::standard();
+        let proto = simlibc::prototypes()
+            .into_iter()
+            .find(|p| p.name == "strlen")
+            .unwrap();
+        let mut admin = SharedLibrary::new("libadmin_wrap.so");
+        admin.define("strlen", proto.clone(), Binding::new(|_, _| Ok(CVal::Int(-99))));
+        system.enable_system_wide(admin);
+        assert_eq!(system.system_preloaded().len(), 1);
+
+        // No per-process preload, yet the wrapper interposes.
+        let image = Loader::new().load(&system, &sample_exe()).unwrap();
+        assert_eq!(image.provider("strlen").unwrap().library, "libadmin_wrap.so");
+
+        // Per-process LD_PRELOAD still takes precedence over the
+        // system-wide entry.
+        let mut user = SharedLibrary::new("libuser_wrap.so");
+        user.define("strlen", proto, Binding::new(|_, _| Ok(CVal::Int(-1))));
+        let mut loader = Loader::new();
+        loader.preload(user);
+        let image = loader.load(&system, &sample_exe()).unwrap();
+        assert_eq!(image.provider("strlen").unwrap().library, "libuser_wrap.so");
+    }
+
+    #[test]
+    fn missing_library_fails() {
+        let system = System::new(); // nothing installed
+        let err = Loader::new().load(&system, &sample_exe()).unwrap_err();
+        assert!(matches!(err, LinkError::MissingLibrary { .. }));
+        assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn unresolved_symbol_fails() {
+        let system = System::standard();
+        let exe = Executable::new("bad", &["libsimc.so.1"], &["no_such_fn"], entry);
+        let err = Loader::new().load(&system, &exe).unwrap_err();
+        assert_eq!(err, LinkError::UnresolvedSymbol { symbol: "no_such_fn".into() });
+    }
+}

@@ -1,0 +1,220 @@
+//! A running, linked application: the paper's Figure 1 at work. The
+//! application calls C library functions by name; every call dispatches
+//! through the linked image, i.e. through whatever wrapper was preloaded.
+
+use simproc::{CVal, Fault, Proc, VirtAddr};
+
+use crate::library::Executable;
+use crate::loader::{LinkedImage, LinkError, Loader, System};
+
+/// The runtime context handed to a simulated application's entry point.
+#[derive(Debug)]
+pub struct Session<'a> {
+    proc: &'a mut Proc,
+    image: &'a LinkedImage,
+}
+
+impl<'a> Session<'a> {
+    /// Builds a session over a linked image.
+    pub fn new(proc: &'a mut Proc, image: &'a LinkedImage) -> Self {
+        Session { proc, image }
+    }
+
+    /// The simulated process.
+    pub fn proc(&mut self) -> &mut Proc {
+        self.proc
+    }
+
+    /// Calls an imported C library function by name — the PLT.
+    ///
+    /// # Errors
+    ///
+    /// Faults from the callee (or the wrapper containing it);
+    /// [`Fault::Abort`] if the symbol was not in the import list.
+    pub fn call(&mut self, symbol: &str, args: &[CVal]) -> Result<CVal, Fault> {
+        match self.image.lookup(symbol) {
+            Some(sym) => sym.binding.call(self.proc, args),
+            None => Err(Fault::abort(format!(
+                "call through unresolved PLT entry `{symbol}`"
+            ))),
+        }
+    }
+
+    /// Convenience: places a NUL-terminated string and returns its
+    /// address (stand-in for a string literal in the app's binary).
+    pub fn literal(&mut self, s: &str) -> VirtAddr {
+        self.proc.alloc_cstr_literal(s)
+    }
+
+    /// Convenience: a writable data buffer of `n` zeroed bytes (stand-in
+    /// for a static buffer in the app's .bss).
+    pub fn static_buf(&mut self, n: u64) -> VirtAddr {
+        self.proc.alloc_data_zeroed(n)
+    }
+
+    /// Convenience: `malloc` through the (possibly wrapped) allocator.
+    ///
+    /// # Errors
+    ///
+    /// Faults from the allocator.
+    pub fn malloc(&mut self, n: u64) -> Result<VirtAddr, Fault> {
+        Ok(self.call("malloc", &[CVal::Int(n as i64)])?.as_ptr())
+    }
+
+    /// Reads a C string (host-side view, for assertions inside apps).
+    pub fn read_str(&mut self, addr: VirtAddr) -> String {
+        self.proc.read_cstr_lossy(addr)
+    }
+}
+
+/// The outcome of running an application to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Exit status: `Ok(code)` from a clean return or `exit()`, or the
+    /// fatal fault.
+    pub status: Result<i32, Fault>,
+    /// Captured stdout text.
+    pub stdout: String,
+    /// Whether the attacker's shell flag was set during the run.
+    pub shell_spawned: bool,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+impl RunOutcome {
+    /// `true` for a clean zero exit.
+    pub fn success(&self) -> bool {
+        matches!(self.status, Ok(0))
+    }
+}
+
+/// Links and runs an executable on a fresh simulated process.
+///
+/// # Errors
+///
+/// [`LinkError`] if linking fails; runtime faults are reported inside
+/// [`RunOutcome`], not as an `Err` (the process ran, then died).
+pub fn run(
+    loader: &Loader,
+    system: &System,
+    exe: &Executable,
+) -> Result<RunOutcome, LinkError> {
+    let image = loader.load(system, exe)?;
+    let mut proc = simlibc::setup::init_process();
+    proc.kernel.root_privilege = exe.setuid_root;
+    let entry = exe.entry;
+    let status = {
+        let mut session = Session::new(&mut proc, &image);
+        match entry(&mut session) {
+            Ok(code) => Ok(code),
+            Err(Fault::Exit(code)) => Ok(code),
+            Err(fault) => Err(fault),
+        }
+    };
+    Ok(RunOutcome {
+        status,
+        stdout: proc.kernel.stdout_text(),
+        shell_spawned: proc.kernel.shell_spawned,
+        cycles: proc.cycles(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Executable;
+
+    fn hello_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let msg = s.literal("hello from the app");
+        s.call("puts", &[CVal::Ptr(msg)])?;
+        Ok(0)
+    }
+
+    fn hello_exe() -> Executable {
+        Executable::new("hello", &["libsimc.so.1"], &["puts"], hello_entry)
+    }
+
+    #[test]
+    fn runs_a_hello_world() {
+        let system = System::standard();
+        let out = run(&Loader::new(), &system, &hello_exe()).unwrap();
+        assert!(out.success(), "{:?}", out.status);
+        assert_eq!(out.stdout, "hello from the app\n");
+        assert!(!out.shell_spawned);
+        assert!(out.cycles > 0);
+    }
+
+    fn crasher_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        s.call("strlen", &[CVal::NULL])?;
+        Ok(0)
+    }
+
+    #[test]
+    fn app_crash_is_reported_in_outcome() {
+        let system = System::standard();
+        let exe = Executable::new("crasher", &["libsimc.so.1"], &["strlen"], crasher_entry);
+        let out = run(&Loader::new(), &system, &exe).unwrap();
+        assert!(matches!(out.status, Err(Fault::Segv { .. })));
+    }
+
+    fn exiter_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        s.call("exit", &[CVal::Int(7)])?;
+        unreachable!("exit does not return");
+    }
+
+    #[test]
+    fn exit_maps_to_status() {
+        let system = System::standard();
+        let exe = Executable::new("exiter", &["libsimc.so.1"], &["exit"], exiter_entry);
+        let out = run(&Loader::new(), &system, &exe).unwrap();
+        assert_eq!(out.status, Ok(7));
+    }
+
+    fn unresolved_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        s.call("not_imported", &[])?;
+        Ok(0)
+    }
+
+    #[test]
+    fn calling_unimported_symbol_aborts() {
+        let system = System::standard();
+        let exe = Executable::new("bad", &["libsimc.so.1"], &[], unresolved_entry);
+        let out = run(&Loader::new(), &system, &exe).unwrap();
+        assert!(matches!(out.status, Err(Fault::Abort { .. })));
+    }
+
+    fn setuid_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        assert!(s.proc().kernel.root_privilege);
+        Ok(0)
+    }
+
+    #[test]
+    fn setuid_marks_root() {
+        let system = System::standard();
+        let exe =
+            Executable::new("rootd", &["libsimc.so.1"], &[], setuid_entry).setuid();
+        let out = run(&Loader::new(), &system, &exe).unwrap();
+        assert!(out.success());
+    }
+
+    fn malloc_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let buf = s.malloc(64)?;
+        let msg = s.literal("data");
+        s.call("strcpy", &[CVal::Ptr(buf), CVal::Ptr(msg)])?;
+        assert_eq!(s.read_str(buf), "data");
+        Ok(0)
+    }
+
+    #[test]
+    fn session_helpers_work() {
+        let system = System::standard();
+        let exe = Executable::new(
+            "alloc",
+            &["libsimc.so.1"],
+            &["malloc", "strcpy"],
+            malloc_entry,
+        );
+        let out = run(&Loader::new(), &system, &exe).unwrap();
+        assert!(out.success(), "{:?}", out.status);
+    }
+}

@@ -1,0 +1,135 @@
+//! The self-describing XML documents of §2.3: "the gathered information
+//! sent to the server is in form of a self-describing XML document. The
+//! server can extract from the document which functions were wrapped and
+//! what kind of information was collected."
+
+use cdecl::xml::XmlWriter;
+use simproc::errno::errno_name;
+
+use crate::stats::Snapshot;
+
+/// Serialises a profiling snapshot into the self-describing document
+/// format. `app` names the profiled application, `wrapper` the wrapper
+/// type that collected the data.
+pub fn to_xml(app: &str, wrapper: &str, snap: &Snapshot) -> String {
+    let mut w = XmlWriter::new();
+    w.open(
+        "healers-profile",
+        &[
+            ("application", app),
+            ("wrapper", wrapper),
+            ("total-calls", &snap.total_calls().to_string()),
+            ("total-cycles", &snap.total_cycles.to_string()),
+        ],
+    );
+    w.open("collected", &[]);
+    w.leaf("metric", &[("name", "call-counter")]);
+    w.leaf("metric", &[("name", "function-exectime")]);
+    w.leaf("metric", &[("name", "func-errors")]);
+    w.leaf("metric", &[("name", "collect-errors")]);
+    w.close();
+    for (name, f) in &snap.per_func {
+        w.open(
+            "function",
+            &[
+                ("name", name.as_str()),
+                ("calls", &f.calls.to_string()),
+                ("cycles", &f.cycles.to_string()),
+                ("time-share", &format!("{:.2}", snap.time_share(name))),
+            ],
+        );
+        for (e, n) in &f.errnos {
+            w.leaf(
+                "error",
+                &[
+                    ("errno", &e.to_string()),
+                    ("name", errno_name(*e)),
+                    ("count", &n.to_string()),
+                ],
+            );
+        }
+        w.close();
+    }
+    w.open("errno-distribution", &[]);
+    for (e, n) in &snap.global_errnos {
+        w.leaf(
+            "error",
+            &[
+                ("errno", &e.to_string()),
+                ("name", errno_name(*e)),
+                ("count", &n.to_string()),
+            ],
+        );
+    }
+    w.close();
+    w.close();
+    w.finish()
+}
+
+/// Minimal reader for documents produced by [`to_xml`] — what the
+/// collection server uses to index submissions. Returns
+/// `(application, wrapper, wrapped function names)`.
+pub fn parse_header_fields(doc: &str) -> Option<(String, String, Vec<String>)> {
+    fn attr_after<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("{key}=\"");
+        let start = s.find(&pat)? + pat.len();
+        let end = s[start..].find('"')? + start;
+        Some(&s[start..end])
+    }
+    let open = doc.find("<healers-profile")?;
+    let tag_end = doc[open..].find('>')? + open;
+    let tag = &doc[open..tag_end];
+    let app = attr_after(tag, "application")?.to_string();
+    let wrapper = attr_after(tag, "wrapper")?.to_string();
+    let mut funcs = Vec::new();
+    let mut rest = &doc[tag_end..];
+    while let Some(pos) = rest.find("<function ") {
+        let seg_end = rest[pos..].find('>').map(|e| e + pos)?;
+        if let Some(name) = attr_after(&rest[pos..seg_end], "name") {
+            funcs.push(name.to_string());
+        }
+        rest = &rest[seg_end..];
+    }
+    Some((app, wrapper, funcs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn sample() -> Snapshot {
+        let stats = Stats::new();
+        stats.record_call("strcpy", 500, None);
+        stats.record_call("fopen", 500, Some(simproc::errno::ENOENT));
+        stats.snapshot()
+    }
+
+    #[test]
+    fn doc_is_self_describing() {
+        let doc = to_xml("wordcount", "profiling", &sample());
+        assert!(doc.contains("application=\"wordcount\""), "{doc}");
+        assert!(doc.contains("wrapper=\"profiling\""));
+        assert!(doc.contains("call-counter"));
+        assert!(doc.contains("function-exectime"));
+        assert!(doc.contains("<function name=\"strcpy\""));
+        assert!(doc.contains("time-share=\"50.00\""));
+        assert!(doc.contains("name=\"ENOENT\""));
+        assert!(doc.contains("errno-distribution"));
+    }
+
+    #[test]
+    fn header_fields_roundtrip() {
+        let doc = to_xml("app1", "profiling", &sample());
+        let (app, wrapper, funcs) = parse_header_fields(&doc).unwrap();
+        assert_eq!(app, "app1");
+        assert_eq!(wrapper, "profiling");
+        assert_eq!(funcs, vec!["fopen", "strcpy"]);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_header_fields("not xml at all").is_none());
+        assert!(parse_header_fields("<healers-profile foo=\"1\">").is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! # profiler — the profiling wrapper's runtime (paper §3.3, Figure 5)
+//!
+//! The profiling wrapper "gives a detailed report on what kind of errors
+//! occurred, how frequently they occurred, and what were the causes of
+//! errors (based on errno)". This crate holds everything behind that:
+//!
+//! * [`Stats`] — the shared table the `call counter`, `function
+//!   exectime`, `func errors` and `collect errors` micro-generators write
+//!   into (cycles come from the simulated process's deterministic
+//!   counter, standing in for `rdtsc`);
+//! * [`to_xml`] — the self-describing XML document shipped at process
+//!   termination (§2.3);
+//! * [`CollectionServer`] — the central server receiving documents from
+//!   many processes over a channel;
+//! * [`render_report`] — the Figure-5 tables (call frequency, time share,
+//!   errno distribution).
+//!
+//! ```
+//! use profiler::{Stats, render_report};
+//!
+//! let stats = Stats::new();
+//! stats.record_call("strcpy", 120, None);
+//! stats.record_call("fopen", 80, Some(simproc::errno::ENOENT));
+//! let report = render_report("myapp", &stats.snapshot());
+//! assert!(report.contains("strcpy"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod doc;
+mod report;
+mod server;
+mod stats;
+
+pub use doc::{parse_header_fields, to_xml};
+pub use report::render_report;
+pub use server::{Collected, CollectionServer, Collector, Submission};
+pub use stats::{FuncStats, Snapshot, Stats};

@@ -1,0 +1,102 @@
+//! Text rendering of profiling data — the tables behind the graphics of
+//! the paper's Figure 5 (call frequency, execution-time share, errno
+//! distribution and causes).
+
+use std::fmt::Write as _;
+
+use simproc::errno::{errno_name, strerror_text};
+
+use crate::stats::Snapshot;
+
+/// Renders the full profiling report for one run.
+pub fn render_report(app: &str, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HEALERS profiling report for `{app}`");
+    let _ = writeln!(
+        out,
+        "{} wrapped calls, {} cycles inside wrapped functions\n",
+        snap.total_calls(),
+        snap.total_cycles
+    );
+
+    let _ = writeln!(out, "Call frequency and execution time:");
+    let _ = writeln!(out, "{:<14} {:>8} {:>12} {:>8}", "function", "calls", "cycles", "time%");
+    let mut by_cycles: Vec<_> = snap.per_func.iter().collect();
+    by_cycles.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+    for (name, f) in by_cycles {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12} {:>7.2}%",
+            name,
+            f.calls,
+            f.cycles,
+            snap.time_share(name)
+        );
+    }
+
+    let _ = writeln!(out, "\nError distribution (causes by errno):");
+    if snap.global_errnos.is_empty() {
+        let _ = writeln!(out, "  (no errors recorded)");
+    }
+    for (e, n) in &snap.global_errnos {
+        let _ = writeln!(
+            out,
+            "  {:>4} {:<10} {:>6}   {}",
+            e,
+            errno_name(*e),
+            n,
+            strerror_text(*e)
+        );
+    }
+
+    let _ = writeln!(out, "\nPer-function error causes:");
+    let mut any = false;
+    for (name, f) in &snap.per_func {
+        for (e, n) in &f.errnos {
+            any = true;
+            let _ = writeln!(out, "  {:<14} {:<10} x{}", name, errno_name(*e), n);
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  (none)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let stats = Stats::new();
+        stats.record_call("strtok", 900, None);
+        stats.record_call("fopen", 100, Some(simproc::errno::ENOENT));
+        let report = render_report("wordcount", &stats.snapshot());
+        assert!(report.contains("wordcount"), "{report}");
+        assert!(report.contains("Call frequency"));
+        assert!(report.contains("strtok"));
+        assert!(report.contains("90.00%"));
+        assert!(report.contains("ENOENT"));
+        assert!(report.contains("No such file or directory"));
+    }
+
+    #[test]
+    fn empty_run_renders() {
+        let report = render_report("idle", &Stats::new().snapshot());
+        assert!(report.contains("no errors recorded"));
+        assert!(report.contains("(none)"));
+    }
+
+    #[test]
+    fn functions_sorted_by_cycles() {
+        let stats = Stats::new();
+        stats.record_call("cheap", 10, None);
+        stats.record_call("costly", 1000, None);
+        let report = render_report("x", &stats.snapshot());
+        let costly = report.find("costly").unwrap();
+        let cheap = report.find("cheap").unwrap();
+        assert!(costly < cheap);
+    }
+}

@@ -1,0 +1,217 @@
+//! The central collection server of §2.3: wrappers running in many
+//! processes ship their self-describing XML documents to one place
+//! "for later processing". Transport here is an in-process channel; the
+//! document format and aggregation are the paper's.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{select, unbounded, Sender};
+
+use crate::doc::parse_header_fields;
+
+/// One accepted submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// Application that was profiled.
+    pub application: String,
+    /// Wrapper type that collected the data.
+    pub wrapper: String,
+    /// Functions the document covers.
+    pub functions: Vec<String>,
+    /// The raw document, stored for later processing.
+    pub document: String,
+}
+
+/// Everything the server gathered by shutdown time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Collected {
+    /// Submissions in arrival order.
+    pub submissions: Vec<Submission>,
+    /// Documents that failed to parse.
+    pub rejected: usize,
+}
+
+impl Collected {
+    /// Submission count per application.
+    pub fn per_application(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for s in &self.submissions {
+            *out.entry(s.application.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Submission count per wrapper type.
+    pub fn per_wrapper(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for s in &self.submissions {
+            *out.entry(s.wrapper.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Handle for submitting documents to a running server. Clones may
+/// outlive the server; submissions after shutdown are refused.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    tx: Sender<String>,
+    closed: Arc<AtomicBool>,
+}
+
+impl Collector {
+    /// Submits one document. Returns `false` if the server has shut down.
+    pub fn submit(&self, document: impl Into<String>) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.tx.send(document.into()).is_ok()
+    }
+}
+
+/// The collection server: a background thread draining a channel. An
+/// explicit stop signal ends the thread even while collector clones are
+/// still alive.
+#[derive(Debug)]
+pub struct CollectionServer {
+    tx: Sender<String>,
+    stop_tx: Option<Sender<()>>,
+    closed: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Collected>>,
+}
+
+impl CollectionServer {
+    /// Starts the server thread.
+    pub fn start() -> Self {
+        let (tx, rx) = unbounded::<String>();
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        let handle = std::thread::spawn(move || {
+            let mut collected = Collected::default();
+            let accept = |doc: String, collected: &mut Collected| {
+                match parse_header_fields(&doc) {
+                    Some((application, wrapper, functions)) => {
+                        collected.submissions.push(Submission {
+                            application,
+                            wrapper,
+                            functions,
+                            document: doc,
+                        });
+                    }
+                    None => collected.rejected += 1,
+                }
+            };
+            loop {
+                select! {
+                    recv(rx) -> msg => match msg {
+                        Ok(doc) => accept(doc, &mut collected),
+                        Err(_) => break,
+                    },
+                    recv(stop_rx) -> _ => {
+                        // Drain whatever is already queued, then stop.
+                        while let Ok(doc) = rx.try_recv() {
+                            accept(doc, &mut collected);
+                        }
+                        break;
+                    }
+                }
+            }
+            collected
+        });
+        CollectionServer {
+            tx,
+            stop_tx: Some(stop_tx),
+            closed: Arc::new(AtomicBool::new(false)),
+            handle: Some(handle),
+        }
+    }
+
+    /// A handle wrappers use to submit documents.
+    pub fn collector(&self) -> Collector {
+        Collector { tx: self.tx.clone(), closed: Arc::clone(&self.closed) }
+    }
+
+    /// Stops accepting documents and returns everything gathered.
+    pub fn shutdown(mut self) -> Collected {
+        self.closed.store(true, Ordering::Release);
+        if let Some(stop) = self.stop_tx.take() {
+            let _ = stop.send(());
+        }
+        self.handle
+            .take()
+            .expect("server running")
+            .join()
+            .expect("collection thread panicked")
+    }
+}
+
+impl Drop for CollectionServer {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::Release);
+        if let Some(stop) = self.stop_tx.take() {
+            let _ = stop.send(());
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::to_xml;
+    use crate::stats::Stats;
+
+    fn doc(app: &str, wrapper: &str) -> String {
+        let stats = Stats::new();
+        stats.record_call("strlen", 10, None);
+        to_xml(app, wrapper, &stats.snapshot())
+    }
+
+    #[test]
+    fn collects_from_multiple_submitters() {
+        let server = CollectionServer::start();
+        let c1 = server.collector();
+        let c2 = server.collector();
+        let t1 = std::thread::spawn(move || {
+            for _ in 0..5 {
+                assert!(c1.submit(doc("app-a", "profiling")));
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for _ in 0..3 {
+                assert!(c2.submit(doc("app-b", "robustness")));
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 8);
+        assert_eq!(collected.per_application()["app-a"], 5);
+        assert_eq!(collected.per_application()["app-b"], 3);
+        assert_eq!(collected.per_wrapper()["profiling"], 5);
+        assert_eq!(collected.rejected, 0);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_fatal() {
+        let server = CollectionServer::start();
+        let c = server.collector();
+        c.submit("garbage");
+        c.submit(doc("ok", "profiling"));
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        assert_eq!(collected.rejected, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_gracefully() {
+        let server = CollectionServer::start();
+        let c = server.collector();
+        let _ = server.shutdown();
+        assert!(!c.submit("late"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Runtime statistics gathered by the profiling wrapper's
+//! micro-generators: call counters, errno histograms and per-function
+//! execution time (deterministic cycles standing in for `rdtsc`).
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use simproc::errno::MAX_ERRNO;
+
+/// Statistics for one wrapped function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncStats {
+    /// Number of calls (`call counter` micro-generator).
+    pub calls: u64,
+    /// Cycles spent inside the function (`function exectime`).
+    pub cycles: u64,
+    /// errno values produced by this function (`func errors`); the key
+    /// `MAX_ERRNO` is the out-of-range bucket, as in Figure 3.
+    pub errnos: BTreeMap<i32, u64>,
+}
+
+/// Statistics for a whole profiled run. Shared by all hooks through an
+/// `Arc`, like the wrapper's globals.
+#[derive(Debug, Default)]
+pub struct Stats {
+    inner: Mutex<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    per_func: BTreeMap<String, FuncStats>,
+    /// Process-wide errno distribution (`collect errors`).
+    global_errnos: BTreeMap<i32, u64>,
+    total_cycles: u64,
+}
+
+/// A snapshot of collected statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Per-function statistics, sorted by name.
+    pub per_func: BTreeMap<String, FuncStats>,
+    /// Process-wide errno distribution.
+    pub global_errnos: BTreeMap<i32, u64>,
+    /// Total cycles spent inside wrapped functions.
+    pub total_cycles: u64,
+}
+
+impl Snapshot {
+    /// Total calls across all functions.
+    pub fn total_calls(&self) -> u64 {
+        self.per_func.values().map(|f| f.calls).sum()
+    }
+
+    /// Percentage of wrapped-function time spent in `name`.
+    pub fn time_share(&self, name: &str) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let cycles = self.per_func.get(name).map(|f| f.cycles).unwrap_or(0);
+        100.0 * cycles as f64 / self.total_cycles as f64
+    }
+}
+
+fn bucket(errno: i32) -> i32 {
+    if !(0..MAX_ERRNO).contains(&errno) {
+        MAX_ERRNO
+    } else {
+        errno
+    }
+}
+
+impl Stats {
+    /// Creates an empty statistics table.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Records one completed call. `errno_changed_to` carries the errno
+    /// value if the call changed errno (the `func errors` /
+    /// `collect errors` condition in Figure 3).
+    pub fn record_call(&self, func: &str, cycles: u64, errno_changed_to: Option<i32>) {
+        let mut inner = self.inner.lock();
+        let entry = inner.per_func.entry(func.to_string()).or_default();
+        entry.calls += 1;
+        entry.cycles += cycles;
+        if let Some(e) = errno_changed_to {
+            *entry.errnos.entry(bucket(e)).or_insert(0) += 1;
+        }
+        inner.total_cycles += cycles;
+        if let Some(e) = errno_changed_to {
+            *inner.global_errnos.entry(bucket(e)).or_insert(0) += 1;
+        }
+    }
+
+    /// `call counter` micro-generator: one more call of `func`.
+    pub fn record_count(&self, func: &str) {
+        let mut inner = self.inner.lock();
+        inner.per_func.entry(func.to_string()).or_default().calls += 1;
+    }
+
+    /// `function exectime` micro-generator: cycles spent inside `func`.
+    pub fn record_cycles(&self, func: &str, cycles: u64) {
+        let mut inner = self.inner.lock();
+        inner.per_func.entry(func.to_string()).or_default().cycles += cycles;
+        inner.total_cycles += cycles;
+    }
+
+    /// `func errors` micro-generator: `func` changed errno to `errno`.
+    pub fn record_func_errno(&self, func: &str, errno: i32) {
+        let mut inner = self.inner.lock();
+        *inner
+            .per_func
+            .entry(func.to_string())
+            .or_default()
+            .errnos
+            .entry(bucket(errno))
+            .or_insert(0) += 1;
+    }
+
+    /// `collect errors` micro-generator: process-wide errno histogram.
+    pub fn record_global_errno(&self, errno: i32) {
+        let mut inner = self.inner.lock();
+        *inner.global_errnos.entry(bucket(errno)).or_insert(0) += 1;
+    }
+
+    /// Takes a consistent snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        Snapshot {
+            per_func: inner.per_func.clone(),
+            global_errnos: inner.global_errnos.clone(),
+            total_cycles: inner.total_cycles,
+        }
+    }
+
+    /// Clears everything (a fresh profiling run).
+    pub fn reset(&self) {
+        *self.inner.lock() = StatsInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::errno::{EINVAL, ENOENT};
+
+    #[test]
+    fn records_calls_cycles_and_errnos() {
+        let stats = Stats::new();
+        stats.record_call("strcpy", 120, None);
+        stats.record_call("strcpy", 80, None);
+        stats.record_call("fopen", 300, Some(ENOENT));
+        stats.record_call("fopen", 100, Some(EINVAL));
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_calls(), 4);
+        assert_eq!(snap.per_func["strcpy"].calls, 2);
+        assert_eq!(snap.per_func["strcpy"].cycles, 200);
+        assert_eq!(snap.per_func["fopen"].errnos[&ENOENT], 1);
+        assert_eq!(snap.global_errnos[&EINVAL], 1);
+        assert_eq!(snap.total_cycles, 600);
+    }
+
+    #[test]
+    fn time_share_sums_to_100() {
+        let stats = Stats::new();
+        stats.record_call("a", 750, None);
+        stats.record_call("b", 250, None);
+        let snap = stats.snapshot();
+        assert!((snap.time_share("a") - 75.0).abs() < 1e-9);
+        assert!((snap.time_share("b") - 25.0).abs() < 1e-9);
+        assert_eq!(snap.time_share("missing"), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_errnos_hit_the_overflow_bucket() {
+        let stats = Stats::new();
+        stats.record_call("f", 1, Some(-3));
+        stats.record_call("f", 1, Some(9999));
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_func["f"].errnos[&MAX_ERRNO], 2);
+    }
+
+    #[test]
+    fn fine_grained_recording_matches_record_call() {
+        let a = Stats::new();
+        a.record_call("f", 100, Some(EINVAL));
+        let b = Stats::new();
+        b.record_count("f");
+        b.record_cycles("f", 100);
+        b.record_func_errno("f", EINVAL);
+        b.record_global_errno(EINVAL);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let stats = Stats::new();
+        stats.record_call("x", 5, None);
+        stats.reset();
+        assert_eq!(stats.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn empty_snapshot_time_share_is_zero() {
+        let snap = Stats::new().snapshot();
+        assert_eq!(snap.time_share("anything"), 0.0);
+        assert_eq!(snap.total_calls(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! `malloc`/`free`/`calloc`/`realloc` as library symbols (thin host-fn
+//! wrappers over the [`crate::heap`] allocator).
+
+use simproc::{CVal, Fault, Proc};
+
+use crate::heap;
+use crate::util::{arg, enter};
+
+/// `void *malloc(size_t size);`
+pub fn malloc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    Ok(CVal::Ptr(heap::malloc(p, arg(args, 0).as_usize())?))
+}
+
+/// `void free(void *ptr);`
+pub fn free(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    heap::free(p, arg(args, 0).as_ptr())?;
+    Ok(CVal::Void)
+}
+
+/// `void *calloc(size_t nmemb, size_t size);`
+pub fn calloc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    Ok(CVal::Ptr(heap::calloc(
+        p,
+        arg(args, 0).as_usize(),
+        arg(args, 1).as_usize(),
+    )?))
+}
+
+/// `void *realloc(void *ptr, size_t size);`
+pub fn realloc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    Ok(CVal::Ptr(heap::realloc(
+        p,
+        arg(args, 0).as_ptr(),
+        arg(args, 1).as_usize(),
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+
+    #[test]
+    fn symbol_forms_delegate() {
+        let mut p = libc_proc();
+        let a = malloc(&mut p, &[CVal::Int(64)]).unwrap();
+        assert!(!a.is_null());
+        p.write_bytes(a.as_ptr(), &[7u8; 64]).unwrap();
+        let b = realloc(&mut p, &[a, CVal::Int(128)]).unwrap();
+        assert_eq!(p.read_bytes(b.as_ptr(), 64).unwrap(), vec![7u8; 64]);
+        free(&mut p, &[b]).unwrap();
+        let c = calloc(&mut p, &[CVal::Int(4), CVal::Int(8)]).unwrap();
+        assert_eq!(p.read_bytes(c.as_ptr(), 32).unwrap(), vec![0u8; 32]);
+        crate::heap::check_invariants(&p).unwrap();
+    }
+
+    #[test]
+    fn free_wild_faults() {
+        let mut p = libc_proc();
+        let err = free(&mut p, &[CVal::Ptr(simproc::layout::WILD_ADDR)]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+}

@@ -1,0 +1,440 @@
+//! `<stdlib.h>` numeric conversions and integer arithmetic.
+
+use simproc::{errno, CVal, Fault, Proc, VirtAddr};
+
+use crate::util::{arg, enter, ok_int};
+
+fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// Shared integer scanner. Returns (value, end address, overflowed).
+fn scan_int(
+    p: &mut Proc,
+    s: VirtAddr,
+    base: u32,
+) -> Result<(i128, VirtAddr, bool), Fault> {
+    let mut cur = s;
+    while is_space(p.read_u8(cur)?) {
+        cur = cur.add(1);
+    }
+    let mut neg = false;
+    match p.read_u8(cur)? {
+        b'-' => {
+            neg = true;
+            cur = cur.add(1);
+        }
+        b'+' => cur = cur.add(1),
+        _ => {}
+    }
+    let mut base = base;
+    if base == 0 {
+        let b0 = p.read_u8(cur)?;
+        if b0 == b'0' {
+            let b1 = p.read_u8(cur.add(1))?;
+            if b1 == b'x' || b1 == b'X' {
+                base = 16;
+                cur = cur.add(2);
+            } else {
+                base = 8;
+                cur = cur.add(1);
+            }
+        } else {
+            base = 10;
+        }
+    } else if base == 16 {
+        // Optional 0x prefix.
+        if p.read_u8(cur)? == b'0' {
+            let b1 = p.read_u8(cur.add(1))?;
+            if b1 == b'x' || b1 == b'X' {
+                cur = cur.add(2);
+            }
+        }
+    }
+    let mut value: i128 = 0;
+    let mut any = false;
+    let mut overflow = false;
+    loop {
+        let b = p.read_u8(cur)?;
+        let digit = match b {
+            b'0'..=b'9' => (b - b'0') as u32,
+            b'a'..=b'z' => (b - b'a' + 10) as u32,
+            b'A'..=b'Z' => (b - b'A' + 10) as u32,
+            _ => break,
+        };
+        if digit >= base {
+            break;
+        }
+        any = true;
+        value = value.saturating_mul(base as i128).saturating_add(digit as i128);
+        if value > u64::MAX as i128 {
+            overflow = true;
+            value = u64::MAX as i128;
+        }
+        cur = cur.add(1);
+    }
+    if !any {
+        // No digits: endptr stays at the original string.
+        return Ok((0, s, false));
+    }
+    Ok((if neg { -value } else { value }, cur, overflow))
+}
+
+/// `int atoi(const char *nptr);` — no error reporting, like the classic.
+pub fn atoi(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let (v, _, _) = scan_int(p, arg(args, 0).as_ptr(), 10)?;
+    ok_int(v as i32 as i64)
+}
+
+/// `long atol(const char *nptr);`
+pub fn atol(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let (v, _, _) = scan_int(p, arg(args, 0).as_ptr(), 10)?;
+    ok_int(v as i64)
+}
+
+/// `long long atoll(const char *nptr);`
+pub fn atoll(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    atol(p, args)
+}
+
+/// `long strtol(const char *nptr, char **endptr, int base);`
+pub fn strtol(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = arg(args, 0).as_ptr();
+    let endptr = arg(args, 1).as_ptr();
+    let base = arg(args, 2).as_int();
+    if base != 0 && !(2..=36).contains(&base) {
+        p.set_errno(errno::EINVAL);
+        if !endptr.is_null() {
+            p.write_ptr(endptr, s)?;
+        }
+        return ok_int(0);
+    }
+    let (v, end, overflow) = scan_int(p, s, base as u32)?;
+    if !endptr.is_null() {
+        p.write_ptr(endptr, end)?; // wild endptr faults here — faithful
+    }
+    let clamped = if overflow || v > i64::MAX as i128 {
+        p.set_errno(errno::ERANGE);
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        p.set_errno(errno::ERANGE);
+        i64::MIN
+    } else {
+        v as i64
+    };
+    ok_int(clamped)
+}
+
+/// `unsigned long strtoul(const char *nptr, char **endptr, int base);`
+pub fn strtoul(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = arg(args, 0).as_ptr();
+    let endptr = arg(args, 1).as_ptr();
+    let base = arg(args, 2).as_int();
+    if base != 0 && !(2..=36).contains(&base) {
+        p.set_errno(errno::EINVAL);
+        if !endptr.is_null() {
+            p.write_ptr(endptr, s)?;
+        }
+        return ok_int(0);
+    }
+    let (v, end, overflow) = scan_int(p, s, base as u32)?;
+    if !endptr.is_null() {
+        p.write_ptr(endptr, end)?;
+    }
+    let out = if overflow {
+        p.set_errno(errno::ERANGE);
+        u64::MAX
+    } else if v < 0 {
+        // strtoul negates, per the standard.
+        (v as i64) as u64
+    } else {
+        v as u64
+    };
+    ok_int(out as i64)
+}
+
+/// Shared float scanner for `strtod`/`atof` (decimal + exponent only).
+fn scan_double(p: &mut Proc, s: VirtAddr) -> Result<(f64, VirtAddr), Fault> {
+    let mut cur = s;
+    while is_space(p.read_u8(cur)?) {
+        cur = cur.add(1);
+    }
+    let mut neg = false;
+    match p.read_u8(cur)? {
+        b'-' => {
+            neg = true;
+            cur = cur.add(1);
+        }
+        b'+' => cur = cur.add(1),
+        _ => {}
+    }
+    let mut int_part = 0f64;
+    let mut any = false;
+    loop {
+        let b = p.read_u8(cur)?;
+        if !b.is_ascii_digit() {
+            break;
+        }
+        any = true;
+        int_part = int_part * 10.0 + (b - b'0') as f64;
+        cur = cur.add(1);
+    }
+    let mut value = int_part;
+    if p.read_u8(cur)? == b'.' {
+        cur = cur.add(1);
+        let mut scale = 0.1;
+        loop {
+            let b = p.read_u8(cur)?;
+            if !b.is_ascii_digit() {
+                break;
+            }
+            any = true;
+            value += (b - b'0') as f64 * scale;
+            scale *= 0.1;
+            cur = cur.add(1);
+        }
+    }
+    if !any {
+        return Ok((0.0, s));
+    }
+    let b = p.read_u8(cur)?;
+    if b == b'e' || b == b'E' {
+        let mut ecur = cur.add(1);
+        let mut eneg = false;
+        match p.read_u8(ecur)? {
+            b'-' => {
+                eneg = true;
+                ecur = ecur.add(1);
+            }
+            b'+' => ecur = ecur.add(1),
+            _ => {}
+        }
+        let mut exp = 0i32;
+        let mut eany = false;
+        loop {
+            let b = p.read_u8(ecur)?;
+            if !b.is_ascii_digit() {
+                break;
+            }
+            eany = true;
+            exp = exp.saturating_mul(10).saturating_add((b - b'0') as i32);
+            ecur = ecur.add(1);
+        }
+        if eany {
+            cur = ecur;
+            value *= 10f64.powi(if eneg { -exp } else { exp });
+        }
+    }
+    Ok((if neg { -value } else { value }, cur))
+}
+
+/// `double strtod(const char *nptr, char **endptr);`
+pub fn strtod(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = arg(args, 0).as_ptr();
+    let endptr = arg(args, 1).as_ptr();
+    let (v, end) = scan_double(p, s)?;
+    if !endptr.is_null() {
+        p.write_ptr(endptr, end)?;
+    }
+    Ok(CVal::F64(v))
+}
+
+/// `double atof(const char *nptr);`
+pub fn atof(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let (v, _) = scan_double(p, arg(args, 0).as_ptr())?;
+    Ok(CVal::F64(v))
+}
+
+/// `int abs(int j);` — `abs(INT_MIN)` wraps, faithfully undefined.
+pub fn abs(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let j = arg(args, 0).as_int() as i32;
+    ok_int(j.wrapping_abs() as i64)
+}
+
+/// `long labs(long j);`
+pub fn labs(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    ok_int(arg(args, 0).as_int().wrapping_abs())
+}
+
+/// `long long llabs(long long j);`
+pub fn llabs(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    labs(p, args)
+}
+
+/// Packs a quotient/remainder pair the way the SysV ABI returns small
+/// structs in a register: quotient in the low 32 bits, remainder in the
+/// high 32 bits. [`unpack_div`] is the host-side accessor.
+pub fn pack_div(quot: i32, rem: i32) -> i64 {
+    ((rem as i64) << 32) | (quot as u32 as i64)
+}
+
+/// Unpacks a [`pack_div`] value into `(quot, rem)`.
+pub fn unpack_div(v: i64) -> (i32, i32) {
+    (v as i32, (v >> 32) as i32)
+}
+
+/// `div_t div(int numerator, int denominator);` — division by zero traps
+/// (SIGFPE), the genuine article.
+pub fn div(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let n = arg(args, 0).as_int() as i32;
+    let d = arg(args, 1).as_int() as i32;
+    if d == 0 {
+        return Err(Fault::DivByZero { context: "div".into() });
+    }
+    ok_int(pack_div(n.wrapping_div(d), n.wrapping_rem(d)))
+}
+
+/// `ldiv_t ldiv(long numerator, long denominator);` — full 64-bit
+/// division; only the quotient is returned in the packed value's low
+/// half when it exceeds 32 bits (documented packing deviation).
+pub fn ldiv(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let n = arg(args, 0).as_int();
+    let d = arg(args, 1).as_int();
+    if d == 0 {
+        return Err(Fault::DivByZero { context: "ldiv".into() });
+    }
+    ok_int(pack_div(n.wrapping_div(d) as i32, n.wrapping_rem(d) as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+
+    #[test]
+    fn atoi_parses() {
+        let mut p = libc_proc();
+        for (text, expect) in [
+            ("42", 42i64),
+            ("  -17", -17),
+            ("+8ab", 8),
+            ("junk", 0),
+            ("", 0),
+            ("2147483647", i32::MAX as i64),
+        ] {
+            let s = p.alloc_cstr(text);
+            assert_eq!(atoi(&mut p, &[CVal::Ptr(s)]).unwrap(), CVal::Int(expect), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn atoi_crashes_on_null() {
+        let mut p = libc_proc();
+        assert!(matches!(atoi(&mut p, &[CVal::NULL]).unwrap_err(), Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn strtol_bases_and_endptr() {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("0x1fz");
+        let endp = p.alloc_data_zeroed(8);
+        let v = strtol(&mut p, &[CVal::Ptr(s), CVal::Ptr(endp), CVal::Int(0)]).unwrap();
+        assert_eq!(v, CVal::Int(0x1f));
+        let end = p.read_ptr(endp).unwrap();
+        assert_eq!(p.read_cstr_lossy(end), "z");
+
+        let oct = p.alloc_cstr("0755");
+        let v = strtol(&mut p, &[CVal::Ptr(oct), CVal::NULL, CVal::Int(0)]).unwrap();
+        assert_eq!(v, CVal::Int(0o755));
+
+        let b36 = p.alloc_cstr("zz");
+        let v = strtol(&mut p, &[CVal::Ptr(b36), CVal::NULL, CVal::Int(36)]).unwrap();
+        assert_eq!(v, CVal::Int(35 * 36 + 35));
+    }
+
+    #[test]
+    fn strtol_range_and_einval() {
+        let mut p = libc_proc();
+        let big = p.alloc_cstr("999999999999999999999999999");
+        let v = strtol(&mut p, &[CVal::Ptr(big), CVal::NULL, CVal::Int(10)]).unwrap();
+        assert_eq!(v, CVal::Int(i64::MAX));
+        assert_eq!(p.errno(), errno::ERANGE);
+
+        p.set_errno(0);
+        let s = p.alloc_cstr("5");
+        let v = strtol(&mut p, &[CVal::Ptr(s), CVal::NULL, CVal::Int(99)]).unwrap();
+        assert_eq!(v, CVal::Int(0));
+        assert_eq!(p.errno(), errno::EINVAL);
+    }
+
+    #[test]
+    fn strtol_wild_endptr_faults() {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("12");
+        let err = strtol(&mut p, &[CVal::Ptr(s), CVal::Ptr(WILD_ADDR), CVal::Int(10)])
+            .unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn strtoul_negation() {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("-1");
+        let v = strtoul(&mut p, &[CVal::Ptr(s), CVal::NULL, CVal::Int(10)]).unwrap();
+        assert_eq!(v.as_usize(), u64::MAX);
+    }
+
+    #[test]
+    fn strtod_parses_floats() {
+        let mut p = libc_proc();
+        for (text, expect) in [
+            ("3.5", 3.5f64),
+            ("-0.25", -0.25),
+            ("1e3", 1000.0),
+            ("2.5e-2", 0.025),
+            ("nonsense", 0.0),
+        ] {
+            let s = p.alloc_cstr(text);
+            let v = strtod(&mut p, &[CVal::Ptr(s), CVal::NULL]).unwrap();
+            assert!((v.as_f64() - expect).abs() < 1e-12, "{text}: {v}");
+        }
+        let s = p.alloc_cstr("1.5suffix");
+        let endp = p.alloc_data_zeroed(8);
+        strtod(&mut p, &[CVal::Ptr(s), CVal::Ptr(endp)]).unwrap();
+        let end = p.read_ptr(endp).unwrap();
+        assert_eq!(p.read_cstr_lossy(end), "suffix");
+    }
+
+    #[test]
+    fn abs_family() {
+        let mut p = libc_proc();
+        assert_eq!(abs(&mut p, &[CVal::Int(-5)]).unwrap(), CVal::Int(5));
+        assert_eq!(abs(&mut p, &[CVal::Int(5)]).unwrap(), CVal::Int(5));
+        // The classic UB: abs(INT_MIN) == INT_MIN.
+        assert_eq!(
+            abs(&mut p, &[CVal::Int(i32::MIN as i64)]).unwrap(),
+            CVal::Int(i32::MIN as i64)
+        );
+        assert_eq!(labs(&mut p, &[CVal::Int(-9)]).unwrap(), CVal::Int(9));
+        assert_eq!(llabs(&mut p, &[CVal::Int(i64::MIN)]).unwrap(), CVal::Int(i64::MIN));
+    }
+
+    #[test]
+    fn div_packs_quot_rem() {
+        let mut p = libc_proc();
+        let v = div(&mut p, &[CVal::Int(17), CVal::Int(5)]).unwrap();
+        assert_eq!(unpack_div(v.as_int()), (3, 2));
+        let v = div(&mut p, &[CVal::Int(-17), CVal::Int(5)]).unwrap();
+        assert_eq!(unpack_div(v.as_int()), (-3, -2));
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut p = libc_proc();
+        let err = div(&mut p, &[CVal::Int(1), CVal::Int(0)]).unwrap_err();
+        assert!(matches!(err, Fault::DivByZero { .. }));
+        let err = ldiv(&mut p, &[CVal::Int(1), CVal::Int(0)]).unwrap_err();
+        assert!(matches!(err, Fault::DivByZero { .. }));
+    }
+}

@@ -1,0 +1,286 @@
+//! `<ctype.h>` — table-driven, with the classic table-indexing fragility.
+//!
+//! Real libcs classify via `__ctype_b[c]`, a table indexed from `-1` (EOF)
+//! to `255`. Calling `isalpha(300)` or `isalpha(-42)` indexes out of the
+//! table — undefined behaviour that Ballista famously caught crashing
+//! several libcs. We reproduce it: the table sits at the **very end of
+//! the read-only data segment**, so a large `c` walks off the mapping and
+//! faults, while a small negative `c` silently reads adjacent garbage.
+
+use simproc::layout::{RODATA_BASE, RODATA_SIZE};
+use simproc::{CVal, Fault, Proc, VirtAddr};
+
+use crate::state::CTYPE_TABLE_PTR;
+use crate::util::{arg, enter, ok_int};
+
+/// Classification flag bits stored in the table.
+pub mod flags {
+    /// Uppercase letter.
+    pub const UPPER: u16 = 1 << 0;
+    /// Lowercase letter.
+    pub const LOWER: u16 = 1 << 1;
+    /// Decimal digit.
+    pub const DIGIT: u16 = 1 << 2;
+    /// Whitespace.
+    pub const SPACE: u16 = 1 << 3;
+    /// Punctuation.
+    pub const PUNCT: u16 = 1 << 4;
+    /// Control character.
+    pub const CNTRL: u16 = 1 << 5;
+    /// Hex digit.
+    pub const XDIGIT: u16 = 1 << 6;
+    /// Blank (space or tab).
+    pub const BLANK: u16 = 1 << 7;
+    /// Printable (including space).
+    pub const PRINT: u16 = 1 << 8;
+}
+
+/// Number of table entries: EOF (−1) through 255.
+pub const TABLE_ENTRIES: u64 = 257;
+
+/// The table's fixed base: flush against the end of rodata so
+/// out-of-range positive indices fault.
+pub fn table_base() -> VirtAddr {
+    RODATA_BASE.add(RODATA_SIZE - TABLE_ENTRIES * 2)
+}
+
+fn classify_host(c: u8) -> u16 {
+    use flags::*;
+    let ch = c as char;
+    let mut f = 0u16;
+    if ch.is_ascii_uppercase() {
+        f |= UPPER;
+    }
+    if ch.is_ascii_lowercase() {
+        f |= LOWER;
+    }
+    if ch.is_ascii_digit() {
+        f |= DIGIT;
+    }
+    if ch.is_ascii_whitespace() || c == 0x0b {
+        f |= SPACE;
+    }
+    if ch.is_ascii_punctuation() {
+        f |= PUNCT;
+    }
+    if ch.is_ascii_control() {
+        f |= CNTRL;
+    }
+    if ch.is_ascii_hexdigit() {
+        f |= XDIGIT;
+    }
+    if c == b' ' || c == b'\t' {
+        f |= BLANK;
+    }
+    if ch.is_ascii_graphic() || c == b' ' {
+        f |= PRINT;
+    }
+    f
+}
+
+/// Writes the classification table into rodata and records its base.
+/// Called once by library initialisation.
+pub fn init_ctype_table(p: &mut Proc) -> Result<(), Fault> {
+    let base = table_base();
+    let mut bytes = Vec::with_capacity(TABLE_ENTRIES as usize * 2);
+    bytes.extend_from_slice(&0u16.to_le_bytes()); // EOF entry
+    for c in 0u16..=255 {
+        bytes.extend_from_slice(&classify_host(c as u8).to_le_bytes());
+    }
+    assert!(p.mem.poke_bytes(base, &bytes), "rodata must be mapped");
+    p.mem.write_u64(CTYPE_TABLE_PTR, base.get())?;
+    Ok(())
+}
+
+/// The raw table lookup every `is*` function performs — with no range
+/// check, like the real macro.
+fn lookup(p: &mut Proc, c: i64) -> Result<u16, Fault> {
+    let base = VirtAddr::new(p.read_u64(CTYPE_TABLE_PTR)?);
+    let slot = base.offset(c.wrapping_add(1).wrapping_mul(2));
+    let lo = p.read_u8(slot)?;
+    let hi = p.read_u8(slot.add(1))?;
+    Ok(u16::from_le_bytes([lo, hi]))
+}
+
+fn is_fn(p: &mut Proc, args: &[CVal], mask: u16) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int();
+    ok_int((lookup(p, c)? & mask != 0) as i64)
+}
+
+/// `int isalpha(int c);`
+pub fn isalpha(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::UPPER | flags::LOWER)
+}
+
+/// `int isupper(int c);`
+pub fn isupper(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::UPPER)
+}
+
+/// `int islower(int c);`
+pub fn islower(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::LOWER)
+}
+
+/// `int isdigit(int c);`
+pub fn isdigit(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::DIGIT)
+}
+
+/// `int isxdigit(int c);`
+pub fn isxdigit(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::XDIGIT)
+}
+
+/// `int isalnum(int c);`
+pub fn isalnum(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::UPPER | flags::LOWER | flags::DIGIT)
+}
+
+/// `int isspace(int c);`
+pub fn isspace(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::SPACE)
+}
+
+/// `int isblank(int c);`
+pub fn isblank(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::BLANK)
+}
+
+/// `int ispunct(int c);`
+pub fn ispunct(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::PUNCT)
+}
+
+/// `int iscntrl(int c);`
+pub fn iscntrl(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::CNTRL)
+}
+
+/// `int isprint(int c);`
+pub fn isprint(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    is_fn(p, args, flags::PRINT)
+}
+
+/// `int isgraph(int c);`
+pub fn isgraph(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int();
+    let f = lookup(p, c)?;
+    ok_int((f & flags::PRINT != 0 && c != b' ' as i64) as i64)
+}
+
+/// `int isascii(int c);` — pure arithmetic, robust for any input (one of
+/// the few; the injector should find no crashes here).
+pub fn isascii(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int();
+    ok_int(((0..=127).contains(&c)) as i64)
+}
+
+/// `int tolower(int c);`
+pub fn tolower(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int();
+    if lookup(p, c)? & flags::UPPER != 0 {
+        ok_int(c + 32)
+    } else {
+        ok_int(c)
+    }
+}
+
+/// `int toupper(int c);`
+pub fn toupper(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int();
+    if lookup(p, c)? & flags::LOWER != 0 {
+        ok_int(c - 32)
+    } else {
+        ok_int(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+
+    #[test]
+    fn classifications_match_ascii() {
+        let mut p = libc_proc();
+        type IsFn = fn(&mut Proc, &[CVal]) -> Result<CVal, Fault>;
+        let cases: &[(IsFn, u8, i64)] = &[
+            (isalpha as _, b'a', 1),
+            (isalpha as _, b'1', 0),
+            (isdigit as _, b'7', 1),
+            (isdigit as _, b'x', 0),
+            (isspace as _, b' ', 1),
+            (isspace as _, b'\n', 1),
+            (isupper as _, b'Q', 1),
+            (islower as _, b'q', 1),
+            (ispunct as _, b'!', 1),
+            (iscntrl as _, 0x07, 1),
+            (isxdigit as _, b'f', 1),
+            (isxdigit as _, b'g', 0),
+            (isalnum as _, b'z', 1),
+            (isprint as _, b' ', 1),
+            (isgraph as _, b' ', 0),
+            (isgraph as _, b'#', 1),
+            (isblank as _, b'\t', 1),
+        ];
+        for &(f, ch, expect) in cases {
+            let r = f(&mut p, &[CVal::Int(ch as i64)]).unwrap();
+            assert_eq!(r, CVal::Int(expect), "char {ch:?}");
+        }
+    }
+
+    #[test]
+    fn eof_is_classified_as_nothing() {
+        let mut p = libc_proc();
+        assert_eq!(isalpha(&mut p, &[CVal::Int(-1)]).unwrap(), CVal::Int(0));
+        assert_eq!(isspace(&mut p, &[CVal::Int(-1)]).unwrap(), CVal::Int(0));
+    }
+
+    #[test]
+    fn tolower_toupper_transform() {
+        let mut p = libc_proc();
+        assert_eq!(tolower(&mut p, &[CVal::Int(b'A' as i64)]).unwrap(), CVal::Int(b'a' as i64));
+        assert_eq!(tolower(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(), CVal::Int(b'a' as i64));
+        assert_eq!(toupper(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(), CVal::Int(b'A' as i64));
+        assert_eq!(toupper(&mut p, &[CVal::Int(b'#' as i64)]).unwrap(), CVal::Int(b'#' as i64));
+    }
+
+    #[test]
+    fn large_positive_argument_faults_off_the_table() {
+        // The Ballista-style robustness failure this module exists for.
+        let mut p = libc_proc();
+        let err = isalpha(&mut p, &[CVal::Int(100_000)]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }), "{err}");
+    }
+
+    #[test]
+    fn small_negative_argument_reads_garbage_silently() {
+        let mut p = libc_proc();
+        // In range of rodata but before the table: silent wrong answer,
+        // not a crash — also faithful.
+        let r = isalpha(&mut p, &[CVal::Int(-200)]).unwrap();
+        assert_eq!(r, CVal::Int(0));
+    }
+
+    #[test]
+    fn hugely_negative_argument_faults() {
+        let mut p = libc_proc();
+        let err = isalpha(&mut p, &[CVal::Int(-10_000_000)]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn isascii_is_robust_for_all_inputs() {
+        let mut p = libc_proc();
+        for c in [-1_000_000i64, -1, 0, 65, 127, 128, 1_000_000] {
+            let r = isascii(&mut p, &[CVal::Int(c)]).unwrap();
+            assert_eq!(r, CVal::Int((0..=127).contains(&c) as i64));
+        }
+    }
+}

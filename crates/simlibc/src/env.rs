@@ -1,0 +1,296 @@
+//! `getenv`/`setenv`/`unsetenv`/`putenv` over an `environ` array living
+//! in simulated memory (heap-allocated, leaking old arrays on growth —
+//! like the real thing).
+
+use simproc::{errno, CVal, Fault, Proc, VirtAddr};
+
+use crate::heap;
+use crate::state::ENVIRON_PTR;
+use crate::util::{arg, enter, ok_int, ok_ptr};
+
+/// Builds the initial environment block. Called by library init.
+///
+/// # Errors
+///
+/// Propagates allocation faults (the fixtures are small; none expected).
+pub fn init_env(p: &mut Proc, vars: &[(&str, &str)]) -> Result<(), Fault> {
+    let array = heap::malloc(p, (vars.len() as u64 + 1) * 8)?;
+    assert!(!array.is_null(), "env array allocation");
+    for (i, (k, v)) in vars.iter().enumerate() {
+        let entry = alloc_entry(p, k.as_bytes(), v.as_bytes())?;
+        p.write_ptr(array.add(i as u64 * 8), entry)?;
+    }
+    p.write_ptr(array.add(vars.len() as u64 * 8), VirtAddr::NULL)?;
+    p.mem.write_u64(ENVIRON_PTR, array.get())?;
+    Ok(())
+}
+
+fn alloc_entry(p: &mut Proc, k: &[u8], v: &[u8]) -> Result<VirtAddr, Fault> {
+    let mut s = Vec::with_capacity(k.len() + v.len() + 1);
+    s.extend_from_slice(k);
+    s.push(b'=');
+    s.extend_from_slice(v);
+    let ptr = heap::malloc(p, s.len() as u64 + 1)?;
+    if !ptr.is_null() {
+        p.write_cstr(ptr, &s)?;
+    }
+    Ok(ptr)
+}
+
+/// Looks for `name` in the environ array; returns
+/// `(slot index, value address)` of the match.
+fn find(p: &mut Proc, name: &[u8]) -> Result<Option<(u64, VirtAddr)>, Fault> {
+    let array = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+    if array.is_null() {
+        return Ok(None);
+    }
+    let mut i = 0u64;
+    loop {
+        let entry = p.read_ptr(array.add(i * 8))?;
+        if entry.is_null() {
+            return Ok(None);
+        }
+        // Compare "name=" prefix byte by byte in simulated memory.
+        let mut j = 0u64;
+        let matched = loop {
+            let b = p.read_u8(entry.add(j))?;
+            if (j as usize) < name.len() {
+                if b != name[j as usize] {
+                    break false;
+                }
+            } else {
+                break b == b'=';
+            }
+            j += 1;
+        };
+        if matched {
+            return Ok(Some((i, entry.add(name.len() as u64 + 1))));
+        }
+        i += 1;
+    }
+}
+
+/// `char *getenv(const char *name);`
+pub fn getenv(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let name = p.read_cstr(arg(args, 0).as_ptr())?;
+    match find(p, &name)? {
+        Some((_, value)) => ok_ptr(value),
+        None => Ok(CVal::NULL),
+    }
+}
+
+/// `int setenv(const char *name, const char *value, int overwrite);`
+pub fn setenv(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let name = p.read_cstr(arg(args, 0).as_ptr())?;
+    if name.is_empty() || name.contains(&b'=') {
+        p.set_errno(errno::EINVAL);
+        return ok_int(-1);
+    }
+    let value = p.read_cstr(arg(args, 1).as_ptr())?;
+    let overwrite = arg(args, 2).as_int() != 0;
+    if let Some((slot, _)) = find(p, &name)? {
+        if !overwrite {
+            return ok_int(0);
+        }
+        let entry = alloc_entry(p, &name, &value)?;
+        if entry.is_null() {
+            return ok_int(-1);
+        }
+        let array = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+        p.write_ptr(array.add(slot * 8), entry)?;
+        return ok_int(0);
+    }
+    // Append: allocate a bigger array, leak the old one (faithful).
+    let old = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+    let mut entries = Vec::new();
+    if !old.is_null() {
+        let mut i = 0u64;
+        loop {
+            let e = p.read_ptr(old.add(i * 8))?;
+            if e.is_null() {
+                break;
+            }
+            entries.push(e);
+            i += 1;
+        }
+    }
+    let entry = alloc_entry(p, &name, &value)?;
+    if entry.is_null() {
+        return ok_int(-1);
+    }
+    entries.push(entry);
+    let array = heap::malloc(p, (entries.len() as u64 + 1) * 8)?;
+    if array.is_null() {
+        return ok_int(-1);
+    }
+    for (i, e) in entries.iter().enumerate() {
+        p.write_ptr(array.add(i as u64 * 8), *e)?;
+    }
+    p.write_ptr(array.add(entries.len() as u64 * 8), VirtAddr::NULL)?;
+    p.mem.write_u64(ENVIRON_PTR, array.get())?;
+    ok_int(0)
+}
+
+/// `int unsetenv(const char *name);`
+pub fn unsetenv(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let name = p.read_cstr(arg(args, 0).as_ptr())?;
+    if name.is_empty() || name.contains(&b'=') {
+        p.set_errno(errno::EINVAL);
+        return ok_int(-1);
+    }
+    while let Some((slot, _)) = find(p, &name)? {
+        // Shift the tail down over the removed slot.
+        let array = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+        let mut i = slot;
+        loop {
+            let next = p.read_ptr(array.add((i + 1) * 8))?;
+            p.write_ptr(array.add(i * 8), next)?;
+            if next.is_null() {
+                break;
+            }
+            i += 1;
+        }
+    }
+    ok_int(0)
+}
+
+/// `int putenv(char *string);` — inserts the caller's pointer directly,
+/// so later mutation of the string mutates the environment (faithful).
+pub fn putenv(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let string = arg(args, 0).as_ptr();
+    let bytes = p.read_cstr(string)?;
+    let Some(eq) = bytes.iter().position(|b| *b == b'=') else {
+        // glibc putenv without '=' removes the name.
+        return unsetenv(p, &[CVal::Ptr(string)]);
+    };
+    let name = &bytes[..eq];
+    if let Some((slot, _)) = find(p, name)? {
+        let array = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+        p.write_ptr(array.add(slot * 8), string)?;
+        return ok_int(0);
+    }
+    let old = VirtAddr::new(p.read_u64(ENVIRON_PTR)?);
+    let mut entries = Vec::new();
+    if !old.is_null() {
+        let mut i = 0u64;
+        loop {
+            let e = p.read_ptr(old.add(i * 8))?;
+            if e.is_null() {
+                break;
+            }
+            entries.push(e);
+            i += 1;
+        }
+    }
+    entries.push(string);
+    let array = heap::malloc(p, (entries.len() as u64 + 1) * 8)?;
+    if array.is_null() {
+        return ok_int(-1);
+    }
+    for (i, e) in entries.iter().enumerate() {
+        p.write_ptr(array.add(i as u64 * 8), *e)?;
+    }
+    p.write_ptr(array.add(entries.len() as u64 * 8), VirtAddr::NULL)?;
+    p.mem.write_u64(ENVIRON_PTR, array.get())?;
+    ok_int(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc_with_env;
+    use simproc::layout::WILD_ADDR;
+
+    #[test]
+    fn getenv_finds_initial_vars() {
+        let mut p = libc_proc_with_env(&[("PATH", "/bin:/usr/bin"), ("HOME", "/root")]);
+        let name = p.alloc_cstr("HOME");
+        let v = getenv(&mut p, &[CVal::Ptr(name)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(v.as_ptr()), "/root");
+        let missing = p.alloc_cstr("NOPE");
+        assert!(getenv(&mut p, &[CVal::Ptr(missing)]).unwrap().is_null());
+        // Prefix must not match.
+        let prefix = p.alloc_cstr("HO");
+        assert!(getenv(&mut p, &[CVal::Ptr(prefix)]).unwrap().is_null());
+    }
+
+    #[test]
+    fn getenv_crashes_on_wild_name() {
+        let mut p = libc_proc_with_env(&[]);
+        assert!(matches!(
+            getenv(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+        assert!(matches!(getenv(&mut p, &[CVal::NULL]).unwrap_err(), Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn setenv_appends_and_overwrites() {
+        let mut p = libc_proc_with_env(&[("A", "1")]);
+        let (k, v2) = (p.alloc_cstr("B"), p.alloc_cstr("2"));
+        assert_eq!(
+            setenv(&mut p, &[CVal::Ptr(k), CVal::Ptr(v2), CVal::Int(0)]).unwrap(),
+            CVal::Int(0)
+        );
+        let got = getenv(&mut p, &[CVal::Ptr(k)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "2");
+
+        // overwrite=0 keeps the old value.
+        let v3 = p.alloc_cstr("3");
+        setenv(&mut p, &[CVal::Ptr(k), CVal::Ptr(v3), CVal::Int(0)]).unwrap();
+        let got = getenv(&mut p, &[CVal::Ptr(k)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "2");
+
+        // overwrite=1 replaces it.
+        setenv(&mut p, &[CVal::Ptr(k), CVal::Ptr(v3), CVal::Int(1)]).unwrap();
+        let got = getenv(&mut p, &[CVal::Ptr(k)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "3");
+    }
+
+    #[test]
+    fn setenv_rejects_bad_names() {
+        let mut p = libc_proc_with_env(&[]);
+        let bad = p.alloc_cstr("A=B");
+        let v = p.alloc_cstr("x");
+        assert_eq!(
+            setenv(&mut p, &[CVal::Ptr(bad), CVal::Ptr(v), CVal::Int(1)]).unwrap(),
+            CVal::Int(-1)
+        );
+        assert_eq!(p.errno(), errno::EINVAL);
+        let empty = p.alloc_cstr("");
+        assert_eq!(
+            setenv(&mut p, &[CVal::Ptr(empty), CVal::Ptr(v), CVal::Int(1)]).unwrap(),
+            CVal::Int(-1)
+        );
+    }
+
+    #[test]
+    fn unsetenv_removes() {
+        let mut p = libc_proc_with_env(&[("A", "1"), ("B", "2"), ("C", "3")]);
+        let b = p.alloc_cstr("B");
+        assert_eq!(unsetenv(&mut p, &[CVal::Ptr(b)]).unwrap(), CVal::Int(0));
+        assert!(getenv(&mut p, &[CVal::Ptr(b)]).unwrap().is_null());
+        // Others survive.
+        let c = p.alloc_cstr("C");
+        let got = getenv(&mut p, &[CVal::Ptr(c)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "3");
+    }
+
+    #[test]
+    fn putenv_inserts_live_pointer() {
+        let mut p = libc_proc_with_env(&[]);
+        let s = p.alloc_data(b"KEY=orig\0");
+        putenv(&mut p, &[CVal::Ptr(s)]).unwrap();
+        let k = p.alloc_cstr("KEY");
+        let got = getenv(&mut p, &[CVal::Ptr(k)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "orig");
+        // Mutating the caller's buffer mutates the environment.
+        p.write_cstr(s, b"KEY=live").unwrap();
+        let got = getenv(&mut p, &[CVal::Ptr(k)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(got.as_ptr()), "live");
+    }
+}

@@ -1,0 +1,254 @@
+//! The `printf` format engine shared by `sprintf`, `snprintf`, `printf`
+//! and `fprintf` — complete with the era's sharp edges: `%s` dereferences
+//! whatever pointer it is given, and `%n` performs a write through an
+//! argument pointer (the format-string-attack primitive).
+
+use simproc::{CVal, Fault, Proc};
+
+use crate::util::arg;
+
+/// Formats `fmt` (a simulated-memory C string) with `args`, returning the
+/// rendered bytes.
+///
+/// Supported conversions: `%d %i %u %x %X %o %c %s %p %f %%` and `%n`,
+/// with optional `-`/`0` flags, width, precision (strings and floats) and
+/// `l`/`ll`/`z`/`h` length modifiers (which all collapse to 64-bit here).
+///
+/// # Errors
+///
+/// Propagates memory faults from reading the format, `%s` sources and
+/// `%n` targets.
+pub fn format(p: &mut Proc, fmt: simproc::VirtAddr, args: &[CVal]) -> Result<Vec<u8>, Fault> {
+    let fmt_bytes = p.read_cstr(fmt)?;
+    let mut out = Vec::with_capacity(fmt_bytes.len());
+    let mut argi = 0usize;
+    let mut i = 0usize;
+
+    while i < fmt_bytes.len() {
+        let b = fmt_bytes[i];
+        if b != b'%' {
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i >= fmt_bytes.len() {
+            out.push(b'%');
+            break;
+        }
+        // Flags.
+        let mut left = false;
+        let mut zero = false;
+        loop {
+            match fmt_bytes.get(i) {
+                Some(b'-') => {
+                    left = true;
+                    i += 1;
+                }
+                Some(b'0') => {
+                    zero = true;
+                    i += 1;
+                }
+                Some(b'+') | Some(b' ') | Some(b'#') => i += 1,
+                _ => break,
+            }
+        }
+        // Width.
+        let mut width = 0usize;
+        while let Some(d) = fmt_bytes.get(i).filter(|d| d.is_ascii_digit()) {
+            width = width * 10 + (d - b'0') as usize;
+            i += 1;
+        }
+        // Precision.
+        let mut precision: Option<usize> = None;
+        if fmt_bytes.get(i) == Some(&b'.') {
+            i += 1;
+            let mut prec = 0usize;
+            while let Some(d) = fmt_bytes.get(i).filter(|d| d.is_ascii_digit()) {
+                prec = prec * 10 + (d - b'0') as usize;
+                i += 1;
+            }
+            precision = Some(prec);
+        }
+        // Length modifiers (collapsed).
+        while matches!(fmt_bytes.get(i), Some(b'l') | Some(b'h') | Some(b'z') | Some(b'q')) {
+            i += 1;
+        }
+        let Some(&conv) = fmt_bytes.get(i) else {
+            out.push(b'%');
+            break;
+        };
+        i += 1;
+
+        let push_padded = |out: &mut Vec<u8>, body: Vec<u8>| {
+            let pad = width.saturating_sub(body.len());
+            if left {
+                out.extend_from_slice(&body);
+                out.extend(std::iter::repeat(b' ').take(pad));
+            } else {
+                let fill = if zero { b'0' } else { b' ' };
+                out.extend(std::iter::repeat(fill).take(pad));
+                out.extend_from_slice(&body);
+            }
+        };
+
+        match conv {
+            b'%' => out.push(b'%'),
+            b'd' | b'i' => {
+                let v = arg(args, argi).as_int();
+                argi += 1;
+                push_padded(&mut out, v.to_string().into_bytes());
+            }
+            b'u' => {
+                let v = arg(args, argi).as_usize();
+                argi += 1;
+                push_padded(&mut out, v.to_string().into_bytes());
+            }
+            b'x' => {
+                let v = arg(args, argi).as_usize();
+                argi += 1;
+                push_padded(&mut out, format!("{v:x}").into_bytes());
+            }
+            b'X' => {
+                let v = arg(args, argi).as_usize();
+                argi += 1;
+                push_padded(&mut out, format!("{v:X}").into_bytes());
+            }
+            b'o' => {
+                let v = arg(args, argi).as_usize();
+                argi += 1;
+                push_padded(&mut out, format!("{v:o}").into_bytes());
+            }
+            b'p' => {
+                let v = arg(args, argi).as_usize();
+                argi += 1;
+                push_padded(&mut out, format!("0x{v:x}").into_bytes());
+            }
+            b'c' => {
+                let v = arg(args, argi).as_int() as u8;
+                argi += 1;
+                push_padded(&mut out, vec![v]);
+            }
+            b'f' | b'g' | b'e' => {
+                let v = arg(args, argi).as_f64();
+                argi += 1;
+                let prec = precision.unwrap_or(6);
+                push_padded(&mut out, format!("{v:.prec$}").into_bytes());
+            }
+            b's' => {
+                // Dereferences the argument — NULL or wild %s arguments
+                // crash, the classic printf failure.
+                let ptr = arg(args, argi).as_ptr();
+                argi += 1;
+                let mut s = p.read_cstr(ptr)?;
+                if let Some(prec) = precision {
+                    s.truncate(prec);
+                }
+                push_padded(&mut out, s);
+            }
+            b'n' => {
+                // Writes the byte count so far through the pointer — the
+                // format-string attack primitive, preserved faithfully.
+                let ptr = arg(args, argi).as_ptr();
+                argi += 1;
+                p.write_u32(ptr, out.len() as u32)?;
+            }
+            other => {
+                out.push(b'%');
+                out.push(other);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+    use simproc::VirtAddr;
+
+    fn run(p: &mut Proc, fmt: &str, args: &[CVal]) -> String {
+        let f = p.alloc_cstr(fmt);
+        String::from_utf8_lossy(&format(p, f, args).unwrap()).into_owned()
+    }
+
+    #[test]
+    fn basic_conversions() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "n=%d!", &[CVal::Int(-7)]), "n=-7!");
+        assert_eq!(run(&mut p, "%u", &[CVal::Int(7)]), "7");
+        assert_eq!(run(&mut p, "%x|%X|%o", &[CVal::Int(255), CVal::Int(255), CVal::Int(8)]), "ff|FF|10");
+        assert_eq!(run(&mut p, "%c%c", &[CVal::Int(104), CVal::Int(105)]), "hi");
+        assert_eq!(run(&mut p, "100%%", &[]), "100%");
+        assert_eq!(run(&mut p, "%p", &[CVal::Ptr(VirtAddr::new(0x10))]), "0x10");
+    }
+
+    #[test]
+    fn string_conversion() {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("world");
+        assert_eq!(run(&mut p, "hello %s", &[CVal::Ptr(s)]), "hello world");
+        assert_eq!(run(&mut p, "%.3s", &[CVal::Ptr(s)]), "wor");
+        assert_eq!(run(&mut p, "[%8s]", &[CVal::Ptr(s)]), "[   world]");
+        assert_eq!(run(&mut p, "[%-8s]", &[CVal::Ptr(s)]), "[world   ]");
+    }
+
+    #[test]
+    fn width_and_zero_pad() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "[%5d]", &[CVal::Int(42)]), "[   42]");
+        assert_eq!(run(&mut p, "[%05d]", &[CVal::Int(42)]), "[00042]");
+        assert_eq!(run(&mut p, "[%-5d]", &[CVal::Int(42)]), "[42   ]");
+    }
+
+    #[test]
+    fn float_precision() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "%f", &[CVal::F64(1.5)]), "1.500000");
+        assert_eq!(run(&mut p, "%.2f", &[CVal::F64(2.567)]), "2.57");
+    }
+
+    #[test]
+    fn length_modifiers_are_accepted() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "%ld %zu %lld", &[CVal::Int(1), CVal::Int(2), CVal::Int(3)]), "1 2 3");
+    }
+
+    #[test]
+    fn null_s_argument_crashes() {
+        let mut p = libc_proc();
+        let f = p.alloc_cstr("%s");
+        let err = format(&mut p, f, &[CVal::NULL]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn percent_n_writes_count() {
+        let mut p = libc_proc();
+        let slot = p.alloc_data_zeroed(4);
+        let f = p.alloc_cstr("abcd%n");
+        format(&mut p, f, &[CVal::Ptr(slot)]).unwrap();
+        assert_eq!(p.read_u32(slot).unwrap(), 4);
+        // ... and through a wild pointer it is an attack that faults.
+        let f2 = p.alloc_cstr("%n");
+        assert!(matches!(
+            format(&mut p, f2, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_args_render_as_garbage_zero() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "%d", &[]), "0");
+    }
+
+    #[test]
+    fn trailing_percent_is_literal() {
+        let mut p = libc_proc();
+        assert_eq!(run(&mut p, "50%", &[]), "50%");
+        assert_eq!(run(&mut p, "%!", &[]), "%!");
+    }
+}

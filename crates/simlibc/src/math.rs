@@ -1,0 +1,164 @@
+//! `libsimm.so.1` — a small second shared library, so the application-
+//! inspection demo (paper §3.2, Figure 4) has more than one `NEEDED`
+//! entry to display and the system library list (§3.1) is non-trivial.
+
+use simproc::{errno, CVal, Fault, Proc};
+
+use crate::util::{arg, enter, ok_int};
+use crate::SymbolDef;
+
+/// Library name of the math library.
+pub const MATH_LIB_NAME: &str = "libsimm.so.1";
+
+/// `long mgcd(long a, long b);`
+pub fn mgcd(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let mut a = arg(args, 0).as_int().wrapping_abs();
+    let mut b = arg(args, 1).as_int().wrapping_abs();
+    while b != 0 {
+        p.consume_fuel(1)?;
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    ok_int(a)
+}
+
+/// `long mpow(long base, long exp);` — wraps on overflow, loops on huge
+/// exponents (fuel turns that into a hang, which the injector reports).
+pub fn mpow(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let base = arg(args, 0).as_int();
+    let exp = arg(args, 1).as_int();
+    let mut acc = 1i64;
+    let mut i = 0i64;
+    while i < exp {
+        p.consume_fuel(1)?;
+        acc = acc.wrapping_mul(base);
+        i += 1;
+    }
+    ok_int(acc)
+}
+
+/// `double msqrt(double x);` — Newton's method; negative input sets
+/// `errno = EINVAL` and returns 0 (a graceful error, for contrast).
+pub fn msqrt(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let x = arg(args, 0).as_f64();
+    if x < 0.0 {
+        p.set_errno(errno::EINVAL);
+        return Ok(CVal::F64(0.0));
+    }
+    if x == 0.0 {
+        return Ok(CVal::F64(0.0));
+    }
+    let mut guess = x.max(1.0);
+    for _ in 0..64 {
+        p.consume_fuel(1)?;
+        let next = 0.5 * (guess + x / guess);
+        if (next - guess).abs() < 1e-12 * guess {
+            break;
+        }
+        guess = next;
+    }
+    Ok(CVal::F64(guess))
+}
+
+/// `double mnorm(const double *vec, size_t n);` — the library's fragile
+/// pointer function: dereferences `vec` with no checks.
+pub fn mnorm(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let vec = arg(args, 0).as_ptr();
+    let n = arg(args, 1).as_usize();
+    let mut sum = 0f64;
+    let mut i = 0u64;
+    while i < n {
+        let bits = p.read_u64(vec.add(i * 8))?;
+        let v = f64::from_bits(bits);
+        sum += v * v;
+        i += 1;
+    }
+    Ok(CVal::F64(sum.sqrt()))
+}
+
+/// `long mfact(long n);` — recursive factorial: deep recursion with a
+/// huge `n` burns fuel (hang) and wraps (silent corruption).
+pub fn mfact(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let n = arg(args, 0).as_int();
+    let mut acc = 1i64;
+    let mut i = 2i64;
+    while i <= n {
+        p.consume_fuel(1)?;
+        acc = acc.wrapping_mul(i);
+        i += 1;
+    }
+    ok_int(acc)
+}
+
+/// The math library's symbol table.
+pub fn math_symbols() -> Vec<SymbolDef> {
+    vec![
+        SymbolDef { name: "mgcd", proto: "long mgcd(long a, long b);", imp: mgcd },
+        SymbolDef { name: "mpow", proto: "long mpow(long base, long exp);", imp: mpow },
+        SymbolDef { name: "msqrt", proto: "double msqrt(double x);", imp: msqrt },
+        SymbolDef {
+            name: "mnorm",
+            proto: "double mnorm(const double *vec, size_t n);",
+            imp: mnorm,
+        },
+        SymbolDef { name: "mfact", proto: "long mfact(long n);", imp: mfact },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+
+    #[test]
+    fn gcd_pow_fact() {
+        let mut p = libc_proc();
+        assert_eq!(mgcd(&mut p, &[CVal::Int(12), CVal::Int(18)]).unwrap(), CVal::Int(6));
+        assert_eq!(mgcd(&mut p, &[CVal::Int(-12), CVal::Int(18)]).unwrap(), CVal::Int(6));
+        assert_eq!(mpow(&mut p, &[CVal::Int(2), CVal::Int(10)]).unwrap(), CVal::Int(1024));
+        assert_eq!(mpow(&mut p, &[CVal::Int(2), CVal::Int(-5)]).unwrap(), CVal::Int(1));
+        assert_eq!(mfact(&mut p, &[CVal::Int(5)]).unwrap(), CVal::Int(120));
+    }
+
+    #[test]
+    fn sqrt_converges_and_rejects_negative() {
+        let mut p = libc_proc();
+        let v = msqrt(&mut p, &[CVal::F64(2.0)]).unwrap().as_f64();
+        assert!((v - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(msqrt(&mut p, &[CVal::F64(0.0)]).unwrap().as_f64(), 0.0);
+        let e = msqrt(&mut p, &[CVal::F64(-1.0)]).unwrap().as_f64();
+        assert_eq!(e, 0.0);
+        assert_eq!(p.errno(), errno::EINVAL);
+    }
+
+    #[test]
+    fn norm_computes_and_crashes_on_wild() {
+        let mut p = libc_proc();
+        let mut bytes = Vec::new();
+        for v in [3.0f64, 4.0] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let vec = p.alloc_data(&bytes);
+        let v = mnorm(&mut p, &[CVal::Ptr(vec), CVal::Int(2)]).unwrap().as_f64();
+        assert!((v - 5.0).abs() < 1e-12);
+        assert!(matches!(
+            mnorm(&mut p, &[CVal::Ptr(WILD_ADDR), CVal::Int(2)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+
+    #[test]
+    fn huge_exponent_hangs_under_fuel() {
+        let mut p = libc_proc();
+        p.set_fuel_limit(Some(p.cycles() + 1000));
+        let err = mpow(&mut p, &[CVal::Int(2), CVal::Int(i64::MAX)]).unwrap_err();
+        assert_eq!(err, Fault::Hang);
+    }
+}

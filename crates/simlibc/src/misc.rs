@@ -1,0 +1,239 @@
+//! Process-lifetime and miscellaneous functions: `exit`/`atexit` (the
+//! §3.4 attack's control-flow hijack runs through the `atexit` table),
+//! `abort`, `rand`/`srand`, `system`, `time`, `getpid`, `sleep`.
+
+use simproc::{errno, CVal, Fault, Proc};
+
+use crate::state::{ATEXIT_COUNT, ATEXIT_SLOTS, ATEXIT_TABLE, RAND_SEED};
+use crate::util::{arg, enter, ok_int};
+
+/// The process id every simulated process reports.
+pub const SIM_PID: i64 = 4242;
+/// The wall clock of the simulation: June 2003, when HEALERS was
+/// presented at DSN.
+pub const SIM_TIME: i64 = 1_055_548_800;
+
+/// `int rand(void);` — the classic LCG, state in libc's data segment.
+pub fn rand(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let _ = args;
+    enter(p)?;
+    let seed = p.read_u64(RAND_SEED)?;
+    let next = seed.wrapping_mul(1103515245).wrapping_add(12345);
+    p.write_u64(RAND_SEED, next)?;
+    ok_int(((next >> 16) & 0x7fff) as i64)
+}
+
+/// `void srand(unsigned int seed);`
+pub fn srand(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    p.write_u64(RAND_SEED, arg(args, 0).as_usize())?;
+    Ok(CVal::Void)
+}
+
+/// `int rand_r(unsigned int *seedp);` — crashes on a wild seed pointer.
+pub fn rand_r(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let seedp = arg(args, 0).as_ptr();
+    let seed = p.read_u32(seedp)? as u64;
+    let next = seed.wrapping_mul(1103515245).wrapping_add(12345);
+    p.write_u32(seedp, next as u32)?;
+    ok_int(((next >> 16) & 0x7fff) as i64)
+}
+
+/// `int atexit(void (*function)(void));`
+pub fn atexit(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let func = arg(args, 0).as_ptr();
+    let count = p.read_u64(ATEXIT_COUNT)?;
+    if count >= ATEXIT_SLOTS {
+        return ok_int(-1);
+    }
+    p.write_ptr(ATEXIT_TABLE.add(count * 8), func)?;
+    p.write_u64(ATEXIT_COUNT, count + 1)?;
+    ok_int(0)
+}
+
+/// `void exit(int status);` — runs `atexit` handlers LIFO through the
+/// call table. A handler slot overwritten by the unlink attack transfers
+/// control to the attacker here.
+pub fn exit(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let status = arg(args, 0).as_int() as i32;
+    let mut count = p.read_u64(ATEXIT_COUNT)?;
+    while count > 0 {
+        count -= 1;
+        p.write_u64(ATEXIT_COUNT, count)?;
+        let handler = p.read_ptr(ATEXIT_TABLE.add(count * 8))?;
+        if handler.is_null() {
+            continue;
+        }
+        p.call_function(handler, &[])?;
+    }
+    Err(p.exit(status))
+}
+
+/// `void abort(void);`
+pub fn abort(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let _ = args;
+    enter(p)?;
+    Err(Fault::abort("abort() called"))
+}
+
+/// `int system(const char *command);` — reads the command (crashing on
+/// wild pointers), then reports that no shell is available.
+pub fn system(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let cmd = arg(args, 0);
+    if cmd.is_null() {
+        // system(NULL) asks "is a shell available?" — no.
+        return ok_int(0);
+    }
+    let _command = p.read_cstr(cmd.as_ptr())?;
+    p.set_errno(errno::ENOENT);
+    ok_int(-1)
+}
+
+/// `time_t time(time_t *tloc);`
+pub fn time(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let tloc = arg(args, 0).as_ptr();
+    if !tloc.is_null() {
+        p.write_u64(tloc, SIM_TIME as u64)?;
+    }
+    ok_int(SIM_TIME)
+}
+
+/// `pid_t getpid(void);`
+pub fn getpid(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let _ = args;
+    enter(p)?;
+    ok_int(SIM_PID)
+}
+
+/// `unsigned int sleep(unsigned int seconds);` — burns simulated cycles.
+pub fn sleep(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let seconds = arg(args, 0).as_usize().min(1 << 20);
+    p.consume_fuel(seconds * 1000)?;
+    ok_int(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+    use simproc::SHELLCODE_MAGIC;
+
+    #[test]
+    fn rand_is_deterministic_after_srand() {
+        let mut p = libc_proc();
+        srand(&mut p, &[CVal::Int(42)]).unwrap();
+        let a1 = rand(&mut p, &[]).unwrap();
+        let a2 = rand(&mut p, &[]).unwrap();
+        srand(&mut p, &[CVal::Int(42)]).unwrap();
+        assert_eq!(rand(&mut p, &[]).unwrap(), a1);
+        assert_eq!(rand(&mut p, &[]).unwrap(), a2);
+        assert!((0..=0x7fff).contains(&a1.as_int()));
+    }
+
+    #[test]
+    fn rand_r_uses_caller_state_and_crashes_wild() {
+        let mut p = libc_proc();
+        let seedp = p.alloc_data(&7u32.to_le_bytes());
+        let v1 = rand_r(&mut p, &[CVal::Ptr(seedp)]).unwrap();
+        let v2 = rand_r(&mut p, &[CVal::Ptr(seedp)]).unwrap();
+        assert_ne!(v1, v2);
+        assert!(matches!(
+            rand_r(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+
+    fn handler_marker(p: &mut Proc, _args: &[CVal]) -> Result<CVal, Fault> {
+        p.kernel.stdout.extend_from_slice(b"[handler]");
+        Ok(CVal::Void)
+    }
+
+    #[test]
+    fn exit_runs_atexit_handlers_lifo() {
+        fn h2(p: &mut Proc, _a: &[CVal]) -> Result<CVal, Fault> {
+            p.kernel.stdout.extend_from_slice(b"2");
+            Ok(CVal::Void)
+        }
+        fn h1(p: &mut Proc, _a: &[CVal]) -> Result<CVal, Fault> {
+            p.kernel.stdout.extend_from_slice(b"1");
+            Ok(CVal::Void)
+        }
+        let mut p = libc_proc();
+        let a1 = p.register_host_fn("h1", h1);
+        let a2 = p.register_host_fn("h2", h2);
+        atexit(&mut p, &[CVal::Ptr(a1)]).unwrap();
+        atexit(&mut p, &[CVal::Ptr(a2)]).unwrap();
+        let err = exit(&mut p, &[CVal::Int(3)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(3));
+        assert_eq!(p.kernel.stdout_text(), "21", "LIFO order");
+        assert_eq!(p.exit_status(), Some(3));
+    }
+
+    #[test]
+    fn atexit_table_fills_up() {
+        let mut p = libc_proc();
+        let h = p.register_host_fn("h", handler_marker);
+        for _ in 0..ATEXIT_SLOTS {
+            assert_eq!(atexit(&mut p, &[CVal::Ptr(h)]).unwrap(), CVal::Int(0));
+        }
+        assert_eq!(atexit(&mut p, &[CVal::Ptr(h)]).unwrap(), CVal::Int(-1));
+    }
+
+    #[test]
+    fn corrupted_atexit_slot_hijacks_exit() {
+        // The back half of the §3.4 attack: the unlink wrote the
+        // shellcode address into the atexit table; exit() then calls it.
+        let mut p = libc_proc();
+        p.kernel.root_privilege = true;
+        let payload = p.alloc_data(SHELLCODE_MAGIC);
+        p.mem.write_u64(ATEXIT_COUNT, 1).unwrap();
+        p.mem.write_ptr(ATEXIT_TABLE, payload).unwrap();
+        let err = exit(&mut p, &[CVal::Int(0)]).unwrap_err();
+        assert!(matches!(err, Fault::WildJump { .. }));
+        assert!(p.kernel.shell_spawned, "attacker got a root shell");
+    }
+
+    #[test]
+    fn abort_aborts() {
+        let mut p = libc_proc();
+        assert!(matches!(abort(&mut p, &[]).unwrap_err(), Fault::Abort { .. }));
+    }
+
+    #[test]
+    fn system_reads_command_then_fails() {
+        let mut p = libc_proc();
+        let cmd = p.alloc_cstr("/bin/sh");
+        assert_eq!(system(&mut p, &[CVal::Ptr(cmd)]).unwrap(), CVal::Int(-1));
+        assert_eq!(p.errno(), errno::ENOENT);
+        assert_eq!(system(&mut p, &[CVal::NULL]).unwrap(), CVal::Int(0));
+        assert!(matches!(
+            system(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+
+    #[test]
+    fn time_and_getpid() {
+        let mut p = libc_proc();
+        assert_eq!(time(&mut p, &[CVal::NULL]).unwrap(), CVal::Int(SIM_TIME));
+        let tloc = p.alloc_data_zeroed(8);
+        time(&mut p, &[CVal::Ptr(tloc)]).unwrap();
+        assert_eq!(p.read_u64(tloc).unwrap(), SIM_TIME as u64);
+        assert_eq!(getpid(&mut p, &[]).unwrap(), CVal::Int(SIM_PID));
+    }
+
+    #[test]
+    fn sleep_burns_cycles() {
+        let mut p = libc_proc();
+        let before = p.cycles();
+        sleep(&mut p, &[CVal::Int(3)]).unwrap();
+        assert!(p.cycles() >= before + 3000);
+    }
+}

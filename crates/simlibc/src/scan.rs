@@ -1,0 +1,258 @@
+//! `sscanf` — the input-side sibling of the printf engine, with its own
+//! era-faithful sharp edge: `%s` copies a whitespace-delimited token into
+//! the caller's buffer *without any bound*, the other classic overflow
+//! (`gets`' cousin).
+
+use simproc::{CVal, Fault, Proc};
+
+use crate::util::{arg, enter, ok_int};
+
+fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// `int sscanf(const char *str, const char *format, ...);`
+///
+/// Supported conversions: `%d %i %u %x %c %s %%` with optional width, and
+/// literal/whitespace matching. Returns the number of successful
+/// conversions (0 on immediate mismatch, like the original; the paper's
+/// era had no `EOF` distinction for string scanning worth modelling).
+pub fn sscanf(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let mut input = arg(args, 0).as_ptr();
+    let fmt = p.read_cstr(arg(args, 1).as_ptr())?;
+    let out_args = &args[2.min(args.len())..];
+    let mut converted = 0i64;
+    let mut argi = 0usize;
+
+    let mut i = 0usize;
+    while i < fmt.len() {
+        let f = fmt[i];
+        if is_space(f) {
+            // Whitespace in the format skips any amount of input space.
+            while is_space(p.read_u8(input)?) {
+                input = input.add(1);
+            }
+            i += 1;
+            continue;
+        }
+        if f != b'%' {
+            // Literal match.
+            if p.read_u8(input)? != f {
+                return ok_int(converted);
+            }
+            input = input.add(1);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if fmt.get(i) == Some(&b'%') {
+            if p.read_u8(input)? != b'%' {
+                return ok_int(converted);
+            }
+            input = input.add(1);
+            i += 1;
+            continue;
+        }
+        // Width.
+        let mut width = 0usize;
+        while let Some(d) = fmt.get(i).filter(|d| d.is_ascii_digit()) {
+            width = width * 10 + (d - b'0') as usize;
+            i += 1;
+        }
+        // Length modifiers collapse.
+        while matches!(fmt.get(i), Some(b'l') | Some(b'h') | Some(b'z')) {
+            i += 1;
+        }
+        let Some(&conv) = fmt.get(i) else { break };
+        i += 1;
+        let dest = arg(out_args, argi).as_ptr();
+        argi += 1;
+
+        match conv {
+            b'd' | b'i' | b'u' | b'x' => {
+                while is_space(p.read_u8(input)?) {
+                    input = input.add(1);
+                }
+                let base: i64 = if conv == b'x' { 16 } else { 10 };
+                let mut neg = false;
+                let mut cur = input;
+                match p.read_u8(cur)? {
+                    b'-' if conv != b'u' => {
+                        neg = true;
+                        cur = cur.add(1);
+                    }
+                    b'+' => cur = cur.add(1),
+                    _ => {}
+                }
+                let mut value = 0i64;
+                let mut digits = 0usize;
+                loop {
+                    if width > 0 && digits >= width {
+                        break;
+                    }
+                    let b = p.read_u8(cur)?;
+                    let d = match b {
+                        b'0'..=b'9' => (b - b'0') as i64,
+                        b'a'..=b'f' if base == 16 => (b - b'a' + 10) as i64,
+                        b'A'..=b'F' if base == 16 => (b - b'A' + 10) as i64,
+                        _ => break,
+                    };
+                    value = value.wrapping_mul(base).wrapping_add(d);
+                    digits += 1;
+                    cur = cur.add(1);
+                }
+                if digits == 0 {
+                    return ok_int(converted);
+                }
+                if neg {
+                    value = -value;
+                }
+                // %d stores an int (4 bytes) — through whatever pointer
+                // the caller gave us. Wild pointers fault, faithfully.
+                p.write_u32(dest, value as u32)?;
+                input = cur;
+                converted += 1;
+            }
+            b'c' => {
+                let n = width.max(1);
+                for k in 0..n {
+                    let b = p.read_u8(input)?;
+                    if b == 0 {
+                        // Input exhausted mid-conversion: the whole %Nc
+                        // fails, like the real matching failure.
+                        return ok_int(converted);
+                    }
+                    p.write_u8(dest.add(k as u64), b)?;
+                    input = input.add(1);
+                }
+                converted += 1;
+            }
+            b's' => {
+                while is_space(p.read_u8(input)?) {
+                    input = input.add(1);
+                }
+                // The bug that launched a thousand advisories: without a
+                // width, the token is copied unbounded.
+                let mut written = 0u64;
+                loop {
+                    let b = p.read_u8(input)?;
+                    if b == 0 || is_space(b) {
+                        break;
+                    }
+                    if width > 0 && written as usize >= width {
+                        break;
+                    }
+                    p.write_u8(dest.add(written), b)?;
+                    written += 1;
+                    input = input.add(1);
+                }
+                if written == 0 {
+                    return ok_int(converted);
+                }
+                p.write_u8(dest.add(written), 0)?;
+                converted += 1;
+            }
+            _ => return ok_int(converted), // unsupported conversion
+        }
+    }
+    ok_int(converted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+    use simproc::VirtAddr;
+
+    fn run(p: &mut Proc, input: &str, fmt: &str, dests: &[VirtAddr]) -> i64 {
+        let inp = p.alloc_cstr(input);
+        let f = p.alloc_cstr(fmt);
+        let mut args = vec![CVal::Ptr(inp), CVal::Ptr(f)];
+        args.extend(dests.iter().map(|d| CVal::Ptr(*d)));
+        sscanf(p, &args).unwrap().as_int()
+    }
+
+    #[test]
+    fn parses_ints_strings_chars() {
+        let mut p = libc_proc();
+        let d1 = p.alloc_data_zeroed(4);
+        let s1 = p.alloc_data_zeroed(32);
+        let c1 = p.alloc_data_zeroed(1);
+        let n = run(&mut p, "42 hello x", "%d %s %c", &[d1, s1, c1]);
+        assert_eq!(n, 3);
+        assert_eq!(p.read_u32(d1).unwrap(), 42);
+        assert_eq!(p.read_cstr_lossy(s1), "hello");
+        assert_eq!(p.read_u8(c1).unwrap(), b'x');
+    }
+
+    #[test]
+    fn negative_hex_width_and_literals() {
+        let mut p = libc_proc();
+        let d = p.alloc_data_zeroed(4);
+        assert_eq!(run(&mut p, "-17", "%d", &[d]), 1);
+        assert_eq!(p.read_u32(d).unwrap() as i32, -17);
+        assert_eq!(run(&mut p, "ff", "%x", &[d]), 1);
+        assert_eq!(p.read_u32(d).unwrap(), 0xff);
+        assert_eq!(run(&mut p, "12345", "%3d", &[d]), 1);
+        assert_eq!(p.read_u32(d).unwrap(), 123);
+        let s = p.alloc_data_zeroed(8);
+        assert_eq!(run(&mut p, "key=value", "key=%4s", &[s]), 1);
+        assert_eq!(p.read_cstr_lossy(s), "valu");
+    }
+
+    #[test]
+    fn mismatch_stops_early() {
+        let mut p = libc_proc();
+        let d = p.alloc_data_zeroed(4);
+        assert_eq!(run(&mut p, "abc", "%d", &[d]), 0);
+        assert_eq!(run(&mut p, "1 x 2", "%d y %d", &[d, d]), 1);
+        let s = p.alloc_data_zeroed(8);
+        assert_eq!(run(&mut p, "50% off", "%d%% %s", &[d, s]), 2);
+    }
+
+    #[test]
+    fn unbounded_percent_s_overflows() {
+        // The signature fragility: a 64-char token into an 8-byte buffer
+        // silently tramples the neighbour.
+        let mut p = libc_proc();
+        let buf = p.alloc_data_zeroed(8);
+        let marker = p.alloc_data(b"MARK");
+        let token = "A".repeat(64);
+        let n = run(&mut p, &token, "%s", &[buf]);
+        assert_eq!(n, 1);
+        assert_eq!(p.read_bytes(marker, 4).unwrap(), b"AAAA", "neighbour clobbered");
+    }
+
+    #[test]
+    fn percent_c_fails_on_short_input() {
+        let mut p = libc_proc();
+        let c3 = p.alloc_data(&[0xEEu8; 4]);
+        assert_eq!(run(&mut p, "a", "%3c", &[c3]), 0, "short input fails the conversion");
+        assert_eq!(p.read_u8(c3.add(3)).unwrap(), 0xEE, "no stray writes");
+    }
+
+    #[test]
+    fn wild_pointers_fault() {
+        let mut p = libc_proc();
+        let inp = p.alloc_cstr("7");
+        let f = p.alloc_cstr("%d");
+        let err = sscanf(&mut p, &[CVal::Ptr(inp), CVal::Ptr(f), CVal::Ptr(WILD_ADDR)])
+            .unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+        // Wild input string too.
+        let err = sscanf(&mut p, &[CVal::Ptr(WILD_ADDR), CVal::Ptr(f), CVal::Ptr(inp)])
+            .unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn missing_varargs_read_as_null_and_fault() {
+        let mut p = libc_proc();
+        let inp = p.alloc_cstr("5");
+        let f = p.alloc_cstr("%d");
+        let err = sscanf(&mut p, &[CVal::Ptr(inp), CVal::Ptr(f)]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+}

@@ -1,0 +1,68 @@
+//! Library/process initialisation: the work the dynamic loader and libc
+//! startup code do before `main`.
+
+use simproc::{Fault, Proc};
+
+use crate::{ctype, env, heap, math, symbols};
+
+/// Initialises C-library state inside a fresh process: heap arena, ctype
+/// table, empty atexit table.
+///
+/// # Errors
+///
+/// Propagates faults (none expected on a fresh image).
+pub fn init_libc(p: &mut Proc) -> Result<(), Fault> {
+    heap::init_heap(p)?;
+    ctype::init_ctype_table(p)?;
+    Ok(())
+}
+
+/// [`init_libc`] plus an initial environment block.
+///
+/// # Errors
+///
+/// Propagates faults (none expected on a fresh image).
+pub fn init_libc_with_env(p: &mut Proc, vars: &[(&str, &str)]) -> Result<(), Fault> {
+    init_libc(p)?;
+    env::init_env(p, vars)
+}
+
+/// Builds a ready-to-run process: standard layout, initialised libc, a
+/// default environment, and every libc + libm symbol registered in the
+/// call table (so function pointers to library functions resolve).
+pub fn init_process() -> Proc {
+    let mut p = Proc::new();
+    init_libc_with_env(
+        &mut p,
+        &[("PATH", "/bin:/usr/bin"), ("HOME", "/root"), ("TERM", "vt100")],
+    )
+    .expect("fresh image cannot fault");
+    for sym in symbols().iter().chain(math::math_symbols().iter()) {
+        p.register_host_fn(sym.name, sym.imp);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_process_is_ready() {
+        let mut p = init_process();
+        crate::heap::check_invariants(&p).unwrap();
+        // Library functions are callable through their text addresses.
+        let strlen_addr = p.funcs.addr_of(p.funcs.id_of("strlen").unwrap());
+        let s = p.alloc_cstr("four");
+        let r = p.call_function(strlen_addr, &[simproc::CVal::Ptr(s)]).unwrap();
+        assert_eq!(r, simproc::CVal::Int(4));
+    }
+
+    #[test]
+    fn init_process_has_environment() {
+        let mut p = init_process();
+        let name = p.alloc_cstr("PATH");
+        let v = crate::env::getenv(&mut p, &[simproc::CVal::Ptr(name)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(v.as_ptr()), "/bin:/usr/bin");
+    }
+}

@@ -1,0 +1,72 @@
+//! Fixed locations of the C library's private state.
+//!
+//! Real libc keeps its free-list heads, `strtok` cursor, `rand` seed and
+//! `atexit` table in its own data segment — *inside the process image*,
+//! where buffer overflows can reach them. We do the same: everything
+//! below lives in the first page of the simulated data segment
+//! ([`simproc::layout::LIBC_PRIVATE_BASE`]), so attacks and fault
+//! injection interact with library state exactly as they would in C.
+
+use simproc::layout::LIBC_PRIVATE_BASE;
+use simproc::VirtAddr;
+
+/// Free-list head pseudo-chunk: `fd` at +0, `bk` at +8.
+pub const FREELIST_HEAD: VirtAddr = LIBC_PRIVATE_BASE;
+/// Word holding the base address of the heap's top (wilderness) chunk.
+pub const HEAP_TOP: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x10);
+/// `rand`/`srand` seed word.
+pub const RAND_SEED: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x18);
+/// `strtok` continuation pointer.
+pub const STRTOK_SAVE: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x20);
+/// Number of registered `atexit` handlers.
+pub const ATEXIT_COUNT: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x28);
+/// Start of the `atexit` handler table ([`ATEXIT_SLOTS`] pointers).
+/// Lives on the same writable page as the heap metadata — the classic
+/// unlink-write target.
+pub const ATEXIT_TABLE: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x30);
+/// Capacity of the `atexit` table.
+pub const ATEXIT_SLOTS: u64 = 32;
+/// Pointer to the `environ` array (a `char**`).
+pub const ENVIRON_PTR: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x130);
+/// Base address of the ctype classification table (set at init).
+pub const CTYPE_TABLE_PTR: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x138);
+/// Static buffer returned by `strerror` (64 bytes).
+pub const STRERROR_BUF: VirtAddr = VirtAddr::new(LIBC_PRIVATE_BASE.get() + 0x140);
+/// Size of the `strerror` buffer.
+pub const STRERROR_BUF_LEN: u64 = 64;
+
+/// Magic stored at offset 0 of every simulated `FILE` object.
+pub const FILE_MAGIC: u64 = 0x0045_4C49_4646_4C45; // "ELIFFLE" + version
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::layout::{LIBC_PRIVATE_SIZE, DATA_CURSOR_START};
+
+    #[test]
+    fn state_fits_in_private_page() {
+        let end = STRERROR_BUF.add(STRERROR_BUF_LEN);
+        assert!(end <= LIBC_PRIVATE_BASE.add(LIBC_PRIVATE_SIZE));
+        assert!(end <= DATA_CURSOR_START);
+    }
+
+    #[test]
+    fn fields_do_not_overlap() {
+        let spans = [
+            (FREELIST_HEAD, 16),
+            (HEAP_TOP, 8),
+            (RAND_SEED, 8),
+            (STRTOK_SAVE, 8),
+            (ATEXIT_COUNT, 8),
+            (ATEXIT_TABLE, ATEXIT_SLOTS * 8),
+            (ENVIRON_PTR, 8),
+            (CTYPE_TABLE_PTR, 8),
+            (STRERROR_BUF, STRERROR_BUF_LEN),
+        ];
+        for w in spans.windows(2) {
+            let (a, alen) = w[0];
+            let (b, _) = w[1];
+            assert!(a.add(alen) <= b, "{a} + {alen} overlaps {b}");
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! A `<stdio.h>` subset over the simulated kernel's file system. `FILE`
+//! objects are heap allocations (magic + fd), so a wild `FILE*` faults on
+//! the first dereference and a dangling one reads garbage — both faithful
+//! failure modes.
+
+use simproc::{CVal, Fault, OpenMode, Proc, VirtAddr};
+
+use crate::fmt::format;
+use crate::heap;
+use crate::state::FILE_MAGIC;
+use crate::util::{arg, enter, ok_int, ok_ptr};
+
+/// C `EOF`.
+pub const EOF: i64 = -1;
+
+/// Reads a `FILE*`'s fd, validating the magic. Wild pointers fault here;
+/// readable non-FILE memory yields `None` (later reported as `EBADF`).
+fn file_fd(p: &mut Proc, file: VirtAddr) -> Result<Option<i32>, Fault> {
+    let magic = p.read_u64(file)?;
+    if magic != FILE_MAGIC {
+        p.set_errno(simproc::errno::EBADF);
+        return Ok(None);
+    }
+    Ok(Some(p.read_u64(file.add(8))? as i32))
+}
+
+/// `FILE *fopen(const char *path, const char *mode);`
+pub fn fopen(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let path = p.read_cstr(arg(args, 0).as_ptr())?;
+    let mode_str = p.read_cstr(arg(args, 1).as_ptr())?;
+    let Some(mode) = OpenMode::parse(&String::from_utf8_lossy(&mode_str)) else {
+        p.set_errno(simproc::errno::EINVAL);
+        return Ok(CVal::NULL);
+    };
+    let path = String::from_utf8_lossy(&path).into_owned();
+    match p.kernel.open(&path, mode) {
+        Ok(fd) => {
+            let file = heap::malloc(p, 16)?;
+            if file.is_null() {
+                return Ok(CVal::NULL);
+            }
+            p.write_u64(file, FILE_MAGIC)?;
+            p.write_u64(file.add(8), fd as u64)?;
+            ok_ptr(file)
+        }
+        Err(e) => {
+            p.set_errno(e.errno());
+            Ok(CVal::NULL)
+        }
+    }
+}
+
+/// `int fclose(FILE *stream);`
+pub fn fclose(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let file = arg(args, 0).as_ptr();
+    let Some(fd) = file_fd(p, file)? else {
+        return ok_int(EOF);
+    };
+    let r = p.kernel.close(fd);
+    // Poison the magic so a double fclose reads EBADF (use-after-free of
+    // the FILE itself is still possible through the heap, faithfully).
+    p.write_u64(file, 0xDEAD)?;
+    heap::free(p, file)?;
+    match r {
+        Ok(()) => ok_int(0),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(EOF)
+        }
+    }
+}
+
+/// `int fgetc(FILE *stream);`
+pub fn fgetc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let Some(fd) = file_fd(p, arg(args, 0).as_ptr())? else {
+        return ok_int(EOF);
+    };
+    match p.kernel.read(fd, 1) {
+        Ok(bytes) if bytes.is_empty() => ok_int(EOF),
+        Ok(bytes) => ok_int(bytes[0] as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(EOF)
+        }
+    }
+}
+
+/// `char *fgets(char *s, int size, FILE *stream);`
+pub fn fgets(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = arg(args, 0).as_ptr();
+    let size = arg(args, 1).as_int();
+    let Some(fd) = file_fd(p, arg(args, 2).as_ptr())? else {
+        return Ok(CVal::NULL);
+    };
+    if size <= 0 {
+        // Real fgets with size<=0 is UB; glibc returns NULL.
+        return Ok(CVal::NULL);
+    }
+    if size == 1 {
+        // ISO C: room only for the terminator — store "" and succeed.
+        p.write_u8(s, 0)?;
+        return ok_ptr(s);
+    }
+    let mut written = 0u64;
+    let limit = (size - 1) as u64;
+    while written < limit {
+        let bytes = match p.kernel.read(fd, 1) {
+            Ok(b) => b,
+            Err(e) => {
+                p.set_errno(e.errno());
+                return Ok(CVal::NULL);
+            }
+        };
+        let Some(&b) = bytes.first() else { break };
+        p.write_u8(s.add(written), b)?;
+        written += 1;
+        if b == b'\n' {
+            break;
+        }
+    }
+    if written == 0 {
+        return Ok(CVal::NULL);
+    }
+    p.write_u8(s.add(written), 0)?;
+    ok_ptr(s)
+}
+
+/// `int fputc(int c, FILE *stream);`
+pub fn fputc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int() as u8;
+    let Some(fd) = file_fd(p, arg(args, 1).as_ptr())? else {
+        return ok_int(EOF);
+    };
+    match p.kernel.write(fd, &[c]) {
+        Ok(_) => ok_int(c as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(EOF)
+        }
+    }
+}
+
+/// `int fputs(const char *s, FILE *stream);`
+pub fn fputs(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = p.read_cstr(arg(args, 0).as_ptr())?;
+    let Some(fd) = file_fd(p, arg(args, 1).as_ptr())? else {
+        return ok_int(EOF);
+    };
+    match p.kernel.write(fd, &s) {
+        Ok(_) => ok_int(s.len() as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(EOF)
+        }
+    }
+}
+
+/// `size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);`
+pub fn fread(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let ptr = arg(args, 0).as_ptr();
+    let size = arg(args, 1).as_usize();
+    let nmemb = arg(args, 2).as_usize();
+    let Some(fd) = file_fd(p, arg(args, 3).as_ptr())? else {
+        return ok_int(0);
+    };
+    if size == 0 || nmemb == 0 {
+        return ok_int(0);
+    }
+    let total = size.saturating_mul(nmemb);
+    let bytes = match p.kernel.read(fd, total as usize) {
+        Ok(b) => b,
+        Err(e) => {
+            p.set_errno(e.errno());
+            return ok_int(0);
+        }
+    };
+    p.write_bytes(ptr, &bytes)?; // short dest buffer overflows, faithfully
+    ok_int(bytes.len() as i64 / size as i64)
+}
+
+/// `size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);`
+pub fn fwrite(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let ptr = arg(args, 0).as_ptr();
+    let size = arg(args, 1).as_usize();
+    let nmemb = arg(args, 2).as_usize();
+    let Some(fd) = file_fd(p, arg(args, 3).as_ptr())? else {
+        return ok_int(0);
+    };
+    if size == 0 || nmemb == 0 {
+        return ok_int(0);
+    }
+    let total = size.saturating_mul(nmemb);
+    let data = p.read_bytes(ptr, total)?;
+    match p.kernel.write(fd, &data) {
+        Ok(_) => ok_int(nmemb as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(0)
+        }
+    }
+}
+
+/// `int feof(FILE *stream);`
+pub fn feof(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let Some(fd) = file_fd(p, arg(args, 0).as_ptr())? else {
+        return ok_int(0);
+    };
+    match p.kernel.at_eof(fd) {
+        Ok(eof) => ok_int(eof as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(0)
+        }
+    }
+}
+
+/// `int fflush(FILE *stream);` — everything is unbuffered here; flushing
+/// `NULL` (all streams) is allowed, a wild stream still faults.
+pub fn fflush(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let file = arg(args, 0).as_ptr();
+    if file.is_null() {
+        return ok_int(0);
+    }
+    match file_fd(p, file)? {
+        Some(_) => ok_int(0),
+        None => ok_int(EOF),
+    }
+}
+
+/// `int puts(const char *s);`
+pub fn puts(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let s = p.read_cstr(arg(args, 0).as_ptr())?;
+    p.kernel.write(1, &s).ok();
+    p.kernel.write(1, b"\n").ok();
+    ok_int(s.len() as i64 + 1)
+}
+
+/// `int putchar(int c);`
+pub fn putchar(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let c = arg(args, 0).as_int() as u8;
+    p.kernel.write(1, &[c]).ok();
+    ok_int(c as i64)
+}
+
+/// `int printf(const char *format, ...);`
+pub fn printf(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let rendered = format(p, arg(args, 0).as_ptr(), &args[1.min(args.len())..])?;
+    p.kernel.write(1, &rendered).ok();
+    ok_int(rendered.len() as i64)
+}
+
+/// `int fprintf(FILE *stream, const char *format, ...);`
+pub fn fprintf(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let Some(fd) = file_fd(p, arg(args, 0).as_ptr())? else {
+        return ok_int(-1);
+    };
+    let rendered = format(p, arg(args, 1).as_ptr(), &args[2.min(args.len())..])?;
+    match p.kernel.write(fd, &rendered) {
+        Ok(n) => ok_int(n as i64),
+        Err(e) => {
+            p.set_errno(e.errno());
+            ok_int(-1)
+        }
+    }
+}
+
+/// `int sprintf(char *str, const char *format, ...);` — the unbounded
+/// classic; the security wrapper's favourite target after `strcpy`.
+pub fn sprintf(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let dst = arg(args, 0).as_ptr();
+    let rendered = format(p, arg(args, 1).as_ptr(), &args[2.min(args.len())..])?;
+    p.write_bytes(dst, &rendered)?;
+    p.write_u8(dst.add(rendered.len() as u64), 0)?;
+    ok_int(rendered.len() as i64)
+}
+
+/// `int snprintf(char *str, size_t size, const char *format, ...);`
+pub fn snprintf(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let dst = arg(args, 0).as_ptr();
+    let size = arg(args, 1).as_usize();
+    let rendered = format(p, arg(args, 2).as_ptr(), &args[3.min(args.len())..])?;
+    if size > 0 {
+        let n = rendered.len().min(size as usize - 1);
+        p.write_bytes(dst, &rendered[..n])?;
+        p.write_u8(dst.add(n as u64), 0)?;
+    }
+    ok_int(rendered.len() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+
+    fn open(p: &mut Proc, path: &str, mode: &str) -> CVal {
+        let pa = p.alloc_cstr(path);
+        let mo = p.alloc_cstr(mode);
+        fopen(p, &[CVal::Ptr(pa), CVal::Ptr(mo)]).unwrap()
+    }
+
+    #[test]
+    fn fopen_write_read_roundtrip() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "out.txt", "w");
+        assert!(!f.is_null());
+        let s = p.alloc_cstr("line one\n");
+        assert_eq!(fputs(&mut p, &[CVal::Ptr(s), f]).unwrap(), CVal::Int(9));
+        fputc(&mut p, &[CVal::Int(b'!' as i64), f]).unwrap();
+        fclose(&mut p, &[f]).unwrap();
+        assert_eq!(p.kernel.file("out.txt").unwrap(), b"line one\n!");
+
+        let f = open(&mut p, "out.txt", "r");
+        let buf = p.alloc_data_zeroed(64);
+        let r = fgets(&mut p, &[CVal::Ptr(buf), CVal::Int(64), f]).unwrap();
+        assert_eq!(r.as_ptr(), buf);
+        assert_eq!(p.read_cstr_lossy(buf), "line one\n");
+        let r2 = fgets(&mut p, &[CVal::Ptr(buf), CVal::Int(64), f]).unwrap();
+        assert_eq!(p.read_cstr_lossy(r2.as_ptr()), "!");
+        assert!(fgets(&mut p, &[CVal::Ptr(buf), CVal::Int(64), f]).unwrap().is_null());
+        assert_eq!(feof(&mut p, &[f]).unwrap(), CVal::Int(1));
+        fclose(&mut p, &[f]).unwrap();
+    }
+
+    #[test]
+    fn fgets_size_one_stores_empty_string() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "t", "w");
+        let x = p.alloc_cstr("x");
+        fputs(&mut p, &[CVal::Ptr(x), f]).ok();
+        fclose(&mut p, &[f]).unwrap();
+        let f = open(&mut p, "t", "r");
+        let buf = p.alloc_data(&[0xFFu8; 4]);
+        let r = fgets(&mut p, &[CVal::Ptr(buf), CVal::Int(1), f]).unwrap();
+        assert_eq!(r.as_ptr(), buf, "returns s, not NULL");
+        assert_eq!(p.read_u8(buf).unwrap(), 0, "stored the empty string");
+        assert_eq!(p.read_u8(buf.add(1)).unwrap(), 0xFF, "wrote nothing else");
+    }
+
+    #[test]
+    fn fopen_missing_file_sets_enoent() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "missing", "r");
+        assert!(f.is_null());
+        assert_eq!(p.errno(), simproc::errno::ENOENT);
+        let g = open(&mut p, "x", "frobnicate");
+        assert!(g.is_null());
+        assert_eq!(p.errno(), simproc::errno::EINVAL);
+    }
+
+    #[test]
+    fn wild_file_pointer_faults() {
+        let mut p = libc_proc();
+        for f in [
+            fgetc as fn(&mut Proc, &[CVal]) -> Result<CVal, Fault>,
+            fclose as _,
+            feof as _,
+        ] {
+            let err = f(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err();
+            assert!(matches!(err, Fault::Segv { .. }));
+        }
+    }
+
+    #[test]
+    fn non_file_memory_is_ebadf_not_crash() {
+        let mut p = libc_proc();
+        let fake = p.alloc_data_zeroed(16);
+        assert_eq!(fgetc(&mut p, &[CVal::Ptr(fake)]).unwrap(), CVal::Int(EOF));
+        assert_eq!(p.errno(), simproc::errno::EBADF);
+    }
+
+    #[test]
+    fn double_fclose_is_ebadf() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "t", "w");
+        assert_eq!(fclose(&mut p, &[f]).unwrap(), CVal::Int(0));
+        assert_eq!(fclose(&mut p, &[f]).unwrap(), CVal::Int(EOF));
+    }
+
+    #[test]
+    fn fread_fwrite_binary() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "bin", "w");
+        let data = p.alloc_data(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let written =
+            fwrite(&mut p, &[CVal::Ptr(data), CVal::Int(4), CVal::Int(2), f]).unwrap();
+        assert_eq!(written, CVal::Int(2));
+        fclose(&mut p, &[f]).unwrap();
+
+        let f = open(&mut p, "bin", "r");
+        let buf = p.alloc_data_zeroed(8);
+        let read = fread(&mut p, &[CVal::Ptr(buf), CVal::Int(4), CVal::Int(2), f]).unwrap();
+        assert_eq!(read, CVal::Int(2));
+        assert_eq!(p.read_bytes(buf, 8).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        fclose(&mut p, &[f]).unwrap();
+    }
+
+    #[test]
+    fn puts_and_printf_hit_stdout() {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("hello");
+        puts(&mut p, &[CVal::Ptr(s)]).unwrap();
+        let f = p.alloc_cstr("%d+%d\n");
+        printf(&mut p, &[CVal::Ptr(f), CVal::Int(2), CVal::Int(3)]).unwrap();
+        putchar(&mut p, &[CVal::Int(b'.' as i64)]).unwrap();
+        assert_eq!(p.kernel.stdout_text(), "hello\n2+3\n.");
+    }
+
+    #[test]
+    fn sprintf_unbounded_snprintf_bounded() {
+        let mut p = libc_proc();
+        let dst = p.alloc_data_zeroed(32);
+        let f = p.alloc_cstr("%s-%d");
+        let world = p.alloc_cstr("world");
+        let n = sprintf(&mut p, &[CVal::Ptr(dst), CVal::Ptr(f), CVal::Ptr(world), CVal::Int(9)])
+            .unwrap();
+        assert_eq!(n, CVal::Int(7));
+        assert_eq!(p.read_cstr_lossy(dst), "world-9");
+
+        let small = p.alloc_data_zeroed(4);
+        let n = snprintf(
+            &mut p,
+            &[CVal::Ptr(small), CVal::Int(4), CVal::Ptr(f), CVal::Ptr(world), CVal::Int(9)],
+        )
+        .unwrap();
+        assert_eq!(n, CVal::Int(7), "returns the would-be length");
+        assert_eq!(p.read_cstr_lossy(small), "wor");
+    }
+
+    #[test]
+    fn fprintf_writes_to_file() {
+        let mut p = libc_proc();
+        let f = open(&mut p, "log", "w");
+        let fmt = p.alloc_cstr("pid=%d");
+        fprintf(&mut p, &[f, CVal::Ptr(fmt), CVal::Int(7)]).unwrap();
+        fclose(&mut p, &[f]).unwrap();
+        assert_eq!(p.kernel.file("log").unwrap(), b"pid=7");
+    }
+
+    #[test]
+    fn fflush_null_ok_wild_faults() {
+        let mut p = libc_proc();
+        assert_eq!(fflush(&mut p, &[CVal::NULL]).unwrap(), CVal::Int(0));
+        assert!(matches!(
+            fflush(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+}

@@ -1,0 +1,20 @@
+//! Test fixtures shared by this crate's unit tests and by downstream
+//! crates' test suites.
+
+use simproc::Proc;
+
+use crate::setup::{init_libc, init_libc_with_env};
+
+/// A fresh process with libc state initialised (heap + ctype table).
+pub fn libc_proc() -> Proc {
+    let mut p = Proc::new();
+    init_libc(&mut p).expect("fresh image cannot fault");
+    p
+}
+
+/// [`libc_proc`] with an initial environment.
+pub fn libc_proc_with_env(vars: &[(&str, &str)]) -> Proc {
+    let mut p = Proc::new();
+    init_libc_with_env(&mut p, vars).expect("fresh image cannot fault");
+    p
+}

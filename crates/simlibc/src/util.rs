@@ -1,0 +1,41 @@
+//! Shared helpers for simulated C functions.
+
+use simproc::{CVal, Fault, Proc, VirtAddr};
+
+/// Fetches argument `i`; missing arguments read as garbage zero, the way
+/// a real C call with too few arguments reads whatever is in the register.
+pub(crate) fn arg(args: &[CVal], i: usize) -> CVal {
+    args.get(i).copied().unwrap_or(CVal::Int(0))
+}
+
+/// Charges the fixed call-entry fuel.
+pub(crate) fn enter(p: &mut Proc) -> Result<(), Fault> {
+    p.consume_fuel(5)
+}
+
+/// `Ok(CVal::Int(v))`.
+pub(crate) fn ok_int(v: i64) -> Result<CVal, Fault> {
+    Ok(CVal::Int(v))
+}
+
+/// `Ok(CVal::Ptr(a))`.
+pub(crate) fn ok_ptr(a: VirtAddr) -> Result<CVal, Fault> {
+    Ok(CVal::Ptr(a))
+}
+
+/// ASCII lowercase for comparisons.
+pub(crate) fn lower(b: u8) -> u8 {
+    b.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_args_read_as_zero() {
+        assert_eq!(arg(&[], 0), CVal::Int(0));
+        assert_eq!(arg(&[CVal::Int(7)], 0), CVal::Int(7));
+        assert_eq!(arg(&[CVal::Int(7)], 3), CVal::Int(0));
+    }
+}

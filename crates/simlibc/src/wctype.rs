@@ -1,0 +1,185 @@
+//! `<wctype.h>` subset — including `wctrans`, the function whose generated
+//! wrapper the paper prints in Figure 3.
+
+use simproc::{CVal, Fault, Proc};
+
+use crate::util::{arg, enter, ok_int};
+
+/// Descriptor values returned by [`wctrans`].
+pub const TRANS_TOLOWER: i64 = 1;
+/// See [`TRANS_TOLOWER`].
+pub const TRANS_TOUPPER: i64 = 2;
+
+/// `wctrans_t wctrans(const char *name);` — looks up a character mapping
+/// by name. Crashes on invalid pointers (it must read the name); returns
+/// `0` for unknown names.
+pub fn wctrans(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let name = arg(args, 0).as_ptr();
+    let bytes = p.read_cstr(name)?;
+    match bytes.as_slice() {
+        b"tolower" => ok_int(TRANS_TOLOWER),
+        b"toupper" => ok_int(TRANS_TOUPPER),
+        _ => ok_int(0),
+    }
+}
+
+/// `wint_t towctrans(wint_t wc, wctrans_t desc);`
+pub fn towctrans(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let wc = arg(args, 0).as_int();
+    match arg(args, 1).as_int() {
+        TRANS_TOLOWER => ok_int(ascii_lower(wc)),
+        TRANS_TOUPPER => ok_int(ascii_upper(wc)),
+        _ => {
+            p.set_errno(simproc::errno::EINVAL);
+            ok_int(wc)
+        }
+    }
+}
+
+const WCTYPE_NAMES: &[&str] = &[
+    "alnum", "alpha", "blank", "cntrl", "digit", "graph", "lower", "print", "punct", "space",
+    "upper", "xdigit",
+];
+
+/// `wctype_t wctype(const char *name);`
+pub fn wctype(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let name = arg(args, 0).as_ptr();
+    let bytes = p.read_cstr(name)?;
+    let name = String::from_utf8_lossy(&bytes);
+    match WCTYPE_NAMES.iter().position(|n| *n == name) {
+        Some(i) => ok_int(i as i64 + 1),
+        None => ok_int(0),
+    }
+}
+
+/// `int iswctype(wint_t wc, wctype_t desc);` — wide classification is
+/// table-free and robust for any `wc` (unlike the narrow `ctype` family).
+pub fn iswctype(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    let wc = arg(args, 0).as_int();
+    let desc = arg(args, 1).as_int();
+    let Ok(idx) = usize::try_from(desc - 1) else {
+        return ok_int(0);
+    };
+    let Some(name) = WCTYPE_NAMES.get(idx) else {
+        return ok_int(0);
+    };
+    let c = match u8::try_from(wc) {
+        Ok(c) => c as char,
+        Err(_) => return ok_int(0),
+    };
+    let hit = match *name {
+        "alnum" => c.is_ascii_alphanumeric(),
+        "alpha" => c.is_ascii_alphabetic(),
+        "blank" => c == ' ' || c == '\t',
+        "cntrl" => c.is_ascii_control(),
+        "digit" => c.is_ascii_digit(),
+        "graph" => c.is_ascii_graphic(),
+        "lower" => c.is_ascii_lowercase(),
+        "print" => c.is_ascii_graphic() || c == ' ',
+        "punct" => c.is_ascii_punctuation(),
+        "space" => c.is_ascii_whitespace() || c as u8 == 0x0b,
+        "upper" => c.is_ascii_uppercase(),
+        "xdigit" => c.is_ascii_hexdigit(),
+        _ => false,
+    };
+    ok_int(hit as i64)
+}
+
+fn ascii_lower(wc: i64) -> i64 {
+    if (b'A' as i64..=b'Z' as i64).contains(&wc) {
+        wc + 32
+    } else {
+        wc
+    }
+}
+
+fn ascii_upper(wc: i64) -> i64 {
+    if (b'a' as i64..=b'z' as i64).contains(&wc) {
+        wc - 32
+    } else {
+        wc
+    }
+}
+
+/// `wint_t towlower(wint_t wc);`
+pub fn towlower(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    ok_int(ascii_lower(arg(args, 0).as_int()))
+}
+
+/// `wint_t towupper(wint_t wc);`
+pub fn towupper(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    enter(p)?;
+    ok_int(ascii_upper(arg(args, 0).as_int()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::libc_proc;
+    use simproc::layout::WILD_ADDR;
+
+    #[test]
+    fn wctrans_known_names() {
+        let mut p = libc_proc();
+        let lo = p.alloc_cstr("tolower");
+        let up = p.alloc_cstr("toupper");
+        let junk = p.alloc_cstr("frobnicate");
+        assert_eq!(wctrans(&mut p, &[CVal::Ptr(lo)]).unwrap(), CVal::Int(TRANS_TOLOWER));
+        assert_eq!(wctrans(&mut p, &[CVal::Ptr(up)]).unwrap(), CVal::Int(TRANS_TOUPPER));
+        assert_eq!(wctrans(&mut p, &[CVal::Ptr(junk)]).unwrap(), CVal::Int(0));
+    }
+
+    #[test]
+    fn wctrans_crashes_on_bad_pointer() {
+        // Exactly the API failure HEALERS wraps in Figure 3.
+        let mut p = libc_proc();
+        assert!(matches!(wctrans(&mut p, &[CVal::NULL]).unwrap_err(), Fault::Segv { .. }));
+        assert!(matches!(
+            wctrans(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
+            Fault::Segv { .. }
+        ));
+    }
+
+    #[test]
+    fn towctrans_maps() {
+        let mut p = libc_proc();
+        let a = towctrans(&mut p, &[CVal::Int(b'A' as i64), CVal::Int(TRANS_TOLOWER)]).unwrap();
+        assert_eq!(a, CVal::Int(b'a' as i64));
+        let b = towctrans(&mut p, &[CVal::Int(b'a' as i64), CVal::Int(TRANS_TOUPPER)]).unwrap();
+        assert_eq!(b, CVal::Int(b'A' as i64));
+        // Bad descriptor: identity + EINVAL, no crash.
+        let c = towctrans(&mut p, &[CVal::Int(b'a' as i64), CVal::Int(99)]).unwrap();
+        assert_eq!(c, CVal::Int(b'a' as i64));
+        assert_eq!(p.errno(), simproc::errno::EINVAL);
+    }
+
+    #[test]
+    fn wctype_and_iswctype() {
+        let mut p = libc_proc();
+        let alpha = p.alloc_cstr("alpha");
+        let d = wctype(&mut p, &[CVal::Ptr(alpha)]).unwrap();
+        assert_ne!(d, CVal::Int(0));
+        let yes = iswctype(&mut p, &[CVal::Int(b'x' as i64), d]).unwrap();
+        assert_eq!(yes, CVal::Int(1));
+        let no = iswctype(&mut p, &[CVal::Int(b'1' as i64), d]).unwrap();
+        assert_eq!(no, CVal::Int(0));
+        // Garbage descriptor and wc never crash wide functions.
+        assert_eq!(
+            iswctype(&mut p, &[CVal::Int(1 << 40), CVal::Int(-5)]).unwrap(),
+            CVal::Int(0)
+        );
+    }
+
+    #[test]
+    fn tow_simple() {
+        let mut p = libc_proc();
+        assert_eq!(towlower(&mut p, &[CVal::Int(b'Z' as i64)]).unwrap(), CVal::Int(b'z' as i64));
+        assert_eq!(towupper(&mut p, &[CVal::Int(b'q' as i64)]).unwrap(), CVal::Int(b'Q' as i64));
+        assert_eq!(towlower(&mut p, &[CVal::Int(5000)]).unwrap(), CVal::Int(5000));
+    }
+}

@@ -1,0 +1,89 @@
+//! Fuzzing the printf engine: for *arbitrary* format strings and
+//! argument mixes, the engine must either render or fault cleanly — it
+//! may never panic the host, loop without fuel accounting, or write
+//! outside the simulation. (Its job is to be attackable, not to be
+//! buggy.)
+
+use proptest::prelude::*;
+
+use simlibc::fmt::format;
+use simlibc::testutil::libc_proc;
+use simproc::{CVal, Fault};
+
+fn arbitrary_fmt() -> impl Strategy<Value = String> {
+    // Heavily percent-laden strings: flags, widths, precisions, length
+    // modifiers, known and unknown conversions, truncated specs.
+    proptest::collection::vec(
+        prop_oneof![
+            Just("%".to_string()),
+            Just("%%".to_string()),
+            "[-+ 0#]{0,3}".prop_map(|f| format!("%{f}")),
+            (0u32..999).prop_map(|w| format!("%{w}")),
+            (0u32..99).prop_map(|p| format!("%.{p}")),
+            Just("%ll".to_string()),
+            "[dioxXucspfgen]".prop_map(|c| format!("%{c}")),
+            "[a-zA-Z!?]".prop_map(|c| format!("%{c}")),
+            "[ -~]{0,6}".prop_map(|s| s.replace('%', "")),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn arg_pool(p: &mut simproc::Proc) -> Vec<CVal> {
+    let s = p.alloc_cstr("pool-string");
+    let cell = p.alloc_data_zeroed(8);
+    vec![
+        CVal::Int(0),
+        CVal::Int(-1),
+        CVal::Int(i64::MAX),
+        CVal::F64(3.25),
+        CVal::Ptr(s),
+        CVal::Ptr(cell),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn format_engine_never_panics_or_hangs(
+        fmt_text in arbitrary_fmt(),
+        picks in prop::collection::vec(0usize..6, 0..6),
+    ) {
+        let mut p = libc_proc();
+        let pool = arg_pool(&mut p);
+        let args: Vec<CVal> = picks.into_iter().map(|i| pool[i]).collect();
+        let fmt = p.alloc_cstr(&fmt_text);
+        p.set_fuel_limit(Some(p.cycles() + 1_000_000));
+        match format(&mut p, fmt, &args) {
+            Ok(rendered) => {
+                // Rendering is bounded: output cannot exceed format
+                // length + per-conversion expansion.
+                prop_assert!(rendered.len() <= fmt_text.len() + 16 * 1024);
+            }
+            Err(Fault::Segv { .. }) | Err(Fault::Hang) => {
+                // Clean simulated faults (e.g. %s over a garbage arg)
+                // are the expected failure mode.
+            }
+            Err(other) => prop_assert!(false, "unexpected fault class: {other}"),
+        }
+    }
+
+    #[test]
+    fn valid_specs_with_valid_args_always_render(
+        v in any::<i32>(),
+        w in 0usize..64,
+        text in "[ -~]{0,20}",
+    ) {
+        let mut p = libc_proc();
+        let s = p.alloc_cstr(&text);
+        let fmt = p.alloc_cstr(&format!("<%{w}d|%x|%s>"));
+        let out = format(&mut p, fmt, &[CVal::Int(v as i64), CVal::Int(255), CVal::Ptr(s)])
+            .unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        prop_assert!(rendered.starts_with('<') && rendered.ends_with('>'));
+        prop_assert!(rendered.contains("ff"));
+        prop_assert!(rendered.contains(&text));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the boundary-tag allocator: for *any* sequence of
+//! well-behaved allocator operations, the heap invariants hold, live
+//! allocations never overlap, and payload bytes survive unrelated
+//! operations. (Attack scenarios deliberately violate these; the
+//! properties pin down the behaviour of the *legal* API.)
+
+use proptest::prelude::*;
+
+use simlibc::heap;
+use simlibc::testutil::libc_proc;
+use simproc::VirtAddr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc(u16),
+    Calloc(u8, u8),
+    Free(u8),
+    Realloc(u8, u16),
+    Write(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..2048).prop_map(Op::Malloc),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Calloc(a, b)),
+        any::<u8>().prop_map(Op::Free),
+        (any::<u8>(), 1u16..2048).prop_map(|(i, n)| Op::Realloc(i, n)),
+        any::<u8>().prop_map(Op::Write),
+    ]
+}
+
+/// A live allocation: pointer, requested size, fill byte.
+#[derive(Debug, Clone, Copy)]
+struct Live {
+    ptr: VirtAddr,
+    size: u64,
+    fill: u8,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allocator_invariants_under_arbitrary_legal_traffic(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut p = libc_proc();
+        let mut live: Vec<Live> = Vec::new();
+        let mut next_fill = 1u8;
+
+        for op in ops {
+            match op {
+                Op::Malloc(n) => {
+                    let ptr = heap::malloc(&mut p, n as u64).unwrap();
+                    if !ptr.is_null() {
+                        let fill = next_fill;
+                        next_fill = next_fill.wrapping_add(1).max(1);
+                        p.mem.write_bytes(ptr, &vec![fill; n as usize]).unwrap();
+                        live.push(Live { ptr, size: n as u64, fill });
+                    }
+                }
+                Op::Calloc(a, b) => {
+                    let ptr = heap::calloc(&mut p, a as u64, b as u64).unwrap();
+                    let total = a as u64 * b as u64;
+                    if !ptr.is_null() {
+                        // calloc zeroes (calloc(0, 0) still returns a
+                        // real, freeable allocation).
+                        prop_assert_eq!(
+                            p.mem.read_bytes(ptr, total).unwrap(),
+                            vec![0u8; total as usize]
+                        );
+                        let fill = next_fill;
+                        next_fill = next_fill.wrapping_add(1).max(1);
+                        p.mem.write_bytes(ptr, &vec![fill; total as usize]).unwrap();
+                        live.push(Live { ptr, size: total, fill });
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let v = live.remove(i as usize % live.len());
+                        heap::free(&mut p, v.ptr).unwrap();
+                    }
+                }
+                Op::Realloc(i, n) => {
+                    if !live.is_empty() {
+                        let idx = i as usize % live.len();
+                        let old = live[idx];
+                        let ptr = heap::realloc(&mut p, old.ptr, n as u64).unwrap();
+                        if ptr.is_null() {
+                            // failed: old allocation still valid
+                        } else {
+                            let kept = old.size.min(n as u64);
+                            prop_assert_eq!(
+                                p.mem.read_bytes(ptr, kept).unwrap(),
+                                vec![old.fill; kept as usize],
+                                "realloc must preserve the prefix"
+                            );
+                            p.mem.write_bytes(ptr, &vec![old.fill; n as usize]).unwrap();
+                            live[idx] = Live { ptr, size: n as u64, fill: old.fill };
+                        }
+                    }
+                }
+                Op::Write(i) => {
+                    if !live.is_empty() {
+                        let v = live[i as usize % live.len()];
+                        p.mem.write_bytes(v.ptr, &vec![v.fill; v.size as usize]).unwrap();
+                    }
+                }
+            }
+
+            // Global invariants after every step.
+            heap::check_invariants(&p).map_err(|e| {
+                TestCaseError::fail(format!("heap invariants violated: {e}"))
+            })?;
+
+            // Usable size covers the request; live chunks don't overlap.
+            let mut spans: Vec<(u64, u64)> = Vec::new();
+            for v in &live {
+                let usable = heap::usable_size(&mut p, v.ptr).unwrap();
+                prop_assert!(usable >= v.size.max(1));
+                spans.push((v.ptr.get(), v.ptr.get() + v.size));
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "allocations overlap: {spans:?}");
+            }
+        }
+
+        // Payload integrity at the end: nothing scribbled on live data.
+        for v in &live {
+            let data = p.mem.read_bytes(v.ptr, v.size).unwrap();
+            prop_assert_eq!(data, vec![v.fill; v.size as usize]);
+        }
+
+        // Free everything; the heap must collapse to a single top chunk.
+        for v in live {
+            heap::free(&mut p, v.ptr).unwrap();
+        }
+        heap::check_invariants(&p).map_err(|e| {
+            TestCaseError::fail(format!("post-teardown invariants: {e}"))
+        })?;
+        let chunks = heap::walk(&p).unwrap();
+        prop_assert_eq!(chunks.len(), 1, "all memory coalesced back: {:?}", chunks);
+        prop_assert!(chunks[0].is_top);
+    }
+
+    #[test]
+    fn malloc_alignment_and_distinctness(sizes in prop::collection::vec(1u64..512, 1..40)) {
+        let mut p = libc_proc();
+        let mut ptrs = Vec::new();
+        for n in sizes {
+            let ptr = heap::malloc(&mut p, n).unwrap();
+            prop_assert!(!ptr.is_null());
+            prop_assert!(ptr.is_aligned(16));
+            prop_assert!(!ptrs.contains(&ptr));
+            ptrs.push(ptr);
+        }
+    }
+
+    #[test]
+    fn oracle_never_exceeds_chunk(reqs in prop::collection::vec(1u64..256, 1..20), probe in 0u64..256) {
+        use simproc::ExtentOracle;
+        let mut p = libc_proc();
+        let oracle = heap::HeapOracle::new();
+        let mut ptrs = Vec::new();
+        for n in &reqs {
+            ptrs.push((heap::malloc(&mut p, *n).unwrap(), *n));
+        }
+        for (ptr, n) in &ptrs {
+            let usable = heap::usable_size(&mut p, *ptr).unwrap();
+            let addr = ptr.add(probe % usable);
+            if let Some(ext) = oracle.writable_extent(&p, addr) {
+                prop_assert!(ext <= usable, "extent {ext} > usable {usable} (req {n})");
+                prop_assert!(addr.add(ext) <= ptr.add(usable));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests comparing the simulated C functions against Rust
+//! reference implementations on *valid* inputs — the simulated library
+//! must be fragile on garbage, but correct on the happy path.
+
+use proptest::prelude::*;
+
+use simlibc::testutil::libc_proc;
+use simproc::{CVal, Proc};
+
+fn cstring() -> impl Strategy<Value = String> {
+    // NUL-free, ASCII-printable strings.
+    "[ -~]{0,64}"
+}
+
+fn call(p: &mut Proc, name: &str, args: &[CVal]) -> CVal {
+    (simlibc::find_symbol(name).unwrap().imp)(p, args).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn strlen_matches(s in cstring()) {
+        let mut p = libc_proc();
+        let a = p.alloc_cstr(&s);
+        prop_assert_eq!(call(&mut p, "strlen", &[CVal::Ptr(a)]).as_int(), s.len() as i64);
+    }
+
+    #[test]
+    fn strcmp_matches_byte_order(a in cstring(), b in cstring()) {
+        let mut p = libc_proc();
+        let pa = p.alloc_cstr(&a);
+        let pb = p.alloc_cstr(&b);
+        let r = call(&mut p, "strcmp", &[CVal::Ptr(pa), CVal::Ptr(pb)]).as_int();
+        let expect = a.as_bytes().cmp(b.as_bytes());
+        prop_assert_eq!(r.signum(), expect as i64, "{:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn strcpy_strcat_compose(a in cstring(), b in cstring()) {
+        let mut p = libc_proc();
+        let buf = simlibc::heap::malloc(&mut p, (a.len() + b.len() + 1) as u64).unwrap();
+        let pa = p.alloc_cstr(&a);
+        let pb = p.alloc_cstr(&b);
+        call(&mut p, "strcpy", &[CVal::Ptr(buf), CVal::Ptr(pa)]);
+        call(&mut p, "strcat", &[CVal::Ptr(buf), CVal::Ptr(pb)]);
+        prop_assert_eq!(p.read_cstr_lossy(buf), format!("{a}{b}"));
+    }
+
+    #[test]
+    fn strchr_strstr_match(hay in cstring(), needle_byte in 0x20u8..0x7f) {
+        let mut p = libc_proc();
+        let ph = p.alloc_cstr(&hay);
+        let r = call(&mut p, "strchr", &[CVal::Ptr(ph), CVal::Int(needle_byte as i64)]);
+        match hay.bytes().position(|c| c == needle_byte) {
+            Some(i) => prop_assert_eq!(r.as_ptr(), ph.add(i as u64)),
+            None => prop_assert!(r.is_null()),
+        }
+    }
+
+    #[test]
+    fn strstr_matches(hay in cstring(), needle in "[ -~]{0,8}") {
+        let mut p = libc_proc();
+        let ph = p.alloc_cstr(&hay);
+        let pn = p.alloc_cstr(&needle);
+        let r = call(&mut p, "strstr", &[CVal::Ptr(ph), CVal::Ptr(pn)]);
+        match hay.find(&needle) {
+            Some(i) => prop_assert_eq!(r.as_ptr(), ph.add(i as u64)),
+            None => prop_assert!(r.is_null()),
+        }
+    }
+
+    #[test]
+    fn atoi_matches_for_i32(v in any::<i32>(), pad in 0usize..4) {
+        let mut p = libc_proc();
+        let text = format!("{}{v}", " ".repeat(pad));
+        let a = p.alloc_cstr(&text);
+        prop_assert_eq!(call(&mut p, "atoi", &[CVal::Ptr(a)]).as_int(), v as i64);
+    }
+
+    #[test]
+    fn strtol_matches_rust_parse(v in any::<i64>(), base in prop_oneof![Just(10i64), Just(16), Just(8), Just(2)]) {
+        let mut p = libc_proc();
+        let text = match base {
+            16 => format!("{v:x}"),
+            8 => format!("{v:o}"),
+            2 => format!("{v:b}"),
+            _ => format!("{v}"),
+        };
+        prop_assume!(v >= 0 || base == 10); // negative radix strings format oddly
+        let a = p.alloc_cstr(&text);
+        let r = call(&mut p, "strtol", &[CVal::Ptr(a), CVal::NULL, CVal::Int(base)]).as_int();
+        prop_assert_eq!(r, v, "{:?} base {}", text, base);
+    }
+
+    #[test]
+    fn memset_memcmp_memchr_agree(len in 1usize..128, fill in any::<u8>(), probe in any::<u8>()) {
+        let mut p = libc_proc();
+        let a = simlibc::heap::malloc(&mut p, len as u64).unwrap();
+        call(&mut p, "memset", &[CVal::Ptr(a), CVal::Int(fill as i64), CVal::Int(len as i64)]);
+        let b = p.alloc_data(&vec![fill; len]);
+        let cmp = call(&mut p, "memcmp", &[CVal::Ptr(a), CVal::Ptr(b), CVal::Int(len as i64)]);
+        prop_assert_eq!(cmp, CVal::Int(0));
+        let hit = call(&mut p, "memchr", &[CVal::Ptr(a), CVal::Int(probe as i64), CVal::Int(len as i64)]);
+        if probe == fill {
+            prop_assert_eq!(hit.as_ptr(), a);
+        } else {
+            prop_assert!(hit.is_null());
+        }
+    }
+
+    #[test]
+    fn snprintf_matches_format(v in any::<i32>(), w in 0usize..10, s in "[ -~]{0,16}") {
+        let mut p = libc_proc();
+        let dst = simlibc::heap::malloc(&mut p, 128).unwrap();
+        let fmt = p.alloc_cstr(&format!("%{w}d|%s"));
+        let ps = p.alloc_cstr(&s);
+        let n = call(
+            &mut p,
+            "snprintf",
+            &[CVal::Ptr(dst), CVal::Int(128), CVal::Ptr(fmt), CVal::Int(v as i64), CVal::Ptr(ps)],
+        );
+        let expect = format!("{v:w$}|{s}", w = w);
+        prop_assert_eq!(p.read_cstr_lossy(dst), expect.clone());
+        prop_assert_eq!(n.as_int(), expect.len() as i64);
+    }
+
+    #[test]
+    fn strtok_splits_like_rust(parts in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut p = libc_proc();
+        let joined = parts.join(",");
+        let buf = p.alloc_data(&{
+            let mut v = joined.clone().into_bytes();
+            v.push(0);
+            v
+        });
+        let delim = p.alloc_cstr(",");
+        let mut got = Vec::new();
+        let mut tok = call(&mut p, "strtok", &[CVal::Ptr(buf), CVal::Ptr(delim)]);
+        while !tok.is_null() {
+            got.push(p.read_cstr_lossy(tok.as_ptr()));
+            tok = call(&mut p, "strtok", &[CVal::NULL, CVal::Ptr(delim)]);
+        }
+        prop_assert_eq!(got, parts);
+    }
+
+    #[test]
+    fn qsort_sorts_like_rust(mut values in prop::collection::vec(any::<i32>(), 0..32)) {
+        fn cmp(p: &mut Proc, args: &[CVal]) -> Result<CVal, simproc::Fault> {
+            let a = p.read_u32(args[0].as_ptr())? as i32;
+            let b = p.read_u32(args[1].as_ptr())? as i32;
+            Ok(CVal::Int(match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }))
+        }
+        let mut p = libc_proc();
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let base = p.alloc_data(&bytes);
+        let cmp_addr = p.register_host_fn("prop_cmp", cmp);
+        call(
+            &mut p,
+            "qsort",
+            &[CVal::Ptr(base), CVal::Int(values.len() as i64), CVal::Int(4), CVal::Ptr(cmp_addr)],
+        );
+        values.sort_unstable();
+        let got: Vec<i32> = (0..values.len())
+            .map(|i| p.read_u32(base.add(i as u64 * 4)).unwrap() as i32)
+            .collect();
+        prop_assert_eq!(got, values);
+    }
+
+    #[test]
+    fn tolower_toupper_match_ascii(c in 0i64..256) {
+        let mut p = libc_proc();
+        let lo = call(&mut p, "tolower", &[CVal::Int(c)]).as_int();
+        let up = call(&mut p, "toupper", &[CVal::Int(c)]).as_int();
+        prop_assert_eq!(lo, (c as u8 as char).to_ascii_lowercase() as i64);
+        prop_assert_eq!(up, (c as u8 as char).to_ascii_uppercase() as i64);
+    }
+}

@@ -1,0 +1,240 @@
+//! Virtual addresses and protection flags for the simulated address space.
+
+use std::fmt;
+
+/// A virtual address in a simulated process.
+///
+/// Addresses are plain 64-bit values; the newtype keeps them from being
+/// confused with sizes and host pointers.
+///
+/// ```
+/// use simproc::VirtAddr;
+/// let a = VirtAddr::new(0x1000);
+/// assert_eq!(a.add(0x10).get(), 0x1010);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// The null address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds an unsigned offset, wrapping on overflow (like pointer
+    /// arithmetic on a real machine).
+    pub const fn add(self, off: u64) -> Self {
+        VirtAddr(self.0.wrapping_add(off))
+    }
+
+    /// Subtracts an unsigned offset, wrapping on underflow.
+    pub const fn sub(self, off: u64) -> Self {
+        VirtAddr(self.0.wrapping_sub(off))
+    }
+
+    /// Adds a signed offset, wrapping.
+    pub const fn offset(self, off: i64) -> Self {
+        VirtAddr(self.0.wrapping_add(off as u64))
+    }
+
+    /// Byte distance from `other` to `self` (`self - other`), wrapping.
+    pub const fn diff(self, other: VirtAddr) -> u64 {
+        self.0.wrapping_sub(other.0)
+    }
+
+    /// Aligns the address down to `align` (must be a power of two).
+    pub const fn align_down(self, align: u64) -> Self {
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Aligns the address up to `align` (must be a power of two).
+    pub const fn align_up(self, align: u64) -> Self {
+        VirtAddr(self.0.wrapping_add(align - 1) & !(align - 1))
+    }
+
+    /// Returns `true` if the address is aligned to `align`.
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 % align == 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(a: VirtAddr) -> u64 {
+        a.0
+    }
+}
+
+/// Page protection flags for a mapped region.
+///
+/// ```
+/// use simproc::Prot;
+/// assert!(Prot::RW.can_write());
+/// assert!(!Prot::R.can_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot {
+    read: bool,
+    write: bool,
+    exec: bool,
+}
+
+impl Prot {
+    /// No access at all (a guard region).
+    pub const NONE: Prot = Prot { read: false, write: false, exec: false };
+    /// Read-only (e.g. `.rodata`).
+    pub const R: Prot = Prot { read: true, write: false, exec: false };
+    /// Read-write (data, heap, stack).
+    pub const RW: Prot = Prot { read: true, write: true, exec: false };
+    /// Read-execute (text).
+    pub const RX: Prot = Prot { read: true, write: false, exec: true };
+    /// Read-write-execute (only used by deliberately unsafe tests).
+    pub const RWX: Prot = Prot { read: true, write: true, exec: true };
+
+    /// Whether reads are allowed.
+    pub const fn can_read(self) -> bool {
+        self.read
+    }
+
+    /// Whether writes are allowed.
+    pub const fn can_write(self) -> bool {
+        self.write
+    }
+
+    /// Whether execution is allowed.
+    pub const fn can_exec(self) -> bool {
+        self.exec
+    }
+
+    /// Whether the given kind of access is allowed.
+    pub const fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.read,
+            Access::Write => self.write,
+            Access::Exec => self.exec,
+        }
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of memory access that faulted or is being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An instruction fetch / indirect call.
+    Exec,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+            Access::Exec => write!(f, "exec"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_arithmetic_wraps() {
+        let a = VirtAddr::new(u64::MAX);
+        assert_eq!(a.add(1), VirtAddr::NULL);
+        assert_eq!(VirtAddr::NULL.sub(1).get(), u64::MAX);
+    }
+
+    #[test]
+    fn addr_alignment() {
+        let a = VirtAddr::new(0x1234);
+        assert_eq!(a.align_down(0x1000).get(), 0x1000);
+        assert_eq!(a.align_up(0x1000).get(), 0x2000);
+        assert!(VirtAddr::new(0x2000).is_aligned(0x1000));
+        assert!(!a.is_aligned(16));
+    }
+
+    #[test]
+    fn addr_offset_signed() {
+        let a = VirtAddr::new(0x1000);
+        assert_eq!(a.offset(-0x10).get(), 0xff0);
+        assert_eq!(a.offset(0x10).get(), 0x1010);
+    }
+
+    #[test]
+    fn addr_diff() {
+        assert_eq!(VirtAddr::new(0x20).diff(VirtAddr::new(0x8)), 0x18);
+    }
+
+    #[test]
+    fn prot_flags() {
+        assert!(Prot::R.can_read() && !Prot::R.can_write() && !Prot::R.can_exec());
+        assert!(Prot::RW.allows(Access::Write));
+        assert!(!Prot::RW.allows(Access::Exec));
+        assert!(Prot::RX.allows(Access::Exec));
+        assert!(!Prot::NONE.allows(Access::Read));
+    }
+
+    #[test]
+    fn prot_display() {
+        assert_eq!(Prot::RW.to_string(), "rw-");
+        assert_eq!(Prot::RX.to_string(), "r-x");
+        assert_eq!(Prot::NONE.to_string(), "---");
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(VirtAddr::new(0x40_0000).to_string(), "0x000000400000");
+    }
+
+    #[test]
+    fn null_checks() {
+        assert!(VirtAddr::NULL.is_null());
+        assert!(!VirtAddr::new(1).is_null());
+    }
+}

@@ -1,0 +1,165 @@
+//! The function/address table: gives every registered function a text
+//! address so function *pointers* exist in simulated memory, indirect calls
+//! can be resolved — and corrupted pointers can hijack control flow, which
+//! is precisely the attack the paper's security wrapper stops.
+
+use std::collections::HashMap;
+
+use crate::addr::VirtAddr;
+use crate::layout::TEXT_BASE;
+
+/// Identifier of a registered simulated function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index form, for dense per-function statistics arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Byte spacing between consecutive function entry points in the simulated
+/// text segment.
+pub const FUNC_STRIDE: u64 = 16;
+
+/// Marker bytes an attacker plants in a buffer; if control flow ever
+/// reaches them, the "shellcode" runs. See [`crate::proc::Proc::resolve_call`].
+pub const SHELLCODE_MAGIC: &[u8] = b"\x90\x90SHELLCODE";
+
+/// The outcome of resolving an indirect call target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A legitimate registered function.
+    Function(FuncId),
+    /// The target points into memory containing attacker shellcode.
+    Shellcode,
+    /// The target is garbage (unmapped or not a function entry).
+    Wild,
+}
+
+/// Maps names and text addresses to function ids.
+#[derive(Debug, Clone, Default)]
+pub struct FuncTable {
+    names: Vec<String>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl FuncTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FuncTable::default()
+    }
+
+    /// Registers a function name, returning its id and text address.
+    /// Registering the same name twice returns the existing entry.
+    pub fn register(&mut self, name: &str) -> (FuncId, VirtAddr) {
+        if let Some(&id) = self.by_name.get(name) {
+            return (id, self.addr_of(id));
+        }
+        let id = FuncId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        (id, self.addr_of(id))
+    }
+
+    /// The text address of a function id.
+    pub fn addr_of(&self, id: FuncId) -> VirtAddr {
+        TEXT_BASE.add(FUNC_STRIDE * (id.0 as u64 + 1))
+    }
+
+    /// Resolves a text address back to a function id, if it is an exact
+    /// entry point of a registered function.
+    pub fn by_addr(&self, addr: VirtAddr) -> Option<FuncId> {
+        let off = addr.diff(TEXT_BASE);
+        if off == 0 || off % FUNC_STRIDE != 0 {
+            return None;
+        }
+        let idx = off / FUNC_STRIDE - 1;
+        if idx < self.names.len() as u64 {
+            Some(FuncId(idx as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Looks up a function id by name.
+    pub fn id_of(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a function id.
+    pub fn name_of(&self, id: FuncId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FuncId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut t = FuncTable::new();
+        let (id, addr) = t.register("strcpy");
+        assert_eq!(t.by_addr(addr), Some(id));
+        assert_eq!(t.id_of("strcpy"), Some(id));
+        assert_eq!(t.name_of(id), "strcpy");
+        assert_eq!(t.addr_of(id), addr);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut t = FuncTable::new();
+        let a = t.register("memcpy");
+        let b = t.register("memcpy");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unknown_addresses_do_not_resolve() {
+        let mut t = FuncTable::new();
+        let (_, addr) = t.register("f");
+        assert_eq!(t.by_addr(addr.add(1)), None, "misaligned");
+        assert_eq!(t.by_addr(addr.add(FUNC_STRIDE)), None, "past the end");
+        assert_eq!(t.by_addr(TEXT_BASE), None, "base is never a function");
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut t = FuncTable::new();
+        t.register("a");
+        t.register("b");
+        let names: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn addresses_are_distinct_and_in_text() {
+        let mut t = FuncTable::new();
+        let (_, a1) = t.register("x");
+        let (_, a2) = t.register("y");
+        assert_ne!(a1, a2);
+        assert!(a1 >= TEXT_BASE && a2 >= TEXT_BASE);
+    }
+}

@@ -1,0 +1,163 @@
+//! The C value model: what flows in and out of simulated library calls.
+
+use std::fmt;
+
+use crate::addr::VirtAddr;
+
+/// A value passed to or returned from a simulated C function.
+///
+/// Real C passes untyped machine words; `CVal` keeps a coarse tag so host
+/// code stays readable, but conversions between integers and pointers are
+/// deliberately free (as they are in C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CVal {
+    /// Any integer argument (char, int, long, size_t ... sign preserved).
+    Int(i64),
+    /// A pointer argument.
+    Ptr(VirtAddr),
+    /// A floating point argument.
+    F64(f64),
+    /// The value of a `void` return.
+    Void,
+}
+
+impl CVal {
+    /// The null pointer.
+    pub const NULL: CVal = CVal::Ptr(VirtAddr::NULL);
+
+    /// Views the value as a pointer, converting integers bit-for-bit
+    /// (as a cast in C would).
+    pub fn as_ptr(self) -> VirtAddr {
+        match self {
+            CVal::Ptr(p) => p,
+            CVal::Int(i) => VirtAddr::new(i as u64),
+            CVal::F64(f) => VirtAddr::new(f as u64),
+            CVal::Void => VirtAddr::NULL,
+        }
+    }
+
+    /// Views the value as a signed integer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            CVal::Int(i) => i,
+            CVal::Ptr(p) => p.get() as i64,
+            CVal::F64(f) => f as i64,
+            CVal::Void => 0,
+        }
+    }
+
+    /// Views the value as an unsigned integer (e.g. a `size_t`).
+    pub fn as_usize(self) -> u64 {
+        self.as_int() as u64
+    }
+
+    /// Views the value as a double.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            CVal::F64(f) => f,
+            CVal::Int(i) => i as f64,
+            CVal::Ptr(p) => p.get() as f64,
+            CVal::Void => 0.0,
+        }
+    }
+
+    /// `true` for a null pointer or zero integer.
+    pub fn is_null(self) -> bool {
+        self.as_ptr().is_null()
+    }
+
+    /// Constructs a pointer value.
+    pub fn ptr(addr: impl Into<VirtAddr>) -> CVal {
+        CVal::Ptr(addr.into())
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Int(i) => write!(f, "{i}"),
+            CVal::Ptr(p) => write!(f, "{p}"),
+            CVal::F64(v) => write!(f, "{v}"),
+            CVal::Void => write!(f, "(void)"),
+        }
+    }
+}
+
+impl From<i64> for CVal {
+    fn from(v: i64) -> Self {
+        CVal::Int(v)
+    }
+}
+
+impl From<i32> for CVal {
+    fn from(v: i32) -> Self {
+        CVal::Int(v as i64)
+    }
+}
+
+impl From<u64> for CVal {
+    fn from(v: u64) -> Self {
+        CVal::Int(v as i64)
+    }
+}
+
+impl From<VirtAddr> for CVal {
+    fn from(v: VirtAddr) -> Self {
+        CVal::Ptr(v)
+    }
+}
+
+impl From<f64> for CVal {
+    fn from(v: f64) -> Self {
+        CVal::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ptr_conversions_are_free() {
+        let v = CVal::Int(0x1000);
+        assert_eq!(v.as_ptr(), VirtAddr::new(0x1000));
+        let p = CVal::ptr(VirtAddr::new(0x2000));
+        assert_eq!(p.as_int(), 0x2000);
+        assert_eq!(p.as_usize(), 0x2000);
+    }
+
+    #[test]
+    fn negative_int_as_size() {
+        // (size_t)-1 is huge, exactly like C.
+        assert_eq!(CVal::Int(-1).as_usize(), u64::MAX);
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(CVal::NULL.is_null());
+        assert!(CVal::Int(0).is_null());
+        assert!(!CVal::Int(1).is_null());
+        assert!(CVal::Void.is_null());
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(CVal::F64(2.5).as_f64(), 2.5);
+        assert_eq!(CVal::F64(2.9).as_int(), 2);
+        assert_eq!(CVal::Int(3).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(CVal::from(3i32), CVal::Int(3));
+        assert_eq!(CVal::from(3u64), CVal::Int(3));
+        assert_eq!(CVal::from(VirtAddr::new(5)), CVal::Ptr(VirtAddr::new(5)));
+        assert_eq!(CVal::from(1.5f64), CVal::F64(1.5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CVal::Int(-4).to_string(), "-4");
+        assert_eq!(CVal::Void.to_string(), "(void)");
+    }
+}

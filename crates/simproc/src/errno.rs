@@ -1,0 +1,96 @@
+//! Classic errno values used by the simulated C library and the profiling
+//! wrapper's error histograms (the paper classifies failure causes by
+//! errno, Figure 5).
+
+/// Operation not permitted.
+pub const EPERM: i32 = 1;
+/// No such file or directory.
+pub const ENOENT: i32 = 2;
+/// Interrupted system call.
+pub const EINTR: i32 = 4;
+/// Bad file descriptor.
+pub const EBADF: i32 = 9;
+/// Out of memory.
+pub const ENOMEM: i32 = 12;
+/// Permission denied.
+pub const EACCES: i32 = 13;
+/// Bad address.
+pub const EFAULT: i32 = 14;
+/// File exists.
+pub const EEXIST: i32 = 17;
+/// Invalid argument.
+pub const EINVAL: i32 = 22;
+/// Numerical result out of range.
+pub const ERANGE: i32 = 34;
+/// Value too large for defined data type.
+pub const EOVERFLOW: i32 = 75;
+
+/// Upper bound used for errno histograms; errnos outside `0..MAX_ERRNO`
+/// are counted in the overflow bucket, matching the generated wrapper code
+/// in the paper's Figure 3.
+pub const MAX_ERRNO: i32 = 126;
+
+/// A short human-readable name for an errno value, for reports.
+pub fn errno_name(errno: i32) -> &'static str {
+    match errno {
+        0 => "OK",
+        EPERM => "EPERM",
+        ENOENT => "ENOENT",
+        EINTR => "EINTR",
+        EBADF => "EBADF",
+        ENOMEM => "ENOMEM",
+        EACCES => "EACCES",
+        EFAULT => "EFAULT",
+        EEXIST => "EEXIST",
+        EINVAL => "EINVAL",
+        ERANGE => "ERANGE",
+        EOVERFLOW => "EOVERFLOW",
+        _ => "E?",
+    }
+}
+
+/// The message `strerror` produces for an errno value.
+pub fn strerror_text(errno: i32) -> &'static str {
+    match errno {
+        0 => "Success",
+        EPERM => "Operation not permitted",
+        ENOENT => "No such file or directory",
+        EINTR => "Interrupted system call",
+        EBADF => "Bad file descriptor",
+        ENOMEM => "Cannot allocate memory",
+        EACCES => "Permission denied",
+        EFAULT => "Bad address",
+        EEXIST => "File exists",
+        EINVAL => "Invalid argument",
+        ERANGE => "Numerical result out of range",
+        EOVERFLOW => "Value too large for defined data type",
+        _ => "Unknown error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_constants() {
+        assert_eq!(errno_name(EINVAL), "EINVAL");
+        assert_eq!(errno_name(ENOMEM), "ENOMEM");
+        assert_eq!(errno_name(0), "OK");
+        assert_eq!(errno_name(99), "E?");
+    }
+
+    #[test]
+    fn strerror_known_and_unknown() {
+        assert_eq!(strerror_text(ENOENT), "No such file or directory");
+        assert_eq!(strerror_text(1234), "Unknown error");
+        assert_eq!(strerror_text(0), "Success");
+    }
+
+    #[test]
+    fn max_errno_covers_all_constants() {
+        for e in [EPERM, ENOENT, EINTR, EBADF, ENOMEM, EACCES, EFAULT, EEXIST, EINVAL, ERANGE, EOVERFLOW] {
+            assert!(e > 0 && e < MAX_ERRNO);
+        }
+    }
+}

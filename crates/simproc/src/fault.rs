@@ -1,0 +1,164 @@
+//! The fault taxonomy observed by the fault injector and contained by
+//! wrappers.
+//!
+//! HEALERS classifies function behaviour on the CRASH scale popularised by
+//! Ballista (Koopman & DeVale): a call either passes, reports an error
+//! gracefully via `errno`, or fails in one of the ways below. In a real
+//! process these failures are signals, aborts or livelocks; in the simulated
+//! process they are ordinary values, so campaigns can count, compare and
+//! contain them.
+
+use std::fmt;
+
+use crate::addr::{Access, VirtAddr};
+
+/// A hard failure of the simulated process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// A memory access violated page protections or touched an unmapped
+    /// address — the analogue of `SIGSEGV`.
+    Segv {
+        /// Faulting address.
+        addr: VirtAddr,
+        /// The kind of access attempted.
+        access: Access,
+        /// Human-readable context, e.g. the function that faulted.
+        context: String,
+    },
+    /// The process called `abort()` or failed an internal assertion —
+    /// the analogue of `SIGABRT`.
+    Abort {
+        /// Why the process aborted.
+        reason: String,
+    },
+    /// The execution fuel budget was exhausted: the call would not have
+    /// terminated within the watchdog budget (the analogue of a hang).
+    Hang,
+    /// The process exited via `exit()` with the given status. Not a crash
+    /// by itself, but a robustness failure when a mere library call
+    /// terminates the caller.
+    Exit(i32),
+    /// A protection wrapper detected an attack or a contained fault and
+    /// terminated the process deliberately (the paper's security wrapper
+    /// kills the attacked program).
+    SecurityViolation {
+        /// What was detected.
+        detail: String,
+    },
+    /// An integer division by zero — the analogue of `SIGFPE`.
+    DivByZero {
+        /// Human-readable context.
+        context: String,
+    },
+    /// An indirect call through a corrupted or wild pointer. Carries the
+    /// target so tests can assert on hijacked control flow.
+    WildJump {
+        /// The bogus target address.
+        target: VirtAddr,
+    },
+}
+
+impl Fault {
+    /// Short machine-readable tag used in reports and XML documents.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Fault::Segv { .. } => "segv",
+            Fault::Abort { .. } => "abort",
+            Fault::Hang => "hang",
+            Fault::Exit(_) => "exit",
+            Fault::SecurityViolation { .. } => "security-violation",
+            Fault::DivByZero { .. } => "fpe",
+            Fault::WildJump { .. } => "wild-jump",
+        }
+    }
+
+    /// Convenience constructor for a segmentation fault.
+    pub fn segv(addr: VirtAddr, access: Access, context: impl Into<String>) -> Self {
+        Fault::Segv { addr, access, context: context.into() }
+    }
+
+    /// Convenience constructor for an abort.
+    pub fn abort(reason: impl Into<String>) -> Self {
+        Fault::Abort { reason: reason.into() }
+    }
+
+    /// Convenience constructor for a security violation.
+    pub fn security(detail: impl Into<String>) -> Self {
+        Fault::SecurityViolation { detail: detail.into() }
+    }
+
+    /// `true` for failures that indicate the *library* misbehaved
+    /// (crash/hang), as opposed to deliberate terminations by a wrapper.
+    pub fn is_robustness_failure(&self) -> bool {
+        matches!(
+            self,
+            Fault::Segv { .. }
+                | Fault::Abort { .. }
+                | Fault::Hang
+                | Fault::Exit(_)
+                | Fault::DivByZero { .. }
+                | Fault::WildJump { .. }
+        )
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Segv { addr, access, context } => {
+                write!(f, "segmentation fault: {access} at {addr} in {context}")
+            }
+            Fault::Abort { reason } => write!(f, "abort: {reason}"),
+            Fault::Hang => write!(f, "hang: execution budget exhausted"),
+            Fault::Exit(code) => write!(f, "process exited with status {code}"),
+            Fault::SecurityViolation { detail } => {
+                write!(f, "security violation detected: {detail}")
+            }
+            Fault::DivByZero { context } => write!(f, "division by zero in {context}"),
+            Fault::WildJump { target } => {
+                write!(f, "indirect call to non-function address {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Fault::Hang.tag(), "hang");
+        assert_eq!(Fault::Exit(1).tag(), "exit");
+        assert_eq!(
+            Fault::segv(VirtAddr::new(0x10), Access::Read, "strlen").tag(),
+            "segv"
+        );
+        assert_eq!(Fault::abort("double free").tag(), "abort");
+        assert_eq!(Fault::security("canary").tag(), "security-violation");
+        assert_eq!(Fault::DivByZero { context: "div".into() }.tag(), "fpe");
+        assert_eq!(Fault::WildJump { target: VirtAddr::NULL }.tag(), "wild-jump");
+    }
+
+    #[test]
+    fn robustness_classification() {
+        assert!(Fault::Hang.is_robustness_failure());
+        assert!(Fault::Exit(0).is_robustness_failure());
+        assert!(!Fault::security("heap canary clobbered").is_robustness_failure());
+    }
+
+    #[test]
+    fn display_mentions_context() {
+        let s = Fault::segv(VirtAddr::new(0xdead), Access::Write, "strcpy").to_string();
+        assert!(s.contains("strcpy"), "{s}");
+        assert!(s.contains("write"), "{s}");
+    }
+
+    #[test]
+    fn fault_is_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Fault>();
+    }
+}

@@ -1,0 +1,330 @@
+//! A miniature in-memory "kernel": file system and descriptor table.
+//!
+//! The simulated C library's stdio subset needs somewhere to read and write
+//! files. Keeping the file system on the kernel side (outside the simulated
+//! address space) mirrors a real OS: a wild `FILE*` can crash the process,
+//! but file *contents* live behind the system-call boundary and survive.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a file was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// `"r"` — read only; the file must exist.
+    Read,
+    /// `"w"` — write only; truncates or creates.
+    Write,
+    /// `"a"` — append; creates if missing.
+    Append,
+}
+
+impl OpenMode {
+    /// Parses a (simplified) `fopen` mode string.
+    pub fn parse(mode: &str) -> Option<OpenMode> {
+        match mode.trim_end_matches('b') {
+            "r" => Some(OpenMode::Read),
+            "w" => Some(OpenMode::Write),
+            "a" => Some(OpenMode::Append),
+            _ => None,
+        }
+    }
+}
+
+/// An open file description.
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    mode: OpenMode,
+    pos: usize,
+    eof: bool,
+}
+
+/// Error codes returned by kernel calls, mirroring a tiny errno subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// File does not exist (`ENOENT`).
+    NotFound,
+    /// Bad file descriptor (`EBADF`).
+    BadFd,
+    /// Operation not permitted by the open mode (`EACCES`).
+    Access,
+    /// Invalid argument (`EINVAL`).
+    Invalid,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NotFound => write!(f, "no such file or directory"),
+            KernelError::BadFd => write!(f, "bad file descriptor"),
+            KernelError::Access => write!(f, "permission denied"),
+            KernelError::Invalid => write!(f, "invalid argument"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl KernelError {
+    /// The corresponding classic errno value.
+    pub fn errno(self) -> i32 {
+        match self {
+            KernelError::NotFound => crate::errno::ENOENT,
+            KernelError::BadFd => crate::errno::EBADF,
+            KernelError::Access => crate::errno::EACCES,
+            KernelError::Invalid => crate::errno::EINVAL,
+        }
+    }
+}
+
+/// The in-memory kernel state of a simulated process.
+#[derive(Debug, Clone, Default)]
+pub struct Kernel {
+    fs: BTreeMap<String, Vec<u8>>,
+    fds: Vec<Option<OpenFile>>,
+    /// Everything the process wrote to stdout (fd 1 analogue).
+    pub stdout: Vec<u8>,
+    /// Everything the process wrote to stderr (fd 2 analogue).
+    pub stderr: Vec<u8>,
+    /// Whether the process currently runs with root privilege
+    /// (for the security demo: hijacks of root processes are what matter).
+    pub root_privilege: bool,
+    /// Set when hijacked control flow "spawned a shell" — the attacker's
+    /// success flag in the heap-smashing demo.
+    pub shell_spawned: bool,
+}
+
+impl Kernel {
+    /// Creates an empty kernel with no files.
+    pub fn new() -> Self {
+        Kernel::default()
+    }
+
+    /// Creates or replaces a file.
+    pub fn install_file(&mut self, path: impl Into<String>, contents: impl Into<Vec<u8>>) {
+        self.fs.insert(path.into(), contents.into());
+    }
+
+    /// Reads back a whole file (host-side helper for tests and reports).
+    pub fn file(&self, path: &str) -> Option<&[u8]> {
+        self.fs.get(path).map(|v| v.as_slice())
+    }
+
+    /// All file paths currently present.
+    pub fn file_paths(&self) -> impl Iterator<Item = &str> {
+        self.fs.keys().map(|s| s.as_str())
+    }
+
+    /// Opens a file; returns a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotFound`] for reading a missing file.
+    pub fn open(&mut self, path: &str, mode: OpenMode) -> Result<i32, KernelError> {
+        match mode {
+            OpenMode::Read => {
+                if !self.fs.contains_key(path) {
+                    return Err(KernelError::NotFound);
+                }
+            }
+            OpenMode::Write => {
+                self.fs.insert(path.to_string(), Vec::new());
+            }
+            OpenMode::Append => {
+                self.fs.entry(path.to_string()).or_default();
+            }
+        }
+        let pos = if mode == OpenMode::Append {
+            self.fs[path].len()
+        } else {
+            0
+        };
+        let file = OpenFile { path: path.to_string(), mode, pos, eof: false };
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Ok(i as i32 + 3); // 0..2 reserved for std streams
+            }
+        }
+        self.fds.push(Some(file));
+        Ok(self.fds.len() as i32 + 2)
+    }
+
+    fn slot(&mut self, fd: i32) -> Result<&mut OpenFile, KernelError> {
+        let idx = (fd - 3) as usize;
+        if fd < 3 {
+            return Err(KernelError::BadFd);
+        }
+        self.fds
+            .get_mut(idx)
+            .and_then(|s| s.as_mut())
+            .ok_or(KernelError::BadFd)
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&mut self, fd: i32) -> Result<(), KernelError> {
+        let idx = (fd - 3) as usize;
+        if fd < 3 || idx >= self.fds.len() || self.fds[idx].is_none() {
+            return Err(KernelError::BadFd);
+        }
+        self.fds[idx] = None;
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes from `fd` at its current position.
+    pub fn read(&mut self, fd: i32, len: usize) -> Result<Vec<u8>, KernelError> {
+        // Split borrows: look up contents after validating the fd.
+        let (path, pos, mode) = {
+            let f = self.slot(fd)?;
+            (f.path.clone(), f.pos, f.mode)
+        };
+        if mode != OpenMode::Read {
+            return Err(KernelError::Access);
+        }
+        let data = self.fs.get(&path).ok_or(KernelError::NotFound)?;
+        let end = (pos + len).min(data.len());
+        let out = data[pos.min(data.len())..end].to_vec();
+        let f = self.slot(fd)?;
+        f.pos = end;
+        if out.len() < len {
+            f.eof = true;
+        }
+        Ok(out)
+    }
+
+    /// Appends/overwrites bytes at the descriptor's position.
+    pub fn write(&mut self, fd: i32, bytes: &[u8]) -> Result<usize, KernelError> {
+        if fd == 1 {
+            self.stdout.extend_from_slice(bytes);
+            return Ok(bytes.len());
+        }
+        if fd == 2 {
+            self.stderr.extend_from_slice(bytes);
+            return Ok(bytes.len());
+        }
+        let (path, pos, mode) = {
+            let f = self.slot(fd)?;
+            (f.path.clone(), f.pos, f.mode)
+        };
+        if mode == OpenMode::Read {
+            return Err(KernelError::Access);
+        }
+        let data = self.fs.get_mut(&path).ok_or(KernelError::NotFound)?;
+        if pos >= data.len() {
+            data.extend_from_slice(bytes);
+        } else {
+            let overlap = (data.len() - pos).min(bytes.len());
+            data[pos..pos + overlap].copy_from_slice(&bytes[..overlap]);
+            data.extend_from_slice(&bytes[overlap..]);
+        }
+        let f = self.slot(fd)?;
+        f.pos = pos + bytes.len();
+        Ok(bytes.len())
+    }
+
+    /// Whether the descriptor has hit end-of-file.
+    pub fn at_eof(&mut self, fd: i32) -> Result<bool, KernelError> {
+        Ok(self.slot(fd)?.eof)
+    }
+
+    /// Stdout decoded as UTF-8 (lossy), for assertions in tests/examples.
+    pub fn stdout_text(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_read_missing_fails() {
+        let mut k = Kernel::new();
+        assert_eq!(k.open("nope.txt", OpenMode::Read), Err(KernelError::NotFound));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut k = Kernel::new();
+        let fd = k.open("f.txt", OpenMode::Write).unwrap();
+        k.write(fd, b"hello world").unwrap();
+        k.close(fd).unwrap();
+        let fd = k.open("f.txt", OpenMode::Read).unwrap();
+        assert_eq!(k.read(fd, 5).unwrap(), b"hello");
+        assert_eq!(k.read(fd, 64).unwrap(), b" world");
+        assert!(k.at_eof(fd).unwrap());
+        k.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let mut k = Kernel::new();
+        k.install_file("log", b"a".to_vec());
+        let fd = k.open("log", OpenMode::Append).unwrap();
+        k.write(fd, b"b").unwrap();
+        assert_eq!(k.file("log").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn mode_enforcement() {
+        let mut k = Kernel::new();
+        k.install_file("f", b"x".to_vec());
+        let fd = k.open("f", OpenMode::Read).unwrap();
+        assert_eq!(k.write(fd, b"y"), Err(KernelError::Access));
+        let wfd = k.open("g", OpenMode::Write).unwrap();
+        assert_eq!(k.read(wfd, 1), Err(KernelError::Access));
+    }
+
+    #[test]
+    fn bad_fd_rejected() {
+        let mut k = Kernel::new();
+        assert_eq!(k.read(42, 1), Err(KernelError::BadFd));
+        assert_eq!(k.close(0), Err(KernelError::BadFd));
+        assert_eq!(k.close(-1), Err(KernelError::BadFd));
+    }
+
+    #[test]
+    fn fd_reuse_after_close() {
+        let mut k = Kernel::new();
+        let fd1 = k.open("a", OpenMode::Write).unwrap();
+        k.close(fd1).unwrap();
+        let fd2 = k.open("b", OpenMode::Write).unwrap();
+        assert_eq!(fd1, fd2);
+    }
+
+    #[test]
+    fn std_streams_capture() {
+        let mut k = Kernel::new();
+        k.write(1, b"out").unwrap();
+        k.write(2, b"err").unwrap();
+        assert_eq!(k.stdout_text(), "out");
+        assert_eq!(k.stderr, b"err");
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(OpenMode::parse("r"), Some(OpenMode::Read));
+        assert_eq!(OpenMode::parse("rb"), Some(OpenMode::Read));
+        assert_eq!(OpenMode::parse("w"), Some(OpenMode::Write));
+        assert_eq!(OpenMode::parse("a"), Some(OpenMode::Append));
+        assert_eq!(OpenMode::parse("r+"), None);
+    }
+
+    #[test]
+    fn overwrite_in_middle() {
+        let mut k = Kernel::new();
+        let fd = k.open("f", OpenMode::Write).unwrap();
+        k.write(fd, b"aaaa").unwrap();
+        // Re-open in write mode truncates.
+        let fd2 = k.open("f", OpenMode::Write).unwrap();
+        k.write(fd2, b"bb").unwrap();
+        assert_eq!(k.file("f").unwrap(), b"bb");
+    }
+
+    #[test]
+    fn kernel_error_errnos() {
+        assert_eq!(KernelError::NotFound.errno(), crate::errno::ENOENT);
+        assert_eq!(KernelError::BadFd.errno(), crate::errno::EBADF);
+    }
+}

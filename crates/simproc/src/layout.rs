@@ -1,0 +1,82 @@
+//! The standard memory layout of a simulated process.
+//!
+//! The layout mimics a classic 32/64-bit Unix process image: text at the
+//! bottom, then read-only data, writable data, a heap that grows up via
+//! `sbrk`, and a stack near the top that grows down. Unmapped gaps between
+//! segments act as guard ranges: scanning off the end of any segment hits
+//! unmapped memory and faults, just as on a real machine.
+
+use crate::addr::VirtAddr;
+
+/// Base of the text (code) segment; function "addresses" live here.
+pub const TEXT_BASE: VirtAddr = VirtAddr::new(0x0040_0000);
+/// Size of the text segment.
+pub const TEXT_SIZE: u64 = 0x10_0000;
+
+/// Base of the read-only data segment (string literals, ctype tables).
+pub const RODATA_BASE: VirtAddr = VirtAddr::new(0x0060_0000);
+/// Size of the read-only data segment.
+pub const RODATA_SIZE: u64 = 0x10_0000;
+
+/// Base of the writable data segment.
+pub const DATA_BASE: VirtAddr = VirtAddr::new(0x0080_0000);
+/// Size of the writable data segment.
+pub const DATA_SIZE: u64 = 0x20_0000;
+
+/// First page of the data segment is reserved for C-library private state
+/// (free-list heads, `strtok` cursor, `rand` seed, `atexit` table ...).
+pub const LIBC_PRIVATE_BASE: VirtAddr = DATA_BASE;
+/// Size of the C-library private area.
+pub const LIBC_PRIVATE_SIZE: u64 = 0x1000;
+
+/// Where general-purpose data allocations (fixtures, env strings) start.
+pub const DATA_CURSOR_START: VirtAddr = VirtAddr::new(DATA_BASE.get() + LIBC_PRIVATE_SIZE);
+
+/// Base of the heap segment (`sbrk` arena).
+pub const HEAP_BASE: VirtAddr = VirtAddr::new(0x0800_0000);
+/// Initial heap size mapped at process creation.
+pub const HEAP_INITIAL: u64 = 0x2_0000;
+/// Hard ceiling for heap growth; `malloc` returns `NULL` beyond this.
+pub const HEAP_MAX: u64 = 0x100_0000;
+
+/// Top of the stack (exclusive); the stack grows down from here.
+pub const STACK_TOP: VirtAddr = VirtAddr::new(0xC000_0000);
+/// Stack size.
+pub const STACK_SIZE: u64 = 0x10_0000;
+/// Base (lowest address) of the stack mapping.
+pub const STACK_BASE: VirtAddr = VirtAddr::new(STACK_TOP.get() - STACK_SIZE);
+
+/// A famously wild pointer used by fault-injection value generators.
+pub const WILD_ADDR: VirtAddr = VirtAddr::new(0xdead_beef_0000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_disjoint_and_ordered() {
+        let segs = [
+            (TEXT_BASE, TEXT_SIZE),
+            (RODATA_BASE, RODATA_SIZE),
+            (DATA_BASE, DATA_SIZE),
+            (HEAP_BASE, HEAP_MAX),
+            (STACK_BASE, STACK_SIZE),
+        ];
+        for w in segs.windows(2) {
+            let (base_a, len_a) = w[0];
+            let (base_b, _) = w[1];
+            assert!(base_a.add(len_a) <= base_b, "{base_a} + {len_a:#x} overlaps {base_b}");
+        }
+    }
+
+    #[test]
+    fn wild_addr_outside_all_segments() {
+        assert!(WILD_ADDR > STACK_TOP);
+    }
+
+    #[test]
+    fn cursor_is_inside_data() {
+        assert!(DATA_CURSOR_START > DATA_BASE);
+        assert!(DATA_CURSOR_START < DATA_BASE.add(DATA_SIZE));
+    }
+}

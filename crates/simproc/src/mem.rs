@@ -1,0 +1,553 @@
+//! The simulated, protection-checked address space.
+//!
+//! Memory is a sorted set of disjoint [`Region`]s, each with its own
+//! protection bits. Every access is checked; a bad access produces a
+//! [`Fault::Segv`] value instead of killing the host — which is exactly
+//! what lets the fault injector observe library crashes safely.
+
+use std::fmt;
+
+use crate::addr::{Access, Prot, VirtAddr};
+use crate::fault::Fault;
+
+/// A contiguous mapped range of the simulated address space.
+#[derive(Debug, Clone)]
+pub struct Region {
+    base: VirtAddr,
+    data: Vec<u8>,
+    prot: Prot,
+    name: String,
+}
+
+impl Region {
+    /// Base address of the region.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// `true` if the region has zero length (never created by `map`).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> VirtAddr {
+        self.base.add(self.len())
+    }
+
+    /// Protection bits.
+    pub fn prot(&self) -> Prot {
+        self.prot
+    }
+
+    /// Diagnostic name (e.g. `"heap"`, `"[stack]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Error returned by [`AddressSpace::map`] when a mapping is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested range overlaps an existing region.
+    Overlap {
+        /// Name of the existing region that conflicts.
+        existing: String,
+    },
+    /// Zero-length mappings are rejected.
+    ZeroLength,
+    /// The range wraps around the end of the address space.
+    Wraps,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { existing } => {
+                write!(f, "mapping overlaps existing region `{existing}`")
+            }
+            MapError::ZeroLength => write!(f, "zero-length mapping"),
+            MapError::Wraps => write!(f, "mapping wraps around the address space"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A sparse simulated address space.
+///
+/// ```
+/// use simproc::{AddressSpace, Prot, VirtAddr};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mem = AddressSpace::new();
+/// mem.map(VirtAddr::new(0x1000), 0x100, Prot::RW, "data")?;
+/// mem.write_u32(VirtAddr::new(0x1010), 0xdeadbeef)?;
+/// assert_eq!(mem.read_u32(VirtAddr::new(0x1010))?, 0xdeadbeef);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    /// Regions sorted by base address; disjoint.
+    regions: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { regions: Vec::new() }
+    }
+
+    /// Maps `len` zeroed bytes at `base` with protection `prot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the range is empty, wraps, or overlaps an
+    /// existing region.
+    pub fn map(
+        &mut self,
+        base: VirtAddr,
+        len: u64,
+        prot: Prot,
+        name: impl Into<String>,
+    ) -> Result<(), MapError> {
+        if len == 0 {
+            return Err(MapError::ZeroLength);
+        }
+        if base.get().checked_add(len).is_none() {
+            return Err(MapError::Wraps);
+        }
+        let end = base.add(len);
+        for r in &self.regions {
+            if base < r.end() && r.base() < end {
+                return Err(MapError::Overlap { existing: r.name.clone() });
+            }
+        }
+        let region = Region {
+            base,
+            data: vec![0; len as usize],
+            prot,
+            name: name.into(),
+        };
+        let idx = self.regions.partition_point(|r| r.base() < base);
+        self.regions.insert(idx, region);
+        Ok(())
+    }
+
+    /// Removes the region based exactly at `base`. Returns `true` if one
+    /// was removed.
+    pub fn unmap(&mut self, base: VirtAddr) -> bool {
+        if let Some(i) = self.regions.iter().position(|r| r.base() == base) {
+            self.regions.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Changes the protection of the region containing `addr`.
+    /// Returns `false` if no region contains it.
+    pub fn protect(&mut self, addr: VirtAddr, prot: Prot) -> bool {
+        match self.region_index(addr) {
+            Some(i) => {
+                self.regions[i].prot = prot;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Grows the region based at `base` by `extra` bytes (zero filled),
+    /// failing if the grown region would collide with the next mapping.
+    pub fn grow(&mut self, base: VirtAddr, extra: u64) -> Result<(), MapError> {
+        if extra == 0 {
+            return Ok(());
+        }
+        let i = match self.regions.iter().position(|r| r.base() == base) {
+            Some(i) => i,
+            None => return Err(MapError::Overlap { existing: "<none>".into() }),
+        };
+        let new_end = self.regions[i]
+            .end()
+            .get()
+            .checked_add(extra)
+            .ok_or(MapError::Wraps)?;
+        if let Some(next) = self.regions.get(i + 1) {
+            if new_end > next.base().get() {
+                return Err(MapError::Overlap { existing: next.name.clone() });
+            }
+        }
+        let grow_by = extra as usize;
+        self.regions[i].data.extend(std::iter::repeat(0).take(grow_by));
+        Ok(())
+    }
+
+    /// All regions, sorted by base address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_at(&self, addr: VirtAddr) -> Option<&Region> {
+        self.region_index(addr).map(|i| &self.regions[i])
+    }
+
+    fn region_index(&self, addr: VirtAddr) -> Option<usize> {
+        // Last region whose base is <= addr.
+        let i = self.regions.partition_point(|r| r.base() <= addr);
+        if i == 0 {
+            return None;
+        }
+        let r = &self.regions[i - 1];
+        if r.contains(addr) {
+            Some(i - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Checks that `[addr, addr+len)` is mapped with permission for
+    /// `access`, without touching the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Segv`] at the first offending byte.
+    pub fn check(&self, addr: VirtAddr, len: u64, access: Access) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = match self.region_at(cur) {
+                Some(r) if r.prot().allows(access) => r,
+                _ => return Err(Fault::segv(cur, access, "memory access")),
+            };
+            let span = r.end().diff(cur).min(remaining);
+            cur = cur.add(span);
+            remaining -= span;
+        }
+        Ok(())
+    }
+
+    /// Number of bytes accessible for `access` starting at `addr`, walking
+    /// across contiguous regions. Zero if `addr` itself is inaccessible.
+    ///
+    /// This powers the *extent oracle* used by security wrappers to bound
+    /// string copies.
+    pub fn accessible_extent(&self, addr: VirtAddr, access: Access) -> u64 {
+        let mut cur = addr;
+        let mut total = 0u64;
+        loop {
+            match self.region_at(cur) {
+                Some(r) if r.prot().allows(access) => {
+                    let span = r.end().diff(cur);
+                    total += span;
+                    cur = cur.add(span);
+                }
+                _ => return total,
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Segv`] if any byte is unreadable.
+    pub fn read_bytes(&self, addr: VirtAddr, len: u64) -> Result<Vec<u8>, Fault> {
+        self.check(addr, len, Access::Read)?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = self.region_at(cur).expect("checked");
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.len() - off as u64).min(remaining) as usize;
+            out.extend_from_slice(&r.data[off..off + span]);
+            cur = cur.add(span as u64);
+            remaining -= span as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Segv`] if any byte is unwritable; nothing is written in
+    /// that case.
+    pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
+        self.check(addr, bytes.len() as u64, Access::Write)?;
+        let mut cur = addr;
+        let mut src = bytes;
+        while !src.is_empty() {
+            let i = self.region_index(cur).expect("checked");
+            let r = &mut self.regions[i];
+            let off = cur.diff(r.base()) as usize;
+            let span = ((r.data.len() - off) as usize).min(src.len());
+            r.data[off..off + span].copy_from_slice(&src[..span]);
+            cur = cur.add(span as u64);
+            src = &src[span..];
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: VirtAddr) -> Result<u8, Fault> {
+        self.check(addr, 1, Access::Read)?;
+        let r = self.region_at(addr).expect("checked");
+        Ok(r.data[addr.diff(r.base()) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: VirtAddr, v: u8) -> Result<(), Fault> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: VirtAddr) -> Result<u16, Fault> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: VirtAddr, v: u16) -> Result<(), Fault> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: VirtAddr) -> Result<u32, Fault> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: VirtAddr, v: u32) -> Result<(), Fault> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: VirtAddr) -> Result<u64, Fault> {
+        let b = self.read_bytes(addr, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: VirtAddr, v: u64) -> Result<(), Fault> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads bytes ignoring protections (a debugger/loader view). Returns
+    /// `None` if any byte is unmapped.
+    pub fn peek_bytes(&self, addr: VirtAddr, len: u64) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = self.region_at(cur)?;
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.len() - off as u64).min(remaining) as usize;
+            out.extend_from_slice(&r.data[off..off + span]);
+            cur = cur.add(span as u64);
+            remaining -= span as u64;
+        }
+        Some(out)
+    }
+
+    /// Writes bytes ignoring protections (loader/fixture view). Returns
+    /// `false` if any byte is unmapped; nothing is written in that case.
+    pub fn poke_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> bool {
+        // Validate the whole range first so pokes stay all-or-nothing.
+        let mut cur = addr;
+        let mut remaining = bytes.len() as u64;
+        while remaining > 0 {
+            match self.region_at(cur) {
+                Some(r) => {
+                    let span = r.end().diff(cur).min(remaining);
+                    cur = cur.add(span);
+                    remaining -= span;
+                }
+                None => return false,
+            }
+        }
+        let mut cur = addr;
+        let mut src = bytes;
+        while !src.is_empty() {
+            let i = self.region_index(cur).expect("validated");
+            let r = &mut self.regions[i];
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.data.len() - off).min(src.len());
+            r.data[off..off + span].copy_from_slice(&src[..span]);
+            cur = cur.add(span as u64);
+            src = &src[span..];
+        }
+        true
+    }
+
+    /// Reads a pointer-sized value as a [`VirtAddr`].
+    pub fn read_ptr(&self, addr: VirtAddr) -> Result<VirtAddr, Fault> {
+        Ok(VirtAddr::new(self.read_u64(addr)?))
+    }
+
+    /// Writes a pointer-sized value.
+    pub fn write_ptr(&mut self, addr: VirtAddr, v: VirtAddr) -> Result<(), Fault> {
+        self.write_u64(addr, v.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x1000, Prot::RW, "a").unwrap();
+        m.map(VirtAddr::new(0x3000), 0x1000, Prot::R, "ro").unwrap();
+        m
+    }
+
+    #[test]
+    fn map_rejects_overlap() {
+        let mut m = space();
+        let err = m.map(VirtAddr::new(0x1800), 0x1000, Prot::RW, "b").unwrap_err();
+        assert!(matches!(err, MapError::Overlap { .. }));
+        // Adjacent is fine.
+        m.map(VirtAddr::new(0x2000), 0x1000, Prot::RW, "b").unwrap();
+    }
+
+    #[test]
+    fn map_rejects_zero_and_wrap() {
+        let mut m = AddressSpace::new();
+        assert_eq!(m.map(VirtAddr::new(0x1000), 0, Prot::RW, "z"), Err(MapError::ZeroLength));
+        assert_eq!(
+            m.map(VirtAddr::new(u64::MAX - 4), 16, Prot::RW, "w"),
+            Err(MapError::Wraps)
+        );
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = space();
+        m.write_u64(VirtAddr::new(0x1100), 0x0123456789abcdef).unwrap();
+        assert_eq!(m.read_u64(VirtAddr::new(0x1100)).unwrap(), 0x0123456789abcdef);
+        m.write_u32(VirtAddr::new(0x1200), 7).unwrap();
+        assert_eq!(m.read_u32(VirtAddr::new(0x1200)).unwrap(), 7);
+        m.write_u16(VirtAddr::new(0x1300), 0xbeef).unwrap();
+        assert_eq!(m.read_u16(VirtAddr::new(0x1300)).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = space();
+        let err = m.read_u8(VirtAddr::new(0x5000)).unwrap_err();
+        assert!(matches!(err, Fault::Segv { access: Access::Read, .. }));
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut m = space();
+        let err = m.write_u8(VirtAddr::new(0x3000), 1).unwrap_err();
+        assert!(matches!(err, Fault::Segv { access: Access::Write, .. }));
+        // Reading read-only memory is fine.
+        assert_eq!(m.read_u8(VirtAddr::new(0x3000)).unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_region_access() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x1010), 0x10, Prot::RW, "hi").unwrap();
+        m.write_bytes(VirtAddr::new(0x100c), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(
+            m.read_bytes(VirtAddr::new(0x100c), 8).unwrap(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn cross_region_access_with_gap_faults() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x1020), 0x10, Prot::RW, "hi").unwrap();
+        let err = m.write_bytes(VirtAddr::new(0x100c), &[0; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            Fault::segv(VirtAddr::new(0x1010), Access::Write, "memory access")
+        );
+        // Failed writes are all-or-nothing.
+        assert_eq!(m.read_bytes(VirtAddr::new(0x100c), 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn accessible_extent_spans_contiguous_regions() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x1010), 0x10, Prot::R, "hi").unwrap();
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1008), Access::Read), 0x18);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1008), Access::Write), 0x8);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x5000), Access::Read), 0);
+    }
+
+    #[test]
+    fn grow_extends_region() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "heap").unwrap();
+        m.grow(VirtAddr::new(0x1000), 0x10).unwrap();
+        m.write_u8(VirtAddr::new(0x101f), 9).unwrap();
+        assert_eq!(m.read_u8(VirtAddr::new(0x101f)).unwrap(), 9);
+    }
+
+    #[test]
+    fn grow_respects_neighbours() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "heap").unwrap();
+        m.map(VirtAddr::new(0x1020), 0x10, Prot::RW, "next").unwrap();
+        m.grow(VirtAddr::new(0x1000), 0x10).unwrap();
+        assert!(matches!(
+            m.grow(VirtAddr::new(0x1000), 1),
+            Err(MapError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_and_protect() {
+        let mut m = space();
+        assert!(m.protect(VirtAddr::new(0x3000), Prot::RW));
+        m.write_u8(VirtAddr::new(0x3000), 5).unwrap();
+        assert!(m.unmap(VirtAddr::new(0x3000)));
+        assert!(!m.unmap(VirtAddr::new(0x3000)));
+        assert!(m.read_u8(VirtAddr::new(0x3000)).is_err());
+        assert!(!m.protect(VirtAddr::new(0x9999), Prot::R));
+    }
+
+    #[test]
+    fn region_accessors() {
+        let m = space();
+        let r = m.region_at(VirtAddr::new(0x1234)).unwrap();
+        assert_eq!(r.base(), VirtAddr::new(0x1000));
+        assert_eq!(r.len(), 0x1000);
+        assert_eq!(r.end(), VirtAddr::new(0x2000));
+        assert_eq!(r.name(), "a");
+        assert_eq!(r.prot(), Prot::RW);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn check_zero_len_always_ok() {
+        let m = AddressSpace::new();
+        assert!(m.check(VirtAddr::new(0xdead), 0, Access::Write).is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Extent oracles: how much memory is safely readable/writable from a
+//! pointer.
+//!
+//! HEALERS' security wrapper turns `strcpy(dst, src)` into a *bounded*
+//! copy: it asks "how many bytes may be written at `dst`?" and refuses the
+//! call (or truncates) when the source would not fit. The answer comes
+//! from an [`ExtentOracle`]. The baseline [`RegionOracle`] answers from
+//! page mappings and stack frames; the `guardian` crate refines it to
+//! heap-allocation granularity using its allocation registry.
+
+use crate::addr::{Access, VirtAddr};
+use crate::proc::Proc;
+
+/// Answers pointer-extent queries against a process image.
+pub trait ExtentOracle {
+    /// Number of bytes writable starting at `addr`, or `None` if the
+    /// address is not writable at all.
+    fn writable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64>;
+
+    /// Number of bytes readable starting at `addr`, or `None`.
+    fn readable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64>;
+}
+
+/// The baseline oracle: region protections, refined on the stack so that a
+/// write through a frame-local buffer may never clobber a saved return
+/// address (the libsafe rule the paper cites as its reference \[1\]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionOracle;
+
+impl RegionOracle {
+    /// Creates the baseline oracle.
+    pub fn new() -> Self {
+        RegionOracle
+    }
+}
+
+impl ExtentOracle for RegionOracle {
+    fn writable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        // Stack rule: a local buffer ends at the frame's saved return slot.
+        if let Some(frame) = proc.frame_containing(addr) {
+            if addr < frame.ret_slot {
+                return Some(frame.ret_slot.diff(addr));
+            }
+        }
+        let n = proc.mem.accessible_extent(addr, Access::Write);
+        if n == 0 {
+            None
+        } else {
+            Some(n)
+        }
+    }
+
+    fn readable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        let n = proc.mem.accessible_extent(addr, Access::Read);
+        if n == 0 {
+            None
+        } else {
+            Some(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+
+    #[test]
+    fn readable_extent_in_rodata() {
+        let mut p = Proc::new();
+        let lit = p.alloc_cstr_literal("hi");
+        let oracle = RegionOracle::new();
+        assert!(oracle.readable_extent(&p, lit).unwrap() >= 3);
+        assert_eq!(oracle.writable_extent(&p, lit), None, "rodata is not writable");
+    }
+
+    #[test]
+    fn unmapped_extent_is_none() {
+        let p = Proc::new();
+        let oracle = RegionOracle::new();
+        assert_eq!(oracle.writable_extent(&p, layout::WILD_ADDR), None);
+        assert_eq!(oracle.readable_extent(&p, layout::WILD_ADDR), None);
+    }
+
+    #[test]
+    fn stack_extent_stops_at_return_slot() {
+        let mut p = Proc::new();
+        p.push_frame("f").unwrap();
+        let buf = p.stack_alloc(32).unwrap();
+        let oracle = RegionOracle::new();
+        let ext = oracle.writable_extent(&p, buf).unwrap();
+        // 32 bytes of locals + 8 bytes saved frame pointer, but never the
+        // return slot itself.
+        let frame = p.frame_containing(buf).unwrap();
+        assert_eq!(ext, frame.ret_slot.diff(buf));
+        assert!(ext >= 32);
+        assert!(ext < 32 + 24);
+    }
+
+    #[test]
+    fn data_extent_runs_to_segment_end() {
+        let mut p = Proc::new();
+        let a = p.alloc_data(b"xxxx");
+        let oracle = RegionOracle::new();
+        let ext = oracle.writable_extent(&p, a).unwrap();
+        assert_eq!(ext, layout::DATA_BASE.add(layout::DATA_SIZE).diff(a));
+    }
+}

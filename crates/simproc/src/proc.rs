@@ -1,0 +1,679 @@
+//! The simulated process: address space + kernel + stack + fuel + errno.
+//!
+//! Every simulated C library function and every simulated application runs
+//! against a [`Proc`]. All memory traffic goes through the fuel-metered
+//! checked accessors, so a call that would hang (e.g. `strlen` walking an
+//! unterminated buffer around a circular mapping) runs out of fuel and is
+//! classified as a hang, and every access is protection-checked so crashes
+//! become observable [`Fault`] values.
+
+use crate::addr::{Access, Prot, VirtAddr};
+use crate::calltable::{CallTarget, FuncId, FuncTable, SHELLCODE_MAGIC};
+use crate::cval::CVal;
+use crate::fault::Fault;
+use crate::kernel::Kernel;
+use crate::layout;
+use crate::mem::AddressSpace;
+
+/// A stack frame of a simulated application function.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Name of the function that owns the frame (diagnostics).
+    pub func: String,
+    /// Highest address of the frame (the stack pointer at entry).
+    pub top: VirtAddr,
+    /// Address of the saved return-address slot inside the frame.
+    pub ret_slot: VirtAddr,
+    /// The sentinel stored in the return slot at frame creation.
+    ret_sentinel: u64,
+}
+
+impl Frame {
+    /// Whether `addr` lies inside this frame's local area (below the saved
+    /// return address, at or above the current extent of the stack).
+    pub fn contains_local(&self, addr: VirtAddr, sp: VirtAddr) -> bool {
+        addr >= sp && addr < self.ret_slot
+    }
+}
+
+/// Default execution fuel for a single library call under fault injection.
+pub const DEFAULT_CALL_FUEL: u64 = 2_000_000;
+
+/// A simulated process image.
+///
+/// ```
+/// use simproc::{Proc, CVal};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = Proc::new();
+/// let s = p.alloc_data(b"hello\0");
+/// assert_eq!(p.read_cstr_lossy(s), "hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Proc {
+    /// The simulated address space.
+    pub mem: AddressSpace,
+    /// Kernel-side state: files, std streams, privilege, attack flags.
+    pub kernel: Kernel,
+    /// The function/address table.
+    pub funcs: FuncTable,
+    errno: i32,
+    fuel_limit: Option<u64>,
+    fuel_used: u64,
+    frames: Vec<Frame>,
+    sp: VirtAddr,
+    data_cursor: VirtAddr,
+    rodata_cursor: VirtAddr,
+    exit_status: Option<i32>,
+    next_sentinel: u64,
+    /// Host implementations of registered functions, indexed by `FuncId`.
+    impls: Vec<Option<HostFn>>,
+}
+
+impl Default for Proc {
+    fn default() -> Self {
+        Proc::new()
+    }
+}
+
+impl Proc {
+    /// Creates a process with the standard segment layout mapped.
+    pub fn new() -> Self {
+        let mut mem = AddressSpace::new();
+        mem.map(layout::TEXT_BASE, layout::TEXT_SIZE, Prot::RX, "text")
+            .expect("layout");
+        mem.map(layout::RODATA_BASE, layout::RODATA_SIZE, Prot::R, "rodata")
+            .expect("layout");
+        mem.map(layout::DATA_BASE, layout::DATA_SIZE, Prot::RW, "data")
+            .expect("layout");
+        mem.map(layout::HEAP_BASE, layout::HEAP_INITIAL, Prot::RW, "heap")
+            .expect("layout");
+        mem.map(layout::STACK_BASE, layout::STACK_SIZE, Prot::RW, "[stack]")
+            .expect("layout");
+        Proc {
+            mem,
+            kernel: Kernel::new(),
+            funcs: FuncTable::new(),
+            errno: 0,
+            fuel_limit: None,
+            fuel_used: 0,
+            frames: Vec::new(),
+            sp: layout::STACK_TOP,
+            data_cursor: layout::DATA_CURSOR_START,
+            rodata_cursor: layout::RODATA_BASE,
+            exit_status: None,
+            next_sentinel: 0x5AFE_0000_0000_0000,
+            impls: Vec::new(),
+        }
+    }
+
+    /// Registers a callable function: a name, a text address, and a host
+    /// implementation. Calls through the address reach `imp`.
+    pub fn register_host_fn(&mut self, name: &str, imp: HostFn) -> VirtAddr {
+        let (id, addr) = self.funcs.register(name);
+        if self.impls.len() <= id.index() {
+            self.impls.resize(id.index() + 1, None);
+        }
+        self.impls[id.index()] = Some(imp);
+        addr
+    }
+
+    /// The host implementation behind a function id, if one is registered.
+    pub fn host_fn(&self, id: FuncId) -> Option<HostFn> {
+        self.impls.get(id.index()).copied().flatten()
+    }
+
+    // ----- errno ---------------------------------------------------------
+
+    /// Current `errno` value.
+    pub fn errno(&self) -> i32 {
+        self.errno
+    }
+
+    /// Sets `errno`.
+    pub fn set_errno(&mut self, e: i32) {
+        self.errno = e;
+    }
+
+    // ----- fuel / cycles --------------------------------------------------
+
+    /// Installs a fuel budget; `None` removes the watchdog.
+    pub fn set_fuel_limit(&mut self, limit: Option<u64>) {
+        self.fuel_limit = limit;
+    }
+
+    /// Fuel spent so far — also the deterministic "cycle counter" that the
+    /// `function exectime` micro-generator samples instead of `rdtsc`.
+    pub fn cycles(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Burns `n` units of fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Hang`] when the budget is exhausted.
+    pub fn consume_fuel(&mut self, n: u64) -> Result<(), Fault> {
+        self.fuel_used = self.fuel_used.saturating_add(n);
+        match self.fuel_limit {
+            Some(limit) if self.fuel_used > limit => Err(Fault::Hang),
+            _ => Ok(()),
+        }
+    }
+
+    // ----- checked, fuel-metered memory access ----------------------------
+
+    /// Reads one byte (1 fuel).
+    pub fn read_u8(&mut self, addr: VirtAddr) -> Result<u8, Fault> {
+        self.consume_fuel(1)?;
+        self.mem.read_u8(addr)
+    }
+
+    /// Writes one byte (1 fuel).
+    pub fn write_u8(&mut self, addr: VirtAddr, v: u8) -> Result<(), Fault> {
+        self.consume_fuel(1)?;
+        self.mem.write_u8(addr, v)
+    }
+
+    /// Reads a `u32` (1 fuel).
+    pub fn read_u32(&mut self, addr: VirtAddr) -> Result<u32, Fault> {
+        self.consume_fuel(1)?;
+        self.mem.read_u32(addr)
+    }
+
+    /// Writes a `u32` (1 fuel).
+    pub fn write_u32(&mut self, addr: VirtAddr, v: u32) -> Result<(), Fault> {
+        self.consume_fuel(1)?;
+        self.mem.write_u32(addr, v)
+    }
+
+    /// Reads a `u64` (1 fuel).
+    pub fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, Fault> {
+        self.consume_fuel(1)?;
+        self.mem.read_u64(addr)
+    }
+
+    /// Writes a `u64` (1 fuel).
+    pub fn write_u64(&mut self, addr: VirtAddr, v: u64) -> Result<(), Fault> {
+        self.consume_fuel(1)?;
+        self.mem.write_u64(addr, v)
+    }
+
+    /// Reads a pointer (1 fuel).
+    pub fn read_ptr(&mut self, addr: VirtAddr) -> Result<VirtAddr, Fault> {
+        Ok(VirtAddr::new(self.read_u64(addr)?))
+    }
+
+    /// Writes a pointer (1 fuel).
+    pub fn write_ptr(&mut self, addr: VirtAddr, v: VirtAddr) -> Result<(), Fault> {
+        self.write_u64(addr, v.get())
+    }
+
+    /// Reads `len` bytes (1 fuel per 8 bytes, minimum 1).
+    pub fn read_bytes(&mut self, addr: VirtAddr, len: u64) -> Result<Vec<u8>, Fault> {
+        self.consume_fuel(1 + len / 8)?;
+        self.mem.read_bytes(addr, len)
+    }
+
+    /// Writes bytes (1 fuel per 8 bytes, minimum 1).
+    pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
+        self.consume_fuel(1 + bytes.len() as u64 / 8)?;
+        self.mem.write_bytes(addr, bytes)
+    }
+
+    /// Reads a NUL-terminated C string starting at `addr`, one fuel per
+    /// byte. An unterminated string keeps scanning until it faults on
+    /// unmapped memory or runs out of fuel — exactly like real `strlen`.
+    pub fn read_cstr(&mut self, addr: VirtAddr) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::new();
+        let mut cur = addr;
+        loop {
+            let b = self.read_u8(cur)?;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            cur = cur.add(1);
+        }
+    }
+
+    /// [`Proc::read_cstr`] decoded as lossy UTF-8; panics on fault
+    /// (host-side convenience for tests and reports only).
+    pub fn read_cstr_lossy(&mut self, addr: VirtAddr) -> String {
+        String::from_utf8_lossy(&self.read_cstr(addr).expect("read_cstr_lossy faulted"))
+            .into_owned()
+    }
+
+    /// Writes `s` plus a terminating NUL.
+    pub fn write_cstr(&mut self, addr: VirtAddr, s: &[u8]) -> Result<(), Fault> {
+        self.write_bytes(addr, s)?;
+        self.write_u8(addr.add(s.len() as u64), 0)
+    }
+
+    // ----- fixture helpers (host-side, unmetered) --------------------------
+
+    /// Bump-allocates `bytes` in the writable data segment. Panics if the
+    /// segment is exhausted (fixtures only).
+    pub fn alloc_data(&mut self, bytes: &[u8]) -> VirtAddr {
+        let addr = self.data_cursor.align_up(8);
+        let end = addr.add(bytes.len() as u64);
+        assert!(
+            end <= layout::DATA_BASE.add(layout::DATA_SIZE),
+            "data segment exhausted"
+        );
+        assert!(self.mem.poke_bytes(addr, bytes), "data segment not mapped");
+        self.data_cursor = end;
+        addr
+    }
+
+    /// Bump-allocates `len` zeroed bytes in the data segment.
+    pub fn alloc_data_zeroed(&mut self, len: u64) -> VirtAddr {
+        let addr = self.data_cursor.align_up(8);
+        let end = addr.add(len);
+        assert!(
+            end <= layout::DATA_BASE.add(layout::DATA_SIZE),
+            "data segment exhausted"
+        );
+        self.data_cursor = end;
+        addr
+    }
+
+    /// Bump-allocates `bytes` in the *read-only* data segment (string
+    /// literals, ctype tables). Uses the loader view to write.
+    pub fn alloc_rodata(&mut self, bytes: &[u8]) -> VirtAddr {
+        let addr = self.rodata_cursor.align_up(8);
+        let end = addr.add(bytes.len() as u64);
+        assert!(
+            end <= layout::RODATA_BASE.add(layout::RODATA_SIZE),
+            "rodata segment exhausted"
+        );
+        assert!(self.mem.poke_bytes(addr, bytes), "rodata not mapped");
+        self.rodata_cursor = end;
+        addr
+    }
+
+    /// Places a NUL-terminated C string in the data segment.
+    pub fn alloc_cstr(&mut self, s: &str) -> VirtAddr {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.alloc_data(&bytes)
+    }
+
+    /// Places a NUL-terminated C string in the read-only segment, the way
+    /// a compiler places string literals.
+    pub fn alloc_cstr_literal(&mut self, s: &str) -> VirtAddr {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.alloc_rodata(&bytes)
+    }
+
+    // ----- stack ----------------------------------------------------------
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> VirtAddr {
+        self.sp
+    }
+
+    /// Pushes a stack frame for `func`, reserving the saved-return-address
+    /// slot that stack-smashing attacks target.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Segv`] on stack overflow.
+    pub fn push_frame(&mut self, func: &str) -> Result<(), Fault> {
+        let ret_slot = self.sp.sub(8);
+        let new_sp = self.sp.sub(16); // saved return address + saved frame ptr
+        if new_sp < layout::STACK_BASE {
+            return Err(Fault::segv(new_sp, Access::Write, "stack overflow"));
+        }
+        let sentinel = self.next_sentinel;
+        self.next_sentinel += 1;
+        self.mem.write_u64(ret_slot, sentinel)?;
+        self.frames.push(Frame {
+            func: func.to_string(),
+            top: self.sp,
+            ret_slot,
+            ret_sentinel: sentinel,
+        });
+        self.sp = new_sp;
+        Ok(())
+    }
+
+    /// Allocates `len` bytes of locals in the current frame, returning the
+    /// lowest address of the buffer (buffers grow toward the return
+    /// address above them — the classic smash direction).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Segv`] on stack overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has been pushed.
+    pub fn stack_alloc(&mut self, len: u64) -> Result<VirtAddr, Fault> {
+        assert!(!self.frames.is_empty(), "stack_alloc outside any frame");
+        let new_sp = self.sp.sub(len).align_down(8);
+        if new_sp < layout::STACK_BASE {
+            return Err(Fault::segv(new_sp, Access::Write, "stack overflow"));
+        }
+        self.sp = new_sp;
+        Ok(new_sp)
+    }
+
+    /// Pops the current frame, simulating the function's `ret`. If the
+    /// saved return address was clobbered, control transfers to whatever
+    /// the attacker wrote there: shellcode sets the kernel's
+    /// `shell_spawned` flag; anything else is a wild jump.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::WildJump`] when the return address was overwritten.
+    pub fn pop_frame(&mut self) -> Result<(), Fault> {
+        let frame = self.frames.pop().expect("pop_frame without a frame");
+        let stored = self.mem.read_u64(frame.ret_slot)?;
+        self.sp = frame.top;
+        if stored == frame.ret_sentinel {
+            return Ok(());
+        }
+        let target = VirtAddr::new(stored);
+        if self.resolve_call(target) == CallTarget::Shellcode {
+            self.kernel.shell_spawned = true;
+        }
+        Err(Fault::WildJump { target })
+    }
+
+    /// The innermost live frame containing `addr`, used by the stack
+    /// guard's extent oracle.
+    pub fn frame_containing(&self, addr: VirtAddr) -> Option<&Frame> {
+        self.frames
+            .iter()
+            .rev()
+            .find(|f| f.contains_local(addr, self.sp) || (addr >= self.sp && addr < f.top))
+    }
+
+    /// Depth of the frame stack.
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    // ----- indirect calls and control-flow hijack ---------------------------
+
+    /// Classifies an indirect call target. A pointer into memory whose
+    /// first 24 bytes contain [`SHELLCODE_MAGIC`] "executes" the
+    /// attacker's payload: the kernel records a spawned shell. The search
+    /// window models the jump-over-clobbered-bytes trick real unlink
+    /// exploits use (unlink's second write destroys the payload's first
+    /// word).
+    pub fn resolve_call(&self, target: VirtAddr) -> CallTarget {
+        if let Some(id) = self.funcs.by_addr(target) {
+            return CallTarget::Function(id);
+        }
+        let window = 16 + SHELLCODE_MAGIC.len() as u64;
+        if let Some(bytes) = self.mem.peek_bytes(target, window) {
+            if bytes
+                .windows(SHELLCODE_MAGIC.len())
+                .any(|w| w == SHELLCODE_MAGIC)
+            {
+                return CallTarget::Shellcode;
+            }
+        }
+        CallTarget::Wild
+    }
+
+    /// Performs an indirect call resolution with side effects: shellcode
+    /// spawns the attacker's shell (if the process has root privilege, the
+    /// box is owned), wild targets fault.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::WildJump`] unless the target is a registered function.
+    pub fn call_indirect(&mut self, target: VirtAddr) -> Result<FuncId, Fault> {
+        match self.resolve_call(target) {
+            CallTarget::Function(id) => Ok(id),
+            CallTarget::Shellcode => {
+                self.kernel.shell_spawned = true;
+                Err(Fault::WildJump { target })
+            }
+            CallTarget::Wild => Err(Fault::WildJump { target }),
+        }
+    }
+
+    /// Executes an indirect call: resolves `target`, dispatches to the
+    /// registered host implementation with `args`. Ten fuel per call
+    /// models call overhead.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::WildJump`] for unresolvable targets (shellcode included —
+    /// after setting the attacker's success flag), [`Fault::Abort`] for a
+    /// registered function without an implementation, plus whatever the
+    /// callee itself returns.
+    pub fn call_function(&mut self, target: VirtAddr, args: &[CVal]) -> Result<CVal, Fault> {
+        self.consume_fuel(10)?;
+        let id = self.call_indirect(target)?;
+        match self.host_fn(id) {
+            Some(f) => f(self, args),
+            None => Err(Fault::abort(format!(
+                "call to `{}` which has no implementation",
+                self.funcs.name_of(id)
+            ))),
+        }
+    }
+
+    // ----- process lifetime -------------------------------------------------
+
+    /// Terminates the process with `status`.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`Fault::Exit`] so callers unwind.
+    pub fn exit(&mut self, status: i32) -> Fault {
+        self.exit_status = Some(status);
+        Fault::Exit(status)
+    }
+
+    /// The exit status, if the process has exited.
+    pub fn exit_status(&self) -> Option<i32> {
+        self.exit_status
+    }
+}
+
+/// The signature of every simulated C function: the host implementation of
+/// a symbol in a simulated shared library.
+pub type HostFn = fn(&mut Proc, &[CVal]) -> Result<CVal, Fault>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_is_mapped() {
+        let p = Proc::new();
+        assert!(p.mem.region_at(layout::TEXT_BASE).is_some());
+        assert!(p.mem.region_at(layout::HEAP_BASE).is_some());
+        assert!(p.mem.region_at(layout::STACK_BASE).is_some());
+        assert!(p.mem.region_at(layout::WILD_ADDR).is_none());
+    }
+
+    #[test]
+    fn errno_roundtrip() {
+        let mut p = Proc::new();
+        assert_eq!(p.errno(), 0);
+        p.set_errno(crate::errno::EINVAL);
+        assert_eq!(p.errno(), crate::errno::EINVAL);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_hang() {
+        let mut p = Proc::new();
+        p.set_fuel_limit(Some(10));
+        assert!(p.consume_fuel(10).is_ok());
+        assert_eq!(p.consume_fuel(1), Err(Fault::Hang));
+        assert_eq!(p.cycles(), 11);
+    }
+
+    #[test]
+    fn cstr_roundtrip() {
+        let mut p = Proc::new();
+        let a = p.alloc_cstr("robust");
+        assert_eq!(p.read_cstr(a).unwrap(), b"robust");
+        assert_eq!(p.read_cstr_lossy(a), "robust");
+    }
+
+    #[test]
+    fn unterminated_cstr_faults_at_segment_end() {
+        let mut p = Proc::new();
+        // Fill the very end of the data segment without a NUL anywhere after.
+        let end = layout::DATA_BASE.add(layout::DATA_SIZE);
+        let start = end.sub(4);
+        assert!(p.mem.poke_bytes(start, &[b'x'; 4]));
+        let err = p.read_cstr(start).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }), "{err}");
+    }
+
+    #[test]
+    fn unterminated_cstr_hangs_with_small_fuel() {
+        let mut p = Proc::new();
+        p.set_fuel_limit(Some(100));
+        // Data segment is zero-filled, so this terminates immediately;
+        // instead scan the (large, zeroed) heap after filling it without NUL.
+        let base = layout::HEAP_BASE;
+        let fill = vec![b'a'; layout::HEAP_INITIAL as usize];
+        assert!(p.mem.poke_bytes(base, &fill));
+        let err = p.read_cstr(base).unwrap_err();
+        assert_eq!(err, Fault::Hang);
+    }
+
+    #[test]
+    fn rodata_literals_are_readonly() {
+        let mut p = Proc::new();
+        let lit = p.alloc_cstr_literal("const");
+        assert_eq!(p.read_cstr(lit).unwrap(), b"const");
+        let err = p.write_u8(lit, b'X').unwrap_err();
+        assert!(matches!(err, Fault::Segv { access: Access::Write, .. }));
+    }
+
+    #[test]
+    fn frames_push_alloc_pop() {
+        let mut p = Proc::new();
+        p.push_frame("main").unwrap();
+        let buf = p.stack_alloc(64).unwrap();
+        p.write_bytes(buf, &[7u8; 64]).unwrap();
+        assert_eq!(p.frame_depth(), 1);
+        let f = p.frame_containing(buf).unwrap();
+        assert_eq!(f.func, "main");
+        p.pop_frame().unwrap();
+        assert_eq!(p.frame_depth(), 0);
+        assert_eq!(p.sp(), layout::STACK_TOP);
+    }
+
+    #[test]
+    fn smashed_return_address_is_detected_on_pop() {
+        let mut p = Proc::new();
+        p.push_frame("vuln").unwrap();
+        let buf = p.stack_alloc(16).unwrap();
+        // Overflow the 16-byte buffer up into the saved return address
+        // (8-byte saved bp sits between buffer and ret slot).
+        let smash = vec![0x41u8; 16 + 8 + 8];
+        p.mem.write_bytes(buf, &smash).unwrap();
+        let err = p.pop_frame().unwrap_err();
+        assert!(matches!(err, Fault::WildJump { .. }));
+        assert!(!p.kernel.shell_spawned);
+    }
+
+    #[test]
+    fn smashed_return_address_to_shellcode_spawns_shell() {
+        let mut p = Proc::new();
+        let payload = p.alloc_data(SHELLCODE_MAGIC);
+        p.push_frame("vuln").unwrap();
+        let _buf = p.stack_alloc(16).unwrap();
+        let frame_ret = p.frame_containing(p.sp()).unwrap().ret_slot;
+        p.mem.write_u64(frame_ret, payload.get()).unwrap();
+        let err = p.pop_frame().unwrap_err();
+        assert!(matches!(err, Fault::WildJump { .. }));
+        assert!(p.kernel.shell_spawned, "shellcode must have run");
+    }
+
+    #[test]
+    fn stack_overflow_faults() {
+        let mut p = Proc::new();
+        p.push_frame("deep").unwrap();
+        let err = p.stack_alloc(layout::STACK_SIZE + 1).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+    }
+
+    #[test]
+    fn indirect_call_resolution() {
+        let mut p = Proc::new();
+        let (id, addr) = p.funcs.register("qsort_cmp");
+        assert_eq!(p.call_indirect(addr).unwrap(), id);
+        let err = p.call_indirect(VirtAddr::new(0x1234)).unwrap_err();
+        assert!(matches!(err, Fault::WildJump { .. }));
+    }
+
+    #[test]
+    fn indirect_call_to_shellcode_owns_root_process() {
+        let mut p = Proc::new();
+        p.kernel.root_privilege = true;
+        let payload = p.alloc_data(SHELLCODE_MAGIC);
+        let err = p.call_indirect(payload).unwrap_err();
+        assert!(matches!(err, Fault::WildJump { .. }));
+        assert!(p.kernel.shell_spawned);
+        assert!(p.kernel.root_privilege);
+    }
+
+    #[test]
+    fn call_function_dispatches_to_host_impl() {
+        fn double(_p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+            Ok(CVal::Int(args[0].as_int() * 2))
+        }
+        let mut p = Proc::new();
+        let addr = p.register_host_fn("double", double);
+        let r = p.call_function(addr, &[CVal::Int(21)]).unwrap();
+        assert_eq!(r, CVal::Int(42));
+    }
+
+    #[test]
+    fn call_function_without_impl_aborts() {
+        let mut p = Proc::new();
+        let (_, addr) = p.funcs.register("stub");
+        let err = p.call_function(addr, &[]).unwrap_err();
+        assert!(matches!(err, Fault::Abort { .. }));
+    }
+
+    #[test]
+    fn exit_records_status() {
+        let mut p = Proc::new();
+        let f = p.exit(3);
+        assert_eq!(f, Fault::Exit(3));
+        assert_eq!(p.exit_status(), Some(3));
+    }
+
+    #[test]
+    fn data_allocations_do_not_overlap() {
+        let mut p = Proc::new();
+        let a = p.alloc_data(b"aaaa");
+        let b = p.alloc_data(b"bbbb");
+        assert!(b >= a.add(4));
+        let z = p.alloc_data_zeroed(16);
+        assert!(z >= b.add(4));
+    }
+
+    #[test]
+    fn write_bytes_checked_respects_protection() {
+        let mut p = Proc::new();
+        let err = p.write_bytes(layout::TEXT_BASE, &[0u8; 4]).unwrap_err();
+        assert!(matches!(err, Fault::Segv { access: Access::Write, .. }));
+    }
+
+    #[test]
+    fn u32_ptr_accessors() {
+        let mut p = Proc::new();
+        let a = p.alloc_data_zeroed(16);
+        p.write_u32(a, 0xfeed).unwrap();
+        assert_eq!(p.read_u32(a).unwrap(), 0xfeed);
+        p.write_ptr(a.add(8), VirtAddr::new(0x42)).unwrap();
+        assert_eq!(p.read_ptr(a.add(8)).unwrap(), VirtAddr::new(0x42));
+    }
+}

@@ -1,0 +1,124 @@
+//! The *robust API* of a library: the output of the fault-injection
+//! search (Figure 2's right-hand box) and the input to wrapper
+//! generation.
+
+use cdecl::xml::XmlWriter;
+use cdecl::Prototype;
+
+use crate::pred::SafePred;
+
+/// The derived robust contract of one function.
+#[derive(Debug, Clone)]
+pub struct RobustFunction {
+    /// The original C prototype.
+    pub proto: Prototype,
+    /// The weakest robust argument type found for each parameter.
+    pub preds: Vec<SafePred>,
+    /// `false` if even the strongest candidate types could not stop all
+    /// robustness failures (residual risk remains).
+    pub fully_robust: bool,
+    /// `true` if the function was excluded from injection (e.g. `exit`).
+    pub skipped: bool,
+}
+
+impl RobustFunction {
+    /// A function whose parameters all accept any value (the trivial
+    /// contract, used for skipped functions).
+    pub fn trivial(proto: Prototype) -> Self {
+        let preds = proto.params.iter().map(|_| SafePred::Always).collect();
+        RobustFunction { proto, preds, fully_robust: true, skipped: true }
+    }
+
+    /// Whether any parameter carries a non-trivial precondition.
+    pub fn has_checks(&self) -> bool {
+        self.preds.iter().any(|p| *p != SafePred::Always)
+    }
+}
+
+/// The robust API of a whole library.
+#[derive(Debug, Clone, Default)]
+pub struct RobustApi {
+    /// Library name (e.g. `libsimc.so.1`).
+    pub library: String,
+    /// Per-function contracts, in symbol-table order.
+    pub functions: Vec<RobustFunction>,
+}
+
+impl RobustApi {
+    /// Looks up a function's contract by name.
+    pub fn function(&self, name: &str) -> Option<&RobustFunction> {
+        self.functions.iter().find(|f| f.proto.name == name)
+    }
+
+    /// Serialises the robust API as a self-describing XML document
+    /// (the declaration-file format extended with `safe` attributes).
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::new();
+        w.open("robust-api", &[("library", &self.library)]);
+        for f in &self.functions {
+            w.open(
+                "function",
+                &[
+                    ("name", f.proto.name.as_str()),
+                    ("fully-robust", if f.fully_robust { "true" } else { "false" }),
+                    ("skipped", if f.skipped { "true" } else { "false" }),
+                ],
+            );
+            for (i, (param, pred)) in f.proto.params.iter().zip(&f.preds).enumerate() {
+                let ty = param.ty.to_string();
+                let name = param.display_name(i);
+                let safe = pred.to_string();
+                w.leaf("param", &[("name", &name), ("type", &ty), ("safe", &safe)]);
+            }
+            w.close();
+        }
+        w.close();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+
+    fn strcpy_api() -> RobustApi {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
+        RobustApi {
+            library: "libsimc.so.1".into(),
+            functions: vec![RobustFunction {
+                proto,
+                preds: vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+                fully_robust: true,
+                skipped: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_and_checks() {
+        let api = strcpy_api();
+        let f = api.function("strcpy").unwrap();
+        assert!(f.has_checks());
+        assert!(api.function("nope").is_none());
+    }
+
+    #[test]
+    fn trivial_contract_has_no_checks() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("void exit(int status);", &t).unwrap();
+        let f = RobustFunction::trivial(proto);
+        assert!(!f.has_checks());
+        assert!(f.skipped);
+    }
+
+    #[test]
+    fn xml_mentions_safe_types() {
+        let xml = strcpy_api().to_xml();
+        assert!(xml.contains("robust-api"), "{xml}");
+        assert!(xml.contains("strcpy"));
+        assert!(xml.contains("writable buffer &gt;= strlen(arg2)+1"), "{xml}");
+        assert!(xml.contains("readable NUL-terminated string"));
+    }
+}

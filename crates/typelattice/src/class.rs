@@ -1,0 +1,142 @@
+//! Classifying prototype parameters into injection classes.
+
+use cdecl::{CType, Prototype};
+
+/// The injection class of one parameter — determines which candidate-type
+/// ladder the fault injector climbs (paper §2.2: "repeatedly probing the
+/// function with a hierarchy of function types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgClass {
+    /// `const char *` — an input C string.
+    CStrIn,
+    /// `char *` — an output/scratch string buffer.
+    CStrOut,
+    /// A read-only data pointer with element size (e.g. `const void *`,
+    /// `const double *`).
+    PtrIn(u64),
+    /// A writable data pointer with element size.
+    PtrOut(u64),
+    /// `char **` — a pointer to a string pointer (endptr/saveptr/stringp).
+    CStrPtrPtr,
+    /// A function pointer (qsort comparator, atexit handler).
+    FuncPtr,
+    /// `FILE *`.
+    FilePtr,
+    /// Any integer scalar (int, long, char promoted, wint_t ...), with
+    /// its ABI width in bytes — values are truncated to this width at the
+    /// call boundary, exactly as registers are.
+    Int(u64),
+    /// `size_t`-shaped counts and lengths.
+    Size,
+    /// `double` / `float`.
+    Float,
+}
+
+/// Classifies one parameter type.
+pub fn classify(ty: &CType) -> ArgClass {
+    match ty {
+        CType::Ptr { pointee, const_pointee } => match &**pointee {
+            CType::Char { .. } if *const_pointee => ArgClass::CStrIn,
+            CType::Char { .. } => ArgClass::CStrOut,
+            CType::Ptr { pointee: inner, .. } if matches!(**inner, CType::Char { .. }) => {
+                ArgClass::CStrPtrPtr
+            }
+            CType::Named(n) if n == "FILE" => ArgClass::FilePtr,
+            other => {
+                let elem = other.size().unwrap_or(1);
+                if *const_pointee {
+                    ArgClass::PtrIn(elem)
+                } else {
+                    ArgClass::PtrOut(elem)
+                }
+            }
+        },
+        CType::Array { elem, .. } => ArgClass::PtrOut(elem.size().unwrap_or(1)),
+        CType::FuncPtr { .. } => ArgClass::FuncPtr,
+        CType::Float | CType::Double => ArgClass::Float,
+        CType::Int { signed: false, width } if width.size() == 8 => ArgClass::Size,
+        CType::Char { .. } | CType::Int { .. } => ArgClass::Int(ty.size().unwrap_or(8)),
+        CType::Void | CType::Named(_) => ArgClass::Int(8),
+    }
+}
+
+/// Classifies every parameter of a prototype.
+pub fn classify_params(proto: &Prototype) -> Vec<ArgClass> {
+    proto.params.iter().map(|p| classify(&p.ty)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+
+    fn classes(proto: &str) -> Vec<ArgClass> {
+        let t = TypedefTable::with_builtins();
+        classify_params(&parse_prototype(proto, &t).unwrap())
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            classes("char *strcpy(char *dest, const char *src);"),
+            vec![ArgClass::CStrOut, ArgClass::CStrIn]
+        );
+        assert_eq!(
+            classes("size_t strlen(const char *s);"),
+            vec![ArgClass::CStrIn]
+        );
+        assert_eq!(
+            classes("char *strncpy(char *dest, const char *src, size_t n);"),
+            vec![ArgClass::CStrOut, ArgClass::CStrIn, ArgClass::Size]
+        );
+    }
+
+    #[test]
+    fn memory_functions() {
+        assert_eq!(
+            classes("void *memcpy(void *dest, const void *src, size_t n);"),
+            vec![ArgClass::PtrOut(1), ArgClass::PtrIn(1), ArgClass::Size]
+        );
+    }
+
+    #[test]
+    fn typed_pointers() {
+        assert_eq!(
+            classes("double mnorm(const double *vec, size_t n);"),
+            vec![ArgClass::PtrIn(8), ArgClass::Size]
+        );
+        assert_eq!(classes("int rand_r(unsigned int *seedp);"), vec![ArgClass::PtrOut(4)]);
+        assert_eq!(classes("time_t time(time_t *tloc);"), vec![ArgClass::PtrOut(8)]);
+    }
+
+    #[test]
+    fn pointer_to_string_pointer() {
+        assert_eq!(
+            classes("long strtol(const char *nptr, char **endptr, int base);"),
+            vec![ArgClass::CStrIn, ArgClass::CStrPtrPtr, ArgClass::Int(4)]
+        );
+    }
+
+    #[test]
+    fn function_and_file_pointers() {
+        let c = classes(
+            "void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));",
+        );
+        assert_eq!(c[3], ArgClass::FuncPtr);
+        assert_eq!(classes("int fclose(FILE *stream);"), vec![ArgClass::FilePtr]);
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(classes("int isalpha(int c);"), vec![ArgClass::Int(4)]);
+        assert_eq!(classes("int abs(int j);"), vec![ArgClass::Int(4)]);
+        assert_eq!(classes("double msqrt(double x);"), vec![ArgClass::Float]);
+        // wint_t is unsigned int (4 bytes) — Int, not Size.
+        assert_eq!(classes("wint_t towlower(wint_t wc);"), vec![ArgClass::Int(4)]);
+        // wctrans_t is long — Int.
+        assert_eq!(
+            classes("wint_t towctrans(wint_t wc, wctrans_t desc);"),
+            vec![ArgClass::Int(4), ArgClass::Int(8)]
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Fault-injection value generators: for every candidate type, produce
+//! the *nastiest members of that type* — plus the benign values used to
+//! pin the parameters that are not under test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simproc::{layout, CVal, Fault, Proc, VirtAddr};
+
+use crate::class::ArgClass;
+use crate::pred::{peek_cstr_len, SafePred};
+
+/// Generation context: a scratch process plus a deterministic RNG.
+#[derive(Debug)]
+pub struct GenCx<'a> {
+    /// The scratch process values are materialised into.
+    pub proc: &'a mut Proc,
+    rng: StdRng,
+}
+
+/// A benign comparator for function-pointer parameters: compares one byte
+/// at each pointer (never writes, never strays).
+fn benign_cmp(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let a = p.read_u8(args.first().copied().unwrap_or(CVal::NULL).as_ptr())?;
+    let b = p.read_u8(args.get(1).copied().unwrap_or(CVal::NULL).as_ptr())?;
+    Ok(CVal::Int(a as i64 - b as i64))
+}
+
+impl<'a> GenCx<'a> {
+    /// Creates a context with a seeded RNG.
+    pub fn new(proc: &'a mut Proc, seed: u64) -> Self {
+        GenCx { proc, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A heap buffer of exactly `n` requested bytes (usable size may
+    /// round up to the allocator's granularity).
+    pub fn heap_buf(&mut self, n: u64) -> VirtAddr {
+        let ptr = simlibc::heap::malloc(self.proc, n).expect("scratch malloc");
+        assert!(!ptr.is_null(), "scratch heap exhausted");
+        ptr
+    }
+
+    /// A heap buffer filled with a byte pattern.
+    pub fn heap_buf_filled(&mut self, n: u64, fill: u8) -> VirtAddr {
+        let ptr = self.heap_buf(n);
+        let bytes = vec![fill; n as usize];
+        self.proc.mem.write_bytes(ptr, &bytes).expect("fill");
+        ptr
+    }
+
+    /// A NUL-terminated string in the data segment.
+    pub fn cstr(&mut self, s: &str) -> VirtAddr {
+        self.proc.alloc_cstr(s)
+    }
+
+    /// A string of `len` random printable bytes.
+    pub fn random_cstr(&mut self, len: usize) -> VirtAddr {
+        let bytes: Vec<u8> = (0..len).map(|_| self.rng.gen_range(0x21..0x7f)).collect();
+        let mut with_nul = bytes;
+        with_nul.push(0);
+        self.proc.alloc_data(&with_nul)
+    }
+
+    /// The benign comparator's address (registered on demand).
+    pub fn benign_func(&mut self) -> VirtAddr {
+        self.proc.register_host_fn("__healers_benign_cmp", benign_cmp)
+    }
+
+    /// A live `FILE*` opened on a scratch kernel file.
+    pub fn file_handle(&mut self) -> CVal {
+        self.proc
+            .kernel
+            .install_file("/tmp/healers-scratch", b"scratch file contents\n".to_vec());
+        let path = self.cstr("/tmp/healers-scratch");
+        let mode = self.cstr("r");
+        simlibc::stdio::fopen(self.proc, &[CVal::Ptr(path), CVal::Ptr(mode)])
+            .expect("scratch fopen")
+    }
+
+    /// A writable 8-byte cell initialised to `inner`.
+    pub fn ptr_cell(&mut self, inner: VirtAddr) -> VirtAddr {
+        let cell = self.proc.alloc_data_zeroed(8);
+        self.proc.mem.write_ptr(cell, inner).expect("cell");
+        cell
+    }
+}
+
+/// The benign (valid, generous) value used to pin a parameter while
+/// another parameter is under test.
+pub fn benign_value(class: ArgClass, cx: &mut GenCx<'_>) -> CVal {
+    match class {
+        ArgClass::CStrIn => CVal::Ptr(cx.cstr("hello")),
+        ArgClass::CStrOut => CVal::Ptr(cx.heap_buf_filled(4096, 0)),
+        ArgClass::PtrIn(elem) => CVal::Ptr(cx.heap_buf_filled(64 * elem.max(1), 0)),
+        ArgClass::PtrOut(elem) => CVal::Ptr(cx.heap_buf_filled(64 * elem.max(1), 0)),
+        ArgClass::CStrPtrPtr => {
+            let s = cx.cstr("alpha,beta");
+            CVal::Ptr(cx.ptr_cell(s))
+        }
+        ArgClass::FuncPtr => CVal::Ptr(cx.benign_func()),
+        ArgClass::FilePtr => cx.file_handle(),
+        ArgClass::Int(_) => CVal::Int(65),
+        ArgClass::Size => CVal::Int(4),
+        ArgClass::Float => CVal::F64(1.0),
+    }
+}
+
+/// The ABI width of an integer class (8 for anything non-integer).
+fn int_width(class: ArgClass) -> u64 {
+    match class {
+        ArgClass::Int(b) => b,
+        _ => 8,
+    }
+}
+
+/// Sign-extending truncation to `bytes` — what the register file does to
+/// an over-wide argument.
+pub fn trunc_int(v: i64, bytes: u64) -> i64 {
+    match bytes {
+        1 => v as i8 as i64,
+        2 => v as i16 as i64,
+        4 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+/// Truncates, filters and dedups raw integer candidates.
+fn int_values(raw: &[i64], bytes: u64, keep: impl Fn(i64) -> bool) -> Vec<CVal> {
+    let mut seen = Vec::new();
+    for &r in raw {
+        let t = trunc_int(r, bytes);
+        if keep(t) && !seen.contains(&t) {
+            seen.push(t);
+        }
+    }
+    seen.into_iter().map(CVal::Int).collect()
+}
+
+/// Pointer-shaped garbage common to every pointer class's weak rungs.
+fn pointer_nasties(cx: &mut GenCx<'_>, include_null: bool) -> Vec<CVal> {
+    let mut out = Vec::new();
+    if include_null {
+        out.push(CVal::NULL);
+    }
+    out.push(CVal::Ptr(layout::WILD_ADDR)); // unmapped
+    out.push(CVal::Ptr(VirtAddr::new(0x8))); // near-null
+    out.push(CVal::Ptr(layout::TEXT_BASE.add(4))); // executable, unwritable
+    out.push(CVal::Int(-1)); // 0xffff...f as a pointer
+    let lit = cx.proc.alloc_cstr_literal("read-only literal");
+    out.push(CVal::Ptr(lit)); // mapped but unwritable
+    let data = cx.proc.alloc_data_zeroed(16);
+    out.push(CVal::Ptr(data.add(1))); // misaligned but valid
+    out
+}
+
+/// Generates adversarial members of the candidate type `(class, pred)`.
+/// `pinned` holds the values of the other parameters (benign during the
+/// ladder search), which relational predicates consult.
+pub fn values_for(
+    class: ArgClass,
+    pred: &SafePred,
+    cx: &mut GenCx<'_>,
+    pinned: &[CVal],
+) -> Vec<CVal> {
+    match pred {
+        SafePred::Always => match class {
+            ArgClass::Int(bytes) => int_values(
+                &[
+                    0,
+                    1,
+                    -1,
+                    127,
+                    255,
+                    256,
+                    100_000,
+                    -100_000,
+                    i32::MAX as i64,
+                    i32::MIN as i64,
+                    i64::MAX,
+                    i64::MIN,
+                ],
+                bytes,
+                |_| true,
+            ),
+            ArgClass::Size => vec![
+                CVal::Int(0),
+                CVal::Int(1),
+                CVal::Int(4096),
+                CVal::Int(1 << 20),
+                CVal::Int(1 << 31),
+                CVal::Int(i64::MAX),
+                CVal::Int(-1), // (size_t)-1
+            ],
+            ArgClass::Float => vec![
+                CVal::F64(0.0),
+                CVal::F64(-1.5),
+                CVal::F64(f64::NAN),
+                CVal::F64(f64::INFINITY),
+                CVal::F64(f64::NEG_INFINITY),
+                CVal::F64(f64::MAX),
+                CVal::F64(f64::MIN_POSITIVE),
+            ],
+            _ => pointer_nasties(cx, true),
+        },
+        SafePred::NonNull => pointer_nasties(cx, false),
+        SafePred::CStr => vec![
+            CVal::Ptr(cx.cstr("")),
+            CVal::Ptr(cx.cstr("a")),
+            CVal::Ptr(cx.random_cstr(255)),
+            CVal::Ptr(cx.random_cstr(4096)),
+            CVal::Ptr(cx.proc.alloc_cstr_literal("literal in rodata")),
+            CVal::Ptr(cx.proc.alloc_data(&[0xff, 0xfe, 0x01, 0x7f, 0x00])),
+        ],
+        SafePred::Readable(n) => vec![
+            CVal::Ptr(cx.heap_buf_filled(*n, 0xAB)),
+            CVal::Ptr(cx.proc.alloc_cstr_literal("0123456789abcdef")),
+        ],
+        SafePred::Writable(n) => vec![
+            CVal::Ptr(cx.heap_buf(*n)),
+            CVal::Ptr(cx.heap_buf((*n).max(1) * 4)),
+            {
+                let d = cx.proc.alloc_data_zeroed((*n).max(8));
+                CVal::Ptr(d)
+            },
+        ],
+        SafePred::HoldsCStrOf { src } => {
+            let len = pinned
+                .get(*src)
+                .and_then(|v| peek_cstr_len(cx.proc, v.as_ptr()))
+                .unwrap_or(8);
+            vec![
+                CVal::Ptr(cx.heap_buf(len + 1)), // exact fit — the boundary
+                CVal::Ptr(cx.heap_buf(len + 64)),
+                CVal::Ptr(cx.heap_buf(4096.max(len + 1))),
+            ]
+        }
+        SafePred::WritableAtLeastArg { size, elem } => {
+            let need = pinned
+                .get(*size)
+                .map(|v| v.as_usize())
+                .unwrap_or(4)
+                .saturating_mul(*elem)
+                .min(1 << 16);
+            vec![CVal::Ptr(cx.heap_buf(need.max(1))), CVal::Ptr(cx.heap_buf(need + 64))]
+        }
+        SafePred::ReadableAtLeastArg { size, elem } => {
+            let need = pinned
+                .get(*size)
+                .map(|v| v.as_usize())
+                .unwrap_or(4)
+                .saturating_mul(*elem)
+                .min(1 << 16);
+            vec![CVal::Ptr(cx.heap_buf_filled(need.max(1), 0x5A))]
+        }
+        SafePred::WritableAtLeastProduct { a, b } | SafePred::ReadableAtLeastProduct { a, b } => {
+            let need = pinned
+                .get(*a)
+                .map(|v| v.as_usize())
+                .unwrap_or(4)
+                .saturating_mul(pinned.get(*b).map(|v| v.as_usize()).unwrap_or(4))
+                .min(1 << 16);
+            vec![CVal::Ptr(cx.heap_buf_filled(need.max(1), 0))]
+        }
+        SafePred::SizeFitsWritable { ptr, elem } | SafePred::SizeFitsReadable { ptr, elem } => {
+            let extent = pinned
+                .get(*ptr)
+                .and_then(|v| {
+                    use simproc::{ExtentOracle, RegionOracle};
+                    let o = RegionOracle::new();
+                    match pred {
+                        SafePred::SizeFitsWritable { .. } => {
+                            o.writable_extent(cx.proc, v.as_ptr())
+                        }
+                        _ => o.readable_extent(cx.proc, v.as_ptr()),
+                    }
+                })
+                .unwrap_or(0)
+                / (*elem).max(1);
+            vec![CVal::Int(0), CVal::Int((extent / 2) as i64), CVal::Int(extent as i64)]
+        }
+        SafePred::SizeBelow(n) => {
+            vec![CVal::Int(0), CVal::Int(1), CVal::Int((*n as i64 - 1).max(0))]
+        }
+        SafePred::IntNonZero => {
+            let bytes = int_width(class);
+            int_values(
+                &[1, -1, 255, 100_000, -100_000, i64::MAX, i64::MIN],
+                bytes,
+                |v| v != 0,
+            )
+        }
+        SafePred::IntInRange { min, max } => {
+            let bytes = int_width(class);
+            // Endpoints, zero, and a log-spaced sweep — range interiors
+            // hide crashes (ctype's table gap) that endpoints miss.
+            let mut raw = vec![*min, *max, 0, min + (max - min) / 2];
+            let mut step = 1i64;
+            while step <= *max {
+                raw.push(step);
+                raw.push(-step);
+                step = step.saturating_mul(4);
+            }
+            int_values(&raw, bytes, |v| (*min..=*max).contains(&v))
+        }
+        SafePred::PtrToCStrOrNull => {
+            let s = cx.cstr("tok1,tok2");
+            let with_str = cx.ptr_cell(s);
+            let with_null = cx.ptr_cell(VirtAddr::NULL);
+            let empty = cx.cstr("");
+            let with_empty = cx.ptr_cell(empty);
+            vec![CVal::Ptr(with_str), CVal::Ptr(with_null), CVal::Ptr(with_empty)]
+        }
+        SafePred::ValidFuncPtr => vec![CVal::Ptr(cx.benign_func())],
+        SafePred::ValidFilePtr => vec![cx.file_handle()],
+        SafePred::NullOr(inner) => {
+            // NULL first: it is the member most likely to crash, and
+            // callers may cap how many values they draw from a rung.
+            let mut v = vec![CVal::NULL];
+            v.extend(values_for(class, inner, cx, pinned));
+            v
+        }
+        SafePred::HeapChunkOrNull => {
+            let a = cx.heap_buf(24);
+            let b = cx.heap_buf(300);
+            vec![CVal::Ptr(a), CVal::Ptr(b), CVal::NULL]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simlibc::testutil::libc_proc;
+    use simproc::RegionOracle;
+
+    fn check_all(class: ArgClass, pred: SafePred) {
+        let mut p = libc_proc();
+        let mut cx = GenCx::new(&mut p, 7);
+        let pinned = [CVal::Int(4), CVal::Int(4), CVal::Int(4), CVal::Int(4)];
+        let values = values_for(class, &pred, &mut cx, &pinned);
+        assert!(!values.is_empty());
+        let oracle = RegionOracle::new();
+        for v in values {
+            let mut args = pinned.to_vec();
+            args[0] = v;
+            assert!(
+                pred.check(cx.proc, &oracle, &args, 0),
+                "{pred}: generated value {v} violates its own type"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_values_satisfy_their_predicate() {
+        check_all(ArgClass::CStrIn, SafePred::CStr);
+        check_all(ArgClass::CStrOut, SafePred::Writable(1));
+        check_all(ArgClass::CStrOut, SafePred::Writable(64));
+        check_all(ArgClass::PtrIn(8), SafePred::Readable(8));
+        check_all(ArgClass::Int(4), SafePred::IntInRange { min: -1, max: 255 });
+        check_all(ArgClass::Size, SafePred::SizeBelow(1 << 16));
+        check_all(ArgClass::CStrPtrPtr, SafePred::PtrToCStrOrNull);
+        check_all(ArgClass::FuncPtr, SafePred::ValidFuncPtr);
+        check_all(ArgClass::FilePtr, SafePred::ValidFilePtr);
+    }
+
+    #[test]
+    fn relational_values_satisfy_against_pinned() {
+        let mut p = libc_proc();
+        let mut cx = GenCx::new(&mut p, 7);
+        let src = CVal::Ptr(cx.cstr("twelve chars"));
+        let pinned = [CVal::NULL, src];
+        let pred = SafePred::HoldsCStrOf { src: 1 };
+        let values = values_for(ArgClass::CStrOut, &pred, &mut cx, &pinned);
+        let oracle = RegionOracle::new();
+        for v in values {
+            let args = [v, src];
+            assert!(pred.check(cx.proc, &oracle, &args, 0), "{v}");
+        }
+    }
+
+    #[test]
+    fn nasty_pointers_are_nasty() {
+        let mut p = libc_proc();
+        let mut cx = GenCx::new(&mut p, 7);
+        let values = values_for(ArgClass::CStrIn, &SafePred::Always, &mut cx, &[]);
+        assert!(values.iter().any(|v| v.is_null()));
+        assert!(values.iter().any(|v| *v == CVal::Ptr(layout::WILD_ADDR)));
+        let nonnull = values_for(ArgClass::CStrIn, &SafePred::NonNull, &mut cx, &[]);
+        assert!(nonnull.iter().all(|v| !v.is_null()));
+    }
+
+    #[test]
+    fn benign_values_are_valid() {
+        let mut p = libc_proc();
+        let mut cx = GenCx::new(&mut p, 7);
+        let oracle = RegionOracle::new();
+        let b = benign_value(ArgClass::CStrIn, &mut cx);
+        assert!(SafePred::CStr.check(cx.proc, &oracle, &[b], 0));
+        let b = benign_value(ArgClass::CStrOut, &mut cx);
+        assert!(SafePred::Writable(4096).check(cx.proc, &oracle, &[b], 0));
+        let b = benign_value(ArgClass::FuncPtr, &mut cx);
+        assert!(SafePred::ValidFuncPtr.check(cx.proc, &oracle, &[b], 0));
+        let b = benign_value(ArgClass::FilePtr, &mut cx);
+        assert!(SafePred::ValidFilePtr.check(cx.proc, &oracle, &[b], 0));
+        let b = benign_value(ArgClass::CStrPtrPtr, &mut cx);
+        assert!(SafePred::PtrToCStrOrNull.check(cx.proc, &oracle, &[b], 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let mut p = libc_proc();
+            let mut cx = GenCx::new(&mut p, 99);
+            let v = values_for(ArgClass::CStrIn, &SafePred::CStr, &mut cx, &[]);
+            v.iter()
+                .map(|v| {
+                    peek_cstr_len(cx.proc, v.as_ptr())
+                        .map(|l| {
+                            let b = cx.proc.mem.peek_bytes(v.as_ptr(), l).unwrap();
+                            b
+                        })
+                        .unwrap_or_default()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+}

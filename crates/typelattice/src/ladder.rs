@@ -1,0 +1,323 @@
+//! Candidate-type ladders: for each parameter, the ordered hierarchy of
+//! argument types the injector climbs, weakest first (paper §2.2,
+//! Figure 2: "searching robust argument types").
+//!
+//! Pointer ladders interleave `NULL-or-X` variants before each `X`, so a
+//! function that *accepts* NULL (`time`, `fflush`, `strtol`'s `endptr`)
+//! keeps that permissiveness in its robust type, while one that crashes
+//! on NULL (`strlen`) climbs past it.
+
+use cdecl::Prototype;
+
+use crate::class::{classify_params, ArgClass};
+use crate::pred::SafePred;
+
+/// One rung of a ladder: a named candidate argument type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rung {
+    /// Short name for reports (e.g. `"cstr"`, `"holds-cstr(arg2)"`).
+    pub name: String,
+    /// The membership predicate.
+    pub pred: SafePred,
+}
+
+impl Rung {
+    fn new(name: impl Into<String>, pred: SafePred) -> Self {
+        Rung { name: name.into(), pred }
+    }
+}
+
+/// The injection plan for one parameter.
+#[derive(Debug, Clone)]
+pub struct ParamPlan {
+    /// Injection class of the parameter.
+    pub class: ArgClass,
+    /// Candidate types, weakest first. The last rung is the strongest
+    /// type available; if even it crashes, the function is reported as
+    /// not fully wrappable.
+    pub ladder: Vec<Rung>,
+}
+
+/// Index of the first parameter (other than `me`) whose class satisfies
+/// `pick`.
+fn find_param(classes: &[ArgClass], me: usize, pick: impl Fn(ArgClass) -> bool) -> Option<usize> {
+    classes
+        .iter()
+        .enumerate()
+        .find(|(i, c)| *i != me && pick(**c))
+        .map(|(i, _)| i)
+}
+
+/// All `Size` parameters other than `me`.
+fn size_params(classes: &[ArgClass], me: usize) -> Vec<usize> {
+    classes
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != me && matches!(c, ArgClass::Size))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `[any, nonnull, null-or-s1, s1, null-or-s2, s2, ...]`
+fn pointer_ladder(strengths: Vec<Rung>) -> Vec<Rung> {
+    let mut out = vec![
+        Rung::new("any", SafePred::Always),
+        Rung::new("nonnull", SafePred::NonNull),
+    ];
+    for r in strengths {
+        out.push(Rung::new(
+            format!("null-or-{}", r.name),
+            SafePred::NullOr(Box::new(r.pred.clone())),
+        ));
+        out.push(r);
+    }
+    out
+}
+
+/// The relational write-buffer rungs available to a writable pointer at
+/// `idx` with element size `elem`.
+fn writable_relations(classes: &[ArgClass], idx: usize, elem: u64, cstr: bool) -> Vec<Rung> {
+    let mut out = Vec::new();
+    if cstr {
+        if let Some(src) = find_param(classes, idx, |c| c == ArgClass::CStrIn) {
+            out.push(Rung::new(
+                format!("holds-cstr(arg{})", src + 1),
+                SafePred::HoldsCStrOf { src },
+            ));
+        }
+    }
+    let sizes = size_params(classes, idx);
+    if let Some(&s) = sizes.first() {
+        out.push(Rung::new(
+            format!("writable(arg{}*{elem})", s + 1),
+            SafePred::WritableAtLeastArg { size: s, elem },
+        ));
+    }
+    if sizes.len() >= 2 {
+        out.push(Rung::new(
+            format!("writable(arg{}*arg{})", sizes[0] + 1, sizes[1] + 1),
+            SafePred::WritableAtLeastProduct { a: sizes[0], b: sizes[1] },
+        ));
+    }
+    out
+}
+
+/// Builds the ladder for parameter `idx` given the classes of all
+/// parameters.
+pub fn ladder_for(classes: &[ArgClass], idx: usize) -> Vec<Rung> {
+    let class = classes[idx];
+    match class {
+        ArgClass::CStrIn => pointer_ladder(vec![Rung::new("cstr", SafePred::CStr)]),
+        ArgClass::CStrOut => {
+            let mut strengths = vec![Rung::new("writable(1)", SafePred::Writable(1))];
+            strengths.extend(writable_relations(classes, idx, 1, true));
+            pointer_ladder(strengths)
+        }
+        ArgClass::PtrIn(elem) => {
+            let mut strengths =
+                vec![Rung::new(format!("readable({elem})"), SafePred::Readable(elem))];
+            let sizes = size_params(classes, idx);
+            if let Some(&s) = sizes.first() {
+                strengths.push(Rung::new(
+                    format!("readable(arg{}*{elem})", s + 1),
+                    SafePred::ReadableAtLeastArg { size: s, elem },
+                ));
+            }
+            if sizes.len() >= 2 {
+                strengths.push(Rung::new(
+                    format!("readable(arg{}*arg{})", sizes[0] + 1, sizes[1] + 1),
+                    SafePred::ReadableAtLeastProduct { a: sizes[0], b: sizes[1] },
+                ));
+            }
+            pointer_ladder(strengths)
+        }
+        ArgClass::PtrOut(elem) => {
+            let mut strengths =
+                vec![Rung::new(format!("writable({elem})"), SafePred::Writable(elem))];
+            strengths.extend(writable_relations(classes, idx, elem, false));
+            // Last resort: the free/realloc contract.
+            strengths.push(Rung::new("heap-chunk-or-null", SafePred::HeapChunkOrNull));
+            pointer_ladder(strengths)
+        }
+        ArgClass::CStrPtrPtr => pointer_ladder(vec![
+            Rung::new("writable(8)", SafePred::Writable(8)),
+            Rung::new("ptr-to-cstr-or-null", SafePred::PtrToCStrOrNull),
+        ]),
+        ArgClass::FuncPtr => vec![
+            Rung::new("any", SafePred::Always),
+            Rung::new(
+                "null-or-valid-funcptr",
+                SafePred::NullOr(Box::new(SafePred::ValidFuncPtr)),
+            ),
+            Rung::new("valid-funcptr", SafePred::ValidFuncPtr),
+        ],
+        ArgClass::FilePtr => pointer_ladder(vec![Rung::new("valid-file", SafePred::ValidFilePtr)]),
+        ArgClass::Int(_) => vec![
+            Rung::new("any", SafePred::Always),
+            Rung::new("nonzero", SafePred::IntNonZero),
+            Rung::new("bounded(2^20)", SafePred::IntInRange { min: -(1 << 20), max: 1 << 20 }),
+            Rung::new("char-range", SafePred::IntInRange { min: -1, max: 255 }),
+        ],
+        ArgClass::Size => {
+            let mut rungs = vec![Rung::new("any", SafePred::Always)];
+            if let Some(ptr) = find_param(classes, idx, |c| {
+                matches!(c, ArgClass::CStrOut | ArgClass::PtrOut(_))
+            }) {
+                let elem = match classes[ptr] {
+                    ArgClass::PtrOut(e) => e,
+                    _ => 1,
+                };
+                rungs.push(Rung::new(
+                    format!("fits-writable(arg{})", ptr + 1),
+                    SafePred::SizeFitsWritable { ptr, elem },
+                ));
+            } else if let Some(ptr) = find_param(classes, idx, |c| {
+                matches!(c, ArgClass::CStrIn | ArgClass::PtrIn(_))
+            }) {
+                let elem = match classes[ptr] {
+                    ArgClass::PtrIn(e) => e,
+                    _ => 1,
+                };
+                rungs.push(Rung::new(
+                    format!("fits-readable(arg{})", ptr + 1),
+                    SafePred::SizeFitsReadable { ptr, elem },
+                ));
+            }
+            rungs.push(Rung::new("below(2^16)", SafePred::SizeBelow(1 << 16)));
+            rungs
+        }
+        ArgClass::Float => vec![Rung::new("any", SafePred::Always)],
+    }
+}
+
+/// Builds the full injection plan for a prototype.
+pub fn plan(proto: &Prototype) -> Vec<ParamPlan> {
+    let classes = classify_params(proto);
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ParamPlan { class: *c, ladder: ladder_for(&classes, i) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+
+    fn plan_of(proto: &str) -> Vec<ParamPlan> {
+        let t = TypedefTable::with_builtins();
+        plan(&parse_prototype(proto, &t).unwrap())
+    }
+
+    fn names(p: &ParamPlan) -> Vec<&str> {
+        p.ladder.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    #[test]
+    fn strcpy_dst_gets_relational_rung() {
+        let plans = plan_of("char *strcpy(char *dest, const char *src);");
+        assert_eq!(
+            names(&plans[0]),
+            vec![
+                "any",
+                "nonnull",
+                "null-or-writable(1)",
+                "writable(1)",
+                "null-or-holds-cstr(arg2)",
+                "holds-cstr(arg2)"
+            ]
+        );
+        assert_eq!(
+            names(&plans[1]),
+            vec!["any", "nonnull", "null-or-cstr", "cstr"]
+        );
+    }
+
+    #[test]
+    fn memcpy_gets_size_relations() {
+        let plans = plan_of("void *memcpy(void *dest, const void *src, size_t n);");
+        assert!(plans[0]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::WritableAtLeastArg { size: 2, elem: 1 }));
+        assert!(plans[1]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::ReadableAtLeastArg { size: 2, elem: 1 }));
+        assert!(plans[2]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::SizeFitsWritable { ptr: 0, elem: 1 }));
+    }
+
+    #[test]
+    fn void_ptr_out_ends_at_heap_rung() {
+        let plans = plan_of("void free(void *ptr);");
+        assert_eq!(plans[0].ladder.last().unwrap().pred, SafePred::HeapChunkOrNull);
+    }
+
+    #[test]
+    fn fread_gets_product_rung() {
+        let plans = plan_of("size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);");
+        assert!(plans[0]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::WritableAtLeastProduct { a: 1, b: 2 }));
+        assert_eq!(plans[3].ladder.last().unwrap().pred, SafePred::ValidFilePtr);
+        // The null-or variant sits right before it.
+        let n = plans[3].ladder.len();
+        assert_eq!(
+            plans[3].ladder[n - 2].pred,
+            SafePred::NullOr(Box::new(SafePred::ValidFilePtr))
+        );
+    }
+
+    #[test]
+    fn typed_pointer_elem_sizes() {
+        let plans = plan_of("double mnorm(const double *vec, size_t n);");
+        assert!(plans[0]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::ReadableAtLeastArg { size: 1, elem: 8 }));
+        assert!(plans[1]
+            .ladder
+            .iter()
+            .any(|r| r.pred == SafePred::SizeFitsReadable { ptr: 0, elem: 8 }));
+    }
+
+    #[test]
+    fn int_ladder_ends_at_char_range() {
+        let plans = plan_of("int isalpha(int c);");
+        assert_eq!(
+            plans[0].ladder.last().unwrap().pred,
+            SafePred::IntInRange { min: -1, max: 255 }
+        );
+    }
+
+    #[test]
+    fn every_ladder_starts_at_any() {
+        for proto in simlibc::prototypes() {
+            for (i, p) in plan(&proto).iter().enumerate() {
+                assert!(!p.ladder.is_empty(), "{} param {}", proto.name, i);
+                assert_eq!(p.ladder[0].pred, SafePred::Always, "{}", proto.name);
+            }
+        }
+    }
+
+    #[test]
+    fn strtok_r_saveptr_ladder() {
+        let plans = plan_of("char *strtok_r(char *str, const char *delim, char **saveptr);");
+        assert_eq!(plans[2].class, ArgClass::CStrPtrPtr);
+        assert_eq!(plans[2].ladder.last().unwrap().pred, SafePred::PtrToCStrOrNull);
+    }
+
+    #[test]
+    fn funcptr_allows_null_rung() {
+        let plans = plan_of("int atexit(void (*function)(void));");
+        assert_eq!(
+            names(&plans[0]),
+            vec!["any", "null-or-valid-funcptr", "valid-funcptr"]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # typelattice — the Ballista-style argument type hierarchy
+//!
+//! HEALERS derives a library's *robust API* by probing each function
+//! "with a hierarchy of function types until it finds one that does not
+//! result in robustness failures" (paper §2.2). This crate is that
+//! hierarchy:
+//!
+//! * [`ArgClass`] classifies prototype parameters into injection classes;
+//! * [`SafePred`] is the membership predicate of a candidate argument
+//!   type — evaluated both by the injector (to generate members) and by
+//!   the generated robustness wrapper (to reject non-members at run time);
+//! * [`values_for`] materialises adversarial members of a type inside a
+//!   scratch process; [`benign_value`] pins parameters not under test;
+//! * [`plan`] builds the full ladder (weakest type first, relational
+//!   types last) for every parameter of a prototype.
+//!
+//! ```
+//! use cdecl::{parse_prototype, TypedefTable};
+//! use typelattice::plan;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = TypedefTable::with_builtins();
+//! let proto = parse_prototype("char *strcpy(char *dest, const char *src);", &t)?;
+//! let plans = plan(&proto);
+//! // dest's strongest candidate type is relational: it must hold src.
+//! assert_eq!(plans[0].ladder.last().unwrap().name, "holds-cstr(arg2)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod api;
+mod class;
+mod gen;
+mod ladder;
+mod pred;
+
+pub use api::{RobustApi, RobustFunction};
+pub use class::{classify, classify_params, ArgClass};
+pub use gen::{benign_value, trunc_int, values_for, GenCx};
+pub use ladder::{ladder_for, plan, ParamPlan, Rung};
+pub use pred::{peek_cstr_len, SafePred, CSTR_SCAN_CAP};

@@ -1,0 +1,137 @@
+//! Property tests on the type hierarchy — the invariants the
+//! weakest-robust-type search relies on:
+//!
+//! * **self-consistency**: every generated member of a candidate type
+//!   satisfies that type's predicate, for every rung of every ladder of
+//!   every libc prototype;
+//! * **monotonicity along a ladder**: ladders are ordered weakest-first —
+//!   members of a *stronger* rung satisfy every weaker non-relational
+//!   rung before it (so climbing never widens the contract);
+//! * **NullOr weakening**: `NullOr(p)` accepts everything `p` accepts,
+//!   plus NULL.
+
+use proptest::prelude::*;
+
+use simlibc::testutil::libc_proc;
+use simproc::{CVal, RegionOracle};
+use typelattice::{benign_value, plan, values_for, GenCx, SafePred};
+
+fn proto_names() -> Vec<String> {
+    simlibc::prototypes().iter().map(|p| p.name.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_values_satisfy_their_rung(
+        func_idx in 0usize..97,
+        seed in any::<u64>(),
+    ) {
+        let protos = simlibc::prototypes();
+        let proto = &protos[func_idx % protos.len()];
+        let plans = plan(proto);
+        let oracle = RegionOracle::new();
+        for (i, pp) in plans.iter().enumerate() {
+            for rung in &pp.ladder {
+                let mut p = libc_proc();
+                let mut cx = GenCx::new(&mut p, seed);
+                let pinned: Vec<CVal> =
+                    plans.iter().map(|q| benign_value(q.class, &mut cx)).collect();
+                let values = values_for(pp.class, &rung.pred, &mut cx, &pinned);
+                prop_assert!(!values.is_empty(), "{}: param {i} rung {} generated nothing", proto.name, rung.name);
+                for v in values {
+                    let mut args = pinned.clone();
+                    args[i] = v;
+                    // RegionOracle is the weakest oracle; if the value
+                    // passes under it, it passes under refinements too
+                    // for the generator's own allocations.
+                    prop_assert!(
+                        rung.pred.check(cx.proc, &oracle, &args, i),
+                        "{}: param {i} rung `{}` value {v} escapes its own type",
+                        proto.name, rung.name, v = v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benign_values_satisfy_every_rung(
+        func_idx in 0usize..97,
+        seed in any::<u64>(),
+    ) {
+        // The pinned benign value must be a member of EVERY candidate
+        // type of its parameter, or the ladder search would blame the
+        // wrong parameter.
+        let protos = simlibc::prototypes();
+        let proto = &protos[func_idx % protos.len()];
+        let plans = plan(proto);
+        let oracle = RegionOracle::new();
+        let mut p = libc_proc();
+        let mut cx = GenCx::new(&mut p, seed);
+        let pinned: Vec<CVal> =
+            plans.iter().map(|q| benign_value(q.class, &mut cx)).collect();
+        for (i, pp) in plans.iter().enumerate() {
+            for rung in &pp.ladder {
+                prop_assert!(
+                    rung.pred.check(cx.proc, &oracle, &pinned, i),
+                    "{}: benign value {} violates rung `{}` of param {i}",
+                    proto.name, pinned[i], rung.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nullor_is_weaker(seed in any::<u64>(), func_idx in 0usize..97) {
+        let protos = simlibc::prototypes();
+        let proto = &protos[func_idx % protos.len()];
+        let plans = plan(proto);
+        let oracle = RegionOracle::new();
+        for (i, pp) in plans.iter().enumerate() {
+            for rung in &pp.ladder {
+                let SafePred::NullOr(inner) = &rung.pred else { continue };
+                let mut p = libc_proc();
+                let mut cx = GenCx::new(&mut p, seed);
+                let pinned: Vec<CVal> =
+                    plans.iter().map(|q| benign_value(q.class, &mut cx)).collect();
+                // Members of the inner type...
+                let values = values_for(pp.class, inner, &mut cx, &pinned);
+                for v in values {
+                    let mut args = pinned.clone();
+                    args[i] = v;
+                    if inner.check(cx.proc, &oracle, &args, i) {
+                        prop_assert!(rung.pred.check(cx.proc, &oracle, &args, i));
+                    }
+                }
+                // ...and NULL are all members of NullOr(inner).
+                let mut args = pinned.clone();
+                args[i] = CVal::NULL;
+                prop_assert!(rung.pred.check(cx.proc, &oracle, &args, i));
+            }
+        }
+    }
+
+    #[test]
+    fn every_libc_prototype_has_a_full_plan(name_idx in 0usize..97) {
+        let names = proto_names();
+        let name = &names[name_idx % names.len()];
+        let proto = simlibc::prototypes()
+            .into_iter()
+            .find(|p| &p.name == name)
+            .unwrap();
+        let plans = plan(&proto);
+        prop_assert_eq!(plans.len(), proto.params.len());
+        for pp in &plans {
+            prop_assert!(!pp.ladder.is_empty());
+            prop_assert_eq!(&pp.ladder[0].pred, &SafePred::Always);
+            // Rung names are unique within a ladder.
+            let mut names: Vec<_> = pp.ladder.iter().map(|r| r.name.clone()).collect();
+            names.sort();
+            let n = names.len();
+            names.dedup();
+            prop_assert_eq!(names.len(), n);
+        }
+    }
+}

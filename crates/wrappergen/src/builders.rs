@@ -1,0 +1,464 @@
+//! Assembling whole wrapper libraries — "a flexible framework for a wide
+//! variety of wrapper types ... the micro-generators can be combined in a
+//! variety of ways to generate new wrapper types" (§2.3). The three
+//! wrapper types of Figure 1 (security / robustness / profiling) are
+//! built here from the same micro-generator parts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use guardian::{CanaryRegistry, GuardOracle};
+use parking_lot::Mutex;
+use profiler::{Collector, Stats};
+use simproc::HostFn;
+use typelattice::{RobustApi, SafePred};
+
+use crate::codegen::{
+    generate_function, ArgCheckGen, CallCounterGen, CallerGen, CanaryCheckGen,
+    CodegenCx, CollectErrorsGen, ExectimeGen, FuncErrorsGen, MicroGen, PrototypeGen,
+};
+use crate::hooks::{
+    ArgCheckHook, CallCounterHook, CanaryHook, CheckResponse, CollectErrorsHook, ExectimeHook,
+    ExitReportHook, FuncErrorsHook,
+};
+use crate::runtime::{CallLog, Hook, WrappedFn};
+
+/// The wrapper types of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperKind {
+    /// Prevents a large class of failures (crashes, hangs, aborts) by
+    /// rejecting out-of-contract arguments with a graceful error.
+    Robustness,
+    /// Prevents buffer-overflow attacks; violations terminate the
+    /// process.
+    Security,
+    /// Gathers call counts, execution time and errno statistics, shipped
+    /// as XML at termination.
+    Profiling,
+    /// Logs every intercepted call with its arguments — the simplest
+    /// wrapper the micro-generator architecture composes ("it is easy to
+    /// introduce new functionalities into the existing system").
+    Tracing,
+    /// A hand-composed wrapper built with [`WrapperBuilder`].
+    Custom,
+}
+
+impl WrapperKind {
+    /// soname of the generated wrapper library.
+    pub fn soname(self) -> &'static str {
+        match self {
+            WrapperKind::Robustness => "libhealers_robust.so.1",
+            WrapperKind::Security => "libhealers_secure.so.1",
+            WrapperKind::Profiling => "libhealers_profile.so.1",
+            WrapperKind::Tracing => "libhealers_trace.so.1",
+            WrapperKind::Custom => "libhealers_custom.so.1",
+        }
+    }
+
+    /// Wrapper-type tag used in shipped documents.
+    pub fn tag(self) -> &'static str {
+        match self {
+            WrapperKind::Robustness => "robustness",
+            WrapperKind::Security => "security",
+            WrapperKind::Profiling => "profiling",
+            WrapperKind::Tracing => "tracing",
+            WrapperKind::Custom => "custom",
+        }
+    }
+}
+
+/// A generated wrapper library: runnable wrapped functions plus the
+/// generated C source a real deployment would compile.
+#[derive(Debug)]
+pub struct WrapperLibrary {
+    /// soname (what `LD_PRELOAD` would name).
+    pub soname: String,
+    /// Wrapper type.
+    pub kind: WrapperKind,
+    /// Generated C source for every wrapped function.
+    pub source: String,
+    fns: BTreeMap<String, WrappedFn>,
+    /// Shared statistics (populated by profiling wrappers).
+    pub stats: Arc<Stats>,
+    /// Shared canary registry (populated by security wrappers).
+    pub registry: Arc<CanaryRegistry>,
+    /// Shared call log.
+    pub log: CallLog,
+}
+
+impl WrapperLibrary {
+    /// The wrapped function for `name`, if this wrapper interposes it.
+    pub fn get(&self, name: &str) -> Option<&WrappedFn> {
+        self.fns.get(name)
+    }
+
+    /// Names of all interposed functions.
+    pub fn wrapped_names(&self) -> Vec<&str> {
+        self.fns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Iterates the wrapped functions.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &WrappedFn)> {
+        self.fns.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of interposed functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// `true` if nothing is interposed.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+/// Options for wrapper generation.
+#[derive(Debug, Clone, Default)]
+pub struct WrapperConfig {
+    /// Application name stamped into shipped documents.
+    pub app_name: String,
+    /// Where profiling wrappers ship their document at `exit`.
+    pub collector: Option<Collector>,
+}
+
+/// Whether a predicate guards *writes* (what the security wrapper
+/// enforces; read-side contracts stay with the robustness wrapper).
+fn security_relevant(pred: &SafePred) -> bool {
+    match pred {
+        SafePred::Writable(_)
+        | SafePred::HoldsCStrOf { .. }
+        | SafePred::WritableAtLeastArg { .. }
+        | SafePred::WritableAtLeastProduct { .. }
+        | SafePred::SizeFitsWritable { .. }
+        | SafePred::HeapChunkOrNull => true,
+        SafePred::NullOr(inner) => security_relevant(inner),
+        _ => false,
+    }
+}
+
+/// The functions the canary micro-generator interposes.
+const CANARY_FUNCS: &[&str] = &["malloc", "calloc", "free", "realloc", "exit"];
+
+fn lookup_impl(name: &str) -> Option<HostFn> {
+    simlibc::find_symbol(name)
+        .map(|s| s.imp)
+        .or_else(|| {
+            simlibc::math::math_symbols()
+                .into_iter()
+                .find(|s| s.name == name)
+                .map(|s| s.imp)
+        })
+}
+
+/// Builds one of the standard wrapper libraries from a robust API,
+/// binding the simulated system libraries' implementations.
+pub fn build_wrapper(kind: WrapperKind, api: &RobustApi, config: &WrapperConfig) -> WrapperLibrary {
+    build_wrapper_with_impls(kind, api, config, &lookup_impl)
+}
+
+/// [`build_wrapper`] with an explicit implementation lookup — for
+/// wrapping a *new release* of a library whose symbols resolve to
+/// different code than the stock simulated one.
+pub fn build_wrapper_with_impls(
+    kind: WrapperKind,
+    api: &RobustApi,
+    config: &WrapperConfig,
+    lookup: &dyn Fn(&str) -> Option<HostFn>,
+) -> WrapperLibrary {
+    let stats = Arc::new(Stats::new());
+    let registry = Arc::new(CanaryRegistry::new());
+    let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+    let oracle = GuardOracle::new(Arc::clone(&registry));
+
+    let mut fns = BTreeMap::new();
+    let mut source = String::new();
+    source.push_str(&format!(
+        "/* {} — generated by HEALERS from the robust API of {} */\n\n",
+        kind.soname(),
+        api.library
+    ));
+
+    for (index, f) in api.functions.iter().enumerate() {
+        let name = f.proto.name.clone();
+        let Some(imp) = lookup(&name) else { continue };
+
+        let mut hooks: Vec<Arc<dyn Hook>> = Vec::new();
+        let mut gens: Vec<Box<dyn MicroGen>> = vec![Box::new(PrototypeGen)];
+        let mut preds_for_codegen: Vec<SafePred> = Vec::new();
+
+        match kind {
+            WrapperKind::Custom => {
+                // Hand-composed wrappers come from `WrapperBuilder`.
+                continue;
+            }
+            WrapperKind::Robustness => {
+                if f.skipped || !f.has_checks() {
+                    continue; // pay only for the protection you need
+                }
+                preds_for_codegen = f.preds.clone();
+                hooks.push(Arc::new(ArgCheckHook::new(
+                    f.preds.clone(),
+                    f.proto.ret.clone(),
+                    oracle.clone(),
+                    CheckResponse::Contain,
+                )));
+                gens.push(Box::new(ArgCheckGen));
+            }
+            WrapperKind::Security => {
+                let sec_preds: Vec<SafePred> = f
+                    .preds
+                    .iter()
+                    .map(|p| if security_relevant(p) { p.clone() } else { SafePred::Always })
+                    .collect();
+                let has_sec = sec_preds.iter().any(|p| *p != SafePred::Always);
+                let is_canary = CANARY_FUNCS.contains(&name.as_str());
+                if !has_sec && !is_canary {
+                    continue;
+                }
+                if is_canary {
+                    hooks.push(Arc::new(CanaryHook::new(Arc::clone(&registry))));
+                }
+                if has_sec {
+                    preds_for_codegen = sec_preds.clone();
+                    hooks.push(Arc::new(ArgCheckHook::new(
+                        sec_preds,
+                        f.proto.ret.clone(),
+                        oracle.clone(),
+                        CheckResponse::Terminate,
+                    )));
+                }
+                gens.push(Box::new(CanaryCheckGen));
+            }
+            WrapperKind::Tracing => {
+                hooks.push(Arc::new(crate::hooks::LogCallHook::new(Arc::clone(&log))));
+                gens.push(Box::new(crate::codegen::LogCallGen));
+            }
+            WrapperKind::Profiling => {
+                hooks.push(Arc::new(ExectimeHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(CollectErrorsHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
+                if name == "exit" {
+                    if let Some(collector) = &config.collector {
+                        hooks.push(Arc::new(ExitReportHook::new(
+                            Arc::clone(&stats),
+                            config.app_name.clone(),
+                            kind.tag(),
+                            collector.clone(),
+                        )));
+                    }
+                }
+                gens.push(Box::new(ExectimeGen));
+                gens.push(Box::new(CollectErrorsGen));
+                gens.push(Box::new(FuncErrorsGen));
+                gens.push(Box::new(CallCounterGen));
+            }
+        }
+
+        gens.push(Box::new(CallerGen));
+        let cx = CodegenCx { proto: &f.proto, func_index: index, preds: &preds_for_codegen };
+        let gen_refs: Vec<&dyn MicroGen> = gens.iter().map(|g| g.as_ref()).collect();
+        source.push_str(&generate_function(&gen_refs, &cx));
+        source.push('\n');
+
+        fns.insert(name, WrappedFn::new(f.proto.clone(), imp, hooks));
+    }
+
+    WrapperLibrary {
+        soname: kind.soname().to_string(),
+        kind,
+        source,
+        fns,
+        stats,
+        registry,
+        log,
+    }
+}
+
+/// Hand-rolled composition for custom wrapper types: "such an
+/// architecture facilitates code reuse and makes it easy to introduce new
+/// functionalities".
+#[derive(Debug, Default)]
+pub struct WrapperBuilder {
+    soname: String,
+    entries: BTreeMap<String, Vec<Arc<dyn Hook>>>,
+}
+
+impl std::fmt::Debug for dyn Hook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hook({})", self.name())
+    }
+}
+
+impl WrapperBuilder {
+    /// Starts a custom wrapper library.
+    pub fn new(soname: impl Into<String>) -> Self {
+        WrapperBuilder { soname: soname.into(), entries: BTreeMap::new() }
+    }
+
+    /// Adds a hook to the pipeline for `func` (wrapping it if new).
+    pub fn hook(&mut self, func: &str, hook: Arc<dyn Hook>) -> &mut Self {
+        self.entries.entry(func.to_string()).or_default().push(hook);
+        self
+    }
+
+    /// Builds the library; functions unknown to the simulated libraries
+    /// are skipped.
+    pub fn build(&self) -> WrapperLibrary {
+        let protos = simlibc::prototypes();
+        let mut fns = BTreeMap::new();
+        for (name, hooks) in &self.entries {
+            let Some(imp) = lookup_impl(name) else { continue };
+            let Some(proto) = protos.iter().find(|p| &p.name == name).cloned() else {
+                continue;
+            };
+            fns.insert(name.clone(), WrappedFn::new(proto, imp, hooks.clone()));
+        }
+        WrapperLibrary {
+            soname: self.soname.clone(),
+            kind: WrapperKind::Custom,
+            source: format!(
+                "/* {} — hand-composed wrapper ({} functions) */\n",
+                self.soname,
+                fns.len()
+            ),
+            fns,
+            stats: Arc::new(Stats::new()),
+            registry: Arc::new(CanaryRegistry::new()),
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+    use simlibc::testutil::libc_proc;
+    use simproc::{CVal, Fault};
+    use typelattice::RobustFunction;
+
+    fn tiny_api() -> RobustApi {
+        let t = TypedefTable::with_builtins();
+        let mk = |proto: &str, preds: Vec<SafePred>| RobustFunction {
+            proto: parse_prototype(proto, &t).unwrap(),
+            preds,
+            fully_robust: true,
+            skipped: false,
+        };
+        RobustApi {
+            library: "libsimc.so.1".into(),
+            functions: vec![
+                mk(
+                    "char *strcpy(char *dest, const char *src);",
+                    vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+                ),
+                mk("size_t strlen(const char *s);", vec![SafePred::CStr]),
+                mk("int abs(int j);", vec![SafePred::Always]),
+                mk("void *malloc(size_t size);", vec![SafePred::Always]),
+                mk("void free(void *ptr);", vec![SafePred::HeapChunkOrNull]),
+                mk("void exit(int status);", vec![SafePred::Always]),
+            ],
+        }
+    }
+
+    #[test]
+    fn robustness_wrapper_wraps_only_checked_functions() {
+        let lib = build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
+        assert_eq!(lib.wrapped_names(), vec!["free", "strcpy", "strlen"]);
+        assert!(lib.get("abs").is_none(), "no checks, no overhead");
+        assert!(lib.source.contains("healers_check"));
+        assert!(lib.source.contains("micro-gen arg check"));
+    }
+
+    #[test]
+    fn robustness_wrapper_contains_crashes() {
+        let lib = build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
+        let strlen = lib.get("strlen").unwrap();
+        let mut p = libc_proc();
+        let r = strlen.call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1));
+        assert_eq!(p.errno(), simproc::errno::EINVAL);
+    }
+
+    #[test]
+    fn security_wrapper_wraps_allocators_and_writers() {
+        let lib = build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
+        let names = lib.wrapped_names();
+        assert!(names.contains(&"malloc"));
+        assert!(names.contains(&"free"));
+        assert!(names.contains(&"exit"));
+        assert!(names.contains(&"strcpy"), "write function");
+        assert!(!names.contains(&"strlen"), "read-only contract is not security relevant");
+        assert!(lib.source.contains("CANARY_LEN"));
+    }
+
+    #[test]
+    fn security_wrapper_terminates_overflowing_strcpy() {
+        let lib = build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
+        let mut p = libc_proc();
+        let malloc = lib.get("malloc").unwrap();
+        let strcpy = lib.get("strcpy").unwrap();
+        let buf = malloc.call(&mut p, &[CVal::Int(8)]).unwrap().as_ptr();
+        let attack = p.alloc_cstr(&"X".repeat(64));
+        let err = strcpy.call(&mut p, &[CVal::Ptr(buf), CVal::Ptr(attack)]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+        // An in-bounds copy is untouched.
+        let ok = p.alloc_cstr("ok");
+        strcpy.call(&mut p, &[CVal::Ptr(buf), CVal::Ptr(ok)]).unwrap();
+        assert_eq!(p.read_cstr_lossy(buf), "ok");
+    }
+
+    #[test]
+    fn profiling_wrapper_wraps_everything_and_reports() {
+        let server = profiler::CollectionServer::start();
+        let config = WrapperConfig {
+            app_name: "demo".into(),
+            collector: Some(server.collector()),
+        };
+        let lib = build_wrapper(WrapperKind::Profiling, &tiny_api(), &config);
+        assert_eq!(lib.len(), 6, "profiling wraps every function");
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("abcd");
+        lib.get("strlen").unwrap().call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        lib.get("abs").unwrap().call(&mut p, &[CVal::Int(-2)]).unwrap();
+        let err = lib.get("exit").unwrap().call(&mut p, &[CVal::Int(0)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(0));
+        let snap = lib.stats.snapshot();
+        assert_eq!(snap.per_func["strlen"].calls, 1);
+        assert_eq!(snap.per_func["abs"].calls, 1);
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        assert_eq!(collected.submissions[0].wrapper, "profiling");
+        assert!(lib.source.contains("micro-gen call counter"));
+    }
+
+    #[test]
+    fn custom_builder_composes_hooks() {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(Stats::new());
+        let mut b = WrapperBuilder::new("libcustom.so");
+        b.hook("strlen", Arc::new(crate::hooks::LogCallHook::new(Arc::clone(&log))));
+        b.hook("strlen", Arc::new(CallCounterHook::new(Arc::clone(&stats))));
+        let lib = b.build();
+        assert_eq!(lib.kind, WrapperKind::Custom);
+        assert!(lib.source.contains("hand-composed"));
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("hi");
+        lib.get("strlen").unwrap().call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        assert_eq!(log.lock().len(), 1);
+        assert_eq!(stats.snapshot().per_func["strlen"].calls, 1);
+    }
+
+    #[test]
+    fn different_wrappers_from_same_api_differ() {
+        let api = tiny_api();
+        let r = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+        let s = build_wrapper(WrapperKind::Security, &api, &WrapperConfig::default());
+        let p = build_wrapper(WrapperKind::Profiling, &api, &WrapperConfig::default());
+        assert_ne!(r.wrapped_names(), s.wrapped_names());
+        assert_eq!(p.len(), api.functions.len());
+        assert_ne!(r.source, p.source);
+    }
+}

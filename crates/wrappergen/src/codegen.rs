@@ -1,0 +1,490 @@
+//! The micro-generator *code* side (paper §2.3, Figure 3).
+//!
+//! "Each micro-generator generates a fragment of the prefix and postfix
+//! code of a function. The micro-generators can be combined in a variety
+//! of ways to generate new wrapper types." The generated C text is what a
+//! real HEALERS deployment would compile into the wrapper `.so`; here it
+//! is emitted verbatim (and golden-tested against the shape of Figure 3)
+//! while the behaviourally equivalent hooks in [`crate::hooks`] execute
+//! in the simulation.
+
+use cdecl::{CType, Prototype};
+use typelattice::SafePred;
+
+/// Context handed to each micro-generator.
+#[derive(Debug, Clone)]
+pub struct CodegenCx<'a> {
+    /// The function being wrapped.
+    pub proto: &'a Prototype,
+    /// The function's index in the wrapper library (the paper's generated
+    /// code indexes per-function arrays with it, e.g. `[1206]`).
+    pub func_index: usize,
+    /// Robust argument types, when the wrapper checks arguments.
+    pub preds: &'a [SafePred],
+}
+
+impl CodegenCx<'_> {
+    fn ret_is_void(&self) -> bool {
+        self.proto.ret == CType::Void
+    }
+
+    fn arg_list(&self) -> String {
+        self.proto
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.display_name(i))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn param_decls(&self) -> String {
+        if self.proto.params.is_empty() && !self.proto.variadic {
+            return "void".to_string();
+        }
+        let mut parts: Vec<String> = self
+            .proto
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{} {}", p.ty, p.display_name(i)))
+            .collect();
+        if self.proto.variadic {
+            parts.push("...".into());
+        }
+        parts.join(", ")
+    }
+}
+
+/// A code-generating micro-generator: prefix and postfix C fragments.
+pub trait MicroGen {
+    /// The micro-generator's name as it appears in generated comments
+    /// (e.g. `"prototype"`, `"function exectime"`).
+    fn name(&self) -> &'static str;
+
+    /// Lines emitted before the call to the original function.
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String>;
+
+    /// Lines emitted after the call (emission order is reversed across
+    /// micro-generators, exactly as in Figure 3).
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String>;
+}
+
+/// `prototype`: the wrapper signature, the `ret` declaration and the
+/// final `return`.
+#[derive(Debug, Clone, Copy)]
+pub struct PrototypeGen;
+
+impl MicroGen for PrototypeGen {
+    fn name(&self) -> &'static str {
+        "prototype"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let mut out = vec![format!(
+            "{} {}({})",
+            cx.proto.ret,
+            cx.proto.name,
+            cx.param_decls()
+        )];
+        out.push("{".into());
+        if !cx.ret_is_void() {
+            out.push(format!("  {} ret;", cx.proto.ret));
+        }
+        out
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let mut out = Vec::new();
+        if !cx.ret_is_void() {
+            out.push("  return ret;".into());
+        }
+        out.push("}".into());
+        out
+    }
+}
+
+/// `caller`: the call to the original function through the resolved
+/// symbol address.
+#[derive(Debug, Clone, Copy)]
+pub struct CallerGen;
+
+impl MicroGen for CallerGen {
+    fn name(&self) -> &'static str {
+        "caller"
+    }
+
+    fn prefix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let call = format!("(*addr_{})({})", cx.proto.name, cx.arg_list());
+        if cx.ret_is_void() {
+            vec![format!("  {call};")]
+        } else {
+            vec![format!("  ret = {call};")]
+        }
+    }
+}
+
+/// `function exectime`: rdtsc sampling around the call.
+#[derive(Debug, Clone, Copy)]
+pub struct ExectimeGen;
+
+impl MicroGen for ExectimeGen {
+    fn name(&self) -> &'static str {
+        "function exectime"
+    }
+
+    fn prefix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![
+            "  unsigned long long exectime_start;".into(),
+            "  unsigned long long exectime_end;".into(),
+            "  rdtsc(exectime_start);".into(),
+        ]
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![
+            "  rdtsc(exectime_end);".into(),
+            format!(
+                "  exectime[{}] += exectime_end - exectime_start;",
+                cx.func_index
+            ),
+        ]
+    }
+}
+
+/// `collect errors`: process-wide errno histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectErrorsGen;
+
+impl MicroGen for CollectErrorsGen {
+    fn name(&self) -> &'static str {
+        "collect errors"
+    }
+
+    fn prefix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        vec!["  int collect_errors_err = errno;".into()]
+    }
+
+    fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![
+            "  if (collect_errors_err != errno)".into(),
+            "    if (errno < 0 || errno >= MAX_ERRNO)".into(),
+            "      ++collect_errors_cnter[MAX_ERRNO];".into(),
+            "    else".into(),
+            "      ++collect_errors_cnter[errno];".into(),
+        ]
+    }
+}
+
+/// `func errors`: per-function errno histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct FuncErrorsGen;
+
+impl MicroGen for FuncErrorsGen {
+    fn name(&self) -> &'static str {
+        "func error"
+    }
+
+    fn prefix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        vec!["  int func_error_err = errno;".into()]
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![
+            "  if (func_error_err != errno)".into(),
+            "    if (errno < 0 || errno >= MAX_ERRNO)".into(),
+            format!("      ++func_error_cnter[{}][MAX_ERRNO];", cx.func_index),
+            "    else".into(),
+            format!("      ++func_error_cnter[{}][errno];", cx.func_index),
+        ]
+    }
+}
+
+/// `call counter`.
+#[derive(Debug, Clone, Copy)]
+pub struct CallCounterGen;
+
+impl MicroGen for CallCounterGen {
+    fn name(&self) -> &'static str {
+        "call counter"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![format!("  ++call_counter_num_calls[{}];", cx.func_index)]
+    }
+
+    fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// `arg check`: the robustness wrapper's precondition tests, one per
+/// parameter with a non-trivial robust type; violations return an error
+/// value with `errno = EINVAL` instead of calling the C library.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgCheckGen;
+
+fn error_return(proto: &Prototype) -> String {
+    match proto.ret {
+        CType::Void => "return;".into(),
+        CType::Ptr { .. } | CType::FuncPtr { .. } => "return NULL;".into(),
+        CType::Float | CType::Double => "return 0.0;".into(),
+        _ => "return -1;".into(),
+    }
+}
+
+impl MicroGen for ArgCheckGen {
+    fn name(&self) -> &'static str {
+        "arg check"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, pred) in cx.preds.iter().enumerate() {
+            if *pred == SafePred::Always {
+                continue;
+            }
+            let name = cx
+                .proto
+                .params
+                .get(i)
+                .map(|p| p.display_name(i))
+                .unwrap_or_else(|| format!("a{}", i + 1));
+            out.push(format!(
+                "  if (!healers_check({name}, \"{pred}\")) {{ errno = EINVAL; {} }}",
+                error_return(cx.proto)
+            ));
+        }
+        out
+    }
+
+    fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// `canary check`: the security wrapper's fragments — over-allocation
+/// plus guard-word verification on the allocator family, bounded writes
+/// elsewhere; violations terminate the process.
+#[derive(Debug, Clone, Copy)]
+pub struct CanaryCheckGen;
+
+impl MicroGen for CanaryCheckGen {
+    fn name(&self) -> &'static str {
+        "canary check"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        match cx.proto.name.as_str() {
+            "malloc" => vec!["  size += CANARY_LEN; /* reserve guard word */".into()],
+            "free" | "realloc" => vec![
+                "  if (!healers_canary_ok(ptr)) healers_terminate(\"heap smashing detected\");"
+                    .into(),
+            ],
+            _ => {
+                let mut out = Vec::new();
+                for (i, pred) in cx.preds.iter().enumerate() {
+                    if *pred == SafePred::Always {
+                        continue;
+                    }
+                    let name = cx
+                        .proto
+                        .params
+                        .get(i)
+                        .map(|p| p.display_name(i))
+                        .unwrap_or_else(|| format!("a{}", i + 1));
+                    out.push(format!(
+                        "  if (!healers_check({name}, \"{pred}\")) healers_terminate(\"buffer overflow prevented\");"
+                    ));
+                }
+                out
+            }
+        }
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        match cx.proto.name.as_str() {
+            "malloc" | "realloc" => {
+                vec!["  if (ret) healers_write_canary(ret, size - CANARY_LEN);".into()]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// `log call`: a simple call trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LogCallGen;
+
+impl MicroGen for LogCallGen {
+    fn name(&self) -> &'static str {
+        "log call"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        vec![format!(
+            "  healers_log(\"{}({})\");",
+            cx.proto.name,
+            cx.arg_list()
+        )]
+    }
+
+    fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Composes micro-generators into the wrapper source for one function:
+/// prefix fragments in order, postfix fragments in *reverse* order, each
+/// annotated `/* Prefix|Postfix code by micro-gen NAME */` — Figure 3's
+/// exact structure.
+pub fn generate_function(gens: &[&dyn MicroGen], cx: &CodegenCx<'_>) -> String {
+    let mut out = String::new();
+    for g in gens {
+        let lines = g.prefix(cx);
+        if lines.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("/* Prefix code by micro-gen {} */\n", g.name()));
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+    }
+    for g in gens.iter().rev() {
+        let lines = g.postfix(cx);
+        if lines.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("/* Postfix code by micro-gen {} */\n", g.name()));
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+
+    fn wctrans_proto() -> Prototype {
+        let t = TypedefTable::with_builtins();
+        parse_prototype("wctrans_t wctrans(const char* a1);", &t).unwrap()
+    }
+
+    /// The six micro-generators of Figure 3, in the paper's order.
+    fn figure3_gens() -> Vec<Box<dyn MicroGen>> {
+        vec![
+            Box::new(PrototypeGen),
+            Box::new(ExectimeGen),
+            Box::new(CollectErrorsGen),
+            Box::new(FuncErrorsGen),
+            Box::new(CallCounterGen),
+            Box::new(CallerGen),
+        ]
+    }
+
+    #[test]
+    fn figure3_structure_is_reproduced() {
+        let proto = wctrans_proto();
+        let cx = CodegenCx { proto: &proto, func_index: 1206, preds: &[] };
+        let gens = figure3_gens();
+        let refs: Vec<&dyn MicroGen> = gens.iter().map(|g| g.as_ref()).collect();
+        let code = generate_function(&refs, &cx);
+
+        // Every annotation of Figure 3, in its order.
+        let landmarks = [
+            "/* Prefix code by micro-gen prototype */",
+            "long wctrans(const char* a1)",
+            "  long ret;",
+            "/* Prefix code by micro-gen function exectime */",
+            "  rdtsc(exectime_start);",
+            "/* Prefix code by micro-gen collect errors */",
+            "  int collect_errors_err = errno;",
+            "/* Prefix code by micro-gen func error */",
+            "  int func_error_err = errno;",
+            "/* Prefix code by micro-gen call counter */",
+            "  ++call_counter_num_calls[1206];",
+            "/* Postfix code by micro-gen caller */",
+            "  ret = (*addr_wctrans)(a1);",
+            "/* Postfix code by micro-gen func error */",
+            "      ++func_error_cnter[1206][errno];",
+            "/* Postfix code by micro-gen collect errors */",
+            "      ++collect_errors_cnter[errno];",
+            "/* Postfix code by micro-gen function exectime */",
+            "  exectime[1206] += exectime_end - exectime_start;",
+            "/* Postfix code by micro-gen prototype */",
+            "  return ret;",
+        ];
+        let mut pos = 0;
+        for l in landmarks {
+            let found = code[pos..]
+                .find(l)
+                .unwrap_or_else(|| panic!("missing or out of order: {l}\n---\n{code}"));
+            pos += found + l.len();
+        }
+    }
+
+    #[test]
+    fn void_functions_have_no_ret() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("void srand(unsigned int seed);", &t).unwrap();
+        let cx = CodegenCx { proto: &proto, func_index: 7, preds: &[] };
+        let code = generate_function(&[&PrototypeGen, &CallerGen], &cx);
+        assert!(!code.contains("ret;"), "{code}");
+        assert!(code.contains("(*addr_srand)(seed);"));
+        assert!(!code.contains("return ret"));
+    }
+
+    #[test]
+    fn arg_check_emits_one_test_per_nontrivial_pred() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
+        let preds = vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr];
+        let cx = CodegenCx { proto: &proto, func_index: 1, preds: &preds };
+        let code = generate_function(&[&PrototypeGen, &ArgCheckGen, &CallerGen], &cx);
+        assert_eq!(code.matches("healers_check").count(), 2, "{code}");
+        assert!(code.contains("errno = EINVAL; return NULL;"), "{code}");
+        assert!(code.contains("writable buffer >= strlen(arg2)+1"));
+    }
+
+    #[test]
+    fn canary_fragments_specialise_by_function() {
+        let t = TypedefTable::with_builtins();
+        let malloc = parse_prototype("void *malloc(size_t size);", &t).unwrap();
+        let cx = CodegenCx { proto: &malloc, func_index: 0, preds: &[] };
+        let code = generate_function(&[&PrototypeGen, &CanaryCheckGen, &CallerGen], &cx);
+        assert!(code.contains("size += CANARY_LEN"), "{code}");
+        assert!(code.contains("healers_write_canary"), "{code}");
+
+        let free = parse_prototype("void free(void *ptr);", &t).unwrap();
+        let cx = CodegenCx { proto: &free, func_index: 1, preds: &[] };
+        let code = generate_function(&[&PrototypeGen, &CanaryCheckGen, &CallerGen], &cx);
+        assert!(code.contains("healers_canary_ok(ptr)"), "{code}");
+        assert!(code.contains("heap smashing detected"));
+    }
+
+    #[test]
+    fn variadic_signature() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("int printf(const char *format, ...);", &t).unwrap();
+        let cx = CodegenCx { proto: &proto, func_index: 0, preds: &[] };
+        let code = generate_function(&[&PrototypeGen], &cx);
+        assert!(code.contains("int printf(const char* format, ...)"), "{code}");
+    }
+
+    #[test]
+    fn log_call_mentions_args() {
+        let proto = wctrans_proto();
+        let cx = CodegenCx { proto: &proto, func_index: 0, preds: &[] };
+        let code = generate_function(&[&LogCallGen], &cx);
+        assert!(code.contains("healers_log(\"wctrans(a1)\")"), "{code}");
+    }
+}

@@ -1,0 +1,603 @@
+//! The concrete runtime hooks: one per micro-generator family.
+
+use std::sync::Arc;
+
+use cdecl::CType;
+use guardian::{CanaryRegistry, GuardOracle, CANARY_LEN};
+use profiler::{Collector, Stats};
+use simproc::{CVal, Fault, VirtAddr};
+use typelattice::SafePred;
+
+use crate::runtime::{reject, CallCx, CallLog, Hook, HookAction};
+
+/// How a wrapper responds to a contract violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckResponse {
+    /// Contain the fault: `errno = EINVAL`, return an error value —
+    /// the robustness wrapper (keeps the application running).
+    Contain,
+    /// Terminate the process — the security wrapper (§3.4: "detect such
+    /// buffer overflows and terminate the attacker's program").
+    Terminate,
+}
+
+/// `arg check`: evaluates the robust argument types derived by the fault
+/// injector before every call.
+pub struct ArgCheckHook {
+    preds: Vec<SafePred>,
+    ret: CType,
+    oracle: GuardOracle,
+    response: CheckResponse,
+}
+
+impl std::fmt::Debug for ArgCheckHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ArgCheckHook({:?})", self.response)
+    }
+}
+
+impl ArgCheckHook {
+    /// Builds the hook for one function.
+    pub fn new(
+        preds: Vec<SafePred>,
+        ret: CType,
+        oracle: GuardOracle,
+        response: CheckResponse,
+    ) -> Self {
+        ArgCheckHook { preds, ret, oracle, response }
+    }
+}
+
+impl Hook for ArgCheckHook {
+    fn name(&self) -> &'static str {
+        "arg check"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        for (i, pred) in self.preds.iter().enumerate() {
+            if *pred == SafePred::Always {
+                continue;
+            }
+            if !pred.check(cx.proc, &self.oracle, &cx.args, i) {
+                return match self.response {
+                    CheckResponse::Contain => reject(cx.proc, &self.ret),
+                    CheckResponse::Terminate => HookAction::Deny(Fault::security(format!(
+                        "{}: argument {} violates robust type `{pred}`",
+                        cx.func,
+                        i + 1
+                    ))),
+                };
+            }
+        }
+        HookAction::Continue
+    }
+}
+
+/// `canary check` on the allocator family: over-allocate, write guard
+/// words, verify before `free`/`realloc` touch metadata.
+#[derive(Debug)]
+pub struct CanaryHook {
+    registry: Arc<CanaryRegistry>,
+}
+
+impl CanaryHook {
+    /// Builds the hook over a shared registry.
+    pub fn new(registry: Arc<CanaryRegistry>) -> Self {
+        CanaryHook { registry }
+    }
+
+    fn verify_or_deny(&self, cx: &mut CallCx<'_>, ptr: VirtAddr) -> HookAction {
+        match self.registry.verify(cx.proc, ptr) {
+            Ok(_) => HookAction::Continue,
+            Err(violation) => HookAction::Deny(violation.fault()),
+        }
+    }
+}
+
+impl Hook for CanaryHook {
+    fn name(&self) -> &'static str {
+        "canary check"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        match cx.func {
+            "malloc" => {
+                let requested = cx.args.first().copied().unwrap_or(CVal::Int(0)).as_usize();
+                // A request so large that adding the guard word wraps can
+                // only fail anyway: leave it to the original (it returns
+                // NULL) rather than shrink it into a bogus success.
+                let Some(inflated) = requested.checked_add(CANARY_LEN) else {
+                    cx.scratch.push(u64::MAX);
+                    return HookAction::Continue;
+                };
+                cx.scratch.push(requested);
+                cx.args[0] = CVal::Int(inflated as i64);
+                HookAction::Continue
+            }
+            "calloc" => {
+                let nmemb = cx.args.first().copied().unwrap_or(CVal::Int(0)).as_usize();
+                let size = cx.args.get(1).copied().unwrap_or(CVal::Int(0)).as_usize();
+                let total = match nmemb.checked_mul(size) {
+                    Some(t) if t.checked_add(CANARY_LEN).is_some() => t,
+                    _ => {
+                        // Leave the overflow to the original (returns NULL).
+                        cx.scratch.push(u64::MAX);
+                        return HookAction::Continue;
+                    }
+                };
+                cx.scratch.push(total);
+                cx.args = vec![CVal::Int(1), CVal::Int((total + CANARY_LEN) as i64)];
+                HookAction::Continue
+            }
+            "free" => {
+                let ptr = cx.args.first().copied().unwrap_or(CVal::NULL).as_ptr();
+                if ptr.is_null() {
+                    return HookAction::Continue;
+                }
+                let action = self.verify_or_deny(cx, ptr);
+                if action == HookAction::Continue {
+                    self.registry.release(ptr);
+                }
+                action
+            }
+            "realloc" => {
+                let ptr = cx.args.first().copied().unwrap_or(CVal::NULL).as_ptr();
+                let requested = cx.args.get(1).copied().unwrap_or(CVal::Int(0)).as_usize();
+                if !ptr.is_null() {
+                    let action = self.verify_or_deny(cx, ptr);
+                    if action != HookAction::Continue {
+                        return action;
+                    }
+                }
+                match requested.checked_add(CANARY_LEN) {
+                    Some(inflated) => {
+                        cx.scratch.push(requested);
+                        if requested > 0 {
+                            cx.args[1] = CVal::Int(inflated as i64);
+                        }
+                    }
+                    None => cx.scratch.push(u64::MAX), // let the original fail
+                }
+                HookAction::Continue
+            }
+            "exit" => {
+                // Final sweep before atexit handlers run — the last
+                // chance to catch a smashed heap before hijack.
+                match self.registry.sweep(cx.proc) {
+                    Ok(()) => HookAction::Continue,
+                    Err(violation) => HookAction::Deny(violation.fault()),
+                }
+            }
+            _ => HookAction::Continue,
+        }
+    }
+
+    fn after(&self, cx: &mut CallCx<'_>, result: &mut Result<CVal, Fault>) {
+        match cx.func {
+            "malloc" | "calloc" => {
+                let requested = cx.scratch.pop().unwrap_or(0);
+                if requested == u64::MAX {
+                    return; // overflow case, nothing allocated
+                }
+                if let Ok(v) = result {
+                    let ptr = v.as_ptr();
+                    if !ptr.is_null() {
+                        if let Err(f) = self.registry.protect(cx.proc, ptr, requested) {
+                            *result = Err(f);
+                        }
+                    }
+                }
+            }
+            "realloc" => {
+                let requested = cx.scratch.pop().unwrap_or(0);
+                if requested == u64::MAX {
+                    return; // overflow case, left to the original
+                }
+                let old = cx.args.first().copied().unwrap_or(CVal::NULL).as_ptr();
+                if let Ok(v) = result {
+                    let new_ptr = v.as_ptr();
+                    if requested == 0 {
+                        // realloc(p, 0) freed it.
+                        self.registry.release(old);
+                    } else if !new_ptr.is_null() {
+                        self.registry.release(old);
+                        if let Err(f) = self.registry.protect(cx.proc, new_ptr, requested) {
+                            *result = Err(f);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `call counter`.
+#[derive(Debug)]
+pub struct CallCounterHook {
+    stats: Arc<Stats>,
+}
+
+impl CallCounterHook {
+    /// Builds the hook over shared statistics.
+    pub fn new(stats: Arc<Stats>) -> Self {
+        CallCounterHook { stats }
+    }
+}
+
+impl Hook for CallCounterHook {
+    fn name(&self) -> &'static str {
+        "call counter"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        self.stats.record_count(cx.func);
+        HookAction::Continue
+    }
+}
+
+/// `function exectime`: the rdtsc pair, via the deterministic cycle
+/// counter.
+#[derive(Debug)]
+pub struct ExectimeHook {
+    stats: Arc<Stats>,
+}
+
+impl ExectimeHook {
+    /// Builds the hook over shared statistics.
+    pub fn new(stats: Arc<Stats>) -> Self {
+        ExectimeHook { stats }
+    }
+}
+
+impl Hook for ExectimeHook {
+    fn name(&self) -> &'static str {
+        "function exectime"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        cx.scratch.push(cx.proc.cycles());
+        HookAction::Continue
+    }
+
+    fn after(&self, cx: &mut CallCx<'_>, _result: &mut Result<CVal, Fault>) {
+        let start = cx.scratch.pop().unwrap_or(cx.entry_cycles);
+        let end = cx.proc.cycles();
+        self.stats.record_cycles(cx.func, end.saturating_sub(start));
+    }
+}
+
+/// `func errors`: per-function errno histogram.
+#[derive(Debug)]
+pub struct FuncErrorsHook {
+    stats: Arc<Stats>,
+}
+
+impl FuncErrorsHook {
+    /// Builds the hook over shared statistics.
+    pub fn new(stats: Arc<Stats>) -> Self {
+        FuncErrorsHook { stats }
+    }
+}
+
+impl Hook for FuncErrorsHook {
+    fn name(&self) -> &'static str {
+        "func error"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        cx.scratch.push(cx.proc.errno() as u64);
+        HookAction::Continue
+    }
+
+    fn after(&self, cx: &mut CallCx<'_>, _result: &mut Result<CVal, Fault>) {
+        let before = cx.scratch.pop().unwrap_or(0) as i32;
+        let now = cx.proc.errno();
+        if now != before {
+            self.stats.record_func_errno(cx.func, now);
+        }
+    }
+}
+
+/// `collect errors`: process-wide errno histogram.
+#[derive(Debug)]
+pub struct CollectErrorsHook {
+    stats: Arc<Stats>,
+}
+
+impl CollectErrorsHook {
+    /// Builds the hook over shared statistics.
+    pub fn new(stats: Arc<Stats>) -> Self {
+        CollectErrorsHook { stats }
+    }
+}
+
+impl Hook for CollectErrorsHook {
+    fn name(&self) -> &'static str {
+        "collect errors"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        cx.scratch.push(cx.proc.errno() as u64);
+        HookAction::Continue
+    }
+
+    fn after(&self, cx: &mut CallCx<'_>, _result: &mut Result<CVal, Fault>) {
+        let before = cx.scratch.pop().unwrap_or(0) as i32;
+        let now = cx.proc.errno();
+        if now != before {
+            self.stats.record_global_errno(now);
+        }
+    }
+}
+
+/// `log call`: appends `func(arg, ...)` to a shared log.
+#[derive(Debug)]
+pub struct LogCallHook {
+    log: CallLog,
+}
+
+impl LogCallHook {
+    /// Builds the hook over a shared log.
+    pub fn new(log: CallLog) -> Self {
+        LogCallHook { log }
+    }
+}
+
+impl Hook for LogCallHook {
+    fn name(&self) -> &'static str {
+        "log call"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        let args = cx
+            .args
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.log.lock().push(format!("{}({args})", cx.func));
+        HookAction::Continue
+    }
+}
+
+/// At-termination reporting: "Just before the application terminates,
+/// the collection code is called to send the gathered information to a
+/// central server" (§2.3). Hooked onto `exit`.
+#[derive(Debug)]
+pub struct ExitReportHook {
+    stats: Arc<Stats>,
+    app: String,
+    wrapper: &'static str,
+    collector: Collector,
+}
+
+impl ExitReportHook {
+    /// Builds the hook.
+    pub fn new(
+        stats: Arc<Stats>,
+        app: impl Into<String>,
+        wrapper: &'static str,
+        collector: Collector,
+    ) -> Self {
+        ExitReportHook { stats, app: app.into(), wrapper, collector }
+    }
+}
+
+impl Hook for ExitReportHook {
+    fn name(&self) -> &'static str {
+        "collect"
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        if cx.func == "exit" {
+            let doc = profiler::to_xml(&self.app, self.wrapper, &self.stats.snapshot());
+            self.collector.submit(doc);
+        }
+        HookAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::WrappedFn;
+    use cdecl::{parse_prototype, TypedefTable};
+    use simlibc::testutil::libc_proc;
+    use simproc::errno::EINVAL;
+
+    fn proto(s: &str) -> cdecl::Prototype {
+        parse_prototype(s, &TypedefTable::with_builtins()).unwrap()
+    }
+
+    fn oracle() -> GuardOracle {
+        GuardOracle::new(Arc::new(CanaryRegistry::new()))
+    }
+
+    #[test]
+    fn arg_check_contains_a_null_strlen() {
+        let p = proto("size_t strlen(const char *s);");
+        let hook = ArgCheckHook::new(
+            vec![SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            CheckResponse::Contain,
+        );
+        let f = WrappedFn::new(p, simlibc::find_symbol("strlen").unwrap().imp, vec![Arc::new(hook)]);
+        let mut proc = libc_proc();
+        let r = f.call(&mut proc, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1));
+        assert_eq!(proc.errno(), EINVAL);
+        // Valid calls pass through untouched.
+        let s = proc.alloc_cstr("ok");
+        assert_eq!(f.call(&mut proc, &[CVal::Ptr(s)]).unwrap(), CVal::Int(2));
+    }
+
+    #[test]
+    fn arg_check_terminate_mode_denies() {
+        let p = proto("char *strcpy(char *dest, const char *src);");
+        let hook = ArgCheckHook::new(
+            vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            CheckResponse::Terminate,
+        );
+        let f = WrappedFn::new(p, simlibc::find_symbol("strcpy").unwrap().imp, vec![Arc::new(hook)]);
+        let mut proc = libc_proc();
+        let small = simlibc::heap::malloc(&mut proc, 4).unwrap();
+        let big = proc.alloc_cstr(&"A".repeat(100));
+        let err = f.call(&mut proc, &[CVal::Ptr(small), CVal::Ptr(big)]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }), "{err}");
+    }
+
+    fn canary_wrapped(name: &str, registry: &Arc<CanaryRegistry>) -> WrappedFn {
+        let sym = simlibc::find_symbol(name).unwrap();
+        let p = simlibc::prototypes().into_iter().find(|p| p.name == name).unwrap();
+        WrappedFn::new(p, sym.imp, vec![Arc::new(CanaryHook::new(Arc::clone(registry)))])
+    }
+
+    #[test]
+    fn canary_hook_protects_malloc_and_checks_free() {
+        let registry = Arc::new(CanaryRegistry::new());
+        let malloc = canary_wrapped("malloc", &registry);
+        let free = canary_wrapped("free", &registry);
+        let mut p = libc_proc();
+        let buf = malloc.call(&mut p, &[CVal::Int(16)]).unwrap().as_ptr();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.extent_within(buf), Some(16));
+        // Clean free passes and releases.
+        free.call(&mut p, &[CVal::Ptr(buf)]).unwrap();
+        assert!(registry.is_empty());
+
+        // Overflow then free: denied.
+        let buf = malloc.call(&mut p, &[CVal::Int(8)]).unwrap().as_ptr();
+        p.mem.write_bytes(buf, &[0x41; 9]).unwrap(); // one byte too many
+        let err = free.call(&mut p, &[CVal::Ptr(buf)]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+    }
+
+    #[test]
+    fn canary_hook_calloc_and_realloc() {
+        let registry = Arc::new(CanaryRegistry::new());
+        let calloc = canary_wrapped("calloc", &registry);
+        let realloc = canary_wrapped("realloc", &registry);
+        let mut p = libc_proc();
+        let buf = calloc.call(&mut p, &[CVal::Int(4), CVal::Int(8)]).unwrap().as_ptr();
+        assert_eq!(registry.extent_within(buf), Some(32));
+        assert_eq!(p.read_bytes(buf, 32).unwrap(), vec![0u8; 32]);
+
+        let grown = realloc.call(&mut p, &[CVal::Ptr(buf), CVal::Int(64)]).unwrap().as_ptr();
+        assert_eq!(registry.extent_within(grown), Some(64));
+        assert_eq!(registry.len(), 1, "old registration released");
+
+        // realloc of a corrupted block is denied.
+        p.mem.write_u8(grown.add(64), 1).unwrap();
+        let err = realloc
+            .call(&mut p, &[CVal::Ptr(grown), CVal::Int(128)])
+            .unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+    }
+
+    #[test]
+    fn huge_allocation_requests_fail_cleanly_not_fatally() {
+        // Inflating by the guard word must never wrap: malloc(huge)
+        // returns NULL through the wrapper exactly as it does bare.
+        let registry = Arc::new(CanaryRegistry::new());
+        let malloc = canary_wrapped("malloc", &registry);
+        let calloc = canary_wrapped("calloc", &registry);
+        let realloc = canary_wrapped("realloc", &registry);
+        let mut p = libc_proc();
+        for huge in [u64::MAX, u64::MAX - 4] {
+            let r = malloc.call(&mut p, &[CVal::Int(huge as i64)]).unwrap();
+            assert!(r.is_null(), "malloc({huge:#x})");
+        }
+        let r = calloc.call(&mut p, &[CVal::Int(1), CVal::Int(-3)]).unwrap();
+        assert!(r.is_null());
+        let buf = malloc.call(&mut p, &[CVal::Int(16)]).unwrap();
+        let r = realloc.call(&mut p, &[buf, CVal::Int(-2)]).unwrap();
+        assert!(r.is_null(), "realloc to huge fails cleanly");
+        // The original block survives the failed realloc, still guarded.
+        assert!(registry.verify(&p, buf.as_ptr()).unwrap().is_some());
+        assert_eq!(p.errno(), simproc::errno::ENOMEM);
+    }
+
+    #[test]
+    fn exit_sweep_catches_smashed_heap() {
+        let registry = Arc::new(CanaryRegistry::new());
+        let malloc = canary_wrapped("malloc", &registry);
+        let exit = canary_wrapped("exit", &registry);
+        let mut p = libc_proc();
+        let buf = malloc.call(&mut p, &[CVal::Int(8)]).unwrap().as_ptr();
+        p.mem.write_u8(buf.add(8), 0x41).unwrap();
+        let err = exit.call(&mut p, &[CVal::Int(0)]).unwrap_err();
+        assert!(
+            matches!(err, Fault::SecurityViolation { .. }),
+            "sweep must fire before atexit handlers: {err}"
+        );
+    }
+
+    #[test]
+    fn profiling_hooks_fill_stats() {
+        let stats = Arc::new(Stats::new());
+        let p5 = proto("char *fgets(char *s, int size, FILE *stream);");
+        let hooks: Vec<Arc<dyn Hook>> = vec![
+            Arc::new(ExectimeHook::new(Arc::clone(&stats))),
+            Arc::new(CollectErrorsHook::new(Arc::clone(&stats))),
+            Arc::new(FuncErrorsHook::new(Arc::clone(&stats))),
+            Arc::new(CallCounterHook::new(Arc::clone(&stats))),
+        ];
+        let f = WrappedFn::new(p5, simlibc::find_symbol("fgets").unwrap().imp, hooks);
+        let mut proc = libc_proc();
+        // A call that fails gracefully (bad FILE*).
+        let fake = proc.alloc_data_zeroed(16);
+        let buf = proc.alloc_data_zeroed(16);
+        let r = f
+            .call(&mut proc, &[CVal::Ptr(buf), CVal::Int(16), CVal::Ptr(fake)])
+            .unwrap();
+        assert!(r.is_null());
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_func["fgets"].calls, 1);
+        assert!(snap.per_func["fgets"].cycles > 0);
+        assert_eq!(
+            snap.per_func["fgets"].errnos[&simproc::errno::EBADF],
+            1,
+            "{snap:?}"
+        );
+        assert_eq!(snap.global_errnos[&simproc::errno::EBADF], 1);
+    }
+
+    #[test]
+    fn log_hook_records_calls() {
+        let log: CallLog = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let p = proto("int abs(int j);");
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("abs").unwrap().imp,
+            vec![Arc::new(LogCallHook::new(Arc::clone(&log)))],
+        );
+        let mut proc = libc_proc();
+        f.call(&mut proc, &[CVal::Int(-3)]).unwrap();
+        assert_eq!(*log.lock(), vec!["abs(-3)"]);
+    }
+
+    #[test]
+    fn exit_report_submits_document() {
+        let server = profiler::CollectionServer::start();
+        let stats = Arc::new(Stats::new());
+        stats.record_call("strlen", 10, None);
+        let p = proto("void exit(int status);");
+        let hooks: Vec<Arc<dyn Hook>> = vec![Arc::new(ExitReportHook::new(
+            Arc::clone(&stats),
+            "demo-app",
+            "profiling",
+            server.collector(),
+        ))];
+        let f = WrappedFn::new(p, simlibc::find_symbol("exit").unwrap().imp, hooks);
+        let mut proc = libc_proc();
+        let err = f.call(&mut proc, &[CVal::Int(0)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(0));
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        assert_eq!(collected.submissions[0].application, "demo-app");
+    }
+}

@@ -1,0 +1,58 @@
+//! # wrappergen — HEALERS' flexible wrapper generation (paper §2.3)
+//!
+//! "The functionality of a wrapper generator is decomposed into a number
+//! of features, each supported by a micro-generator. Each micro-generator
+//! generates a fragment of the prefix and postfix code of a function. The
+//! micro-generators can be combined in a variety of ways to generate new
+//! wrapper types."
+//!
+//! Every micro-generator here has two faces:
+//!
+//! * **code** ([`codegen`]): the C fragment it would contribute to the
+//!   wrapper `.so` — composed prefix-in-order / postfix-in-reverse and
+//!   golden-tested against the paper's Figure 3;
+//! * **behaviour** ([`hooks`]): a [`Hook`] executing the
+//!   same logic inside the simulated process.
+//!
+//! [`build_wrapper`] assembles the three wrapper types of Figure 1
+//! (robustness / security / profiling) from a fault-injection-derived
+//! [`RobustApi`](typelattice::RobustApi); [`WrapperBuilder`] composes
+//! custom ones.
+//!
+//! ```
+//! use wrappergen::{build_wrapper, WrapperKind, WrapperConfig};
+//! use typelattice::{RobustApi, RobustFunction, SafePred};
+//! use cdecl::{parse_prototype, TypedefTable};
+//! use simproc::CVal;
+//!
+//! let t = TypedefTable::with_builtins();
+//! let api = RobustApi {
+//!     library: "libsimc.so.1".into(),
+//!     functions: vec![RobustFunction {
+//!         proto: parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+//!         preds: vec![SafePred::CStr],
+//!         fully_robust: true,
+//!         skipped: false,
+//!     }],
+//! };
+//! let lib = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+//!
+//! // The wrapper contains the crash that strlen(NULL) would be:
+//! let mut p = simlibc::testutil::libc_proc();
+//! let r = lib.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+//! assert_eq!(r, CVal::Int(-1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codegen;
+pub mod hooks;
+mod builders;
+mod runtime;
+
+pub use builders::{
+    build_wrapper, build_wrapper_with_impls, WrapperBuilder, WrapperConfig, WrapperKind,
+    WrapperLibrary,
+};
+pub use runtime::{containment_value, reject, CallCx, CallLog, Hook, HookAction, WrappedFn};

@@ -1,0 +1,352 @@
+//! The micro-generator *behaviour* side: runtime hooks that execute in
+//! the simulation what the generated C fragments in [`crate::codegen`]
+//! express in text. A wrapped function runs its hooks' `before` parts in
+//! micro-generator order, calls the original (unless a hook contained the
+//! call), then runs `after` parts in reverse order — the same prefix/
+//! postfix discipline as Figure 3.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cdecl::{CType, Prototype};
+use parking_lot::Mutex;
+use simproc::{errno, CVal, Fault, HostFn, Proc};
+use typelattice::{classify, trunc_int, ArgClass};
+
+/// What a hook's `before` decides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HookAction {
+    /// Proceed to the next hook / the original function.
+    Continue,
+    /// Do not call the original; produce this value instead (fault
+    /// containment — the robustness wrapper's response).
+    ShortCircuit(CVal),
+    /// Do not call the original; fail with this fault (the security
+    /// wrapper terminating the process).
+    Deny(Fault),
+}
+
+/// Per-call context shared by the hooks.
+#[derive(Debug)]
+pub struct CallCx<'a> {
+    /// The wrapped function's name.
+    pub func: &'a str,
+    /// The simulated process.
+    pub proc: &'a mut Proc,
+    /// Arguments — hooks may rewrite them (the canary hook grows
+    /// allocation sizes).
+    pub args: Vec<CVal>,
+    /// errno at entry.
+    pub errno_before: i32,
+    /// Cycle counter at entry (the `rdtsc(exectime_start)` sample).
+    pub entry_cycles: u64,
+    /// Hook-private scratch values pushed in `before`, popped in `after`.
+    pub scratch: Vec<u64>,
+}
+
+/// A runtime micro-generator.
+pub trait Hook: Send + Sync {
+    /// Name, matching the codegen micro-generator where one exists.
+    fn name(&self) -> &'static str;
+
+    /// Prefix behaviour. Default: continue.
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        let _ = cx;
+        HookAction::Continue
+    }
+
+    /// Postfix behaviour; sees (and may rewrite) the result.
+    fn after(&self, cx: &mut CallCx<'_>, result: &mut Result<CVal, Fault>) {
+        let _ = (cx, result);
+    }
+}
+
+/// A function wrapped with an ordered hook pipeline. Cheap to clone.
+#[derive(Clone)]
+pub struct WrappedFn {
+    inner: Arc<WrappedInner>,
+}
+
+struct WrappedInner {
+    name: String,
+    proto: Prototype,
+    original: HostFn,
+    hooks: Vec<Arc<dyn Hook>>,
+    /// ABI widths of integer parameters, for faithful truncation.
+    int_widths: Vec<Option<u64>>,
+}
+
+impl fmt::Debug for WrappedFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WrappedFn({}, hooks=[{}])",
+            self.inner.name,
+            self.inner
+                .hooks
+                .iter()
+                .map(|h| h.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl WrappedFn {
+    /// Wraps `original` with `hooks` (micro-generator order).
+    pub fn new(proto: Prototype, original: HostFn, hooks: Vec<Arc<dyn Hook>>) -> Self {
+        let int_widths = proto
+            .params
+            .iter()
+            .map(|p| match classify(&p.ty) {
+                ArgClass::Int(b) if b < 8 => Some(b),
+                _ => None,
+            })
+            .collect();
+        WrappedFn {
+            inner: Arc::new(WrappedInner {
+                name: proto.name.clone(),
+                proto,
+                original,
+                hooks,
+                int_widths,
+            }),
+        }
+    }
+
+    /// The wrapped function's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The wrapped function's prototype.
+    pub fn proto(&self) -> &Prototype {
+        &self.inner.proto
+    }
+
+    /// Hook names, in order (diagnostics).
+    pub fn hook_names(&self) -> Vec<&'static str> {
+        self.inner.hooks.iter().map(|h| h.name()).collect()
+    }
+
+    /// Invokes the wrapper: prefix hooks in order, the original (unless
+    /// contained), postfix hooks in reverse order.
+    ///
+    /// # Errors
+    ///
+    /// Faults from the original, or a [`Fault::SecurityViolation`] from a
+    /// denying hook.
+    pub fn call(&self, proc: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+        // ABI-faithful width truncation of integer arguments.
+        let mut norm: Vec<CVal> = args.to_vec();
+        for (i, width) in self.inner.int_widths.iter().enumerate() {
+            if let (Some(b), Some(v)) = (width, norm.get(i).copied()) {
+                norm[i] = CVal::Int(trunc_int(v.as_int(), *b));
+            }
+        }
+        let errno_before = proc.errno();
+        let entry_cycles = proc.cycles();
+        let mut cx = CallCx {
+            func: &self.inner.name,
+            proc,
+            args: norm,
+            errno_before,
+            entry_cycles,
+            scratch: Vec::new(),
+        };
+        let mut ran = self.inner.hooks.len();
+        let mut early: Option<Result<CVal, Fault>> = None;
+        for (i, hook) in self.inner.hooks.iter().enumerate() {
+            match hook.before(&mut cx) {
+                HookAction::Continue => {}
+                HookAction::ShortCircuit(v) => {
+                    ran = i + 1;
+                    early = Some(Ok(v));
+                    break;
+                }
+                HookAction::Deny(f) => {
+                    ran = i + 1;
+                    early = Some(Err(f));
+                    break;
+                }
+            }
+        }
+        let mut result = match early {
+            Some(r) => r,
+            None => (self.inner.original)(cx.proc, &cx.args),
+        };
+        for hook in self.inner.hooks[..ran].iter().rev() {
+            hook.after(&mut cx, &mut result);
+        }
+        result
+    }
+}
+
+/// The value a containing wrapper returns for a rejected call, by return
+/// type (`NULL`, `-1`, `0.0`, or nothing).
+pub fn containment_value(ret: &CType) -> CVal {
+    match ret {
+        CType::Void => CVal::Void,
+        CType::Ptr { .. } | CType::FuncPtr { .. } | CType::Array { .. } => CVal::NULL,
+        CType::Float | CType::Double => CVal::F64(0.0),
+        _ => CVal::Int(-1),
+    }
+}
+
+/// A shared, in-memory call log (the `log call` micro-generator's sink).
+pub type CallLog = Arc<Mutex<Vec<String>>>;
+
+/// Sets `errno = EINVAL` and short-circuits with the containment value —
+/// the robustness wrapper's standard rejection.
+pub fn reject(proc: &mut Proc, ret: &CType) -> HookAction {
+    proc.set_errno(errno::EINVAL);
+    HookAction::ShortCircuit(containment_value(ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+    use simlibc::testutil::libc_proc;
+
+    fn strlen_proto() -> Prototype {
+        parse_prototype(
+            "size_t strlen(const char *s);",
+            &TypedefTable::with_builtins(),
+        )
+        .unwrap()
+    }
+
+    struct Tracer {
+        log: CallLog,
+        tag: &'static str,
+        action: HookAction,
+    }
+
+    impl Hook for Tracer {
+        fn name(&self) -> &'static str {
+            "tracer"
+        }
+        fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+            self.log.lock().push(format!("{}:before:{}", self.tag, cx.func));
+            self.action.clone()
+        }
+        fn after(&self, cx: &mut CallCx<'_>, _result: &mut Result<CVal, Fault>) {
+            self.log.lock().push(format!("{}:after:{}", self.tag, cx.func));
+        }
+    }
+
+    fn tracer(log: &CallLog, tag: &'static str, action: HookAction) -> Arc<dyn Hook> {
+        Arc::new(Tracer { log: Arc::clone(log), tag, action })
+    }
+
+    #[test]
+    fn hooks_run_prefix_order_postfix_reversed() {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![
+                tracer(&log, "a", HookAction::Continue),
+                tracer(&log, "b", HookAction::Continue),
+            ],
+        );
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("xyz");
+        let r = f.call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        assert_eq!(r, CVal::Int(3));
+        assert_eq!(
+            *log.lock(),
+            vec!["a:before:strlen", "b:before:strlen", "b:after:strlen", "a:after:strlen"]
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_original_and_later_hooks() {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![
+                tracer(&log, "a", HookAction::Continue),
+                tracer(&log, "b", HookAction::ShortCircuit(CVal::Int(-1))),
+                tracer(&log, "c", HookAction::Continue),
+            ],
+        );
+        let mut p = libc_proc();
+        // NULL would crash the original — the short circuit saves it.
+        let r = f.call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1));
+        let entries = log.lock().clone();
+        assert!(!entries.iter().any(|e| e.starts_with("c:")), "{entries:?}");
+        // After hooks of the hooks that ran still fire (a and b).
+        assert_eq!(entries.last().unwrap(), "a:after:strlen");
+    }
+
+    #[test]
+    fn deny_returns_the_fault() {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![tracer(&log, "sec", HookAction::Deny(Fault::security("test")))],
+        );
+        let mut p = libc_proc();
+        let err = f.call(&mut p, &[CVal::NULL]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+    }
+
+    #[test]
+    fn integer_args_are_truncated_to_abi_width() {
+        struct Probe;
+        impl Hook for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+                // int c: (1<<40) + 65 truncates to 65.
+                assert_eq!(cx.args[0], CVal::Int(65));
+                HookAction::Continue
+            }
+        }
+        let proto =
+            parse_prototype("int isalpha(int c);", &TypedefTable::with_builtins()).unwrap();
+        let f = WrappedFn::new(
+            proto,
+            simlibc::find_symbol("isalpha").unwrap().imp,
+            vec![Arc::new(Probe)],
+        );
+        let mut p = libc_proc();
+        let r = f.call(&mut p, &[CVal::Int((1i64 << 40) + 65)]).unwrap();
+        assert_eq!(r, CVal::Int(1), "'A' is alphabetic");
+    }
+
+    #[test]
+    fn containment_values_by_return_type() {
+        let t = TypedefTable::with_builtins();
+        let cases = [
+            ("char *f(void);", CVal::NULL),
+            ("int f(void);", CVal::Int(-1)),
+            ("void f(void);", CVal::Void),
+            ("double f(void);", CVal::F64(0.0)),
+            ("size_t f(void);", CVal::Int(-1)),
+        ];
+        for (proto, expect) in cases {
+            let p = parse_prototype(proto, &t).unwrap();
+            assert_eq!(containment_value(&p.ret), expect, "{proto}");
+        }
+    }
+
+    #[test]
+    fn wrapped_fn_debug_lists_hooks() {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![tracer(&log, "a", HookAction::Continue)],
+        );
+        assert!(format!("{f:?}").contains("tracer"));
+        assert_eq!(f.name(), "strlen");
+        assert_eq!(f.hook_names(), vec!["tracer"]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's §3.3 demonstration (Figure 5): "A user executes a program
+//! in the system with our profiling wrapper. Upon termination, the
+//! wrapper generates a XML-style log file that shows the frequency of
+//! function calls in this program, the percentage of execution time in
+//! each function, the distribution of function errors, the causes of
+//! such errors (classified by errnos), etc."
+//!
+//! ```sh
+//! cargo run --release --example profile_app
+//! ```
+//!
+//! The profiled application is a word-count tool: it reads a text file,
+//! tokenises it, counts unique words with a dynamic table, probes a few
+//! missing files (errno traffic) and sorts the result with `qsort`.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::profiler::{render_report, CollectionServer};
+use healers::simproc::{CVal, Fault, Proc};
+use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
+
+const TEXT: &str = "the quick brown fox jumps over the lazy dog \
+the dog barks the fox runs the end";
+
+/// Comparator for `qsort` over (count, word-ptr) records: descending by
+/// count. Registered as an in-process function, like compiled app code.
+fn cmp_records(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let a = p.read_u32(args[0].as_ptr())? as i64;
+    let b = p.read_u32(args[1].as_ptr())? as i64;
+    Ok(CVal::Int(b - a))
+}
+
+fn wordcount_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    s.proc().kernel.install_file("input.txt", TEXT.as_bytes().to_vec());
+
+    // Probe a couple of optional config files (they do not exist — this
+    // is the errno traffic Figure 5 charts).
+    for missing in ["wordcount.rc", "/etc/wordcount.conf"] {
+        let path = s.literal(missing);
+        let mode = s.literal("r");
+        let f = s.call("fopen", &[CVal::Ptr(path), CVal::Ptr(mode)])?;
+        assert!(f.is_null());
+    }
+
+    // Read the input.
+    let path = s.literal("input.txt");
+    let mode = s.literal("r");
+    let f = s.call("fopen", &[CVal::Ptr(path), CVal::Ptr(mode)])?;
+    let buf = s.malloc(512)?;
+    let n = s.call(
+        "fread",
+        &[CVal::Ptr(buf), CVal::Int(1), CVal::Int(511), f],
+    )?;
+    s.proc().write_u8(buf.add(n.as_usize()), 0)?;
+    s.call("fclose", &[f])?;
+
+    // Tokenise and count: a table of (count: u32, pad: u32, word: char*).
+    let table = s.malloc(16 * 64)?;
+    let mut entries = 0u64;
+    let delim = s.literal(" \n\t");
+    let mut tok = s.call("strtok", &[CVal::Ptr(buf), CVal::Ptr(delim)])?;
+    while !tok.is_null() {
+        // Linear search for the word.
+        let mut found = false;
+        for i in 0..entries {
+            let slot = table.add(i * 16);
+            let word = s.proc().read_ptr(slot.add(8))?;
+            let cmp = s.call("strcmp", &[CVal::Ptr(word), tok])?;
+            if cmp.as_int() == 0 {
+                let count = s.proc().read_u32(slot)?;
+                s.proc().write_u32(slot, count + 1)?;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            let copy = s.call("strdup", &[tok])?;
+            let slot = table.add(entries * 16);
+            s.proc().write_u32(slot, 1)?;
+            s.proc().write_ptr(slot.add(8), copy.as_ptr())?;
+            entries += 1;
+        }
+        tok = s.call("strtok", &[CVal::NULL, CVal::Ptr(delim)])?;
+    }
+
+    // Sort by count, descending.
+    let cmp = s.proc().register_host_fn("cmp_records", cmp_records);
+    s.call(
+        "qsort",
+        &[
+            CVal::Ptr(table),
+            CVal::Int(entries as i64),
+            CVal::Int(16),
+            CVal::Ptr(cmp),
+        ],
+    )?;
+
+    // Print the top words.
+    let fmt = s.literal("%4d %s\n");
+    for i in 0..entries.min(5) {
+        let slot = table.add(i * 16);
+        let count = s.proc().read_u32(slot)? as i64;
+        let word = s.proc().read_ptr(slot.add(8))?;
+        s.call("printf", &[CVal::Ptr(fmt), CVal::Int(count), CVal::Ptr(word)])?;
+    }
+    s.call("exit", &[CVal::Int(0)])?;
+    unreachable!()
+}
+
+fn main() {
+    let toolkit = Toolkit::new();
+    let exe = Executable::new(
+        "wordcount",
+        &["libsimc.so.1"],
+        &[
+            "fopen", "fclose", "fread", "malloc", "strtok", "strcmp", "strdup", "qsort",
+            "printf", "exit",
+        ],
+        wordcount_entry,
+    );
+
+    println!("== Profiling `wordcount` under the HEALERS profiling wrapper ==\n");
+
+    // Build the profiling wrapper (it wraps every function; the campaign
+    // provides the prototype list and indices).
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc(),
+        process_factory,
+        &CampaignConfig::default(),
+    );
+    let server = CollectionServer::start();
+    let config = WrapperConfig {
+        app_name: "wordcount".into(),
+        collector: Some(server.collector()),
+    };
+    let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
+
+    let out = toolkit.run_protected(&exe, &[&wrapper]).expect("links");
+    println!("application stdout:\n{}", out.stdout);
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+
+    // The Figure-5 report.
+    let snap = wrapper.stats.snapshot();
+    println!("{}", render_report("wordcount", &snap));
+
+    // The self-describing XML document, shipped to the collection server
+    // at exit (paper §2.3).
+    let collected = server.shutdown();
+    assert_eq!(collected.submissions.len(), 1);
+    let doc = &collected.submissions[0].document;
+    println!("--- XML document received by the collection server (excerpt) ---");
+    for line in doc.lines().take(24) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", doc.lines().count());
+}

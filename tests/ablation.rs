@@ -1,0 +1,91 @@
+//! Ablation assertions: the two campaign-engine design choices
+//! (silent-failure detection, pairwise validation) are both load-bearing
+//! for relational contracts, and the Tracing wrapper demonstrates the
+//! flexible-composition claim.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::simproc::{CVal, Fault};
+use healers::{process_factory, SafePred, Toolkit, WrapperConfig, WrapperKind};
+
+fn strcpy_targets() -> Vec<healers::injector::TargetFn> {
+    targets_from_simlibc()
+        .into_iter()
+        .filter(|t| t.name == "strcpy")
+        .collect()
+}
+
+fn dest_pred(config: &CampaignConfig) -> SafePred {
+    let result = run_campaign("libsimc.so.1", &strcpy_targets(), process_factory, config);
+    let pred = result.api.function("strcpy").unwrap().preds[0].clone();
+    match pred {
+        SafePred::NullOr(inner) => *inner,
+        other => other,
+    }
+}
+
+#[test]
+fn both_detectors_are_needed_for_relational_contracts() {
+    let base = CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
+
+    // Full configuration: the relational strcpy contract.
+    assert_eq!(dest_pred(&base), SafePred::HoldsCStrOf { src: 1 });
+
+    // Without silent detection, in-arena overflows are invisible and the
+    // contract degrades to bare writability.
+    let no_silent = CampaignConfig { detect_silent: false, ..base.clone() };
+    assert_eq!(dest_pred(&no_silent), SafePred::Writable(1));
+
+    // Without pairwise validation, the relational case is never tested.
+    let no_pairs = CampaignConfig { validate_pairs: false, ..base.clone() };
+    assert_eq!(dest_pred(&no_pairs), SafePred::Writable(1));
+}
+
+#[test]
+fn ablated_campaigns_run_fewer_tests() {
+    let base = CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
+    let full = run_campaign("libsimc.so.1", &strcpy_targets(), process_factory, &base);
+    let no_pairs = run_campaign(
+        "libsimc.so.1",
+        &strcpy_targets(),
+        process_factory,
+        &CampaignConfig { validate_pairs: false, ..base },
+    );
+    assert!(full.total_tests() > no_pairs.total_tests());
+    assert!(full.total_failures() >= no_pairs.total_failures());
+}
+
+#[test]
+fn tracing_wrapper_logs_every_interposed_call() {
+    let toolkit = Toolkit::new();
+    let config = CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() };
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| ["strlen", "abs", "puts"].contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign("libsimc.so.1", &targets, process_factory, &config);
+    let tracer =
+        toolkit.generate_wrapper(WrapperKind::Tracing, &campaign.api, &WrapperConfig::default());
+    assert_eq!(tracer.len(), 3, "tracing wraps everything");
+    assert_eq!(tracer.soname, "libhealers_trace.so.1");
+    assert!(tracer.source.contains("micro-gen log call"), "{}", tracer.source);
+
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let msg = s.literal("trace me");
+        s.call("strlen", &[CVal::Ptr(msg)])?;
+        s.call("abs", &[CVal::Int(-9)])?;
+        s.call("puts", &[CVal::Ptr(msg)])?;
+        Ok(0)
+    }
+    let exe = Executable::new(
+        "traced",
+        &["libsimc.so.1"],
+        &["strlen", "abs", "puts"],
+        entry,
+    );
+    let out = toolkit.run_protected(&exe, &[&tracer]).unwrap();
+    assert!(out.success());
+    let log = tracer.log.lock().clone();
+    assert_eq!(log.len(), 3, "{log:?}");
+    assert!(log[1].starts_with("abs(-9"), "{log:?}");
+}

@@ -1,0 +1,157 @@
+//! The adaptivity claim (§1): "Due to the fast software update cycle ...
+//! the protection method should be able to adapt quickly to new software
+//! releases." This test simulates a new library release and shows the
+//! pipeline re-deriving the contracts automatically:
+//!
+//! * a *fixed* function (an `atoi` that handles NULL) loses its
+//!   precondition — the regenerated wrapper stops interposing it;
+//! * a *newly added* function is picked up from the new header and gets a
+//!   contract with zero manual work;
+//! * the BSD `strlcpy` (safe by design) derives a strictly weaker
+//!   contract than `strcpy` from the very same campaign.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig, TargetFn};
+use healers::simproc::{CVal, Fault, Proc};
+use healers::{process_factory, SafePred, Toolkit, WrapperConfig, WrapperKind};
+
+fn config() -> CampaignConfig {
+    CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() }
+}
+
+/// The "v2" atoi: the vendor fixed the NULL-pointer crash.
+fn atoi_v2(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+    let ptr = args.first().copied().unwrap_or(CVal::NULL);
+    if ptr.is_null() {
+        return Ok(CVal::Int(0));
+    }
+    (simlibc::find_symbol("atoi").unwrap().imp)(p, args)
+}
+
+#[test]
+fn fixed_function_loses_its_wrapper() {
+    // v1: the shipping atoi crashes on NULL -> contract `cstr`.
+    let v1: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| t.name == "atoi")
+        .collect();
+    let r1 = run_campaign("libsimc.so.1", &v1, process_factory, &config());
+    assert_eq!(r1.api.function("atoi").unwrap().preds, vec![SafePred::CStr]);
+
+    // v2 release: same prototype, fixed implementation.
+    let v2 = vec![TargetFn { imp: atoi_v2, ..v1[0].clone() }];
+    let r2 = run_campaign("libsimc.so.2", &v2, process_factory, &config());
+    let pred = r2.api.function("atoi").unwrap().preds[0].clone();
+    assert_eq!(
+        pred,
+        SafePred::NullOr(Box::new(SafePred::CStr)),
+        "the fixed release tolerates NULL; the derived contract widens"
+    );
+
+    // The regenerated wrappers differ accordingly: v2's check is weaker
+    // (still a wrapper — wild pointers remain fatal — but NULL passes).
+    let toolkit = Toolkit::new();
+    let w1 = toolkit.generate_wrapper(WrapperKind::Robustness, &r1.api, &WrapperConfig::default());
+    // The v2 wrapper must bind v2's implementations (the point of a
+    // release: same symbol, new code).
+    let w2 = healers::wrappergen::build_wrapper_with_impls(
+        WrapperKind::Robustness,
+        &r2.api,
+        &WrapperConfig::default(),
+        &|name| {
+            if name == "atoi" {
+                Some(atoi_v2 as healers::simproc::HostFn)
+            } else {
+                simlibc::find_symbol(name).map(|s| s.imp)
+            }
+        },
+    );
+    let mut p = process_factory();
+    // Under v1's wrapper, NULL is rejected with EINVAL before the call.
+    let r = w1.get("atoi").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+    assert_eq!(r, CVal::Int(-1));
+    assert_eq!(p.errno(), healers::simproc::errno::EINVAL);
+    // Under v2's wrapper, NULL flows through to the fixed function.
+    p.set_errno(0);
+    let r = w2.get("atoi").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+    assert_eq!(r, CVal::Int(0));
+    assert_eq!(p.errno(), 0, "no spurious error for the fixed release");
+}
+
+#[test]
+fn new_function_in_a_release_is_picked_up_from_the_header() {
+    // The new release's header gains a function; nothing else changes in
+    // the pipeline invocation.
+    let mut table = healers::cdecl::TypedefTable::with_builtins();
+    let v2_header = format!(
+        "{}\nsize_t strlcpy(char *dst, const char *src, size_t size);\n",
+        "size_t strlen(const char *s);"
+    );
+    let info = healers::cdecl::parse_header(&v2_header, &mut table);
+    let targets: Vec<TargetFn> = info
+        .prototypes
+        .iter()
+        .map(|proto| TargetFn {
+            name: proto.name.clone(),
+            proto: proto.clone(),
+            imp: simlibc::find_symbol(&proto.name).unwrap().imp,
+        })
+        .collect();
+    assert_eq!(targets.len(), 2);
+    let result = run_campaign("libsimc.so.2", &targets, process_factory, &config());
+    assert!(result.api.function("strlcpy").is_some(), "new function covered");
+    assert!(result.reports.iter().all(|r| r.fully_robust));
+}
+
+#[test]
+fn safe_by_design_functions_derive_weaker_contracts() {
+    let names = ["strcpy", "strlcpy", "strcat", "strlcat"];
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| names.contains(&t.name.as_str()))
+        .collect();
+    let result = run_campaign("libsimc.so.1", &targets, process_factory, &config());
+    let dest = |f: &str| {
+        let p = result.api.function(f).unwrap().preds[0].clone();
+        match p {
+            SafePred::NullOr(inner) => *inner,
+            other => other,
+        }
+    };
+    // The unbounded classics need the relational contract...
+    assert_eq!(dest("strcpy"), SafePred::HoldsCStrOf { src: 1 });
+    assert_eq!(dest("strcat"), SafePred::HoldsCStrOf { src: 1 });
+    // ...the BSD pair's dest needs only bare writability — the API's own
+    // size bound does the relational work. (The size parameter itself
+    // derives `any`: misusing it requires small-dest AND long-src AND
+    // big-size simultaneously, a 3-way combination outside the pairwise
+    // validation's reach — the same blind spot the original
+    // Ballista-style search has by construction; see EXPERIMENTS.md.)
+    assert_eq!(dest("strlcpy"), SafePred::Writable(1));
+    assert_eq!(dest("strlcat"), SafePred::Writable(1));
+    let size_pred = |f: &str| result.api.function(f).unwrap().preds[2].clone();
+    assert_eq!(size_pred("strlcpy"), SafePred::Always);
+    // And the robustness wrapper therefore lets a truncating strlcpy
+    // call through that it would reject as strcpy.
+    let toolkit = Toolkit::new();
+    let w = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &result.api,
+        &WrapperConfig::default(),
+    );
+    let mut p = process_factory();
+    let small = simlibc::heap::malloc(&mut p, 8).unwrap();
+    let long = p.alloc_cstr(&"y".repeat(100));
+    let denied = w
+        .get("strcpy")
+        .unwrap()
+        .call(&mut p, &[CVal::Ptr(small), CVal::Ptr(long)])
+        .unwrap();
+    assert!(denied.is_null(), "strcpy into 8 bytes is rejected");
+    let ok = w
+        .get("strlcpy")
+        .unwrap()
+        .call(&mut p, &[CVal::Ptr(small), CVal::Ptr(long), CVal::Int(8)])
+        .unwrap();
+    assert_eq!(ok, CVal::Int(100), "strlcpy truncates safely and passes");
+    assert_eq!(p.read_cstr_lossy(small), "y".repeat(7));
+}

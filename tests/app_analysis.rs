@@ -1,0 +1,106 @@
+//! Integration test for §3.1 + §3.2 (Figure 4): library-centric and
+//! application-centric analysis, declaration files included.
+
+use healers::cdecl::xml::parse_declaration_file;
+use healers::cdecl::TypedefTable;
+use healers::interpose::{Executable, Session};
+use healers::simproc::Fault;
+use healers::Toolkit;
+
+fn noop(_s: &mut Session<'_>) -> Result<i32, Fault> {
+    Ok(0)
+}
+
+#[test]
+fn system_library_listing() {
+    let tk = Toolkit::new();
+    let libs = tk.list_libraries();
+    assert_eq!(libs.len(), 2);
+    assert_eq!(libs[0].0, "libsimc.so.1");
+    assert!(libs[0].1 >= 90, "libc exports {}", libs[0].1);
+    assert_eq!(libs[1], ("libsimm.so.1".to_string(), 5));
+}
+
+#[test]
+fn declaration_files_roundtrip_for_every_library() {
+    let tk = Toolkit::new();
+    let table = TypedefTable::with_builtins();
+    for (soname, nfuncs) in tk.list_libraries() {
+        let doc = tk.declaration_file(&soname).unwrap();
+        let (lib, protos) = parse_declaration_file(&doc, &table).unwrap();
+        assert_eq!(lib, soname);
+        assert_eq!(protos.len(), nfuncs, "{soname}");
+        // Every prototype has a return type and plausible params.
+        for p in &protos {
+            assert!(!p.name.is_empty());
+        }
+    }
+}
+
+#[test]
+fn header_and_manpage_prototype_sources_agree() {
+    // Figure 2's two prototype sources must extract the same contracts.
+    let mut table = TypedefTable::with_builtins();
+    let header = healers::simlibc::header_text();
+    let info = healers::cdecl::parse_header(&header, &mut table);
+    assert_eq!(info.prototypes.len(), healers::simlibc::symbols().len());
+    assert!(info.skipped.is_empty(), "{:?}", info.skipped);
+
+    for name in ["strcpy", "qsort", "snprintf", "wctrans", "fread"] {
+        let page = healers::simlibc::man_page(name).unwrap();
+        let man = healers::cdecl::parse_manpage(&page, &table);
+        assert_eq!(man.prototypes.len(), 1, "{name}");
+        let from_man = &man.prototypes[0];
+        let from_header = info.prototypes.iter().find(|p| p.name == name).unwrap();
+        assert_eq!(from_man, from_header, "{name}: header and man page disagree");
+    }
+}
+
+#[test]
+fn application_inspection_matches_figure4() {
+    let tk = Toolkit::new();
+    let exe = Executable::new(
+        "editor",
+        &["libsimc.so.1", "libsimm.so.1", "libgui.so.2"],
+        &["malloc", "strtok", "msqrt", "draw_window"],
+        noop,
+    );
+    let info = tk.analyze_executable(&exe);
+    assert_eq!(info.name, "editor");
+    assert_eq!(
+        info.libraries,
+        vec![
+            ("libsimc.so.1".to_string(), true),
+            ("libsimm.so.1".to_string(), true),
+            ("libgui.so.2".to_string(), false),
+        ]
+    );
+    let provider = |sym: &str| {
+        info.undefined
+            .iter()
+            .find(|(s, _)| s == sym)
+            .and_then(|(_, p)| p.clone())
+    };
+    assert_eq!(provider("malloc").as_deref(), Some("libsimc.so.1"));
+    assert_eq!(provider("msqrt").as_deref(), Some("libsimm.so.1"));
+    assert_eq!(provider("draw_window"), None);
+
+    let text = healers::interpose::render_app_info(&info);
+    assert!(text.contains("editor"));
+    assert!(text.contains("UNRESOLVED"));
+    let xml = healers::interpose::app_info_xml(&info);
+    assert!(xml.contains("<application name=\"editor\""));
+}
+
+#[test]
+fn linking_enforces_what_inspection_reports() {
+    let tk = Toolkit::new();
+    // Inspection says draw_window is unresolved -> the loader refuses.
+    let exe = Executable::new("editor", &["libsimc.so.1"], &["draw_window"], noop);
+    let err = tk.run(&exe).unwrap_err();
+    assert!(err.to_string().contains("draw_window"));
+    // And a missing NEEDED library refuses even without symbols.
+    let exe = Executable::new("editor", &["libgui.so.2"], &[], noop);
+    let err = tk.run(&exe).unwrap_err();
+    assert!(err.to_string().contains("libgui.so.2"));
+}

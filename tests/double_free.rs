@@ -1,0 +1,92 @@
+//! The second classic heap attack of the era: double free. Freeing a
+//! chunk twice re-inserts it into the free list it is already on,
+//! corrupting the list so a later `malloc`/`free` follows attacker-
+//! influenced links. The wrappers derived from the campaign stop it:
+//! the robust `free` contract (`NULL or live heap chunk`) rejects the
+//! second free, and the security wrapper's registry does the same.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::simproc::{CVal, Fault};
+use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
+
+fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
+    let toolkit = Toolkit::new();
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| ["malloc", "free", "exit", "puts"].contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    (
+        toolkit.generate_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default()),
+        toolkit.generate_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default()),
+    )
+}
+
+fn double_free_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    let a = s.malloc(48)?;
+    let _pin = s.malloc(16)?;
+    s.call("free", &[CVal::Ptr(a)])?;
+    s.call("free", &[CVal::Ptr(a)])?; // the bug
+    // Follow-up traffic that walks the corrupted free list.
+    let b = s.call("malloc", &[CVal::Int(48)])?;
+    let c = s.call("malloc", &[CVal::Int(48)])?;
+    // Classic symptom: the same chunk handed out twice.
+    if b == c {
+        let msg = s.literal("allocator handed out one chunk twice");
+        s.call("puts", &[CVal::Ptr(msg)])?;
+    }
+    Ok(if b == c { 99 } else { 0 })
+}
+
+fn victim() -> Executable {
+    Executable::new(
+        "dfree",
+        &["libsimc.so.1"],
+        &["malloc", "free", "puts", "exit"],
+        double_free_entry,
+    )
+}
+
+#[test]
+fn double_free_corrupts_the_bare_allocator() {
+    let toolkit = Toolkit::new();
+    let out = toolkit.run(&victim()).unwrap();
+    // The bare allocator either hands out the same chunk twice (silent
+    // corruption an attacker exploits) or dies in the list walk.
+    match out.status {
+        Ok(99) => {} // duplicate allocation observed
+        Ok(other) => panic!("expected corruption, got clean exit {other}"),
+        Err(_) => {} // or it crashed/hung — also a failure
+    }
+}
+
+#[test]
+fn robustness_wrapper_rejects_the_second_free() {
+    let (robust, _) = wrappers();
+    let toolkit = Toolkit::new();
+    let out = toolkit.run_protected(&victim(), &[&robust]).unwrap();
+    // The second free violates `NULL or live heap chunk` and is turned
+    // into a no-op error; the allocator stays intact.
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+}
+
+#[test]
+fn security_wrapper_registry_also_stops_it() {
+    let (_, secure) = wrappers();
+    let toolkit = Toolkit::new();
+    let out = toolkit.run_protected(&victim(), &[&secure]).unwrap();
+    // The first free releases the registration; the second is caught by
+    // the Terminate-mode contract check.
+    assert!(
+        matches!(out.status, Err(Fault::SecurityViolation { .. })) || out.status == Ok(0),
+        "{:?}",
+        out.status
+    );
+    assert_ne!(out.status, Ok(99), "no duplicate chunk under the wrapper");
+}

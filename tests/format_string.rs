@@ -1,0 +1,127 @@
+//! The residual the containment numbers point at (EXPERIMENTS.md C1):
+//! format-string traffic. `%s`/`%n` reference *varargs*, which the fixed
+//! parameters of `printf`-family prototypes do not type — so no
+//! per-argument robust type can contain them. This test pins that
+//! limitation down concretely, and shows which parts the wrappers *do*
+//! stop.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::simproc::{CVal, Fault};
+use healers::{process_factory, SafePred, Toolkit, WrapperConfig, WrapperKind};
+
+fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
+    let toolkit = Toolkit::new();
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| ["printf", "sprintf", "snprintf", "malloc", "free", "exit"]
+            .contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    (
+        toolkit.generate_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default()),
+        toolkit.generate_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default()),
+    )
+}
+
+/// The classic bug: user input used *as* the format string.
+fn vulnerable_logger(s: &mut Session<'_>, user_input: &str) -> Result<CVal, Fault> {
+    let fmt = s.proc().alloc_cstr(user_input);
+    s.call("printf", &[CVal::Ptr(fmt)]) // printf(user_input) — no args!
+}
+
+#[test]
+fn format_string_reads_are_not_containable_by_arg_types() {
+    let (robust, _) = wrappers();
+    let toolkit = Toolkit::new();
+
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        // `%s` consumes a missing vararg, which reads as garbage 0 — a
+        // NULL dereference inside printf.
+        vulnerable_logger(s, "injected: %s")?;
+        Ok(0)
+    }
+    let exe = Executable::new("logd", &["libsimc.so.1"], &["printf"], entry);
+
+    // Unprotected: crash.
+    let out = toolkit.run(&exe).unwrap();
+    assert!(matches!(out.status, Err(Fault::Segv { .. })));
+
+    // With the robustness wrapper: the format *pointer* satisfies its
+    // robust type (it IS a valid string), so the check passes and the
+    // crash still happens — the honest limitation.
+    let out = toolkit.run_protected(&exe, &[&robust]).unwrap();
+    assert!(
+        matches!(out.status, Err(Fault::Segv { .. })),
+        "varargs are invisible to per-argument checks: {:?}",
+        out.status
+    );
+}
+
+#[test]
+fn percent_n_write_primitive_survives_arg_checks_but_canaries_catch_the_heap_damage() {
+    let (_, secure) = wrappers();
+    let toolkit = Toolkit::new();
+
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        // An attacker-chosen %n target: sprintf writes the rendered
+        // length through the first vararg. Point it at a heap canary.
+        let victim = s.malloc(16)?;
+        let dst = s.malloc(64)?;
+        let fmt = s.proc().alloc_cstr("AAAAAAAA%n");
+        s.call(
+            "sprintf",
+            &[CVal::Ptr(dst), CVal::Ptr(fmt), CVal::Ptr(victim.add(16))],
+        )?;
+        s.call("free", &[CVal::Ptr(victim)])?;
+        s.call("exit", &[CVal::Int(0)])?;
+        unreachable!()
+    }
+    let exe = Executable::new(
+        "fmtd",
+        &["libsimc.so.1"],
+        &["malloc", "free", "sprintf", "exit"],
+        entry,
+    )
+    .setuid();
+
+    // Unprotected: the %n write silently corrupts and the run "succeeds".
+    let out = toolkit.run(&exe).unwrap();
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+
+    // Security wrapper: the %n write lands past the 16-byte allocation —
+    // straight onto the canary — and free() detects it.
+    let out = toolkit.run_protected(&exe, &[&secure]).unwrap();
+    assert!(
+        matches!(out.status, Err(Fault::SecurityViolation { .. })),
+        "{:?}",
+        out.status
+    );
+}
+
+#[test]
+fn derived_format_contract_is_only_the_fixed_params() {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| t.name == "snprintf")
+        .collect();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    let f = campaign.api.function("snprintf").unwrap();
+    assert_eq!(f.preds.len(), 3, "only str/size/format are typed; varargs are not");
+    assert_eq!(f.preds[2], SafePred::CStr, "the format itself is checked");
+    assert!(
+        !f.fully_robust,
+        "the campaign honestly reports that no contract over the fixed \
+         parameters contains all failures"
+    );
+}

@@ -1,0 +1,130 @@
+//! Integration test for Figure 1: different applications using
+//! different wrappers — or sharing one — through the preload mechanism,
+//! with each paying only for the protection it selected.
+
+use std::sync::Arc;
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::simproc::{CVal, Fault};
+use healers::{process_factory, CampaignResult, Toolkit, WrapperConfig, WrapperKind};
+
+fn quick_campaign(funcs: &[&str]) -> CampaignResult {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| funcs.contains(&t.name.as_str()))
+        .collect();
+    run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() },
+    )
+}
+
+fn crasher_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    let r = s.call("strlen", &[CVal::NULL])?;
+    Ok(r.as_int() as i32)
+}
+
+fn crasher() -> Executable {
+    Executable::new("crasher", &["libsimc.so.1"], &["strlen"], crasher_entry)
+}
+
+#[test]
+fn wrapper_choice_is_per_application() {
+    let toolkit = Toolkit::new();
+    let campaign = quick_campaign(&["strlen", "strcpy", "malloc", "free"]);
+    let robust = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let secure = toolkit.generate_wrapper(
+        WrapperKind::Security,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+
+    // Unprotected: crash.
+    let out = toolkit.run(&crasher()).unwrap();
+    assert!(matches!(out.status, Err(Fault::Segv { .. })));
+
+    // Robustness wrapper: contained, app continues with -1.
+    let out = toolkit.run_protected(&crasher(), &[&robust]).unwrap();
+    assert_eq!(out.status, Ok(-1));
+
+    // Security wrapper only: strlen is read-only, not interposed by the
+    // security wrapper, so the app still crashes — protection is paid
+    // for only where chosen.
+    let out = toolkit.run_protected(&crasher(), &[&secure]).unwrap();
+    assert!(matches!(out.status, Err(Fault::Segv { .. })));
+
+    // Both preloaded: first wrapper in LD_PRELOAD order wins for the
+    // symbols it defines.
+    let out = toolkit.run_protected(&crasher(), &[&robust, &secure]).unwrap();
+    assert_eq!(out.status, Ok(-1));
+}
+
+#[test]
+fn applications_can_share_one_wrapper() {
+    let toolkit = Toolkit::new();
+    let campaign = quick_campaign(&["strlen"]);
+    let robust = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    // Two different applications run under the same wrapper instance.
+    for _ in 0..2 {
+        let out = toolkit.run_protected(&crasher(), &[&robust]).unwrap();
+        assert_eq!(out.status, Ok(-1));
+    }
+}
+
+fn mixed_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    // One protected and one unprotected call.
+    let msg = s.literal("ok");
+    let good = s.call("strlen", &[CVal::Ptr(msg)])?;
+    assert_eq!(good, CVal::Int(2));
+    let bad = s.call("strlen", &[CVal::NULL])?;
+    Ok(bad.as_int() as i32)
+}
+
+#[test]
+fn valid_calls_flow_through_untouched() {
+    let toolkit = Toolkit::new();
+    let campaign = quick_campaign(&["strlen"]);
+    let robust = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let exe = Executable::new("mixed", &["libsimc.so.1"], &["strlen"], mixed_entry);
+    let out = toolkit.run_protected(&exe, &[&robust]).unwrap();
+    assert_eq!(out.status, Ok(-1));
+}
+
+#[test]
+fn custom_wrapper_composition_interposes_too() {
+    use healers::wrappergen::hooks::LogCallHook;
+    use healers::wrappergen::WrapperBuilder;
+
+    let toolkit = Toolkit::new();
+    let log: healers::wrappergen::CallLog = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut builder = WrapperBuilder::new("libtrace.so");
+    builder.hook("strlen", Arc::new(LogCallHook::new(Arc::clone(&log))));
+    let tracer = builder.build();
+
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let msg = s.literal("abc");
+        s.call("strlen", &[CVal::Ptr(msg)])?;
+        Ok(0)
+    }
+    let exe = Executable::new("traced", &["libsimc.so.1"], &["strlen"], entry);
+    let out = toolkit.run_protected(&exe, &[&tracer]).unwrap();
+    assert!(out.success());
+    let entries = log.lock().clone();
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].starts_with("strlen("));
+}

@@ -1,0 +1,161 @@
+//! Integration test for §3.3 / Figure 5: the profiling wrapper gathers
+//! call frequencies, execution-time shares and errno distributions, and
+//! ships a self-describing XML document to the collection server at
+//! termination.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::profiler::{parse_header_fields, render_report, CollectionServer};
+use healers::simproc::{errno, CVal, Fault};
+use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
+
+fn workload_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    // Strings: many short calls.
+    let text = s.literal("alpha beta gamma");
+    for _ in 0..10 {
+        s.call("strlen", &[CVal::Ptr(text)])?;
+    }
+    // A couple of allocations.
+    let buf = s.malloc(128)?;
+    s.call("strcpy", &[CVal::Ptr(buf), CVal::Ptr(text)])?;
+    // errno traffic: two *different* errnos so both are recorded.
+    let missing = s.literal("no-such-file");
+    let mode = s.literal("r");
+    s.call("fopen", &[CVal::Ptr(missing), CVal::Ptr(mode)])?;
+    let bad_mode = s.literal("frobnicate");
+    s.call("fopen", &[CVal::Ptr(missing), CVal::Ptr(bad_mode)])?;
+    s.call("exit", &[CVal::Int(0)])?;
+    unreachable!()
+}
+
+fn workload() -> Executable {
+    Executable::new(
+        "workload",
+        &["libsimc.so.1"],
+        &["strlen", "malloc", "strcpy", "fopen", "exit"],
+        workload_entry,
+    )
+}
+
+#[test]
+fn profiling_wrapper_gathers_figure5_data() {
+    let toolkit = Toolkit::new();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc(),
+        process_factory,
+        &CampaignConfig { pair_values: 2, fuel: 200_000, ..CampaignConfig::default() },
+    );
+    let server = CollectionServer::start();
+    let config = WrapperConfig {
+        app_name: "workload".into(),
+        collector: Some(server.collector()),
+    };
+    let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
+    let out = toolkit.run_protected(&workload(), &[&wrapper]).unwrap();
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+
+    // Call frequencies.
+    let snap = wrapper.stats.snapshot();
+    assert_eq!(snap.per_func["strlen"].calls, 10);
+    assert_eq!(snap.per_func["strcpy"].calls, 1);
+    assert_eq!(snap.per_func["fopen"].calls, 2);
+    assert_eq!(snap.per_func["exit"].calls, 1);
+
+    // Execution-time shares sum to ~100%.
+    let total: f64 = snap.per_func.keys().map(|f| snap.time_share(f)).sum();
+    assert!((total - 100.0).abs() < 0.5, "{total}");
+
+    // errno distribution: both causes recorded, classified by errno.
+    assert_eq!(snap.per_func["fopen"].errnos[&errno::ENOENT], 1);
+    assert_eq!(snap.per_func["fopen"].errnos[&errno::EINVAL], 1);
+    assert_eq!(snap.global_errnos[&errno::ENOENT], 1);
+    assert_eq!(snap.global_errnos[&errno::EINVAL], 1);
+
+    // The text report renders the same facts.
+    let report = render_report("workload", &snap);
+    assert!(report.contains("strlen"));
+    assert!(report.contains("ENOENT"));
+    assert!(report.contains("Invalid argument"));
+
+    // The XML document reached the central server at exit (§2.3).
+    let collected = server.shutdown();
+    assert_eq!(collected.submissions.len(), 1);
+    let s = &collected.submissions[0];
+    assert_eq!(s.application, "workload");
+    assert_eq!(s.wrapper, "profiling");
+    assert!(s.functions.contains(&"strlen".to_string()));
+    let (app, wrapper_tag, funcs) = parse_header_fields(&s.document).unwrap();
+    assert_eq!(app, "workload");
+    assert_eq!(wrapper_tag, "profiling");
+    assert!(funcs.len() >= 5);
+}
+
+#[test]
+fn profiling_is_transparent_to_results() {
+    // The profiled run must compute exactly what the bare run computes.
+    let toolkit = Toolkit::new();
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let text = s.literal("0x2a");
+        let v = s.call("strtol", &[CVal::Ptr(text), CVal::NULL, CVal::Int(0)])?;
+        Ok(v.as_int() as i32)
+    }
+    let exe = Executable::new("calc", &["libsimc.so.1"], &["strtol"], entry);
+    let bare = toolkit.run(&exe).unwrap();
+    assert_eq!(bare.status, Ok(42));
+
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == "strtol")
+            .collect::<Vec<_>>(),
+        process_factory,
+        &CampaignConfig { pair_values: 2, fuel: 200_000, ..CampaignConfig::default() },
+    );
+    let wrapper = toolkit.generate_wrapper(
+        WrapperKind::Profiling,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let profiled = toolkit.run_protected(&exe, &[&wrapper]).unwrap();
+    assert_eq!(profiled.status, Ok(42), "profiling must not change behaviour");
+    assert_eq!(wrapper.stats.snapshot().per_func["strtol"].calls, 1);
+}
+
+#[test]
+fn many_processes_report_to_one_server() {
+    let toolkit = Toolkit::new();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc()
+            .into_iter()
+            .filter(|t| ["strlen", "exit"].contains(&t.name.as_str()))
+            .collect::<Vec<_>>(),
+        process_factory,
+        &CampaignConfig { pair_values: 2, fuel: 200_000, ..CampaignConfig::default() },
+    );
+    let server = CollectionServer::start();
+
+    fn entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        let t = s.literal("x");
+        s.call("strlen", &[CVal::Ptr(t)])?;
+        s.call("exit", &[CVal::Int(0)])?;
+        unreachable!()
+    }
+    for app in ["app-a", "app-b", "app-c"] {
+        let config = WrapperConfig {
+            app_name: app.into(),
+            collector: Some(server.collector()),
+        };
+        let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
+        let exe = Executable::new(app, &["libsimc.so.1"], &["strlen", "exit"], entry);
+        let out = toolkit.run_protected(&exe, &[&wrapper]).unwrap();
+        assert_eq!(out.status, Ok(0));
+    }
+    let collected = server.shutdown();
+    assert_eq!(collected.submissions.len(), 3);
+    let apps = collected.per_application();
+    assert_eq!(apps.len(), 3);
+    assert!(apps.contains_key("app-b"));
+}

@@ -1,0 +1,179 @@
+//! Integration test for the §3.4 demo: the heap-smashing attack against
+//! a setuid-root daemon succeeds unprotected and is detected/terminated
+//! by the security wrapper. Mirrors `examples/heap_smash.rs`.
+
+use std::sync::Mutex;
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::simlibc::state::ATEXIT_TABLE;
+use healers::simproc::{CVal, Fault, Proc, SHELLCODE_MAGIC};
+use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
+
+static REQUEST: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+
+fn logger(p: &mut Proc, _args: &[CVal]) -> Result<CVal, Fault> {
+    p.kernel.stdout.extend_from_slice(b"[netd] clean shutdown\n");
+    Ok(CVal::Void)
+}
+
+fn netd_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    let request = REQUEST
+        .lock()
+        .unwrap()
+        .clone()
+        .unwrap_or_else(|| b"GET /status".to_vec());
+    s.proc().kernel.install_file("request.bin", request);
+
+    let path = s.literal("request.bin");
+    let mode = s.literal("rb");
+    let f = s.call("fopen", &[CVal::Ptr(path), CVal::Ptr(mode)])?;
+    assert!(!f.is_null());
+
+    let session = s.malloc(64)?;
+    let spare = s.malloc(64)?;
+    let _pin = s.malloc(16)?;
+    s.call("free", &[CVal::Ptr(spare)])?;
+
+    let fmt = s.literal("[netd] session buffer at %p\n");
+    s.call("printf", &[CVal::Ptr(fmt), CVal::Ptr(session)])?;
+
+    let logger_addr = s.proc().register_host_fn("netd_logger", logger);
+    s.call("atexit", &[CVal::Ptr(logger_addr)])?;
+
+    s.call("fread", &[CVal::Ptr(session), CVal::Int(1), CVal::Int(256), f])?;
+    s.call("free", &[CVal::Ptr(session)])?;
+    s.call("exit", &[CVal::Int(0)])?;
+    unreachable!()
+}
+
+fn netd() -> Executable {
+    Executable::new(
+        "netd",
+        &["libsimc.so.1"],
+        &["puts", "printf", "malloc", "free", "atexit", "fopen", "fread", "exit"],
+        netd_entry,
+    )
+    .setuid()
+}
+
+fn craft_payload(session_addr: u64) -> Vec<u8> {
+    let mut p = vec![0x90u8; 96];
+    p[16..16 + SHELLCODE_MAGIC.len()].copy_from_slice(SHELLCODE_MAGIC);
+    p[72..80].copy_from_slice(&(80u64 | 1).to_le_bytes());
+    p[80..88].copy_from_slice(&(ATEXIT_TABLE.get() - 8).to_le_bytes());
+    p[88..96].copy_from_slice(&session_addr.to_le_bytes());
+    p
+}
+
+fn leaked_address(stdout: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("session buffer at"))
+        .expect("info leak");
+    u64::from_str_radix(line.rsplit("0x").next().unwrap().trim(), 16).unwrap()
+}
+
+/// The whole §3.4 story in one deterministic test. Serialised through
+/// the REQUEST lock because the "attacker-controlled file" is global.
+#[test]
+fn heap_smashing_attack_and_its_containment() {
+    let toolkit = Toolkit::new();
+
+    // Recon run.
+    *REQUEST.lock().unwrap() = None;
+    let recon = toolkit.run(&netd()).unwrap();
+    assert_eq!(recon.status, Ok(0), "{:?}", recon.status);
+    assert!(recon.stdout.contains("clean shutdown"));
+    assert!(!recon.shell_spawned);
+    let session_addr = leaked_address(&recon.stdout);
+
+    // Attack, unprotected: control-flow hijack, root shell.
+    *REQUEST.lock().unwrap() = Some(craft_payload(session_addr));
+    let owned = toolkit.run(&netd()).unwrap();
+    assert!(
+        matches!(owned.status, Err(Fault::WildJump { .. })),
+        "{:?}",
+        owned.status
+    );
+    assert!(owned.shell_spawned, "attacker must get the shell");
+    assert!(
+        !owned.stdout.contains("clean shutdown"),
+        "the real handler never ran"
+    );
+
+    // Attack, with the security wrapper: detected and terminated.
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc(),
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    let wrapper = toolkit.generate_wrapper(
+        WrapperKind::Security,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let protected = toolkit.run_protected(&netd(), &[&wrapper]).unwrap();
+    match &protected.status {
+        Err(Fault::SecurityViolation { detail }) => {
+            assert!(detail.contains("canary"), "{detail}");
+        }
+        other => panic!("expected a security violation, got {other:?}"),
+    }
+    assert!(!protected.shell_spawned, "no shell under the wrapper");
+
+    // And a benign request still works under the wrapper.
+    *REQUEST.lock().unwrap() = None;
+    let benign = toolkit.run_protected(&netd(), &[&wrapper]).unwrap();
+    assert_eq!(benign.status, Ok(0), "{:?}", benign.status);
+    assert!(benign.stdout.contains("clean shutdown"));
+}
+
+/// The stack-smashing variant: a return address clobbered in a stack
+/// frame transfers control on return; the frame-bound extent oracle used
+/// by the security wrapper prevents the overflowing copy entirely.
+#[test]
+fn stack_smashing_is_prevented_by_frame_bounds() {
+    let toolkit = Toolkit::new();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == "strcpy")
+            .collect::<Vec<_>>(),
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    let wrapper = toolkit.generate_wrapper(
+        WrapperKind::Security,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+
+    fn vuln_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+        // A classic: strcpy of attacker data into a stack buffer. The
+        // 47-byte string covers the 32-byte buffer, the saved frame
+        // pointer and the saved return address exactly.
+        let attack = s.literal(&"A".repeat(47));
+        s.proc().push_frame("handle_request")?;
+        let buf = s.proc().stack_alloc(32)?;
+        s.call("strcpy", &[CVal::Ptr(buf), CVal::Ptr(attack)])?;
+        s.proc().pop_frame()?;
+        Ok(0)
+    }
+    let exe = Executable::new("stackd", &["libsimc.so.1"], &["strcpy"], vuln_entry).setuid();
+
+    // Unprotected: the return address is clobbered; `ret` goes wild.
+    let out = toolkit.run(&exe).unwrap();
+    assert!(matches!(out.status, Err(Fault::WildJump { .. })), "{:?}", out.status);
+
+    // Security wrapper: the copy is refused before it reaches the
+    // saved return address (libsafe's rule via the frame-bound oracle).
+    let out = toolkit.run_protected(&exe, &[&wrapper]).unwrap();
+    assert!(
+        matches!(out.status, Err(Fault::SecurityViolation { .. })),
+        "{:?}",
+        out.status
+    );
+}
