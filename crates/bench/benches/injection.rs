@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use healers_core::process_factory;
-use injector::{case_seed, run_campaign, run_case, targets_from_simlibc, CampaignConfig, CaseKey};
+use injector::{
+    case_seed, run_campaign, run_case, targets_from_simlibc, CampaignConfig, CaseKey,
+};
 use simproc::{CVal, Proc};
 use typelattice::plan;
 
@@ -17,10 +19,7 @@ fn injection(c: &mut Criterion) {
     // materialisation, call, classification.
     let mut group = c.benchmark_group("single_injection");
     for func in ["strlen", "strcpy", "qsort"] {
-        let target = targets_from_simlibc()
-            .into_iter()
-            .find(|t| t.name == func)
-            .unwrap();
+        let target = targets_from_simlibc().into_iter().find(|t| t.name == func).unwrap();
         let plans = plan(&target.proto);
         let key = CaseKey::Ladder { param: 0, rung_idx: 0, value_idx: 0 };
         let seed = case_seed(2003, func, &key);
@@ -28,14 +27,7 @@ fn injection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(func), &(), |b, ()| {
             let mut call = move |p: &mut Proc, a: &[CVal]| imp(p, a);
             b.iter(|| {
-                black_box(run_case(
-                    process_factory,
-                    &plans,
-                    &key,
-                    seed,
-                    200_000,
-                    &mut call,
-                ))
+                black_box(run_case(process_factory, &plans, &key, seed, 200_000, &mut call))
             })
         });
     }
@@ -45,10 +37,8 @@ fn injection(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_function_campaign");
     group.sample_size(10);
     for func in ["strlen", "strcpy", "memcpy", "isalpha"] {
-        let targets: Vec<_> = targets_from_simlibc()
-            .into_iter()
-            .filter(|t| t.name == func)
-            .collect();
+        let targets: Vec<_> =
+            targets_from_simlibc().into_iter().filter(|t| t.name == func).collect();
         let config =
             CampaignConfig { pair_values: 4, fuel: 200_000, ..CampaignConfig::default() };
         group.bench_with_input(BenchmarkId::from_parameter(func), &(), |b, ()| {
@@ -68,7 +58,7 @@ fn injection(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -15,9 +15,12 @@ use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
 
 fn interception(c: &mut Criterion) {
     let campaign = bench_campaign(&["strcpy", "strlen", "malloc", "free", "exit"]);
-    let robust = build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
-    let secure = build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
-    let profile = build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+    let robust =
+        build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
+    let secure =
+        build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
+    let profile =
+        build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
     let strcpy_raw = simlibc::find_symbol("strcpy").unwrap().imp;
     // Dispatch cost in isolation: the loader binding around the RAW
     // symbol (no wrapper hooks).
@@ -77,7 +80,7 @@ fn interception(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -27,21 +27,13 @@ fn hook_stack(upto: usize, stats: &Arc<Stats>) -> Vec<Arc<dyn Hook>> {
 }
 
 fn microgen(c: &mut Criterion) {
-    let proto = simlibc::prototypes()
-        .into_iter()
-        .find(|p| p.name == "strcpy")
-        .unwrap();
+    let proto = simlibc::prototypes().into_iter().find(|p| p.name == "strcpy").unwrap();
     let imp = simlibc::find_symbol("strcpy").unwrap().imp;
     let stats = Arc::new(Stats::new());
 
     let mut group = c.benchmark_group("microgen_increments");
-    let names = [
-        "0_none",
-        "1_exectime",
-        "2_collect_errors",
-        "3_func_errors",
-        "4_call_counter",
-    ];
+    let names =
+        ["0_none", "1_exectime", "2_collect_errors", "3_func_errors", "4_call_counter"];
     for (n, label) in names.iter().enumerate() {
         let wrapped = WrappedFn::new(proto.clone(), imp, hook_stack(n, &stats));
         group.bench_function(*label, |b| {
@@ -69,17 +61,54 @@ fn microgen(c: &mut Criterion) {
     // wrappers for a new library release is automatic and fast.
     let campaign = bench_campaign(&["strcpy", "strlen", "malloc", "free", "memcpy"]);
     let mut group = c.benchmark_group("wrapper_generation");
-    for kind in [WrapperKind::Robustness, WrapperKind::Security, WrapperKind::Profiling] {
+    for kind in [
+        WrapperKind::Robustness,
+        WrapperKind::Security,
+        WrapperKind::Profiling,
+        WrapperKind::Healing,
+    ] {
         group.bench_function(kind.tag(), |b| {
             b.iter(|| {
-                black_box(build_wrapper(kind, &campaign.api, &WrapperConfig::default()).len())
+                black_box(
+                    build_wrapper(kind, &campaign.api, &WrapperConfig::default()).len(),
+                )
             })
         });
     }
     group.finish();
+
+    // Healing-path overhead: on valid arguments the policy engine only
+    // runs the same predicate checks as `arg check`, so the happy path
+    // must sit within noise of the robustness wrapper.
+    let robust =
+        build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
+    let healing =
+        build_wrapper(WrapperKind::Healing, &campaign.api, &WrapperConfig::default());
+    let mut group = c.benchmark_group("healing_path");
+    group.bench_function("arg_check_happy", |b| {
+        let (mut p, dst, src) = call_fixture();
+        let w = robust.get("strcpy").unwrap().clone();
+        b.iter(|| black_box(w.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    group.bench_function("heal_happy", |b| {
+        let (mut p, dst, src) = call_fixture();
+        let w = healing.get("strcpy").unwrap().clone();
+        b.iter(|| black_box(w.call(&mut p, &strcpy_args(dst, src)).unwrap()))
+    });
+    // The repair path itself: strlen(NULL) is healed to strlen("") every
+    // iteration (journal cleared to keep memory flat).
+    group.bench_function("heal_repair_null_strlen", |b| {
+        let mut p = healers_core::process_factory();
+        let w = healing.get("strlen").unwrap().clone();
+        b.iter(|| {
+            healing.journal.clear();
+            black_box(w.call(&mut p, &[simproc::CVal::NULL]).unwrap())
+        })
+    });
+    group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -41,8 +41,10 @@ fn workload() -> Executable {
 fn profiling(c: &mut Criterion) {
     let toolkit = Toolkit::new();
     let campaign = bench_campaign(&["malloc", "strcpy", "strtok", "strlen"]);
-    let profile = build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
-    let robust = build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
+    let profile =
+        build_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+    let robust =
+        build_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
 
     let mut group = c.benchmark_group("whole_application");
     group.bench_function("bare", |b| {
@@ -82,7 +84,9 @@ fn profiling(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("report_generation");
     group.bench_function("xml_document", |b| {
-        b.iter(|| black_box(profiler::to_xml("bench-workload", "profiling", &snapshot).len()))
+        b.iter(|| {
+            black_box(profiler::to_xml("bench-workload", "profiling", &snapshot).len())
+        })
     });
     group.bench_function("text_report", |b| {
         b.iter(|| black_box(profiler::render_report("bench-workload", &snapshot).len()))
@@ -90,7 +94,7 @@ fn profiling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -12,8 +12,10 @@ use simproc::CVal;
 use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
 
 fn security(c: &mut Criterion) {
-    let campaign = bench_campaign(&["malloc", "free", "calloc", "realloc", "strcpy", "exit"]);
-    let secure = build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
+    let campaign =
+        bench_campaign(&["malloc", "free", "calloc", "realloc", "strcpy", "exit"]);
+    let secure =
+        build_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
 
     // malloc/free pairs, bare vs canary-protected.
     let mut group = c.benchmark_group("malloc_free_pair");
@@ -73,10 +75,29 @@ fn security(c: &mut Criterion) {
             black_box(err)
         })
     });
+    // The healing alternative on the same attack traffic: instead of
+    // killing the process, the copy is truncated to the destination's
+    // writable extent — how much does graceful degradation cost over a
+    // hard deny?
+    let healing =
+        build_wrapper(WrapperKind::Healing, &campaign.api, &WrapperConfig::default());
+    group.bench_function("oversized_strcpy_healed", |b| {
+        let mut p = process_factory();
+        let attack = p.alloc_cstr(&"A".repeat(512));
+        let dst = CVal::Ptr(simlibc::heap::malloc(&mut p, 32).unwrap());
+        let w = healing.get("strcpy").unwrap().clone();
+        b.iter(|| {
+            // The repair truncates the source in place; restore the
+            // attack string so every iteration heals, not just the first.
+            p.mem.poke_bytes(attack, &[b'A'; 512]);
+            healing.journal.clear();
+            black_box(w.call(&mut p, &[dst, CVal::Ptr(attack)]).unwrap())
+        })
+    });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -239,11 +239,7 @@ impl CType {
                 let ps = if params.is_empty() {
                     "void".to_string()
                 } else {
-                    params
-                        .iter()
-                        .map(|p| p.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    params.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
                 };
                 format!("{ret} (*{name})({ps})")
             }
@@ -327,10 +323,7 @@ mod tests {
     fn display_pointers() {
         assert_eq!(CType::Char { signed: true }.const_ptr_to().to_string(), "const char*");
         assert_eq!(CType::Void.ptr_to().to_string(), "void*");
-        assert_eq!(
-            CType::Char { signed: true }.ptr_to().ptr_to().to_string(),
-            "char**"
-        );
+        assert_eq!(CType::Char { signed: true }.ptr_to().ptr_to().to_string(), "char**");
     }
 
     #[test]

@@ -136,7 +136,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let value = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
                     u64::from_str_radix(hex, 16)
                 } else {
                     text.trim_end_matches(['u', 'U', 'l', 'L']).parse()

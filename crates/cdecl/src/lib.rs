@@ -37,4 +37,6 @@ pub use ctype::{CType, IntWidth, Param, Prototype};
 pub use header::{parse_header, HeaderInfo};
 pub use lexer::{lex, LexError, Token};
 pub use manpage::{parse_manpage, synopsis_section, ManpageInfo};
-pub use parser::{parse_declarations, parse_prototype, parse_type, Decl, ParseError, TypedefTable};
+pub use parser::{
+    parse_declarations, parse_prototype, parse_type, Decl, ParseError, TypedefTable,
+};

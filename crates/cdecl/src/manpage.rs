@@ -24,9 +24,7 @@ pub fn synopsis_section(text: &str) -> Option<String> {
         let trimmed = line.trim();
         let is_heading = !trimmed.is_empty()
             && !line.starts_with(char::is_whitespace)
-            && trimmed
-                .chars()
-                .all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace());
+            && trimmed.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace());
         if is_heading {
             if in_synopsis {
                 break;

@@ -115,8 +115,10 @@ pub enum Decl {
     },
 }
 
-const STORAGE_WORDS: &[&str] = &["extern", "static", "inline", "register", "auto", "__inline"];
-const QUALIFIER_WORDS: &[&str] = &["const", "volatile", "restrict", "__restrict", "__const"];
+const STORAGE_WORDS: &[&str] =
+    &["extern", "static", "inline", "register", "auto", "__inline"];
+const QUALIFIER_WORDS: &[&str] =
+    &["const", "volatile", "restrict", "__restrict", "__const"];
 
 /// Parses a single function prototype, e.g.
 /// `"char *strcpy(char *dest, const char *src);"`.
@@ -135,7 +137,10 @@ const QUALIFIER_WORDS: &[&str] = &["const", "volatile", "restrict", "__restrict"
 /// # Ok(())
 /// # }
 /// ```
-pub fn parse_prototype(src: &str, typedefs: &TypedefTable) -> Result<Prototype, ParseError> {
+pub fn parse_prototype(
+    src: &str,
+    typedefs: &TypedefTable,
+) -> Result<Prototype, ParseError> {
     let tokens = lex(src)?;
     let mut p = Parser { toks: &tokens, pos: 0, typedefs };
     let decl = p.parse_declaration()?;
@@ -143,7 +148,9 @@ pub fn parse_prototype(src: &str, typedefs: &TypedefTable) -> Result<Prototype, 
     p.expect_end()?;
     match decl {
         Decl::Proto(proto) => Ok(proto),
-        other => Err(ParseError::new(format!("expected a function prototype, got {other:?}"))),
+        other => {
+            Err(ParseError::new(format!("expected a function prototype, got {other:?}")))
+        }
     }
 }
 
@@ -289,11 +296,8 @@ impl<'a> Parser<'a> {
         let mut core: Option<CType> = None;
         let mut saw_int_word = false;
 
-        loop {
-            let word = match self.peek() {
-                Some(Token::Ident(s)) => s.clone(),
-                _ => break,
-            };
+        while let Some(Token::Ident(s)) = self.peek() {
+            let word = s.clone();
             match word.as_str() {
                 "typedef" => {
                     is_typedef = true;
@@ -365,7 +369,8 @@ impl<'a> Parser<'a> {
                         && !short
                         && self.typedefs.contains(other)
                     {
-                        core = Some(self.typedefs.resolve(other).expect("contains").clone());
+                        core =
+                            Some(self.typedefs.resolve(other).expect("contains").clone());
                         self.pos += 1;
                     } else {
                         break;
@@ -393,7 +398,9 @@ impl<'a> Parser<'a> {
                 if !saw_int_word && signedness.is_none() && long_count == 0 && !short {
                     return Err(ParseError::new(format!(
                         "expected a type, found `{}`",
-                        self.peek().map(|x| x.to_string()).unwrap_or_else(|| "<eof>".into())
+                        self.peek()
+                            .map(|x| x.to_string())
+                            .unwrap_or_else(|| "<eof>".into())
                     )));
                 }
                 let width = if short {
@@ -532,8 +539,8 @@ impl<'a> Parser<'a> {
         let (name, built) = apply(node, base, base_const)?;
         match built {
             Built::Func { ret, params, variadic } => {
-                let name =
-                    name.ok_or_else(|| ParseError::new("function prototype without a name"))?;
+                let name = name
+                    .ok_or_else(|| ParseError::new("function prototype without a name"))?;
                 if is_typedef {
                     return Err(ParseError::new("typedef of function type not supported"));
                 }
@@ -555,8 +562,18 @@ impl<'a> Parser<'a> {
 fn is_type_word(s: &str) -> bool {
     matches!(
         s,
-        "void" | "char" | "short" | "int" | "long" | "float" | "double" | "signed"
-            | "unsigned" | "struct" | "union" | "enum"
+        "void"
+            | "char"
+            | "short"
+            | "int"
+            | "long"
+            | "float"
+            | "double"
+            | "signed"
+            | "unsigned"
+            | "struct"
+            | "union"
+            | "enum"
     )
 }
 
@@ -579,7 +596,8 @@ fn apply(
     match node {
         DeclNode::Name(name) => Ok((name, Built::Ty(base))),
         DeclNode::Ptr { inner, is_const } => {
-            let new_base = CType::Ptr { pointee: Box::new(base), const_pointee: base_const };
+            let new_base =
+                CType::Ptr { pointee: Box::new(base), const_pointee: base_const };
             // A `const` written after this `*` qualifies the pointer type
             // just built, i.e. it becomes the next level's pointee-const.
             apply(*inner, new_base, is_const)
@@ -628,7 +646,8 @@ mod tests {
 
     #[test]
     fn pointer_return_and_const_param() {
-        let p = parse_prototype("char *strcpy(char *dest, const char *src);", &table()).unwrap();
+        let p = parse_prototype("char *strcpy(char *dest, const char *src);", &table())
+            .unwrap();
         assert_eq!(p.ret, CType::Char { signed: true }.ptr_to());
         assert_eq!(p.params[0].ty, CType::Char { signed: true }.ptr_to());
         assert_eq!(p.params[1].ty, CType::Char { signed: true }.const_ptr_to());
@@ -694,25 +713,31 @@ mod tests {
 
     #[test]
     fn variadic_prototype() {
-        let p = parse_prototype("int snprintf(char *str, size_t size, const char *format, ...);", &table()).unwrap();
+        let p = parse_prototype(
+            "int snprintf(char *str, size_t size, const char *format, ...);",
+            &table(),
+        )
+        .unwrap();
         assert!(p.variadic);
         assert_eq!(p.params.len(), 3);
     }
 
     #[test]
     fn unsigned_long_long() {
-        let p = parse_prototype("unsigned long long strtoull(const char *s, char **end, int base);", &table()).unwrap();
+        let p = parse_prototype(
+            "unsigned long long strtoull(const char *s, char **end, int base);",
+            &table(),
+        )
+        .unwrap();
         assert_eq!(p.ret, CType::Int { signed: false, width: IntWidth::LongLong });
         // char** parameter
-        assert_eq!(
-            p.params[1].ty,
-            CType::Char { signed: true }.ptr_to().ptr_to()
-        );
+        assert_eq!(p.params[1].ty, CType::Char { signed: true }.ptr_to().ptr_to());
     }
 
     #[test]
     fn struct_return() {
-        let p = parse_prototype("div_t div(int numerator, int denominator);", &table()).unwrap();
+        let p = parse_prototype("div_t div(int numerator, int denominator);", &table())
+            .unwrap();
         assert_eq!(p.ret, CType::Named("div_t".into()));
     }
 
@@ -747,7 +772,8 @@ mod tests {
 
     #[test]
     fn anonymous_params_get_positional_names() {
-        let p = parse_prototype("int strcmp(const char *, const char *);", &table()).unwrap();
+        let p =
+            parse_prototype("int strcmp(const char *, const char *);", &table()).unwrap();
         assert_eq!(p.params[0].display_name(0), "a1");
         assert_eq!(p.params[1].display_name(1), "a2");
     }

@@ -204,11 +204,13 @@ fn tags(doc: &str) -> Result<Vec<Tag>, XmlError> {
                 let key = s[..eq].trim().to_string();
                 let after = s[eq + 1..].trim_start();
                 if !after.starts_with('"') {
-                    return Err(XmlError { message: format!("unquoted attribute `{key}`") });
+                    return Err(XmlError {
+                        message: format!("unquoted attribute `{key}`"),
+                    });
                 }
-                let close_quote = after[1..]
-                    .find('"')
-                    .ok_or_else(|| XmlError { message: format!("unterminated attribute `{key}`") })?;
+                let close_quote = after[1..].find('"').ok_or_else(|| XmlError {
+                    message: format!("unterminated attribute `{key}`"),
+                })?;
                 let value = unescape(&after[1..1 + close_quote]);
                 attrs.push((key, value));
                 s = after[close_quote + 2..].trim_start();
@@ -220,10 +222,7 @@ fn tags(doc: &str) -> Result<Vec<Tag>, XmlError> {
 }
 
 fn attr<'a>(tag: &'a Tag, key: &str) -> Option<&'a str> {
-    tag.attrs
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
+    tag.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
 /// Parses a declaration file produced by [`write_declaration_file`].

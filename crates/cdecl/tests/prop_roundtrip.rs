@@ -11,12 +11,15 @@ fn scalar() -> impl Strategy<Value = CType> {
     prop_oneof![
         Just(CType::Void),
         any::<bool>().prop_map(|signed| CType::Char { signed }),
-        (any::<bool>(), prop_oneof![
-            Just(IntWidth::Short),
-            Just(IntWidth::Int),
-            Just(IntWidth::Long),
-            Just(IntWidth::LongLong)
-        ])
+        (
+            any::<bool>(),
+            prop_oneof![
+                Just(IntWidth::Short),
+                Just(IntWidth::Int),
+                Just(IntWidth::Long),
+                Just(IntWidth::LongLong)
+            ]
+        )
             .prop_map(|(signed, width)| CType::Int { signed, width }),
         Just(CType::Float),
         Just(CType::Double),
@@ -26,13 +29,15 @@ fn scalar() -> impl Strategy<Value = CType> {
 /// Data-pointer types: scalars and (const-qualified) pointers over them.
 fn data_type() -> impl Strategy<Value = CType> {
     scalar().prop_recursive(3, 8, 4, |inner| {
-        (inner, any::<bool>()).prop_map(|(t, c)| {
-            if c {
-                t.const_ptr_to()
-            } else {
-                t.ptr_to()
-            }
-        })
+        (inner, any::<bool>()).prop_map(
+            |(t, c)| {
+                if c {
+                    t.const_ptr_to()
+                } else {
+                    t.ptr_to()
+                }
+            },
+        )
     })
 }
 
@@ -62,9 +67,9 @@ fn legal_param() -> impl Strategy<Value = CType> {
 fn identifier() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("not a C keyword or typedef", |s| {
         ![
-            "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned",
-            "struct", "union", "enum", "const", "volatile", "restrict", "extern", "static",
-            "typedef", "inline", "register", "auto",
+            "void", "char", "short", "int", "long", "float", "double", "signed",
+            "unsigned", "struct", "union", "enum", "const", "volatile", "restrict",
+            "extern", "static", "typedef", "inline", "register", "auto",
         ]
         .contains(&s.as_str())
     })

@@ -39,17 +39,13 @@ mod tests {
                 skipped: false,
             }],
         };
-        let wrapper = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+        let wrapper =
+            build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
         let lib = as_preload_library(&wrapper);
         assert_eq!(lib.soname(), "libhealers_robust.so.1");
         let mut p = simlibc::testutil::libc_proc();
         // Through the preload binding, strlen(NULL) is contained.
-        let r = lib
-            .symbol("strlen")
-            .unwrap()
-            .binding
-            .call(&mut p, &[CVal::NULL])
-            .unwrap();
+        let r = lib.symbol("strlen").unwrap().binding.call(&mut p, &[CVal::NULL]).unwrap();
         assert_eq!(r, CVal::Int(-1));
     }
 }

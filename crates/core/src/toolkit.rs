@@ -6,7 +6,7 @@ use injector::{run_campaign, CampaignConfig, CampaignResult, TargetFn};
 use interpose::{AppInfo, Executable, Loader, RunOutcome, SharedLibrary, System};
 use simproc::Proc;
 use typelattice::RobustApi;
-use wrappergen::{build_wrapper, WrapperConfig, WrapperKind, WrapperLibrary};
+use wrappergen::{build_wrapper, PolicyEngine, WrapperConfig, WrapperKind, WrapperLibrary};
 
 use crate::bridge::as_preload_library;
 
@@ -15,6 +15,7 @@ use crate::bridge::as_preload_library;
 pub struct Toolkit {
     system: System,
     config: CampaignConfig,
+    healing_policy: Option<PolicyEngine>,
 }
 
 impl Default for Toolkit {
@@ -27,13 +28,29 @@ impl Toolkit {
     /// A toolkit over the standard simulated system (libc + libm) with
     /// default campaign settings.
     pub fn new() -> Self {
-        Toolkit { system: System::standard(), config: CampaignConfig::default() }
+        Toolkit {
+            system: System::standard(),
+            config: CampaignConfig::default(),
+            healing_policy: None,
+        }
     }
 
     /// Overrides the campaign configuration.
     pub fn with_config(mut self, config: CampaignConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Sets the healing policy applied by [`Toolkit::generate_healing_wrapper`]
+    /// when the wrapper config does not carry its own engine.
+    pub fn with_healing_policy(mut self, policy: PolicyEngine) -> Self {
+        self.healing_policy = Some(policy);
+        self
+    }
+
+    /// The configured healing policy, if any.
+    pub fn healing_policy(&self) -> Option<&PolicyEngine> {
+        self.healing_policy.as_ref()
     }
 
     /// The simulated system.
@@ -57,11 +74,7 @@ impl Toolkit {
 
     /// Lists all libraries in the system: `(soname, exported symbols)`.
     pub fn list_libraries(&self) -> Vec<(String, usize)> {
-        self.system
-            .libraries()
-            .iter()
-            .map(|l| (l.soname().to_string(), l.len()))
-            .collect()
+        self.system.libraries().iter().map(|l| (l.soname().to_string(), l.len())).collect()
     }
 
     /// All functions defined in one library.
@@ -74,9 +87,7 @@ impl Toolkit {
     /// The XML-style declaration file describing each function's
     /// prototype.
     pub fn declaration_file(&self, soname: &str) -> Option<String> {
-        self.system
-            .library(soname)
-            .map(|l| write_declaration_file(soname, &l.prototypes()))
+        self.system.library(soname).map(|l| write_declaration_file(soname, &l.prototypes()))
     }
 
     /// Fault-injection targets for a library (host implementations are
@@ -141,6 +152,25 @@ impl Toolkit {
         config: &WrapperConfig,
     ) -> WrapperLibrary {
         build_wrapper(kind, api, config)
+    }
+
+    /// Generates a self-healing wrapper: violations are repaired, retried,
+    /// or degraded gracefully per the policy engine instead of merely
+    /// contained, and every action lands in the wrapper's audit journal.
+    ///
+    /// Policy precedence: an engine in `config` wins, then the toolkit's
+    /// [`Toolkit::with_healing_policy`] engine, then
+    /// [`PolicyEngine::healing`].
+    pub fn generate_healing_wrapper(
+        &self,
+        api: &RobustApi,
+        config: &WrapperConfig,
+    ) -> WrapperLibrary {
+        let mut config = config.clone();
+        if config.policy.is_none() {
+            config.policy = self.healing_policy.clone();
+        }
+        build_wrapper(WrapperKind::Healing, api, &config)
     }
 
     /// Converts a generated wrapper into a preloadable shared library.
@@ -289,6 +319,33 @@ mod tests {
         assert!(result.api.function("mnorm").unwrap().has_checks());
         // Malformed documents error instead of guessing.
         assert!(tk.targets_from_declaration_file("<library").is_err());
+    }
+
+    #[test]
+    fn healing_wrapper_repairs_where_containment_rejects() {
+        let tk = quick();
+        let targets: Vec<_> = injector::targets_from_simlibc()
+            .into_iter()
+            .filter(|t| t.name == "strlen")
+            .collect();
+        let result =
+            injector::run_campaign("libsimc.so.1", &targets, process_factory, tk.config());
+        let healing = tk.generate_healing_wrapper(&result.api, &WrapperConfig::default());
+        // strlen(NULL): containment would return -1; healing substitutes an
+        // empty string and the call semantically succeeds.
+        let mut p = process_factory();
+        let r = healing.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(0), "healed, not merely contained");
+        assert!(!healing.journal.is_empty());
+
+        // A toolkit-level policy flows into generation when the config
+        // carries none.
+        let tk = tk.with_healing_policy(wrappergen::PolicyEngine::containment());
+        assert!(tk.healing_policy().is_some());
+        let contained = tk.generate_healing_wrapper(&result.api, &WrapperConfig::default());
+        let mut p = process_factory();
+        let r = contained.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1), "config-less generation obeys toolkit policy");
     }
 
     fn fragile_entry(s: &mut interpose::Session<'_>) -> Result<i32, Fault> {

@@ -1,0 +1,111 @@
+//! Extent-bounded repair primitives for the healing wrapper.
+//!
+//! The guardian already knows how far a write through a pointer may
+//! safely reach ([`GuardOracle`]); healing reuses that knowledge in the
+//! other direction — instead of merely *rejecting* an argument that would
+//! overrun its extent, these helpers *shrink the operation* to fit it:
+//! NUL-terminate an unterminated buffer at its last writable byte, or cut
+//! a source string down so the copy lands inside the destination.
+
+use simproc::{ExtentOracle, Proc, VirtAddr};
+
+use crate::oracle::GuardOracle;
+
+/// Cap on how deep into a buffer a repair will place a terminator; keeps
+/// the repaired string measurable by the wrapper's own C-string scan
+/// (which gives up after `typelattice::CSTR_SCAN_CAP` bytes).
+pub const HEAL_TERMINATE_CAP: u64 = 1 << 20;
+
+/// NUL-terminates the buffer at `addr` at the last byte of its writable
+/// extent (capped at [`HEAL_TERMINATE_CAP`]), preserving as much of the
+/// existing contents as possible. Returns the offset of the written NUL,
+/// or `None` when the buffer has no writable extent at all (nothing can
+/// be repaired in place).
+pub fn nul_terminate_in_extent(
+    proc: &mut Proc,
+    oracle: &GuardOracle,
+    addr: VirtAddr,
+) -> Option<u64> {
+    if addr.is_null() {
+        return None;
+    }
+    let extent = oracle.writable_extent(proc, addr)?.min(HEAL_TERMINATE_CAP);
+    if extent == 0 {
+        return None;
+    }
+    let at = extent - 1;
+    if proc.mem.write_bytes(addr.add(at), &[0]).is_ok() {
+        Some(at)
+    } else {
+        None
+    }
+}
+
+/// Truncates the C string at `addr` to `new_len` bytes by writing a NUL
+/// terminator at `addr + new_len`. Returns `false` when the byte is not
+/// writable (read-only source — the caller must copy instead).
+pub fn truncate_cstr(proc: &mut Proc, addr: VirtAddr, new_len: u64) -> bool {
+    if addr.is_null() {
+        return false;
+    }
+    proc.mem.write_bytes(addr.add(new_len), &[0]).is_ok()
+}
+
+/// The number of elements of size `elem` that fit in `extent` bytes — the
+/// clamped count for `memcpy`/`fread`-shaped repairs. An `elem` of zero
+/// degenerates to the extent itself.
+pub fn clamp_count(extent: u64, elem: u64) -> u64 {
+    extent.checked_div(elem).unwrap_or(extent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CanaryRegistry;
+    use simlibc::testutil::libc_proc;
+    use std::sync::Arc;
+
+    fn oracle() -> GuardOracle {
+        GuardOracle::new(Arc::new(CanaryRegistry::new()))
+    }
+
+    #[test]
+    fn terminates_at_last_writable_byte() {
+        let mut p = libc_proc();
+        let o = oracle();
+        let buf = simlibc::heap::malloc(&mut p, 16).unwrap();
+        let extent = o.writable_extent(&p, buf).unwrap();
+        p.mem.write_bytes(buf, &vec![b'x'; extent as usize]).unwrap();
+        let at = nul_terminate_in_extent(&mut p, &o, buf).unwrap();
+        assert_eq!(at, extent - 1);
+        assert_eq!(p.mem.read_u8(buf.add(at)).unwrap(), 0);
+        // Everything before the terminator survives.
+        assert_eq!(p.mem.read_u8(buf).unwrap(), b'x');
+    }
+
+    #[test]
+    fn null_and_unwritable_are_not_repairable_in_place() {
+        let mut p = libc_proc();
+        let o = oracle();
+        assert_eq!(nul_terminate_in_extent(&mut p, &o, VirtAddr::NULL), None);
+        let ro = p.alloc_cstr_literal("readonly");
+        assert_eq!(nul_terminate_in_extent(&mut p, &o, ro), None);
+        assert!(!truncate_cstr(&mut p, ro, 2), "read-only string cannot be cut");
+    }
+
+    #[test]
+    fn truncation_shortens_a_live_string() {
+        let mut p = libc_proc();
+        let long = p.alloc_cstr("abcdefgh");
+        assert!(truncate_cstr(&mut p, long, 3));
+        assert_eq!(p.read_cstr_lossy(long), "abc");
+    }
+
+    #[test]
+    fn clamped_counts_fit_the_extent() {
+        assert_eq!(clamp_count(64, 8), 8);
+        assert_eq!(clamp_count(63, 8), 7);
+        assert_eq!(clamp_count(64, 0), 64);
+        assert_eq!(clamp_count(0, 8), 0);
+    }
+}

@@ -29,8 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod heal;
 mod oracle;
 mod registry;
 
+pub use heal::{clamp_count, nul_terminate_in_extent, truncate_cstr, HEAL_TERMINATE_CAP};
 pub use oracle::GuardOracle;
-pub use registry::{canary_value, CanaryRegistry, GuardedAlloc, Violation, CANARY_LEN, CANARY_SEED};
+pub use registry::{
+    canary_value, CanaryRegistry, GuardedAlloc, Violation, CANARY_LEN, CANARY_SEED,
+};

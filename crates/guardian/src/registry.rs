@@ -17,7 +17,7 @@ use simproc::{Fault, Proc, VirtAddr};
 pub const CANARY_LEN: u64 = 8;
 
 /// Seed mixed into each canary so one leaked canary does not reveal all.
-pub const CANARY_SEED: u64 = 0x48454c_4552_5321; // "HEALERS!"
+pub const CANARY_SEED: u64 = 0x0048_454c_4552_5321; // "HEALERS!"
 
 /// The canary value guarding the allocation at `payload`.
 pub fn canary_value(payload: VirtAddr) -> u64 {
@@ -82,7 +82,12 @@ impl CanaryRegistry {
     ///
     /// Propagates the fault if the guard word cannot be written (the
     /// underlying allocation was bogus).
-    pub fn protect(&self, proc: &mut Proc, payload: VirtAddr, requested: u64) -> Result<(), Fault> {
+    pub fn protect(
+        &self,
+        proc: &mut Proc,
+        payload: VirtAddr,
+        requested: u64,
+    ) -> Result<(), Fault> {
         let alloc = GuardedAlloc { payload, requested };
         proc.mem.write_u64(alloc.canary_addr(), canary_value(payload))?;
         self.live.lock().insert(payload.get(), alloc);
@@ -96,7 +101,11 @@ impl CanaryRegistry {
     /// # Errors
     ///
     /// Returns the [`Violation`] if the guard word was overwritten.
-    pub fn verify(&self, proc: &Proc, payload: VirtAddr) -> Result<Option<GuardedAlloc>, Violation> {
+    pub fn verify(
+        &self,
+        proc: &Proc,
+        payload: VirtAddr,
+    ) -> Result<Option<GuardedAlloc>, Violation> {
         let guard = self.live.lock();
         let Some(alloc) = guard.get(&payload.get()).copied() else {
             return Ok(None);
@@ -236,7 +245,10 @@ mod tests {
         assert_eq!(reg.extent_within(ptr.add(5)), Some(15));
         assert_eq!(reg.extent_within(ptr.add(20)), None, "guard word is not writable");
         assert_eq!(reg.extent_within(ptr.sub(1)), None);
-        assert!(reg.contains(ptr.add(20)), "guard word still 'inside' for ownership checks");
+        assert!(
+            reg.contains(ptr.add(20)),
+            "guard word still 'inside' for ownership checks"
+        );
     }
 
     #[test]

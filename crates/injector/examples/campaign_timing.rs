@@ -2,8 +2,18 @@ fn main() {
     let targets = injector::targets_from_simlibc();
     let config = injector::CampaignConfig::default();
     let start = std::time::Instant::now();
-    let result = injector::run_campaign("libsimc.so.1", &targets, simlibc::setup::init_process, &config);
+    let result = injector::run_campaign(
+        "libsimc.so.1",
+        &targets,
+        simlibc::setup::init_process,
+        &config,
+    );
     let dt = start.elapsed();
     println!("{}", injector::render_table(&result));
-    println!("elapsed: {:?}  tests: {}  rate: {:.0}/s", dt, result.total_tests(), result.total_tests() as f64 / dt.as_secs_f64());
+    println!(
+        "elapsed: {:?}  tests: {}  rate: {:.0}/s",
+        dt,
+        result.total_tests(),
+        result.total_tests() as f64 / dt.as_secs_f64()
+    );
 }

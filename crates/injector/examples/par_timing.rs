@@ -2,14 +2,27 @@ fn main() {
     let targets = injector::targets_from_simlibc();
     let config = injector::CampaignConfig::default();
     let t0 = std::time::Instant::now();
-    let serial = injector::run_campaign("libsimc.so.1", &targets, simlibc::setup::init_process, &config);
+    let serial = injector::run_campaign(
+        "libsimc.so.1",
+        &targets,
+        simlibc::setup::init_process,
+        &config,
+    );
     let t_serial = t0.elapsed();
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let t0 = std::time::Instant::now();
-    let parallel = injector::run_campaign_parallel("libsimc.so.1", &targets, simlibc::setup::init_process, &config, threads);
+    let parallel = injector::run_campaign_parallel(
+        "libsimc.so.1",
+        &targets,
+        simlibc::setup::init_process,
+        &config,
+        threads,
+    );
     let t_par = t0.elapsed();
     assert_eq!(serial.total_tests(), parallel.total_tests());
     assert_eq!(serial.total_failures(), parallel.total_failures());
-    println!("serial: {t_serial:?}  parallel({threads}): {t_par:?}  speedup: {:.2}x",
-        t_serial.as_secs_f64() / t_par.as_secs_f64());
+    println!(
+        "serial: {t_serial:?}  parallel({threads}): {t_par:?}  speedup: {:.2}x",
+        t_serial.as_secs_f64() / t_par.as_secs_f64()
+    );
 }

@@ -33,10 +33,11 @@ mod search;
 pub use outcome::{classify, Outcome, TestOutcome};
 pub use report::{render_table, to_xml};
 pub use sandbox::{
-    case_seed, materialize, run_case, run_case_opts, value_count, CaseKey, Dispatch, ProcFactory,
+    case_seed, materialize, run_case, run_case_opts, value_count, CaseKey, Dispatch,
+    ProcFactory,
 };
 pub use search::{
-    replay_cases, run_campaign, run_campaign_parallel, targets_from_simlibc, targets_from_simmath,
-    CampaignConfig,
-    CampaignResult, CrashCase, FunctionReport, ParamResult, ReplaySummary, TargetFn,
+    replay_cases, run_campaign, run_campaign_parallel, targets_from_simlibc,
+    targets_from_simmath, CampaignConfig, CampaignResult, CrashCase, FunctionReport,
+    ParamResult, ReplaySummary, TargetFn,
 };

@@ -22,22 +22,22 @@ pub fn render_table(result: &CampaignResult) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
-        "function", "tests", "crash", "abort", "hang", "resid", "derived robust argument types"
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  derived robust argument types",
+        "function", "tests", "crash", "abort", "hang", "resid"
     );
     let _ = writeln!(out, "{}", "-".repeat(100));
     for r in &result.reports {
         if r.skipped {
-            let _ = writeln!(out, "{:<14} {:>6}  (skipped: terminates by contract)", r.name, "-");
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6}  (skipped: terminates by contract)",
+                r.name, "-"
+            );
             continue;
         }
         let count = |o: Outcome| r.histogram.get(&o).copied().unwrap_or(0);
-        let types = r
-            .params
-            .iter()
-            .map(|p| p.chosen_name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let types =
+            r.params.iter().map(|p| p.chosen_name.as_str()).collect::<Vec<_>>().join(", ");
         let _ = writeln!(
             out,
             "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  [{}]{}",

@@ -81,9 +81,11 @@ pub fn materialize(
             args[*param] = values[value_idx % values.len().max(1)];
         }
         CaseKey::Pair { i, j, vi, vj, j_first, rungs } => {
-            let order = if *j_first { [(*j, *vj), (*i, *vi)] } else { [(*i, *vi), (*j, *vj)] };
+            let order =
+                if *j_first { [(*j, *vj), (*i, *vi)] } else { [(*i, *vi), (*j, *vj)] };
             for (param, value_idx) in order {
-                let rung = &plans[param].ladder[rungs[param].min(plans[param].ladder.len() - 1)];
+                let rung =
+                    &plans[param].ladder[rungs[param].min(plans[param].ladder.len() - 1)];
                 let values = values_for(plans[param].class, &rung.pred, &mut cx, &args);
                 if !values.is_empty() {
                     args[param] = values[value_idx % values.len()];
@@ -151,7 +153,13 @@ pub fn run_case_opts(
 
 /// Number of values a rung generates (computed in a throwaway process so
 /// callers can enumerate `value_idx`).
-pub fn value_count(factory: ProcFactory, plans: &[ParamPlan], param: usize, rung_idx: usize, seed: u64) -> usize {
+pub fn value_count(
+    factory: ProcFactory,
+    plans: &[ParamPlan],
+    param: usize,
+    rung_idx: usize,
+    seed: u64,
+) -> usize {
     let mut proc = factory();
     let mut cx = GenCx::new(&mut proc, seed);
     let pinned: Vec<CVal> = plans.iter().map(|p| benign_value(p.class, &mut cx)).collect();

@@ -269,9 +269,10 @@ fn combo_in_contract(
     let mut proc = factory();
     let args = materialize(&mut proc, plans, key, seed);
     let oracle = simlibc::heap::HeapOracle::new();
-    plans.iter().enumerate().all(|(i, p)| {
-        p.ladder[chosen[i]].pred.check(&proc, &oracle, &args, i)
-    })
+    plans
+        .iter()
+        .enumerate()
+        .all(|(i, p)| p.ladder[chosen[i]].pred.check(&proc, &oracle, &args, i))
 }
 
 fn search_function(
@@ -295,7 +296,13 @@ fn search_function(
         for (r, rung) in p.ladder.iter().enumerate() {
             let mut failures = 0usize;
             let probe_key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: 0 };
-            let n = value_count(factory, &plans, i, r, case_seed(config.seed, &target.name, &probe_key));
+            let n = value_count(
+                factory,
+                &plans,
+                i,
+                r,
+                case_seed(config.seed, &target.name, &probe_key),
+            );
             for k in 0..n {
                 let key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: k };
                 let seed = case_seed(config.seed, &target.name, &key);
@@ -339,11 +346,8 @@ fn search_function(
     // pass cannot see, e.g. strcpy(small_dst, long_src)). Combinations
     // that jointly violate the chosen predicates are skipped: the
     // wrapper will reject those, so they are out of contract.
-    let max_escalations: usize = if config.validate_pairs {
-        plans.iter().map(|p| p.ladder.len()).sum()
-    } else {
-        0
-    };
+    let max_escalations: usize =
+        if config.validate_pairs { plans.iter().map(|p| p.ladder.len()).sum() } else { 0 };
     // Generator output lengths are context-independent; cache them so the
     // pairwise phase does not rebuild a scratch process per (param, rung)
     // per escalation round.
@@ -436,11 +440,8 @@ fn search_function(
     }
 
     let fully_robust = residual == 0;
-    let preds: Vec<SafePred> = plans
-        .iter()
-        .zip(&chosen)
-        .map(|(p, &r)| p.ladder[r].pred.clone())
-        .collect();
+    let preds: Vec<SafePred> =
+        plans.iter().zip(&chosen).map(|(p, &r)| p.ladder[r].pred.clone()).collect();
     let report = FunctionReport {
         name: target.name.clone(),
         proto: target.proto.to_string(),
@@ -451,14 +452,15 @@ fn search_function(
         fully_robust,
         skipped: false,
     };
-    let robust = RobustFunction {
-        proto: target.proto.clone(),
-        preds,
-        fully_robust,
-        skipped: false,
-    };
+    let robust =
+        RobustFunction { proto: target.proto.clone(), preds, fully_robust, skipped: false };
     (report, robust, crashes)
 }
+
+/// Dispatch shape for replaying by function name — typically the front of
+/// a generated wrapper library.
+pub type NamedDispatch<'a> =
+    &'a mut dyn FnMut(&str, &mut Proc, &[CVal]) -> Result<CVal, Fault>;
 
 /// Replays recorded crash cases through an arbitrary dispatch (typically
 /// a generated wrapper) and reports how many still fail — the
@@ -468,12 +470,13 @@ pub fn replay_cases(
     targets: &[TargetFn],
     factory: ProcFactory,
     config: &CampaignConfig,
-    dispatch: &mut dyn FnMut(&str, &mut Proc, &[CVal]) -> Result<CVal, Fault>,
+    dispatch: NamedDispatch<'_>,
 ) -> ReplaySummary {
     let mut still_failing = 0usize;
     let mut contained = 0usize;
     let mut graceful = 0usize;
     let mut by_function: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut histogram: BTreeMap<Outcome, usize> = BTreeMap::new();
     for case in cases {
         let Some(target) = targets.iter().find(|t| t.name == case.func) else {
             continue;
@@ -494,6 +497,7 @@ pub fn replay_cases(
         );
         let entry = by_function.entry(case.func.clone()).or_insert((0, 0));
         entry.0 += 1;
+        *histogram.entry(out.outcome).or_insert(0) += 1;
         match out.outcome {
             o if o.is_failure() => {
                 still_failing += 1;
@@ -504,7 +508,14 @@ pub fn replay_cases(
             _ => {}
         }
     }
-    ReplaySummary { total: cases.len(), still_failing, contained, graceful, by_function }
+    ReplaySummary {
+        total: cases.len(),
+        still_failing,
+        contained,
+        graceful,
+        by_function,
+        histogram,
+    }
 }
 
 /// Outcome of replaying crash cases through a wrapper.
@@ -520,6 +531,9 @@ pub struct ReplaySummary {
     pub graceful: usize,
     /// Per-function `(replayed, still failing)` breakdown.
     pub by_function: BTreeMap<String, (usize, usize)>,
+    /// Full outcome distribution over the replayed cases — the raw
+    /// material for comparing wrapper strategies (containment vs healing).
+    pub histogram: BTreeMap<Outcome, usize>,
 }
 
 impl ReplaySummary {
@@ -531,7 +545,7 @@ impl ReplaySummary {
             .filter(|(_, (_, fail))| *fail > 0)
             .map(|(f, (total, fail))| (f.as_str(), *fail, *total))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|x| std::cmp::Reverse(x.1));
         v
     }
 }
@@ -542,10 +556,7 @@ mod tests {
     use simlibc::setup::init_process;
 
     fn single_target(name: &str) -> Vec<TargetFn> {
-        targets_from_simlibc()
-            .into_iter()
-            .filter(|t| t.name == name)
-            .collect()
+        targets_from_simlibc().into_iter().filter(|t| t.name == name).collect()
     }
 
     fn quick_config() -> CampaignConfig {
@@ -633,9 +644,13 @@ mod tests {
             let t = simlibc::find_symbol(name).unwrap();
             (t.imp)(p, a)
         };
-        let summary = replay_cases(&result.crashes, &targets, init_process, &config, &mut dispatch);
+        let summary =
+            replay_cases(&result.crashes, &targets, init_process, &config, &mut dispatch);
         assert_eq!(summary.total, result.crashes.len());
-        assert_eq!(summary.still_failing, summary.total, "identity dispatch contains nothing");
+        assert_eq!(
+            summary.still_failing, summary.total,
+            "identity dispatch contains nothing"
+        );
     }
 
     #[test]

@@ -47,12 +47,7 @@ pub fn inspect(system: &System, exe: &Executable) -> AppInfo {
             (symbol.clone(), provider)
         })
         .collect();
-    AppInfo {
-        name: exe.name.clone(),
-        libraries,
-        undefined,
-        setuid_root: exe.setuid_root,
-    }
+    AppInfo { name: exe.name.clone(), libraries, undefined, setuid_root: exe.setuid_root }
 }
 
 /// Renders the Figure-4 style listing.
@@ -66,12 +61,8 @@ pub fn render(info: &AppInfo) -> String {
     );
     let _ = writeln!(out, "Linked libraries:");
     for (soname, installed) in &info.libraries {
-        let _ = writeln!(
-            out,
-            "  {} {}",
-            soname,
-            if *installed { "" } else { "(NOT FOUND)" }
-        );
+        let _ =
+            writeln!(out, "  {} {}", soname, if *installed { "" } else { "(NOT FOUND)" });
     }
     let _ = writeln!(out, "Undefined functions:");
     for (symbol, provider) in &info.undefined {

@@ -11,11 +11,16 @@ use simproc::{CVal, Fault, Proc};
 /// around one (wrappers capture shared state — stats tables, canary
 /// registries — so they are `Arc<dyn Fn>`).
 #[derive(Clone)]
-pub struct Binding(Arc<dyn Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync>);
+pub struct Binding(Arc<BindingFn>);
+
+/// The callable shape shared by raw host functions and wrapper closures.
+type BindingFn = dyn Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync;
 
 impl Binding {
     /// Wraps a callable.
-    pub fn new(f: impl Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync + 'static) -> Self {
+    pub fn new(
+        f: impl Fn(&mut Proc, &[CVal]) -> Result<CVal, Fault> + Send + Sync + 'static,
+    ) -> Self {
         Binding(Arc::new(f))
     }
 
@@ -92,10 +97,8 @@ impl SharedLibrary {
 
     /// Defines (or replaces) a symbol.
     pub fn define(&mut self, name: &str, proto: Prototype, binding: Binding) {
-        self.symbols.insert(
-            name.to_string(),
-            Symbol { name: name.to_string(), proto, binding },
-        );
+        self.symbols
+            .insert(name.to_string(), Symbol { name: name.to_string(), proto, binding });
     }
 
     /// Looks up a symbol.
@@ -223,13 +226,9 @@ mod tests {
 
     #[test]
     fn executable_description() {
-        let exe = Executable::new(
-            "netd",
-            &["libsimc.so.1"],
-            &["strcpy", "malloc"],
-            dummy_entry,
-        )
-        .setuid();
+        let exe =
+            Executable::new("netd", &["libsimc.so.1"], &["strcpy", "malloc"], dummy_entry)
+                .setuid();
         assert!(exe.setuid_root);
         assert_eq!(exe.needed, vec!["libsimc.so.1"]);
         assert_eq!(exe.undefined.len(), 2);

@@ -187,7 +187,11 @@ impl Loader {
     /// # Errors
     ///
     /// [`LinkError`] when a needed library or symbol is missing.
-    pub fn load(&self, system: &System, exe: &Executable) -> Result<LinkedImage, LinkError> {
+    pub fn load(
+        &self,
+        system: &System,
+        exe: &Executable,
+    ) -> Result<LinkedImage, LinkError> {
         // Missing NEEDED libraries fail even with no symbols to resolve.
         for soname in &exe.needed {
             if system.library(soname).is_none() {
@@ -214,7 +218,12 @@ mod tests {
     }
 
     fn sample_exe() -> Executable {
-        Executable::new("app", &["libsimc.so.1", "libsimm.so.1"], &["strlen", "mgcd"], entry)
+        Executable::new(
+            "app",
+            &["libsimc.so.1", "libsimm.so.1"],
+            &["strlen", "mgcd"],
+            entry,
+        )
     }
 
     #[test]
@@ -241,10 +250,7 @@ mod tests {
     fn preload_interposes() {
         let system = System::standard();
         let mut wrapper = SharedLibrary::new("libhealers_robust.so");
-        let proto = simlibc::prototypes()
-            .into_iter()
-            .find(|p| p.name == "strlen")
-            .unwrap();
+        let proto = simlibc::prototypes().into_iter().find(|p| p.name == "strlen").unwrap();
         wrapper.define("strlen", proto, Binding::new(|_, _| Ok(CVal::Int(-7))));
         let mut loader = Loader::new();
         loader.preload(wrapper);
@@ -263,10 +269,7 @@ mod tests {
     #[test]
     fn preload_order_first_wins() {
         let system = System::standard();
-        let proto = simlibc::prototypes()
-            .into_iter()
-            .find(|p| p.name == "strlen")
-            .unwrap();
+        let proto = simlibc::prototypes().into_iter().find(|p| p.name == "strlen").unwrap();
         let mut w1 = SharedLibrary::new("w1.so");
         w1.define("strlen", proto.clone(), Binding::new(|_, _| Ok(CVal::Int(1))));
         let mut w2 = SharedLibrary::new("w2.so");
@@ -280,10 +283,7 @@ mod tests {
     #[test]
     fn system_wide_wrapper_interposes_every_load() {
         let mut system = System::standard();
-        let proto = simlibc::prototypes()
-            .into_iter()
-            .find(|p| p.name == "strlen")
-            .unwrap();
+        let proto = simlibc::prototypes().into_iter().find(|p| p.name == "strlen").unwrap();
         let mut admin = SharedLibrary::new("libadmin_wrap.so");
         admin.define("strlen", proto.clone(), Binding::new(|_, _| Ok(CVal::Int(-99))));
         system.enable_system_wide(admin);

@@ -5,7 +5,7 @@
 use simproc::{CVal, Fault, Proc, VirtAddr};
 
 use crate::library::Executable;
-use crate::loader::{LinkedImage, LinkError, Loader, System};
+use crate::loader::{LinkError, LinkedImage, Loader, System};
 
 /// The runtime context handed to a simulated application's entry point.
 #[derive(Debug)]
@@ -34,9 +34,9 @@ impl<'a> Session<'a> {
     pub fn call(&mut self, symbol: &str, args: &[CVal]) -> Result<CVal, Fault> {
         match self.image.lookup(symbol) {
             Some(sym) => sym.binding.call(self.proc, args),
-            None => Err(Fault::abort(format!(
-                "call through unresolved PLT entry `{symbol}`"
-            ))),
+            None => {
+                Err(Fault::abort(format!("call through unresolved PLT entry `{symbol}`")))
+            }
         }
     }
 
@@ -191,8 +191,7 @@ mod tests {
     #[test]
     fn setuid_marks_root() {
         let system = System::standard();
-        let exe =
-            Executable::new("rootd", &["libsimc.so.1"], &[], setuid_entry).setuid();
+        let exe = Executable::new("rootd", &["libsimc.so.1"], &[], setuid_entry).setuid();
         let out = run(&Loader::new(), &system, &exe).unwrap();
         assert!(out.success());
     }

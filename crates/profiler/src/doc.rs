@@ -6,12 +6,36 @@
 use cdecl::xml::XmlWriter;
 use simproc::errno::errno_name;
 
+use crate::journal::HealEvent;
 use crate::stats::Snapshot;
 
 /// Serialises a profiling snapshot into the self-describing document
 /// format. `app` names the profiled application, `wrapper` the wrapper
 /// type that collected the data.
 pub fn to_xml(app: &str, wrapper: &str, snap: &Snapshot) -> String {
+    to_xml_opts(app, wrapper, snap, None)
+}
+
+/// [`to_xml`] with the healing audit journal appended as a `<healing>`
+/// section — the document the healing wrapper ships at `exit`. The
+/// section is self-describing like the rest: one `<event>` element per
+/// journal entry carrying the function, argument, violated robust type,
+/// violation class, action taken and a description of the repair.
+pub fn to_xml_with_healing(
+    app: &str,
+    wrapper: &str,
+    snap: &Snapshot,
+    events: &[HealEvent],
+) -> String {
+    to_xml_opts(app, wrapper, snap, Some(events))
+}
+
+fn to_xml_opts(
+    app: &str,
+    wrapper: &str,
+    snap: &Snapshot,
+    events: Option<&[HealEvent]>,
+) -> String {
     let mut w = XmlWriter::new();
     w.open(
         "healers-profile",
@@ -27,6 +51,9 @@ pub fn to_xml(app: &str, wrapper: &str, snap: &Snapshot) -> String {
     w.leaf("metric", &[("name", "function-exectime")]);
     w.leaf("metric", &[("name", "func-errors")]);
     w.leaf("metric", &[("name", "collect-errors")]);
+    if events.is_some() {
+        w.leaf("metric", &[("name", "healing-journal")]);
+    }
     w.close();
     for (name, f) in &snap.per_func {
         w.open(
@@ -62,6 +89,24 @@ pub fn to_xml(app: &str, wrapper: &str, snap: &Snapshot) -> String {
         );
     }
     w.close();
+    if let Some(events) = events {
+        w.open("healing", &[("events", &events.len().to_string())]);
+        for ev in events {
+            let arg = ev.arg.map(|i| (i + 1).to_string()).unwrap_or_else(|| "-".into());
+            w.leaf(
+                "event",
+                &[
+                    ("function", ev.func.as_str()),
+                    ("arg", &arg),
+                    ("class", ev.class.as_str()),
+                    ("action", ev.action.tag()),
+                    ("violation", ev.violation.as_str()),
+                    ("detail", ev.detail.as_str()),
+                ],
+            );
+        }
+        w.close();
+    }
     w.close();
     w.finish()
 }
@@ -131,5 +176,35 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(parse_header_fields("not xml at all").is_none());
         assert!(parse_header_fields("<healers-profile foo=\"1\">").is_none());
+    }
+
+    #[test]
+    fn healing_section_is_self_describing() {
+        use crate::journal::{HealAction, HealEvent};
+        let events = vec![HealEvent {
+            func: "strcpy".into(),
+            arg: Some(1),
+            violation: "readable NUL-terminated string".into(),
+            class: "unterminated-string".into(),
+            action: HealAction::Repaired,
+            detail: "NUL-terminated buffer at offset 15".into(),
+        }];
+        let doc = to_xml_with_healing("editor", "healing", &sample(), &events);
+        assert!(doc.contains("wrapper=\"healing\""), "{doc}");
+        assert!(doc.contains("name=\"healing-journal\""), "{doc}");
+        assert!(doc.contains("<healing events=\"1\">"), "{doc}");
+        assert!(doc.contains("action=\"repaired\""), "{doc}");
+        assert!(doc.contains("arg=\"2\""), "1-based in the document: {doc}");
+        // The header reader still indexes healing documents.
+        let (app, wrapper, _) = parse_header_fields(&doc).unwrap();
+        assert_eq!(app, "editor");
+        assert_eq!(wrapper, "healing");
+    }
+
+    #[test]
+    fn plain_document_has_no_healing_section() {
+        let doc = to_xml("wordcount", "profiling", &sample());
+        assert!(!doc.contains("<healing"), "{doc}");
+        assert!(!doc.contains("healing-journal"));
     }
 }

@@ -1,0 +1,148 @@
+//! The healing audit journal: a second event stream alongside the call
+//! statistics of [`crate::Stats`]. Every decision the healing wrapper
+//! takes — an argument repaired in place, a call retried, a benign value
+//! substituted, a violation contained — is recorded here, shipped in the
+//! same self-describing XML document as the profiling data, and rendered
+//! in the text report. Nothing heals silently.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// What the healing wrapper did about one violation or fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealAction {
+    /// An argument was repaired in place (or substituted) before the call.
+    Repaired,
+    /// The original was re-invoked with re-sanitized arguments.
+    Retried,
+    /// A fault was swallowed and a containment value returned with
+    /// `errno = EINVAL`.
+    Substituted,
+    /// The call was skipped and a benign value manufactured, errno
+    /// untouched (failure-oblivious mode).
+    Obliviated,
+    /// The call was rejected with `errno = EINVAL` (classic containment).
+    Contained,
+    /// The process was terminated (security response).
+    Terminated,
+}
+
+impl HealAction {
+    /// Stable tag used in XML documents and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            HealAction::Repaired => "repaired",
+            HealAction::Retried => "retried",
+            HealAction::Substituted => "substituted",
+            HealAction::Obliviated => "obliviated",
+            HealAction::Contained => "contained",
+            HealAction::Terminated => "terminated",
+        }
+    }
+}
+
+impl fmt::Display for HealAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealEvent {
+    /// Wrapped function in which the violation was observed.
+    pub func: String,
+    /// Zero-based index of the offending argument, when the event is
+    /// attributable to one (fault-path events are not).
+    pub arg: Option<usize>,
+    /// The violated robust type, as the wrapper displays it.
+    pub violation: String,
+    /// Violation-class tag the policy engine resolved against.
+    pub class: String,
+    /// What the wrapper did.
+    pub action: HealAction,
+    /// Human-readable description of the concrete repair.
+    pub detail: String,
+}
+
+/// Shared, append-only journal of healing events.
+#[derive(Debug, Default)]
+pub struct HealingJournal {
+    events: Mutex<Vec<HealEvent>>,
+}
+
+impl HealingJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        HealingJournal::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: HealEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// A copy of every event recorded so far, in order.
+    pub fn snapshot(&self) -> Vec<HealEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Discards every recorded event (benchmarks replay millions of
+    /// healed calls; the journal must not grow without bound there).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of events with the given action.
+    pub fn count(&self, action: HealAction) -> usize {
+        self.events.lock().iter().filter(|e| e.action == action).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(func: &str, action: HealAction) -> HealEvent {
+        HealEvent {
+            func: func.into(),
+            arg: Some(0),
+            violation: "readable NUL-terminated string".into(),
+            class: "unterminated-string".into(),
+            action,
+            detail: "NUL-terminated buffer at offset 15".into(),
+        }
+    }
+
+    #[test]
+    fn journal_accumulates_in_order() {
+        let j = HealingJournal::new();
+        assert!(j.is_empty());
+        j.record(sample("strcpy", HealAction::Repaired));
+        j.record(sample("strlen", HealAction::Contained));
+        assert_eq!(j.len(), 2);
+        let snap = j.snapshot();
+        assert_eq!(snap[0].func, "strcpy");
+        assert_eq!(snap[1].action, HealAction::Contained);
+        assert_eq!(j.count(HealAction::Repaired), 1);
+        assert_eq!(j.count(HealAction::Obliviated), 0);
+    }
+
+    #[test]
+    fn action_tags_are_stable() {
+        assert_eq!(HealAction::Repaired.tag(), "repaired");
+        assert_eq!(HealAction::Obliviated.to_string(), "obliviated");
+        assert_eq!(HealAction::Terminated.tag(), "terminated");
+    }
+}

@@ -29,11 +29,13 @@
 #![warn(missing_debug_implementations)]
 
 mod doc;
+mod journal;
 mod report;
 mod server;
 mod stats;
 
-pub use doc::{parse_header_fields, to_xml};
-pub use report::render_report;
+pub use doc::{parse_header_fields, to_xml, to_xml_with_healing};
+pub use journal::{HealAction, HealEvent, HealingJournal};
+pub use report::{render_report, render_report_with_healing};
 pub use server::{Collected, CollectionServer, Collector, Submission};
 pub use stats::{FuncStats, Snapshot, Stats};

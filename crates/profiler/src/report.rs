@@ -2,10 +2,12 @@
 //! the paper's Figure 5 (call frequency, execution-time share, errno
 //! distribution and causes).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use simproc::errno::{errno_name, strerror_text};
 
+use crate::journal::HealEvent;
 use crate::stats::Snapshot;
 
 /// Renders the full profiling report for one run.
@@ -20,7 +22,8 @@ pub fn render_report(app: &str, snap: &Snapshot) -> String {
     );
 
     let _ = writeln!(out, "Call frequency and execution time:");
-    let _ = writeln!(out, "{:<14} {:>8} {:>12} {:>8}", "function", "calls", "cycles", "time%");
+    let _ =
+        writeln!(out, "{:<14} {:>8} {:>12} {:>8}", "function", "calls", "cycles", "time%");
     let mut by_cycles: Vec<_> = snap.per_func.iter().collect();
     by_cycles.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
     for (name, f) in by_cycles {
@@ -63,6 +66,42 @@ pub fn render_report(app: &str, snap: &Snapshot) -> String {
     out
 }
 
+/// [`render_report`] followed by the healing audit journal — what the
+/// healing wrapper prints at `exit`. Events are summarised per function
+/// and action, then listed in order.
+pub fn render_report_with_healing(
+    app: &str,
+    snap: &Snapshot,
+    events: &[HealEvent],
+) -> String {
+    let mut out = render_report(app, snap);
+    let _ = writeln!(out, "\nHealing audit journal ({} events):", events.len());
+    if events.is_empty() {
+        let _ = writeln!(out, "  (no healing actions taken)");
+        return out;
+    }
+    let mut by_func: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for ev in events {
+        *by_func.entry((ev.func.as_str(), ev.action.tag())).or_insert(0) += 1;
+    }
+    for ((func, action), n) in &by_func {
+        let _ = writeln!(out, "  {func:<14} {action:<12} x{n}");
+    }
+    let _ = writeln!(out, "\n  Event log:");
+    for ev in events {
+        let arg = match ev.arg {
+            Some(i) => format!("arg {}", i + 1),
+            None => "call".into(),
+        };
+        let _ = writeln!(
+            out,
+            "    {} {} [{}] {}: {} — {}",
+            ev.func, arg, ev.class, ev.action, ev.violation, ev.detail
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +126,31 @@ mod tests {
         let report = render_report("idle", &Stats::new().snapshot());
         assert!(report.contains("no errors recorded"));
         assert!(report.contains("(none)"));
+    }
+
+    #[test]
+    fn healing_journal_is_rendered() {
+        use crate::journal::{HealAction, HealEvent, HealingJournal};
+        let stats = Stats::new();
+        stats.record_call("strcpy", 100, None);
+        let journal = HealingJournal::new();
+        journal.record(HealEvent {
+            func: "strcpy".into(),
+            arg: Some(1),
+            violation: "readable NUL-terminated string".into(),
+            class: "unterminated-string".into(),
+            action: HealAction::Repaired,
+            detail: "NUL-terminated buffer at offset 15".into(),
+        });
+        let report =
+            render_report_with_healing("editor", &stats.snapshot(), &journal.snapshot());
+        assert!(report.contains("Healing audit journal (1 events):"), "{report}");
+        assert!(report.contains("repaired"), "{report}");
+        assert!(report.contains("arg 2"), "1-based in the report: {report}");
+        assert!(report.contains("NUL-terminated buffer at offset 15"));
+
+        let empty = render_report_with_healing("editor", &stats.snapshot(), &[]);
+        assert!(empty.contains("no healing actions taken"), "{empty}");
     }
 
     #[test]

@@ -90,8 +90,8 @@ impl CollectionServer {
         let (stop_tx, stop_rx) = unbounded::<()>();
         let handle = std::thread::spawn(move || {
             let mut collected = Collected::default();
-            let accept = |doc: String, collected: &mut Collected| {
-                match parse_header_fields(&doc) {
+            let accept =
+                |doc: String, collected: &mut Collected| match parse_header_fields(&doc) {
                     Some((application, wrapper, functions)) => {
                         collected.submissions.push(Submission {
                             application,
@@ -101,8 +101,7 @@ impl CollectionServer {
                         });
                     }
                     None => collected.rejected += 1,
-                }
-            };
+                };
             loop {
                 select! {
                     recv(rx) -> msg => match msg {

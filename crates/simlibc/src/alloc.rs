@@ -22,21 +22,13 @@ pub fn free(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
 /// `void *calloc(size_t nmemb, size_t size);`
 pub fn calloc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
     enter(p)?;
-    Ok(CVal::Ptr(heap::calloc(
-        p,
-        arg(args, 0).as_usize(),
-        arg(args, 1).as_usize(),
-    )?))
+    Ok(CVal::Ptr(heap::calloc(p, arg(args, 0).as_usize(), arg(args, 1).as_usize())?))
 }
 
 /// `void *realloc(void *ptr, size_t size);`
 pub fn realloc(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
     enter(p)?;
-    Ok(CVal::Ptr(heap::realloc(
-        p,
-        arg(args, 0).as_ptr(),
-        arg(args, 1).as_usize(),
-    )?))
+    Ok(CVal::Ptr(heap::realloc(p, arg(args, 0).as_ptr(), arg(args, 1).as_usize())?))
 }
 
 #[cfg(test)]

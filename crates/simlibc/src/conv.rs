@@ -9,11 +9,7 @@ fn is_space(b: u8) -> bool {
 }
 
 /// Shared integer scanner. Returns (value, end address, overflowed).
-fn scan_int(
-    p: &mut Proc,
-    s: VirtAddr,
-    base: u32,
-) -> Result<(i128, VirtAddr, bool), Fault> {
+fn scan_int(p: &mut Proc, s: VirtAddr, base: u32) -> Result<(i128, VirtAddr, bool), Fault> {
     let mut cur = s;
     while is_space(p.read_u8(cur)?) {
         cur = cur.add(1);
@@ -324,7 +320,11 @@ mod tests {
             ("2147483647", i32::MAX as i64),
         ] {
             let s = p.alloc_cstr(text);
-            assert_eq!(atoi(&mut p, &[CVal::Ptr(s)]).unwrap(), CVal::Int(expect), "{text:?}");
+            assert_eq!(
+                atoi(&mut p, &[CVal::Ptr(s)]).unwrap(),
+                CVal::Int(expect),
+                "{text:?}"
+            );
         }
     }
 

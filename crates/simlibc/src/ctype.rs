@@ -245,10 +245,22 @@ mod tests {
     #[test]
     fn tolower_toupper_transform() {
         let mut p = libc_proc();
-        assert_eq!(tolower(&mut p, &[CVal::Int(b'A' as i64)]).unwrap(), CVal::Int(b'a' as i64));
-        assert_eq!(tolower(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(), CVal::Int(b'a' as i64));
-        assert_eq!(toupper(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(), CVal::Int(b'A' as i64));
-        assert_eq!(toupper(&mut p, &[CVal::Int(b'#' as i64)]).unwrap(), CVal::Int(b'#' as i64));
+        assert_eq!(
+            tolower(&mut p, &[CVal::Int(b'A' as i64)]).unwrap(),
+            CVal::Int(b'a' as i64)
+        );
+        assert_eq!(
+            tolower(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(),
+            CVal::Int(b'a' as i64)
+        );
+        assert_eq!(
+            toupper(&mut p, &[CVal::Int(b'a' as i64)]).unwrap(),
+            CVal::Int(b'A' as i64)
+        );
+        assert_eq!(
+            toupper(&mut p, &[CVal::Int(b'#' as i64)]).unwrap(),
+            CVal::Int(b'#' as i64)
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ use crate::util::arg;
 ///
 /// Propagates memory faults from reading the format, `%s` sources and
 /// `%n` targets.
-pub fn format(p: &mut Proc, fmt: simproc::VirtAddr, args: &[CVal]) -> Result<Vec<u8>, Fault> {
+pub fn format(
+    p: &mut Proc,
+    fmt: simproc::VirtAddr,
+    args: &[CVal],
+) -> Result<Vec<u8>, Fault> {
     let fmt_bytes = p.read_cstr(fmt)?;
     let mut out = Vec::with_capacity(fmt_bytes.len());
     let mut argi = 0usize;
@@ -71,7 +75,8 @@ pub fn format(p: &mut Proc, fmt: simproc::VirtAddr, args: &[CVal]) -> Result<Vec
             precision = Some(prec);
         }
         // Length modifiers (collapsed).
-        while matches!(fmt_bytes.get(i), Some(b'l') | Some(b'h') | Some(b'z') | Some(b'q')) {
+        while matches!(fmt_bytes.get(i), Some(b'l') | Some(b'h') | Some(b'z') | Some(b'q'))
+        {
             i += 1;
         }
         let Some(&conv) = fmt_bytes.get(i) else {
@@ -84,10 +89,10 @@ pub fn format(p: &mut Proc, fmt: simproc::VirtAddr, args: &[CVal]) -> Result<Vec
             let pad = width.saturating_sub(body.len());
             if left {
                 out.extend_from_slice(&body);
-                out.extend(std::iter::repeat(b' ').take(pad));
+                out.extend(std::iter::repeat_n(b' ', pad));
             } else {
                 let fill = if zero { b'0' } else { b' ' };
-                out.extend(std::iter::repeat(fill).take(pad));
+                out.extend(std::iter::repeat_n(fill, pad));
                 out.extend_from_slice(&body);
             }
         };
@@ -179,7 +184,10 @@ mod tests {
         let mut p = libc_proc();
         assert_eq!(run(&mut p, "n=%d!", &[CVal::Int(-7)]), "n=-7!");
         assert_eq!(run(&mut p, "%u", &[CVal::Int(7)]), "7");
-        assert_eq!(run(&mut p, "%x|%X|%o", &[CVal::Int(255), CVal::Int(255), CVal::Int(8)]), "ff|FF|10");
+        assert_eq!(
+            run(&mut p, "%x|%X|%o", &[CVal::Int(255), CVal::Int(255), CVal::Int(8)]),
+            "ff|FF|10"
+        );
         assert_eq!(run(&mut p, "%c%c", &[CVal::Int(104), CVal::Int(105)]), "hi");
         assert_eq!(run(&mut p, "100%%", &[]), "100%");
         assert_eq!(run(&mut p, "%p", &[CVal::Ptr(VirtAddr::new(0x10))]), "0x10");
@@ -213,7 +221,10 @@ mod tests {
     #[test]
     fn length_modifiers_are_accepted() {
         let mut p = libc_proc();
-        assert_eq!(run(&mut p, "%ld %zu %lld", &[CVal::Int(1), CVal::Int(2), CVal::Int(3)]), "1 2 3");
+        assert_eq!(
+            run(&mut p, "%ld %zu %lld", &[CVal::Int(1), CVal::Int(2), CVal::Int(3)]),
+            "1 2 3"
+        );
     }
 
     #[test]

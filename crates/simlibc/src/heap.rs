@@ -59,8 +59,7 @@ pub fn init_heap(p: &mut Proc) -> Result<(), Fault> {
     p.mem.write_u64(HEAP_TOP, HEAP_BASE.get())?;
     // Top chunk header: size = whole arena, previous (nonexistent) in use.
     p.mem.write_u64(HEAP_BASE, 0)?;
-    p.mem
-        .write_u64(HEAP_BASE.add(8), heap_end.diff(HEAP_BASE) | PREV_INUSE)?;
+    p.mem.write_u64(HEAP_BASE.add(8), heap_end.diff(HEAP_BASE) | PREV_INUSE)?;
     // Empty circular free list.
     p.mem.write_u64(FREELIST_HEAD, FREELIST_HEAD.get())?;
     p.mem.write_u64(FREELIST_HEAD.add(8), FREELIST_HEAD.get())?;
@@ -68,10 +67,7 @@ pub fn init_heap(p: &mut Proc) -> Result<(), Fault> {
 }
 
 fn heap_end(p: &Proc) -> VirtAddr {
-    p.mem
-        .region_at(HEAP_BASE)
-        .map(|r| r.end())
-        .unwrap_or(HEAP_BASE)
+    p.mem.region_at(HEAP_BASE).map(|r| r.end()).unwrap_or(HEAP_BASE)
 }
 
 fn read_size(p: &mut Proc, chunk: VirtAddr) -> Result<(u64, u64), Fault> {
@@ -326,10 +322,8 @@ pub struct ChunkInfo {
 /// Returns a descriptive error string if the chunk chain is corrupt.
 pub fn walk(p: &Proc) -> Result<Vec<ChunkInfo>, String> {
     let end = heap_end(p);
-    let top = p
-        .mem
-        .read_ptr(HEAP_TOP)
-        .map_err(|e| format!("top pointer unreadable: {e}"))?;
+    let top =
+        p.mem.read_ptr(HEAP_TOP).map_err(|e| format!("top pointer unreadable: {e}"))?;
     let free_set = free_list(p)?;
     let mut out = Vec::new();
     let mut cur = HEAP_BASE;
@@ -528,7 +522,7 @@ mod tests {
             assert!(ptr.is_null(), "malloc({n:#x})");
             assert_eq!(p.errno(), errno::ENOMEM);
         }
-        assert_eq!(chunk_size_for(u64::MAX), u64::MAX & !15);
+        assert_eq!(chunk_size_for(u64::MAX), !15u64);
         check_invariants(&p).unwrap();
     }
 

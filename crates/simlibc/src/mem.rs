@@ -172,9 +172,10 @@ mod tests {
             CVal::Int(0)
         );
         p.write_u8(b.add(4), 0x2B).unwrap();
-        assert!(memcmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b), CVal::Int(8)])
-            .unwrap()
-            .as_int() < 0);
+        assert!(
+            memcmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b), CVal::Int(8)]).unwrap().as_int()
+                < 0
+        );
         let hit = memchr(&mut p, &[CVal::Ptr(b), CVal::Int(0x2B), CVal::Int(8)]).unwrap();
         assert_eq!(hit.as_ptr(), b.add(4));
         let miss = memchr(&mut p, &[CVal::Ptr(b), CVal::Int(0x77), CVal::Int(8)]).unwrap();
@@ -209,8 +210,8 @@ mod tests {
         let mut p = libc_proc();
         let ok = p.alloc_data_zeroed(4);
         for f in [memcpy, memmove, memcmp] {
-            let err =
-                f(&mut p, &[CVal::Ptr(ok), CVal::Ptr(WILD_ADDR), CVal::Int(4)]).unwrap_err();
+            let err = f(&mut p, &[CVal::Ptr(ok), CVal::Ptr(WILD_ADDR), CVal::Int(4)])
+                .unwrap_err();
             assert!(matches!(err, Fault::Segv { .. }));
         }
     }

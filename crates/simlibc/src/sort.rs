@@ -62,9 +62,7 @@ pub fn bsearch(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let elem = base.add(mid * size);
-        let cmp = p
-            .call_function(compar, &[CVal::Ptr(key), CVal::Ptr(elem)])?
-            .as_int();
+        let cmp = p.call_function(compar, &[CVal::Ptr(key), CVal::Ptr(elem)])?.as_int();
         if cmp == 0 {
             return ok_ptr(elem);
         }
@@ -103,27 +101,24 @@ mod tests {
     }
 
     fn read_values(p: &mut Proc, base: VirtAddr, n: usize) -> Vec<i32> {
-        (0..n)
-            .map(|i| p.read_u32(base.add(i as u64 * 4)).unwrap() as i32)
-            .collect()
+        (0..n).map(|i| p.read_u32(base.add(i as u64 * 4)).unwrap() as i32).collect()
     }
 
     #[test]
     fn qsort_sorts() {
         let (mut p, base, cmp) = setup(&[5, -1, 3, 3, 0, 42, 7]);
-        qsort(
-            &mut p,
-            &[CVal::Ptr(base), CVal::Int(7), CVal::Int(4), CVal::Ptr(cmp)],
-        )
-        .unwrap();
+        qsort(&mut p, &[CVal::Ptr(base), CVal::Int(7), CVal::Int(4), CVal::Ptr(cmp)])
+            .unwrap();
         assert_eq!(read_values(&mut p, base, 7), vec![-1, 0, 3, 3, 5, 7, 42]);
     }
 
     #[test]
     fn qsort_empty_and_single() {
         let (mut p, base, cmp) = setup(&[9]);
-        qsort(&mut p, &[CVal::Ptr(base), CVal::Int(0), CVal::Int(4), CVal::Ptr(cmp)]).unwrap();
-        qsort(&mut p, &[CVal::Ptr(base), CVal::Int(1), CVal::Int(4), CVal::Ptr(cmp)]).unwrap();
+        qsort(&mut p, &[CVal::Ptr(base), CVal::Int(0), CVal::Int(4), CVal::Ptr(cmp)])
+            .unwrap();
+        qsort(&mut p, &[CVal::Ptr(base), CVal::Int(1), CVal::Int(4), CVal::Ptr(cmp)])
+            .unwrap();
         assert_eq!(read_values(&mut p, base, 1), vec![9]);
     }
 
@@ -147,11 +142,9 @@ mod tests {
     fn qsort_huge_nmemb_crashes_or_hangs() {
         let (mut p, base, cmp) = setup(&[1, 2]);
         p.set_fuel_limit(Some(p.cycles() + 200_000));
-        let err = qsort(
-            &mut p,
-            &[CVal::Ptr(base), CVal::Int(-1), CVal::Int(4), CVal::Ptr(cmp)],
-        )
-        .unwrap_err();
+        let err =
+            qsort(&mut p, &[CVal::Ptr(base), CVal::Int(-1), CVal::Int(4), CVal::Ptr(cmp)])
+                .unwrap_err();
         assert!(matches!(err, Fault::Segv { .. } | Fault::Hang), "{err}");
     }
 
@@ -161,13 +154,7 @@ mod tests {
         let key = p.alloc_data(&6i32.to_le_bytes());
         let hit = bsearch(
             &mut p,
-            &[
-                CVal::Ptr(key),
-                CVal::Ptr(base),
-                CVal::Int(5),
-                CVal::Int(4),
-                CVal::Ptr(cmp),
-            ],
+            &[CVal::Ptr(key), CVal::Ptr(base), CVal::Int(5), CVal::Int(4), CVal::Ptr(cmp)],
         )
         .unwrap();
         assert_eq!(hit.as_ptr(), base.add(8));

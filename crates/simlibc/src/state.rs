@@ -41,7 +41,7 @@ pub const FILE_MAGIC: u64 = 0x0045_4C49_4646_4C45; // "ELIFFLE" + version
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simproc::layout::{LIBC_PRIVATE_SIZE, DATA_CURSOR_START};
+    use simproc::layout::{DATA_CURSOR_START, LIBC_PRIVATE_SIZE};
 
     #[test]
     fn state_fits_in_private_page() {

@@ -367,11 +367,9 @@ mod tests {
     #[test]
     fn wild_file_pointer_faults() {
         let mut p = libc_proc();
-        for f in [
-            fgetc as fn(&mut Proc, &[CVal]) -> Result<CVal, Fault>,
-            fclose as _,
-            feof as _,
-        ] {
+        for f in
+            [fgetc as fn(&mut Proc, &[CVal]) -> Result<CVal, Fault>, fclose as _, feof as _]
+        {
             let err = f(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err();
             assert!(matches!(err, Fault::Segv { .. }));
         }
@@ -428,8 +426,11 @@ mod tests {
         let dst = p.alloc_data_zeroed(32);
         let f = p.alloc_cstr("%s-%d");
         let world = p.alloc_cstr("world");
-        let n = sprintf(&mut p, &[CVal::Ptr(dst), CVal::Ptr(f), CVal::Ptr(world), CVal::Int(9)])
-            .unwrap();
+        let n = sprintf(
+            &mut p,
+            &[CVal::Ptr(dst), CVal::Ptr(f), CVal::Ptr(world), CVal::Int(9)],
+        )
+        .unwrap();
         assert_eq!(n, CVal::Int(7));
         assert_eq!(p.read_cstr_lossy(dst), "world-9");
 

@@ -530,10 +530,7 @@ mod tests {
     #[test]
     fn strlen_crashes_on_null_and_wild() {
         let mut p = libc_proc();
-        assert!(matches!(
-            strlen(&mut p, &[CVal::NULL]).unwrap_err(),
-            Fault::Segv { .. }
-        ));
+        assert!(matches!(strlen(&mut p, &[CVal::NULL]).unwrap_err(), Fault::Segv { .. }));
         assert!(matches!(
             strlen(&mut p, &[CVal::Ptr(WILD_ADDR)]).unwrap_err(),
             Fault::Segv { .. }
@@ -618,9 +615,7 @@ mod tests {
             CVal::Int(0)
         );
         assert!(
-            strncmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b), CVal::Int(4)])
-                .unwrap()
-                .as_int()
+            strncmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b), CVal::Int(4)]).unwrap().as_int()
                 < 0
         );
     }
@@ -630,7 +625,10 @@ mod tests {
         let mut p = libc_proc();
         let a = p.alloc_cstr("HeLLo");
         let b = p.alloc_cstr("hello");
-        assert_eq!(strcasecmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b)]).unwrap(), CVal::Int(0));
+        assert_eq!(
+            strcasecmp(&mut p, &[CVal::Ptr(a), CVal::Ptr(b)]).unwrap(),
+            CVal::Int(0)
+        );
         let c = p.alloc_cstr("HELLOZ");
         assert_eq!(
             strncasecmp(&mut p, &[CVal::Ptr(b), CVal::Ptr(c), CVal::Int(5)]).unwrap(),
@@ -661,9 +659,7 @@ mod tests {
         let hit = strstr(&mut p, &[CVal::Ptr(hay), CVal::Ptr(needle)]).unwrap();
         assert_eq!(hit.as_ptr(), hay.add(10));
         let missing = p.alloc_cstr("purple");
-        assert!(strstr(&mut p, &[CVal::Ptr(hay), CVal::Ptr(missing)])
-            .unwrap()
-            .is_null());
+        assert!(strstr(&mut p, &[CVal::Ptr(hay), CVal::Ptr(missing)]).unwrap().is_null());
         let empty = p.alloc_cstr("");
         let all = strstr(&mut p, &[CVal::Ptr(hay), CVal::Ptr(empty)]).unwrap();
         assert_eq!(all.as_ptr(), hay);
@@ -686,9 +682,7 @@ mod tests {
         let hit = strpbrk(&mut p, &[CVal::Ptr(s), CVal::Ptr(letters)]).unwrap();
         assert_eq!(hit.as_ptr(), s.add(3));
         let none = p.alloc_cstr("xyz");
-        assert!(strpbrk(&mut p, &[CVal::Ptr(s), CVal::Ptr(none)])
-            .unwrap()
-            .is_null());
+        assert!(strpbrk(&mut p, &[CVal::Ptr(s), CVal::Ptr(none)]).unwrap().is_null());
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub fn towctrans(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
 }
 
 const WCTYPE_NAMES: &[&str] = &[
-    "alnum", "alpha", "blank", "cntrl", "digit", "graph", "lower", "print", "punct", "space",
-    "upper", "xdigit",
+    "alnum", "alpha", "blank", "cntrl", "digit", "graph", "lower", "print", "punct",
+    "space", "upper", "xdigit",
 ];
 
 /// `wctype_t wctype(const char *name);`
@@ -148,9 +148,11 @@ mod tests {
     #[test]
     fn towctrans_maps() {
         let mut p = libc_proc();
-        let a = towctrans(&mut p, &[CVal::Int(b'A' as i64), CVal::Int(TRANS_TOLOWER)]).unwrap();
+        let a =
+            towctrans(&mut p, &[CVal::Int(b'A' as i64), CVal::Int(TRANS_TOLOWER)]).unwrap();
         assert_eq!(a, CVal::Int(b'a' as i64));
-        let b = towctrans(&mut p, &[CVal::Int(b'a' as i64), CVal::Int(TRANS_TOUPPER)]).unwrap();
+        let b =
+            towctrans(&mut p, &[CVal::Int(b'a' as i64), CVal::Int(TRANS_TOUPPER)]).unwrap();
         assert_eq!(b, CVal::Int(b'A' as i64));
         // Bad descriptor: identity + EINVAL, no crash.
         let c = towctrans(&mut p, &[CVal::Int(b'a' as i64), CVal::Int(99)]).unwrap();
@@ -178,8 +180,14 @@ mod tests {
     #[test]
     fn tow_simple() {
         let mut p = libc_proc();
-        assert_eq!(towlower(&mut p, &[CVal::Int(b'Z' as i64)]).unwrap(), CVal::Int(b'z' as i64));
-        assert_eq!(towupper(&mut p, &[CVal::Int(b'q' as i64)]).unwrap(), CVal::Int(b'Q' as i64));
+        assert_eq!(
+            towlower(&mut p, &[CVal::Int(b'Z' as i64)]).unwrap(),
+            CVal::Int(b'z' as i64)
+        );
+        assert_eq!(
+            towupper(&mut p, &[CVal::Int(b'q' as i64)]).unwrap(),
+            CVal::Int(b'Q' as i64)
+        );
         assert_eq!(towlower(&mut p, &[CVal::Int(5000)]).unwrap(), CVal::Int(5000));
     }
 }

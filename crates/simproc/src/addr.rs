@@ -67,7 +67,7 @@ impl VirtAddr {
 
     /// Returns `true` if the address is aligned to `align`.
     pub const fn is_aligned(self, align: u64) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 }
 

@@ -72,7 +72,7 @@ impl FuncTable {
     /// entry point of a registered function.
     pub fn by_addr(&self, addr: VirtAddr) -> Option<FuncId> {
         let off = addr.diff(TEXT_BASE);
-        if off == 0 || off % FUNC_STRIDE != 0 {
+        if off == 0 || !off.is_multiple_of(FUNC_STRIDE) {
             return None;
         }
         let idx = off / FUNC_STRIDE - 1;
@@ -105,10 +105,7 @@ impl FuncTable {
 
     /// Iterates `(id, name)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (FuncId(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (FuncId(i as u32), n.as_str()))
     }
 }
 

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn max_errno_covers_all_constants() {
-        for e in [EPERM, ENOENT, EINTR, EBADF, ENOMEM, EACCES, EFAULT, EEXIST, EINVAL, ERANGE, EOVERFLOW] {
+        for e in [
+            EPERM, ENOENT, EINTR, EBADF, ENOMEM, EACCES, EFAULT, EEXIST, EINVAL, ERANGE,
+            EOVERFLOW,
+        ] {
             assert!(e > 0 && e < MAX_ERRNO);
         }
     }

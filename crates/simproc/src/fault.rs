@@ -132,10 +132,7 @@ mod tests {
     fn tags_are_stable() {
         assert_eq!(Fault::Hang.tag(), "hang");
         assert_eq!(Fault::Exit(1).tag(), "exit");
-        assert_eq!(
-            Fault::segv(VirtAddr::new(0x10), Access::Read, "strlen").tag(),
-            "segv"
-        );
+        assert_eq!(Fault::segv(VirtAddr::new(0x10), Access::Read, "strlen").tag(), "segv");
         assert_eq!(Fault::abort("double free").tag(), "abort");
         assert_eq!(Fault::security("canary").tag(), "security-violation");
         assert_eq!(Fault::DivByZero { context: "div".into() }.tag(), "fpe");

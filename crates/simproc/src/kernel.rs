@@ -135,11 +135,7 @@ impl Kernel {
                 self.fs.entry(path.to_string()).or_default();
             }
         }
-        let pos = if mode == OpenMode::Append {
-            self.fs[path].len()
-        } else {
-            0
-        };
+        let pos = if mode == OpenMode::Append { self.fs[path].len() } else { 0 };
         let file = OpenFile { path: path.to_string(), mode, pos, eof: false };
         for (i, slot) in self.fds.iter_mut().enumerate() {
             if slot.is_none() {
@@ -156,10 +152,7 @@ impl Kernel {
         if fd < 3 {
             return Err(KernelError::BadFd);
         }
-        self.fds
-            .get_mut(idx)
-            .and_then(|s| s.as_mut())
-            .ok_or(KernelError::BadFd)
+        self.fds.get_mut(idx).and_then(|s| s.as_mut()).ok_or(KernelError::BadFd)
     }
 
     /// Closes a descriptor.

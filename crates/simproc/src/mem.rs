@@ -133,12 +133,7 @@ impl AddressSpace {
                 return Err(MapError::Overlap { existing: r.name.clone() });
             }
         }
-        let region = Region {
-            base,
-            data: vec![0; len as usize],
-            prot,
-            name: name.into(),
-        };
+        let region = Region { base, data: vec![0; len as usize], prot, name: name.into() };
         let idx = self.regions.partition_point(|r| r.base() < base);
         self.regions.insert(idx, region);
         Ok(())
@@ -177,18 +172,15 @@ impl AddressSpace {
             Some(i) => i,
             None => return Err(MapError::Overlap { existing: "<none>".into() }),
         };
-        let new_end = self.regions[i]
-            .end()
-            .get()
-            .checked_add(extra)
-            .ok_or(MapError::Wraps)?;
+        let new_end =
+            self.regions[i].end().get().checked_add(extra).ok_or(MapError::Wraps)?;
         if let Some(next) = self.regions.get(i + 1) {
             if new_end > next.base().get() {
                 return Err(MapError::Overlap { existing: next.name.clone() });
             }
         }
         let grow_by = extra as usize;
-        self.regions[i].data.extend(std::iter::repeat(0).take(grow_by));
+        self.regions[i].data.extend(std::iter::repeat_n(0, grow_by));
         Ok(())
     }
 
@@ -295,7 +287,7 @@ impl AddressSpace {
             let i = self.region_index(cur).expect("checked");
             let r = &mut self.regions[i];
             let off = cur.diff(r.base()) as usize;
-            let span = ((r.data.len() - off) as usize).min(src.len());
+            let span = (r.data.len() - off).min(src.len());
             r.data[off..off + span].copy_from_slice(&src[..span]);
             cur = cur.add(span as u64);
             src = &src[span..];
@@ -431,7 +423,10 @@ mod tests {
     #[test]
     fn map_rejects_zero_and_wrap() {
         let mut m = AddressSpace::new();
-        assert_eq!(m.map(VirtAddr::new(0x1000), 0, Prot::RW, "z"), Err(MapError::ZeroLength));
+        assert_eq!(
+            m.map(VirtAddr::new(0x1000), 0, Prot::RW, "z"),
+            Err(MapError::ZeroLength)
+        );
         assert_eq!(
             m.map(VirtAddr::new(u64::MAX - 4), 16, Prot::RW, "w"),
             Err(MapError::Wraps)
@@ -483,10 +478,7 @@ mod tests {
         m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
         m.map(VirtAddr::new(0x1020), 0x10, Prot::RW, "hi").unwrap();
         let err = m.write_bytes(VirtAddr::new(0x100c), &[0; 8]).unwrap_err();
-        assert_eq!(
-            err,
-            Fault::segv(VirtAddr::new(0x1010), Access::Write, "memory access")
-        );
+        assert_eq!(err, Fault::segv(VirtAddr::new(0x1010), Access::Write, "memory access"));
         // Failed writes are all-or-nothing.
         assert_eq!(m.read_bytes(VirtAddr::new(0x100c), 4).unwrap(), vec![0; 4]);
     }
@@ -516,10 +508,7 @@ mod tests {
         m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "heap").unwrap();
         m.map(VirtAddr::new(0x1020), 0x10, Prot::RW, "next").unwrap();
         m.grow(VirtAddr::new(0x1000), 0x10).unwrap();
-        assert!(matches!(
-            m.grow(VirtAddr::new(0x1000), 1),
-            Err(MapError::Overlap { .. })
-        ));
+        assert!(matches!(m.grow(VirtAddr::new(0x1000), 1), Err(MapError::Overlap { .. })));
     }
 
     #[test]

@@ -81,14 +81,11 @@ impl Proc {
     /// Creates a process with the standard segment layout mapped.
     pub fn new() -> Self {
         let mut mem = AddressSpace::new();
-        mem.map(layout::TEXT_BASE, layout::TEXT_SIZE, Prot::RX, "text")
-            .expect("layout");
+        mem.map(layout::TEXT_BASE, layout::TEXT_SIZE, Prot::RX, "text").expect("layout");
         mem.map(layout::RODATA_BASE, layout::RODATA_SIZE, Prot::R, "rodata")
             .expect("layout");
-        mem.map(layout::DATA_BASE, layout::DATA_SIZE, Prot::RW, "data")
-            .expect("layout");
-        mem.map(layout::HEAP_BASE, layout::HEAP_INITIAL, Prot::RW, "heap")
-            .expect("layout");
+        mem.map(layout::DATA_BASE, layout::DATA_SIZE, Prot::RW, "data").expect("layout");
+        mem.map(layout::HEAP_BASE, layout::HEAP_INITIAL, Prot::RW, "heap").expect("layout");
         mem.map(layout::STACK_BASE, layout::STACK_SIZE, Prot::RW, "[stack]")
             .expect("layout");
         Proc {
@@ -258,10 +255,7 @@ impl Proc {
     pub fn alloc_data(&mut self, bytes: &[u8]) -> VirtAddr {
         let addr = self.data_cursor.align_up(8);
         let end = addr.add(bytes.len() as u64);
-        assert!(
-            end <= layout::DATA_BASE.add(layout::DATA_SIZE),
-            "data segment exhausted"
-        );
+        assert!(end <= layout::DATA_BASE.add(layout::DATA_SIZE), "data segment exhausted");
         assert!(self.mem.poke_bytes(addr, bytes), "data segment not mapped");
         self.data_cursor = end;
         addr
@@ -271,10 +265,7 @@ impl Proc {
     pub fn alloc_data_zeroed(&mut self, len: u64) -> VirtAddr {
         let addr = self.data_cursor.align_up(8);
         let end = addr.add(len);
-        assert!(
-            end <= layout::DATA_BASE.add(layout::DATA_SIZE),
-            "data segment exhausted"
-        );
+        assert!(end <= layout::DATA_BASE.add(layout::DATA_SIZE), "data segment exhausted");
         self.data_cursor = end;
         addr
     }
@@ -411,10 +402,7 @@ impl Proc {
         }
         let window = 16 + SHELLCODE_MAGIC.len() as u64;
         if let Some(bytes) = self.mem.peek_bytes(target, window) {
-            if bytes
-                .windows(SHELLCODE_MAGIC.len())
-                .any(|w| w == SHELLCODE_MAGIC)
-            {
+            if bytes.windows(SHELLCODE_MAGIC.len()).any(|w| w == SHELLCODE_MAGIC) {
                 return CallTarget::Shellcode;
             }
         }
@@ -449,7 +437,11 @@ impl Proc {
     /// after setting the attacker's success flag), [`Fault::Abort`] for a
     /// registered function without an implementation, plus whatever the
     /// callee itself returns.
-    pub fn call_function(&mut self, target: VirtAddr, args: &[CVal]) -> Result<CVal, Fault> {
+    pub fn call_function(
+        &mut self,
+        target: VirtAddr,
+        args: &[CVal],
+    ) -> Result<CVal, Fault> {
         self.consume_fuel(10)?;
         let id = self.call_indirect(target)?;
         match self.host_fn(id) {

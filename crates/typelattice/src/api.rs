@@ -84,7 +84,8 @@ mod tests {
 
     fn strcpy_api() -> RobustApi {
         let t = TypedefTable::with_builtins();
-        let proto = parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
+        let proto =
+            parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
         RobustApi {
             library: "libsimc.so.1".into(),
             functions: vec![RobustFunction {

@@ -81,10 +81,7 @@ mod tests {
             classes("char *strcpy(char *dest, const char *src);"),
             vec![ArgClass::CStrOut, ArgClass::CStrIn]
         );
-        assert_eq!(
-            classes("size_t strlen(const char *s);"),
-            vec![ArgClass::CStrIn]
-        );
+        assert_eq!(classes("size_t strlen(const char *s);"), vec![ArgClass::CStrIn]);
         assert_eq!(
             classes("char *strncpy(char *dest, const char *src, size_t n);"),
             vec![ArgClass::CStrOut, ArgClass::CStrIn, ArgClass::Size]

@@ -215,14 +215,12 @@ pub fn values_for(
             CVal::Ptr(cx.heap_buf_filled(*n, 0xAB)),
             CVal::Ptr(cx.proc.alloc_cstr_literal("0123456789abcdef")),
         ],
-        SafePred::Writable(n) => vec![
-            CVal::Ptr(cx.heap_buf(*n)),
-            CVal::Ptr(cx.heap_buf((*n).max(1) * 4)),
-            {
+        SafePred::Writable(n) => {
+            vec![CVal::Ptr(cx.heap_buf(*n)), CVal::Ptr(cx.heap_buf((*n).max(1) * 4)), {
                 let d = cx.proc.alloc_data_zeroed((*n).max(8));
                 CVal::Ptr(d)
-            },
-        ],
+            }]
+        }
         SafePred::HoldsCStrOf { src } => {
             let len = pinned
                 .get(*src)
@@ -252,7 +250,8 @@ pub fn values_for(
                 .min(1 << 16);
             vec![CVal::Ptr(cx.heap_buf_filled(need.max(1), 0x5A))]
         }
-        SafePred::WritableAtLeastProduct { a, b } | SafePred::ReadableAtLeastProduct { a, b } => {
+        SafePred::WritableAtLeastProduct { a, b }
+        | SafePred::ReadableAtLeastProduct { a, b } => {
             let need = pinned
                 .get(*a)
                 .map(|v| v.as_usize())
@@ -261,7 +260,8 @@ pub fn values_for(
                 .min(1 << 16);
             vec![CVal::Ptr(cx.heap_buf_filled(need.max(1), 0))]
         }
-        SafePred::SizeFitsWritable { ptr, elem } | SafePred::SizeFitsReadable { ptr, elem } => {
+        SafePred::SizeFitsWritable { ptr, elem }
+        | SafePred::SizeFitsReadable { ptr, elem } => {
             let extent = pinned
                 .get(*ptr)
                 .and_then(|v| {
@@ -283,11 +283,9 @@ pub fn values_for(
         }
         SafePred::IntNonZero => {
             let bytes = int_width(class);
-            int_values(
-                &[1, -1, 255, 100_000, -100_000, i64::MAX, i64::MIN],
-                bytes,
-                |v| v != 0,
-            )
+            int_values(&[1, -1, 255, 100_000, -100_000, i64::MAX, i64::MIN], bytes, |v| {
+                v != 0
+            })
         }
         SafePred::IntInRange { min, max } => {
             let bytes = int_width(class);
@@ -384,7 +382,7 @@ mod tests {
         let mut cx = GenCx::new(&mut p, 7);
         let values = values_for(ArgClass::CStrIn, &SafePred::Always, &mut cx, &[]);
         assert!(values.iter().any(|v| v.is_null()));
-        assert!(values.iter().any(|v| *v == CVal::Ptr(layout::WILD_ADDR)));
+        assert!(values.contains(&CVal::Ptr(layout::WILD_ADDR)));
         let nonnull = values_for(ArgClass::CStrIn, &SafePred::NonNull, &mut cx, &[]);
         assert!(nonnull.iter().all(|v| !v.is_null()));
     }
@@ -415,10 +413,7 @@ mod tests {
             v.iter()
                 .map(|v| {
                     peek_cstr_len(cx.proc, v.as_ptr())
-                        .map(|l| {
-                            let b = cx.proc.mem.peek_bytes(v.as_ptr(), l).unwrap();
-                            b
-                        })
+                        .map(|l| cx.proc.mem.peek_bytes(v.as_ptr(), l).unwrap())
                         .unwrap_or_default()
                 })
                 .collect::<Vec<_>>()

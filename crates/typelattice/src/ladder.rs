@@ -40,12 +40,12 @@ pub struct ParamPlan {
 
 /// Index of the first parameter (other than `me`) whose class satisfies
 /// `pick`.
-fn find_param(classes: &[ArgClass], me: usize, pick: impl Fn(ArgClass) -> bool) -> Option<usize> {
-    classes
-        .iter()
-        .enumerate()
-        .find(|(i, c)| *i != me && pick(**c))
-        .map(|(i, _)| i)
+fn find_param(
+    classes: &[ArgClass],
+    me: usize,
+    pick: impl Fn(ArgClass) -> bool,
+) -> Option<usize> {
+    classes.iter().enumerate().find(|(i, c)| *i != me && pick(**c)).map(|(i, _)| i)
 }
 
 /// All `Size` parameters other than `me`.
@@ -60,10 +60,8 @@ fn size_params(classes: &[ArgClass], me: usize) -> Vec<usize> {
 
 /// `[any, nonnull, null-or-s1, s1, null-or-s2, s2, ...]`
 fn pointer_ladder(strengths: Vec<Rung>) -> Vec<Rung> {
-    let mut out = vec![
-        Rung::new("any", SafePred::Always),
-        Rung::new("nonnull", SafePred::NonNull),
-    ];
+    let mut out =
+        vec![Rung::new("any", SafePred::Always), Rung::new("nonnull", SafePred::NonNull)];
     for r in strengths {
         out.push(Rung::new(
             format!("null-or-{}", r.name),
@@ -76,7 +74,12 @@ fn pointer_ladder(strengths: Vec<Rung>) -> Vec<Rung> {
 
 /// The relational write-buffer rungs available to a writable pointer at
 /// `idx` with element size `elem`.
-fn writable_relations(classes: &[ArgClass], idx: usize, elem: u64, cstr: bool) -> Vec<Rung> {
+fn writable_relations(
+    classes: &[ArgClass],
+    idx: usize,
+    elem: u64,
+    cstr: bool,
+) -> Vec<Rung> {
     let mut out = Vec::new();
     if cstr {
         if let Some(src) = find_param(classes, idx, |c| c == ArgClass::CStrIn) {
@@ -151,11 +154,16 @@ pub fn ladder_for(classes: &[ArgClass], idx: usize) -> Vec<Rung> {
             ),
             Rung::new("valid-funcptr", SafePred::ValidFuncPtr),
         ],
-        ArgClass::FilePtr => pointer_ladder(vec![Rung::new("valid-file", SafePred::ValidFilePtr)]),
+        ArgClass::FilePtr => {
+            pointer_ladder(vec![Rung::new("valid-file", SafePred::ValidFilePtr)])
+        }
         ArgClass::Int(_) => vec![
             Rung::new("any", SafePred::Always),
             Rung::new("nonzero", SafePred::IntNonZero),
-            Rung::new("bounded(2^20)", SafePred::IntInRange { min: -(1 << 20), max: 1 << 20 }),
+            Rung::new(
+                "bounded(2^20)",
+                SafePred::IntInRange { min: -(1 << 20), max: 1 << 20 },
+            ),
             Rung::new("char-range", SafePred::IntInRange { min: -1, max: 255 }),
         ],
         ArgClass::Size => {
@@ -228,10 +236,7 @@ mod tests {
                 "holds-cstr(arg2)"
             ]
         );
-        assert_eq!(
-            names(&plans[1]),
-            vec!["any", "nonnull", "null-or-cstr", "cstr"]
-        );
+        assert_eq!(names(&plans[1]), vec!["any", "nonnull", "null-or-cstr", "cstr"]);
     }
 
     #[test]
@@ -259,7 +264,8 @@ mod tests {
 
     #[test]
     fn fread_gets_product_rung() {
-        let plans = plan_of("size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);");
+        let plans =
+            plan_of("size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);");
         assert!(plans[0]
             .ladder
             .iter()
@@ -307,7 +313,8 @@ mod tests {
 
     #[test]
     fn strtok_r_saveptr_ladder() {
-        let plans = plan_of("char *strtok_r(char *str, const char *delim, char **saveptr);");
+        let plans =
+            plan_of("char *strtok_r(char *str, const char *delim, char **saveptr);");
         assert_eq!(plans[2].class, ArgClass::CStrPtrPtr);
         assert_eq!(plans[2].ladder.last().unwrap().pred, SafePred::PtrToCStrOrNull);
     }
@@ -315,9 +322,6 @@ mod tests {
     #[test]
     fn funcptr_allows_null_rung() {
         let plans = plan_of("int atexit(void (*function)(void));");
-        assert_eq!(
-            names(&plans[0]),
-            vec!["any", "null-or-valid-funcptr", "valid-funcptr"]
-        );
+        assert_eq!(names(&plans[0]), vec!["any", "null-or-valid-funcptr", "valid-funcptr"]);
     }
 }

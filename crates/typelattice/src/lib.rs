@@ -36,9 +36,11 @@ mod class;
 mod gen;
 mod ladder;
 mod pred;
+mod repair;
 
 pub use api::{RobustApi, RobustFunction};
 pub use class::{classify, classify_params, ArgClass};
 pub use gen::{benign_value, trunc_int, values_for, GenCx};
 pub use ladder::{ladder_for, plan, ParamPlan, Rung};
 pub use pred::{peek_cstr_len, SafePred, CSTR_SCAN_CAP};
+pub use repair::{repair_hint, RepairHint};

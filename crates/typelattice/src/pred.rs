@@ -161,7 +161,23 @@ pub fn peek_cstr_len(proc: &Proc, addr: VirtAddr) -> Option<u64> {
     let mut cur = addr;
     // Read in chunks for speed.
     loop {
-        let chunk = proc.mem.peek_bytes(cur, 256.min(CSTR_SCAN_CAP - len + 1))?;
+        let want = 256.min(CSTR_SCAN_CAP - len + 1);
+        let chunk = match proc.mem.peek_bytes(cur, want) {
+            Some(c) => c,
+            None => {
+                // The chunk crosses the end of the mapping: fall back to
+                // byte-wise reads so a terminator in the mapped tail is
+                // still found.
+                let mut tail = Vec::new();
+                while (tail.len() as u64) < want {
+                    match proc.mem.peek_bytes(cur.add(tail.len() as u64), 1) {
+                        Some(b) => tail.push(b[0]),
+                        None => break,
+                    }
+                }
+                return tail.iter().position(|b| *b == 0).map(|pos| len + pos as u64);
+            }
+        };
         if let Some(pos) = chunk.iter().position(|b| *b == 0) {
             return Some(len + pos as u64);
         }
@@ -208,7 +224,7 @@ impl SafePred {
                 let Some(len) = peek_cstr_len(proc, src_val.as_ptr()) else {
                     return false;
                 };
-                writable(oracle, proc, own) >= len + 1
+                writable(oracle, proc, own) > len
             }
             SafePred::WritableAtLeastArg { size, elem } => {
                 let need = arg_u64(*size).saturating_mul(*elem);
@@ -258,7 +274,9 @@ impl SafePred {
                 }
                 None => false,
             },
-            SafePred::NullOr(inner) => own.is_null() || inner.check(proc, oracle, args, idx),
+            SafePred::NullOr(inner) => {
+                own.is_null() || inner.check(proc, oracle, args, idx)
+            }
             SafePred::HeapChunkOrNull => {
                 if own.is_null() {
                     return true;
@@ -337,12 +355,23 @@ mod tests {
         // There are zero bytes after the allocation (fresh heap), so this
         // IS terminated. Instead check peek_cstr_len on rodata end.
         assert!(peek_cstr_len(&p, buf).is_some());
-        let end = simproc::layout::DATA_BASE
-            .add(simproc::layout::DATA_SIZE)
-            .sub(4);
+        let end = simproc::layout::DATA_BASE.add(simproc::layout::DATA_SIZE).sub(4);
         p.mem.poke_bytes(end, &[1, 1, 1, 1]);
         assert_eq!(peek_cstr_len(&p, end), None);
         assert!(!SafePred::CStr.check(&p, &o, &[CVal::Ptr(end)], 0));
+    }
+
+    #[test]
+    fn terminated_string_at_mapping_end_is_measured() {
+        // Regression: the chunked scan used to peek 256 bytes at a time and
+        // gave up wholesale when the chunk crossed the end of the mapping,
+        // misjudging strings that ARE terminated within the final bytes.
+        let mut p = libc_proc();
+        let o = RegionOracle::new();
+        let end = simproc::layout::DATA_BASE.add(simproc::layout::DATA_SIZE).sub(4);
+        p.mem.poke_bytes(end, &[b'a', b'b', b'c', 0]);
+        assert_eq!(peek_cstr_len(&p, end), Some(3));
+        assert!(SafePred::CStr.check(&p, &o, &[CVal::Ptr(end)], 0));
     }
 
     #[test]
@@ -391,7 +420,12 @@ mod tests {
 
         let prod = SafePred::WritableAtLeastProduct { a: 1, b: 2 };
         assert!(prod.check(&p, &o, &[CVal::Ptr(buf), CVal::Int(8), CVal::Int(8)], 0));
-        assert!(!prod.check(&p, &o, &[CVal::Ptr(buf), CVal::Int(1 << 20), CVal::Int(1 << 20)], 0));
+        assert!(!prod.check(
+            &p,
+            &o,
+            &[CVal::Ptr(buf), CVal::Int(1 << 20), CVal::Int(1 << 20)],
+            0
+        ));
     }
 
     #[test]
@@ -422,7 +456,8 @@ mod tests {
         p.kernel.install_file("data", b"x".to_vec());
         let path = p.alloc_cstr("data");
         let mode = p.alloc_cstr("r");
-        let file = simlibc::stdio::fopen(&mut p, &[CVal::Ptr(path), CVal::Ptr(mode)]).unwrap();
+        let file =
+            simlibc::stdio::fopen(&mut p, &[CVal::Ptr(path), CVal::Ptr(mode)]).unwrap();
         assert!(SafePred::ValidFilePtr.check(&p, &o, &[file], 0));
         let fake = p.alloc_data_zeroed(16);
         assert!(!SafePred::ValidFilePtr.check(&p, &o, &[CVal::Ptr(fake)], 0));

@@ -1,0 +1,207 @@
+//! Predicate-directed argument repair: for every violated [`SafePred`]
+//! the lattice knows *why* the argument is outside the robust type, so it
+//! can also suggest the weakest transformation that brings the argument
+//! back inside it. The healing wrapper (the `heal args` micro-generator)
+//! executes these suggestions before the call instead of rejecting it —
+//! the failure-oblivious / self-healing response layered on top of plain
+//! containment.
+//!
+//! A hint is advice, not a guarantee: the executor re-checks every
+//! predicate after applying a repair and falls back to containment when
+//! the argument is still outside the contract.
+
+use crate::pred::SafePred;
+
+/// The repair a violated predicate suggests for its argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairHint {
+    /// Make the argument a readable NUL-terminated string: terminate it
+    /// in place at the end of its writable extent, or substitute a fresh
+    /// empty string when the buffer is unusable.
+    MakeCStr,
+    /// Substitute a fresh zeroed buffer of at least `min` bytes.
+    SubstituteBuffer {
+        /// Minimum usable size of the replacement buffer.
+        min: u64,
+    },
+    /// Make the destination (this argument) able to hold the C string at
+    /// argument `src`: truncate the source to the destination's writable
+    /// extent, or give the destination a large-enough fresh buffer.
+    FitDestToSrc {
+        /// Index of the source-string argument.
+        src: usize,
+    },
+    /// Clamp the count at argument `count` so `count * elem` fits this
+    /// pointer's extent (substituting a buffer first when the pointer has
+    /// no extent at all).
+    ClampCountToExtent {
+        /// Index of the size argument to clamp.
+        count: usize,
+        /// Element size multiplier.
+        elem: u64,
+        /// Whether the extent that matters is writable (else readable).
+        writable: bool,
+    },
+    /// Clamp factor `b` so `arg[a] * arg[b]` fits this pointer's extent.
+    ClampProductToExtent {
+        /// First factor argument index (element size, kept).
+        a: usize,
+        /// Second factor argument index (count, clamped).
+        b: usize,
+        /// Whether the extent that matters is writable (else readable).
+        writable: bool,
+    },
+    /// Clamp this size argument so `self * elem` fits the extent of the
+    /// buffer at argument `ptr`.
+    ClampSelfToExtentOf {
+        /// Index of the buffer argument.
+        ptr: usize,
+        /// Element size multiplier.
+        elem: u64,
+        /// Whether the extent that matters is writable (else readable).
+        writable: bool,
+    },
+    /// Clamp this size argument below `n`.
+    ClampSelfBelow(u64),
+    /// Clamp this integer into `[min, max]`.
+    ClampSelfRange {
+        /// Lower bound.
+        min: i64,
+        /// Upper bound.
+        max: i64,
+    },
+    /// Substitute the integer constant.
+    SubstituteInt(i64),
+    /// Substitute a writable 8-byte cell holding NULL (the
+    /// `char **endptr` shape).
+    MakePtrCell,
+    /// Substitute NULL — safe when the callee treats NULL as a benign
+    /// no-op (`free(NULL)`) or documents optional-NULL semantics.
+    SubstituteNull,
+    /// No safe repair exists; the executor must contain instead.
+    Unfixable,
+}
+
+/// The repair suggested for an argument violating `pred`.
+///
+/// Invariant relied on by the healing wrapper: executing the hint
+/// faithfully produces an argument vector for which `pred` holds (the
+/// executor still re-checks — substitutions can fail under memory
+/// pressure).
+pub fn repair_hint(pred: &SafePred) -> RepairHint {
+    match pred {
+        // `Always` cannot be violated; if asked anyway, there is nothing
+        // meaningful to change.
+        SafePred::Always => RepairHint::Unfixable,
+        SafePred::NonNull => RepairHint::SubstituteBuffer { min: 16 },
+        SafePred::Readable(n) | SafePred::Writable(n) => {
+            RepairHint::SubstituteBuffer { min: (*n).max(1) }
+        }
+        SafePred::CStr => RepairHint::MakeCStr,
+        SafePred::HoldsCStrOf { src } => RepairHint::FitDestToSrc { src: *src },
+        SafePred::WritableAtLeastArg { size, elem } => {
+            RepairHint::ClampCountToExtent { count: *size, elem: *elem, writable: true }
+        }
+        SafePred::ReadableAtLeastArg { size, elem } => {
+            RepairHint::ClampCountToExtent { count: *size, elem: *elem, writable: false }
+        }
+        SafePred::WritableAtLeastProduct { a, b } => {
+            RepairHint::ClampProductToExtent { a: *a, b: *b, writable: true }
+        }
+        SafePred::ReadableAtLeastProduct { a, b } => {
+            RepairHint::ClampProductToExtent { a: *a, b: *b, writable: false }
+        }
+        SafePred::SizeFitsWritable { ptr, elem } => {
+            RepairHint::ClampSelfToExtentOf { ptr: *ptr, elem: *elem, writable: true }
+        }
+        SafePred::SizeFitsReadable { ptr, elem } => {
+            RepairHint::ClampSelfToExtentOf { ptr: *ptr, elem: *elem, writable: false }
+        }
+        SafePred::SizeBelow(n) => RepairHint::ClampSelfBelow(*n),
+        SafePred::IntNonZero => RepairHint::SubstituteInt(1),
+        SafePred::IntInRange { min, max } => {
+            RepairHint::ClampSelfRange { min: *min, max: *max }
+        }
+        SafePred::PtrToCStrOrNull => RepairHint::MakePtrCell,
+        // No safe default exists for code or stream handles: calling
+        // through a manufactured one would be worse than refusing.
+        SafePred::ValidFuncPtr | SafePred::ValidFilePtr => RepairHint::Unfixable,
+        // NULL trivially satisfies the optional-NULL contract, and the
+        // callee documents NULL as handled.
+        SafePred::NullOr(_) => RepairHint::SubstituteNull,
+        // `free(NULL)` / `realloc(NULL, n)` are defined no-ops.
+        SafePred::HeapChunkOrNull => RepairHint::SubstituteNull,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_cover_every_predicate() {
+        let preds = [
+            SafePred::Always,
+            SafePred::NonNull,
+            SafePred::Readable(8),
+            SafePred::Writable(8),
+            SafePred::CStr,
+            SafePred::HoldsCStrOf { src: 1 },
+            SafePred::WritableAtLeastArg { size: 2, elem: 1 },
+            SafePred::ReadableAtLeastArg { size: 2, elem: 4 },
+            SafePred::WritableAtLeastProduct { a: 1, b: 2 },
+            SafePred::ReadableAtLeastProduct { a: 1, b: 2 },
+            SafePred::SizeFitsWritable { ptr: 0, elem: 1 },
+            SafePred::SizeFitsReadable { ptr: 0, elem: 1 },
+            SafePred::SizeBelow(4096),
+            SafePred::IntNonZero,
+            SafePred::IntInRange { min: -1, max: 255 },
+            SafePred::PtrToCStrOrNull,
+            SafePred::ValidFuncPtr,
+            SafePred::ValidFilePtr,
+            SafePred::NullOr(Box::new(SafePred::CStr)),
+            SafePred::HeapChunkOrNull,
+        ];
+        for p in preds {
+            // Every predicate has a deterministic suggestion (possibly
+            // `Unfixable` — that, too, is a decision).
+            let h1 = repair_hint(&p);
+            let h2 = repair_hint(&p);
+            assert_eq!(h1, h2, "{p}");
+        }
+    }
+
+    #[test]
+    fn unfixable_only_where_no_safe_default_exists() {
+        assert_eq!(repair_hint(&SafePred::ValidFuncPtr), RepairHint::Unfixable);
+        assert_eq!(repair_hint(&SafePred::ValidFilePtr), RepairHint::Unfixable);
+        assert_ne!(repair_hint(&SafePred::CStr), RepairHint::Unfixable);
+        assert_ne!(repair_hint(&SafePred::HeapChunkOrNull), RepairHint::Unfixable);
+    }
+
+    #[test]
+    fn relational_repairs_reference_the_right_argument() {
+        assert_eq!(
+            repair_hint(&SafePred::HoldsCStrOf { src: 3 }),
+            RepairHint::FitDestToSrc { src: 3 }
+        );
+        assert_eq!(
+            repair_hint(&SafePred::WritableAtLeastArg { size: 1, elem: 2 }),
+            RepairHint::ClampCountToExtent { count: 1, elem: 2, writable: true }
+        );
+        assert_eq!(
+            repair_hint(&SafePred::SizeFitsReadable { ptr: 0, elem: 4 }),
+            RepairHint::ClampSelfToExtentOf { ptr: 0, elem: 4, writable: false }
+        );
+    }
+
+    #[test]
+    fn int_repairs_target_the_domain() {
+        assert_eq!(repair_hint(&SafePred::IntNonZero), RepairHint::SubstituteInt(1));
+        assert_eq!(
+            repair_hint(&SafePred::IntInRange { min: 0, max: 9 }),
+            RepairHint::ClampSelfRange { min: 0, max: 9 }
+        );
+        assert_eq!(repair_hint(&SafePred::SizeBelow(10)), RepairHint::ClampSelfBelow(10));
+    }
+}

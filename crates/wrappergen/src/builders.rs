@@ -9,18 +9,20 @@ use std::sync::Arc;
 
 use guardian::{CanaryRegistry, GuardOracle};
 use parking_lot::Mutex;
-use profiler::{Collector, Stats};
+use profiler::{Collector, HealingJournal, Stats};
 use simproc::HostFn;
 use typelattice::{RobustApi, SafePred};
 
 use crate::codegen::{
-    generate_function, ArgCheckGen, CallCounterGen, CallerGen, CanaryCheckGen,
-    CodegenCx, CollectErrorsGen, ExectimeGen, FuncErrorsGen, MicroGen, PrototypeGen,
+    generate_function, ArgCheckGen, CallCounterGen, CallerGen, CanaryCheckGen, CodegenCx,
+    CollectErrorsGen, ExectimeGen, FuncErrorsGen, HealArgsGen, MicroGen, PrototypeGen,
+    RetryGen,
 };
 use crate::hooks::{
-    ArgCheckHook, CallCounterHook, CanaryHook, CheckResponse, CollectErrorsHook, ExectimeHook,
+    ArgCheckHook, CallCounterHook, CanaryHook, CollectErrorsHook, ExectimeHook,
     ExitReportHook, FuncErrorsHook,
 };
+use crate::policy::PolicyEngine;
 use crate::runtime::{CallLog, Hook, WrappedFn};
 
 /// The wrapper types of Figure 1.
@@ -39,6 +41,10 @@ pub enum WrapperKind {
     /// wrapper the micro-generator architecture composes ("it is easy to
     /// introduce new functionalities into the existing system").
     Tracing,
+    /// Repairs out-of-contract arguments in place before the call and
+    /// retries faulting calls with sanitized arguments, journaling every
+    /// action — graceful degradation instead of rejection.
+    Healing,
     /// A hand-composed wrapper built with [`WrapperBuilder`].
     Custom,
 }
@@ -51,6 +57,7 @@ impl WrapperKind {
             WrapperKind::Security => "libhealers_secure.so.1",
             WrapperKind::Profiling => "libhealers_profile.so.1",
             WrapperKind::Tracing => "libhealers_trace.so.1",
+            WrapperKind::Healing => "libhealers_heal.so.1",
             WrapperKind::Custom => "libhealers_custom.so.1",
         }
     }
@@ -62,6 +69,7 @@ impl WrapperKind {
             WrapperKind::Security => "security",
             WrapperKind::Profiling => "profiling",
             WrapperKind::Tracing => "tracing",
+            WrapperKind::Healing => "healing",
             WrapperKind::Custom => "custom",
         }
     }
@@ -84,6 +92,8 @@ pub struct WrapperLibrary {
     pub registry: Arc<CanaryRegistry>,
     /// Shared call log.
     pub log: CallLog,
+    /// Healing audit journal (populated by healing wrappers).
+    pub journal: Arc<HealingJournal>,
 }
 
 impl WrapperLibrary {
@@ -118,8 +128,12 @@ impl WrapperLibrary {
 pub struct WrapperConfig {
     /// Application name stamped into shipped documents.
     pub app_name: String,
-    /// Where profiling wrappers ship their document at `exit`.
+    /// Where profiling and healing wrappers ship their document at
+    /// `exit`.
     pub collector: Option<Collector>,
+    /// Policy engine for healing wrappers; defaults to
+    /// [`PolicyEngine::healing`].
+    pub policy: Option<PolicyEngine>,
 }
 
 /// Whether a predicate guards *writes* (what the security wrapper
@@ -141,19 +155,18 @@ fn security_relevant(pred: &SafePred) -> bool {
 const CANARY_FUNCS: &[&str] = &["malloc", "calloc", "free", "realloc", "exit"];
 
 fn lookup_impl(name: &str) -> Option<HostFn> {
-    simlibc::find_symbol(name)
-        .map(|s| s.imp)
-        .or_else(|| {
-            simlibc::math::math_symbols()
-                .into_iter()
-                .find(|s| s.name == name)
-                .map(|s| s.imp)
-        })
+    simlibc::find_symbol(name).map(|s| s.imp).or_else(|| {
+        simlibc::math::math_symbols().into_iter().find(|s| s.name == name).map(|s| s.imp)
+    })
 }
 
 /// Builds one of the standard wrapper libraries from a robust API,
 /// binding the simulated system libraries' implementations.
-pub fn build_wrapper(kind: WrapperKind, api: &RobustApi, config: &WrapperConfig) -> WrapperLibrary {
+pub fn build_wrapper(
+    kind: WrapperKind,
+    api: &RobustApi,
+    config: &WrapperConfig,
+) -> WrapperLibrary {
     build_wrapper_with_impls(kind, api, config, &lookup_impl)
 }
 
@@ -169,7 +182,9 @@ pub fn build_wrapper_with_impls(
     let stats = Arc::new(Stats::new());
     let registry = Arc::new(CanaryRegistry::new());
     let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+    let journal = Arc::new(HealingJournal::new());
     let oracle = GuardOracle::new(Arc::clone(&registry));
+    let engine = config.policy.clone().unwrap_or_else(PolicyEngine::healing);
 
     let mut fns = BTreeMap::new();
     let mut source = String::new();
@@ -201,7 +216,7 @@ pub fn build_wrapper_with_impls(
                     f.preds.clone(),
                     f.proto.ret.clone(),
                     oracle.clone(),
-                    CheckResponse::Contain,
+                    PolicyEngine::containment(),
                 )));
                 gens.push(Box::new(ArgCheckGen));
             }
@@ -209,7 +224,9 @@ pub fn build_wrapper_with_impls(
                 let sec_preds: Vec<SafePred> = f
                     .preds
                     .iter()
-                    .map(|p| if security_relevant(p) { p.clone() } else { SafePred::Always })
+                    .map(
+                        |p| if security_relevant(p) { p.clone() } else { SafePred::Always },
+                    )
                     .collect();
                 let has_sec = sec_preds.iter().any(|p| *p != SafePred::Always);
                 let is_canary = CANARY_FUNCS.contains(&name.as_str());
@@ -225,7 +242,7 @@ pub fn build_wrapper_with_impls(
                         sec_preds,
                         f.proto.ret.clone(),
                         oracle.clone(),
-                        CheckResponse::Terminate,
+                        PolicyEngine::terminating(),
                     )));
                 }
                 gens.push(Box::new(CanaryCheckGen));
@@ -233,6 +250,39 @@ pub fn build_wrapper_with_impls(
             WrapperKind::Tracing => {
                 hooks.push(Arc::new(crate::hooks::LogCallHook::new(Arc::clone(&log))));
                 gens.push(Box::new(crate::codegen::LogCallGen));
+            }
+            WrapperKind::Healing => {
+                // Statistics ride along so the exit document carries the
+                // call profile next to the healing journal.
+                hooks.push(Arc::new(ExectimeHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(CollectErrorsHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
+                hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
+                if name == "exit" {
+                    if let Some(collector) = &config.collector {
+                        hooks.push(Arc::new(ExitReportHook::with_journal(
+                            Arc::clone(&stats),
+                            config.app_name.clone(),
+                            kind.tag(),
+                            collector.clone(),
+                            Arc::clone(&journal),
+                        )));
+                    }
+                } else {
+                    if f.skipped || !f.has_checks() {
+                        continue; // nothing to heal, nothing to pay for
+                    }
+                    preds_for_codegen = f.preds.clone();
+                    hooks.push(Arc::new(ArgCheckHook::with_journal(
+                        f.preds.clone(),
+                        f.proto.ret.clone(),
+                        oracle.clone(),
+                        engine.clone(),
+                        Arc::clone(&journal),
+                    )));
+                    gens.push(Box::new(HealArgsGen));
+                    gens.push(Box::new(RetryGen));
+                }
             }
             WrapperKind::Profiling => {
                 hooks.push(Arc::new(ExectimeHook::new(Arc::clone(&stats))));
@@ -257,7 +307,8 @@ pub fn build_wrapper_with_impls(
         }
 
         gens.push(Box::new(CallerGen));
-        let cx = CodegenCx { proto: &f.proto, func_index: index, preds: &preds_for_codegen };
+        let cx =
+            CodegenCx { proto: &f.proto, func_index: index, preds: &preds_for_codegen };
         let gen_refs: Vec<&dyn MicroGen> = gens.iter().map(|g| g.as_ref()).collect();
         source.push_str(&generate_function(&gen_refs, &cx));
         source.push('\n');
@@ -273,6 +324,7 @@ pub fn build_wrapper_with_impls(
         stats,
         registry,
         log,
+        journal,
     }
 }
 
@@ -327,6 +379,7 @@ impl WrapperBuilder {
             stats: Arc::new(Stats::new()),
             registry: Arc::new(CanaryRegistry::new()),
             log: Arc::new(Mutex::new(Vec::new())),
+            journal: Arc::new(HealingJournal::new()),
         }
     }
 }
@@ -365,7 +418,8 @@ mod tests {
 
     #[test]
     fn robustness_wrapper_wraps_only_checked_functions() {
-        let lib = build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
+        let lib =
+            build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
         assert_eq!(lib.wrapped_names(), vec!["free", "strcpy", "strlen"]);
         assert!(lib.get("abs").is_none(), "no checks, no overhead");
         assert!(lib.source.contains("healers_check"));
@@ -374,7 +428,8 @@ mod tests {
 
     #[test]
     fn robustness_wrapper_contains_crashes() {
-        let lib = build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
+        let lib =
+            build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
         let strlen = lib.get("strlen").unwrap();
         let mut p = libc_proc();
         let r = strlen.call(&mut p, &[CVal::NULL]).unwrap();
@@ -384,7 +439,8 @@ mod tests {
 
     #[test]
     fn security_wrapper_wraps_allocators_and_writers() {
-        let lib = build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
+        let lib =
+            build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
         let names = lib.wrapped_names();
         assert!(names.contains(&"malloc"));
         assert!(names.contains(&"free"));
@@ -396,7 +452,8 @@ mod tests {
 
     #[test]
     fn security_wrapper_terminates_overflowing_strcpy() {
-        let lib = build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
+        let lib =
+            build_wrapper(WrapperKind::Security, &tiny_api(), &WrapperConfig::default());
         let mut p = libc_proc();
         let malloc = lib.get("malloc").unwrap();
         let strcpy = lib.get("strcpy").unwrap();
@@ -416,6 +473,7 @@ mod tests {
         let config = WrapperConfig {
             app_name: "demo".into(),
             collector: Some(server.collector()),
+            policy: None,
         };
         let lib = build_wrapper(WrapperKind::Profiling, &tiny_api(), &config);
         assert_eq!(lib.len(), 6, "profiling wraps every function");
@@ -432,6 +490,42 @@ mod tests {
         assert_eq!(collected.submissions.len(), 1);
         assert_eq!(collected.submissions[0].wrapper, "profiling");
         assert!(lib.source.contains("micro-gen call counter"));
+    }
+
+    #[test]
+    fn healing_wrapper_repairs_and_journals() {
+        let server = profiler::CollectionServer::start();
+        let config = WrapperConfig {
+            app_name: "healdemo".into(),
+            collector: Some(server.collector()),
+            policy: None, // defaults to PolicyEngine::healing()
+        };
+        let lib = build_wrapper(WrapperKind::Healing, &tiny_api(), &config);
+        assert_eq!(lib.kind, WrapperKind::Healing);
+        let names = lib.wrapped_names();
+        assert!(names.contains(&"strcpy") && names.contains(&"exit"), "{names:?}");
+        assert!(!names.contains(&"abs"), "nothing to heal, nothing to pay for");
+        assert!(lib.source.contains("micro-gen heal args"), "{}", lib.source);
+        assert!(lib.source.contains("micro-gen retry"));
+
+        let mut p = libc_proc();
+        // strlen(NULL) heals to 0 instead of EINVAL/-1.
+        let r = lib.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(0));
+        // A wild free() becomes free(NULL).
+        lib.get("free")
+            .unwrap()
+            .call(&mut p, &[CVal::Ptr(simproc::VirtAddr::new(0x40))])
+            .unwrap();
+        assert_eq!(lib.journal.len(), 2, "{:?}", lib.journal.snapshot());
+
+        // The exit document ships the journal.
+        let err = lib.get("exit").unwrap().call(&mut p, &[CVal::Int(0)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(0));
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        assert_eq!(collected.submissions[0].wrapper, "healing");
+        assert!(collected.submissions[0].document.contains("<healing events=\"2\">"));
     }
 
     #[test]

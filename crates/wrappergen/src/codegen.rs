@@ -81,12 +81,8 @@ impl MicroGen for PrototypeGen {
     }
 
     fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
-        let mut out = vec![format!(
-            "{} {}({})",
-            cx.proto.ret,
-            cx.proto.name,
-            cx.param_decls()
-        )];
+        let mut out =
+            vec![format!("{} {}({})", cx.proto.ret, cx.proto.name, cx.param_decls())];
         out.push("{".into());
         if !cx.ret_is_void() {
             out.push(format!("  {} ret;", cx.proto.ret));
@@ -148,10 +144,7 @@ impl MicroGen for ExectimeGen {
     fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
         vec![
             "  rdtsc(exectime_end);".into(),
-            format!(
-                "  exectime[{}] += exectime_end - exectime_start;",
-                cx.func_index
-            ),
+            format!("  exectime[{}] += exectime_end - exectime_start;", cx.func_index),
         ]
     }
 }
@@ -267,6 +260,85 @@ impl MicroGen for ArgCheckGen {
     }
 }
 
+/// `heal args`: the healing wrapper's precondition tests — a violated
+/// robust type is *repaired* before the call (`healers_heal` rewrites the
+/// argument per the violated predicate's repair hint); only when no safe
+/// repair exists does the fragment fall back to the robustness wrapper's
+/// rejection.
+#[derive(Debug, Clone, Copy)]
+pub struct HealArgsGen;
+
+impl MicroGen for HealArgsGen {
+    fn name(&self) -> &'static str {
+        "heal args"
+    }
+
+    fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, pred) in cx.preds.iter().enumerate() {
+            if *pred == SafePred::Always {
+                continue;
+            }
+            let name = cx
+                .proto
+                .params
+                .get(i)
+                .map(|p| p.display_name(i))
+                .unwrap_or_else(|| format!("a{}", i + 1));
+            out.push(format!("  if (!healers_check({name}, \"{pred}\"))"));
+            out.push(format!(
+                "    if (!healers_heal(&{name}, \"{pred}\")) {{ errno = EINVAL; {} }}",
+                error_return(cx.proto)
+            ));
+        }
+        out
+    }
+
+    fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// `retry`: the healing wrapper's fault backstop — when the original
+/// faults despite the argument repairs, re-sanitize the arguments and
+/// re-invoke it a bounded number of times before containing the fault.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryGen;
+
+impl MicroGen for RetryGen {
+    fn name(&self) -> &'static str {
+        "retry"
+    }
+
+    fn prefix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
+        vec!["  int healing_attempt = 0;".into(), "retry_call:".into()]
+    }
+
+    fn postfix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
+        let mut out = vec![
+            "  if (healers_faulted()) {".into(),
+            "    if (healing_attempt++ < HEAL_MAX_RETRIES) {".into(),
+            "      healers_resanitize();".into(),
+            "      goto retry_call;".into(),
+            "    }".into(),
+            "    errno = EINVAL;".into(),
+        ];
+        if !cx.ret_is_void() {
+            out.push(format!("    ret = {};", containment_literal(&cx.proto.ret)));
+        }
+        out.push("  }".into());
+        out
+    }
+}
+
+fn containment_literal(ret: &CType) -> &'static str {
+    match ret {
+        CType::Ptr { .. } | CType::FuncPtr { .. } | CType::Array { .. } => "NULL",
+        CType::Float | CType::Double => "0.0",
+        _ => "-1",
+    }
+}
+
 /// `canary check`: the security wrapper's fragments — over-allocation
 /// plus guard-word verification on the allocator family, bounded writes
 /// elsewhere; violations terminate the process.
@@ -326,11 +398,7 @@ impl MicroGen for LogCallGen {
     }
 
     fn prefix(&self, cx: &CodegenCx<'_>) -> Vec<String> {
-        vec![format!(
-            "  healers_log(\"{}({})\");",
-            cx.proto.name,
-            cx.arg_list()
-        )]
+        vec![format!("  healers_log(\"{}({})\");", cx.proto.name, cx.arg_list())]
     }
 
     fn postfix(&self, _cx: &CodegenCx<'_>) -> Vec<String> {
@@ -446,7 +514,8 @@ mod tests {
     #[test]
     fn arg_check_emits_one_test_per_nontrivial_pred() {
         let t = TypedefTable::with_builtins();
-        let proto = parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
+        let proto =
+            parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
         let preds = vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr];
         let cx = CodegenCx { proto: &proto, func_index: 1, preds: &preds };
         let code = generate_function(&[&PrototypeGen, &ArgCheckGen, &CallerGen], &cx);
@@ -469,6 +538,65 @@ mod tests {
         let code = generate_function(&[&PrototypeGen, &CanaryCheckGen, &CallerGen], &cx);
         assert!(code.contains("healers_canary_ok(ptr)"), "{code}");
         assert!(code.contains("heap smashing detected"));
+    }
+
+    #[test]
+    fn healing_structure_mirrors_figure3() {
+        // The healing wrapper's landmark sequence: check-then-heal
+        // prefixes in order, retry scaffolding around the call, fault
+        // backstop in reverse postfix order — Figure 3's discipline with
+        // the new micro-generators slotted in.
+        let t = TypedefTable::with_builtins();
+        let proto =
+            parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
+        let preds = vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr];
+        let cx = CodegenCx { proto: &proto, func_index: 42, preds: &preds };
+        let code =
+            generate_function(&[&PrototypeGen, &HealArgsGen, &RetryGen, &CallerGen], &cx);
+
+        let landmarks = [
+            "/* Prefix code by micro-gen prototype */",
+            "char* strcpy(char* dest, const char* src)",
+            "  char* ret;",
+            "/* Prefix code by micro-gen heal args */",
+            "  if (!healers_check(dest, \"writable buffer >= strlen(arg2)+1\"))",
+            "    if (!healers_heal(&dest, \"writable buffer >= strlen(arg2)+1\")) { errno = EINVAL; return NULL; }",
+            "  if (!healers_check(src, ",
+            "    if (!healers_heal(&src, ",
+            "/* Prefix code by micro-gen retry */",
+            "  int healing_attempt = 0;",
+            "retry_call:",
+            "/* Postfix code by micro-gen caller */",
+            "  ret = (*addr_strcpy)(dest, src);",
+            "/* Postfix code by micro-gen retry */",
+            "  if (healers_faulted()) {",
+            "    if (healing_attempt++ < HEAL_MAX_RETRIES) {",
+            "      healers_resanitize();",
+            "      goto retry_call;",
+            "    ret = NULL;",
+            "/* Postfix code by micro-gen prototype */",
+            "  return ret;",
+        ];
+        let mut pos = 0;
+        for l in landmarks {
+            let found = code[pos..]
+                .find(l)
+                .unwrap_or_else(|| panic!("missing or out of order: {l}\n---\n{code}"));
+            pos += found + l.len();
+        }
+    }
+
+    #[test]
+    fn retry_fragment_handles_void_returns() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("void free(void *ptr);", &t).unwrap();
+        let preds = vec![SafePred::HeapChunkOrNull];
+        let cx = CodegenCx { proto: &proto, func_index: 3, preds: &preds };
+        let code =
+            generate_function(&[&PrototypeGen, &HealArgsGen, &RetryGen, &CallerGen], &cx);
+        assert!(code.contains("healers_heal(&ptr"), "{code}");
+        assert!(code.contains("errno = EINVAL; return;"), "{code}");
+        assert!(!code.contains("ret ="), "void function has no ret: {code}");
     }
 
     #[test]

@@ -4,35 +4,31 @@ use std::sync::Arc;
 
 use cdecl::CType;
 use guardian::{CanaryRegistry, GuardOracle, CANARY_LEN};
-use profiler::{Collector, Stats};
-use simproc::{CVal, Fault, VirtAddr};
+use profiler::{Collector, HealAction, HealEvent, HealingJournal, Stats};
+use simproc::{errno, CVal, Fault, VirtAddr};
 use typelattice::SafePred;
 
-use crate::runtime::{reject, CallCx, CallLog, Hook, HookAction};
+use crate::policy::{apply_repair, Policy, PolicyEngine, ViolationClass};
+use crate::runtime::{
+    containment_value, reject, CallCx, CallLog, FaultDecision, Hook, HookAction,
+};
 
-/// How a wrapper responds to a contract violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CheckResponse {
-    /// Contain the fault: `errno = EINVAL`, return an error value —
-    /// the robustness wrapper (keeps the application running).
-    Contain,
-    /// Terminate the process — the security wrapper (§3.4: "detect such
-    /// buffer overflows and terminate the attacker's program").
-    Terminate,
-}
-
-/// `arg check`: evaluates the robust argument types derived by the fault
-/// injector before every call.
+/// `arg check` / `heal args`: evaluates the robust argument types derived
+/// by the fault injector before every call and responds to violations
+/// according to the wrapper's [`PolicyEngine`] — contain, terminate,
+/// repair in place, or skip the call obliviously. Healing actions are
+/// recorded in the attached [`HealingJournal`].
 pub struct ArgCheckHook {
     preds: Vec<SafePred>,
     ret: CType,
     oracle: GuardOracle,
-    response: CheckResponse,
+    engine: PolicyEngine,
+    journal: Option<Arc<HealingJournal>>,
 }
 
 impl std::fmt::Debug for ArgCheckHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ArgCheckHook({:?})", self.response)
+        write!(f, "ArgCheckHook({:?})", self.engine)
     }
 }
 
@@ -42,9 +38,72 @@ impl ArgCheckHook {
         preds: Vec<SafePred>,
         ret: CType,
         oracle: GuardOracle,
-        response: CheckResponse,
+        engine: PolicyEngine,
     ) -> Self {
-        ArgCheckHook { preds, ret, oracle, response }
+        ArgCheckHook { preds, ret, oracle, engine, journal: None }
+    }
+
+    /// Builds the hook with a healing audit journal attached.
+    pub fn with_journal(
+        preds: Vec<SafePred>,
+        ret: CType,
+        oracle: GuardOracle,
+        engine: PolicyEngine,
+        journal: Arc<HealingJournal>,
+    ) -> Self {
+        ArgCheckHook { preds, ret, oracle, engine, journal: Some(journal) }
+    }
+
+    fn journal(
+        &self,
+        func: &str,
+        arg: Option<usize>,
+        pred: Option<&SafePred>,
+        class: Option<ViolationClass>,
+        action: HealAction,
+        detail: impl Into<String>,
+    ) {
+        if let Some(j) = &self.journal {
+            j.record(HealEvent {
+                func: func.to_string(),
+                arg,
+                violation: pred.map(|p| p.to_string()).unwrap_or_default(),
+                class: class.map(|c| c.tag().to_string()).unwrap_or_default(),
+                action,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// One healing pass: repairs every currently-violated healable
+    /// predicate once. Returns the number of repairs applied, or `None`
+    /// when a violation had no safe repair.
+    fn heal_pass(&self, cx: &mut CallCx<'_>) -> Option<usize> {
+        let mut repaired = 0;
+        for (i, pred) in self.preds.iter().enumerate() {
+            if *pred == SafePred::Always {
+                continue;
+            }
+            if pred.check(cx.proc, &self.oracle, &cx.args, i) {
+                continue;
+            }
+            let class = ViolationClass::of(pred, cx.args[i]);
+            match apply_repair(cx.proc, &self.oracle, &mut cx.args, pred, i) {
+                Some(desc) => {
+                    self.journal(
+                        cx.func,
+                        Some(i),
+                        Some(pred),
+                        Some(class),
+                        HealAction::Repaired,
+                        desc,
+                    );
+                    repaired += 1;
+                }
+                None => return None,
+            }
+        }
+        Some(repaired)
     }
 }
 
@@ -54,22 +113,163 @@ impl Hook for ArgCheckHook {
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
-        for (i, pred) in self.preds.iter().enumerate() {
-            if *pred == SafePred::Always {
-                continue;
+        // Repairs can shift which predicate is violated (a substituted
+        // destination makes the copy fit; a clamped count makes the
+        // buffer large enough), so healing re-checks from the top after
+        // every repair. The pass budget guarantees convergence: each
+        // pass either repairs at least one argument or exits.
+        let budget = 2 * self.preds.len() + 4;
+        let mut passes = 0;
+        'recheck: loop {
+            for (i, pred) in self.preds.iter().enumerate() {
+                if *pred == SafePred::Always {
+                    continue;
+                }
+                if pred.check(cx.proc, &self.oracle, &cx.args, i) {
+                    continue;
+                }
+                let class = ViolationClass::of(pred, cx.args[i]);
+                match self.engine.resolve(cx.func, class) {
+                    Policy::Contain => {
+                        self.journal(
+                            cx.func,
+                            Some(i),
+                            Some(pred),
+                            Some(class),
+                            HealAction::Contained,
+                            "rejected with EINVAL",
+                        );
+                        return reject(cx.proc, &self.ret);
+                    }
+                    Policy::Terminate => {
+                        self.journal(
+                            cx.func,
+                            Some(i),
+                            Some(pred),
+                            Some(class),
+                            HealAction::Terminated,
+                            "process terminated",
+                        );
+                        return HookAction::Deny(Fault::security(format!(
+                            "{}: argument {} violates robust type `{pred}`",
+                            cx.func,
+                            i + 1
+                        )));
+                    }
+                    Policy::Oblivious => {
+                        self.journal(
+                            cx.func,
+                            Some(i),
+                            Some(pred),
+                            Some(class),
+                            HealAction::Obliviated,
+                            "call skipped, benign value returned",
+                        );
+                        return HookAction::ShortCircuit(containment_value(&self.ret));
+                    }
+                    Policy::Heal | Policy::Retry { .. } => {
+                        passes += 1;
+                        if passes > budget {
+                            self.journal(
+                                cx.func,
+                                Some(i),
+                                Some(pred),
+                                Some(class),
+                                HealAction::Contained,
+                                "healing did not converge",
+                            );
+                            return reject(cx.proc, &self.ret);
+                        }
+                        match apply_repair(cx.proc, &self.oracle, &mut cx.args, pred, i) {
+                            Some(desc) => {
+                                self.journal(
+                                    cx.func,
+                                    Some(i),
+                                    Some(pred),
+                                    Some(class),
+                                    HealAction::Repaired,
+                                    desc,
+                                );
+                                continue 'recheck;
+                            }
+                            None => {
+                                self.journal(
+                                    cx.func,
+                                    Some(i),
+                                    Some(pred),
+                                    Some(class),
+                                    HealAction::Contained,
+                                    "no safe repair exists",
+                                );
+                                return reject(cx.proc, &self.ret);
+                            }
+                        }
+                    }
+                }
             }
-            if !pred.check(cx.proc, &self.oracle, &cx.args, i) {
-                return match self.response {
-                    CheckResponse::Contain => reject(cx.proc, &self.ret),
-                    CheckResponse::Terminate => HookAction::Deny(Fault::security(format!(
-                        "{}: argument {} violates robust type `{pred}`",
-                        cx.func,
-                        i + 1
-                    ))),
-                };
+            return HookAction::Continue;
+        }
+    }
+
+    fn on_fault(&self, cx: &mut CallCx<'_>, fault: &Fault, attempt: u32) -> FaultDecision {
+        match self.engine.fault_policy(cx.func) {
+            // The classic wrappers let residual faults propagate — the
+            // caller (or the fault injector's outcome scale) sees them.
+            Policy::Contain | Policy::Terminate => FaultDecision::Propagate,
+            Policy::Oblivious => {
+                self.journal(
+                    cx.func,
+                    None,
+                    None,
+                    None,
+                    HealAction::Obliviated,
+                    format!("fault swallowed: {fault}"),
+                );
+                FaultDecision::Substitute(containment_value(&self.ret))
+            }
+            Policy::Heal => {
+                self.journal(
+                    cx.func,
+                    None,
+                    None,
+                    None,
+                    HealAction::Substituted,
+                    format!("fault contained: {fault}"),
+                );
+                cx.proc.set_errno(errno::EINVAL);
+                FaultDecision::Substitute(containment_value(&self.ret))
+            }
+            Policy::Retry { max_attempts } => {
+                // A hang means the call's fuel is already spent; running
+                // it again can only hang again.
+                let retryable = !matches!(fault, Fault::Hang);
+                if retryable && attempt < max_attempts {
+                    if let Some(repaired) = self.heal_pass(cx) {
+                        if repaired > 0 {
+                            self.journal(
+                                cx.func,
+                                None,
+                                None,
+                                None,
+                                HealAction::Retried,
+                                format!("retry {} after {fault}", attempt + 1),
+                            );
+                            return FaultDecision::Retry;
+                        }
+                    }
+                }
+                self.journal(
+                    cx.func,
+                    None,
+                    None,
+                    None,
+                    HealAction::Substituted,
+                    format!("fault contained: {fault}"),
+                );
+                cx.proc.set_errno(errno::EINVAL);
+                FaultDecision::Substitute(containment_value(&self.ret))
             }
         }
-        HookAction::Continue
     }
 }
 
@@ -350,12 +550,7 @@ impl Hook for LogCallHook {
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
-        let args = cx
-            .args
-            .iter()
-            .map(|a| a.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let args = cx.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ");
         self.log.lock().push(format!("{}({args})", cx.func));
         HookAction::Continue
     }
@@ -370,6 +565,7 @@ pub struct ExitReportHook {
     app: String,
     wrapper: &'static str,
     collector: Collector,
+    journal: Option<Arc<HealingJournal>>,
 }
 
 impl ExitReportHook {
@@ -380,7 +576,25 @@ impl ExitReportHook {
         wrapper: &'static str,
         collector: Collector,
     ) -> Self {
-        ExitReportHook { stats, app: app.into(), wrapper, collector }
+        ExitReportHook { stats, app: app.into(), wrapper, collector, journal: None }
+    }
+
+    /// Builds the hook with a healing audit journal: the shipped document
+    /// carries the `<healing>` event stream next to the call statistics.
+    pub fn with_journal(
+        stats: Arc<Stats>,
+        app: impl Into<String>,
+        wrapper: &'static str,
+        collector: Collector,
+        journal: Arc<HealingJournal>,
+    ) -> Self {
+        ExitReportHook {
+            stats,
+            app: app.into(),
+            wrapper,
+            collector,
+            journal: Some(journal),
+        }
     }
 }
 
@@ -391,7 +605,16 @@ impl Hook for ExitReportHook {
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
         if cx.func == "exit" {
-            let doc = profiler::to_xml(&self.app, self.wrapper, &self.stats.snapshot());
+            let snap = self.stats.snapshot();
+            let doc = match &self.journal {
+                Some(j) => profiler::to_xml_with_healing(
+                    &self.app,
+                    self.wrapper,
+                    &snap,
+                    &j.snapshot(),
+                ),
+                None => profiler::to_xml(&self.app, self.wrapper, &snap),
+            };
             self.collector.submit(doc);
         }
         HookAction::Continue
@@ -421,9 +644,13 @@ mod tests {
             vec![SafePred::CStr],
             p.ret.clone(),
             oracle(),
-            CheckResponse::Contain,
+            PolicyEngine::containment(),
         );
-        let f = WrappedFn::new(p, simlibc::find_symbol("strlen").unwrap().imp, vec![Arc::new(hook)]);
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
         let mut proc = libc_proc();
         let r = f.call(&mut proc, &[CVal::NULL]).unwrap();
         assert_eq!(r, CVal::Int(-1));
@@ -440,14 +667,124 @@ mod tests {
             vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
             p.ret.clone(),
             oracle(),
-            CheckResponse::Terminate,
+            PolicyEngine::terminating(),
         );
-        let f = WrappedFn::new(p, simlibc::find_symbol("strcpy").unwrap().imp, vec![Arc::new(hook)]);
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strcpy").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
         let mut proc = libc_proc();
         let small = simlibc::heap::malloc(&mut proc, 4).unwrap();
         let big = proc.alloc_cstr(&"A".repeat(100));
         let err = f.call(&mut proc, &[CVal::Ptr(small), CVal::Ptr(big)]).unwrap_err();
         assert!(matches!(err, Fault::SecurityViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn heal_policy_repairs_an_oversized_strcpy() {
+        let p = proto("char *strcpy(char *dest, const char *src);");
+        let journal = Arc::new(HealingJournal::new());
+        let o = oracle();
+        let hook = ArgCheckHook::with_journal(
+            vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+            p.ret.clone(),
+            o.clone(),
+            PolicyEngine::healing(),
+            Arc::clone(&journal),
+        );
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strcpy").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
+        let mut proc = libc_proc();
+        let small = simlibc::heap::malloc(&mut proc, 4).unwrap();
+        use simproc::ExtentOracle as _;
+        let ext = o.writable_extent(&proc, small).unwrap();
+        let big = proc.alloc_cstr(&"A".repeat(100));
+        // The overflow becomes a truncated, in-bounds copy.
+        let r = f.call(&mut proc, &[CVal::Ptr(small), CVal::Ptr(big)]).unwrap();
+        assert_eq!(r, CVal::Ptr(small));
+        assert_eq!(proc.read_cstr_lossy(small), "A".repeat(ext as usize - 1));
+        assert_eq!(
+            journal.count(profiler::HealAction::Repaired),
+            1,
+            "{:?}",
+            journal.snapshot()
+        );
+    }
+
+    #[test]
+    fn heal_policy_substitutes_for_a_null_strlen() {
+        let p = proto("size_t strlen(const char *s);");
+        let journal = Arc::new(HealingJournal::new());
+        let hook = ArgCheckHook::with_journal(
+            vec![SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            PolicyEngine::healing(),
+            Arc::clone(&journal),
+        );
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
+        let mut proc = libc_proc();
+        // strlen(NULL) heals to strlen("") == 0 instead of crashing or
+        // being rejected.
+        let r = f.call(&mut proc, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(0));
+        assert!(!journal.is_empty());
+        let ev = &journal.snapshot()[0];
+        assert_eq!(ev.class, "null-pointer");
+        assert_eq!(ev.action, profiler::HealAction::Repaired);
+    }
+
+    #[test]
+    fn oblivious_policy_skips_the_call_without_errno() {
+        let p = proto("size_t strlen(const char *s);");
+        let hook = ArgCheckHook::new(
+            vec![SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            PolicyEngine::new(crate::policy::Policy::Oblivious),
+        );
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
+        let mut proc = libc_proc();
+        let errno_before = proc.errno();
+        let r = f.call(&mut proc, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(-1), "containment value, manufactured");
+        assert_eq!(proc.errno(), errno_before, "errno untouched");
+    }
+
+    #[test]
+    fn unfixable_violation_falls_back_to_containment() {
+        let p = proto("int fclose(FILE *stream);");
+        let journal = Arc::new(HealingJournal::new());
+        let hook = ArgCheckHook::with_journal(
+            vec![SafePred::ValidFilePtr],
+            p.ret.clone(),
+            oracle(),
+            PolicyEngine::healing(),
+            Arc::clone(&journal),
+        );
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("fclose").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
+        let mut proc = libc_proc();
+        let bogus = proc.alloc_data_zeroed(16);
+        let r = f.call(&mut proc, &[CVal::Ptr(bogus)]).unwrap();
+        assert_eq!(r, CVal::Int(-1));
+        assert_eq!(proc.errno(), EINVAL);
+        assert_eq!(journal.count(profiler::HealAction::Contained), 1);
     }
 
     fn canary_wrapped(name: &str, registry: &Arc<CanaryRegistry>) -> WrappedFn {
@@ -486,15 +823,14 @@ mod tests {
         assert_eq!(registry.extent_within(buf), Some(32));
         assert_eq!(p.read_bytes(buf, 32).unwrap(), vec![0u8; 32]);
 
-        let grown = realloc.call(&mut p, &[CVal::Ptr(buf), CVal::Int(64)]).unwrap().as_ptr();
+        let grown =
+            realloc.call(&mut p, &[CVal::Ptr(buf), CVal::Int(64)]).unwrap().as_ptr();
         assert_eq!(registry.extent_within(grown), Some(64));
         assert_eq!(registry.len(), 1, "old registration released");
 
         // realloc of a corrupted block is denied.
         p.mem.write_u8(grown.add(64), 1).unwrap();
-        let err = realloc
-            .call(&mut p, &[CVal::Ptr(grown), CVal::Int(128)])
-            .unwrap_err();
+        let err = realloc.call(&mut p, &[CVal::Ptr(grown), CVal::Int(128)]).unwrap_err();
         assert!(matches!(err, Fault::SecurityViolation { .. }));
     }
 
@@ -551,18 +887,13 @@ mod tests {
         // A call that fails gracefully (bad FILE*).
         let fake = proc.alloc_data_zeroed(16);
         let buf = proc.alloc_data_zeroed(16);
-        let r = f
-            .call(&mut proc, &[CVal::Ptr(buf), CVal::Int(16), CVal::Ptr(fake)])
-            .unwrap();
+        let r =
+            f.call(&mut proc, &[CVal::Ptr(buf), CVal::Int(16), CVal::Ptr(fake)]).unwrap();
         assert!(r.is_null());
         let snap = stats.snapshot();
         assert_eq!(snap.per_func["fgets"].calls, 1);
         assert!(snap.per_func["fgets"].cycles > 0);
-        assert_eq!(
-            snap.per_func["fgets"].errnos[&simproc::errno::EBADF],
-            1,
-            "{snap:?}"
-        );
+        assert_eq!(snap.per_func["fgets"].errnos[&simproc::errno::EBADF], 1, "{snap:?}");
         assert_eq!(snap.global_errnos[&simproc::errno::EBADF], 1);
     }
 

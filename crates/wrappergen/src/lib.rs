@@ -46,13 +46,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod builders;
 pub mod codegen;
 pub mod hooks;
-mod builders;
+pub mod policy;
 mod runtime;
 
 pub use builders::{
     build_wrapper, build_wrapper_with_impls, WrapperBuilder, WrapperConfig, WrapperKind,
     WrapperLibrary,
 };
-pub use runtime::{containment_value, reject, CallCx, CallLog, Hook, HookAction, WrappedFn};
+pub use policy::{apply_repair, Policy, PolicyEngine, ViolationClass, SUBSTITUTE_CAP};
+pub use runtime::{
+    containment_value, reject, CallCx, CallLog, FaultDecision, Hook, HookAction, WrappedFn,
+};

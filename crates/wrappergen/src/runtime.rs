@@ -26,6 +26,20 @@ pub enum HookAction {
     Deny(Fault),
 }
 
+/// What a hook decides about a fault raised by the original function —
+/// the healing wrapper's last line of defence. Polled in hook order; the
+/// first non-[`FaultDecision::Propagate`] answer wins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultDecision {
+    /// Let the fault propagate to the caller (every non-healing wrapper).
+    Propagate,
+    /// Re-invoke the original with the (possibly re-sanitized) arguments
+    /// in `CallCx::args`.
+    Retry,
+    /// Swallow the fault and return this value instead.
+    Substitute(CVal),
+}
+
 /// Per-call context shared by the hooks.
 #[derive(Debug)]
 pub struct CallCx<'a> {
@@ -59,6 +73,14 @@ pub trait Hook: Send + Sync {
     fn after(&self, cx: &mut CallCx<'_>, result: &mut Result<CVal, Fault>) {
         let _ = (cx, result);
     }
+
+    /// Consulted when the original function faults (except [`Fault::Exit`],
+    /// which is the process-termination contract and always propagates).
+    /// `attempt` counts prior retries of this call. Default: propagate.
+    fn on_fault(&self, cx: &mut CallCx<'_>, fault: &Fault, attempt: u32) -> FaultDecision {
+        let _ = (cx, fault, attempt);
+        FaultDecision::Propagate
+    }
 }
 
 /// A function wrapped with an ordered hook pipeline. Cheap to clone.
@@ -82,12 +104,7 @@ impl fmt::Debug for WrappedFn {
             f,
             "WrappedFn({}, hooks=[{}])",
             self.inner.name,
-            self.inner
-                .hooks
-                .iter()
-                .map(|h| h.name())
-                .collect::<Vec<_>>()
-                .join(", ")
+            self.inner.hooks.iter().map(|h| h.name()).collect::<Vec<_>>().join(", ")
         )
     }
 }
@@ -173,7 +190,39 @@ impl WrappedFn {
         }
         let mut result = match early {
             Some(r) => r,
-            None => (self.inner.original)(cx.proc, &cx.args),
+            None => {
+                // Call the original; on a fault, poll the hooks that ran
+                // for a healing decision (bounded retries).
+                let mut attempt: u32 = 0;
+                loop {
+                    match (self.inner.original)(cx.proc, &cx.args) {
+                        Ok(v) => break Ok(v),
+                        // Exit is the termination contract, not a fault to
+                        // heal — the exit-report hook depends on seeing it.
+                        Err(f @ Fault::Exit(_)) => break Err(f),
+                        Err(f) => {
+                            let mut decision = FaultDecision::Propagate;
+                            for hook in self.inner.hooks[..ran].iter() {
+                                match hook.on_fault(&mut cx, &f, attempt) {
+                                    FaultDecision::Propagate => {}
+                                    d => {
+                                        decision = d;
+                                        break;
+                                    }
+                                }
+                            }
+                            match decision {
+                                FaultDecision::Propagate => break Err(f),
+                                FaultDecision::Retry => {
+                                    attempt += 1;
+                                    continue;
+                                }
+                                FaultDecision::Substitute(v) => break Ok(v),
+                            }
+                        }
+                    }
+                }
+            }
         };
         for hook in self.inner.hooks[..ran].iter().rev() {
             hook.after(&mut cx, &mut result);
@@ -210,11 +259,8 @@ mod tests {
     use simlibc::testutil::libc_proc;
 
     fn strlen_proto() -> Prototype {
-        parse_prototype(
-            "size_t strlen(const char *s);",
-            &TypedefTable::with_builtins(),
-        )
-        .unwrap()
+        parse_prototype("size_t strlen(const char *s);", &TypedefTable::with_builtins())
+            .unwrap()
     }
 
     struct Tracer {
@@ -319,6 +365,66 @@ mod tests {
         let mut p = libc_proc();
         let r = f.call(&mut p, &[CVal::Int((1i64 << 40) + 65)]).unwrap();
         assert_eq!(r, CVal::Int(1), "'A' is alphabetic");
+    }
+
+    #[test]
+    fn fault_hooks_can_substitute_and_retry() {
+        struct Healer {
+            fix: simproc::VirtAddr,
+        }
+        impl Hook for Healer {
+            fn name(&self) -> &'static str {
+                "healer"
+            }
+            fn on_fault(
+                &self,
+                cx: &mut CallCx<'_>,
+                _fault: &Fault,
+                attempt: u32,
+            ) -> FaultDecision {
+                if attempt == 0 {
+                    cx.args[0] = CVal::Ptr(self.fix);
+                    FaultDecision::Retry
+                } else {
+                    FaultDecision::Substitute(CVal::Int(-7))
+                }
+            }
+        }
+        let mut p = libc_proc();
+        let good = p.alloc_cstr("heal");
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(Healer { fix: good })],
+        );
+        // NULL faults once, the hook swaps in a valid string, the retry
+        // succeeds with the repaired argument.
+        let r = f.call(&mut p, &[CVal::NULL]).unwrap();
+        assert_eq!(r, CVal::Int(4));
+    }
+
+    #[test]
+    fn exit_fault_is_never_healed() {
+        struct Swallow;
+        impl Hook for Swallow {
+            fn name(&self) -> &'static str {
+                "swallow"
+            }
+            fn on_fault(&self, _cx: &mut CallCx<'_>, _f: &Fault, _a: u32) -> FaultDecision {
+                FaultDecision::Substitute(CVal::Void)
+            }
+        }
+        let proto =
+            parse_prototype("void exit(int status);", &TypedefTable::with_builtins())
+                .unwrap();
+        let f = WrappedFn::new(
+            proto,
+            simlibc::find_symbol("exit").unwrap().imp,
+            vec![Arc::new(Swallow)],
+        );
+        let mut p = libc_proc();
+        let err = f.call(&mut p, &[CVal::Int(3)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(3), "exit is a contract, not a fault");
     }
 
     #[test]

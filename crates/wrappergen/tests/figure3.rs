@@ -76,13 +76,8 @@ fn micro_generator_subsets_compose() {
     let t = TypedefTable::with_builtins();
     let proto = parse_prototype("wctrans_t wctrans(const char* a1);", &t).unwrap();
     let cx = CodegenCx { proto: &proto, func_index: 1206, preds: &[] };
-    let without_exectime: Vec<&dyn MicroGen> = vec![
-        &PrototypeGen,
-        &CollectErrorsGen,
-        &FuncErrorsGen,
-        &CallCounterGen,
-        &CallerGen,
-    ];
+    let without_exectime: Vec<&dyn MicroGen> =
+        vec![&PrototypeGen, &CollectErrorsGen, &FuncErrorsGen, &CallCounterGen, &CallerGen];
     let code = generate_function(&without_exectime, &cx);
     assert!(!code.contains("rdtsc"));
     assert!(code.contains("collect_errors_err"));

@@ -44,8 +44,8 @@ fn main() {
 
     println!("Ablation: what each detector contributes to the derived contracts\n");
     println!(
-        "{:<38} {:>7} {:>9}   {}",
-        "variant", "tests", "failures", "derived type of strcpy's dest"
+        "{:<38} {:>7} {:>9}   derived type of strcpy's dest",
+        "variant", "tests", "failures"
     );
     println!("{}", "-".repeat(100));
     for (label, config) in variants {

@@ -1,0 +1,99 @@
+//! Self-healing wrappers: repair the arguments, don't just refuse them.
+//!
+//! ```sh
+//! cargo run --release --example healing
+//! ```
+//!
+//! 1. Fault-inject a slice of `libsimc.so.1` to derive its robust API.
+//! 2. Generate BOTH a containment (robustness) wrapper and a healing
+//!    wrapper from the same API.
+//! 3. Replay every recorded crash through each and compare the outcome
+//!    distributions: healing converts contained calls into passes.
+//! 4. Print the healing audit journal — every repair is accounted for.
+
+use healers::injector::{replay_cases, run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::simproc::{CVal, Fault, Proc};
+use healers::{
+    process_factory, Policy, PolicyEngine, Toolkit, WrapperConfig, WrapperKind,
+    WrapperLibrary,
+};
+
+fn dispatch_through(
+    wrapper: &WrapperLibrary,
+) -> impl FnMut(&str, &mut Proc, &[CVal]) -> Result<CVal, Fault> + '_ {
+    move |name, p, args| match wrapper.get(name) {
+        Some(w) => w.call(p, args),
+        None => (healers::simlibc::find_symbol(name).unwrap().imp)(p, args),
+    }
+}
+
+fn main() {
+    let toolkit = Toolkit::new();
+    let cfg = CampaignConfig { pair_values: 6, fuel: 400_000, ..CampaignConfig::default() };
+
+    // --- 1. derive the robust API --------------------------------------
+    println!("== Step 1: fault-injection campaign ==\n");
+    let names = [
+        "strlen", "strcpy", "strcat", "strcmp", "strchr", "strdup", "memcpy", "memset",
+        "atoi", "free", "puts",
+    ];
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| names.contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign("libsimc.so.1", &targets, process_factory, &cfg);
+    println!(
+        "{} injected calls, {} failures recorded\n",
+        campaign.total_tests(),
+        campaign.total_failures()
+    );
+
+    // --- 2. generate both wrappers -------------------------------------
+    println!("== Step 2: containment wrapper vs healing wrapper ==\n");
+    let containment = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    // The policy engine is configurable per function and per violation
+    // class; here `free` degrades to Oblivious (drop the call) while
+    // everything else heals and retries.
+    let policy = PolicyEngine::healing().with_func("free", Policy::Oblivious);
+    let healing = toolkit.generate_healing_wrapper(
+        &campaign.api,
+        &WrapperConfig { policy: Some(policy), ..WrapperConfig::default() },
+    );
+    println!("--- healing wrapper source (excerpt) ---");
+    for line in healing.source.lines().take(24) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // --- 3. replay the crash corpus through both ------------------------
+    println!("== Step 3: outcome distributions over the crash corpus ==\n");
+    let contained_summary = {
+        let mut d = dispatch_through(&containment);
+        replay_cases(&campaign.crashes, &targets, process_factory, &cfg, &mut d)
+    };
+    let healed_summary = {
+        let mut d = dispatch_through(&healing);
+        replay_cases(&campaign.crashes, &targets, process_factory, &cfg, &mut d)
+    };
+    println!("containment: {:?}", contained_summary.histogram);
+    println!("healing:     {:?}\n", healed_summary.histogram);
+    assert_eq!(healed_summary.still_failing, 0);
+
+    // --- 4. the audit journal -------------------------------------------
+    println!("== Step 4: healing audit journal ==\n");
+    let events = healing.journal.snapshot();
+    let report = healers::profiler::render_report_with_healing(
+        "healing-demo",
+        &healers::profiler::Snapshot::default(),
+        &events,
+    );
+    // The per-event log is long; print the summary head.
+    for line in report.lines().skip(2).take(14) {
+        println!("{line}");
+    }
+    println!("... ({} events total)", events.len());
+}

@@ -59,10 +59,7 @@ fn netd_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
     s.call("atexit", &[CVal::Ptr(logger_addr)])?;
 
     // Process the request: THE BUG — up to 256 bytes into 64.
-    s.call(
-        "fread",
-        &[CVal::Ptr(session), CVal::Int(1), CVal::Int(256), f],
-    )?;
+    s.call("fread", &[CVal::Ptr(session), CVal::Int(1), CVal::Int(256), f])?;
 
     // Done with the session.
     s.call("free", &[CVal::Ptr(session)])?;
@@ -74,9 +71,7 @@ fn netd(request: Option<Vec<u8>>) -> Executable {
     let mut exe = Executable::new(
         "netd",
         &["libsimc.so.1"],
-        &[
-            "puts", "printf", "malloc", "free", "atexit", "fopen", "fread", "fclose", "exit",
-        ],
+        &["puts", "printf", "malloc", "free", "atexit", "fopen", "fread", "fclose", "exit"],
         netd_entry,
     )
     .setuid();
@@ -95,9 +90,7 @@ fn netd(request: Option<Vec<u8>>) -> Executable {
 static REQUEST: std::sync::Mutex<Option<Vec<u8>>> = std::sync::Mutex::new(None);
 
 fn netd_with_benign_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
-    s.proc()
-        .kernel
-        .install_file("request.bin", b"GET /status".to_vec());
+    s.proc().kernel.install_file("request.bin", b"GET /status".to_vec());
     netd_entry(s)
 }
 
@@ -134,10 +127,7 @@ fn craft_payload(session_addr: u64) -> Vec<u8> {
 }
 
 fn parse_leaked_address(stdout: &str) -> u64 {
-    let line = stdout
-        .lines()
-        .find(|l| l.contains("session buffer at"))
-        .expect("info leak");
+    let line = stdout.lines().find(|l| l.contains("session buffer at")).expect("info leak");
     let hex = line.rsplit("0x").next().expect("hex");
     u64::from_str_radix(hex.trim(), 16).expect("address")
 }
@@ -179,9 +169,8 @@ fn main() {
         "security wrapper interposes {} functions (canaries on the allocator family)\n",
         wrapper.len()
     );
-    let protected = toolkit
-        .run_protected(&netd(Some(payload)), &[&wrapper])
-        .expect("links");
+    let protected =
+        toolkit.run_protected(&netd(Some(payload)), &[&wrapper]).expect("links");
     println!("{}", protected.stdout);
     println!("daemon status: {:?}", protected.status);
     println!("root shell spawned: {}", protected.shell_spawned);

@@ -47,10 +47,7 @@ fn wordcount_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
     let mode = s.literal("r");
     let f = s.call("fopen", &[CVal::Ptr(path), CVal::Ptr(mode)])?;
     let buf = s.malloc(512)?;
-    let n = s.call(
-        "fread",
-        &[CVal::Ptr(buf), CVal::Int(1), CVal::Int(511), f],
-    )?;
+    let n = s.call("fread", &[CVal::Ptr(buf), CVal::Int(1), CVal::Int(511), f])?;
     s.proc().write_u8(buf.add(n.as_usize()), 0)?;
     s.call("fclose", &[f])?;
 
@@ -87,12 +84,7 @@ fn wordcount_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
     let cmp = s.proc().register_host_fn("cmp_records", cmp_records);
     s.call(
         "qsort",
-        &[
-            CVal::Ptr(table),
-            CVal::Int(entries as i64),
-            CVal::Int(16),
-            CVal::Ptr(cmp),
-        ],
+        &[CVal::Ptr(table), CVal::Int(entries as i64), CVal::Int(16), CVal::Ptr(cmp)],
     )?;
 
     // Print the top words.
@@ -133,6 +125,7 @@ fn main() {
     let config = WrapperConfig {
         app_name: "wordcount".into(),
         collector: Some(server.collector()),
+        policy: None,
     };
     let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
 

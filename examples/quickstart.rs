@@ -37,12 +37,8 @@ fn main() {
         .into_iter()
         .filter(|t| ["strlen", "getenv", "strcpy", "puts"].contains(&t.name.as_str()))
         .collect();
-    let campaign = run_campaign(
-        "libsimc.so.1",
-        &targets,
-        process_factory,
-        &CampaignConfig::default(),
-    );
+    let campaign =
+        run_campaign("libsimc.so.1", &targets, process_factory, &CampaignConfig::default());
     println!("{}", render_table(&campaign));
 
     // --- 2. generate the robustness wrapper ----------------------------

@@ -8,9 +8,7 @@
 //! cargo run --release --example wrap_library
 //! ```
 
-use healers::injector::{
-    render_table, replay_cases, run_campaign, to_xml, CampaignConfig,
-};
+use healers::injector::{render_table, replay_cases, run_campaign, to_xml, CampaignConfig};
 use healers::simproc::{CVal, Fault, Proc};
 use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
 
@@ -82,7 +80,8 @@ fn main() {
             }
         }
     };
-    let summary = replay_cases(&campaign.crashes, &targets, process_factory, &config, &mut dispatch);
+    let summary =
+        replay_cases(&campaign.crashes, &targets, process_factory, &config, &mut dispatch);
     println!(
         "replayed {} recorded robustness failures through the wrapper:",
         summary.total
@@ -93,8 +92,8 @@ fn main() {
         "  other containment : {}",
         summary.total - summary.still_failing - summary.graceful - summary.contained
     );
-    let contained_pct =
-        100.0 * (summary.total - summary.still_failing) as f64 / summary.total.max(1) as f64;
+    let contained_pct = 100.0 * (summary.total - summary.still_failing) as f64
+        / summary.total.max(1) as f64;
     println!("  containment rate  : {contained_pct:.1}%");
     if summary.still_failing > 0 {
         println!("\nuncontained failures by function (fail/replayed):");
@@ -110,8 +109,5 @@ fn main() {
 
     // The campaign XML for the collection server.
     let campaign_xml = to_xml(&campaign);
-    println!(
-        "\ncampaign document: {} bytes of self-describing XML",
-        campaign_xml.len()
-    );
+    println!("\ncampaign document: {} bytes of self-describing XML", campaign_xml.len());
 }

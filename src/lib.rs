@@ -49,8 +49,11 @@ pub use wrappergen;
 pub use healers_core::{as_preload_library, process_factory, Toolkit};
 pub use injector::{CampaignConfig, CampaignResult};
 pub use interpose::{Executable, Loader, RunOutcome, Session, System};
-pub use typelattice::{RobustApi, SafePred};
-pub use wrappergen::{WrapperConfig, WrapperKind, WrapperLibrary};
+pub use profiler::{HealAction, HealEvent, HealingJournal};
+pub use typelattice::{repair_hint, RepairHint, RobustApi, SafePred};
+pub use wrappergen::{
+    Policy, PolicyEngine, ViolationClass, WrapperConfig, WrapperKind, WrapperLibrary,
+};
 
 #[cfg(test)]
 mod tests {

@@ -9,10 +9,7 @@ use healers::simproc::{CVal, Fault};
 use healers::{process_factory, SafePred, Toolkit, WrapperConfig, WrapperKind};
 
 fn strcpy_targets() -> Vec<healers::injector::TargetFn> {
-    targets_from_simlibc()
-        .into_iter()
-        .filter(|t| t.name == "strcpy")
-        .collect()
+    targets_from_simlibc().into_iter().filter(|t| t.name == "strcpy").collect()
 }
 
 fn dest_pred(config: &CampaignConfig) -> SafePred {
@@ -26,7 +23,8 @@ fn dest_pred(config: &CampaignConfig) -> SafePred {
 
 #[test]
 fn both_detectors_are_needed_for_relational_contracts() {
-    let base = CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
+    let base =
+        CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
 
     // Full configuration: the relational strcpy contract.
     assert_eq!(dest_pred(&base), SafePred::HoldsCStrOf { src: 1 });
@@ -43,7 +41,8 @@ fn both_detectors_are_needed_for_relational_contracts() {
 
 #[test]
 fn ablated_campaigns_run_fewer_tests() {
-    let base = CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
+    let base =
+        CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
     let full = run_campaign("libsimc.so.1", &strcpy_targets(), process_factory, &base);
     let no_pairs = run_campaign(
         "libsimc.so.1",
@@ -58,14 +57,18 @@ fn ablated_campaigns_run_fewer_tests() {
 #[test]
 fn tracing_wrapper_logs_every_interposed_call() {
     let toolkit = Toolkit::new();
-    let config = CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() };
+    let config =
+        CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() };
     let targets: Vec<_> = targets_from_simlibc()
         .into_iter()
         .filter(|t| ["strlen", "abs", "puts"].contains(&t.name.as_str()))
         .collect();
     let campaign = run_campaign("libsimc.so.1", &targets, process_factory, &config);
-    let tracer =
-        toolkit.generate_wrapper(WrapperKind::Tracing, &campaign.api, &WrapperConfig::default());
+    let tracer = toolkit.generate_wrapper(
+        WrapperKind::Tracing,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
     assert_eq!(tracer.len(), 3, "tracing wraps everything");
     assert_eq!(tracer.soname, "libhealers_trace.so.1");
     assert!(tracer.source.contains("micro-gen log call"), "{}", tracer.source);
@@ -77,12 +80,8 @@ fn tracing_wrapper_logs_every_interposed_call() {
         s.call("puts", &[CVal::Ptr(msg)])?;
         Ok(0)
     }
-    let exe = Executable::new(
-        "traced",
-        &["libsimc.so.1"],
-        &["strlen", "abs", "puts"],
-        entry,
-    );
+    let exe =
+        Executable::new("traced", &["libsimc.so.1"], &["strlen", "abs", "puts"], entry);
     let out = toolkit.run_protected(&exe, &[&tracer]).unwrap();
     assert!(out.success());
     let log = tracer.log.lock().clone();

@@ -30,10 +30,8 @@ fn atoi_v2(p: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
 #[test]
 fn fixed_function_loses_its_wrapper() {
     // v1: the shipping atoi crashes on NULL -> contract `cstr`.
-    let v1: Vec<_> = targets_from_simlibc()
-        .into_iter()
-        .filter(|t| t.name == "atoi")
-        .collect();
+    let v1: Vec<_> =
+        targets_from_simlibc().into_iter().filter(|t| t.name == "atoi").collect();
     let r1 = run_campaign("libsimc.so.1", &v1, process_factory, &config());
     assert_eq!(r1.api.function("atoi").unwrap().preds, vec![SafePred::CStr]);
 
@@ -50,7 +48,11 @@ fn fixed_function_loses_its_wrapper() {
     // The regenerated wrappers differ accordingly: v2's check is weaker
     // (still a wrapper — wild pointers remain fatal — but NULL passes).
     let toolkit = Toolkit::new();
-    let w1 = toolkit.generate_wrapper(WrapperKind::Robustness, &r1.api, &WrapperConfig::default());
+    let w1 = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &r1.api,
+        &WrapperConfig::default(),
+    );
     // The v2 wrapper must bind v2's implementations (the point of a
     // release: same symbol, new code).
     let w2 = healers::wrappergen::build_wrapper_with_impls(

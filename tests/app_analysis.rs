@@ -76,10 +76,7 @@ fn application_inspection_matches_figure4() {
         ]
     );
     let provider = |sym: &str| {
-        info.undefined
-            .iter()
-            .find(|(s, _)| s == sym)
-            .and_then(|(_, p)| p.clone())
+        info.undefined.iter().find(|(s, _)| s == sym).and_then(|(_, p)| p.clone())
     };
     assert_eq!(provider("malloc").as_deref(), Some("libsimc.so.1"));
     assert_eq!(provider("msqrt").as_deref(), Some("libsimm.so.1"));

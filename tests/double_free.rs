@@ -23,8 +23,16 @@ fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
         &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
     );
     (
-        toolkit.generate_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default()),
-        toolkit.generate_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default()),
+        toolkit.generate_wrapper(
+            WrapperKind::Robustness,
+            &campaign.api,
+            &WrapperConfig::default(),
+        ),
+        toolkit.generate_wrapper(
+            WrapperKind::Security,
+            &campaign.api,
+            &WrapperConfig::default(),
+        ),
     )
 }
 
@@ -33,7 +41,7 @@ fn double_free_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
     let _pin = s.malloc(16)?;
     s.call("free", &[CVal::Ptr(a)])?;
     s.call("free", &[CVal::Ptr(a)])?; // the bug
-    // Follow-up traffic that walks the corrupted free list.
+                                      // Follow-up traffic that walks the corrupted free list.
     let b = s.call("malloc", &[CVal::Int(48)])?;
     let c = s.call("malloc", &[CVal::Int(48)])?;
     // Classic symptom: the same chunk handed out twice.

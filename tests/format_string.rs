@@ -14,8 +14,10 @@ fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
     let toolkit = Toolkit::new();
     let targets: Vec<_> = targets_from_simlibc()
         .into_iter()
-        .filter(|t| ["printf", "sprintf", "snprintf", "malloc", "free", "exit"]
-            .contains(&t.name.as_str()))
+        .filter(|t| {
+            ["printf", "sprintf", "snprintf", "malloc", "free", "exit"]
+                .contains(&t.name.as_str())
+        })
         .collect();
     let campaign = run_campaign(
         "libsimc.so.1",
@@ -24,8 +26,16 @@ fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
         &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
     );
     (
-        toolkit.generate_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default()),
-        toolkit.generate_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default()),
+        toolkit.generate_wrapper(
+            WrapperKind::Robustness,
+            &campaign.api,
+            &WrapperConfig::default(),
+        ),
+        toolkit.generate_wrapper(
+            WrapperKind::Security,
+            &campaign.api,
+            &WrapperConfig::default(),
+        ),
     )
 }
 
@@ -74,10 +84,7 @@ fn percent_n_write_primitive_survives_arg_checks_but_canaries_catch_the_heap_dam
         let victim = s.malloc(16)?;
         let dst = s.malloc(64)?;
         let fmt = s.proc().alloc_cstr("AAAAAAAA%n");
-        s.call(
-            "sprintf",
-            &[CVal::Ptr(dst), CVal::Ptr(fmt), CVal::Ptr(victim.add(16))],
-        )?;
+        s.call("sprintf", &[CVal::Ptr(dst), CVal::Ptr(fmt), CVal::Ptr(victim.add(16))])?;
         s.call("free", &[CVal::Ptr(victim)])?;
         s.call("exit", &[CVal::Int(0)])?;
         unreachable!()
@@ -97,19 +104,13 @@ fn percent_n_write_primitive_survives_arg_checks_but_canaries_catch_the_heap_dam
     // Security wrapper: the %n write lands past the 16-byte allocation —
     // straight onto the canary — and free() detects it.
     let out = toolkit.run_protected(&exe, &[&secure]).unwrap();
-    assert!(
-        matches!(out.status, Err(Fault::SecurityViolation { .. })),
-        "{:?}",
-        out.status
-    );
+    assert!(matches!(out.status, Err(Fault::SecurityViolation { .. })), "{:?}", out.status);
 }
 
 #[test]
 fn derived_format_contract_is_only_the_fixed_params() {
-    let targets: Vec<_> = targets_from_simlibc()
-        .into_iter()
-        .filter(|t| t.name == "snprintf")
-        .collect();
+    let targets: Vec<_> =
+        targets_from_simlibc().into_iter().filter(|t| t.name == "snprintf").collect();
     let campaign = run_campaign(
         "libsimc.so.1",
         &targets,

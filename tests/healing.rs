@@ -1,0 +1,162 @@
+//! Integration test for the self-healing wrapper runtime: the full
+//! fault-injection campaign is replayed through the healing wrapper and
+//! its outcome distribution compared against the plain containment
+//! wrapper. Healing must (a) keep the zero-failure guarantee, (b) never
+//! crash/abort/hang/terminate/corrupt, (c) convert a measurable share of
+//! contained calls into semantic passes, and (d) journal every action.
+
+use healers::injector::{
+    replay_cases, run_campaign, targets_from_simlibc, CampaignConfig, Outcome,
+};
+use healers::simproc::{CVal, Fault, Proc};
+use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind, WrapperLibrary};
+
+fn config() -> CampaignConfig {
+    CampaignConfig { pair_values: 6, fuel: 400_000, ..CampaignConfig::default() }
+}
+
+const NAMES: [&str; 20] = [
+    "strlen", "strcpy", "strcat", "strcmp", "strchr", "strstr", "strdup", "memcpy",
+    "memset", "memcmp", "isalpha", "toupper", "atoi", "strtol", "wctrans", "getenv",
+    "free", "rand_r", "fclose", "puts",
+];
+
+fn dispatch_through(
+    wrapper: &WrapperLibrary,
+) -> impl FnMut(&str, &mut Proc, &[CVal]) -> Result<CVal, Fault> + '_ {
+    move |name, p, args| match wrapper.get(name) {
+        Some(w) => w.call(p, args),
+        None => (healers::simlibc::find_symbol(name).unwrap().imp)(p, args),
+    }
+}
+
+/// The tentpole acceptance check: healing strictly dominates containment
+/// on the same recorded crash corpus.
+#[test]
+fn healing_dominates_containment_on_the_full_campaign() {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| NAMES.contains(&t.name.as_str()))
+        .collect();
+    let cfg = config();
+    let result = run_campaign("libsimc.so.1", &targets, process_factory, &cfg);
+    assert!(
+        result.total_failures() > 100,
+        "the bare library must be fragile: {}",
+        result.total_failures()
+    );
+
+    let toolkit = Toolkit::new();
+    let containment = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &result.api,
+        &WrapperConfig::default(),
+    );
+    let healing = toolkit.generate_healing_wrapper(&result.api, &WrapperConfig::default());
+
+    let contained_summary = {
+        let mut dispatch = dispatch_through(&containment);
+        replay_cases(&result.crashes, &targets, process_factory, &cfg, &mut dispatch)
+    };
+    let healed_summary = {
+        let mut dispatch = dispatch_through(&healing);
+        replay_cases(&result.crashes, &targets, process_factory, &cfg, &mut dispatch)
+    };
+
+    // (a) The healing wrapper keeps the containment wrapper's guarantee.
+    assert_eq!(contained_summary.still_failing, 0);
+    assert_eq!(
+        healed_summary.still_failing, 0,
+        "healing must not reintroduce failures: {:?}",
+        healed_summary.histogram
+    );
+
+    // (b) No catastrophic outcome survives healing.
+    for bad in [
+        Outcome::Crash,
+        Outcome::Abort,
+        Outcome::Hang,
+        Outcome::Terminated,
+        Outcome::Silent,
+    ] {
+        assert_eq!(
+            healed_summary.histogram.get(&bad).copied().unwrap_or(0),
+            0,
+            "{bad:?} outcomes must be eliminated: {:?}",
+            healed_summary.histogram
+        );
+    }
+
+    // (c) Healing converts contained calls into semantic passes.
+    let passes = |s: &healers::injector::ReplaySummary| {
+        s.histogram.get(&Outcome::Pass).copied().unwrap_or(0)
+    };
+    assert!(
+        passes(&healed_summary) > passes(&contained_summary),
+        "healing must convert contained calls into passes: healed {:?} vs contained {:?}",
+        healed_summary.histogram,
+        contained_summary.histogram
+    );
+
+    // (d) Every repair was journaled — the audit trail covers at least
+    // every non-pass-through replayed case, and renders in both report
+    // and XML forms.
+    assert!(
+        healed_summary.total <= healing.journal.len(),
+        "every replayed crash case exercises at least one journaled action: {} cases, {} events",
+        healed_summary.total,
+        healing.journal.len()
+    );
+    let events = healing.journal.snapshot();
+    assert!(events.iter().any(|e| e.action == healers::HealAction::Repaired));
+
+    let xml = healers::profiler::to_xml_with_healing(
+        "campaign-replay",
+        "healing",
+        &healers::profiler::Snapshot::default(),
+        &events,
+    );
+    assert!(
+        xml.contains(&format!("<healing events=\"{}\">", events.len())),
+        "the self-describing document must carry the journal"
+    );
+    let report = healers::profiler::render_report_with_healing(
+        "campaign-replay",
+        &healers::profiler::Snapshot::default(),
+        &events,
+    );
+    assert!(report.contains("Healing audit journal"));
+}
+
+/// Per-violation-class policies are honoured end to end: a function
+/// routed to `Oblivious` never touches errno, one routed to `Contain`
+/// behaves exactly like the robustness wrapper.
+#[test]
+fn policy_overrides_route_per_function() {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| ["strlen", "puts"].contains(&t.name.as_str()))
+        .collect();
+    let cfg = config();
+    let result = run_campaign("libsimc.so.1", &targets, process_factory, &cfg);
+
+    let engine = healers::PolicyEngine::healing()
+        .with_func("strlen", healers::Policy::Oblivious)
+        .with_func("puts", healers::Policy::Contain);
+    let toolkit = Toolkit::new().with_healing_policy(engine);
+    let wrapper = toolkit.generate_healing_wrapper(&result.api, &WrapperConfig::default());
+
+    let mut p = process_factory();
+    p.set_errno(0);
+    let r = wrapper.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+    assert_eq!(r, CVal::Int(-1), "oblivious returns the containment value");
+    assert_eq!(p.errno(), 0, "without touching errno");
+
+    let r = wrapper.get("puts").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
+    assert_eq!(r, CVal::Int(-1));
+    assert_ne!(p.errno(), 0, "containment sets errno");
+
+    let actions: Vec<_> = wrapper.journal.snapshot().iter().map(|e| e.action).collect();
+    assert!(actions.contains(&healers::HealAction::Obliviated));
+    assert!(actions.contains(&healers::HealAction::Contained));
+}

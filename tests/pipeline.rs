@@ -33,7 +33,8 @@ fn header_to_protected_application() {
     assert_eq!(targets.len(), wanted.len());
 
     // --- 3. fault injection ---------------------------------------------
-    let config = CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
+    let config =
+        CampaignConfig { pair_values: 6, fuel: 300_000, ..CampaignConfig::default() };
     let campaign = run_campaign("libsimc.so.1", &targets, process_factory, &config);
     assert!(campaign.total_failures() > 0);
     assert!(campaign.reports.iter().all(|r| r.fully_robust), "these four are containable");
@@ -57,12 +58,8 @@ fn header_to_protected_application() {
         let n = s.call("atoi", &[junk])?;
         Ok(n.as_int() as i32)
     }
-    let exe = Executable::new(
-        "pipeline-demo",
-        &["libsimc.so.1"],
-        &["getenv", "atoi"],
-        entry,
-    );
+    let exe =
+        Executable::new("pipeline-demo", &["libsimc.so.1"], &["getenv", "atoi"], entry);
     let bare = toolkit.run(&exe).unwrap();
     assert!(bare.status.is_err());
 
@@ -103,19 +100,31 @@ fn toolkit_facade_runs_the_whole_math_pipeline() {
 #[test]
 fn all_three_wrappers_from_one_campaign() {
     let toolkit = Toolkit::new();
-    let config = CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() };
+    let config =
+        CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() };
     let targets: Vec<_> = healers::injector::targets_from_simlibc()
         .into_iter()
-        .filter(|t| ["strcpy", "malloc", "free", "exit", "strlen"].contains(&t.name.as_str()))
+        .filter(|t| {
+            ["strcpy", "malloc", "free", "exit", "strlen"].contains(&t.name.as_str())
+        })
         .collect();
     let campaign = run_campaign("libsimc.so.1", &targets, process_factory, &config);
 
-    let robust =
-        toolkit.generate_wrapper(WrapperKind::Robustness, &campaign.api, &WrapperConfig::default());
-    let secure =
-        toolkit.generate_wrapper(WrapperKind::Security, &campaign.api, &WrapperConfig::default());
-    let profile =
-        toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &WrapperConfig::default());
+    let robust = toolkit.generate_wrapper(
+        WrapperKind::Robustness,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let secure = toolkit.generate_wrapper(
+        WrapperKind::Security,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
+    let profile = toolkit.generate_wrapper(
+        WrapperKind::Profiling,
+        &campaign.api,
+        &WrapperConfig::default(),
+    );
 
     // Same robust API, three different protection profiles (Figure 1).
     assert!(robust.get("strlen").is_some());

@@ -50,6 +50,7 @@ fn profiling_wrapper_gathers_figure5_data() {
     let config = WrapperConfig {
         app_name: "workload".into(),
         collector: Some(server.collector()),
+        policy: None,
     };
     let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
     let out = toolkit.run_protected(&workload(), &[&wrapper]).unwrap();
@@ -147,8 +148,10 @@ fn many_processes_report_to_one_server() {
         let config = WrapperConfig {
             app_name: app.into(),
             collector: Some(server.collector()),
+            policy: None,
         };
-        let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
+        let wrapper =
+            toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
         let exe = Executable::new(app, &["libsimc.so.1"], &["strlen", "exit"], entry);
         let out = toolkit.run_protected(&exe, &[&wrapper]).unwrap();
         assert_eq!(out.status, Ok(0));

@@ -120,7 +120,8 @@ fn wrapper_contains_recorded_failures() {
             None => (healers::simlibc::find_symbol(name).unwrap().imp)(p, args),
         }
     };
-    let summary = replay_cases(&result.crashes, &targets, process_factory, &cfg, &mut dispatch);
+    let summary =
+        replay_cases(&result.crashes, &targets, process_factory, &cfg, &mut dispatch);
     assert_eq!(summary.total, result.total_failures());
     assert_eq!(
         summary.still_failing, 0,
@@ -164,9 +165,7 @@ fn crash_scale_is_exercised() {
         .filter(|t| names.contains(&t.name.as_str()))
         .collect();
     targets.extend(
-        targets_from_simmath()
-            .into_iter()
-            .filter(|t| names.contains(&t.name.as_str())),
+        targets_from_simmath().into_iter().filter(|t| names.contains(&t.name.as_str())),
     );
     let result = run_campaign(
         "mixed",

@@ -18,11 +18,8 @@ fn logger(p: &mut Proc, _args: &[CVal]) -> Result<CVal, Fault> {
 }
 
 fn netd_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
-    let request = REQUEST
-        .lock()
-        .unwrap()
-        .clone()
-        .unwrap_or_else(|| b"GET /status".to_vec());
+    let request =
+        REQUEST.lock().unwrap().clone().unwrap_or_else(|| b"GET /status".to_vec());
     s.proc().kernel.install_file("request.bin", request);
 
     let path = s.literal("request.bin");
@@ -67,10 +64,7 @@ fn craft_payload(session_addr: u64) -> Vec<u8> {
 }
 
 fn leaked_address(stdout: &str) -> u64 {
-    let line = stdout
-        .lines()
-        .find(|l| l.contains("session buffer at"))
-        .expect("info leak");
+    let line = stdout.lines().find(|l| l.contains("session buffer at")).expect("info leak");
     u64::from_str_radix(line.rsplit("0x").next().unwrap().trim(), 16).unwrap()
 }
 
@@ -91,16 +85,9 @@ fn heap_smashing_attack_and_its_containment() {
     // Attack, unprotected: control-flow hijack, root shell.
     *REQUEST.lock().unwrap() = Some(craft_payload(session_addr));
     let owned = toolkit.run(&netd()).unwrap();
-    assert!(
-        matches!(owned.status, Err(Fault::WildJump { .. })),
-        "{:?}",
-        owned.status
-    );
+    assert!(matches!(owned.status, Err(Fault::WildJump { .. })), "{:?}", owned.status);
     assert!(owned.shell_spawned, "attacker must get the shell");
-    assert!(
-        !owned.stdout.contains("clean shutdown"),
-        "the real handler never ran"
-    );
+    assert!(!owned.stdout.contains("clean shutdown"), "the real handler never ran");
 
     // Attack, with the security wrapper: detected and terminated.
     let campaign = run_campaign(
@@ -162,7 +149,8 @@ fn stack_smashing_is_prevented_by_frame_bounds() {
         s.proc().pop_frame()?;
         Ok(0)
     }
-    let exe = Executable::new("stackd", &["libsimc.so.1"], &["strcpy"], vuln_entry).setuid();
+    let exe =
+        Executable::new("stackd", &["libsimc.so.1"], &["strcpy"], vuln_entry).setuid();
 
     // Unprotected: the return address is clobbered; `ret` goes wild.
     let out = toolkit.run(&exe).unwrap();
@@ -171,9 +159,5 @@ fn stack_smashing_is_prevented_by_frame_bounds() {
     // Security wrapper: the copy is refused before it reaches the
     // saved return address (libsafe's rule via the frame-bound oracle).
     let out = toolkit.run_protected(&exe, &[&wrapper]).unwrap();
-    assert!(
-        matches!(out.status, Err(Fault::SecurityViolation { .. })),
-        "{:?}",
-        out.status
-    );
+    assert!(matches!(out.status, Err(Fault::SecurityViolation { .. })), "{:?}", out.status);
 }

@@ -1,0 +1,218 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! The bench targets keep the real Criterion structure (groups,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`); this shim
+//! runs each benchmark for a slice of the configured measurement time
+//! and prints a mean per-iteration figure. When invoked by `cargo test`
+//! (harness `--test` mode) each benchmark body runs exactly once, so
+//! `cargo test -q` stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; mirrors `criterion::Criterion` builder methods.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(200),
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.0, f);
+        self
+    }
+}
+
+/// Label for one benchmark, convertible from strings and parameters.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a bench parameter (e.g. an input size).
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
+    if c.test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test bench {label} ... ok");
+        return;
+    }
+    // Calibrate: run once, then size the batch to roughly fill a share
+    // of the measurement window.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = c.measurement_time / (c.sample_size.max(1) as u32);
+    let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let samples = c.sample_size.clamp(1, 40);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed / (iters as u32);
+        best = best.min(per_iter);
+        total += per_iter;
+        if total > c.measurement_time * 4 {
+            break;
+        }
+    }
+    let mean = total / (samples as u32);
+    println!(
+        "bench {label:<50} best {best:>12?}  mean {mean:>12?}  ({iters} iters/sample)"
+    );
+}
+
+/// Re-export so benches can use `criterion::black_box` if they wish.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group; both the `name/config/targets` form and
+/// the positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,274 @@
+//! Offline vendored shim for `crossbeam`.
+//!
+//! Provides the `channel` module surface the workspace uses: an
+//! unbounded MPSC channel with disconnect detection and a two-arm
+//! `select!` macro. Built on `std::sync` primitives; `select!` polls
+//! with a short sleep instead of parking on an event list.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    pub use crate::select;
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receiver_alive: AtomicBool,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiver disconnected; the message is handed back.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking receive outcome when no message is ready.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is empty but senders remain.
+        Empty,
+        /// Channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receiver_alive: AtomicBool::new(true),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.chan.receiver_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.chan.ready.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.chan.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive; errors once every sender is gone and the
+        /// queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receiver_alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Polling `select!` over one or two `recv` arms. A disconnected
+    /// channel counts as ready (its arm sees `Err(RecvError)`), matching
+    /// crossbeam semantics. Arm bodies run *outside* the internal polling
+    /// loop, so `break`/`continue` inside a body target the caller's
+    /// enclosing loop exactly as with the real macro.
+    #[macro_export]
+    macro_rules! select {
+        (
+            recv($rx:expr) -> $pat:pat => $body:expr $(,)?
+        ) => {{
+            let __msg = $rx.recv();
+            let $pat = __msg;
+            $body
+        }};
+        (
+            recv($rx1:expr) -> $pat1:pat => $body1:expr ,
+            recv($rx2:expr) -> $pat2:pat => $body2:expr $(,)?
+        ) => {{
+            let __which;
+            let mut __msg1 = ::core::option::Option::None;
+            let mut __msg2 = ::core::option::Option::None;
+            loop {
+                match $rx1.try_recv() {
+                    ::core::result::Result::Ok(v) => {
+                        __msg1 =
+                            ::core::option::Option::Some(::core::result::Result::Ok(v));
+                        __which = 1usize;
+                        break;
+                    }
+                    ::core::result::Result::Err(
+                        $crate::channel::TryRecvError::Disconnected,
+                    ) => {
+                        __msg1 = ::core::option::Option::Some(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                        __which = 1usize;
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $rx2.try_recv() {
+                    ::core::result::Result::Ok(v) => {
+                        __msg2 =
+                            ::core::option::Option::Some(::core::result::Result::Ok(v));
+                        __which = 2usize;
+                        break;
+                    }
+                    ::core::result::Result::Err(
+                        $crate::channel::TryRecvError::Disconnected,
+                    ) => {
+                        __msg2 = ::core::option::Option::Some(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                        __which = 2usize;
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                ::std::thread::sleep(::std::time::Duration::from_micros(50));
+            }
+            if __which == 1 {
+                let $pat1 = __msg1.expect("select!: arm 1 fired without a message");
+                $body1
+            } else {
+                let $pat2 = __msg2.expect("select!: arm 2 fired without a message");
+                $body2
+            }
+        }};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+    use crate::select;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn select_two_arms_with_break() {
+        let (tx, rx) = unbounded::<i32>();
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        tx.send(5).unwrap();
+        stop_tx.send(()).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            select! {
+                recv(rx) -> msg => match msg {
+                    Ok(v) => seen.push(v),
+                    Err(_) => break,
+                },
+                recv(stop_rx) -> _ => {
+                    while let Ok(v) = rx.try_recv() {
+                        seen.push(v);
+                    }
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen, vec![5]);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        let (_stop_tx, stop_rx) = unbounded::<()>();
+        drop(tx);
+        let mut disconnected = false;
+        loop {
+            select! {
+                recv(rx) -> msg => match msg {
+                    Ok(_) => {}
+                    Err(_) => { disconnected = true; break; }
+                },
+                recv(stop_rx) -> _ => break,
+            }
+        }
+        assert!(disconnected);
+    }
+}
