@@ -32,12 +32,11 @@ mod tests {
         let t = TypedefTable::with_builtins();
         let api = RobustApi {
             library: "libsimc.so.1".into(),
-            functions: vec![RobustFunction {
-                proto: parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
-                preds: vec![SafePred::CStr],
-                fully_robust: true,
-                skipped: false,
-            }],
+            functions: vec![RobustFunction::new(
+                parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+                vec![SafePred::CStr],
+                true,
+            )],
         };
         let wrapper =
             build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());

@@ -1,8 +1,10 @@
 //! The HEALERS toolkit facade: the end-to-end pipeline of Figure 2
 //! driven from one place.
 
+use std::path::Path;
+
 use cdecl::xml::write_declaration_file;
-use injector::{run_campaign, CampaignConfig, CampaignResult, TargetFn};
+use injector::{run_campaign, CampaignConfig, CampaignResult, CheckpointJournal, TargetFn};
 use interpose::{AppInfo, Executable, Loader, RunOutcome, SharedLibrary, System};
 use simproc::Proc;
 use typelattice::RobustApi;
@@ -105,6 +107,48 @@ impl Toolkit {
     pub fn derive_robust_api(&self, soname: &str) -> Option<CampaignResult> {
         let targets = self.targets(soname)?;
         Some(run_campaign(soname, &targets, process_factory, &self.config))
+    }
+
+    /// [`Toolkit::derive_robust_api`] backed by a durable checkpoint
+    /// journal at `journal_path`: completed cases are loaded from the
+    /// file before the campaign and the (possibly grown) journal is
+    /// written back after it. Interrupted or budget-limited campaigns
+    /// re-run with the same path resume exactly where they stopped.
+    /// Returns `None` for libraries with no known implementations.
+    ///
+    /// # Errors
+    ///
+    /// IO errors reading or writing the journal file; a corrupt journal
+    /// is reported as [`std::io::ErrorKind::InvalidData`] rather than
+    /// silently discarded.
+    pub fn derive_robust_api_checkpointed(
+        &self,
+        soname: &str,
+        journal_path: &Path,
+    ) -> std::io::Result<Option<CampaignResult>> {
+        let Some(targets) = self.targets(soname) else { return Ok(None) };
+        let journal = if journal_path.exists() {
+            CheckpointJournal::load(journal_path)?
+        } else {
+            CheckpointJournal::new()
+        };
+        let result = injector::run_campaign_checkpointed(
+            soname,
+            &targets,
+            process_factory,
+            &self.config,
+            &journal,
+        );
+        journal.save(journal_path)?;
+        Ok(Some(result))
+    }
+
+    /// The operator-facing health summary of a campaign's derived robust
+    /// API: per-function confidence and coverage, degraded contracts
+    /// first — what to read before deploying a wrapper built from a
+    /// partial campaign.
+    pub fn campaign_health(&self, result: &CampaignResult) -> String {
+        profiler::render_robust_api_health(&result.api)
     }
 
     /// Builds campaign targets from a §3.1 declaration file: the XML
@@ -346,6 +390,33 @@ mod tests {
         let mut p = process_factory();
         let r = contained.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
         assert_eq!(r, CVal::Int(-1), "config-less generation obeys toolkit policy");
+    }
+
+    #[test]
+    fn checkpointed_derivation_resumes_from_disk() {
+        let dir = std::env::temp_dir()
+            .join(format!("healers-toolkit-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("libsimm.journal");
+        let tk = quick();
+
+        let first =
+            tk.derive_robust_api_checkpointed("libsimm.so.1", &path).unwrap().unwrap();
+        assert!(first.complete);
+        assert_eq!(first.checkpoint_hits(), 0);
+        assert!(path.exists(), "journal persisted");
+
+        let second =
+            tk.derive_robust_api_checkpointed("libsimm.so.1", &path).unwrap().unwrap();
+        assert_eq!(second.executed_cases(), 0, "fully replayed from disk");
+        assert_eq!(first.api.to_xml(), second.api.to_xml());
+
+        let health = tk.campaign_health(&second);
+        assert!(health.contains("libsimm.so.1"), "{health}");
+        assert!(health.contains("contracts are measurements"), "{health}");
+
+        assert!(tk.derive_robust_api_checkpointed("libnope.so", &path).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn fragile_entry(s: &mut interpose::Session<'_>) -> Result<i32, Fault> {

@@ -1,4 +1,14 @@
+//! Times the full simlibc campaign and reports throughput.
+//!
+//! Modes:
+//! * (no args) — human-readable table plus elapsed/rate;
+//! * `--xml`   — only the derived robust-API XML on stdout (the CI
+//!   determinism gate runs this twice and diffs the output);
+//! * `--json`  — machine-readable benchmark record (the committed
+//!   `BENCH_campaign.json` baseline is a snapshot of this).
+
 fn main() {
+    let mode = std::env::args().nth(1);
     let targets = injector::targets_from_simlibc();
     let config = injector::CampaignConfig::default();
     let start = std::time::Instant::now();
@@ -9,11 +19,32 @@ fn main() {
         &config,
     );
     let dt = start.elapsed();
-    println!("{}", injector::render_table(&result));
-    println!(
-        "elapsed: {:?}  tests: {}  rate: {:.0}/s",
-        dt,
-        result.total_tests(),
-        result.total_tests() as f64 / dt.as_secs_f64()
-    );
+    match mode.as_deref() {
+        Some("--xml") => {
+            println!("{}", result.api.to_xml());
+        }
+        Some("--json") => {
+            println!(
+                "{{\n  \"library\": \"{}\",\n  \"functions\": {},\n  \"tests\": {},\n  \"failures\": {},\n  \"retries\": {},\n  \"complete\": {},\n  \"elapsed_ms\": {},\n  \"rate_per_s\": {:.0}\n}}",
+                result.library,
+                result.reports.len(),
+                result.total_tests(),
+                result.total_failures(),
+                result.total_retries(),
+                result.complete,
+                dt.as_millis(),
+                result.total_tests() as f64 / dt.as_secs_f64()
+            );
+        }
+        _ => {
+            println!("{}", injector::render_table(&result));
+            println!(
+                "elapsed: {:?}  tests: {}  retries: {}  rate: {:.0}/s",
+                dt,
+                result.total_tests(),
+                result.total_retries(),
+                result.total_tests() as f64 / dt.as_secs_f64()
+            );
+        }
+    }
 }

@@ -1,0 +1,416 @@
+//! Durable, content-hash-keyed checkpoint journal for fault-injection
+//! campaigns.
+//!
+//! Every completed case's final classification is recorded under a
+//! per-function *fingerprint* — an FNV-1a hash over the function name,
+//! its prototype, its full candidate-type ladder, and every
+//! configuration knob that can change a case's classification (seed,
+//! fuel, silent-failure detection, quorum and watchdog settings). An
+//! interrupted campaign resumed with the same journal replays recorded
+//! outcomes instead of re-executing their cases, so an unchanged
+//! (function, ladder, seed) triple is never probed twice across runs —
+//! while any change to the prototype or to an outcome-relevant knob
+//! changes the fingerprint and invalidates exactly that function's
+//! cached cases.
+//!
+//! The journal is durable: [`CheckpointJournal::to_text`] serialises it
+//! to a stable line-based format (sorted, one case per line) and
+//! [`CheckpointJournal::from_text`] reads it back; [`save`] / [`load`]
+//! wrap those with file IO.
+//!
+//! [`save`]: CheckpointJournal::save
+//! [`load`]: CheckpointJournal::load
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use cdecl::Prototype;
+use typelattice::ParamPlan;
+
+use crate::outcome::Outcome;
+use crate::sandbox::CaseKey;
+use crate::search::CampaignConfig;
+
+/// 64-bit FNV-1a — a fixed, explicitly specified hash, stable across
+/// Rust releases and platforms (unlike `DefaultHasher`, whose algorithm
+/// is unspecified). Seeds, checkpoints and replays all key off it.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a length-prefixed string into the hash (the prefix keeps
+    /// `("ab","c")` distinct from `("a","bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Folds a [`CaseKey`] into `h` via an explicit, stable encoding
+/// (variant discriminant + every field as a `u64`). Derived `Hash` is
+/// not guaranteed stable across toolchains; this is.
+pub fn hash_case_key(h: &mut Fnv1a, key: &CaseKey) {
+    match key {
+        CaseKey::Ladder { param, rung_idx, value_idx } => {
+            h.write_u64(1);
+            h.write_u64(*param as u64);
+            h.write_u64(*rung_idx as u64);
+            h.write_u64(*value_idx as u64);
+        }
+        CaseKey::Pair { i, j, vi, vj, j_first, rungs } => {
+            h.write_u64(2);
+            h.write_u64(*i as u64);
+            h.write_u64(*j as u64);
+            h.write_u64(*vi as u64);
+            h.write_u64(*vj as u64);
+            h.write_u64(u64::from(*j_first));
+            h.write_u64(rungs.len() as u64);
+            for &r in rungs {
+                h.write_u64(r as u64);
+            }
+        }
+    }
+}
+
+/// Canonical single-token text encoding of a [`CaseKey`] — the journal's
+/// on-disk case identifier. `L<param>.<rung>.<value>` for ladder cases,
+/// `P<i>.<j>.<vi>.<vj>.<jf>.<r0>-<r1>-…` for pairwise cases.
+pub fn encode_case_key(key: &CaseKey) -> String {
+    match key {
+        CaseKey::Ladder { param, rung_idx, value_idx } => {
+            format!("L{param}.{rung_idx}.{value_idx}")
+        }
+        CaseKey::Pair { i, j, vi, vj, j_first, rungs } => {
+            let rungs = rungs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join("-");
+            format!("P{i}.{j}.{vi}.{vj}.{}.{rungs}", u8::from(*j_first))
+        }
+    }
+}
+
+/// Journal schema version; bumped whenever the fingerprint recipe or the
+/// line format changes.
+const JOURNAL_VERSION: u64 = 1;
+
+/// Content hash identifying one function's campaign inputs: name,
+/// prototype, candidate-type ladder, and every configuration knob that
+/// can change a classification. Budget and pairwise-phase sizing knobs
+/// are deliberately excluded — they change *which* cases run, never what
+/// an individual case observes — so a resumed run with a larger budget
+/// still hits the cache.
+pub fn function_fingerprint(
+    config: &CampaignConfig,
+    name: &str,
+    proto: &Prototype,
+    plans: &[ParamPlan],
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(JOURNAL_VERSION);
+    h.write_u64(config.seed);
+    h.write_u64(config.fuel);
+    h.write_u64(u64::from(config.detect_silent));
+    h.write_u64(config.quorum as u64);
+    h.write_u64(config.watchdog_max_fuel_factor);
+    h.write_str(name);
+    h.write_str(&proto.to_string());
+    h.write_u64(plans.len() as u64);
+    for p in plans {
+        h.write_u64(p.ladder.len() as u64);
+        for rung in &p.ladder {
+            h.write_str(&rung.name);
+        }
+    }
+    h.finish()
+}
+
+/// Why a journal's durable form failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Missing or unrecognised header line.
+    BadHeader,
+    /// A record line (1-based, including the header) was malformed.
+    BadLine(usize),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadHeader => write!(f, "bad checkpoint header"),
+            CheckpointError::BadLine(n) => write!(f, "bad checkpoint record on line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The checkpoint journal: completed case outcomes keyed by
+/// `(function fingerprint, case key)`. Internally synchronised, so one
+/// journal can back a parallel campaign.
+#[derive(Debug, Default)]
+pub struct CheckpointJournal {
+    entries: Mutex<BTreeMap<u64, BTreeMap<String, Outcome>>>,
+}
+
+impl CheckpointJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        CheckpointJournal::default()
+    }
+
+    /// The recorded classification for `key` under `fingerprint`, if
+    /// this exact case completed in a previous (or the current) run.
+    pub fn lookup(&self, fingerprint: u64, key: &CaseKey) -> Option<Outcome> {
+        self.entries
+            .lock()
+            .expect("journal lock")
+            .get(&fingerprint)
+            .and_then(|cases| cases.get(&encode_case_key(key)))
+            .copied()
+    }
+
+    /// Records the final classification of one completed case.
+    pub fn record(&self, fingerprint: u64, key: &CaseKey, outcome: Outcome) {
+        self.entries
+            .lock()
+            .expect("journal lock")
+            .entry(fingerprint)
+            .or_default()
+            .insert(encode_case_key(key), outcome);
+    }
+
+    /// Total recorded cases across all functions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("journal lock").values().map(BTreeMap::len).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct function fingerprints with recorded cases.
+    pub fn functions(&self) -> usize {
+        self.entries.lock().expect("journal lock").len()
+    }
+
+    /// Serialises the journal to its durable text form: a header line
+    /// followed by one sorted `fingerprint key outcome` record per case.
+    /// Byte-identical for identical contents.
+    pub fn to_text(&self) -> String {
+        let entries = self.entries.lock().expect("journal lock");
+        let mut out = format!("healers-checkpoint v{JOURNAL_VERSION}\n");
+        for (fp, cases) in entries.iter() {
+            for (key, outcome) in cases {
+                out.push_str(&format!("{fp:016x} {key} {}\n", outcome.tag()));
+            }
+        }
+        out
+    }
+
+    /// Parses a journal back from [`CheckpointJournal::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on a missing header or malformed record line.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(CheckpointError::BadHeader)?;
+        if header != format!("healers-checkpoint v{JOURNAL_VERSION}") {
+            return Err(CheckpointError::BadHeader);
+        }
+        let mut entries: BTreeMap<u64, BTreeMap<String, Outcome>> = BTreeMap::new();
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(fp), Some(key), Some(tag), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(CheckpointError::BadLine(lineno));
+            };
+            let fp = u64::from_str_radix(fp, 16)
+                .map_err(|_| CheckpointError::BadLine(lineno))?;
+            let outcome = Outcome::from_tag(tag).ok_or(CheckpointError::BadLine(lineno))?;
+            entries.entry(fp).or_default().insert(key.to_string(), outcome);
+        }
+        Ok(CheckpointJournal { entries: Mutex::new(entries) })
+    }
+
+    /// Writes the durable form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a journal previously written with [`CheckpointJournal::save`].
+    ///
+    /// # Errors
+    ///
+    /// File-system errors, or `InvalidData` when the content is
+    /// malformed.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+    use typelattice::plan;
+
+    fn ladder_key() -> CaseKey {
+        CaseKey::Ladder { param: 1, rung_idx: 2, value_idx: 3 }
+    }
+
+    fn pair_key() -> CaseKey {
+        CaseKey::Pair { i: 0, j: 1, vi: 4, vj: 5, j_first: true, rungs: vec![2, 3] }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn case_key_encoding_is_canonical() {
+        assert_eq!(encode_case_key(&ladder_key()), "L1.2.3");
+        assert_eq!(encode_case_key(&pair_key()), "P0.1.4.5.1.2-3");
+    }
+
+    #[test]
+    fn record_lookup_roundtrip() {
+        let j = CheckpointJournal::new();
+        assert!(j.is_empty());
+        j.record(7, &ladder_key(), Outcome::Crash);
+        j.record(7, &pair_key(), Outcome::Pass);
+        j.record(9, &ladder_key(), Outcome::Hang);
+        assert_eq!(j.lookup(7, &ladder_key()), Some(Outcome::Crash));
+        assert_eq!(j.lookup(7, &pair_key()), Some(Outcome::Pass));
+        assert_eq!(j.lookup(9, &ladder_key()), Some(Outcome::Hang));
+        assert_eq!(j.lookup(9, &pair_key()), None);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.functions(), 2);
+    }
+
+    #[test]
+    fn text_roundtrip_is_stable() {
+        let j = CheckpointJournal::new();
+        j.record(0xdead, &ladder_key(), Outcome::Silent);
+        j.record(0xbeef, &pair_key(), Outcome::Flaky);
+        let text = j.to_text();
+        let back = CheckpointJournal::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text, "serialisation is canonical");
+        assert_eq!(back.lookup(0xdead, &ladder_key()), Some(Outcome::Silent));
+        assert_eq!(back.lookup(0xbeef, &pair_key()), Some(Outcome::Flaky));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert_eq!(
+            CheckpointJournal::from_text("").unwrap_err(),
+            CheckpointError::BadHeader
+        );
+        assert_eq!(
+            CheckpointJournal::from_text("healers-checkpoint v999\n").unwrap_err(),
+            CheckpointError::BadHeader
+        );
+        let bad = "healers-checkpoint v1\nnot-hex L0.0.0 crash\n";
+        assert_eq!(
+            CheckpointJournal::from_text(bad).unwrap_err(),
+            CheckpointError::BadLine(2)
+        );
+        let bad = "healers-checkpoint v1\n00000000000000ff L0.0.0 gibberish\n";
+        assert_eq!(
+            CheckpointJournal::from_text(bad).unwrap_err(),
+            CheckpointError::BadLine(2)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_prototype_and_outcome_knobs() {
+        let t = TypedefTable::with_builtins();
+        let p1 = parse_prototype("size_t strlen(const char *s);", &t).unwrap();
+        let p2 = parse_prototype("size_t strlen(const char *s, int extra);", &t).unwrap();
+        let config = CampaignConfig::default();
+        let fp1 = function_fingerprint(&config, "strlen", &p1, &plan(&p1));
+        let fp2 = function_fingerprint(&config, "strlen", &p2, &plan(&p2));
+        assert_ne!(fp1, fp2, "prototype change must invalidate");
+
+        let reseeded = CampaignConfig { seed: 999, ..CampaignConfig::default() };
+        assert_ne!(
+            function_fingerprint(&reseeded, "strlen", &p1, &plan(&p1)),
+            fp1,
+            "seed change must invalidate"
+        );
+
+        // Budget-only changes keep the fingerprint: a resumed run with a
+        // larger budget must hit the cache.
+        let bigger_budget = CampaignConfig {
+            case_budget: Some(10),
+            pair_values: 99,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(function_fingerprint(&bigger_budget, "strlen", &p1, &plan(&p1)), fp1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let j = CheckpointJournal::new();
+        j.record(1, &ladder_key(), Outcome::Abort);
+        let path = std::env::temp_dir().join("healers_checkpoint_test.journal");
+        j.save(&path).unwrap();
+        let back = CheckpointJournal::load(&path).unwrap();
+        assert_eq!(back.lookup(1, &ladder_key()), Some(Outcome::Abort));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -13,6 +13,15 @@
 //! suite and examples demonstrate that generated wrappers contain the
 //! very crashes the campaign found.
 //!
+//! Campaigns are crash-resilient: a durable [`CheckpointJournal`]
+//! records every completed case so interrupted runs resume losslessly
+//! ([`run_campaign_checkpointed`]), an outcome quorum re-confirms
+//! failures and classifies disagreements as [`Outcome::Flaky`], an
+//! adaptive watchdog escalates fuel before calling anything a hang, a
+//! per-function circuit breaker contains harness bugs, and wall-clock /
+//! case budgets degrade gracefully into a partial robust API with
+//! per-function confidence and coverage annotations.
+//!
 //! ```no_run
 //! use injector::{run_campaign, targets_from_simlibc, CampaignConfig};
 //! use simlibc::setup::init_process;
@@ -25,11 +34,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod outcome;
 mod report;
 mod sandbox;
 mod search;
 
+pub use checkpoint::{
+    encode_case_key, function_fingerprint, hash_case_key, CheckpointError,
+    CheckpointJournal, Fnv1a,
+};
 pub use outcome::{classify, Outcome, TestOutcome};
 pub use report::{render_table, to_xml};
 pub use sandbox::{
@@ -37,7 +51,8 @@ pub use sandbox::{
     ProcFactory,
 };
 pub use search::{
-    replay_cases, run_campaign, run_campaign_parallel, targets_from_simlibc,
-    targets_from_simmath, CampaignConfig, CampaignResult, CrashCase, FunctionReport,
-    ParamResult, ReplaySummary, TargetFn,
+    replay_cases, run_campaign, run_campaign_checkpointed, run_campaign_parallel,
+    run_campaign_parallel_checkpointed, targets_from_simlibc, targets_from_simmath,
+    CampaignConfig, CampaignResult, CrashCase, FunctionReport, ParamResult, ReplaySummary,
+    TargetFn,
 };

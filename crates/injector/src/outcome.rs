@@ -25,6 +25,11 @@ pub enum Outcome {
     /// metadata) — Ballista's Silent failure, detected by post-call
     /// invariant checks.
     Silent,
+    /// The classification differed across quorum retries of the same
+    /// case — the function behaves non-deterministically for these
+    /// arguments. Counted as a failure (an unpredictable function is not
+    /// robust) instead of letting the last observation win.
+    Flaky,
     /// A protection wrapper refused or contained the call (only seen when
     /// replaying through a wrapper — never in a bare campaign).
     Contained,
@@ -44,6 +49,7 @@ impl Outcome {
                 | Outcome::Hang
                 | Outcome::Terminated
                 | Outcome::Silent
+                | Outcome::Flaky
         )
     }
 
@@ -57,9 +63,28 @@ impl Outcome {
             Outcome::Hang => "hang",
             Outcome::Terminated => "exit",
             Outcome::Silent => "silent",
+            Outcome::Flaky => "flaky",
             Outcome::Contained => "contained",
             Outcome::HostBug => "host-bug",
         }
+    }
+
+    /// Inverse of [`Outcome::tag`] — used when reading checkpoint
+    /// journals back from their durable text form.
+    pub fn from_tag(tag: &str) -> Option<Outcome> {
+        Some(match tag {
+            "pass" => Outcome::Pass,
+            "error" => Outcome::GracefulError,
+            "crash" => Outcome::Crash,
+            "abort" => Outcome::Abort,
+            "hang" => Outcome::Hang,
+            "exit" => Outcome::Terminated,
+            "silent" => Outcome::Silent,
+            "flaky" => Outcome::Flaky,
+            "contained" => Outcome::Contained,
+            "host-bug" => Outcome::HostBug,
+            _ => return None,
+        })
     }
 }
 
@@ -156,6 +181,7 @@ mod tests {
         assert!(Outcome::Hang.is_failure());
         assert!(Outcome::Terminated.is_failure());
         assert!(Outcome::Silent.is_failure());
+        assert!(Outcome::Flaky.is_failure());
         assert!(!Outcome::Pass.is_failure());
         assert!(!Outcome::GracefulError.is_failure());
         assert!(!Outcome::Contained.is_failure());
@@ -167,5 +193,25 @@ mod tests {
         assert_eq!(Outcome::Crash.tag(), "crash");
         assert_eq!(Outcome::GracefulError.tag(), "error");
         assert_eq!(Outcome::Contained.to_string(), "contained");
+        assert_eq!(Outcome::Flaky.tag(), "flaky");
+    }
+
+    #[test]
+    fn tag_roundtrips() {
+        for o in [
+            Outcome::Pass,
+            Outcome::GracefulError,
+            Outcome::Crash,
+            Outcome::Abort,
+            Outcome::Hang,
+            Outcome::Terminated,
+            Outcome::Silent,
+            Outcome::Flaky,
+            Outcome::Contained,
+            Outcome::HostBug,
+        ] {
+            assert_eq!(Outcome::from_tag(o.tag()), Some(o), "{o}");
+        }
+        assert_eq!(Outcome::from_tag("nonsense"), None);
     }
 }

@@ -1,12 +1,18 @@
-//! The campaign engine: the weakest-robust-type search of Figure 2.
+//! The campaign engine: the weakest-robust-type search of Figure 2,
+//! hardened by the campaign resilience layer — checkpointed resume,
+//! outcome quorum, adaptive hang watchdog, a per-function circuit
+//! breaker, and graceful degradation under a wall-clock/case budget.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use cdecl::Prototype;
 use simproc::{CVal, Fault, HostFn, Proc};
-use typelattice::{plan, ParamPlan, RobustApi, RobustFunction, SafePred};
+use typelattice::{plan, Confidence, ParamPlan, RobustApi, RobustFunction, SafePred};
 
-use crate::outcome::Outcome;
+use crate::checkpoint::{function_fingerprint, CheckpointJournal};
+use crate::outcome::{Outcome, TestOutcome};
 use crate::sandbox::{
     case_seed, materialize, run_case_opts, value_count, CaseKey, Dispatch, ProcFactory,
 };
@@ -49,7 +55,7 @@ pub fn targets_from_simmath() -> Vec<TargetFn> {
 pub struct CampaignConfig {
     /// Base RNG seed — everything downstream is deterministic in it.
     pub seed: u64,
-    /// Fuel budget per call (the hang watchdog).
+    /// Fuel budget per call (the hang watchdog's starting point).
     pub fuel: u64,
     /// Cap on value indices per parameter in the pairwise validation
     /// phase (bounds the cross product).
@@ -63,6 +69,30 @@ pub struct CampaignConfig {
     /// Run the pairwise validation phase. Disable to ablate: without it,
     /// per-parameter search misses relational failures entirely.
     pub validate_pairs: bool,
+    /// Outcome-quorum retries: a case classified as a (non-hang)
+    /// robustness failure is re-executed this many times, with
+    /// geometrically growing fuel; if any retry classifies differently
+    /// the case becomes [`Outcome::Flaky`] instead of letting the last
+    /// observation win. `0` disables the quorum pass.
+    pub quorum: usize,
+    /// Adaptive hang watchdog: on [`Outcome::Hang`], the fuel budget is
+    /// doubled repeatedly up to `fuel * watchdog_max_fuel_factor` before
+    /// the hang classification sticks — separating genuinely divergent
+    /// calls from merely slow ones. `1` disables escalation.
+    pub watchdog_max_fuel_factor: u64,
+    /// Per-function circuit breaker: after this many abnormal sandbox
+    /// deaths ([`Outcome::HostBug`]) the function's remaining rungs are
+    /// marked inconclusive instead of poisoning the robust API. `0`
+    /// disables the breaker.
+    pub breaker_threshold: usize,
+    /// Graceful-degradation budget: maximum number of *executed* cases
+    /// (checkpoint hits are free) across the whole campaign. When
+    /// exhausted, the campaign emits a partial robust API with
+    /// per-function confidence/coverage annotations.
+    pub case_budget: Option<u64>,
+    /// Graceful-degradation budget: wall-clock limit for the whole
+    /// campaign. Same partial-result semantics as `case_budget`.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for CampaignConfig {
@@ -74,6 +104,11 @@ impl Default for CampaignConfig {
             skip: vec!["exit".into(), "abort".into()],
             detect_silent: true,
             validate_pairs: true,
+            quorum: 1,
+            watchdog_max_fuel_factor: 8,
+            breaker_threshold: 3,
+            case_budget: None,
+            time_budget: None,
         }
     }
 }
@@ -87,7 +122,8 @@ pub struct CrashCase {
     pub key: CaseKey,
     /// What happened.
     pub outcome: Outcome,
-    /// Fault detail, when present.
+    /// Fault detail, when present. Cases replayed from a checkpoint
+    /// journal carry only the classification (`None` here).
     pub fault: Option<Fault>,
 }
 
@@ -109,9 +145,9 @@ pub struct FunctionReport {
     pub name: String,
     /// Pretty prototype.
     pub proto: String,
-    /// Number of injected calls.
+    /// Number of judged cases (checkpoint replays included).
     pub tests: usize,
-    /// Outcome histogram over all injected calls.
+    /// Outcome histogram over all judged cases.
     pub histogram: BTreeMap<Outcome, usize>,
     /// Per-parameter results.
     pub params: Vec<ParamResult>,
@@ -121,6 +157,15 @@ pub struct FunctionReport {
     pub fully_robust: bool,
     /// `true` when the function was excluded from injection.
     pub skipped: bool,
+    /// How trustworthy the derived contract is.
+    pub confidence: Confidence,
+    /// Fraction of the planned probe work that executed (ladder climbs
+    /// plus the validation phase).
+    pub coverage: f64,
+    /// Extra executions spent by the quorum pass and the hang watchdog.
+    pub retries: usize,
+    /// Cases satisfied from the checkpoint journal instead of executing.
+    pub checkpoint_hits: usize,
 }
 
 /// The whole campaign's output.
@@ -134,10 +179,14 @@ pub struct CampaignResult {
     pub api: RobustApi,
     /// Every robustness failure observed, replayable.
     pub crashes: Vec<CrashCase>,
+    /// `false` when the campaign budget expired before every function
+    /// was fully probed — the robust API is partial and per-function
+    /// confidence/coverage annotations say where.
+    pub complete: bool,
 }
 
 impl CampaignResult {
-    /// Total injected calls.
+    /// Total judged cases (checkpoint replays included).
     pub fn total_tests(&self) -> usize {
         self.reports.iter().map(|r| r.tests).sum()
     }
@@ -146,36 +195,297 @@ impl CampaignResult {
     pub fn total_failures(&self) -> usize {
         self.crashes.len()
     }
+
+    /// Cases answered from the checkpoint journal instead of executing.
+    pub fn checkpoint_hits(&self) -> usize {
+        self.reports.iter().map(|r| r.checkpoint_hits).sum()
+    }
+
+    /// Cases actually executed in sandboxes this run (excluding quorum
+    /// and watchdog retries).
+    pub fn executed_cases(&self) -> usize {
+        self.total_tests() - self.checkpoint_hits()
+    }
+
+    /// Extra executions spent by quorum confirmation and the hang
+    /// watchdog across all functions.
+    pub fn total_retries(&self) -> usize {
+        self.reports.iter().map(|r| r.retries).sum()
+    }
+}
+
+/// Shared budget accounting for one campaign run. Checkpoint hits are
+/// never charged, so a resumed campaign spends its budget exclusively on
+/// new work.
+#[derive(Debug)]
+struct BudgetClock {
+    case_budget: Option<u64>,
+    deadline: Option<Instant>,
+    spent: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+impl BudgetClock {
+    fn new(config: &CampaignConfig) -> Self {
+        BudgetClock {
+            case_budget: config.case_budget,
+            deadline: config.time_budget.map(|d| Instant::now() + d),
+            spent: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Charges one executed case; `false` once the budget is gone.
+    fn charge(&self) -> bool {
+        if self.exhausted.load(Ordering::Acquire) {
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted.store(true, Ordering::Release);
+                return false;
+            }
+        }
+        let spent = self.spent.fetch_add(1, Ordering::AcqRel);
+        if let Some(max) = self.case_budget {
+            if spent >= max {
+                self.exhausted.store(true, Ordering::Release);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Acquire)
+    }
+}
+
+/// Per-function execution telemetry.
+#[derive(Debug, Default)]
+struct CaseTally {
+    hits: usize,
+    retries: usize,
+}
+
+/// Why a function's search stopped before its natural end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    /// The campaign budget expired mid-search.
+    Budget,
+    /// The circuit breaker opened after repeated abnormal sandbox deaths.
+    Breaker,
+}
+
+/// Everything a single function search needs from the campaign run.
+struct SearchCx<'a> {
+    config: &'a CampaignConfig,
+    factory: ProcFactory,
+    journal: &'a CheckpointJournal,
+    budget: &'a BudgetClock,
+}
+
+impl SearchCx<'_> {
+    /// Runs one case through the full resilience funnel: checkpoint
+    /// lookup → sandbox execution → adaptive hang watchdog → outcome
+    /// quorum → journal record. Returns `None` when the campaign budget
+    /// is exhausted (the case did not run).
+    fn judge(
+        &self,
+        fingerprint: u64,
+        func: &str,
+        plans: &[ParamPlan],
+        key: &CaseKey,
+        call: Dispatch<'_>,
+        tally: &mut CaseTally,
+    ) -> Option<TestOutcome> {
+        if let Some(outcome) = self.journal.lookup(fingerprint, key) {
+            tally.hits += 1;
+            return Some(TestOutcome { outcome, fault: None, errno: 0, ret: None });
+        }
+        if !self.budget.charge() {
+            return None;
+        }
+        let config = self.config;
+        let seed = case_seed(config.seed, func, key);
+        let mut out = run_case_opts(
+            self.factory,
+            plans,
+            key,
+            seed,
+            config.fuel,
+            config.detect_silent,
+            &mut *call,
+        );
+
+        // Adaptive watchdog: escalate the fuel budget geometrically up
+        // to the deadline before letting a Hang classification stick.
+        let max_fuel = config.fuel.saturating_mul(config.watchdog_max_fuel_factor.max(1));
+        let mut settled_fuel = config.fuel;
+        while out.outcome == Outcome::Hang && settled_fuel < max_fuel {
+            settled_fuel = settled_fuel.saturating_mul(2).min(max_fuel);
+            tally.retries += 1;
+            out = run_case_opts(
+                self.factory,
+                plans,
+                key,
+                seed,
+                settled_fuel,
+                config.detect_silent,
+                &mut *call,
+            );
+        }
+
+        // Outcome quorum: confirm non-hang failures, with per-retry fuel
+        // backoff starting from the fuel the watchdog settled at. A
+        // classification that does not reproduce is Flaky, first-class.
+        if config.quorum > 0 && out.outcome.is_failure() && out.outcome != Outcome::Hang {
+            let mut fuel = settled_fuel;
+            for _ in 0..config.quorum {
+                fuel = fuel.saturating_mul(2);
+                tally.retries += 1;
+                let confirm = run_case_opts(
+                    self.factory,
+                    plans,
+                    key,
+                    seed,
+                    fuel,
+                    config.detect_silent,
+                    &mut *call,
+                );
+                if confirm.outcome != out.outcome {
+                    out = TestOutcome {
+                        outcome: Outcome::Flaky,
+                        fault: None,
+                        errno: out.errno,
+                        ret: None,
+                    };
+                    break;
+                }
+            }
+        }
+
+        // Host bugs are defects of the harness, not observations about
+        // the library — never checkpoint them (a fixed host should
+        // re-execute).
+        if out.outcome != Outcome::HostBug {
+            self.journal.record(fingerprint, key, out.outcome);
+        }
+        Some(out)
+    }
+}
+
+/// The report + contract for a function on the skip list.
+fn skipped_entry(target: &TargetFn) -> (FunctionReport, RobustFunction, Vec<CrashCase>) {
+    (
+        FunctionReport {
+            name: target.name.clone(),
+            proto: target.proto.to_string(),
+            tests: 0,
+            histogram: BTreeMap::new(),
+            params: Vec::new(),
+            residual_failures: 0,
+            fully_robust: true,
+            skipped: true,
+            confidence: Confidence::High,
+            coverage: 1.0,
+            retries: 0,
+            checkpoint_hits: 0,
+        },
+        RobustFunction::trivial(target.proto.clone()),
+        Vec::new(),
+    )
+}
+
+/// The report + contract for a function the budget never reached: the
+/// strongest candidate type per parameter (a conservative guess the
+/// wrapper layer can refuse or warn on), zero coverage, `Partial`
+/// confidence.
+fn unprobed_entry(target: &TargetFn) -> (FunctionReport, RobustFunction, Vec<CrashCase>) {
+    let plans = plan(&target.proto);
+    let params: Vec<ParamResult> = plans
+        .iter()
+        .map(|p| ParamResult {
+            chosen: p.ladder.len() - 1,
+            chosen_name: p.ladder.last().expect("non-empty ladder").name.clone(),
+            tried: Vec::new(),
+        })
+        .collect();
+    let preds: Vec<SafePred> = plans
+        .iter()
+        .map(|p| p.ladder.last().expect("non-empty ladder").pred.clone())
+        .collect();
+    let mut robust = RobustFunction::new(target.proto.clone(), preds, false);
+    robust.confidence = Confidence::Partial;
+    robust.coverage = 0.0;
+    (
+        FunctionReport {
+            name: target.name.clone(),
+            proto: target.proto.to_string(),
+            tests: 0,
+            histogram: BTreeMap::new(),
+            params,
+            residual_failures: 0,
+            fully_robust: false,
+            skipped: false,
+            confidence: Confidence::Partial,
+            coverage: 0.0,
+            retries: 0,
+            checkpoint_hits: 0,
+        },
+        robust,
+        Vec::new(),
+    )
+}
+
+fn function_entry(
+    cx: &SearchCx<'_>,
+    target: &TargetFn,
+) -> (FunctionReport, RobustFunction, Vec<CrashCase>) {
+    if cx.config.skip.iter().any(|s| s == &target.name) {
+        skipped_entry(target)
+    } else if cx.budget.is_exhausted() {
+        unprobed_entry(target)
+    } else {
+        search_function(cx, target)
+    }
 }
 
 /// Runs the fault-injection campaign over `targets`, deriving the robust
-/// API of the library.
+/// API of the library. Single-shot: no checkpoint journal is kept
+/// across calls (see [`run_campaign_checkpointed`] for resumable runs).
 pub fn run_campaign(
     library: &str,
     targets: &[TargetFn],
     factory: ProcFactory,
     config: &CampaignConfig,
 ) -> CampaignResult {
+    let journal = CheckpointJournal::new();
+    run_campaign_checkpointed(library, targets, factory, config, &journal)
+}
+
+/// [`run_campaign`] backed by a durable checkpoint journal: every
+/// completed case's classification is recorded in `journal`, and cases
+/// already recorded (same function, prototype, ladder and seed) are
+/// replayed from it instead of executing. An interrupted or
+/// budget-limited campaign resumed with the same journal picks up
+/// exactly where it stopped and converges on the same result as an
+/// uninterrupted run.
+pub fn run_campaign_checkpointed(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    journal: &CheckpointJournal,
+) -> CampaignResult {
+    let budget = BudgetClock::new(config);
+    let cx = SearchCx { config, factory, journal, budget: &budget };
     let mut reports = Vec::new();
     let mut functions = Vec::new();
     let mut crashes = Vec::new();
 
     for target in targets {
-        if config.skip.iter().any(|s| s == &target.name) {
-            reports.push(FunctionReport {
-                name: target.name.clone(),
-                proto: target.proto.to_string(),
-                tests: 0,
-                histogram: BTreeMap::new(),
-                params: Vec::new(),
-                residual_failures: 0,
-                fully_robust: true,
-                skipped: true,
-            });
-            functions.push(RobustFunction::trivial(target.proto.clone()));
-            continue;
-        }
-        let (report, robust, mut cases) = search_function(target, factory, config);
+        let (report, robust, mut cases) = function_entry(&cx, target);
         reports.push(report);
         functions.push(robust);
         crashes.append(&mut cases);
@@ -186,6 +496,7 @@ pub fn run_campaign(
         reports,
         api: RobustApi { library: library.to_string(), functions },
         crashes,
+        complete: !budget.is_exhausted(),
     }
 }
 
@@ -201,7 +512,25 @@ pub fn run_campaign_parallel(
     config: &CampaignConfig,
     threads: usize,
 ) -> CampaignResult {
+    let journal = CheckpointJournal::new();
+    run_campaign_parallel_checkpointed(library, targets, factory, config, threads, &journal)
+}
+
+/// [`run_campaign_parallel`] backed by a shared checkpoint journal (the
+/// journal is internally synchronised). With a budget set, *which* cases
+/// execute before exhaustion depends on thread scheduling, but repeated
+/// resumed runs still converge on the uninterrupted result: the journal
+/// only ever accumulates deterministic per-case classifications.
+pub fn run_campaign_parallel_checkpointed(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    threads: usize,
+    journal: &CheckpointJournal,
+) -> CampaignResult {
     let threads = threads.max(1);
+    let budget = BudgetClock::new(config);
     let mut slots: Vec<Option<(FunctionReport, RobustFunction, Vec<CrashCase>)>> =
         (0..targets.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -209,28 +538,14 @@ pub fn run_campaign_parallel(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(target) = targets.get(i) else { break };
-                let outcome = if config.skip.iter().any(|s| s == &target.name) {
-                    (
-                        FunctionReport {
-                            name: target.name.clone(),
-                            proto: target.proto.to_string(),
-                            tests: 0,
-                            histogram: BTreeMap::new(),
-                            params: Vec::new(),
-                            residual_failures: 0,
-                            fully_robust: true,
-                            skipped: true,
-                        },
-                        RobustFunction::trivial(target.proto.clone()),
-                        Vec::new(),
-                    )
-                } else {
-                    search_function(target, factory, config)
-                };
-                slots_mutex.lock().expect("slot lock")[i] = Some(outcome);
+            scope.spawn(|| {
+                let cx = SearchCx { config, factory, journal, budget: &budget };
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(target) = targets.get(i) else { break };
+                    let outcome = function_entry(&cx, target);
+                    slots_mutex.lock().expect("slot lock")[i] = Some(outcome);
+                }
             });
         }
     });
@@ -249,6 +564,7 @@ pub fn run_campaign_parallel(
         reports,
         api: RobustApi { library: library.to_string(), functions },
         crashes,
+        complete: !budget.is_exhausted(),
     }
 }
 
@@ -276,11 +592,12 @@ fn combo_in_contract(
 }
 
 fn search_function(
+    cx: &SearchCx<'_>,
     target: &TargetFn,
-    factory: ProcFactory,
-    config: &CampaignConfig,
 ) -> (FunctionReport, RobustFunction, Vec<CrashCase>) {
+    let config = cx.config;
     let plans = plan(&target.proto);
+    let fingerprint = function_fingerprint(config, &target.name, &target.proto, &plans);
     let imp = target.imp;
     let mut call = move |p: &mut Proc, a: &[CVal]| imp(p, a);
     let mut histogram = BTreeMap::new();
@@ -288,16 +605,34 @@ fn search_function(
     let mut crashes = Vec::new();
     let mut chosen = vec![0usize; plans.len()];
     let mut params = Vec::new();
+    let mut tally = CaseTally::default();
+    let mut host_bugs = 0usize;
+    let mut stop: Option<Stop> = None;
+    // Coverage units: one per parameter ladder climb, plus one for the
+    // whole pairwise validation phase.
+    let units_total = plans.len() + usize::from(config.validate_pairs);
+    let mut units_done = 0usize;
 
     // Phase 1: per-parameter ladder climb (others pinned benign).
     for (i, p) in plans.iter().enumerate() {
+        if stop.is_some() {
+            // Untouched parameter: keep the strongest (most restrictive)
+            // candidate type as a conservative placeholder.
+            chosen[i] = p.ladder.len() - 1;
+            params.push(ParamResult {
+                chosen: chosen[i],
+                chosen_name: p.ladder[chosen[i]].name.clone(),
+                tried: Vec::new(),
+            });
+            continue;
+        }
         let mut tried = Vec::new();
         let mut picked = p.ladder.len() - 1;
-        for (r, rung) in p.ladder.iter().enumerate() {
+        'ladder: for (r, rung) in p.ladder.iter().enumerate() {
             let mut failures = 0usize;
             let probe_key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: 0 };
             let n = value_count(
-                factory,
+                cx.factory,
                 &plans,
                 i,
                 r,
@@ -305,18 +640,29 @@ fn search_function(
             );
             for k in 0..n {
                 let key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: k };
-                let seed = case_seed(config.seed, &target.name, &key);
-                let out = run_case_opts(
-                    factory,
+                let Some(out) = cx.judge(
+                    fingerprint,
+                    &target.name,
                     &plans,
                     &key,
-                    seed,
-                    config.fuel,
-                    config.detect_silent,
                     &mut call,
-                );
+                    &mut tally,
+                ) else {
+                    stop = Some(Stop::Budget);
+                    tried.push((rung.name.clone(), failures));
+                    break 'ladder;
+                };
                 tests += 1;
                 record(&mut histogram, out.outcome);
+                if out.outcome == Outcome::HostBug {
+                    host_bugs += 1;
+                    if config.breaker_threshold > 0 && host_bugs >= config.breaker_threshold
+                    {
+                        stop = Some(Stop::Breaker);
+                        tried.push((rung.name.clone(), failures));
+                        break 'ladder;
+                    }
+                }
                 if out.outcome.is_failure() {
                     failures += 1;
                     crashes.push(CrashCase {
@@ -326,6 +672,9 @@ fn search_function(
                         fault: out.fault,
                     });
                 }
+            }
+            if stop.is_some() {
+                break;
             }
             tried.push((rung.name.clone(), failures));
             if failures == 0 {
@@ -339,6 +688,9 @@ fn search_function(
             chosen_name: plans[i].ladder[picked].name.clone(),
             tried,
         });
+        if stop.is_none() {
+            units_done += 1;
+        }
     }
 
     // Phase 2: pairwise validation at the chosen rungs, escalating on
@@ -346,18 +698,23 @@ fn search_function(
     // pass cannot see, e.g. strcpy(small_dst, long_src)). Combinations
     // that jointly violate the chosen predicates are skipped: the
     // wrapper will reject those, so they are out of contract.
-    let max_escalations: usize =
-        if config.validate_pairs { plans.iter().map(|p| p.ladder.len()).sum() } else { 0 };
+    let max_escalations: usize = if config.validate_pairs && stop.is_none() {
+        plans.iter().map(|p| p.ladder.len()).sum()
+    } else {
+        0
+    };
     // Generator output lengths are context-independent; cache them so the
     // pairwise phase does not rebuild a scratch process per (param, rung)
     // per escalation round.
     let mut count_cache: std::collections::HashMap<(usize, usize), usize> =
         std::collections::HashMap::new();
     let mut residual = 0usize;
-    for _round in 0..=max_escalations {
-        if !config.validate_pairs {
+    let mut ran_pairs = false;
+    'rounds: for _round in 0..=max_escalations {
+        if !config.validate_pairs || stop.is_some() {
             break;
         }
+        ran_pairs = true;
         residual = 0;
         let mut failing_params: Vec<usize> = Vec::new();
         for i in 0..plans.len() {
@@ -366,7 +723,7 @@ fn search_function(
                     *count_cache.entry((param, rung)).or_insert_with(|| {
                         let key = CaseKey::Ladder { param, rung_idx: rung, value_idx: 0 };
                         value_count(
-                            factory,
+                            cx.factory,
                             &plans,
                             param,
                             rung,
@@ -388,20 +745,31 @@ fn search_function(
                                 rungs: chosen.clone(),
                             };
                             let seed = case_seed(config.seed, &target.name, &key);
-                            if !combo_in_contract(factory, &plans, &chosen, &key, seed) {
+                            if !combo_in_contract(cx.factory, &plans, &chosen, &key, seed) {
                                 continue;
                             }
-                            let out = run_case_opts(
-                                factory,
+                            let Some(out) = cx.judge(
+                                fingerprint,
+                                &target.name,
                                 &plans,
                                 &key,
-                                seed,
-                                config.fuel,
-                                config.detect_silent,
                                 &mut call,
-                            );
+                                &mut tally,
+                            ) else {
+                                stop = Some(Stop::Budget);
+                                break 'rounds;
+                            };
                             tests += 1;
                             record(&mut histogram, out.outcome);
+                            if out.outcome == Outcome::HostBug {
+                                host_bugs += 1;
+                                if config.breaker_threshold > 0
+                                    && host_bugs >= config.breaker_threshold
+                                {
+                                    stop = Some(Stop::Breaker);
+                                    break 'rounds;
+                                }
+                            }
                             if out.outcome.is_failure() {
                                 residual += 1;
                                 failing_params.push(i);
@@ -432,6 +800,9 @@ fn search_function(
             None => break,
         }
     }
+    if config.validate_pairs && ran_pairs && stop.is_none() {
+        units_done += 1;
+    }
 
     // Sync the recorded choices.
     for (i, pr) in params.iter_mut().enumerate() {
@@ -439,7 +810,15 @@ fn search_function(
         pr.chosen_name = plans[i].ladder[chosen[i]].name.clone();
     }
 
-    let fully_robust = residual == 0;
+    let coverage =
+        if units_total == 0 { 1.0 } else { units_done as f64 / units_total as f64 };
+    let confidence = match stop {
+        Some(Stop::Breaker) => Confidence::Inconclusive,
+        Some(Stop::Budget) => Confidence::Partial,
+        None if histogram.contains_key(&Outcome::Flaky) => Confidence::Flaky,
+        None => Confidence::High,
+    };
+    let fully_robust = residual == 0 && stop.is_none();
     let preds: Vec<SafePred> =
         plans.iter().zip(&chosen).map(|(p, &r)| p.ladder[r].pred.clone()).collect();
     let report = FunctionReport {
@@ -451,9 +830,14 @@ fn search_function(
         residual_failures: residual,
         fully_robust,
         skipped: false,
+        confidence,
+        coverage,
+        retries: tally.retries,
+        checkpoint_hits: tally.hits,
     };
-    let robust =
-        RobustFunction { proto: target.proto.clone(), preds, fully_robust, skipped: false };
+    let mut robust = RobustFunction::new(target.proto.clone(), preds, fully_robust);
+    robust.confidence = confidence;
+    robust.coverage = coverage;
     (report, robust, crashes)
 }
 
@@ -570,6 +954,9 @@ mod tests {
         let f = result.api.function("strlen").unwrap();
         assert_eq!(f.preds, vec![SafePred::CStr]);
         assert!(f.fully_robust);
+        assert_eq!(f.confidence, Confidence::High);
+        assert_eq!(f.coverage, 1.0);
+        assert!(result.complete);
         assert!(result.total_failures() > 0, "the bare function must have crashed");
     }
 
@@ -671,6 +1058,8 @@ mod tests {
             assert_eq!(a.name, b.name, "order preserved");
             assert_eq!(a.histogram, b.histogram, "{}", a.name);
             assert_eq!(a.skipped, b.skipped);
+            assert_eq!(a.confidence, b.confidence);
+            assert_eq!(a.coverage, b.coverage);
         }
         for (a, b) in serial.api.functions.iter().zip(&parallel.api.functions) {
             assert_eq!(a.preds, b.preds, "{}", a.proto.name);
@@ -689,5 +1078,119 @@ mod tests {
             r1.api.function("strncpy").unwrap().preds,
             r2.api.function("strncpy").unwrap().preds
         );
+    }
+
+    #[test]
+    fn checkpointed_rerun_executes_nothing() {
+        let targets = single_target("strlen");
+        let config = quick_config();
+        let journal = CheckpointJournal::new();
+        let first =
+            run_campaign_checkpointed("l", &targets, init_process, &config, &journal);
+        assert_eq!(first.checkpoint_hits(), 0);
+        assert!(first.executed_cases() > 0);
+        let again =
+            run_campaign_checkpointed("l", &targets, init_process, &config, &journal);
+        assert_eq!(
+            again.executed_cases(),
+            0,
+            "an unchanged (function, ladder, seed) triple is never re-executed"
+        );
+        assert_eq!(again.checkpoint_hits(), again.total_tests());
+        assert_eq!(
+            first.api.function("strlen").unwrap().preds,
+            again.api.function("strlen").unwrap().preds
+        );
+        assert_eq!(first.total_tests(), again.total_tests());
+        for (a, b) in first.reports.iter().zip(&again.reports) {
+            assert_eq!(a.histogram, b.histogram);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_gracefully() {
+        let targets: Vec<_> = targets_from_simlibc()
+            .into_iter()
+            .filter(|t| ["strlen", "strcpy"].contains(&t.name.as_str()))
+            .collect();
+        let config = CampaignConfig { case_budget: Some(5), ..quick_config() };
+        let result = run_campaign("l", &targets, init_process, &config);
+        assert!(!result.complete);
+        assert_eq!(result.reports.len(), 2, "every target still gets a report");
+        assert_eq!(result.api.functions.len(), 2, "partial RobustApi, not an error");
+        let partial: Vec<_> = result
+            .api
+            .functions
+            .iter()
+            .filter(|f| f.confidence == Confidence::Partial)
+            .collect();
+        assert!(!partial.is_empty(), "budget cut must be annotated");
+        for f in partial {
+            assert!(f.coverage < 1.0, "{}: {}", f.proto.name, f.coverage);
+            assert!(!f.fully_robust);
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_probes_nothing_but_reports_everything() {
+        let targets = single_target("strlen");
+        let config = CampaignConfig { time_budget: Some(Duration::ZERO), ..quick_config() };
+        let result = run_campaign("l", &targets, init_process, &config);
+        assert!(!result.complete);
+        assert_eq!(result.total_tests(), 0);
+        let f = result.api.function("strlen").unwrap();
+        assert_eq!(f.confidence, Confidence::Partial);
+        assert_eq!(f.coverage, 0.0);
+        assert!(f.has_checks(), "unprobed contract is conservative, not permissive");
+    }
+
+    #[test]
+    fn watchdog_rescues_slow_but_terminating_calls() {
+        // A call that burns a fixed 1000 fuel terminates, but at a base
+        // budget of 50 the first observation is Hang; the watchdog's
+        // geometric fuel escalation must rescue it instead of
+        // misclassifying.
+        let table = cdecl::TypedefTable::with_builtins();
+        let proto = cdecl::parse_prototype("int slow(int x);", &table).unwrap();
+        let plans = plan(&proto);
+        let mut call = |p: &mut Proc, _a: &[CVal]| -> Result<CVal, Fault> {
+            for _ in 0..1000 {
+                p.consume_fuel(1)?;
+            }
+            Ok(CVal::Int(0))
+        };
+        let key = CaseKey::Ladder { param: 0, rung_idx: 0, value_idx: 0 };
+        let seed = case_seed(1, "slow", &key);
+        let starved = run_case_opts(init_process, &plans, &key, seed, 50, true, &mut call);
+        assert_eq!(starved.outcome, Outcome::Hang, "starved fuel must look like a hang");
+
+        let config = CampaignConfig {
+            seed: 1,
+            fuel: 50,
+            watchdog_max_fuel_factor: 64,
+            ..CampaignConfig::default()
+        };
+        let journal = CheckpointJournal::new();
+        let budget = BudgetClock::new(&config);
+        let cx = SearchCx {
+            config: &config,
+            factory: init_process,
+            journal: &journal,
+            budget: &budget,
+        };
+        let mut tally = CaseTally::default();
+        let out = cx.judge(1, "slow", &plans, &key, &mut call, &mut tally).unwrap();
+        assert_ne!(out.outcome, Outcome::Hang, "watchdog must rescue slow calls");
+        assert!(tally.retries > 0, "escalation must have happened");
+
+        // A genuine hang stays a hang even after full escalation.
+        let mut diverge = |p: &mut Proc, _a: &[CVal]| -> Result<CVal, Fault> {
+            loop {
+                p.consume_fuel(1)?;
+            }
+        };
+        let mut tally = CaseTally::default();
+        let out = cx.judge(2, "diverge", &plans, &key, &mut diverge, &mut tally).unwrap();
+        assert_eq!(out.outcome, Outcome::Hang, "true divergence is still classified");
     }
 }

@@ -102,6 +102,53 @@ pub fn render_report_with_healing(
     out
 }
 
+/// Renders the campaign-health summary of a derived robust API: one
+/// line per function with its confidence and coverage, functions with
+/// degraded confidence first, then a totals line. This is what an
+/// operator reads before deciding whether to deploy a wrapper built
+/// from a budget-cut or interrupted campaign.
+pub fn render_robust_api_health(api: &typelattice::RobustApi) -> String {
+    use typelattice::Confidence;
+    let mut out = String::new();
+    let _ = writeln!(out, "Robust-API health for `{}`:", api.library);
+    let mut rows: Vec<_> = api.functions.iter().collect();
+    rows.sort_by(|a, b| {
+        a.confidence.cmp(&b.confidence).then(a.proto.name.cmp(&b.proto.name))
+    });
+    let _ = writeln!(out, "{:<14} {:>12} {:>8}   notes", "function", "confidence", "cover");
+    for f in &rows {
+        let note = match f.confidence {
+            Confidence::Inconclusive => "circuit breaker tripped; contract is a guess",
+            Confidence::Partial => "campaign budget expired before full probe",
+            Confidence::Flaky => "non-deterministic outcomes observed",
+            Confidence::High => "",
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>7.1}%   {}",
+            f.proto.name,
+            f.confidence.tag(),
+            f.coverage * 100.0,
+            note
+        );
+    }
+    let measured = api.functions.iter().filter(|f| f.is_measured()).count();
+    let _ = writeln!(
+        out,
+        "\n{} of {} contracts are measurements; mean coverage {:.1}%",
+        measured,
+        api.functions.len(),
+        if api.functions.is_empty() {
+            100.0
+        } else {
+            api.functions.iter().map(|f| f.coverage).sum::<f64>()
+                / api.functions.len() as f64
+                * 100.0
+        }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +198,35 @@ mod tests {
 
         let empty = render_report_with_healing("editor", &stats.snapshot(), &[]);
         assert!(empty.contains("no healing actions taken"), "{empty}");
+    }
+
+    #[test]
+    fn health_report_leads_with_degraded_contracts() {
+        use cdecl::{parse_prototype, TypedefTable};
+        use typelattice::{Confidence, RobustApi, RobustFunction, SafePred};
+        let t = TypedefTable::with_builtins();
+        let mut good = RobustFunction::new(
+            parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+            vec![SafePred::CStr],
+            true,
+        );
+        good.coverage = 1.0;
+        let mut cut = RobustFunction::new(
+            parse_prototype("int abs(int j);", &t).unwrap(),
+            vec![SafePred::Always],
+            false,
+        );
+        cut.confidence = Confidence::Partial;
+        cut.coverage = 0.5;
+        let api = RobustApi { library: "libsimc.so.1".into(), functions: vec![good, cut] };
+        let report = render_robust_api_health(&api);
+        assert!(report.contains("libsimc.so.1"), "{report}");
+        let abs = report.find("abs").unwrap();
+        let strlen = report.find("strlen").unwrap();
+        assert!(abs < strlen, "degraded contracts listed first: {report}");
+        assert!(report.contains("budget expired"), "{report}");
+        assert!(report.contains("1 of 2 contracts are measurements"), "{report}");
+        assert!(report.contains("75.0%"), "mean coverage: {report}");
     }
 
     #[test]

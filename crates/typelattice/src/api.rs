@@ -2,10 +2,63 @@
 //! search (Figure 2's right-hand box) and the input to wrapper
 //! generation.
 
+use std::fmt;
+
 use cdecl::xml::XmlWriter;
 use cdecl::Prototype;
 
 use crate::pred::SafePred;
+
+/// How trustworthy a function's derived contract is — the campaign
+/// resilience layer's per-function annotation. Ordered by increasing
+/// trust, so thresholds compare naturally
+/// (`confidence >= Confidence::Flaky`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// The campaign's per-function circuit breaker tripped (repeated
+    /// abnormal sandbox deaths): the rungs are inconclusive and the
+    /// contract is a conservative guess, not a measurement.
+    Inconclusive,
+    /// The campaign budget expired before this function was fully
+    /// probed; the contract covers only the fraction in
+    /// [`RobustFunction::coverage`].
+    Partial,
+    /// Fully probed, but some cases classified differently across quorum
+    /// retries — the function is non-deterministic for parts of its
+    /// input space.
+    Flaky,
+    /// Fully probed with stable classifications throughout.
+    High,
+}
+
+impl Confidence {
+    /// Short tag for tables and XML.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Confidence::Inconclusive => "inconclusive",
+            Confidence::Partial => "partial",
+            Confidence::Flaky => "flaky",
+            Confidence::High => "high",
+        }
+    }
+
+    /// Inverse of [`Confidence::tag`].
+    pub fn from_tag(tag: &str) -> Option<Confidence> {
+        Some(match tag {
+            "inconclusive" => Confidence::Inconclusive,
+            "partial" => Confidence::Partial,
+            "flaky" => Confidence::Flaky,
+            "high" => Confidence::High,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
 
 /// The derived robust contract of one function.
 #[derive(Debug, Clone)]
@@ -19,19 +72,50 @@ pub struct RobustFunction {
     pub fully_robust: bool,
     /// `true` if the function was excluded from injection (e.g. `exit`).
     pub skipped: bool,
+    /// How trustworthy this contract is.
+    pub confidence: Confidence,
+    /// Fraction of the planned probe work that actually executed
+    /// (`1.0` = fully probed, `0.0` = never started).
+    pub coverage: f64,
 }
 
 impl RobustFunction {
+    /// A fully-probed contract — the normal campaign output.
+    pub fn new(proto: Prototype, preds: Vec<SafePred>, fully_robust: bool) -> Self {
+        RobustFunction {
+            proto,
+            preds,
+            fully_robust,
+            skipped: false,
+            confidence: Confidence::High,
+            coverage: 1.0,
+        }
+    }
+
     /// A function whose parameters all accept any value (the trivial
     /// contract, used for skipped functions).
     pub fn trivial(proto: Prototype) -> Self {
         let preds = proto.params.iter().map(|_| SafePred::Always).collect();
-        RobustFunction { proto, preds, fully_robust: true, skipped: true }
+        RobustFunction {
+            proto,
+            preds,
+            fully_robust: true,
+            skipped: true,
+            confidence: Confidence::High,
+            coverage: 1.0,
+        }
     }
 
     /// Whether any parameter carries a non-trivial precondition.
     pub fn has_checks(&self) -> bool {
         self.preds.iter().any(|p| *p != SafePred::Always)
+    }
+
+    /// Whether wrapper generation can rely on this contract as a
+    /// *measurement* (fully probed, deterministic or flaky-annotated)
+    /// rather than a conservative guess from a cut-short campaign.
+    pub fn is_measured(&self) -> bool {
+        self.confidence >= Confidence::Flaky
     }
 }
 
@@ -52,16 +136,22 @@ impl RobustApi {
 
     /// Serialises the robust API as a self-describing XML document
     /// (the declaration-file format extended with `safe` attributes).
+    /// Functions are emitted sorted by symbol name so the document is
+    /// byte-identical for equivalent APIs regardless of probe order.
     pub fn to_xml(&self) -> String {
         let mut w = XmlWriter::new();
         w.open("robust-api", &[("library", &self.library)]);
-        for f in &self.functions {
+        let mut functions: Vec<&RobustFunction> = self.functions.iter().collect();
+        functions.sort_by(|a, b| a.proto.name.cmp(&b.proto.name));
+        for f in functions {
             w.open(
                 "function",
                 &[
                     ("name", f.proto.name.as_str()),
                     ("fully-robust", if f.fully_robust { "true" } else { "false" }),
                     ("skipped", if f.skipped { "true" } else { "false" }),
+                    ("confidence", f.confidence.tag()),
+                    ("coverage", &format!("{:.3}", f.coverage)),
                 ],
             );
             for (i, (param, pred)) in f.proto.params.iter().zip(&f.preds).enumerate() {
@@ -88,12 +178,11 @@ mod tests {
             parse_prototype("char *strcpy(char *dest, const char *src);", &t).unwrap();
         RobustApi {
             library: "libsimc.so.1".into(),
-            functions: vec![RobustFunction {
+            functions: vec![RobustFunction::new(
                 proto,
-                preds: vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
-                fully_robust: true,
-                skipped: false,
-            }],
+                vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+                true,
+            )],
         }
     }
 
@@ -121,5 +210,57 @@ mod tests {
         assert!(xml.contains("strcpy"));
         assert!(xml.contains("writable buffer &gt;= strlen(arg2)+1"), "{xml}");
         assert!(xml.contains("readable NUL-terminated string"));
+        assert!(xml.contains("confidence=\"high\""), "{xml}");
+        assert!(xml.contains("coverage=\"1.000\""), "{xml}");
+    }
+
+    #[test]
+    fn confidence_ordering_and_tags() {
+        assert!(Confidence::High > Confidence::Flaky);
+        assert!(Confidence::Flaky > Confidence::Partial);
+        assert!(Confidence::Partial > Confidence::Inconclusive);
+        for c in [
+            Confidence::High,
+            Confidence::Flaky,
+            Confidence::Partial,
+            Confidence::Inconclusive,
+        ] {
+            assert_eq!(Confidence::from_tag(c.tag()), Some(c), "{c}");
+        }
+        assert_eq!(Confidence::from_tag("bogus"), None);
+    }
+
+    #[test]
+    fn measured_threshold() {
+        let t = TypedefTable::with_builtins();
+        let proto = parse_prototype("size_t strlen(const char *s);", &t).unwrap();
+        let mut f = RobustFunction::new(proto, vec![SafePred::CStr], true);
+        assert!(f.is_measured());
+        f.confidence = Confidence::Flaky;
+        assert!(f.is_measured());
+        f.confidence = Confidence::Partial;
+        assert!(!f.is_measured());
+        f.confidence = Confidence::Inconclusive;
+        assert!(!f.is_measured());
+    }
+
+    #[test]
+    fn xml_sorts_functions_by_name() {
+        let t = TypedefTable::with_builtins();
+        let mk = |p: &str| {
+            RobustFunction::new(
+                parse_prototype(p, &t).unwrap(),
+                vec![SafePred::Always],
+                true,
+            )
+        };
+        let api = RobustApi {
+            library: "l".into(),
+            functions: vec![mk("int zeta(int a);"), mk("int alpha(int a);")],
+        };
+        let xml = api.to_xml();
+        let zeta = xml.find("zeta").unwrap();
+        let alpha = xml.find("alpha").unwrap();
+        assert!(alpha < zeta, "{xml}");
     }
 }

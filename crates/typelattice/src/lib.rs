@@ -38,7 +38,7 @@ mod ladder;
 mod pred;
 mod repair;
 
-pub use api::{RobustApi, RobustFunction};
+pub use api::{Confidence, RobustApi, RobustFunction};
 pub use class::{classify, classify_params, ArgClass};
 pub use gen::{benign_value, trunc_int, values_for, GenCx};
 pub use ladder::{ladder_for, plan, ParamPlan, Rung};

@@ -94,6 +94,10 @@ pub struct WrapperLibrary {
     pub log: CallLog,
     /// Healing audit journal (populated by healing wrappers).
     pub journal: Arc<HealingJournal>,
+    /// Human-readable warnings raised during generation — e.g. contracts
+    /// derived by a budget-cut campaign that this wrapper enforces (or
+    /// refused to enforce) despite their low confidence.
+    pub warnings: Vec<String>,
 }
 
 impl WrapperLibrary {
@@ -123,6 +127,20 @@ impl WrapperLibrary {
     }
 }
 
+/// What contract-enforcing wrappers do with a function whose robust
+/// contract is not a measurement (the campaign's circuit breaker tripped
+/// or its budget expired before the function was fully probed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LowConfidence {
+    /// Enforce the conservative contract anyway, recording a warning in
+    /// [`WrapperLibrary::warnings`].
+    #[default]
+    Warn,
+    /// Leave the function unwrapped (and record a warning): better no
+    /// interposition than graceful errors driven by a guessed contract.
+    Skip,
+}
+
 /// Options for wrapper generation.
 #[derive(Debug, Clone, Default)]
 pub struct WrapperConfig {
@@ -134,6 +152,9 @@ pub struct WrapperConfig {
     /// Policy engine for healing wrappers; defaults to
     /// [`PolicyEngine::healing`].
     pub policy: Option<PolicyEngine>,
+    /// How contract-enforcing wrapper kinds treat functions whose
+    /// contract is a conservative guess rather than a measurement.
+    pub low_confidence: LowConfidence,
 }
 
 /// Whether a predicate guards *writes* (what the security wrapper
@@ -187,6 +208,7 @@ pub fn build_wrapper_with_impls(
     let engine = config.policy.clone().unwrap_or_else(PolicyEngine::healing);
 
     let mut fns = BTreeMap::new();
+    let mut warnings = Vec::new();
     let mut source = String::new();
     source.push_str(&format!(
         "/* {} — generated by HEALERS from the robust API of {} */\n\n",
@@ -197,6 +219,29 @@ pub fn build_wrapper_with_impls(
     for (index, f) in api.functions.iter().enumerate() {
         let name = f.proto.name.clone();
         let Some(imp) = lookup(&name) else { continue };
+
+        // A contract that is a conservative guess (breaker tripped,
+        // budget expired) is dangerous to *enforce*: it may reject
+        // arguments the library handles fine. Observational kinds
+        // (profiling, tracing) are unaffected.
+        let enforces_contract = matches!(
+            kind,
+            WrapperKind::Robustness | WrapperKind::Security | WrapperKind::Healing
+        );
+        if enforces_contract && !f.skipped && !f.is_measured() {
+            let action = match config.low_confidence {
+                LowConfidence::Warn => "enforcing conservative contract",
+                LowConfidence::Skip => "left unwrapped",
+            };
+            warnings.push(format!(
+                "{name}: contract confidence is {} (coverage {:.0}%) — {action}",
+                f.confidence,
+                f.coverage * 100.0
+            ));
+            if config.low_confidence == LowConfidence::Skip {
+                continue;
+            }
+        }
 
         let mut hooks: Vec<Arc<dyn Hook>> = Vec::new();
         let mut gens: Vec<Box<dyn MicroGen>> = vec![Box::new(PrototypeGen)];
@@ -325,6 +370,7 @@ pub fn build_wrapper_with_impls(
         registry,
         log,
         journal,
+        warnings,
     }
 }
 
@@ -380,6 +426,7 @@ impl WrapperBuilder {
             registry: Arc::new(CanaryRegistry::new()),
             log: Arc::new(Mutex::new(Vec::new())),
             journal: Arc::new(HealingJournal::new()),
+            warnings: Vec::new(),
         }
     }
 }
@@ -394,11 +441,8 @@ mod tests {
 
     fn tiny_api() -> RobustApi {
         let t = TypedefTable::with_builtins();
-        let mk = |proto: &str, preds: Vec<SafePred>| RobustFunction {
-            proto: parse_prototype(proto, &t).unwrap(),
-            preds,
-            fully_robust: true,
-            skipped: false,
+        let mk = |proto: &str, preds: Vec<SafePred>| {
+            RobustFunction::new(parse_prototype(proto, &t).unwrap(), preds, true)
         };
         RobustApi {
             library: "libsimc.so.1".into(),
@@ -474,6 +518,7 @@ mod tests {
             app_name: "demo".into(),
             collector: Some(server.collector()),
             policy: None,
+            ..WrapperConfig::default()
         };
         let lib = build_wrapper(WrapperKind::Profiling, &tiny_api(), &config);
         assert_eq!(lib.len(), 6, "profiling wraps every function");
@@ -499,6 +544,7 @@ mod tests {
             app_name: "healdemo".into(),
             collector: Some(server.collector()),
             policy: None, // defaults to PolicyEngine::healing()
+            ..WrapperConfig::default()
         };
         let lib = build_wrapper(WrapperKind::Healing, &tiny_api(), &config);
         assert_eq!(lib.kind, WrapperKind::Healing);
@@ -543,6 +589,36 @@ mod tests {
         lib.get("strlen").unwrap().call(&mut p, &[CVal::Ptr(s)]).unwrap();
         assert_eq!(log.lock().len(), 1);
         assert_eq!(stats.snapshot().per_func["strlen"].calls, 1);
+    }
+
+    #[test]
+    fn low_confidence_contracts_warn_or_skip() {
+        use typelattice::Confidence;
+        let mut api = tiny_api();
+        let i = api.functions.iter().position(|f| f.proto.name == "strlen").unwrap();
+        api.functions[i].confidence = Confidence::Partial;
+        api.functions[i].coverage = 0.4;
+        api.functions[i].fully_robust = false;
+
+        let warn = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+        assert!(warn.get("strlen").is_some(), "Warn still enforces");
+        assert_eq!(warn.warnings.len(), 1, "{:?}", warn.warnings);
+        assert!(warn.warnings[0].contains("strlen"), "{:?}", warn.warnings);
+        assert!(warn.warnings[0].contains("partial"), "{:?}", warn.warnings);
+
+        let config = WrapperConfig {
+            low_confidence: LowConfidence::Skip,
+            ..WrapperConfig::default()
+        };
+        let skip = build_wrapper(WrapperKind::Robustness, &api, &config);
+        assert!(skip.get("strlen").is_none(), "Skip refuses guessed contracts");
+        assert!(skip.get("strcpy").is_some(), "measured contracts unaffected");
+        assert_eq!(skip.warnings.len(), 1, "{:?}", skip.warnings);
+
+        let profiling =
+            build_wrapper(WrapperKind::Profiling, &api, &WrapperConfig::default());
+        assert!(profiling.warnings.is_empty(), "observational kinds never warn");
+        assert!(profiling.get("strlen").is_some());
     }
 
     #[test]

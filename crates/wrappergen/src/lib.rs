@@ -28,12 +28,11 @@
 //! let t = TypedefTable::with_builtins();
 //! let api = RobustApi {
 //!     library: "libsimc.so.1".into(),
-//!     functions: vec![RobustFunction {
-//!         proto: parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
-//!         preds: vec![SafePred::CStr],
-//!         fully_robust: true,
-//!         skipped: false,
-//!     }],
+//!     functions: vec![RobustFunction::new(
+//!         parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+//!         vec![SafePred::CStr],
+//!         true,
+//!     )],
 //! };
 //! let lib = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
 //!
@@ -53,8 +52,8 @@ pub mod policy;
 mod runtime;
 
 pub use builders::{
-    build_wrapper, build_wrapper_with_impls, WrapperBuilder, WrapperConfig, WrapperKind,
-    WrapperLibrary,
+    build_wrapper, build_wrapper_with_impls, LowConfidence, WrapperBuilder, WrapperConfig,
+    WrapperKind, WrapperLibrary,
 };
 pub use policy::{apply_repair, Policy, PolicyEngine, ViolationClass, SUBSTITUTE_CAP};
 pub use runtime::{

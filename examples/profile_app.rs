@@ -126,6 +126,7 @@ fn main() {
         app_name: "wordcount".into(),
         collector: Some(server.collector()),
         policy: None,
+        ..WrapperConfig::default()
     };
     let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
 

@@ -47,12 +47,13 @@ pub use typelattice;
 pub use wrappergen;
 
 pub use healers_core::{as_preload_library, process_factory, Toolkit};
-pub use injector::{CampaignConfig, CampaignResult};
+pub use injector::{CampaignConfig, CampaignResult, CheckpointJournal, Outcome};
 pub use interpose::{Executable, Loader, RunOutcome, Session, System};
 pub use profiler::{HealAction, HealEvent, HealingJournal};
-pub use typelattice::{repair_hint, RepairHint, RobustApi, SafePred};
+pub use typelattice::{repair_hint, Confidence, RepairHint, RobustApi, SafePred};
 pub use wrappergen::{
-    Policy, PolicyEngine, ViolationClass, WrapperConfig, WrapperKind, WrapperLibrary,
+    LowConfidence, Policy, PolicyEngine, ViolationClass, WrapperConfig, WrapperKind,
+    WrapperLibrary,
 };
 
 #[cfg(test)]

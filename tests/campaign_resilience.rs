@@ -1,0 +1,184 @@
+//! Integration tests for the campaign resilience layer: checkpointed
+//! resume, flaky-outcome quorum, the per-function circuit breaker, and
+//! graceful degradation under a campaign budget — the acceptance
+//! scenarios of the crash-resilient-campaign work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use healers::injector::{
+    run_campaign, run_campaign_checkpointed, targets_from_simlibc, to_xml, CampaignConfig,
+    CheckpointJournal, Outcome, TargetFn,
+};
+use healers::simproc::{CVal, Fault, Proc};
+use healers::{process_factory, Confidence, LowConfidence, WrapperConfig, WrapperKind};
+
+fn slice(names: &[&str]) -> Vec<TargetFn> {
+    targets_from_simlibc()
+        .into_iter()
+        .filter(|t| names.contains(&t.name.as_str()))
+        .collect()
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() }
+}
+
+/// Acceptance scenario 1: a campaign killed partway through (simulated
+/// by a hard case budget plus journal serialisation between attempts)
+/// resumes from the checkpoint and converges on a robust API — and a
+/// campaign report — byte-identical to an uninterrupted run's.
+#[test]
+fn interrupted_campaign_resumes_to_identical_result() {
+    let targets = slice(&["strlen", "div"]);
+    let full = run_campaign("libsimc.so.1", &targets, process_factory, &config());
+    assert!(full.complete);
+
+    let limited = CampaignConfig { case_budget: Some(25), ..config() };
+    let mut journal = CheckpointJournal::new();
+    let mut rounds = 0usize;
+    let resumed = loop {
+        rounds += 1;
+        assert!(rounds < 500, "campaign must converge");
+        let r = run_campaign_checkpointed(
+            "libsimc.so.1",
+            &targets,
+            process_factory,
+            &limited,
+            &journal,
+        );
+        if r.complete {
+            break r;
+        }
+        // Simulate the process dying: only the durable text form of the
+        // journal survives into the next attempt.
+        journal = CheckpointJournal::from_text(&journal.to_text()).unwrap();
+    };
+    assert!(rounds > 1, "the budget must actually have interrupted the campaign");
+    assert_eq!(resumed.api.to_xml(), full.api.to_xml());
+    assert_eq!(to_xml(&resumed), to_xml(&full), "campaign XML is resume-invariant");
+    assert!(resumed.checkpoint_hits() > 0);
+    for f in &resumed.api.functions {
+        assert_eq!(f.confidence, Confidence::High, "{}", f.proto.name);
+        assert_eq!(f.coverage, 1.0);
+    }
+}
+
+static FLIP: AtomicUsize = AtomicUsize::new(0);
+
+fn unstable_imp(_p: &mut Proc, _a: &[CVal]) -> Result<CVal, Fault> {
+    if FLIP.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+        Err(Fault::Abort { reason: "nondeterministic failure".into() })
+    } else {
+        Ok(CVal::Int(0))
+    }
+}
+
+/// Acceptance scenario 2: a target whose classification flips between
+/// executions is caught by the outcome quorum and surfaces as the
+/// first-class `Flaky` outcome with a `Flaky` confidence annotation —
+/// instead of whichever observation happened to come last.
+#[test]
+fn nondeterministic_target_is_classified_flaky() {
+    let table = healers::cdecl::TypedefTable::with_builtins();
+    let proto = healers::cdecl::parse_prototype("int unstable(int x);", &table).unwrap();
+    let targets = vec![TargetFn { name: "unstable".into(), proto, imp: unstable_imp }];
+    let result = run_campaign("libflaky.so.1", &targets, process_factory, &config());
+
+    let report = &result.reports[0];
+    let flaky_cases = report.histogram.get(&Outcome::Flaky).copied().unwrap_or(0);
+    assert!(flaky_cases > 0, "quorum must expose the disagreement: {report:?}");
+    assert_eq!(report.confidence, Confidence::Flaky);
+    assert!(result.crashes.iter().any(|c| c.outcome == Outcome::Flaky));
+
+    let f = result.api.function("unstable").unwrap();
+    assert_eq!(f.confidence, Confidence::Flaky);
+    assert!(f.is_measured(), "flaky is an annotated measurement, not a failure");
+    assert!(result.api.to_xml().contains("confidence=\"flaky\""));
+}
+
+/// Acceptance scenario 3: when the campaign budget expires the toolkit
+/// still emits a partial robust API with confidence/coverage
+/// annotations, and wrapper generation warns on — or refuses — the
+/// functions whose contracts are guesses.
+#[test]
+fn budget_exhaustion_yields_partial_api_and_wrapper_reacts() {
+    let targets = slice(&["strlen", "strcpy"]);
+    let limited = CampaignConfig { case_budget: Some(10), ..config() };
+    let result = run_campaign("libsimc.so.1", &targets, process_factory, &limited);
+
+    assert!(!result.complete);
+    assert_eq!(result.api.functions.len(), 2, "partial API covers every target");
+    let partial: Vec<&str> = result
+        .api
+        .functions
+        .iter()
+        .filter(|f| f.confidence == Confidence::Partial)
+        .map(|f| f.proto.name.as_str())
+        .collect();
+    assert!(!partial.is_empty());
+
+    let health = healers::profiler::render_robust_api_health(&result.api);
+    assert!(health.contains("budget expired"), "{health}");
+
+    // Default policy: enforce the conservative contracts but say so.
+    let warn = healers::wrappergen::build_wrapper(
+        WrapperKind::Robustness,
+        &result.api,
+        &WrapperConfig::default(),
+    );
+    assert!(!warn.warnings.is_empty(), "low confidence must be surfaced");
+    for name in &partial {
+        assert!(
+            warn.warnings.iter().any(|w| w.contains(name)),
+            "{name} missing from {:?}",
+            warn.warnings
+        );
+    }
+
+    // Strict policy: refuse to wrap guessed contracts at all.
+    let strict =
+        WrapperConfig { low_confidence: LowConfidence::Skip, ..WrapperConfig::default() };
+    let skip =
+        healers::wrappergen::build_wrapper(WrapperKind::Robustness, &result.api, &strict);
+    for name in &partial {
+        assert!(skip.get(name).is_none(), "{name} must be left unwrapped");
+    }
+}
+
+fn crashing_harness_imp(_p: &mut Proc, _a: &[CVal]) -> Result<CVal, Fault> {
+    panic!("deliberate sandbox death");
+}
+
+/// Acceptance scenario 4: repeated abnormal sandbox deaths trip the
+/// per-function circuit breaker; the function is marked inconclusive
+/// instead of burning the whole campaign, and harness bugs are never
+/// persisted to the checkpoint journal (a fixed harness must re-run).
+#[test]
+fn circuit_breaker_contains_abnormal_sandbox_deaths() {
+    let table = healers::cdecl::TypedefTable::with_builtins();
+    let proto = healers::cdecl::parse_prototype("int boom(int x);", &table).unwrap();
+    let targets = vec![TargetFn { name: "boom".into(), proto, imp: crashing_harness_imp }];
+    let journal = CheckpointJournal::new();
+    let result = run_campaign_checkpointed(
+        "libboom.so.1",
+        &targets,
+        process_factory,
+        &config(),
+        &journal,
+    );
+
+    let report = &result.reports[0];
+    let host_bugs = report.histogram.get(&Outcome::HostBug).copied().unwrap_or(0);
+    assert_eq!(
+        host_bugs,
+        config().breaker_threshold,
+        "probing stops at the threshold: {report:?}"
+    );
+    assert_eq!(report.confidence, Confidence::Inconclusive);
+    assert!(report.coverage < 1.0);
+
+    let f = result.api.function("boom").unwrap();
+    assert_eq!(f.confidence, Confidence::Inconclusive);
+    assert!(!f.is_measured());
+    assert!(journal.is_empty(), "host bugs are never checkpointed");
+}

@@ -51,6 +51,7 @@ fn profiling_wrapper_gathers_figure5_data() {
         app_name: "workload".into(),
         collector: Some(server.collector()),
         policy: None,
+        ..WrapperConfig::default()
     };
     let wrapper = toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
     let out = toolkit.run_protected(&workload(), &[&wrapper]).unwrap();
@@ -149,6 +150,7 @@ fn many_processes_report_to_one_server() {
             app_name: app.into(),
             collector: Some(server.collector()),
             policy: None,
+            ..WrapperConfig::default()
         };
         let wrapper =
             toolkit.generate_wrapper(WrapperKind::Profiling, &campaign.api, &config);
