@@ -8,7 +8,7 @@
 //! verify the canary *before* the allocator's `unlink` ever touches
 //! attacker-controlled metadata.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 use simproc::{Fault, Proc, VirtAddr};
@@ -42,11 +42,21 @@ impl GuardedAlloc {
     }
 }
 
+/// The two views of the live set, updated together under one lock:
+/// a hash map for the per-call exact lookups (`verify`/`release` — the
+/// paper's O(1) buffer-length table) and an ordered map for the range
+/// queries the extent oracle needs (`extent_within`/`contains`).
+#[derive(Debug, Default)]
+struct LiveSet {
+    by_payload: HashMap<u64, GuardedAlloc>,
+    sorted: BTreeMap<u64, GuardedAlloc>,
+}
+
 /// Registry of live protected allocations. Shared between the wrapper
 /// hooks via `Arc`.
 #[derive(Debug, Default)]
 pub struct CanaryRegistry {
-    live: Mutex<BTreeMap<u64, GuardedAlloc>>,
+    live: Mutex<LiveSet>,
 }
 
 /// A detected integrity violation.
@@ -90,7 +100,9 @@ impl CanaryRegistry {
     ) -> Result<(), Fault> {
         let alloc = GuardedAlloc { payload, requested };
         proc.mem.write_u64(alloc.canary_addr(), canary_value(payload))?;
-        self.live.lock().insert(payload.get(), alloc);
+        let mut live = self.live.lock();
+        live.by_payload.insert(payload.get(), alloc);
+        live.sorted.insert(payload.get(), alloc);
         Ok(())
     }
 
@@ -107,28 +119,21 @@ impl CanaryRegistry {
         payload: VirtAddr,
     ) -> Result<Option<GuardedAlloc>, Violation> {
         let guard = self.live.lock();
-        let Some(alloc) = guard.get(&payload.get()).copied() else {
+        let Some(alloc) = guard.by_payload.get(&payload.get()).copied() else {
             return Ok(None);
         };
-        let found = proc
-            .mem
-            .peek_bytes(alloc.canary_addr(), 8)
-            .map(|b| {
-                let mut w = [0u8; 8];
-                w.copy_from_slice(&b);
-                u64::from_le_bytes(w)
-            })
-            .unwrap_or(0);
-        if found == canary_value(alloc.payload) {
-            Ok(Some(alloc))
-        } else {
-            Err(Violation { alloc, found })
-        }
+        drop(guard);
+        check_canary(proc, alloc)
     }
 
     /// Removes an allocation from protection (it is being freed).
     pub fn release(&self, payload: VirtAddr) -> Option<GuardedAlloc> {
-        self.live.lock().remove(&payload.get())
+        let mut live = self.live.lock();
+        let alloc = live.by_payload.remove(&payload.get());
+        if alloc.is_some() {
+            live.sorted.remove(&payload.get());
+        }
+        alloc
     }
 
     /// Sweeps every live canary — the wrapper runs this at process exit
@@ -138,9 +143,10 @@ impl CanaryRegistry {
     ///
     /// The first violation found.
     pub fn sweep(&self, proc: &Proc) -> Result<(), Violation> {
-        let allocs: Vec<GuardedAlloc> = self.live.lock().values().copied().collect();
-        for alloc in allocs {
-            self.verify(proc, alloc.payload)?;
+        let live = self.live.lock();
+        // Address order, so "first violation" stays deterministic.
+        for alloc in live.sorted.values() {
+            check_canary(proc, *alloc)?;
         }
         Ok(())
     }
@@ -150,7 +156,7 @@ impl CanaryRegistry {
     pub fn extent_within(&self, addr: VirtAddr) -> Option<u64> {
         let guard = self.live.lock();
         // The allocation with the greatest payload <= addr.
-        let (_, alloc) = guard.range(..=addr.get()).next_back()?;
+        let (_, alloc) = guard.sorted.range(..=addr.get()).next_back()?;
         let end = alloc.payload.add(alloc.requested);
         if addr >= alloc.payload && addr < end {
             Some(end.diff(addr))
@@ -163,7 +169,7 @@ impl CanaryRegistry {
     /// guard word).
     pub fn contains(&self, addr: VirtAddr) -> bool {
         let guard = self.live.lock();
-        match guard.range(..=addr.get()).next_back() {
+        match guard.sorted.range(..=addr.get()).next_back() {
             Some((_, alloc)) => {
                 addr >= alloc.payload && addr < alloc.canary_addr().add(CANARY_LEN)
             }
@@ -173,12 +179,26 @@ impl CanaryRegistry {
 
     /// Number of live protected allocations.
     pub fn len(&self) -> usize {
-        self.live.lock().len()
+        self.live.lock().by_payload.len()
     }
 
     /// `true` when nothing is protected.
     pub fn is_empty(&self) -> bool {
-        self.live.lock().is_empty()
+        self.live.lock().by_payload.is_empty()
+    }
+}
+
+/// Compares the guard word in memory against the expected canary.
+/// Alloc-free (`peek_u64`): this runs on every wrapped `free`/`realloc`.
+fn check_canary(
+    proc: &Proc,
+    alloc: GuardedAlloc,
+) -> Result<Option<GuardedAlloc>, Violation> {
+    let found = proc.mem.peek_u64(alloc.canary_addr()).unwrap_or(0);
+    if found == canary_value(alloc.payload) {
+        Ok(Some(alloc))
+    } else {
+        Err(Violation { alloc, found })
     }
 }
 

@@ -1,0 +1,181 @@
+//! Per-call wrapper overhead: the paper's Figure 5 analogue.
+//!
+//! Times `strlen("hello")` three ways inside the simulated process —
+//! raw (direct host-fn call), through the robustness wrapper's compiled
+//! fast path, and through a tracing wrapper that must run the dynamic
+//! hook pipeline — plus the memory-oracle micro-operations underneath
+//! them, and reports the per-call cost the wrapper adds.
+//!
+//! Modes:
+//! * (no args)        — human-readable report;
+//! * `--json-wrapper` — machine-readable record (`BENCH_wrapper.json`
+//!   baseline is a snapshot of this);
+//! * `--json-mem`     — memory-oracle micro-bench record
+//!   (`BENCH_mem.json` baseline is a snapshot of this).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cdecl::{parse_prototype, TypedefTable};
+use simproc::{Access, CVal, Proc, VirtAddr};
+use typelattice::{RobustApi, RobustFunction, SafePred};
+use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+
+const WRAPPER_ITERS: u32 = 200_000;
+const MEM_ITERS: u32 = 1_000_000;
+
+/// A process with the libc image plus a short C string to scan.
+fn proc_with_hello() -> (Proc, VirtAddr) {
+    let mut p = simlibc::testutil::libc_proc();
+    let s = p.alloc_data_zeroed(16);
+    assert!(p.mem.poke_bytes(s, b"hello\0"));
+    (p, s)
+}
+
+/// Nanoseconds per call of `f`, amortised over [`WRAPPER_ITERS`] calls.
+fn ns_per_call(
+    p: &mut Proc,
+    args: &[CVal],
+    mut f: impl FnMut(&mut Proc, &[CVal]) -> CVal,
+) -> f64 {
+    // Warm-up: touch the MRU cache, branch predictors and any lazy init.
+    for _ in 0..1000 {
+        black_box(f(p, args));
+    }
+    let start = Instant::now();
+    for _ in 0..WRAPPER_ITERS {
+        black_box(f(p, black_box(args)));
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(WRAPPER_ITERS)
+}
+
+struct WrapperReport {
+    raw_ns: f64,
+    fast_ns: f64,
+    dynamic_ns: f64,
+    plan_active: bool,
+}
+
+fn bench_wrapper() -> WrapperReport {
+    let t = TypedefTable::with_builtins();
+    let api = RobustApi {
+        library: "libsimc.so.1".into(),
+        functions: vec![RobustFunction::new(
+            parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+            vec![SafePred::CStr],
+            true,
+        )],
+    };
+    let robust = build_wrapper(WrapperKind::Robustness, &api, &WrapperConfig::default());
+    let tracing = build_wrapper(WrapperKind::Tracing, &api, &WrapperConfig::default());
+    let fast = robust.get("strlen").unwrap();
+    let dynamic = tracing.get("strlen").unwrap();
+    assert!(fast.has_plan(), "robustness strlen must compile to a plan");
+    assert!(!dynamic.has_plan(), "tracing strlen must stay dynamic");
+
+    let (mut p, s) = proc_with_hello();
+    let args = [CVal::Ptr(s)];
+    let raw_ns = ns_per_call(&mut p, &args, |p, a| simlibc::string::strlen(p, a).unwrap());
+    let fast_ns = ns_per_call(&mut p, &args, |p, a| fast.call(p, a).unwrap());
+    let dynamic_ns = ns_per_call(&mut p, &args, |p, a| dynamic.call(p, a).unwrap());
+    // The tracing wrapper accumulates one log entry per call; drop them.
+    tracing.log.lock().clear();
+    WrapperReport { raw_ns, fast_ns, dynamic_ns, plan_active: fast.has_plan() }
+}
+
+struct MemReport {
+    seq_read_u8_ns: f64,
+    rand_read_u8_ns: f64,
+    extent_ns: f64,
+    cstr_scan_ns: f64,
+}
+
+fn bench_mem() -> MemReport {
+    let (mut p, s) = proc_with_hello();
+
+    // Sequential byte reads inside one region: the MRU-cache hit path
+    // every per-byte simlibc loop takes.
+    let base = p.alloc_data_zeroed(4096);
+    let mut byte = [0u8; 1];
+    let start = Instant::now();
+    for i in 0..MEM_ITERS {
+        black_box(p.mem.peek_into(base.add(u64::from(i) % 4096), &mut byte));
+    }
+    let seq_read_u8_ns = start.elapsed().as_nanos() as f64 / f64::from(MEM_ITERS);
+
+    // Alternating reads across distant segments: defeats the MRU cache,
+    // so every lookup pays the binary search.
+    let far = simproc::layout::STACK_TOP.sub(64);
+    let start = Instant::now();
+    for i in 0..MEM_ITERS {
+        let a = if i % 2 == 0 { base } else { far };
+        black_box(p.mem.peek_into(a, &mut byte));
+    }
+    let rand_read_u8_ns = start.elapsed().as_nanos() as f64 / f64::from(MEM_ITERS);
+
+    // The extent-oracle query security wrappers issue per checked call.
+    let start = Instant::now();
+    for _ in 0..MEM_ITERS {
+        black_box(p.mem.accessible_extent(black_box(base), Access::Write));
+    }
+    let extent_ns = start.elapsed().as_nanos() as f64 / f64::from(MEM_ITERS);
+
+    // The zero-copy C-string scan under `SafePred::CStr`.
+    let start = Instant::now();
+    for _ in 0..MEM_ITERS {
+        black_box(p.mem.peek_slice(black_box(s)));
+    }
+    let cstr_scan_ns = start.elapsed().as_nanos() as f64 / f64::from(MEM_ITERS);
+
+    MemReport { seq_read_u8_ns, rand_read_u8_ns, extent_ns, cstr_scan_ns }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    match mode.as_deref() {
+        Some("--json-wrapper") => {
+            let w = bench_wrapper();
+            println!(
+                "{{\n  \"function\": \"strlen\",\n  \"iters\": {},\n  \"raw_ns_per_call\": {:.1},\n  \"fast_ns_per_call\": {:.1},\n  \"dynamic_ns_per_call\": {:.1},\n  \"fast_overhead_ns\": {:.1},\n  \"fast_overhead_pct\": {:.1},\n  \"dynamic_overhead_pct\": {:.1},\n  \"plan_active\": {}\n}}",
+                WRAPPER_ITERS,
+                w.raw_ns,
+                w.fast_ns,
+                w.dynamic_ns,
+                w.fast_ns - w.raw_ns,
+                (w.fast_ns / w.raw_ns - 1.0) * 100.0,
+                (w.dynamic_ns / w.raw_ns - 1.0) * 100.0,
+                w.plan_active
+            );
+        }
+        Some("--json-mem") => {
+            let m = bench_mem();
+            println!(
+                "{{\n  \"iters\": {},\n  \"seq_read_u8_ns\": {:.1},\n  \"rand_read_u8_ns\": {:.1},\n  \"extent_ns\": {:.1},\n  \"cstr_scan_ns\": {:.1}\n}}",
+                MEM_ITERS, m.seq_read_u8_ns, m.rand_read_u8_ns, m.extent_ns, m.cstr_scan_ns
+            );
+        }
+        _ => {
+            let w = bench_wrapper();
+            let m = bench_mem();
+            println!("per-call wrapper overhead, strlen(\"hello\") x {WRAPPER_ITERS}:");
+            println!("  raw host call      {:8.1} ns/call", w.raw_ns);
+            println!(
+                "  compiled fast path {:8.1} ns/call  (+{:.1} ns, {:+.1}%)",
+                w.fast_ns,
+                w.fast_ns - w.raw_ns,
+                (w.fast_ns / w.raw_ns - 1.0) * 100.0
+            );
+            println!(
+                "  dynamic pipeline   {:8.1} ns/call  (+{:.1} ns, {:+.1}%)",
+                w.dynamic_ns,
+                w.dynamic_ns - w.raw_ns,
+                (w.dynamic_ns / w.raw_ns - 1.0) * 100.0
+            );
+            println!("memory oracle micro-ops x {MEM_ITERS}:");
+            println!("  sequential peek (MRU hit)    {:8.1} ns/op", m.seq_read_u8_ns);
+            println!("  alternating peek (bin search){:8.1} ns/op", m.rand_read_u8_ns);
+            println!("  accessible_extent            {:8.1} ns/op", m.extent_ns);
+            println!("  peek_slice C-string scan     {:8.1} ns/op", m.cstr_scan_ns);
+        }
+    }
+}

@@ -384,6 +384,94 @@ pub fn free_list(p: &Proc) -> Result<Vec<VirtAddr>, String> {
     Ok(out)
 }
 
+/// Visits every chunk in the arena chain without allocating, calling
+/// `f(base, size, prev_inuse, is_top)` per chunk. Validation (and the
+/// errors it can produce) mirrors [`walk`] exactly — including the
+/// up-front free-list validation — so callers that treat `Err` as
+/// "heap too corrupt to vouch for anything" defer in exactly the same
+/// cases. Chunk *freeness* is not computed here; use
+/// [`free_list_lookup`] for the one chunk of interest.
+fn visit_chunks(
+    p: &Proc,
+    mut f: impl FnMut(VirtAddr, u64, bool, bool),
+) -> Result<(), String> {
+    let end = heap_end(p);
+    let top =
+        p.mem.read_ptr(HEAP_TOP).map_err(|e| format!("top pointer unreadable: {e}"))?;
+    free_list_lookup(p, None)?;
+    let mut cur = HEAP_BASE;
+    let mut guard = 0;
+    while cur < end {
+        guard += 1;
+        if guard > 1_000_000 {
+            return Err("heap walk did not terminate".into());
+        }
+        let word = p
+            .mem
+            .read_u64(cur.add(8))
+            .map_err(|e| format!("header unreadable at {cur}: {e}"))?;
+        let size = word & !15;
+        if size < MIN_CHUNK || size % 16 != 0 {
+            return Err(format!("bad chunk size {size:#x} at {cur}"));
+        }
+        f(cur, size, word & PREV_INUSE != 0, cur == top);
+        cur = cur.add(size);
+    }
+    if cur != end {
+        return Err(format!("chunks overrun arena end: {cur} != {end}"));
+    }
+    Ok(())
+}
+
+/// Alloc-free free-list scan: validates the list under [`free_list`]'s
+/// caps (a cycle shows up as an over-cap list) and reports whether
+/// `payload` is on it. `Ok`/`Err` outcomes match `free_list` for every
+/// list; only the cycle error *message* differs.
+fn free_list_lookup(p: &Proc, payload: Option<VirtAddr>) -> Result<bool, String> {
+    let mut found = false;
+    let mut seen = 0u64;
+    let mut cur = p
+        .mem
+        .read_ptr(FREELIST_HEAD)
+        .map_err(|e| format!("free list head unreadable: {e}"))?;
+    while cur != FREELIST_HEAD {
+        if seen > SCAN_CAP as u64 {
+            return Err("free list too long".into());
+        }
+        seen += 1;
+        if payload == Some(cur) {
+            found = true;
+        }
+        cur = p
+            .mem
+            .read_ptr(cur)
+            .map_err(|e| format!("free list link unreadable at {cur}: {e}"))?;
+    }
+    Ok(found)
+}
+
+/// Alloc-free liveness check: is `ptr` the payload address of a live
+/// (allocated, non-top) chunk of a fully valid heap? Exactly equivalent
+/// to walking the heap with [`walk`] and testing
+/// `payload == ptr && !free && !is_top`, but without building the chunk
+/// or free-list vectors.
+pub fn live_payload(p: &Proc, ptr: VirtAddr) -> bool {
+    let mut hit: Option<bool> = None; // is_top of the chunk whose payload == ptr
+    if visit_chunks(p, |base, _size, _prev_inuse, is_top| {
+        if base.add(HDR) == ptr {
+            hit = Some(is_top);
+        }
+    })
+    .is_err()
+    {
+        return false; // heap too corrupt to vouch for
+    }
+    match hit {
+        Some(false) => !free_list_lookup(p, Some(ptr)).unwrap_or(true),
+        _ => false,
+    }
+}
+
 /// Checks all allocator invariants; returns a description of the first
 /// violation.
 ///
@@ -456,20 +544,31 @@ impl HeapOracle {
         if !in_heap(proc, addr) {
             return None; // not our jurisdiction
         }
-        let Ok(chunks) = walk(proc) else {
-            return None; // corrupted heap: defer to region oracle
-        };
-        for c in &chunks {
-            let payload = c.base.add(HDR);
-            let end = c.base.add(c.size);
-            if addr >= c.base && addr < end {
-                if c.free || c.is_top || addr < payload {
-                    return Some(None); // header / free chunk / wilderness
-                }
-                return Some(Some(end.diff(addr)));
+        // Alloc-free walk: validate the whole chain (any corruption means
+        // deferring to the region oracle, exactly as the vector-building
+        // `walk` did) while remembering the chunk containing `addr`.
+        let mut hit: Option<(VirtAddr, u64, bool)> = None;
+        if visit_chunks(proc, |base, size, _prev_inuse, is_top| {
+            if addr >= base && addr < base.add(size) {
+                hit = Some((base, size, is_top));
             }
+        })
+        .is_err()
+        {
+            return None; // corrupted heap: defer to region oracle
         }
-        Some(None)
+        let Some((base, size, is_top)) = hit else {
+            return Some(None);
+        };
+        let payload = base.add(HDR);
+        if is_top || addr < payload {
+            return Some(None); // header / wilderness
+        }
+        match free_list_lookup(proc, Some(payload)) {
+            Ok(true) => Some(None), // free chunk
+            Ok(false) => Some(Some(base.add(size).diff(addr))),
+            Err(_) => None,
+        }
     }
 }
 

@@ -4,17 +4,135 @@
 //! protection bits. Every access is checked; a bad access produces a
 //! [`Fault::Segv`] value instead of killing the host — which is exactly
 //! what lets the fault injector observe library crashes safely.
+//!
+//! # Performance model
+//!
+//! Region lookup is a binary search over the sorted region list with a
+//! one-entry last-hit (MRU) cache in front of it, so the per-byte loops in
+//! `simlibc` (`strlen`, `strcpy`, `memcpy`, ...) and the extent oracle pay
+//! O(1) per access in the common case of repeated hits inside one region.
+//! The MRU cache is invalidated whenever the region list mutates
+//! (`map`/`unmap`/`protect`); a stale hit is additionally re-validated with
+//! `Region::contains`, so correctness never depends on invalidation.
+//!
+//! Region backing stores are recycled through a thread-local buffer pool:
+//! each region tracks the dirty byte-range actually written, and on unmap
+//! (or process teardown) only that range is re-zeroed before the buffer
+//! returns to the pool. A fault-injection campaign that builds a fresh
+//! multi-megabyte process image per test case therefore pays for the bytes
+//! it touched, not for the mapped size.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::addr::{Access, Prot, VirtAddr};
 use crate::fault::Fault;
+
+/// Buffers below this size are cheap enough to allocate fresh; only larger
+/// segment-sized buffers are worth pooling.
+const POOL_MIN_LEN: usize = 4096;
+/// Per-thread cap on retained pool buffers (bounds worst-case residency).
+const POOL_MAX_BUFS: usize = 16;
+
+thread_local! {
+    /// Recycled all-zero region buffers, keyed by exact length.
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A region backing store: a zero-initialised byte buffer that remembers
+/// the dirty range actually written, so it can be re-zeroed in O(dirty)
+/// and recycled through the thread-local pool.
+///
+/// Invariant: every buffer in [`BUF_POOL`] is entirely zero.
+struct PoolBuf {
+    buf: Vec<u8>,
+    dirty_lo: usize,
+    /// Exclusive; `dirty_lo >= dirty_hi` means clean.
+    dirty_hi: usize,
+}
+
+impl PoolBuf {
+    /// An all-zero buffer of `len` bytes, recycled from the pool if a
+    /// matching one is available.
+    fn zeroed(len: usize) -> Self {
+        let buf = if len >= POOL_MIN_LEN {
+            BUF_POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                pool.iter().position(|b| b.len() == len).map(|i| pool.swap_remove(i))
+            })
+        } else {
+            None
+        };
+        let buf = buf.unwrap_or_else(|| vec![0; len]);
+        debug_assert!(buf.iter().all(|&b| b == 0), "pooled buffer not zeroed");
+        PoolBuf { buf, dirty_lo: 0, dirty_hi: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Mutable view of `off..off + n`, widening the dirty range to cover it.
+    fn slice_mut(&mut self, off: usize, n: usize) -> &mut [u8] {
+        if self.dirty_lo >= self.dirty_hi {
+            self.dirty_lo = off;
+            self.dirty_hi = off + n;
+        } else {
+            self.dirty_lo = self.dirty_lo.min(off);
+            self.dirty_hi = self.dirty_hi.max(off + n);
+        }
+        &mut self.buf[off..off + n]
+    }
+
+    /// Grows the buffer to `new_len` with zero fill (appended bytes are
+    /// clean by construction).
+    fn resize_zeroed(&mut self, new_len: usize) {
+        debug_assert!(new_len >= self.buf.len());
+        self.buf.resize(new_len, 0);
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if self.buf.len() < POOL_MIN_LEN {
+            return;
+        }
+        if self.dirty_hi > self.dirty_lo {
+            let hi = self.dirty_hi.min(self.buf.len());
+            self.buf[self.dirty_lo..hi].fill(0);
+        }
+        let buf = std::mem::take(&mut self.buf);
+        BUF_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_MAX_BUFS {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+impl Clone for PoolBuf {
+    fn clone(&self) -> Self {
+        PoolBuf { buf: self.buf.clone(), dirty_lo: self.dirty_lo, dirty_hi: self.dirty_hi }
+    }
+}
+
+impl fmt::Debug for PoolBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolBuf").field("len", &self.buf.len()).finish()
+    }
+}
 
 /// A contiguous mapped range of the simulated address space.
 #[derive(Debug, Clone)]
 pub struct Region {
     base: VirtAddr,
-    data: Vec<u8>,
+    data: PoolBuf,
     prot: Prot,
     name: String,
 }
@@ -32,7 +150,7 @@ impl Region {
 
     /// `true` if the region has zero length (never created by `map`).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.len() == 0
     }
 
     /// One past the last byte.
@@ -96,16 +214,30 @@ impl std::error::Error for MapError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct AddressSpace {
     /// Regions sorted by base address; disjoint.
     regions: Vec<Region>,
+    /// Index + 1 of the last region a lookup resolved to (0 = none).
+    /// Purely a cache: a hit is re-validated with `Region::contains`, and
+    /// the slot is cleared whenever the region list mutates. Atomic (with
+    /// relaxed ordering) rather than `Cell` so `AddressSpace` stays `Sync`.
+    mru: AtomicUsize,
+}
+
+impl Clone for AddressSpace {
+    fn clone(&self) -> Self {
+        AddressSpace {
+            regions: self.regions.clone(),
+            mru: AtomicUsize::new(self.mru.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        AddressSpace { regions: Vec::new() }
+        AddressSpace { regions: Vec::new(), mru: AtomicUsize::new(0) }
     }
 
     /// Maps `len` zeroed bytes at `base` with protection `prot`.
@@ -128,22 +260,31 @@ impl AddressSpace {
             return Err(MapError::Wraps);
         }
         let end = base.add(len);
-        for r in &self.regions {
-            if base < r.end() && r.base() < end {
+        let idx = self.regions.partition_point(|r| r.base() < base);
+        // Only the neighbours can overlap: the last region starting below
+        // `base` (may extend past it) and the first starting at or above it.
+        if idx > 0 && self.regions[idx - 1].end() > base {
+            return Err(MapError::Overlap { existing: self.regions[idx - 1].name.clone() });
+        }
+        if let Some(r) = self.regions.get(idx) {
+            if r.base() < end {
                 return Err(MapError::Overlap { existing: r.name.clone() });
             }
         }
-        let region = Region { base, data: vec![0; len as usize], prot, name: name.into() };
-        let idx = self.regions.partition_point(|r| r.base() < base);
+        let region =
+            Region { base, data: PoolBuf::zeroed(len as usize), prot, name: name.into() };
         self.regions.insert(idx, region);
+        self.mru.store(0, Ordering::Relaxed);
         Ok(())
     }
 
     /// Removes the region based exactly at `base`. Returns `true` if one
     /// was removed.
     pub fn unmap(&mut self, base: VirtAddr) -> bool {
-        if let Some(i) = self.regions.iter().position(|r| r.base() == base) {
+        let i = self.regions.partition_point(|r| r.base() < base);
+        if self.regions.get(i).is_some_and(|r| r.base() == base) {
             self.regions.remove(i);
+            self.mru.store(0, Ordering::Relaxed);
             true
         } else {
             false
@@ -156,6 +297,7 @@ impl AddressSpace {
         match self.region_index(addr) {
             Some(i) => {
                 self.regions[i].prot = prot;
+                self.mru.store(0, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -168,10 +310,10 @@ impl AddressSpace {
         if extra == 0 {
             return Ok(());
         }
-        let i = match self.regions.iter().position(|r| r.base() == base) {
-            Some(i) => i,
-            None => return Err(MapError::Overlap { existing: "<none>".into() }),
-        };
+        let i = self.regions.partition_point(|r| r.base() < base);
+        if self.regions.get(i).is_none_or(|r| r.base() != base) {
+            return Err(MapError::Overlap { existing: "<none>".into() });
+        }
         let new_end =
             self.regions[i].end().get().checked_add(extra).ok_or(MapError::Wraps)?;
         if let Some(next) = self.regions.get(i + 1) {
@@ -179,8 +321,8 @@ impl AddressSpace {
                 return Err(MapError::Overlap { existing: next.name.clone() });
             }
         }
-        let grow_by = extra as usize;
-        self.regions[i].data.extend(std::iter::repeat_n(0, grow_by));
+        let new_len = self.regions[i].data.len() + extra as usize;
+        self.regions[i].data.resize_zeroed(new_len);
         Ok(())
     }
 
@@ -195,6 +337,17 @@ impl AddressSpace {
     }
 
     fn region_index(&self, addr: VirtAddr) -> Option<usize> {
+        // Fast path: the last region any lookup hit. Stale values are
+        // harmless — regions are disjoint, so a `contains` hit is always
+        // the unique answer.
+        let hint = self.mru.load(Ordering::Relaxed);
+        if hint != 0 {
+            if let Some(r) = self.regions.get(hint - 1) {
+                if r.contains(addr) {
+                    return Some(hint - 1);
+                }
+            }
+        }
         // Last region whose base is <= addr.
         let i = self.regions.partition_point(|r| r.base() <= addr);
         if i == 0 {
@@ -202,9 +355,19 @@ impl AddressSpace {
         }
         let r = &self.regions[i - 1];
         if r.contains(addr) {
+            self.mru.store(i, Ordering::Relaxed);
             Some(i - 1)
         } else {
             None
+        }
+    }
+
+    /// The index of the region after `i` only if it starts exactly at
+    /// `cur` (i.e. the mapping is contiguous across the boundary).
+    fn next_contiguous(&self, i: usize, cur: VirtAddr) -> Option<usize> {
+        match self.regions.get(i + 1) {
+            Some(n) if n.base() == cur => Some(i + 1),
+            _ => None,
         }
     }
 
@@ -218,16 +381,20 @@ impl AddressSpace {
         if len == 0 {
             return Ok(());
         }
+        let mut idx = self.region_index(addr);
         let mut cur = addr;
         let mut remaining = len;
         while remaining > 0 {
-            let r = match self.region_at(cur) {
-                Some(r) if r.prot().allows(access) => r,
+            let i = match idx {
+                Some(i) if self.regions[i].prot().allows(access) => i,
                 _ => return Err(Fault::segv(cur, access, "memory access")),
             };
-            let span = r.end().diff(cur).min(remaining);
+            let span = self.regions[i].end().diff(cur).min(remaining);
             cur = cur.add(span);
             remaining -= span;
+            if remaining > 0 {
+                idx = self.next_contiguous(i, cur);
+            }
         }
         Ok(())
     }
@@ -238,16 +405,74 @@ impl AddressSpace {
     /// This powers the *extent oracle* used by security wrappers to bound
     /// string copies.
     pub fn accessible_extent(&self, addr: VirtAddr, access: Access) -> u64 {
+        let mut idx = self.region_index(addr);
         let mut cur = addr;
         let mut total = 0u64;
-        loop {
-            match self.region_at(cur) {
-                Some(r) if r.prot().allows(access) => {
-                    let span = r.end().diff(cur);
-                    total += span;
-                    cur = cur.add(span);
-                }
-                _ => return total,
+        while let Some(i) = idx {
+            let r = &self.regions[i];
+            if !r.prot().allows(access) {
+                break;
+            }
+            let span = r.end().diff(cur);
+            total += span;
+            cur = cur.add(span);
+            idx = self.next_contiguous(i, cur);
+        }
+        total
+    }
+
+    /// Reads `len` bytes at `addr` into `out` (which must be exactly `len`
+    /// long) without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Segv`] if any byte is unreadable; `out` may be partially
+    /// overwritten in that case but nothing else is affected.
+    pub fn read_into(&self, addr: VirtAddr, out: &mut [u8]) -> Result<(), Fault> {
+        self.check(addr, out.len() as u64, Access::Read)?;
+        self.copy_out(addr, out);
+        Ok(())
+    }
+
+    /// Copies `out.len()` bytes starting at `addr` into `out`. The range
+    /// must already be known mapped.
+    fn copy_out(&self, addr: VirtAddr, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let mut i = self.region_index(addr).expect("checked");
+        let mut cur = addr;
+        let mut dst = out;
+        while !dst.is_empty() {
+            let r = &self.regions[i];
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.data.len() - off).min(dst.len());
+            dst[..span].copy_from_slice(&r.data.as_slice()[off..off + span]);
+            cur = cur.add(span as u64);
+            dst = &mut dst[span..];
+            if !dst.is_empty() {
+                i = self.next_contiguous(i, cur).expect("checked");
+            }
+        }
+    }
+
+    /// Copies `src` to `addr`. The range must already be known mapped.
+    fn copy_in(&mut self, addr: VirtAddr, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        let mut i = self.region_index(addr).expect("checked");
+        let mut cur = addr;
+        let mut src = src;
+        while !src.is_empty() {
+            let r = &mut self.regions[i];
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.data.len() - off).min(src.len());
+            r.data.slice_mut(off, span).copy_from_slice(&src[..span]);
+            cur = cur.add(span as u64);
+            src = &src[span..];
+            if !src.is_empty() {
+                i = self.next_contiguous(i, cur).expect("checked");
             }
         }
     }
@@ -259,17 +484,8 @@ impl AddressSpace {
     /// [`Fault::Segv`] if any byte is unreadable.
     pub fn read_bytes(&self, addr: VirtAddr, len: u64) -> Result<Vec<u8>, Fault> {
         self.check(addr, len, Access::Read)?;
-        let mut out = Vec::with_capacity(len as usize);
-        let mut cur = addr;
-        let mut remaining = len;
-        while remaining > 0 {
-            let r = self.region_at(cur).expect("checked");
-            let off = cur.diff(r.base()) as usize;
-            let span = (r.len() - off as u64).min(remaining) as usize;
-            out.extend_from_slice(&r.data[off..off + span]);
-            cur = cur.add(span as u64);
-            remaining -= span as u64;
-        }
+        let mut out = vec![0u8; len as usize];
+        self.copy_out(addr, &mut out);
         Ok(out)
     }
 
@@ -281,36 +497,39 @@ impl AddressSpace {
     /// that case.
     pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
         self.check(addr, bytes.len() as u64, Access::Write)?;
-        let mut cur = addr;
-        let mut src = bytes;
-        while !src.is_empty() {
-            let i = self.region_index(cur).expect("checked");
-            let r = &mut self.regions[i];
-            let off = cur.diff(r.base()) as usize;
-            let span = (r.data.len() - off).min(src.len());
-            r.data[off..off + span].copy_from_slice(&src[..span]);
-            cur = cur.add(span as u64);
-            src = &src[span..];
-        }
+        self.copy_in(addr, bytes);
         Ok(())
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: VirtAddr) -> Result<u8, Fault> {
-        self.check(addr, 1, Access::Read)?;
-        let r = self.region_at(addr).expect("checked");
-        Ok(r.data[addr.diff(r.base()) as usize])
+        match self.region_index(addr) {
+            Some(i) if self.regions[i].prot().allows(Access::Read) => {
+                let r = &self.regions[i];
+                Ok(r.data.as_slice()[addr.diff(r.base()) as usize])
+            }
+            _ => Err(Fault::segv(addr, Access::Read, "memory access")),
+        }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: VirtAddr, v: u8) -> Result<(), Fault> {
-        self.write_bytes(addr, &[v])
+        match self.region_index(addr) {
+            Some(i) if self.regions[i].prot().allows(Access::Write) => {
+                let r = &mut self.regions[i];
+                let off = addr.diff(r.base) as usize;
+                r.data.slice_mut(off, 1)[0] = v;
+                Ok(())
+            }
+            _ => Err(Fault::segv(addr, Access::Write, "memory access")),
+        }
     }
 
     /// Reads a little-endian `u16`.
     pub fn read_u16(&self, addr: VirtAddr) -> Result<u16, Fault> {
-        let b = self.read_bytes(addr, 2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let mut b = [0u8; 2];
+        self.read_into(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u16`.
@@ -320,8 +539,9 @@ impl AddressSpace {
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&self, addr: VirtAddr) -> Result<u32, Fault> {
-        let b = self.read_bytes(addr, 4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let mut b = [0u8; 4];
+        self.read_into(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u32`.
@@ -331,10 +551,9 @@ impl AddressSpace {
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&self, addr: VirtAddr) -> Result<u64, Fault> {
-        let b = self.read_bytes(addr, 8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(&b);
-        Ok(u64::from_le_bytes(a))
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u64`.
@@ -342,50 +561,88 @@ impl AddressSpace {
         self.write_bytes(addr, &v.to_le_bytes())
     }
 
+    /// The longest contiguous byte run starting at `addr` *within one
+    /// region*, ignoring protections (a debugger/loader view). Callers
+    /// that need to cross region boundaries loop: the returned slice ends
+    /// at the region end, and a follow-up call at `addr + slice.len()`
+    /// continues into an adjacent region if one is mapped there.
+    ///
+    /// This is the zero-copy primitive behind string scanning
+    /// (`peek_cstr_len`) and canary verification.
+    pub fn peek_slice(&self, addr: VirtAddr) -> Option<&[u8]> {
+        let i = self.region_index(addr)?;
+        let r = &self.regions[i];
+        let off = addr.diff(r.base()) as usize;
+        Some(&r.data.as_slice()[off..])
+    }
+
+    /// Reads `out.len()` bytes at `addr` ignoring protections, without
+    /// allocating. Returns `false` if any byte is unmapped (in which case
+    /// `out` may be partially overwritten but no other state changes).
+    pub fn peek_into(&self, addr: VirtAddr, out: &mut [u8]) -> bool {
+        let mut idx = self.region_index(addr);
+        let mut cur = addr;
+        let mut dst: &mut [u8] = out;
+        while !dst.is_empty() {
+            let i = match idx {
+                Some(i) => i,
+                None => return false,
+            };
+            let r = &self.regions[i];
+            let off = cur.diff(r.base()) as usize;
+            let span = (r.data.len() - off).min(dst.len());
+            dst[..span].copy_from_slice(&r.data.as_slice()[off..off + span]);
+            cur = cur.add(span as u64);
+            dst = &mut dst[span..];
+            if !dst.is_empty() {
+                idx = self.next_contiguous(i, cur);
+            }
+        }
+        true
+    }
+
+    /// Reads a little-endian `u64` ignoring protections, or `None` if any
+    /// byte is unmapped. Alloc-free (canary verification hot path).
+    pub fn peek_u64(&self, addr: VirtAddr) -> Option<u64> {
+        let mut b = [0u8; 8];
+        if self.peek_into(addr, &mut b) {
+            Some(u64::from_le_bytes(b))
+        } else {
+            None
+        }
+    }
+
     /// Reads bytes ignoring protections (a debugger/loader view). Returns
     /// `None` if any byte is unmapped.
     pub fn peek_bytes(&self, addr: VirtAddr, len: u64) -> Option<Vec<u8>> {
-        let mut out = Vec::with_capacity(len as usize);
-        let mut cur = addr;
-        let mut remaining = len;
-        while remaining > 0 {
-            let r = self.region_at(cur)?;
-            let off = cur.diff(r.base()) as usize;
-            let span = (r.len() - off as u64).min(remaining) as usize;
-            out.extend_from_slice(&r.data[off..off + span]);
-            cur = cur.add(span as u64);
-            remaining -= span as u64;
+        let mut out = vec![0u8; len as usize];
+        if self.peek_into(addr, &mut out) {
+            Some(out)
+        } else {
+            None
         }
-        Some(out)
     }
 
     /// Writes bytes ignoring protections (loader/fixture view). Returns
     /// `false` if any byte is unmapped; nothing is written in that case.
     pub fn poke_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> bool {
         // Validate the whole range first so pokes stay all-or-nothing.
+        let mut idx = self.region_index(addr);
         let mut cur = addr;
         let mut remaining = bytes.len() as u64;
         while remaining > 0 {
-            match self.region_at(cur) {
-                Some(r) => {
-                    let span = r.end().diff(cur).min(remaining);
-                    cur = cur.add(span);
-                    remaining -= span;
-                }
+            let i = match idx {
+                Some(i) => i,
                 None => return false,
+            };
+            let span = self.regions[i].end().diff(cur).min(remaining);
+            cur = cur.add(span);
+            remaining -= span;
+            if remaining > 0 {
+                idx = self.next_contiguous(i, cur);
             }
         }
-        let mut cur = addr;
-        let mut src = bytes;
-        while !src.is_empty() {
-            let i = self.region_index(cur).expect("validated");
-            let r = &mut self.regions[i];
-            let off = cur.diff(r.base()) as usize;
-            let span = (r.data.len() - off).min(src.len());
-            r.data[off..off + span].copy_from_slice(&src[..span]);
-            cur = cur.add(span as u64);
-            src = &src[span..];
-        }
+        self.copy_in(addr, bytes);
         true
     }
 
@@ -418,6 +675,20 @@ mod tests {
         assert!(matches!(err, MapError::Overlap { .. }));
         // Adjacent is fine.
         m.map(VirtAddr::new(0x2000), 0x1000, Prot::RW, "b").unwrap();
+    }
+
+    #[test]
+    fn map_overlap_reports_lowest_conflicting_region() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x1000, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x3000), 0x1000, Prot::RW, "hi").unwrap();
+        // A range swallowing both must name the lower one, exactly as the
+        // pre-index linear scan did.
+        let err = m.map(VirtAddr::new(0x1800), 0x2000, Prot::RW, "mid").unwrap_err();
+        assert_eq!(err, MapError::Overlap { existing: "lo".into() });
+        // A range that only clips the upper region names that one.
+        let err = m.map(VirtAddr::new(0x2800), 0x1000, Prot::RW, "mid").unwrap_err();
+        assert_eq!(err, MapError::Overlap { existing: "hi".into() });
     }
 
     #[test]
@@ -494,6 +765,68 @@ mod tests {
     }
 
     #[test]
+    fn accessible_extent_at_region_boundaries() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "a").unwrap();
+        m.map(VirtAddr::new(0x1010), 0x10, Prot::RW, "b").unwrap();
+        m.map(VirtAddr::new(0x1020), 0x10, Prot::R, "c").unwrap();
+        // From the first byte of each region in the coalesced run.
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1000), Access::Read), 0x30);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1010), Access::Read), 0x20);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1020), Access::Read), 0x10);
+        // From the last byte of the run.
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x102f), Access::Read), 0x1);
+        // One past the end of the run is inaccessible.
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1030), Access::Read), 0);
+        // Write access stops at the read-only boundary exactly.
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1000), Access::Write), 0x20);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x101f), Access::Write), 0x1);
+        assert_eq!(m.accessible_extent(VirtAddr::new(0x1020), Access::Write), 0);
+    }
+
+    #[test]
+    fn reads_straddling_two_regions_match_bytewise_reads() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x1010), 0x10, Prot::RW, "hi").unwrap();
+        for i in 0..0x20u64 {
+            m.write_u8(VirtAddr::new(0x1000 + i), i as u8).unwrap();
+        }
+        // A straddling read agrees with per-byte reads at every offset.
+        for start in 0x1008..=0x1010u64 {
+            let fast = m.read_bytes(VirtAddr::new(start), 8).unwrap();
+            let slow: Vec<u8> =
+                (0..8).map(|k| m.read_u8(VirtAddr::new(start + k)).unwrap()).collect();
+            assert_eq!(fast, slow, "start {start:#x}");
+            let mut into = [0u8; 8];
+            m.read_into(VirtAddr::new(start), &mut into).unwrap();
+            assert_eq!(into.to_vec(), slow, "read_into at {start:#x}");
+            let mut peeked = [0u8; 8];
+            assert!(m.peek_into(VirtAddr::new(start), &mut peeked));
+            assert_eq!(peeked.to_vec(), slow, "peek_into at {start:#x}");
+        }
+        // A straddling u64 assembles the same little-endian value.
+        let v = m.read_u64(VirtAddr::new(0x100c)).unwrap();
+        assert_eq!(v, u64::from_le_bytes([0xc, 0xd, 0xe, 0xf, 0x10, 0x11, 0x12, 0x13]));
+        assert_eq!(m.peek_u64(VirtAddr::new(0x100c)), Some(v));
+    }
+
+    #[test]
+    fn peek_slice_is_bounded_by_region_end() {
+        let mut m = AddressSpace::new();
+        m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "lo").unwrap();
+        m.map(VirtAddr::new(0x1010), 0x10, Prot::R, "hi").unwrap();
+        m.write_u8(VirtAddr::new(0x100f), 7).unwrap();
+        let s = m.peek_slice(VirtAddr::new(0x1008)).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[7], 7);
+        // The follow-up call continues into the adjacent region.
+        let s2 = m.peek_slice(VirtAddr::new(0x1010)).unwrap();
+        assert_eq!(s2.len(), 0x10);
+        assert!(m.peek_slice(VirtAddr::new(0x1020)).is_none());
+    }
+
+    #[test]
     fn grow_extends_region() {
         let mut m = AddressSpace::new();
         m.map(VirtAddr::new(0x1000), 0x10, Prot::RW, "heap").unwrap();
@@ -520,6 +853,36 @@ mod tests {
         assert!(!m.unmap(VirtAddr::new(0x3000)));
         assert!(m.read_u8(VirtAddr::new(0x3000)).is_err());
         assert!(!m.protect(VirtAddr::new(0x9999), Prot::R));
+    }
+
+    #[test]
+    fn mru_cache_survives_mutation() {
+        let mut m = space();
+        // Warm the cache on the first region, then unmap it: the next
+        // lookup must miss cleanly, and lookups that land in the other
+        // region must still resolve.
+        assert!(m.region_at(VirtAddr::new(0x1800)).is_some());
+        assert!(m.unmap(VirtAddr::new(0x1000)));
+        assert!(m.region_at(VirtAddr::new(0x1800)).is_none());
+        assert_eq!(m.region_at(VirtAddr::new(0x3800)).unwrap().name(), "ro");
+        // Warm on "ro", protect it, and confirm lookups still agree.
+        assert!(m.protect(VirtAddr::new(0x3800), Prot::RW));
+        assert_eq!(m.region_at(VirtAddr::new(0x3800)).unwrap().prot(), Prot::RW);
+    }
+
+    #[test]
+    fn pooled_buffers_are_rezeroed_on_reuse() {
+        let base = VirtAddr::new(0x10_0000);
+        let len = (POOL_MIN_LEN * 2) as u64;
+        let mut m = AddressSpace::new();
+        m.map(base, len, Prot::RW, "big").unwrap();
+        m.write_bytes(base.add(17), &[0xAB; 64]).unwrap();
+        m.write_u8(base.add(len - 1), 0xCD).unwrap();
+        assert!(m.unmap(base));
+        // The recycled buffer must come back fully zeroed.
+        m.map(base, len, Prot::RW, "big2").unwrap();
+        let back = m.read_bytes(base, len).unwrap();
+        assert!(back.iter().all(|&b| b == 0));
     }
 
     #[test]

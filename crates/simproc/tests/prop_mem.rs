@@ -6,6 +6,88 @@ use proptest::prelude::*;
 
 use simproc::{Access, AddressSpace, Fault, Proc, Prot, VirtAddr};
 
+/// A deliberately naive reference model of the address space: an unsorted
+/// region list queried by linear scan. This is the pre-index semantics the
+/// binary-search + MRU-cache implementation must reproduce exactly.
+#[derive(Default)]
+struct LinearModel {
+    /// `(base, len, prot)`, in insertion order.
+    regions: Vec<(u64, u64, Prot)>,
+}
+
+impl LinearModel {
+    fn region_at(&self, addr: u64) -> Option<usize> {
+        self.regions.iter().position(|&(b, l, _)| addr >= b && addr - b < l)
+    }
+
+    fn map(&mut self, base: u64, len: u64, prot: Prot) -> bool {
+        if len == 0 || base.checked_add(len).is_none() {
+            return false;
+        }
+        if self.regions.iter().any(|&(b, l, _)| base < b + l && base + len > b) {
+            return false;
+        }
+        self.regions.push((base, len, prot));
+        true
+    }
+
+    fn unmap(&mut self, base: u64) -> bool {
+        match self.regions.iter().position(|&(b, _, _)| b == base) {
+            Some(i) => {
+                self.regions.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn protect(&mut self, addr: u64, prot: Prot) -> bool {
+        match self.region_at(addr) {
+            Some(i) => {
+                self.regions[i].2 = prot;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn extent(&self, addr: u64, access: Access) -> u64 {
+        let mut cur = addr;
+        let mut total = 0u64;
+        while let Some(i) = self.region_at(cur) {
+            let (b, l, p) = self.regions[i];
+            if !p.allows(access) {
+                break;
+            }
+            let span = b + l - cur;
+            total += span;
+            cur += span;
+        }
+        total
+    }
+
+    /// `Err(addr)` reports the first offending byte, like `Fault::Segv`.
+    fn check(&self, addr: u64, len: u64, access: Access) -> Result<(), u64> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            match self.region_at(cur) {
+                Some(i) if self.regions[i].2.allows(access) => {
+                    let (b, l, _) = self.regions[i];
+                    let span = (b + l - cur).min(remaining);
+                    cur += span;
+                    remaining -= span;
+                }
+                _ => return Err(cur),
+            }
+        }
+        Ok(())
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
@@ -108,6 +190,65 @@ proptest! {
             p.write_u8(a.add(i as u64 % 256), *b).unwrap();
             prop_assert!(p.cycles() > last);
             last = p.cycles();
+        }
+    }
+
+    /// Differential test for the tentpole index: random
+    /// map/unmap/protect/access sequences must produce byte-identical
+    /// Fault and extent answers from the indexed (binary search + MRU
+    /// cache) address space and the linear-scan reference model above.
+    /// Slot bases are 0x100 apart with lengths up to 0x300, so sequences
+    /// exercise rejected overlaps, adjacency (extent coalescing across
+    /// regions) and gaps.
+    #[test]
+    fn indexed_oracle_matches_linear_reference(
+        ops in prop::collection::vec(
+            (0u8..5, 0u8..12u8, 1u64..0x300, 0usize..4, 0usize..3, 0u64..0x1000),
+            1..64,
+        ),
+    ) {
+        const PROTS: [Prot; 4] = [Prot::NONE, Prot::R, Prot::RW, Prot::RX];
+        const ACCESSES: [Access; 3] = [Access::Read, Access::Write, Access::Exec];
+        let mut m = AddressSpace::new();
+        let mut reference = LinearModel::default();
+        for (kind, slot, len, prot, access, probe) in ops {
+            let base = 0x1000 + u64::from(slot) * 0x100;
+            let prot = PROTS[prot];
+            let access = ACCESSES[access];
+            let addr = 0x1000 + probe;
+            match kind {
+                0 => prop_assert_eq!(
+                    m.map(VirtAddr::new(base), len, prot, "p").is_ok(),
+                    reference.map(base, len, prot),
+                    "map {:#x}+{:#x} diverged", base, len
+                ),
+                1 => prop_assert_eq!(m.unmap(VirtAddr::new(base)), reference.unmap(base)),
+                2 => prop_assert_eq!(
+                    m.protect(VirtAddr::new(addr), prot),
+                    reference.protect(addr, prot)
+                ),
+                3 => prop_assert_eq!(
+                    m.accessible_extent(VirtAddr::new(addr), access),
+                    reference.extent(addr, access),
+                    "extent at {:#x} diverged", addr
+                ),
+                _ => {
+                    let got = m.check(VirtAddr::new(addr), len, access);
+                    let want = reference.check(addr, len, access);
+                    match (got, want) {
+                        (Ok(()), Ok(())) => {}
+                        (Err(Fault::Segv { addr: fa, access: aa, .. }), Err(ea)) => {
+                            prop_assert_eq!(fa.get(), ea, "fault address diverged");
+                            prop_assert_eq!(aa, access);
+                        }
+                        (g, w) => prop_assert!(
+                            false,
+                            "check at {:#x} len {:#x} diverged: {:?} vs {:?}",
+                            addr, len, g, w
+                        ),
+                    }
+                }
+            }
         }
     }
 

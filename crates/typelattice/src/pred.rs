@@ -159,33 +159,24 @@ pub fn peek_cstr_len(proc: &Proc, addr: VirtAddr) -> Option<u64> {
     }
     let mut len = 0u64;
     let mut cur = addr;
-    // Read in chunks for speed.
+    // Zero-copy scan: each `peek_slice` yields the mapped bytes up to the
+    // containing region's end; the loop continues into an adjacent region
+    // when one is mapped there. At most `CSTR_SCAN_CAP + 1` bytes are ever
+    // examined, so a NUL at position `CSTR_SCAN_CAP` is still found while
+    // anything longer reports "unterminated".
     loop {
-        let want = 256.min(CSTR_SCAN_CAP - len + 1);
-        let chunk = match proc.mem.peek_bytes(cur, want) {
-            Some(c) => c,
-            None => {
-                // The chunk crosses the end of the mapping: fall back to
-                // byte-wise reads so a terminator in the mapped tail is
-                // still found.
-                let mut tail = Vec::new();
-                while (tail.len() as u64) < want {
-                    match proc.mem.peek_bytes(cur.add(tail.len() as u64), 1) {
-                        Some(b) => tail.push(b[0]),
-                        None => break,
-                    }
-                }
-                return tail.iter().position(|b| *b == 0).map(|pos| len + pos as u64);
-            }
-        };
-        if let Some(pos) = chunk.iter().position(|b| *b == 0) {
+        // Ran off the end of the mapping without a terminator? `None`.
+        let slice = proc.mem.peek_slice(cur)?;
+        let budget = CSTR_SCAN_CAP + 1 - len;
+        let take = (slice.len() as u64).min(budget) as usize;
+        if let Some(pos) = slice[..take].iter().position(|b| *b == 0) {
             return Some(len + pos as u64);
         }
-        len += chunk.len() as u64;
+        len += take as u64;
         if len > CSTR_SCAN_CAP {
             return None;
         }
-        cur = cur.add(chunk.len() as u64);
+        cur = cur.add(take as u64);
     }
 }
 
@@ -266,14 +257,7 @@ impl SafePred {
             SafePred::ValidFuncPtr => {
                 matches!(proc.resolve_call(own.as_ptr()), CallTarget::Function(_))
             }
-            SafePred::ValidFilePtr => match proc.mem.peek_bytes(own.as_ptr(), 8) {
-                Some(bytes) => {
-                    let mut m = [0u8; 8];
-                    m.copy_from_slice(&bytes);
-                    u64::from_le_bytes(m) == FILE_MAGIC
-                }
-                None => false,
-            },
+            SafePred::ValidFilePtr => proc.mem.peek_u64(own.as_ptr()) == Some(FILE_MAGIC),
             SafePred::NullOr(inner) => {
                 own.is_null() || inner.check(proc, oracle, args, idx)
             }
@@ -288,12 +272,9 @@ impl SafePred {
                 // The pointer must be the payload of a *live* chunk:
                 // rejects interior pointers, the wilderness, and —
                 // crucially — already-freed chunks (double free).
-                match simlibc::heap::walk(proc) {
-                    Ok(chunks) => chunks.iter().any(|c| {
-                        c.base.add(simlibc::heap::HDR) == ptr && !c.free && !c.is_top
-                    }),
-                    Err(_) => false, // heap too corrupt to vouch for
-                }
+                // `live_payload` is the alloc-free equivalent of walking
+                // the heap and matching payload/free/top.
+                simlibc::heap::live_payload(proc, ptr)
             }
         }
     }

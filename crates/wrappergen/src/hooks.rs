@@ -10,7 +10,8 @@ use typelattice::SafePred;
 
 use crate::policy::{apply_repair, Policy, PolicyEngine, ViolationClass};
 use crate::runtime::{
-    containment_value, reject, CallCx, CallLog, FaultDecision, Hook, HookAction,
+    containment_value, reject, CallCx, CallLog, FailAction, FaultDecision, Hook,
+    HookAction, Lowered, PlannedCheck,
 };
 
 /// `arg check` / `heal args`: evaluates the robust argument types derived
@@ -110,6 +111,38 @@ impl ArgCheckHook {
 impl Hook for ArgCheckHook {
     fn name(&self) -> &'static str {
         "arg check"
+    }
+
+    fn lower(&self, _proto: &cdecl::Prototype) -> Lowered {
+        // The accept path of `before` — every non-`Always` predicate
+        // passes — is pure: no journal entry, no argument rewrite, no
+        // scratch, regardless of policy. So it lowers for *every* engine.
+        // The on-fail response is precomputable only for the uniform
+        // containment engine with no journal: then the dynamic path is
+        // exactly `reject` whatever predicate fired; anything else
+        // (healing, termination, per-class overrides, journaling) falls
+        // back to the dynamic pipeline to replay policy faithfully.
+        let on_fail = match self.engine.uniform() {
+            Some(Policy::Contain) if self.journal.is_none() => FailAction::Reject,
+            _ => FailAction::Fallback,
+        };
+        let checks = self
+            .preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != SafePred::Always)
+            .map(|(i, p)| {
+                let pred = p.clone();
+                let oracle = self.oracle.clone();
+                PlannedCheck {
+                    check: Box::new(move |proc: &simproc::Proc, args: &[CVal]| {
+                        pred.check(proc, &oracle, args, i)
+                    }),
+                    on_fail,
+                }
+            })
+            .collect();
+        Lowered::Checks(checks)
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -297,6 +330,16 @@ impl CanaryHook {
 impl Hook for CanaryHook {
     fn name(&self) -> &'static str {
         "canary check"
+    }
+
+    fn lower(&self, proto: &cdecl::Prototype) -> Lowered {
+        // Outside the allocator family both `before` and `after` fall
+        // through to no-ops, so the hook contributes no checks at all.
+        // For the family itself (bookkeeping side effects) stay dynamic.
+        match proto.name.as_str() {
+            "malloc" | "calloc" | "free" | "realloc" | "exit" => Lowered::Dynamic,
+            _ => Lowered::Checks(Vec::new()),
+        }
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {

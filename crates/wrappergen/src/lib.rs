@@ -57,5 +57,6 @@ pub use builders::{
 };
 pub use policy::{apply_repair, Policy, PolicyEngine, ViolationClass, SUBSTITUTE_CAP};
 pub use runtime::{
-    containment_value, reject, CallCx, CallLog, FaultDecision, Hook, HookAction, WrappedFn,
+    containment_value, reject, CallCx, CallLog, CompiledCheck, FailAction, FaultDecision,
+    Hook, HookAction, Lowered, PlannedCheck, WrappedFn,
 };

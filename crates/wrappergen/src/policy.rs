@@ -181,8 +181,10 @@ impl PolicyEngine {
 
     /// The policy for a violation of `class` inside `func`.
     pub fn resolve(&self, func: &str, class: ViolationClass) -> Policy {
-        if let Some(p) = self.by_func_class.get(&(func.to_string(), class)) {
-            return *p;
+        if !self.by_func_class.is_empty() {
+            if let Some(p) = self.by_func_class.get(&(func.to_string(), class)) {
+                return *p;
+            }
         }
         if let Some(p) = self.by_func.get(func) {
             return *p;
@@ -191,6 +193,21 @@ impl PolicyEngine {
             return *p;
         }
         self.default
+    }
+
+    /// `Some(policy)` when every resolution — any function, any class —
+    /// yields the same policy (no overrides configured). This is what
+    /// lets the call-plan compiler prove a check failure is equivalent
+    /// to a plain rejection.
+    pub fn uniform(&self) -> Option<Policy> {
+        if self.by_class.is_empty()
+            && self.by_func.is_empty()
+            && self.by_func_class.is_empty()
+        {
+            Some(self.default)
+        } else {
+            None
+        }
     }
 
     /// The policy consulted when the original function faults despite

@@ -58,10 +58,73 @@ pub struct CallCx<'a> {
     pub scratch: Vec<u64>,
 }
 
+/// A precompiled, pure per-call check: evaluates the same accept/deny
+/// condition as a hook's `before`, against the (truncated) arguments,
+/// without touching any state.
+pub type CompiledCheck = Box<dyn Fn(&Proc, &[CVal]) -> bool + Send + Sync>;
+
+/// What the compiled fast path does when a [`CompiledCheck`] fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Re-run the call through the full dynamic hook pipeline (which will
+    /// re-discover the violation and apply policy, journaling, healing).
+    Fallback,
+    /// Reject directly: `errno = EINVAL`, containment value returned —
+    /// only when the owning hook proved this is *exactly* what its
+    /// dynamic path would do (uniform containment policy, no journal).
+    Reject,
+}
+
+/// One check in a [`WrappedFn`]'s compiled call plan.
+pub struct PlannedCheck {
+    /// The pure predicate.
+    pub check: CompiledCheck,
+    /// Response when the predicate fails.
+    pub on_fail: FailAction,
+}
+
+impl fmt::Debug for PlannedCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PlannedCheck(on_fail: {:?})", self.on_fail)
+    }
+}
+
+/// The result of asking a hook to lower itself into a call plan.
+pub enum Lowered {
+    /// The hook has per-call side effects (profiling, canary bookkeeping,
+    /// logging) and must run dynamically on every call.
+    Dynamic,
+    /// The hook's accept path is equivalent to all of these pure checks
+    /// passing. By returning this, the hook asserts that when every check
+    /// passes its `before` returns [`HookAction::Continue`] without side
+    /// effects, that its `after` is a no-op, and that it pushes nothing
+    /// onto the scratch stack. `on_fault` may still do real work — the
+    /// fast path falls back to dynamic fault polling when the original
+    /// faults.
+    Checks(Vec<PlannedCheck>),
+}
+
+impl fmt::Debug for Lowered {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lowered::Dynamic => write!(f, "Dynamic"),
+            Lowered::Checks(c) => write!(f, "Checks({})", c.len()),
+        }
+    }
+}
+
 /// A runtime micro-generator.
 pub trait Hook: Send + Sync {
     /// Name, matching the codegen micro-generator where one exists.
     fn name(&self) -> &'static str;
+
+    /// Lowers the hook into pure precomputed checks for the compiled
+    /// call plan, if its semantics permit (see [`Lowered::Checks`]).
+    /// Default: [`Lowered::Dynamic`] — correct for any hook.
+    fn lower(&self, proto: &Prototype) -> Lowered {
+        let _ = proto;
+        Lowered::Dynamic
+    }
 
     /// Prefix behaviour. Default: continue.
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -89,6 +152,26 @@ pub struct WrappedFn {
     inner: Arc<WrappedInner>,
 }
 
+/// Maximum arity served by the compiled fast path (arguments live in a
+/// stack array of this size; longer signatures run dynamically).
+const MAX_FAST_ARGS: usize = 8;
+
+/// The flat, precomputed per-call program: truncation ops, check ops and
+/// the containment value, lowered from the hook pipeline at wrap time so
+/// the accept path is a branch-predictable array walk with no per-call
+/// heap allocation.
+struct CallPlan {
+    /// Exact arity the plan was compiled for; other arities (varargs,
+    /// miscalls) take the dynamic path.
+    nargs: usize,
+    /// `(index, bit width)` truncation ops for narrow integer params.
+    int_ops: Vec<(usize, u64)>,
+    /// All hooks' checks, in pipeline order.
+    checks: Vec<PlannedCheck>,
+    /// Precomputed `containment_value(&proto.ret)`.
+    containment: CVal,
+}
+
 struct WrappedInner {
     name: String,
     proto: Prototype,
@@ -96,6 +179,8 @@ struct WrappedInner {
     hooks: Vec<Arc<dyn Hook>>,
     /// ABI widths of integer parameters, for faithful truncation.
     int_widths: Vec<Option<u64>>,
+    /// Compiled fast path; `None` when any hook requires dynamic dispatch.
+    plan: Option<CallPlan>,
 }
 
 impl fmt::Debug for WrappedFn {
@@ -110,9 +195,11 @@ impl fmt::Debug for WrappedFn {
 }
 
 impl WrappedFn {
-    /// Wraps `original` with `hooks` (micro-generator order).
+    /// Wraps `original` with `hooks` (micro-generator order). The hook
+    /// pipeline is lowered into a compiled [`CallPlan`] here, once, when
+    /// every hook can express its accept path as pure checks.
     pub fn new(proto: Prototype, original: HostFn, hooks: Vec<Arc<dyn Hook>>) -> Self {
-        let int_widths = proto
+        let int_widths: Vec<Option<u64>> = proto
             .params
             .iter()
             .map(|p| match classify(&p.ty) {
@@ -120,6 +207,7 @@ impl WrappedFn {
                 _ => None,
             })
             .collect();
+        let plan = Self::compile(&proto, &hooks, &int_widths);
         WrappedFn {
             inner: Arc::new(WrappedInner {
                 name: proto.name.clone(),
@@ -127,8 +215,41 @@ impl WrappedFn {
                 original,
                 hooks,
                 int_widths,
+                plan,
             }),
         }
+    }
+
+    /// Lowers the pipeline into a [`CallPlan`], or `None` if any hook
+    /// must stay dynamic (or the arity exceeds the fast-path array).
+    fn compile(
+        proto: &Prototype,
+        hooks: &[Arc<dyn Hook>],
+        int_widths: &[Option<u64>],
+    ) -> Option<CallPlan> {
+        if proto.params.len() > MAX_FAST_ARGS {
+            return None;
+        }
+        let mut checks = Vec::new();
+        for hook in hooks {
+            match hook.lower(proto) {
+                Lowered::Dynamic => return None,
+                Lowered::Checks(c) => checks.extend(c),
+            }
+        }
+        let int_ops =
+            int_widths.iter().enumerate().filter_map(|(i, w)| w.map(|b| (i, b))).collect();
+        Some(CallPlan {
+            nargs: proto.params.len(),
+            int_ops,
+            checks,
+            containment: containment_value(&proto.ret),
+        })
+    }
+
+    /// Whether calls go through the compiled fast path (diagnostics).
+    pub fn has_plan(&self) -> bool {
+        self.inner.plan.is_some()
     }
 
     /// The wrapped function's name.
@@ -149,11 +270,112 @@ impl WrappedFn {
     /// Invokes the wrapper: prefix hooks in order, the original (unless
     /// contained), postfix hooks in reverse order.
     ///
+    /// When a compiled [`CallPlan`] exists and the arity matches, the
+    /// accept path runs it instead: truncation masks and check ops from
+    /// flat arrays, arguments in a stack buffer, zero heap allocation.
+    /// Check failures and faults fall back to the dynamic pipeline (or a
+    /// precomputed rejection where the plan proved it equivalent).
+    ///
     /// # Errors
     ///
     /// Faults from the original, or a [`Fault::SecurityViolation`] from a
     /// denying hook.
     pub fn call(&self, proc: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
+        match &self.inner.plan {
+            Some(plan) if args.len() == plan.nargs => self.call_fast(plan, proc, args),
+            _ => self.call_dynamic(proc, args),
+        }
+    }
+
+    /// The compiled fast path. Alloc-free until something goes wrong.
+    fn call_fast(
+        &self,
+        plan: &CallPlan,
+        proc: &mut Proc,
+        args: &[CVal],
+    ) -> Result<CVal, Fault> {
+        let errno_before = proc.errno();
+        let entry_cycles = proc.cycles();
+        let mut buf = [CVal::Void; MAX_FAST_ARGS];
+        let n = args.len();
+        buf[..n].copy_from_slice(args);
+        for &(i, bits) in &plan.int_ops {
+            buf[i] = CVal::Int(trunc_int(buf[i].as_int(), bits));
+        }
+        let norm = &buf[..n];
+        for planned in &plan.checks {
+            if !(planned.check)(proc, norm) {
+                return match planned.on_fail {
+                    // The dynamic pipeline re-discovers the violation and
+                    // applies policy/journaling; lowered hooks had no side
+                    // effects to replay, so re-entering from the top is
+                    // exact.
+                    FailAction::Fallback => self.call_dynamic(proc, args),
+                    FailAction::Reject => {
+                        proc.set_errno(errno::EINVAL);
+                        Ok(plan.containment)
+                    }
+                };
+            }
+        }
+        match (self.inner.original)(proc, norm) {
+            Ok(v) => Ok(v),
+            // Exit is the termination contract, not a fault to heal.
+            Err(f @ Fault::Exit(_)) => Err(f),
+            Err(f) => self.heal_after_fast_fault(proc, norm, errno_before, entry_cycles, f),
+        }
+    }
+
+    /// Cold path: the original faulted after the compiled checks passed.
+    /// Reconstructs the dynamic pipeline's fault handling — every hook
+    /// logically "ran" (their lowered checks passed, side-effect-free) —
+    /// so healing/retry/substitution decisions are identical.
+    fn heal_after_fast_fault(
+        &self,
+        proc: &mut Proc,
+        norm: &[CVal],
+        errno_before: i32,
+        entry_cycles: u64,
+        first_fault: Fault,
+    ) -> Result<CVal, Fault> {
+        let mut cx = CallCx {
+            func: &self.inner.name,
+            proc,
+            args: norm.to_vec(),
+            errno_before,
+            entry_cycles,
+            scratch: Vec::new(),
+        };
+        let mut fault = first_fault;
+        let mut attempt: u32 = 0;
+        loop {
+            let mut decision = FaultDecision::Propagate;
+            for hook in self.inner.hooks.iter() {
+                match hook.on_fault(&mut cx, &fault, attempt) {
+                    FaultDecision::Propagate => {}
+                    d => {
+                        decision = d;
+                        break;
+                    }
+                }
+            }
+            match decision {
+                FaultDecision::Propagate => return Err(fault),
+                FaultDecision::Substitute(v) => return Ok(v),
+                FaultDecision::Retry => {
+                    attempt += 1;
+                    match (self.inner.original)(cx.proc, &cx.args) {
+                        Ok(v) => return Ok(v),
+                        Err(f @ Fault::Exit(_)) => return Err(f),
+                        Err(f) => fault = f,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fully dynamic pipeline (any hook with per-call side effects).
+    fn call_dynamic(&self, proc: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
         // ABI-faithful width truncation of integer arguments.
         let mut norm: Vec<CVal> = args.to_vec();
         for (i, width) in self.inner.int_widths.iter().enumerate() {

@@ -1,0 +1,148 @@
+//! Proves the compiled fast path's acceptance criterion: `WrappedFn::call`
+//! performs **zero heap allocations** on the contained-accept path (and on
+//! the containment-reject shortcut), measured by a counting global
+//! allocator.
+//!
+//! The counter is thread-local (const-initialised, so reading it never
+//! allocates) which keeps the measurement immune to allocation noise from
+//! other test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use cdecl::{parse_prototype, TypedefTable};
+use guardian::{CanaryRegistry, GuardOracle};
+use simlibc::testutil::libc_proc;
+use simproc::{CVal, Fault, Proc};
+use typelattice::SafePred;
+use wrappergen::hooks::{ArgCheckHook, CanaryHook};
+use wrappergen::{PolicyEngine, WrappedFn};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn stub_seven(_p: &mut Proc, _args: &[CVal]) -> Result<CVal, Fault> {
+    Ok(CVal::Int(7))
+}
+
+fn strlen_contained() -> WrappedFn {
+    let t = TypedefTable::with_builtins();
+    let proto = parse_prototype("size_t strlen(const char *s);", &t).unwrap();
+    let oracle = GuardOracle::new(Arc::new(CanaryRegistry::new()));
+    let hook = ArgCheckHook::new(
+        vec![SafePred::CStr],
+        proto.ret.clone(),
+        oracle,
+        PolicyEngine::containment(),
+    );
+    WrappedFn::new(proto, stub_seven, vec![Arc::new(hook)])
+}
+
+#[test]
+fn contained_accept_path_allocates_nothing() {
+    let f = strlen_contained();
+    assert!(f.has_plan(), "uniform-containment strlen must compile to a plan");
+
+    let mut p = libc_proc();
+    // A zeroed data buffer is a valid (empty) C string.
+    let s = p.alloc_data_zeroed(16);
+
+    // Warm up caches (MRU region cache, lazy statics) outside the window.
+    assert_eq!(f.call(&mut p, &[CVal::Ptr(s)]).unwrap(), CVal::Int(7));
+
+    let before = alloc_count();
+    let r = f.call(&mut p, &[CVal::Ptr(s)]).unwrap();
+    let after = alloc_count();
+    assert_eq!(r, CVal::Int(7));
+    assert_eq!(after - before, 0, "accept fast path heap-allocated");
+}
+
+#[test]
+fn containment_reject_shortcut_allocates_nothing() {
+    let f = strlen_contained();
+    assert!(f.has_plan());
+
+    let mut p = libc_proc();
+    // NULL violates CStr; uniform containment rejects without the
+    // dynamic pipeline.
+    assert_eq!(f.call(&mut p, &[CVal::NULL]).unwrap(), CVal::Int(-1));
+
+    let before = alloc_count();
+    let r = f.call(&mut p, &[CVal::NULL]).unwrap();
+    let after = alloc_count();
+    assert_eq!(r, CVal::Int(-1));
+    assert_eq!(after - before, 0, "containment reject path heap-allocated");
+}
+
+#[test]
+fn plan_coverage_matches_hook_pipeline() {
+    let t = TypedefTable::with_builtins();
+
+    // Allocator interception must stay dynamic: CanaryHook does real
+    // work (registry mutation) around malloc.
+    let proto = parse_prototype("void *malloc(size_t n);", &t).unwrap();
+    let registry = Arc::new(CanaryRegistry::new());
+    let oracle = GuardOracle::new(Arc::clone(&registry));
+    let f = WrappedFn::new(
+        proto.clone(),
+        stub_seven,
+        vec![
+            Arc::new(ArgCheckHook::new(
+                vec![SafePred::Always],
+                proto.ret.clone(),
+                oracle,
+                PolicyEngine::containment(),
+            )),
+            Arc::new(CanaryHook::new(registry)),
+        ],
+    );
+    assert!(!f.has_plan(), "malloc with CanaryHook must run dynamically");
+
+    // Non-uniform and healing engines still compile (check failures fall
+    // back to the dynamic pipeline).
+    let proto = parse_prototype("size_t strlen(const char *s);", &t).unwrap();
+    let oracle = GuardOracle::new(Arc::new(CanaryRegistry::new()));
+    let f = WrappedFn::new(
+        proto.clone(),
+        stub_seven,
+        vec![Arc::new(ArgCheckHook::new(
+            vec![SafePred::CStr],
+            proto.ret.clone(),
+            oracle,
+            PolicyEngine::healing(),
+        ))],
+    );
+    assert!(f.has_plan(), "healing strlen lowers with fallback checks");
+}
