@@ -1,0 +1,631 @@
+//! Static contract inference (the analyzer's first pass).
+//!
+//! A fixpoint engine over [`cdecl::Prototype`] structure and man-page
+//! prose that emits a *fact base* per function: which parameters must not
+//! be NULL, which are C strings, which pointer/length pairs travel
+//! together, where ownership transfers. Every fact carries a confidence
+//! in `[0, 1]` and the list of evidence sources that produced it;
+//! independent evidence combines by noisy-or, so no single weak heuristic
+//! can clear the pre-seeding threshold on its own.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdecl::Prototype;
+use typelattice::{classify_params, plan, ArgClass, LadderHints, SafePred};
+
+/// Minimum confidence before a fact is allowed to pre-seed the
+/// injector's ladder search or emit a contract-derived check. Calibrated
+/// so that type structure (≤ 0.55) plus parameter-name heuristics
+/// (≤ 0.7) stay below it even combined: only man-page phrases and
+/// known-family knowledge can clear it.
+pub const PRESEED_THRESHOLD: f64 = 0.9;
+
+/// Confidence below which a [`Fact::NullOk`] is ignored when deciding
+/// whether NULL tolerance blocks a ladder floor or contradicts a
+/// [`Fact::NonNull`].
+pub const NULL_OK_THRESHOLD: f64 = 0.5;
+
+/// One inferable contract fact about a function. Parameter indices are
+/// zero-based.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fact {
+    /// Parameter must not be NULL.
+    NonNull(usize),
+    /// Parameter must point to a NUL-terminated C string.
+    CStr(usize),
+    /// Parameter is documented to tolerate NULL — blocks any ladder
+    /// floor for it and contradicts a confident [`Fact::NonNull`].
+    NullOk(usize),
+    /// Parameter is a printf-style format string.
+    FormatString(usize),
+    /// Pointer parameter `buf` travels with length parameter `len`.
+    BufLenPair {
+        /// Index of the pointer parameter.
+        buf: usize,
+        /// Index of the length parameter.
+        len: usize,
+    },
+    /// The function allocates memory it hands to the caller.
+    Allocates,
+    /// The function takes ownership of (frees) the pointed-to chunk.
+    Frees(usize),
+    /// The function signals failure by returning NULL.
+    ReturnsNullOnFailure,
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fact::NonNull(i) => write!(f, "arg {} non-null", i + 1),
+            Fact::CStr(i) => write!(f, "arg {} cstr", i + 1),
+            Fact::NullOk(i) => write!(f, "arg {} null-ok", i + 1),
+            Fact::FormatString(i) => write!(f, "arg {} format-string", i + 1),
+            Fact::BufLenPair { buf, len } => {
+                write!(f, "arg {} buffer sized by arg {}", buf + 1, len + 1)
+            }
+            Fact::Allocates => write!(f, "allocates (ownership to caller)"),
+            Fact::Frees(i) => write!(f, "frees arg {}", i + 1),
+            Fact::ReturnsNullOnFailure => write!(f, "returns NULL on failure"),
+        }
+    }
+}
+
+/// A fact with its combined confidence and the evidence that produced it.
+#[derive(Debug, Clone)]
+pub struct InferredFact {
+    /// The fact.
+    pub fact: Fact,
+    /// Noisy-or combination of all evidence sources, in `[0, 1)`.
+    pub confidence: f64,
+    /// Sorted evidence source tags (e.g. `man:null-terminated`).
+    pub sources: Vec<String>,
+}
+
+/// The inferred contract of one function: a set of facts, each backed by
+/// per-source evidence. Evidence is keyed by source tag and kept as the
+/// maximum confidence that source ever contributed, which makes the
+/// fixpoint iteration idempotent (re-deriving the same rule never
+/// inflates confidence).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionContract {
+    /// Function name.
+    pub func: String,
+    evidence: BTreeMap<Fact, BTreeMap<String, f64>>,
+}
+
+impl FunctionContract {
+    /// An empty contract for `func`.
+    pub fn new(func: impl Into<String>) -> Self {
+        FunctionContract { func: func.into(), evidence: BTreeMap::new() }
+    }
+
+    /// Records one piece of evidence. The same source tag contributes at
+    /// most once per fact (its maximum), so repeated derivation is safe.
+    pub fn add_evidence(&mut self, fact: Fact, confidence: f64, source: &str) {
+        let per_source = self.evidence.entry(fact).or_default();
+        let slot = per_source.entry(source.to_string()).or_insert(0.0);
+        if confidence > *slot {
+            *slot = confidence;
+        }
+    }
+
+    /// The combined (noisy-or) confidence of a fact; `0.0` if unknown.
+    pub fn confidence(&self, fact: &Fact) -> f64 {
+        match self.evidence.get(fact) {
+            None => 0.0,
+            Some(sources) => 1.0 - sources.values().fold(1.0, |acc, c| acc * (1.0 - c)),
+        }
+    }
+
+    /// All facts, sorted, with combined confidences and sorted sources.
+    pub fn facts(&self) -> Vec<InferredFact> {
+        self.evidence
+            .iter()
+            .map(|(fact, sources)| InferredFact {
+                fact: fact.clone(),
+                confidence: self.confidence(fact),
+                sources: sources.keys().cloned().collect(),
+            })
+            .collect()
+    }
+
+    /// Zero-based parameter indices mentioned by any fact.
+    pub fn mentioned_params(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .evidence
+            .keys()
+            .filter_map(|f| match f {
+                Fact::NonNull(i)
+                | Fact::CStr(i)
+                | Fact::NullOk(i)
+                | Fact::FormatString(i)
+                | Fact::Frees(i) => Some(*i),
+                Fact::BufLenPair { buf, .. } => Some(*buf),
+                Fact::Allocates | Fact::ReturnsNullOnFailure => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The fact base for a whole library: one [`FunctionContract`] per
+/// function, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct ContractBase {
+    /// Library soname the contracts describe.
+    pub library: String,
+    /// Contracts keyed by function name.
+    pub functions: BTreeMap<String, FunctionContract>,
+}
+
+impl ContractBase {
+    /// Looks up one function's contract.
+    pub fn function(&self, name: &str) -> Option<&FunctionContract> {
+        self.functions.get(name)
+    }
+
+    /// Renders the fact base deterministically: functions in name order,
+    /// facts in [`Fact`] order, sources sorted. Two runs over the same
+    /// inputs produce byte-identical text.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Contract fact base for `{}` ({} functions):",
+            self.library,
+            self.functions.len()
+        );
+        for contract in self.functions.values() {
+            let facts = contract.facts();
+            if facts.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "\n{}", contract.func);
+            for f in facts {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:.3}  [{}]",
+                    f.fact.to_string(),
+                    f.confidence,
+                    f.sources.join(", ")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Whether `word` occurs in `text` as a whole identifier (no `[A-Za-z0-9_]`
+/// on either side).
+fn mentions_word(text: &str, word: &str) -> bool {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !text[..at].chars().next_back().is_some_and(ident);
+        let after = at + word.len();
+        let after_ok =
+            after >= text.len() || !text[after..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len().max(1);
+    }
+    false
+}
+
+/// A man-page phrase rule: phrase, fact constructor, confidence, source.
+type ManPhrase = (&'static str, fn(usize) -> Fact, f64, &'static str);
+
+/// Man-page prose phrases and the facts they assert about the parameters
+/// a sentence mentions.
+const MAN_PHRASES: &[ManPhrase] = &[
+    ("must not be NULL", Fact::NonNull as fn(usize) -> Fact, 0.92, "man:must-not-be-NULL"),
+    ("null-terminated", Fact::CStr, 0.90, "man:null-terminated"),
+    ("may be NULL", Fact::NullOk, 0.92, "man:may-be-NULL"),
+    ("format string", Fact::FormatString, 0.92, "man:format-string"),
+];
+
+/// Evidence from type structure: weak on its own (≤ 0.55).
+fn type_evidence(contract: &mut FunctionContract, classes: &[ArgClass]) {
+    for (i, class) in classes.iter().enumerate() {
+        match class {
+            ArgClass::CStrIn => {
+                contract.add_evidence(Fact::CStr(i), 0.50, "type:const-char-ptr");
+                contract.add_evidence(Fact::NonNull(i), 0.30, "type:pointer");
+            }
+            ArgClass::CStrOut
+            | ArgClass::PtrIn(_)
+            | ArgClass::PtrOut(_)
+            | ArgClass::CStrPtrPtr
+            | ArgClass::FilePtr
+            | ArgClass::FuncPtr => {
+                contract.add_evidence(Fact::NonNull(i), 0.30, "type:pointer");
+            }
+            ArgClass::Int(_) | ArgClass::Size | ArgClass::Float => {}
+        }
+    }
+}
+
+/// Evidence from parameter names: the `buf`/`len`/`fmt` conventions libc
+/// man pages follow. Capped at 0.7 so names alone never pre-seed.
+fn name_evidence(contract: &mut FunctionContract, proto: &Prototype, classes: &[ArgClass]) {
+    let name_of = |i: usize| proto.params[i].name.as_deref().unwrap_or("");
+    for i in 0..proto.params.len() {
+        let name = name_of(i);
+        let class = classes[i];
+        let is_cstr_in = class == ArgClass::CStrIn;
+        if is_cstr_in && matches!(name, "fmt" | "format") {
+            contract.add_evidence(Fact::FormatString(i), 0.70, "name:fmt");
+        }
+        if is_cstr_in && matches!(name, "s" | "str" | "src" | "string" | "nptr" | "path") {
+            contract.add_evidence(Fact::CStr(i), 0.60, "name:string-like");
+        }
+        let is_buf_ptr = matches!(
+            class,
+            ArgClass::CStrIn | ArgClass::CStrOut | ArgClass::PtrIn(_) | ArgClass::PtrOut(_)
+        );
+        if is_buf_ptr
+            && matches!(name, "buf" | "buffer" | "dest" | "dst" | "src" | "ptr" | "s")
+        {
+            for (j, jc) in classes.iter().enumerate() {
+                if j > i
+                    && *jc == ArgClass::Size
+                    && matches!(name_of(j), "len" | "n" | "size" | "count" | "nbytes")
+                {
+                    contract.add_evidence(
+                        Fact::BufLenPair { buf: i, len: j },
+                        0.65,
+                        "name:buf-len",
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Evidence mined from man-page DESCRIPTION prose. A phrase applies to
+/// every parameter the containing sentence mentions by name.
+fn man_evidence(contract: &mut FunctionContract, proto: &Prototype, description: &str) {
+    for sentence in description.split('.') {
+        for (i, p) in proto.params.iter().enumerate() {
+            let Some(pname) = p.name.as_deref() else { continue };
+            if pname.is_empty() || !mentions_word(sentence, pname) {
+                continue;
+            }
+            for (phrase, mk, conf, source) in MAN_PHRASES {
+                if sentence.contains(phrase) {
+                    contract.add_evidence(mk(i), *conf, source);
+                }
+            }
+        }
+    }
+}
+
+/// Evidence from the allocator family the toolkit knows cold (0.95).
+fn family_evidence(contract: &mut FunctionContract, proto: &Prototype) {
+    match proto.name.as_str() {
+        "malloc" | "calloc" | "strdup" => {
+            contract.add_evidence(Fact::Allocates, 0.95, "family:allocator");
+            contract.add_evidence(Fact::ReturnsNullOnFailure, 0.95, "family:allocator");
+        }
+        "realloc" => {
+            contract.add_evidence(Fact::Allocates, 0.95, "family:allocator");
+            contract.add_evidence(Fact::Frees(0), 0.95, "family:allocator");
+            contract.add_evidence(Fact::NullOk(0), 0.95, "family:allocator");
+            contract.add_evidence(Fact::ReturnsNullOnFailure, 0.95, "family:allocator");
+        }
+        "free" => {
+            contract.add_evidence(Fact::Frees(0), 0.95, "family:allocator");
+            contract.add_evidence(Fact::NullOk(0), 0.95, "family:allocator");
+        }
+        _ => {}
+    }
+}
+
+/// One fixpoint round of the implication rules. Returns whether any
+/// confidence moved by more than `eps`.
+fn propagate(contract: &mut FunctionContract, n_params: usize, eps: f64) -> bool {
+    const DECAY: f64 = 0.97;
+    let mut moved = false;
+    let mut derive =
+        |c: &mut FunctionContract, from: Fact, to: Fact, factor: f64, src: &str| {
+            let conf = c.confidence(&from) * factor;
+            if conf <= 0.0 {
+                return;
+            }
+            let before = c.confidence(&to);
+            c.add_evidence(to.clone(), conf, src);
+            if (c.confidence(&to) - before).abs() > eps {
+                moved = true;
+            }
+        };
+    for i in 0..n_params {
+        derive(
+            contract,
+            Fact::FormatString(i),
+            Fact::CStr(i),
+            DECAY,
+            "infer:format-implies-cstr",
+        );
+        derive(
+            contract,
+            Fact::CStr(i),
+            Fact::NonNull(i),
+            DECAY,
+            "infer:cstr-implies-nonnull",
+        );
+    }
+    let pairs: Vec<(usize, usize)> = contract
+        .evidence
+        .keys()
+        .filter_map(|f| match f {
+            Fact::BufLenPair { buf, len } => Some((*buf, *len)),
+            _ => None,
+        })
+        .collect();
+    for (buf, len) in pairs {
+        derive(
+            contract,
+            Fact::BufLenPair { buf, len },
+            Fact::NonNull(buf),
+            0.9,
+            "infer:buflen-implies-nonnull",
+        );
+    }
+    moved
+}
+
+/// Runs the full inference over a library's prototypes. `man_page` maps a
+/// function name to its man-page text (DESCRIPTION prose is mined when
+/// present); return `None` for functions without a page.
+pub fn infer_contracts(
+    library: &str,
+    protos: &[Prototype],
+    man_page: &dyn Fn(&str) -> Option<String>,
+) -> ContractBase {
+    let mut base = ContractBase { library: library.to_string(), ..Default::default() };
+    for proto in protos {
+        let classes = classify_params(proto);
+        let mut contract = FunctionContract::new(&proto.name);
+        type_evidence(&mut contract, &classes);
+        name_evidence(&mut contract, proto, &classes);
+        if let Some(text) = man_page(&proto.name) {
+            if let Some(desc) = cdecl::description_section(&text) {
+                man_evidence(&mut contract, proto, &desc);
+            }
+        }
+        family_evidence(&mut contract, proto);
+        // Implication rules to fixpoint; the per-source max in
+        // `add_evidence` makes each round idempotent, so this converges
+        // fast — the cap is a belt for the suspenders.
+        for _ in 0..8 {
+            if !propagate(&mut contract, proto.params.len(), 1e-9) {
+                break;
+            }
+        }
+        base.functions.insert(proto.name.clone(), contract);
+    }
+    base
+}
+
+/// Converts high-confidence facts into ladder floors for the injector:
+/// the search may start at the rung a settled contract implies instead of
+/// rung 0. A confident [`Fact::NullOk`] vetoes any floor for that
+/// parameter — documented NULL tolerance must stay probeable.
+pub fn ladder_hints(base: &ContractBase, protos: &[Prototype]) -> LadderHints {
+    let mut hints = LadderHints::new();
+    for proto in protos {
+        let Some(contract) = base.function(&proto.name) else { continue };
+        let plans = plan(proto);
+        let mut floors = vec![0usize; plans.len()];
+        for (i, p) in plans.iter().enumerate() {
+            if contract.confidence(&Fact::NullOk(i)) >= NULL_OK_THRESHOLD {
+                continue;
+            }
+            let rung = |name: &str| p.ladder.iter().position(|r| r.name == name);
+            if contract.confidence(&Fact::CStr(i)) >= PRESEED_THRESHOLD {
+                if let Some(r) = rung("cstr") {
+                    floors[i] = r;
+                    continue;
+                }
+            }
+            if contract.confidence(&Fact::NonNull(i)) >= PRESEED_THRESHOLD {
+                if let Some(r) = rung("nonnull") {
+                    floors[i] = r;
+                }
+            }
+        }
+        if floors.iter().any(|f| *f > 0) {
+            hints.set(proto.name.clone(), floors);
+        }
+    }
+    hints
+}
+
+/// The per-parameter check predicates a contract supports at
+/// [`PRESEED_THRESHOLD`] confidence — the payload of a contract-derived
+/// wrapper hook. Parameters without a settled fact get
+/// [`SafePred::Always`].
+pub fn contract_preds(contract: &FunctionContract, proto: &Prototype) -> Vec<SafePred> {
+    (0..proto.params.len())
+        .map(|i| {
+            if contract.confidence(&Fact::NullOk(i)) >= NULL_OK_THRESHOLD {
+                return SafePred::Always;
+            }
+            if contract.confidence(&Fact::CStr(i)) >= PRESEED_THRESHOLD {
+                return SafePred::CStr;
+            }
+            if contract.confidence(&Fact::NonNull(i)) >= PRESEED_THRESHOLD {
+                return SafePred::NonNull;
+            }
+            SafePred::Always
+        })
+        .collect()
+}
+
+/// Builds a contract-derived [`wrappergen::hooks::ArgCheckHook`] whose
+/// checks carry `"contract"` provenance — visible in
+/// [`wrappergen::CallModel`] ops and lint findings, so a reviewer can
+/// tell statically-seeded checks from campaign-measured ones.
+pub fn contract_hook(
+    contract: &FunctionContract,
+    proto: &Prototype,
+    oracle: guardian::GuardOracle,
+    engine: wrappergen::PolicyEngine,
+) -> wrappergen::hooks::ArgCheckHook {
+    wrappergen::hooks::ArgCheckHook::new(
+        contract_preds(contract, proto),
+        proto.ret.clone(),
+        oracle,
+        engine,
+    )
+    .with_provenance("contract")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdecl::{parse_prototype, TypedefTable};
+
+    fn proto(s: &str) -> Prototype {
+        parse_prototype(s, &TypedefTable::with_builtins()).unwrap()
+    }
+
+    fn simlibc_man(name: &str) -> Option<String> {
+        simlibc::man_page(name)
+    }
+
+    #[test]
+    fn noisy_or_combines_and_is_idempotent_per_source() {
+        let mut c = FunctionContract::new("f");
+        c.add_evidence(Fact::CStr(0), 0.5, "type:const-char-ptr");
+        c.add_evidence(Fact::CStr(0), 0.6, "name:string-like");
+        let combined = c.confidence(&Fact::CStr(0));
+        assert!((combined - 0.8).abs() < 1e-9, "{combined}");
+        // Replaying the same source must not inflate.
+        c.add_evidence(Fact::CStr(0), 0.6, "name:string-like");
+        assert!((c.confidence(&Fact::CStr(0)) - combined).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heuristics_alone_stay_below_the_preseed_threshold() {
+        // No man page: type + name evidence only.
+        let base = infer_contracts(
+            "libsimc.so.1",
+            &[proto("size_t strlen(const char *s);")],
+            &|_| None,
+        );
+        let c = base.function("strlen").unwrap();
+        assert!(c.confidence(&Fact::CStr(0)) > 0.5);
+        assert!(c.confidence(&Fact::CStr(0)) < PRESEED_THRESHOLD);
+        assert!(ladder_hints(&base, &[proto("size_t strlen(const char *s);")]).is_empty());
+    }
+
+    #[test]
+    fn man_phrases_clear_the_threshold_and_floor_the_ladder() {
+        let p = proto("size_t strlen(const char *s);");
+        let base = infer_contracts("libsimc.so.1", std::slice::from_ref(&p), &simlibc_man);
+        let c = base.function("strlen").unwrap();
+        assert!(c.confidence(&Fact::CStr(0)) >= PRESEED_THRESHOLD);
+        assert!(c.confidence(&Fact::NonNull(0)) >= PRESEED_THRESHOLD);
+        let hints = ladder_hints(&base, std::slice::from_ref(&p));
+        // CStrIn ladder: [any, nonnull, null-or-cstr, cstr] — floor at 3.
+        assert_eq!(hints.floor("strlen", 0), 3);
+    }
+
+    #[test]
+    fn null_ok_vetoes_the_floor() {
+        let frees = proto("void free(void *ptr);");
+        let time = proto("time_t time(time_t *tloc);");
+        let protos = vec![frees, time];
+        let base = infer_contracts("libsimc.so.1", &protos, &simlibc_man);
+        let c = base.function("free").unwrap();
+        assert!(c.confidence(&Fact::NullOk(0)) >= NULL_OK_THRESHOLD);
+        assert!(c.confidence(&Fact::Frees(0)) >= PRESEED_THRESHOLD);
+        let hints = ladder_hints(&base, &protos);
+        assert_eq!(hints.floor("free", 0), 0);
+        assert_eq!(hints.floor("time", 0), 0);
+    }
+
+    #[test]
+    fn format_string_implies_cstr_implies_nonnull() {
+        let p = proto("int printf(const char *format, ...);");
+        let base = infer_contracts("libsimc.so.1", std::slice::from_ref(&p), &simlibc_man);
+        let c = base.function("printf").unwrap();
+        assert!(c.confidence(&Fact::FormatString(0)) >= PRESEED_THRESHOLD);
+        assert!(c.confidence(&Fact::CStr(0)) >= PRESEED_THRESHOLD);
+        assert!(c.confidence(&Fact::NonNull(0)) >= PRESEED_THRESHOLD);
+    }
+
+    #[test]
+    fn phrase_attribution_is_per_parameter() {
+        let p = proto("long strtol(const char *nptr, char **endptr, int base);");
+        let base = infer_contracts("libsimc.so.1", std::slice::from_ref(&p), &simlibc_man);
+        let c = base.function("strtol").unwrap();
+        assert!(c.confidence(&Fact::CStr(0)) >= PRESEED_THRESHOLD);
+        assert!(c.confidence(&Fact::NullOk(1)) >= NULL_OK_THRESHOLD);
+        assert!(c.confidence(&Fact::NullOk(0)) < NULL_OK_THRESHOLD);
+        let hints = ladder_hints(&base, std::slice::from_ref(&p));
+        assert_eq!(hints.floor("strtol", 0), 3);
+        assert_eq!(hints.floor("strtol", 1), 0);
+    }
+
+    #[test]
+    fn buf_len_pairs_come_from_names() {
+        let p = proto("void *memset_s(void *buf, size_t len, int c);");
+        let base = infer_contracts("x", std::slice::from_ref(&p), &|_| None);
+        let c = base.function("memset_s").unwrap();
+        assert!(c.confidence(&Fact::BufLenPair { buf: 0, len: 1 }) > 0.6);
+    }
+
+    #[test]
+    fn allocator_family_facts() {
+        let protos =
+            vec![proto("void *malloc(size_t size);"), proto("void free(void *ptr);")];
+        let base = infer_contracts("libsimc.so.1", &protos, &|_| None);
+        let m = base.function("malloc").unwrap();
+        assert!(m.confidence(&Fact::Allocates) >= PRESEED_THRESHOLD);
+        assert!(m.confidence(&Fact::ReturnsNullOnFailure) >= PRESEED_THRESHOLD);
+        assert!(base.function("free").unwrap().confidence(&Fact::Frees(0)) >= 0.9);
+    }
+
+    #[test]
+    fn contract_preds_follow_settled_facts() {
+        let p = proto("size_t strlen(const char *s);");
+        let base = infer_contracts("libsimc.so.1", std::slice::from_ref(&p), &simlibc_man);
+        assert_eq!(
+            contract_preds(base.function("strlen").unwrap(), &p),
+            vec![SafePred::CStr]
+        );
+
+        let f = proto("void free(void *ptr);");
+        let base = infer_contracts("libsimc.so.1", std::slice::from_ref(&f), &simlibc_man);
+        assert_eq!(
+            contract_preds(base.function("free").unwrap(), &f),
+            vec![SafePred::Always]
+        );
+    }
+
+    #[test]
+    fn fact_base_text_is_deterministic() {
+        let protos: Vec<Prototype> = simlibc::prototypes();
+        let a = infer_contracts("libsimc.so.1", &protos, &simlibc_man).to_text();
+        let b = infer_contracts("libsimc.so.1", &protos, &simlibc_man).to_text();
+        assert_eq!(a, b, "same inputs must render byte-identically");
+        assert!(a.contains("strlen"));
+    }
+
+    #[test]
+    fn whole_word_matching_avoids_substring_hits() {
+        assert!(mentions_word("The s argument", "s"));
+        assert!(!mentions_word("The string argument", "s"));
+        assert!(mentions_word("copies src into dest", "src"));
+        assert!(!mentions_word("sources are copied", "src"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # analyzer — static contract inference and the wrapper-soundness lint
+//!
+//! Two static passes that run *before* and *after* the HEALERS dynamic
+//! pipeline:
+//!
+//! * **Contract inference** ([`infer_contracts`]): a fixpoint engine over
+//!   prototypes and man-page prose emitting a per-function fact base
+//!   ([`ContractBase`]) — `NonNull`, `CStr`, buffer/length pairing,
+//!   ownership transfer — each fact with a confidence and its evidence
+//!   sources. High-confidence facts pre-seed the fault injector's ladder
+//!   search ([`ladder_hints`]), skipping rungs a settled contract already
+//!   decides, and emit contract-derived wrapper checks with `"contract"`
+//!   provenance ([`contract_hook`]).
+//! * **Wrapper-soundness lint** ([`lint_library`], [`lint_contracts`]):
+//!   a dataflow walk over each generated wrapper's
+//!   [`CallModel`](wrappergen::CallModel) flagging check-after-mutation
+//!   orderings, range checks wider than the register truncation before
+//!   them, string scans not dominated by a NULL check, and contradictory
+//!   contract facts.
+//!
+//! ```
+//! use analyzer::{infer_contracts, ladder_hints, Fact, PRESEED_THRESHOLD};
+//! use cdecl::{parse_prototype, TypedefTable};
+//!
+//! let t = TypedefTable::with_builtins();
+//! let protos = vec![parse_prototype("size_t strlen(const char *s);", &t).unwrap()];
+//! let base = infer_contracts("libsimc.so.1", &protos, &simlibc::man_page);
+//! let strlen = base.function("strlen").unwrap();
+//! assert!(strlen.confidence(&Fact::CStr(0)) >= PRESEED_THRESHOLD);
+//! // The injector may start strlen's ladder at the `cstr` rung:
+//! assert_eq!(ladder_hints(&base, &protos).floor("strlen", 0), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod contract;
+mod lint;
+mod report;
+
+pub use contract::{
+    contract_hook, contract_preds, infer_contracts, ladder_hints, ContractBase, Fact,
+    FunctionContract, InferredFact, NULL_OK_THRESHOLD, PRESEED_THRESHOLD,
+};
+pub use lint::{lint_call_model, lint_contracts, lint_library, LintFinding, LintRule};
+pub use report::{render_findings, to_lint_lines};

@@ -1,0 +1,354 @@
+//! The wrapper-soundness linter (the analyzer's second pass).
+//!
+//! A dataflow walk over the [`wrappergen::CallModel`] of each generated
+//! wrapper — the ordered check/mutate ops its hook pipeline admits to —
+//! plus a consistency pass over the contract fact base. Four rules:
+//!
+//! 1. **check-after-mutation** — a check reads an argument an earlier
+//!    hook already rewrote, so it no longer validates what the caller
+//!    passed;
+//! 2. **narrow-mask** — an integer range check wider than the register
+//!    truncation applied before it: part of the checked range is
+//!    unrepresentable, so the check silently passes values the truncation
+//!    already folded;
+//! 3. **unguarded-cstr-scan** — a string/byte scan not dominated by a
+//!    NULL check on the same argument dereferences NULL on the failure
+//!    path the wrapper exists to prevent;
+//! 4. **contradictory-contract-facts** — the fact base asserts both
+//!    `NonNull` and `NullOk` for the same parameter with confidence.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use typelattice::SafePred;
+use wrappergen::{CallModel, HookOp, WrapperLibrary};
+
+use crate::contract::{ContractBase, Fact, NULL_OK_THRESHOLD, PRESEED_THRESHOLD};
+
+/// The lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintRule {
+    /// A check runs after the argument it reads was mutated.
+    CheckAfterMutation,
+    /// A range check wider than the truncation applied before it.
+    NarrowMask,
+    /// A scanning check not dominated by a NULL check.
+    UnguardedScan,
+    /// `NonNull` and `NullOk` both asserted for one parameter.
+    ContradictoryFacts,
+}
+
+impl LintRule {
+    /// Stable identifier used in reports and CI gates.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LintRule::CheckAfterMutation => "check-after-mutation",
+            LintRule::NarrowMask => "narrow-mask",
+            LintRule::UnguardedScan => "unguarded-cstr-scan",
+            LintRule::ContradictoryFacts => "contradictory-contract-facts",
+        }
+    }
+
+    /// Report severity: pipeline defects are errors, fact-base
+    /// inconsistencies are warnings (they block pre-seeding, not calls).
+    pub fn severity(self) -> &'static str {
+        match self {
+            LintRule::ContradictoryFacts => "warning",
+            _ => "error",
+        }
+    }
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Wrapped function the finding is about.
+    pub func: String,
+    /// Violated rule.
+    pub rule: LintRule,
+    /// Zero-based argument index, when the finding is about one.
+    pub arg: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Whether passing `pred` establishes that the argument is non-NULL —
+/// i.e. a later raw scan of the same argument is dominated by it.
+fn implies_nonnull(pred: &SafePred) -> bool {
+    matches!(
+        pred,
+        SafePred::NonNull
+            | SafePred::CStr
+            | SafePred::Readable(_)
+            | SafePred::Writable(_)
+            | SafePred::HoldsCStrOf { .. }
+            | SafePred::ReadableAtLeastArg { .. }
+            | SafePred::ReadableAtLeastProduct { .. }
+            | SafePred::WritableAtLeastArg { .. }
+            | SafePred::WritableAtLeastProduct { .. }
+            | SafePred::ValidFilePtr
+            | SafePred::ValidFuncPtr
+    )
+}
+
+/// Lints one wrapper's call model. Findings come out in pipeline order;
+/// rendering sorts them, so order here carries no meaning.
+pub fn lint_call_model(model: &CallModel) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let widths: BTreeMap<usize, u64> = model.truncations.iter().copied().collect();
+    // arg -> (hook, label) of the op that last mutated it.
+    let mut mutated: BTreeMap<usize, (&str, String)> = BTreeMap::new();
+    // args already established non-NULL by an earlier check.
+    let mut null_checked: std::collections::BTreeSet<usize> = Default::default();
+
+    for op in &model.ops {
+        match &op.op {
+            HookOp::Check { arg, pred, label, null_guarded } => {
+                // Rule 1: the set of args this check reads.
+                let mut reads = vec![*arg];
+                if let Some(p) = pred {
+                    reads.extend(p.referenced_args());
+                }
+                reads.sort_unstable();
+                reads.dedup();
+                for r in reads {
+                    if let Some((mhook, mlabel)) = mutated.get(&r) {
+                        findings.push(LintFinding {
+                            func: model.func.clone(),
+                            rule: LintRule::CheckAfterMutation,
+                            arg: Some(r),
+                            message: format!(
+                                "`{}` checks arg {} ({label}) after `{mhook}` mutated it \
+                                 ({mlabel}); the check no longer sees the caller's value",
+                                op.hook,
+                                r + 1
+                            ),
+                        });
+                    }
+                }
+                // Rule 2: range checks vs the register truncation.
+                if let (Some(SafePred::IntInRange { min, max }), Some(b)) =
+                    (pred.as_ref(), widths.get(arg))
+                {
+                    let lo = -(1i64 << (8 * b - 1));
+                    let hi = (1i64 << (8 * b - 1)) - 1;
+                    if *min < lo || *max > hi {
+                        findings.push(LintFinding {
+                            func: model.func.clone(),
+                            rule: LintRule::NarrowMask,
+                            arg: Some(*arg),
+                            message: format!(
+                                "`{}` checks int in [{min}, {max}] on arg {}, but the call \
+                                 boundary truncates it to {b} bytes ([{lo}, {hi}]) first — \
+                                 part of the checked range is unrepresentable",
+                                op.hook,
+                                arg + 1
+                            ),
+                        });
+                    }
+                }
+                // Rule 3: raw scans need a dominating NULL check.
+                if !null_guarded && !null_checked.contains(arg) {
+                    findings.push(LintFinding {
+                        func: model.func.clone(),
+                        rule: LintRule::UnguardedScan,
+                        arg: Some(*arg),
+                        message: format!(
+                            "`{}` scans arg {} ({label}) without a dominating NULL check",
+                            op.hook,
+                            arg + 1
+                        ),
+                    });
+                }
+                // A passed check whose predicate implies non-NULL
+                // dominates later raw scans of the same argument.
+                if pred.as_ref().is_some_and(implies_nonnull) {
+                    null_checked.insert(*arg);
+                }
+            }
+            HookOp::Mutate { arg, label } => {
+                mutated.insert(*arg, (op.hook, label.clone()));
+            }
+            HookOp::Observe | HookOp::Opaque => {}
+        }
+    }
+    findings
+}
+
+/// Lints every wrapper in a generated library.
+pub fn lint_library(lib: &WrapperLibrary) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (_, wrapped) in lib.iter() {
+        findings.extend(lint_call_model(&wrapped.call_model()));
+    }
+    findings
+}
+
+/// Consistency pass over the contract fact base (rule 4). A
+/// contradiction is only reportable when the `NonNull` side is
+/// *actionable* (at or above [`PRESEED_THRESHOLD`]): weak derived
+/// evidence below the threshold never pre-seeds or emits checks, so a
+/// confident `NullOk` simply vetoes it without conflict.
+pub fn lint_contracts(base: &ContractBase) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for contract in base.functions.values() {
+        for i in contract.mentioned_params() {
+            let nonnull = contract.confidence(&Fact::NonNull(i));
+            let nullok = contract.confidence(&Fact::NullOk(i));
+            if nonnull >= PRESEED_THRESHOLD && nullok >= NULL_OK_THRESHOLD {
+                findings.push(LintFinding {
+                    func: contract.func.clone(),
+                    rule: LintRule::ContradictoryFacts,
+                    arg: Some(i),
+                    message: format!(
+                        "arg {} is asserted non-null ({nonnull:.2}) and null-ok \
+                         ({nullok:.2}) at the same time — neither fact is usable",
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::FunctionContract;
+    use wrappergen::ModelOp;
+
+    fn check(arg: usize, pred: Option<SafePred>, guarded: bool) -> HookOp {
+        let label = pred.as_ref().map(|p| p.to_string()).unwrap_or_else(|| "raw".into());
+        HookOp::Check { arg, pred, label, null_guarded: guarded }
+    }
+
+    fn model(
+        truncations: Vec<(usize, u64)>,
+        ops: Vec<(&'static str, HookOp)>,
+    ) -> CallModel {
+        CallModel {
+            func: "f".into(),
+            truncations,
+            ops: ops
+                .into_iter()
+                .map(|(hook, op)| ModelOp { hook, provenance: "builtin".into(), op })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn check_after_mutation_is_flagged() {
+        let m = model(
+            vec![],
+            vec![
+                ("canary", HookOp::Mutate { arg: 0, label: "inflate size".into() }),
+                ("arg check", check(0, Some(SafePred::SizeBelow(1 << 16)), true)),
+            ],
+        );
+        let f = lint_call_model(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::CheckAfterMutation);
+        assert_eq!(f[0].arg, Some(0));
+    }
+
+    #[test]
+    fn check_before_mutation_is_clean() {
+        let m = model(
+            vec![],
+            vec![
+                ("arg check", check(0, Some(SafePred::SizeBelow(1 << 16)), true)),
+                ("canary", HookOp::Mutate { arg: 0, label: "inflate size".into() }),
+            ],
+        );
+        assert!(lint_call_model(&m).is_empty());
+    }
+
+    #[test]
+    fn relational_pred_reading_a_mutated_arg_is_flagged() {
+        // The check is *on* arg 0 but *reads* arg 1, which was mutated.
+        let m = model(
+            vec![],
+            vec![
+                ("canary", HookOp::Mutate { arg: 1, label: "inflate size".into() }),
+                (
+                    "arg check",
+                    check(0, Some(SafePred::WritableAtLeastArg { size: 1, elem: 1 }), true),
+                ),
+            ],
+        );
+        let f = lint_call_model(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].arg, Some(1));
+    }
+
+    #[test]
+    fn narrow_mask_is_flagged_only_when_range_exceeds_width() {
+        let wide = model(
+            vec![(0, 4)],
+            vec![(
+                "arg check",
+                check(0, Some(SafePred::IntInRange { min: 0, max: 1 << 40 }), true),
+            )],
+        );
+        let f = lint_call_model(&wide);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::NarrowMask);
+
+        // char-range on a 4-byte int is representable — clean.
+        let fits = model(
+            vec![(0, 4)],
+            vec![(
+                "arg check",
+                check(0, Some(SafePred::IntInRange { min: -1, max: 255 }), true),
+            )],
+        );
+        assert!(lint_call_model(&fits).is_empty());
+    }
+
+    #[test]
+    fn unguarded_scan_is_flagged_and_dominance_clears_it() {
+        let raw = model(vec![], vec![("fixture", check(0, Some(SafePred::CStr), false))]);
+        let f = lint_call_model(&raw);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::UnguardedScan);
+
+        let dominated = model(
+            vec![],
+            vec![
+                ("arg check", check(0, Some(SafePred::NonNull), true)),
+                ("fixture", check(0, Some(SafePred::CStr), false)),
+            ],
+        );
+        assert!(lint_call_model(&dominated).is_empty());
+
+        // A NULL check on a *different* arg does not dominate.
+        let other = model(
+            vec![],
+            vec![
+                ("arg check", check(1, Some(SafePred::NonNull), true)),
+                ("fixture", check(0, Some(SafePred::CStr), false)),
+            ],
+        );
+        assert_eq!(lint_call_model(&other).len(), 1);
+    }
+
+    #[test]
+    fn contradictory_facts_are_flagged() {
+        let mut c = FunctionContract::new("weird");
+        c.add_evidence(Fact::NonNull(0), 0.92, "man:must-not-be-NULL");
+        c.add_evidence(Fact::NullOk(0), 0.92, "man:may-be-NULL");
+        let mut base = ContractBase { library: "x".into(), ..Default::default() };
+        base.functions.insert("weird".into(), c);
+        let f = lint_contracts(&base);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::ContradictoryFacts);
+        assert_eq!(f[0].rule.severity(), "warning");
+    }
+}

@@ -1,0 +1,51 @@
+//! Rendering lint findings through the profiler's report vocabulary.
+
+use profiler::LintLine;
+
+use crate::lint::LintFinding;
+
+/// Converts findings into the profiler's rendering rows.
+pub fn to_lint_lines(findings: &[LintFinding]) -> Vec<LintLine> {
+    findings
+        .iter()
+        .map(|f| LintLine {
+            func: f.func.clone(),
+            rule: f.rule.tag().to_string(),
+            severity: f.rule.severity().to_string(),
+            message: f.message.clone(),
+        })
+        .collect()
+}
+
+/// Renders the lint report section — deterministic (sorted) regardless of
+/// finding order; see [`profiler::render_lint_report`].
+pub fn render_findings(library: &str, findings: &[LintFinding]) -> String {
+    profiler::render_lint_report(library, &to_lint_lines(findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRule;
+
+    #[test]
+    fn findings_render_deterministically() {
+        let mk = |func: &str, rule: LintRule| LintFinding {
+            func: func.into(),
+            rule,
+            arg: Some(0),
+            message: format!("{} in {}", rule.tag(), func),
+        };
+        let findings = vec![
+            mk("strcpy", LintRule::NarrowMask),
+            mk("memcpy", LintRule::CheckAfterMutation),
+        ];
+        let a = render_findings("libsimc.so.1", &findings);
+        let mut reversed = findings.clone();
+        reversed.reverse();
+        let b = render_findings("libsimc.so.1", &reversed);
+        assert_eq!(a, b);
+        assert!(a.contains("narrow-mask"), "{a}");
+        assert!(a.contains("2 finding(s)"), "{a}");
+    }
+}

@@ -36,7 +36,7 @@ pub mod xml;
 pub use ctype::{CType, IntWidth, Param, Prototype};
 pub use header::{parse_header, HeaderInfo};
 pub use lexer::{lex, LexError, Token};
-pub use manpage::{parse_manpage, synopsis_section, ManpageInfo};
+pub use manpage::{description_section, parse_manpage, synopsis_section, ManpageInfo};
 pub use parser::{
     parse_declarations, parse_prototype, parse_type, Decl, ParseError, TypedefTable,
 };

@@ -14,25 +14,32 @@ pub struct ManpageInfo {
     pub skipped: Vec<String>,
 }
 
-/// Extracts the SYNOPSIS section from (roff-rendered or plain) man-page
-/// text: everything between a `SYNOPSIS` heading and the next all-caps
-/// heading.
-pub fn synopsis_section(text: &str) -> Option<String> {
-    let mut in_synopsis = false;
+/// Extracts one named all-caps section: everything between the heading
+/// and the next heading, recognising both rendered pages (a non-indented
+/// all-caps line) and roff source (`.SH NAME`).
+fn named_section(text: &str, heading: &str) -> Option<String> {
+    let mut in_section = false;
     let mut out = String::new();
     for line in text.lines() {
         let trimmed = line.trim();
-        let is_heading = !trimmed.is_empty()
-            && !line.starts_with(char::is_whitespace)
-            && trimmed.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace());
-        if is_heading {
-            if in_synopsis {
+        let heading_name = if let Some(rest) = trimmed.strip_prefix(".SH ") {
+            Some(rest.trim().trim_matches('"').to_string())
+        } else {
+            let is_heading = !trimmed.is_empty()
+                && !line.starts_with(char::is_whitespace)
+                && trimmed
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace());
+            is_heading.then(|| trimmed.to_string())
+        };
+        if let Some(name) = heading_name {
+            if in_section {
                 break;
             }
-            in_synopsis = trimmed == "SYNOPSIS";
+            in_section = name == heading;
             continue;
         }
-        if in_synopsis {
+        if in_section {
             out.push_str(line);
             out.push('\n');
         }
@@ -44,7 +51,102 @@ pub fn synopsis_section(text: &str) -> Option<String> {
     }
 }
 
-/// Parses the prototypes out of a man page.
+/// Extracts the SYNOPSIS section from (roff-rendered or plain) man-page
+/// text: everything between a `SYNOPSIS` heading and the next heading.
+pub fn synopsis_section(text: &str) -> Option<String> {
+    named_section(text, "SYNOPSIS")
+}
+
+/// Extracts the DESCRIPTION section — the prose the contract-inference
+/// pass mines for phrases like "must not be NULL" or "null-terminated".
+pub fn description_section(text: &str) -> Option<String> {
+    named_section(text, "DESCRIPTION")
+}
+
+/// Removes roff font escapes (`\fB`, `\fI`, `\fR`, `\fP`, …): `\f`
+/// followed by one font-selector character.
+fn strip_roff_escapes(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' && chars.peek() == Some(&'f') {
+            chars.next();
+            chars.next();
+            continue;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// If `line` starts with a roff font macro (`.B`, `.BI`, `.BR`, …),
+/// returns the macro's operand text; `None` for anything else.
+fn roff_font_operand(line: &str) -> Option<&str> {
+    for macro_name in [".BI", ".BR", ".IB", ".IR", ".RB", ".RI", ".B", ".I"] {
+        if let Some(rest) = line.strip_prefix(macro_name) {
+            if rest.is_empty() || rest.starts_with(' ') {
+                return Some(rest.trim_start());
+            }
+        }
+    }
+    None
+}
+
+/// Removes `__attribute__((...))` annotations (balanced parentheses) from
+/// a declaration.
+fn strip_attributes(decl: &str) -> String {
+    let mut out = String::new();
+    let mut rest = decl;
+    while let Some(pos) = rest.find("__attribute__") {
+        out.push_str(&rest[..pos]);
+        let after = rest[pos + "__attribute__".len()..].trim_start();
+        let Some(body) = after.strip_prefix('(') else {
+            rest = after;
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut end = body.len();
+        for (i, c) in body.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &body[end.min(body.len())..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Drops `restrict` qualifiers (C99 and the GNU spellings), including the
+/// glued `*restrict` form man pages favour.
+fn strip_restrict(decl: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for tok in decl.split_whitespace() {
+        let bare = tok.trim_start_matches('*');
+        let stars = &tok[..tok.len() - bare.len()];
+        if matches!(bare, "restrict" | "__restrict" | "__restrict__") {
+            if !stars.is_empty() {
+                parts.push(stars);
+            }
+            continue;
+        }
+        parts.push(tok);
+    }
+    parts.join(" ")
+}
+
+/// Parses the prototypes out of a man page. Tolerates the noise real
+/// pages carry: multi-line prototypes, roff font macros and escapes,
+/// `__attribute__` annotations and `restrict` qualifiers. Lines that
+/// still fail to parse land in [`ManpageInfo::skipped`].
 pub fn parse_manpage(text: &str, typedefs: &TypedefTable) -> ManpageInfo {
     let mut info = ManpageInfo::default();
     let Some(section) = synopsis_section(text) else {
@@ -52,21 +154,45 @@ pub fn parse_manpage(text: &str, typedefs: &TypedefTable) -> ManpageInfo {
     };
     // Join continuation lines: a declaration ends at `;`.
     let mut pending = String::new();
-    for line in section.lines() {
-        let line = line.trim();
+    let take = |pending: &mut String, info: &mut ManpageInfo| {
+        let decl = strip_restrict(&strip_attributes(pending.trim()));
+        pending.clear();
+        if decl.is_empty() {
+            return;
+        }
+        match parse_prototype(&decl, typedefs) {
+            Ok(p) => info.prototypes.push(p),
+            Err(_) => info.skipped.push(decl),
+        }
+    };
+    for raw in section.lines() {
+        let unescaped = strip_roff_escapes(raw);
+        let mut line = unescaped.trim();
+        let dequoted;
+        if let Some(operand) = roff_font_operand(line) {
+            // Mixed-font macros quote the fragments; dropping the quotes
+            // reassembles the declaration text.
+            dequoted = operand.replace('"', "");
+            line = dequoted.trim();
+        } else if line.starts_with('.') {
+            continue; // layout macros: .PP, .nf, .fi, ...
+        } else if line.contains('"') {
+            dequoted = line.replace('"', "");
+            line = dequoted.trim();
+        }
         if line.is_empty() || line.starts_with("#include") {
             continue;
         }
         pending.push_str(line);
         pending.push(' ');
         if line.ends_with(';') {
-            let decl = pending.trim().to_string();
-            pending.clear();
-            match parse_prototype(&decl, typedefs) {
-                Ok(p) => info.prototypes.push(p),
-                Err(_) => info.skipped.push(decl),
-            }
+            take(&mut pending, &mut info);
         }
+    }
+    // A declaration left open at section end (missing `;`) is noise worth
+    // surfacing, not silently dropping.
+    if !pending.trim().is_empty() {
+        take(&mut pending, &mut info);
     }
     info
 }
@@ -125,5 +251,62 @@ DESCRIPTION
         let info = parse_manpage(text, &t);
         assert_eq!(info.prototypes.len(), 1);
         assert_eq!(info.skipped.len(), 1);
+    }
+
+    #[test]
+    fn attribute_and_restrict_noise_is_stripped() {
+        let t = TypedefTable::with_builtins();
+        let text = "SYNOPSIS\n       \
+            __attribute__((nonnull(1, 2))) char *strcpy(char *restrict dest,\n              \
+            const char *__restrict src);\n       \
+            void *memcpy(void *__restrict__ dest, const void *restrict src, size_t n);\n\
+            DESCRIPTION\n";
+        let info = parse_manpage(text, &t);
+        let names: Vec<_> = info.prototypes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["strcpy", "memcpy"], "skipped: {:?}", info.skipped);
+        assert!(info.skipped.is_empty());
+        assert_eq!(info.prototypes[0].arity(), 2);
+    }
+
+    #[test]
+    fn roff_source_synopsis_parses() {
+        let t = TypedefTable::with_builtins();
+        let text = "\
+.SH NAME\nmalloc \\- allocate memory\n\
+.SH SYNOPSIS\n.nf\n.B #include <stdlib.h>\n.PP\n\
+.BI \"void *malloc(size_t \" size );\n\
+.BI \"void free(void *\" ptr );\n.fi\n\
+.SH DESCRIPTION\nThe \\fBmalloc\\fP() function allocates memory.\n";
+        let info = parse_manpage(text, &t);
+        let names: Vec<_> = info.prototypes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["malloc", "free"], "skipped: {:?}", info.skipped);
+        let desc = description_section(text).unwrap();
+        assert!(desc.contains("allocates memory"));
+    }
+
+    #[test]
+    fn roff_escapes_are_removed_from_rendered_lines() {
+        let t = TypedefTable::with_builtins();
+        let text = "SYNOPSIS\n       \\fBint abs(int \\fIj\\fB);\\fR\nNOTES\n";
+        let info = parse_manpage(text, &t);
+        assert_eq!(info.prototypes.len(), 1, "skipped: {:?}", info.skipped);
+        assert_eq!(info.prototypes[0].name, "abs");
+    }
+
+    #[test]
+    fn unterminated_declaration_lands_in_skipped() {
+        let t = TypedefTable::with_builtins();
+        let text = "SYNOPSIS\n       int g(int a,\n       int b\nNOTES\n";
+        let info = parse_manpage(text, &t);
+        assert!(info.prototypes.is_empty());
+        assert_eq!(info.skipped, vec!["int g(int a, int b"]);
+    }
+
+    #[test]
+    fn description_section_absent_when_missing() {
+        assert!(description_section("NAME\n  x\nSYNOPSIS\n  int f(void);\n").is_none());
+        let desc = description_section(STRCPY_MAN).unwrap();
+        assert!(desc.contains("copies the string"));
+        assert!(!desc.contains("strncpy(char"));
     }
 }

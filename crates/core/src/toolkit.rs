@@ -3,6 +3,7 @@
 
 use std::path::Path;
 
+use analyzer::ContractBase;
 use cdecl::xml::write_declaration_file;
 use injector::{run_campaign, CampaignConfig, CampaignResult, CheckpointJournal, TargetFn};
 use interpose::{AppInfo, Executable, Loader, RunOutcome, SharedLibrary, System};
@@ -107,6 +108,47 @@ impl Toolkit {
     pub fn derive_robust_api(&self, soname: &str) -> Option<CampaignResult> {
         let targets = self.targets(soname)?;
         Some(run_campaign(soname, &targets, process_factory, &self.config))
+    }
+
+    /// Runs static contract inference over a library's prototypes and
+    /// man pages, without touching a process: the fact base the
+    /// pre-seeded campaign and the soundness lint both consume.
+    pub fn infer_contracts(&self, soname: &str) -> Option<ContractBase> {
+        let targets = self.targets(soname)?;
+        let protos: Vec<_> = targets.iter().map(|t| t.proto.clone()).collect();
+        Some(analyzer::infer_contracts(soname, &protos, &simlibc::man_page))
+    }
+
+    /// [`Toolkit::derive_robust_api`] pre-seeded by static contract
+    /// inference: facts above [`analyzer::PRESEED_THRESHOLD`] floor each
+    /// parameter's candidate-type ladder, so the injector skips the rungs
+    /// a settled contract already decides (reported as pruned cases).
+    /// The verdicts are the same as an uncontracted campaign's — only
+    /// the number of injected cases shrinks. Returns the campaign result
+    /// together with the contract base that seeded it.
+    pub fn derive_robust_api_with_contracts(
+        &self,
+        soname: &str,
+    ) -> Option<(CampaignResult, ContractBase)> {
+        let targets = self.targets(soname)?;
+        let protos: Vec<_> = targets.iter().map(|t| t.proto.clone()).collect();
+        let base = analyzer::infer_contracts(soname, &protos, &simlibc::man_page);
+        let hints = analyzer::ladder_hints(&base, &protos);
+        let result = injector::run_campaign_with_hints(
+            soname,
+            &targets,
+            process_factory,
+            &self.config,
+            &hints,
+        );
+        Some((result, base))
+    }
+
+    /// Runs the wrapper-soundness lint over a generated wrapper library:
+    /// every wrapper's call model is walked for check-after-mutation
+    /// orderings, narrow truncation masks and unguarded string scans.
+    pub fn lint_wrapper(&self, wrapper: &WrapperLibrary) -> Vec<analyzer::LintFinding> {
+        analyzer::lint_library(wrapper)
     }
 
     /// [`Toolkit::derive_robust_api`] backed by a durable checkpoint
@@ -417,6 +459,33 @@ mod tests {
 
         assert!(tk.derive_robust_api_checkpointed("libnope.so", &path).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn contract_inference_and_lint_are_wired_into_the_toolkit() {
+        let tk = quick();
+        let base = tk.infer_contracts("libsimc.so.1").unwrap();
+        let strlen = base.function("strlen").unwrap();
+        assert!(
+            strlen.confidence(&analyzer::Fact::CStr(0)) >= analyzer::PRESEED_THRESHOLD,
+            "{}",
+            base.to_text()
+        );
+
+        // The math library has no man pages, so contract seeding is a
+        // no-op there — and the seeded campaign must match the plain one
+        // bit for bit.
+        let (seeded, _) = tk.derive_robust_api_with_contracts("libsimm.so.1").unwrap();
+        let plain = tk.derive_robust_api("libsimm.so.1").unwrap();
+        assert_eq!(seeded.api.to_xml(), plain.api.to_xml());
+
+        let wrapper = tk.generate_wrapper(
+            wrappergen::WrapperKind::Robustness,
+            &plain.api,
+            &WrapperConfig::default(),
+        );
+        assert!(tk.lint_wrapper(&wrapper).is_empty());
+        assert!(tk.derive_robust_api_with_contracts("libnope.so").is_none());
     }
 
     fn fragile_entry(s: &mut interpose::Session<'_>) -> Result<i32, Fault> {

@@ -51,8 +51,9 @@ pub use sandbox::{
     ProcFactory,
 };
 pub use search::{
-    replay_cases, run_campaign, run_campaign_checkpointed, run_campaign_parallel,
-    run_campaign_parallel_checkpointed, targets_from_simlibc, targets_from_simmath,
-    CampaignConfig, CampaignResult, CrashCase, FunctionReport, ParamResult, ReplaySummary,
-    TargetFn,
+    replay_cases, run_campaign, run_campaign_checkpointed,
+    run_campaign_checkpointed_with_hints, run_campaign_parallel,
+    run_campaign_parallel_checkpointed, run_campaign_with_hints, targets_from_simlibc,
+    targets_from_simmath, CampaignConfig, CampaignResult, CrashCase, FunctionReport,
+    ParamResult, ReplaySummary, TargetFn,
 };

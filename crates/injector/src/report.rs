@@ -26,11 +26,15 @@ pub fn render_table(result: &CampaignResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Robustness campaign over {} — {} functions, {} injected calls, {} failures{}",
+        "Robustness campaign over {} — {} functions, {} injected calls, {} failures{}{}",
         result.library,
         result.reports.len(),
         result.total_tests(),
         result.total_failures(),
+        match result.total_pruned() {
+            0 => String::new(),
+            n => format!(", {n} cases pruned by static contracts"),
+        },
         if result.complete { "" } else { " [PARTIAL: budget exhausted]" }
     );
     let _ = writeln!(
@@ -82,6 +86,7 @@ pub fn to_xml(result: &CampaignResult) -> String {
             ("library", result.library.as_str()),
             ("tests", &result.total_tests().to_string()),
             ("failures", &result.total_failures().to_string()),
+            ("pruned", &result.total_pruned().to_string()),
             ("complete", if result.complete { "true" } else { "false" }),
         ],
     );
@@ -95,6 +100,7 @@ pub fn to_xml(result: &CampaignResult) -> String {
                 ("skipped", if r.skipped { "true" } else { "false" }),
                 ("confidence", r.confidence.tag()),
                 ("coverage", &format!("{:.3}", r.coverage)),
+                ("pruned", &r.pruned.to_string()),
             ],
         );
         for (o, n) in &r.histogram {
@@ -103,7 +109,11 @@ pub fn to_xml(result: &CampaignResult) -> String {
         for (i, p) in r.params.iter().enumerate() {
             w.open(
                 "param",
-                &[("index", &(i + 1).to_string()), ("robust-type", p.chosen_name.as_str())],
+                &[
+                    ("index", &(i + 1).to_string()),
+                    ("robust-type", p.chosen_name.as_str()),
+                    ("pruned", &p.pruned.to_string()),
+                ],
             );
             for (rung, failures) in &p.tried {
                 w.leaf(
@@ -168,6 +178,25 @@ mod tests {
             let strlen = text.find("strlen").unwrap();
             assert!(abs < exit && exit < strlen, "{text}");
         }
+    }
+
+    #[test]
+    fn hinted_campaign_reports_pruned_counts_in_xml() {
+        let targets: Vec<_> =
+            targets_from_simlibc().into_iter().filter(|t| t.name == "strlen").collect();
+        let config = CampaignConfig { pair_values: 4, fuel: 200_000, ..Default::default() };
+        let mut hints = typelattice::LadderHints::new();
+        hints.set("strlen", vec![3]);
+        let result = crate::search::run_campaign_with_hints(
+            "libsimc.so.1",
+            &targets,
+            init_process,
+            &config,
+            &hints,
+        );
+        assert!(result.total_pruned() > 0);
+        let xml = to_xml(&result);
+        assert!(xml.contains(&format!("pruned=\"{}\"", result.total_pruned())), "{xml}");
     }
 
     #[test]

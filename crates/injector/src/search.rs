@@ -9,7 +9,9 @@ use std::time::{Duration, Instant};
 
 use cdecl::Prototype;
 use simproc::{CVal, Fault, HostFn, Proc};
-use typelattice::{plan, Confidence, ParamPlan, RobustApi, RobustFunction, SafePred};
+use typelattice::{
+    plan, Confidence, LadderHints, ParamPlan, RobustApi, RobustFunction, SafePred,
+};
 
 use crate::checkpoint::{function_fingerprint, CheckpointJournal};
 use crate::outcome::{Outcome, TestOutcome};
@@ -136,6 +138,10 @@ pub struct ParamResult {
     pub chosen_name: String,
     /// `(rung name, failures observed)` for every rung tried.
     pub tried: Vec<(String, usize)>,
+    /// Injection cases skipped because a high-confidence static contract
+    /// already settled the rungs below the hinted floor (see
+    /// [`LadderHints`]). Zero in unhinted runs.
+    pub pruned: usize,
 }
 
 /// Per-function campaign report.
@@ -166,6 +172,9 @@ pub struct FunctionReport {
     pub retries: usize,
     /// Cases satisfied from the checkpoint journal instead of executing.
     pub checkpoint_hits: usize,
+    /// Injection cases skipped across all parameters because static
+    /// contracts pre-seeded the ladder floors. Zero in unhinted runs.
+    pub pruned: usize,
 }
 
 /// The whole campaign's output.
@@ -211,6 +220,12 @@ impl CampaignResult {
     /// watchdog across all functions.
     pub fn total_retries(&self) -> usize {
         self.reports.iter().map(|r| r.retries).sum()
+    }
+
+    /// Injection cases skipped campaign-wide thanks to contract
+    /// pre-seeded ladder floors ([`LadderHints`]).
+    pub fn total_pruned(&self) -> usize {
+        self.reports.iter().map(|r| r.pruned).sum()
     }
 }
 
@@ -283,6 +298,11 @@ struct SearchCx<'a> {
     factory: ProcFactory,
     journal: &'a CheckpointJournal,
     budget: &'a BudgetClock,
+    /// Contract-derived ladder floors; `None` (or empty) means the climb
+    /// starts from the weakest rung everywhere, exactly the classic
+    /// search. Floors never enter the function fingerprint or the case
+    /// seeds, so hinted and unhinted runs share checkpoint journals.
+    hints: Option<&'a LadderHints>,
 }
 
 impl SearchCx<'_> {
@@ -391,6 +411,7 @@ fn skipped_entry(target: &TargetFn) -> (FunctionReport, RobustFunction, Vec<Cras
             coverage: 1.0,
             retries: 0,
             checkpoint_hits: 0,
+            pruned: 0,
         },
         RobustFunction::trivial(target.proto.clone()),
         Vec::new(),
@@ -409,6 +430,7 @@ fn unprobed_entry(target: &TargetFn) -> (FunctionReport, RobustFunction, Vec<Cra
             chosen: p.ladder.len() - 1,
             chosen_name: p.ladder.last().expect("non-empty ladder").name.clone(),
             tried: Vec::new(),
+            pruned: 0,
         })
         .collect();
     let preds: Vec<SafePred> = plans
@@ -432,6 +454,7 @@ fn unprobed_entry(target: &TargetFn) -> (FunctionReport, RobustFunction, Vec<Cra
             coverage: 0.0,
             retries: 0,
             checkpoint_hits: 0,
+            pruned: 0,
         },
         robust,
         Vec::new(),
@@ -464,6 +487,23 @@ pub fn run_campaign(
     run_campaign_checkpointed(library, targets, factory, config, &journal)
 }
 
+/// [`run_campaign`] with contract-derived [`LadderHints`]: each hinted
+/// parameter's ladder climb starts at its floor rung, and the cases the
+/// floor made unnecessary are counted as `pruned` in the reports instead
+/// of executing. Floors are advisory — an unhintable floor (beyond the
+/// ladder) is clamped — and sound floors yield the same robust API as
+/// the unhinted search with fewer injected calls.
+pub fn run_campaign_with_hints(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    hints: &LadderHints,
+) -> CampaignResult {
+    let journal = CheckpointJournal::new();
+    run_campaign_checkpointed_with_hints(library, targets, factory, config, &journal, hints)
+}
+
 /// [`run_campaign`] backed by a durable checkpoint journal: every
 /// completed case's classification is recorded in `journal`, and cases
 /// already recorded (same function, prototype, ladder and seed) are
@@ -478,8 +518,34 @@ pub fn run_campaign_checkpointed(
     config: &CampaignConfig,
     journal: &CheckpointJournal,
 ) -> CampaignResult {
+    run_checkpointed_inner(library, targets, factory, config, journal, None)
+}
+
+/// [`run_campaign_checkpointed`] with contract-derived [`LadderHints`]
+/// (see [`run_campaign_with_hints`]). Because floors change only where
+/// the climb *starts* — never the plans, case keys or seeds — the same
+/// journal serves hinted and unhinted campaigns interchangeably.
+pub fn run_campaign_checkpointed_with_hints(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    journal: &CheckpointJournal,
+    hints: &LadderHints,
+) -> CampaignResult {
+    run_checkpointed_inner(library, targets, factory, config, journal, Some(hints))
+}
+
+fn run_checkpointed_inner(
+    library: &str,
+    targets: &[TargetFn],
+    factory: ProcFactory,
+    config: &CampaignConfig,
+    journal: &CheckpointJournal,
+    hints: Option<&LadderHints>,
+) -> CampaignResult {
     let budget = BudgetClock::new(config);
-    let cx = SearchCx { config, factory, journal, budget: &budget };
+    let cx = SearchCx { config, factory, journal, budget: &budget, hints };
     let mut reports = Vec::new();
     let mut functions = Vec::new();
     let mut crashes = Vec::new();
@@ -539,7 +605,8 @@ pub fn run_campaign_parallel_checkpointed(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let cx = SearchCx { config, factory, journal, budget: &budget };
+                let cx =
+                    SearchCx { config, factory, journal, budget: &budget, hints: None };
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(target) = targets.get(i) else { break };
@@ -623,12 +690,30 @@ fn search_function(
                 chosen: chosen[i],
                 chosen_name: p.ladder[chosen[i]].name.clone(),
                 tried: Vec::new(),
+                pruned: 0,
             });
             continue;
         }
+        // Contract pre-seeding: a high-confidence static contract settles
+        // the rungs below its floor — skip them and account for the cases
+        // that would have run (the counts are deterministic in the seed,
+        // so hinted campaign reports stay byte-reproducible).
+        let floor =
+            cx.hints.map(|h| h.floor(&target.name, i)).unwrap_or(0).min(p.ladder.len() - 1);
+        let mut pruned = 0usize;
+        for r in 0..floor {
+            let probe_key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: 0 };
+            pruned += value_count(
+                cx.factory,
+                &plans,
+                i,
+                r,
+                case_seed(config.seed, &target.name, &probe_key),
+            );
+        }
         let mut tried = Vec::new();
         let mut picked = p.ladder.len() - 1;
-        'ladder: for (r, rung) in p.ladder.iter().enumerate() {
+        'ladder: for (r, rung) in p.ladder.iter().enumerate().skip(floor) {
             let mut failures = 0usize;
             let probe_key = CaseKey::Ladder { param: i, rung_idx: r, value_idx: 0 };
             let n = value_count(
@@ -687,6 +772,7 @@ fn search_function(
             chosen: picked,
             chosen_name: plans[i].ladder[picked].name.clone(),
             tried,
+            pruned,
         });
         if stop.is_none() {
             units_done += 1;
@@ -821,6 +907,7 @@ fn search_function(
     let fully_robust = residual == 0 && stop.is_none();
     let preds: Vec<SafePred> =
         plans.iter().zip(&chosen).map(|(p, &r)| p.ladder[r].pred.clone()).collect();
+    let pruned_total = params.iter().map(|p| p.pruned).sum();
     let report = FunctionReport {
         name: target.name.clone(),
         proto: target.proto.to_string(),
@@ -834,6 +921,7 @@ fn search_function(
         coverage,
         retries: tally.retries,
         checkpoint_hits: tally.hits,
+        pruned: pruned_total,
     };
     let mut robust = RobustFunction::new(target.proto.clone(), preds, fully_robust);
     robust.confidence = confidence;
@@ -1067,6 +1155,61 @@ mod tests {
     }
 
     #[test]
+    fn contract_hints_prune_cases_without_changing_the_verdict() {
+        let targets = single_target("strlen");
+        let config = quick_config();
+        let unhinted = run_campaign("l", &targets, init_process, &config);
+        // Floor the climb at the rung the campaign derives anyway (cstr).
+        let mut hints = LadderHints::new();
+        hints.set("strlen", vec![3]);
+        let hinted = run_campaign_with_hints("l", &targets, init_process, &config, &hints);
+        assert_eq!(hinted.api.to_xml(), unhinted.api.to_xml(), "same robust API");
+        assert_eq!(unhinted.total_pruned(), 0);
+        assert!(hinted.total_pruned() > 0, "floored rungs must be accounted");
+        assert!(
+            hinted.executed_cases() < unhinted.executed_cases(),
+            "hinted: {} unhinted: {}",
+            hinted.executed_cases(),
+            unhinted.executed_cases()
+        );
+    }
+
+    #[test]
+    fn oversized_hint_floor_is_clamped() {
+        let targets = single_target("strlen");
+        let mut hints = LadderHints::new();
+        hints.set("strlen", vec![99]);
+        let result =
+            run_campaign_with_hints("l", &targets, init_process, &quick_config(), &hints);
+        let f = result.api.function("strlen").unwrap();
+        assert_eq!(f.preds, vec![SafePred::CStr], "clamped to the strongest rung");
+    }
+
+    #[test]
+    fn hinted_and_unhinted_campaigns_share_a_checkpoint_journal() {
+        let targets = single_target("strlen");
+        let config = quick_config();
+        let journal = CheckpointJournal::new();
+        let first =
+            run_campaign_checkpointed("l", &targets, init_process, &config, &journal);
+        let mut hints = LadderHints::new();
+        hints.set("strlen", vec![3]);
+        let hinted = run_campaign_checkpointed_with_hints(
+            "l",
+            &targets,
+            init_process,
+            &config,
+            &journal,
+            &hints,
+        );
+        assert_eq!(hinted.executed_cases(), 0, "floors never change the fingerprint");
+        assert_eq!(
+            first.api.function("strlen").unwrap().preds,
+            hinted.api.function("strlen").unwrap().preds
+        );
+    }
+
+    #[test]
     fn campaign_is_deterministic() {
         let targets = single_target("strncpy");
         let config = quick_config();
@@ -1177,6 +1320,7 @@ mod tests {
             factory: init_process,
             journal: &journal,
             budget: &budget,
+            hints: None,
         };
         let mut tally = CaseTally::default();
         let out = cx.judge(1, "slow", &plans, &key, &mut call, &mut tally).unwrap();

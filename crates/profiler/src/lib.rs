@@ -36,6 +36,9 @@ mod stats;
 
 pub use doc::{parse_header_fields, to_xml, to_xml_with_healing};
 pub use journal::{HealAction, HealEvent, HealingJournal};
-pub use report::{render_report, render_report_with_healing, render_robust_api_health};
+pub use report::{
+    render_lint_report, render_report, render_report_with_healing,
+    render_robust_api_health, LintLine,
+};
 pub use server::{Collected, CollectionServer, Collector, Submission};
 pub use stats::{FuncStats, Snapshot, Stats};

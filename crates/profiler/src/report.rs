@@ -149,6 +149,47 @@ pub fn render_robust_api_health(api: &typelattice::RobustApi) -> String {
     out
 }
 
+/// One wrapper-soundness lint finding, pre-rendered by the analyzer into
+/// the profiler's report vocabulary. The profiler deliberately knows
+/// nothing about hook pipelines or contracts — it renders whatever lines
+/// the upstream lint produced, deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintLine {
+    /// Wrapped function the finding is about.
+    pub func: String,
+    /// Stable rule identifier (e.g. `check-after-mutation`).
+    pub rule: String,
+    /// `error` or `warning`.
+    pub severity: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Renders the wrapper-soundness lint section: one line per finding,
+/// sorted by (function, rule, message) so two same-input runs render
+/// byte-identically. An empty finding list renders a clean bill.
+pub fn render_lint_report(library: &str, lines: &[LintLine]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Wrapper-soundness lint for `{library}`:");
+    if lines.is_empty() {
+        let _ = writeln!(out, "  (no findings — every modelled wrapper is sound)");
+        return out;
+    }
+    let mut sorted: Vec<&LintLine> = lines.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.func
+            .cmp(&b.func)
+            .then_with(|| a.rule.cmp(&b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    for l in sorted {
+        let _ =
+            writeln!(out, "  {:<9} {:<14} [{}] {}", l.severity, l.func, l.rule, l.message);
+    }
+    let _ = writeln!(out, "  {} finding(s)", lines.len());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +268,33 @@ mod tests {
         assert!(report.contains("budget expired"), "{report}");
         assert!(report.contains("1 of 2 contracts are measurements"), "{report}");
         assert!(report.contains("75.0%"), "mean coverage: {report}");
+    }
+
+    #[test]
+    fn lint_report_renders_sorted_and_deterministic() {
+        let mk = |func: &str, rule: &str, msg: &str| LintLine {
+            func: func.into(),
+            rule: rule.into(),
+            severity: "error".into(),
+            message: msg.into(),
+        };
+        let lines = vec![
+            mk("strcpy", "narrow-mask", "b"),
+            mk("memcpy", "check-after-mutation", "a"),
+            mk("strcpy", "check-after-mutation", "a"),
+        ];
+        let r1 = render_lint_report("libsimc.so.1", &lines);
+        let mut reversed = lines.clone();
+        reversed.reverse();
+        let r2 = render_lint_report("libsimc.so.1", &reversed);
+        assert_eq!(r1, r2, "input order must not matter");
+        let memcpy = r1.find("memcpy").unwrap();
+        let strcpy = r1.find("strcpy").unwrap();
+        assert!(memcpy < strcpy, "{r1}");
+        assert!(r1.contains("3 finding(s)"), "{r1}");
+
+        let clean = render_lint_report("libsimc.so.1", &[]);
+        assert!(clean.contains("no findings"), "{clean}");
     }
 
     #[test]

@@ -239,17 +239,61 @@ pub fn header_text() -> String {
     out
 }
 
-/// A synthetic man page for one function (SYNOPSIS only) — the other
-/// prototype source of Figure 2.
+/// The DESCRIPTION prose of a function's man page. Functions whose
+/// argument contracts the real man pages document carry the documenting
+/// phrases ("must not be NULL", "null-terminated", "may be NULL",
+/// "format string") — the raw material the analyzer's contract-inference
+/// pass mines. Everything else gets a generic line.
+pub fn man_description(name: &str) -> &'static str {
+    match name {
+        "strlen" => {
+            "The s argument must point to a null-terminated string and must not be NULL."
+        }
+        "strcmp" | "strncmp" => {
+            "The s1 argument must point to a null-terminated string and must not be \
+             NULL. The s2 argument must point to a null-terminated string and must \
+             not be NULL."
+        }
+        "strcpy" | "strcat" => {
+            "The src argument must point to a null-terminated string and must not be NULL."
+        }
+        "strchr" => {
+            "The s argument must point to a null-terminated string and must not be NULL."
+        }
+        "atoi" | "atol" => {
+            "The nptr argument must point to a null-terminated string and must not \
+             be NULL."
+        }
+        "puts" => {
+            "The s argument must point to a null-terminated string and must not be NULL."
+        }
+        "printf" => {
+            "The format argument is a printf-style format string; it must point to a \
+             null-terminated string and must not be NULL."
+        }
+        "free" => "The ptr argument may be NULL, in which case no operation is performed.",
+        "time" => "The tloc argument may be NULL.",
+        "strtol" => {
+            "The nptr argument must point to a null-terminated string and must not \
+             be NULL. The endptr argument may be NULL."
+        }
+        _ => "See the HEALERS paper.",
+    }
+}
+
+/// A synthetic man page for one function (SYNOPSIS plus a DESCRIPTION
+/// carrying any documented argument contracts) — the other prototype
+/// source of Figure 2, and the phrase source for contract inference.
 pub fn man_page(name: &str) -> Option<String> {
     let sym = find_symbol(name)?;
     Some(format!(
         "{upper}(3)                Simulated Programmer's Manual                {upper}(3)\n\n\
          NAME\n       {name} - simulated C library function\n\n\
          SYNOPSIS\n       #include <simlibc.h>\n\n       {proto}\n\n\
-         DESCRIPTION\n       See the HEALERS paper.\n",
+         DESCRIPTION\n       {desc}\n",
         upper = name.to_uppercase(),
         proto = sym.proto,
+        desc = man_description(name),
     ))
 }
 
@@ -298,6 +342,18 @@ mod tests {
             assert_eq!(info.prototypes[0].name, name);
         }
         assert!(man_page("not_a_function").is_none());
+    }
+
+    #[test]
+    fn man_descriptions_surface_contract_phrases() {
+        let page = man_page("strlen").unwrap();
+        let desc = cdecl::description_section(&page).unwrap();
+        assert!(desc.contains("null-terminated"), "{desc}");
+        assert!(desc.contains("must not be NULL"), "{desc}");
+        let page = man_page("free").unwrap();
+        assert!(man_description("free").contains("may be NULL"));
+        assert!(cdecl::description_section(&page).unwrap().contains("may be NULL"));
+        assert_eq!(man_description("qsort"), "See the HEALERS paper.");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Ladder pre-seeding hints: per-parameter floor rungs derived by static
+//! contract inference, consumed by the injector's weakest-robust-type
+//! search. A floor of `r` means "a high-confidence contract already
+//! settles every rung below `r`" — the climb starts there and the
+//! skipped cases are reported as pruned instead of executed.
+
+use std::collections::BTreeMap;
+
+/// Per-function, per-parameter floor indices into the candidate-type
+/// ladders of [`crate::plan`]. The default floor is `0` (climb from the
+/// weakest rung, exactly the unhinted search), so an empty hint set is
+/// behaviourally identical to running without hints.
+///
+/// Floors change only where the climb *starts*, never the plans, the
+/// case keys or the per-case seeds — a hinted campaign shares checkpoint
+/// journals with an unhinted one and derives the same robust API
+/// whenever the floors are sound (the skipped rungs would have failed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LadderHints {
+    floors: BTreeMap<String, Vec<usize>>,
+}
+
+impl LadderHints {
+    /// An empty hint set (every floor is 0).
+    pub fn new() -> Self {
+        LadderHints::default()
+    }
+
+    /// Sets the per-parameter floors for `func`. Missing trailing
+    /// parameters default to floor 0.
+    pub fn set(&mut self, func: impl Into<String>, floors: Vec<usize>) {
+        self.floors.insert(func.into(), floors);
+    }
+
+    /// The floor rung index for parameter `param` of `func` (0 when no
+    /// hint exists).
+    pub fn floor(&self, func: &str, param: usize) -> usize {
+        self.floors.get(func).and_then(|f| f.get(param)).copied().unwrap_or(0)
+    }
+
+    /// `true` when no function carries a non-zero floor.
+    pub fn is_empty(&self) -> bool {
+        self.floors.values().all(|f| f.iter().all(|&r| r == 0))
+    }
+
+    /// Function names with at least one non-zero floor, sorted.
+    pub fn functions(&self) -> Vec<&str> {
+        self.floors
+            .iter()
+            .filter(|(_, f)| f.iter().any(|&r| r > 0))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_floor_is_zero() {
+        let hints = LadderHints::new();
+        assert_eq!(hints.floor("strlen", 0), 0);
+        assert!(hints.is_empty());
+        assert!(hints.functions().is_empty());
+    }
+
+    #[test]
+    fn set_and_lookup() {
+        let mut hints = LadderHints::new();
+        hints.set("strlen", vec![3]);
+        hints.set("abs", vec![0]);
+        assert_eq!(hints.floor("strlen", 0), 3);
+        assert_eq!(hints.floor("strlen", 1), 0, "missing params default");
+        assert_eq!(hints.floor("abs", 0), 0);
+        assert!(!hints.is_empty());
+        assert_eq!(hints.functions(), vec!["strlen"], "zero-floor entries excluded");
+    }
+}

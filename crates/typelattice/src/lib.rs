@@ -34,6 +34,7 @@
 mod api;
 mod class;
 mod gen;
+mod hints;
 mod ladder;
 mod pred;
 mod repair;
@@ -41,6 +42,7 @@ mod repair;
 pub use api::{Confidence, RobustApi, RobustFunction};
 pub use class::{classify, classify_params, ArgClass};
 pub use gen::{benign_value, trunc_int, values_for, GenCx};
+pub use hints::LadderHints;
 pub use ladder::{ladder_for, plan, ParamPlan, Rung};
 pub use pred::{peek_cstr_len, SafePred, CSTR_SCAN_CAP};
 pub use repair::{repair_hint, RepairHint};

@@ -279,6 +279,24 @@ impl SafePred {
         }
     }
 
+    /// Indices of the *other* arguments this predicate reads when it is
+    /// evaluated — the dataflow edges the wrapper-soundness lint walks to
+    /// catch checks evaluated after one of their inputs was mutated.
+    /// Empty for non-relational predicates.
+    pub fn referenced_args(&self) -> Vec<usize> {
+        match self {
+            SafePred::HoldsCStrOf { src } => vec![*src],
+            SafePred::WritableAtLeastArg { size, .. }
+            | SafePred::ReadableAtLeastArg { size, .. } => vec![*size],
+            SafePred::WritableAtLeastProduct { a, b }
+            | SafePred::ReadableAtLeastProduct { a, b } => vec![*a, *b],
+            SafePred::SizeFitsWritable { ptr, .. }
+            | SafePred::SizeFitsReadable { ptr, .. } => vec![*ptr],
+            SafePred::NullOr(inner) => inner.referenced_args(),
+            _ => Vec::new(),
+        }
+    }
+
     /// `true` if this predicate references other arguments (a relational
     /// type derived in the validation pass).
     pub fn is_relational(&self) -> bool {
@@ -466,6 +484,22 @@ mod tests {
         assert!(SafePred::SizeFitsWritable { ptr: 0, elem: 1 }.is_relational());
         assert!(!SafePred::CStr.is_relational());
         assert!(!SafePred::Always.is_relational());
+    }
+
+    #[test]
+    fn referenced_args_names_dataflow_edges() {
+        assert_eq!(SafePred::HoldsCStrOf { src: 1 }.referenced_args(), vec![1]);
+        assert_eq!(
+            SafePred::WritableAtLeastProduct { a: 1, b: 2 }.referenced_args(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            SafePred::NullOr(Box::new(SafePred::SizeFitsWritable { ptr: 0, elem: 8 }))
+                .referenced_args(),
+            vec![0]
+        );
+        assert!(SafePred::CStr.referenced_args().is_empty());
+        assert!(SafePred::IntNonZero.referenced_args().is_empty());
     }
 
     #[test]

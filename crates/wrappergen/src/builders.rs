@@ -278,7 +278,18 @@ pub fn build_wrapper_with_impls(
                 if !has_sec && !is_canary {
                     continue;
                 }
-                if is_canary {
+                // Where the canary hook rewrites size arguments
+                // (guard-word inflation: malloc/calloc/realloc), checks
+                // must precede it — a check running after would validate
+                // the inflated size instead of the caller's, the exact
+                // ordering defect the wrapper-soundness lint flags as
+                // check-after-mutation. For `free` the canary op only
+                // *verifies*, so it runs first: a smashed guard word is
+                // reported as the canary detection it is, not as a
+                // robust-type violation.
+                let canary_mutates =
+                    is_canary && matches!(name.as_str(), "malloc" | "calloc" | "realloc");
+                if is_canary && !canary_mutates {
                     hooks.push(Arc::new(CanaryHook::new(Arc::clone(&registry))));
                 }
                 if has_sec {
@@ -289,6 +300,9 @@ pub fn build_wrapper_with_impls(
                         oracle.clone(),
                         PolicyEngine::terminating(),
                     )));
+                }
+                if canary_mutates {
+                    hooks.push(Arc::new(CanaryHook::new(Arc::clone(&registry))));
                 }
                 gens.push(Box::new(CanaryCheckGen));
             }

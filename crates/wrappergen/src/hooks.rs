@@ -11,7 +11,7 @@ use typelattice::SafePred;
 use crate::policy::{apply_repair, Policy, PolicyEngine, ViolationClass};
 use crate::runtime::{
     containment_value, reject, CallCx, CallLog, FailAction, FaultDecision, Hook,
-    HookAction, Lowered, PlannedCheck,
+    HookAction, HookOp, Lowered, PlannedCheck,
 };
 
 /// `arg check` / `heal args`: evaluates the robust argument types derived
@@ -25,6 +25,9 @@ pub struct ArgCheckHook {
     oracle: GuardOracle,
     engine: PolicyEngine,
     journal: Option<Arc<HealingJournal>>,
+    /// Where the predicates came from (`"campaign"` unless overridden
+    /// with [`ArgCheckHook::with_provenance`]).
+    provenance: &'static str,
 }
 
 impl std::fmt::Debug for ArgCheckHook {
@@ -41,7 +44,7 @@ impl ArgCheckHook {
         oracle: GuardOracle,
         engine: PolicyEngine,
     ) -> Self {
-        ArgCheckHook { preds, ret, oracle, engine, journal: None }
+        ArgCheckHook { preds, ret, oracle, engine, journal: None, provenance: "campaign" }
     }
 
     /// Builds the hook with a healing audit journal attached.
@@ -52,7 +55,24 @@ impl ArgCheckHook {
         engine: PolicyEngine,
         journal: Arc<HealingJournal>,
     ) -> Self {
-        ArgCheckHook { preds, ret, oracle, engine, journal: Some(journal) }
+        ArgCheckHook {
+            preds,
+            ret,
+            oracle,
+            engine,
+            journal: Some(journal),
+            provenance: "campaign",
+        }
+    }
+
+    /// Tags the hook's checks with where they came from — `"contract"`
+    /// for checks seeded by static contract inference rather than a
+    /// fault-injection campaign. The tag surfaces in [`crate::CallModel`]
+    /// ops and lint findings.
+    #[must_use]
+    pub fn with_provenance(mut self, tag: &'static str) -> Self {
+        self.provenance = tag;
+        self
     }
 
     fn journal(
@@ -139,10 +159,33 @@ impl Hook for ArgCheckHook {
                         pred.check(proc, &oracle, args, i)
                     }),
                     on_fail,
+                    arg: Some(i),
+                    pred: Some(p.clone()),
                 }
             })
             .collect();
         Lowered::Checks(checks)
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        // Every `SafePred::check` evaluator tests for NULL before any
+        // memory scan (`peek_cstr_len` returns `None` on NULL), so the
+        // checks are null-guarded by construction.
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != SafePred::Always)
+            .map(|(i, p)| HookOp::Check {
+                arg: i,
+                pred: Some(p.clone()),
+                label: p.to_string(),
+                null_guarded: true,
+            })
+            .collect()
+    }
+
+    fn provenance(&self) -> &str {
+        self.provenance
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -342,6 +385,27 @@ impl Hook for CanaryHook {
         }
     }
 
+    fn describe(&self, proto: &cdecl::Prototype) -> Vec<HookOp> {
+        let mutate = |arg: usize| HookOp::Mutate {
+            arg,
+            label: "inflate allocation size by the guard word".to_string(),
+        };
+        let verify = |arg: usize| HookOp::Check {
+            arg,
+            pred: None,
+            label: "verify heap canary".to_string(),
+            null_guarded: true, // `before` tests the pointer for NULL first
+        };
+        match proto.name.as_str() {
+            "malloc" => vec![mutate(0)],
+            "calloc" => vec![mutate(0), mutate(1)],
+            "free" => vec![verify(0)],
+            "realloc" => vec![verify(0), mutate(1)],
+            "exit" => vec![HookOp::Observe], // terminal heap sweep
+            _ => Vec::new(),
+        }
+    }
+
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
         match cx.func {
             "malloc" => {
@@ -473,6 +537,10 @@ impl Hook for CallCounterHook {
         "call counter"
     }
 
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
+    }
+
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
         self.stats.record_count(cx.func);
         HookAction::Continue
@@ -496,6 +564,10 @@ impl ExectimeHook {
 impl Hook for ExectimeHook {
     fn name(&self) -> &'static str {
         "function exectime"
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -526,6 +598,10 @@ impl FuncErrorsHook {
 impl Hook for FuncErrorsHook {
     fn name(&self) -> &'static str {
         "func error"
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -560,6 +636,10 @@ impl Hook for CollectErrorsHook {
         "collect errors"
     }
 
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
+    }
+
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
         cx.scratch.push(cx.proc.errno() as u64);
         HookAction::Continue
@@ -590,6 +670,10 @@ impl LogCallHook {
 impl Hook for LogCallHook {
     fn name(&self) -> &'static str {
         "log call"
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
@@ -644,6 +728,10 @@ impl ExitReportHook {
 impl Hook for ExitReportHook {
     fn name(&self) -> &'static str {
         "collect"
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
     }
 
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {

@@ -57,6 +57,6 @@ pub use builders::{
 };
 pub use policy::{apply_repair, Policy, PolicyEngine, ViolationClass, SUBSTITUTE_CAP};
 pub use runtime::{
-    containment_value, reject, CallCx, CallLog, CompiledCheck, FailAction, FaultDecision,
-    Hook, HookAction, Lowered, PlannedCheck, WrappedFn,
+    containment_value, reject, CallCx, CallLog, CallModel, CompiledCheck, FailAction,
+    FaultDecision, Hook, HookAction, HookOp, Lowered, ModelOp, PlannedCheck, WrappedFn,
 };

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use cdecl::{CType, Prototype};
 use parking_lot::Mutex;
 use simproc::{errno, CVal, Fault, HostFn, Proc};
-use typelattice::{classify, trunc_int, ArgClass};
+use typelattice::{classify, trunc_int, ArgClass, SafePred};
 
 /// What a hook's `before` decides.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +81,13 @@ pub struct PlannedCheck {
     pub check: CompiledCheck,
     /// Response when the predicate fails.
     pub on_fail: FailAction,
+    /// Which argument the predicate guards, when the lowering hook can
+    /// say (symbolic metadata for the wrapper-soundness lint; never read
+    /// on the call path).
+    pub arg: Option<usize>,
+    /// The symbolic [`SafePred`] the compiled closure evaluates, when the
+    /// lowering hook can say (lint metadata, never read on the call path).
+    pub pred: Option<SafePred>,
 }
 
 impl fmt::Debug for PlannedCheck {
@@ -113,6 +120,69 @@ impl fmt::Debug for Lowered {
     }
 }
 
+/// One symbolic operation in a hook's per-call behaviour — the abstract
+/// effect the wrapper-soundness lint reasons about, declared by
+/// [`Hook::describe`]. The model deliberately says less than the code:
+/// an op only appears here when the hook can vouch for it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HookOp {
+    /// The hook evaluates an accept/deny predicate over `arg` (and, for
+    /// relational predicates, the arguments the predicate references).
+    Check {
+        /// Argument index the predicate guards.
+        arg: usize,
+        /// The symbolic predicate, when the hook evaluates exactly a
+        /// [`SafePred`]; `None` for bespoke checks (canary verification).
+        pred: Option<SafePred>,
+        /// Human-readable label for lint findings.
+        label: String,
+        /// Whether any memory scan the check performs is dominated by a
+        /// null test — `true` for every built-in [`SafePred`], whose
+        /// evaluators bail out on NULL before dereferencing.
+        null_guarded: bool,
+    },
+    /// The hook rewrites argument `arg` before the original runs (the
+    /// canary hook growing an allocation size).
+    Mutate {
+        /// Argument index rewritten.
+        arg: usize,
+        /// Human-readable label for lint findings.
+        label: String,
+    },
+    /// The hook observes the call (profiling counters, call logs,
+    /// terminal heap sweeps) without rewriting any argument.
+    Observe,
+    /// The hook declined to describe itself; the lint must treat it as
+    /// potentially anything. This is the [`Hook::describe`] default.
+    Opaque,
+}
+
+/// A [`HookOp`] attributed to the hook that declared it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOp {
+    /// [`Hook::name`] of the declaring hook.
+    pub hook: &'static str,
+    /// [`Hook::provenance`] of the declaring hook (`"campaign"`,
+    /// `"contract"`, `"builtin"`).
+    pub provenance: String,
+    /// The declared operation.
+    pub op: HookOp,
+}
+
+/// The symbolic per-call model of a [`WrappedFn`]: ABI truncations the
+/// runtime applies before any hook runs, then every hook's declared ops
+/// in pipeline order. Input to the analyzer's wrapper-soundness lint.
+#[derive(Debug, Clone)]
+pub struct CallModel {
+    /// The wrapped function's name.
+    pub func: String,
+    /// `(index, bit width)` ABI truncation ops applied to narrow integer
+    /// arguments before the first hook sees them.
+    pub truncations: Vec<(usize, u64)>,
+    /// Declared hook operations, in execution (pipeline) order.
+    pub ops: Vec<ModelOp>,
+}
+
 /// A runtime micro-generator.
 pub trait Hook: Send + Sync {
     /// Name, matching the codegen micro-generator where one exists.
@@ -124,6 +194,22 @@ pub trait Hook: Send + Sync {
     fn lower(&self, proto: &Prototype) -> Lowered {
         let _ = proto;
         Lowered::Dynamic
+    }
+
+    /// Declares the hook's per-call behaviour symbolically for the
+    /// wrapper-soundness lint: which arguments it checks, which it
+    /// mutates, in execution order. Default: a single [`HookOp::Opaque`],
+    /// which is always sound (the lint assumes the worst).
+    fn describe(&self, proto: &Prototype) -> Vec<HookOp> {
+        let _ = proto;
+        vec![HookOp::Opaque]
+    }
+
+    /// Where this hook's checks came from: `"campaign"` for checks
+    /// derived by fault injection, `"contract"` for checks seeded by
+    /// static contract inference, `"builtin"` otherwise.
+    fn provenance(&self) -> &str {
+        "builtin"
     }
 
     /// Prefix behaviour. Default: continue.
@@ -265,6 +351,60 @@ impl WrappedFn {
     /// Hook names, in order (diagnostics).
     pub fn hook_names(&self) -> Vec<&'static str> {
         self.inner.hooks.iter().map(|h| h.name()).collect()
+    }
+
+    /// Builds the symbolic [`CallModel`] the wrapper-soundness lint
+    /// walks. Each hook contributes its [`Hook::describe`] ops; a hook
+    /// that kept the `Opaque` default but lowers into checks with full
+    /// metadata is modelled from the lowered plan instead (the closures
+    /// evaluate exactly the recorded [`SafePred`]s, which are null-safe
+    /// by construction).
+    pub fn call_model(&self) -> CallModel {
+        let proto = &self.inner.proto;
+        let truncations = self
+            .inner
+            .int_widths
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|b| (i, b)))
+            .collect();
+        let mut ops = Vec::new();
+        for hook in &self.inner.hooks {
+            let described = hook.describe(proto);
+            let opaque_only = described.iter().all(|op| matches!(op, HookOp::Opaque));
+            if opaque_only {
+                if let Lowered::Checks(checks) = hook.lower(proto) {
+                    if checks.iter().all(|c| c.arg.is_some()) {
+                        // Fully annotated lowering — see through it.
+                        for planned in &checks {
+                            ops.push(ModelOp {
+                                hook: hook.name(),
+                                provenance: hook.provenance().to_string(),
+                                op: HookOp::Check {
+                                    arg: planned.arg.expect("checked above"),
+                                    pred: planned.pred.clone(),
+                                    label: planned
+                                        .pred
+                                        .as_ref()
+                                        .map(|p| p.to_string())
+                                        .unwrap_or_else(|| "lowered-check".to_string()),
+                                    null_guarded: true,
+                                },
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            for op in described {
+                ops.push(ModelOp {
+                    hook: hook.name(),
+                    provenance: hook.provenance().to_string(),
+                    op,
+                });
+            }
+        }
+        CallModel { func: self.inner.name.clone(), truncations, ops }
     }
 
     /// Invokes the wrapper: prefix hooks in order, the original (unless

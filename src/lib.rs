@@ -16,6 +16,7 @@
 //! | [`guardian`] | heap canaries and extent oracles (§3.4) |
 //! | [`interpose`] | `LD_PRELOAD` dynamic-loader simulation (§2.1, Figure 1) |
 //! | [`profiler`] | profiling wrapper runtime and collection server (§3.3, Figure 5) |
+//! | [`analyzer`] | static contract inference + wrapper-soundness lint |
 //! | [`healers_core`] | the end-to-end [`Toolkit`] |
 //!
 //! ```no_run
@@ -35,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub use analyzer;
 pub use cdecl;
 pub use guardian;
 pub use healers_core;
