@@ -25,4 +25,9 @@ fn main() {
         "serial: {t_serial:?}  parallel({threads}): {t_par:?}  speedup: {:.2}x",
         t_serial.as_secs_f64() / t_par.as_secs_f64()
     );
+    println!();
+    println!(
+        "{}",
+        profiler::render_worker_report("libsimc.so.1", &parallel.worker_metrics)
+    );
 }

@@ -242,11 +242,21 @@ impl CheckpointJournal {
 
     /// Parses a journal back from [`CheckpointJournal::to_text`] output.
     ///
+    /// A record only exists once its newline lands on disk, so a torn
+    /// final line (no trailing `\n` — what a crash mid-write leaves
+    /// behind) is dropped and the clean prefix loaded: the cases it
+    /// covered are simply re-run. Interior malformed lines were fully
+    /// written, so they still mean corruption and error out.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError`] on a missing header or malformed record line.
     pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
-        let mut lines = text.lines();
+        let complete = match text.rfind('\n') {
+            Some(pos) => &text[..pos + 1],
+            None => "", // even the header line is torn
+        };
+        let mut lines = complete.lines();
         let header = lines.next().ok_or(CheckpointError::BadHeader)?;
         if header != format!("healers-checkpoint v{JOURNAL_VERSION}") {
             return Err(CheckpointError::BadHeader);
@@ -271,13 +281,29 @@ impl CheckpointJournal {
         Ok(CheckpointJournal { entries: Mutex::new(entries) })
     }
 
-    /// Writes the durable form to `path`.
+    /// Writes the durable form to `path`, atomically: the text is
+    /// written to a sibling `<path>.tmp`, synced to disk, then renamed
+    /// over `path`. A crash at any point leaves either the old journal
+    /// or the new one — never a truncated file, which is what a bare
+    /// `fs::write` risks and what PR 2's crash-resilient resume would
+    /// then misread.
     ///
     /// # Errors
     ///
     /// Propagates file-system errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_text())
+        use std::io::Write as _;
+        let path = path.as_ref();
+        // Append ".tmp" rather than `with_extension`, which would
+        // clobber an existing extension ("run.journal" -> "run.tmp").
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(self.to_text().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
     }
 
     /// Reads a journal previously written with [`CheckpointJournal::save`].
@@ -412,5 +438,71 @@ mod tests {
         let back = CheckpointJournal::load(&path).unwrap();
         assert_eq!(back.lookup(1, &ladder_key()), Some(Outcome::Abort));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let j = CheckpointJournal::new();
+        j.record(1, &ladder_key(), Outcome::Crash);
+        let path = std::env::temp_dir().join("healers_checkpoint_atomic.journal");
+        let tmp = std::env::temp_dir().join("healers_checkpoint_atomic.journal.tmp");
+        // Save over an existing journal — the old content must be
+        // replaced wholesale, and the temp file must not linger.
+        std::fs::write(&path, "healers-checkpoint v1\nstale").unwrap();
+        j.save(&path).unwrap();
+        assert!(!tmp.exists(), "temp file renamed away");
+        let back = CheckpointJournal::load(&path).unwrap();
+        assert_eq!(back.lookup(1, &ladder_key()), Some(Outcome::Crash));
+        assert_eq!(back.len(), 1, "no stale entries survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_write_loads_as_clean_partial_state() {
+        // Regression test: a crash mid-save used to leave a truncated
+        // journal that either errored wholesale or, worse, resumed from
+        // garbage. A torn final line now loads as the clean prefix.
+        let j = CheckpointJournal::new();
+        j.record(7, &ladder_key(), Outcome::Crash);
+        j.record(7, &pair_key(), Outcome::Pass);
+        j.record(9, &ladder_key(), Outcome::Hang);
+        let full = j.to_text();
+
+        // Truncate at every byte boundary: each prefix must load as
+        // some clean subset or fail loudly — never misread a record.
+        for cut in 0..full.len() {
+            let torn = &full[..cut];
+            match CheckpointJournal::from_text(torn) {
+                Ok(partial) => {
+                    assert!(partial.len() < j.len() || torn == full);
+                    // Every surviving record matches the original.
+                    for key in [ladder_key(), pair_key()] {
+                        for fp in [7, 9] {
+                            if let Some(outcome) = partial.lookup(fp, &key) {
+                                assert_eq!(Some(outcome), j.lookup(fp, &key));
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Only a torn *header* may error, and it errors
+                    // cleanly.
+                    assert!(
+                        !torn.contains('\n'),
+                        "cut at {cut}: complete header must parse, got {e}"
+                    );
+                    assert_eq!(e, CheckpointError::BadHeader);
+                }
+            }
+        }
+
+        // An interior (fully written) malformed line is still corruption.
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines[1] = "garbage";
+        let corrupt = format!("{}\n", lines.join("\n"));
+        assert_eq!(
+            CheckpointJournal::from_text(&corrupt).unwrap_err(),
+            CheckpointError::BadLine(2)
+        );
     }
 }

@@ -192,6 +192,12 @@ pub struct CampaignResult {
     /// was fully probed — the robust API is partial and per-function
     /// confidence/coverage annotations say where.
     pub complete: bool,
+    /// Per-worker throughput/outcome rows from a parallel run (empty
+    /// for serial campaigns). Which worker claimed which function is
+    /// scheduling-dependent, so these rows are deliberately kept out of
+    /// the deterministic campaign XML; render them with
+    /// [`profiler::render_worker_report`].
+    pub worker_metrics: Vec<profiler::WorkerLine>,
 }
 
 impl CampaignResult {
@@ -563,6 +569,7 @@ fn run_checkpointed_inner(
         api: RobustApi { library: library.to_string(), functions },
         crashes,
         complete: !budget.is_exhausted(),
+        worker_metrics: Vec::new(),
     }
 }
 
@@ -601,18 +608,37 @@ pub fn run_campaign_parallel_checkpointed(
         (0..targets.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
+    let worker_lines = std::sync::Mutex::new(Vec::with_capacity(threads));
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let cx =
-                    SearchCx { config, factory, journal, budget: &budget, hints: None };
+        for w in 0..threads {
+            let (next, budget) = (&next, &budget);
+            let (slots_mutex, worker_lines) = (&slots_mutex, &worker_lines);
+            scope.spawn(move || {
+                let cx = SearchCx { config, factory, journal, budget, hints: None };
+                let started = Instant::now();
+                let mut line = profiler::WorkerLine {
+                    worker: format!("worker-{w}"),
+                    functions: 0,
+                    executed: 0,
+                    checkpoint_hits: 0,
+                    retries: 0,
+                    failures: 0,
+                    elapsed_micros: 0,
+                };
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(target) = targets.get(i) else { break };
                     let outcome = function_entry(&cx, target);
+                    line.functions += 1;
+                    line.executed += outcome.0.tests - outcome.0.checkpoint_hits;
+                    line.checkpoint_hits += outcome.0.checkpoint_hits;
+                    line.retries += outcome.0.retries;
+                    line.failures += outcome.2.len();
                     slots_mutex.lock().expect("slot lock")[i] = Some(outcome);
                 }
+                line.elapsed_micros = started.elapsed().as_micros() as u64;
+                worker_lines.lock().expect("worker lines lock").push(line);
             });
         }
     });
@@ -626,12 +652,15 @@ pub fn run_campaign_parallel_checkpointed(
         functions.push(robust);
         crashes.append(&mut cases);
     }
+    let mut worker_metrics = worker_lines.into_inner().expect("worker lines lock");
+    worker_metrics.sort_by(|a, b| a.worker.cmp(&b.worker));
     CampaignResult {
         library: library.to_string(),
         reports,
         api: RobustApi { library: library.to_string(), functions },
         crashes,
         complete: !budget.is_exhausted(),
+        worker_metrics,
     }
 }
 
@@ -1152,6 +1181,42 @@ mod tests {
         for (a, b) in serial.api.functions.iter().zip(&parallel.api.functions) {
             assert_eq!(a.preds, b.preds, "{}", a.proto.name);
         }
+    }
+
+    #[test]
+    fn worker_metrics_account_for_the_whole_campaign() {
+        let targets: Vec<_> = targets_from_simlibc()
+            .into_iter()
+            .filter(|t| {
+                ["strlen", "strcpy", "isalpha", "abs", "exit", "memset"]
+                    .contains(&t.name.as_str())
+            })
+            .collect();
+        let config = quick_config();
+        let serial = run_campaign("l", &targets, init_process, &config);
+        assert!(serial.worker_metrics.is_empty(), "serial runs have no workers");
+
+        let parallel = run_campaign_parallel("l", &targets, init_process, &config, 4);
+        assert_eq!(parallel.worker_metrics.len(), 4, "one row per worker");
+        let names: Vec<_> =
+            parallel.worker_metrics.iter().map(|w| w.worker.as_str()).collect();
+        assert_eq!(names, vec!["worker-0", "worker-1", "worker-2", "worker-3"]);
+        // Scheduling decides who did what, but the totals must account
+        // for every function, execution, hit, retry and failure.
+        let functions: usize = parallel.worker_metrics.iter().map(|w| w.functions).sum();
+        let executed: usize = parallel.worker_metrics.iter().map(|w| w.executed).sum();
+        let hits: usize = parallel.worker_metrics.iter().map(|w| w.checkpoint_hits).sum();
+        let retries: usize = parallel.worker_metrics.iter().map(|w| w.retries).sum();
+        let failures: usize = parallel.worker_metrics.iter().map(|w| w.failures).sum();
+        assert_eq!(functions, targets.len());
+        assert_eq!(executed, parallel.executed_cases());
+        assert_eq!(hits, parallel.checkpoint_hits());
+        assert_eq!(retries, parallel.total_retries());
+        assert_eq!(failures, parallel.total_failures());
+        // The rows render through the profiler's report vocabulary.
+        let rendered = profiler::render_worker_report("l", &parallel.worker_metrics);
+        assert!(rendered.contains("worker-0"), "{rendered}");
+        assert!(rendered.contains("total"), "{rendered}");
     }
 
     #[test]

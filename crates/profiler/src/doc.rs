@@ -6,6 +6,7 @@
 use cdecl::xml::XmlWriter;
 use simproc::errno::errno_name;
 
+use crate::flight::FlightRecord;
 use crate::journal::HealEvent;
 use crate::stats::Snapshot;
 
@@ -13,7 +14,7 @@ use crate::stats::Snapshot;
 /// format. `app` names the profiled application, `wrapper` the wrapper
 /// type that collected the data.
 pub fn to_xml(app: &str, wrapper: &str, snap: &Snapshot) -> String {
-    to_xml_opts(app, wrapper, snap, None)
+    to_xml_opts(app, wrapper, snap, None, &[])
 }
 
 /// [`to_xml`] with the healing audit journal appended as a `<healing>`
@@ -27,7 +28,21 @@ pub fn to_xml_with_healing(
     snap: &Snapshot,
     events: &[HealEvent],
 ) -> String {
-    to_xml_opts(app, wrapper, snap, Some(events))
+    to_xml_opts(app, wrapper, snap, Some(events), &[])
+}
+
+/// [`to_xml`] with the flight-recorder tail appended as a
+/// `<flight-recorder>` section (and, when `events` is `Some`, the
+/// healing journal as well) — the document a wrapper ships when a fault
+/// or heal fired and the last-N call history matters.
+pub fn to_xml_with_flight(
+    app: &str,
+    wrapper: &str,
+    snap: &Snapshot,
+    events: Option<&[HealEvent]>,
+    flight: &[FlightRecord],
+) -> String {
+    to_xml_opts(app, wrapper, snap, events, flight)
 }
 
 fn to_xml_opts(
@@ -35,6 +50,7 @@ fn to_xml_opts(
     wrapper: &str,
     snap: &Snapshot,
     events: Option<&[HealEvent]>,
+    flight: &[FlightRecord],
 ) -> String {
     let mut w = XmlWriter::new();
     w.open(
@@ -51,8 +67,14 @@ fn to_xml_opts(
     w.leaf("metric", &[("name", "function-exectime")]);
     w.leaf("metric", &[("name", "func-errors")]);
     w.leaf("metric", &[("name", "collect-errors")]);
+    if snap.has_latency() {
+        w.leaf("metric", &[("name", "latency-histogram")]);
+    }
     if events.is_some() {
         w.leaf("metric", &[("name", "healing-journal")]);
+    }
+    if !flight.is_empty() {
+        w.leaf("metric", &[("name", "flight-recorder")]);
     }
     w.close();
     for (name, f) in &snap.per_func {
@@ -74,6 +96,26 @@ fn to_xml_opts(
                     ("count", &n.to_string()),
                 ],
             );
+        }
+        for (stage, hist) in &f.latency {
+            w.open(
+                "latency",
+                &[("stage", stage.as_str()), ("samples", &hist.count().to_string())],
+            );
+            for (b, n) in hist.buckets() {
+                w.leaf(
+                    "bucket",
+                    &[
+                        ("log2", &b.to_string()),
+                        (
+                            "floor",
+                            &crate::stats::LatencyHistogram::bucket_floor(b).to_string(),
+                        ),
+                        ("count", &n.to_string()),
+                    ],
+                );
+            }
+            w.close();
         }
         w.close();
     }
@@ -102,6 +144,21 @@ fn to_xml_opts(
                     ("action", ev.action.tag()),
                     ("violation", ev.violation.as_str()),
                     ("detail", ev.detail.as_str()),
+                ],
+            );
+        }
+        w.close();
+    }
+    if !flight.is_empty() {
+        w.open("flight-recorder", &[("entries", &flight.len().to_string())]);
+        for rec in flight {
+            w.leaf(
+                "call",
+                &[
+                    ("function", rec.func.as_str()),
+                    ("args", rec.args.as_str()),
+                    ("verdict", rec.verdict.as_str()),
+                    ("cycles", &rec.cycles.to_string()),
                 ],
             );
         }
@@ -206,5 +263,58 @@ mod tests {
         let doc = to_xml("wordcount", "profiling", &sample());
         assert!(!doc.contains("<healing"), "{doc}");
         assert!(!doc.contains("healing-journal"));
+        assert!(!doc.contains("latency-histogram"));
+        assert!(!doc.contains("flight-recorder"));
+    }
+
+    #[test]
+    fn latency_section_is_self_describing() {
+        let stats = Stats::new();
+        stats.record_call("memcpy", 100, None);
+        for v in [0, 3, 900] {
+            stats.record_latency("memcpy", "call", v);
+        }
+        let doc = to_xml("app", "profiling", &stats.snapshot());
+        assert!(doc.contains("name=\"latency-histogram\""), "{doc}");
+        assert!(doc.contains("<latency stage=\"call\" samples=\"3\">"), "{doc}");
+        assert!(doc.contains("<bucket log2=\"2\" floor=\"2\" count=\"1\"/>"), "{doc}");
+        assert!(doc.contains("<bucket log2=\"10\" floor=\"512\" count=\"1\"/>"), "{doc}");
+    }
+
+    #[test]
+    fn flight_section_is_self_describing() {
+        use crate::flight::FlightRecord;
+        let tail = vec![
+            FlightRecord {
+                func: "malloc".into(),
+                args: "(32)".into(),
+                verdict: "ok".into(),
+                cycles: 12,
+            },
+            FlightRecord {
+                func: "strcpy".into(),
+                args: "(0x1000, \"owned\")".into(),
+                verdict: "security-violation".into(),
+                cycles: 40,
+            },
+        ];
+        let doc = to_xml_with_flight("victim", "security", &sample(), None, &tail);
+        assert!(doc.contains("name=\"flight-recorder\""), "{doc}");
+        assert!(doc.contains("<flight-recorder entries=\"2\">"), "{doc}");
+        assert!(doc.contains("verdict=\"security-violation\""), "{doc}");
+        // XmlWriter escapes the quoted argument string.
+        assert!(doc.contains("&quot;owned&quot;"), "{doc}");
+        // The header reader still indexes flight documents.
+        let (app, wrapper, _) = parse_header_fields(&doc).unwrap();
+        assert_eq!(app, "victim");
+        assert_eq!(wrapper, "security");
+    }
+
+    #[test]
+    fn empty_flight_tail_matches_plain_document() {
+        let snap = sample();
+        let plain = to_xml("app", "profiling", &snap);
+        let flight = to_xml_with_flight("app", "profiling", &snap, None, &[]);
+        assert_eq!(plain, flight);
     }
 }

@@ -1,0 +1,140 @@
+//! A bounded flight recorder: a fixed-size ring of the last N wrapped
+//! calls (function, truncated arguments, verdict, cycles). Cheap enough
+//! to leave on, and dumped into the fault report / profile document the
+//! moment a `Fault`, `Deny` or heal fires — so every detected violation
+//! ships with its immediate call history, in the spirit of an aircraft
+//! flight data recorder.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Longest argument string kept per record; longer strings are
+/// truncated with a `...` suffix so a pathological argument can never
+/// bloat the ring.
+pub const MAX_ARGS_LEN: usize = 64;
+
+/// One recorded call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Wrapped function name.
+    pub func: String,
+    /// Rendered argument list, truncated to [`MAX_ARGS_LEN`].
+    pub args: String,
+    /// Outcome: `"ok"`, or the fault / deny / heal verdict.
+    pub verdict: String,
+    /// Cycles spent in the call (entry to exit, hooks included).
+    pub cycles: u64,
+}
+
+/// Fixed-capacity ring buffer of the most recent calls through a
+/// wrapper. Shared by all of a library's wrapped functions through an
+/// `Arc`; a capacity of zero disables recording entirely.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<FlightRecord>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `cap` calls.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder { cap, ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))) }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records one call, evicting the oldest entry when full. `args` is
+    /// truncated to [`MAX_ARGS_LEN`] characters.
+    pub fn record(&self, func: &str, args: &str, verdict: &str, cycles: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let args = if args.chars().count() > MAX_ARGS_LEN {
+            let mut s: String = args.chars().take(MAX_ARGS_LEN).collect();
+            s.push_str("...");
+            s
+        } else {
+            args.to_string()
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(FlightRecord {
+            func: func.to_string(),
+            args,
+            verdict: verdict.to_string(),
+            cycles,
+        });
+    }
+
+    /// The recorded tail, oldest first.
+    pub fn tail(&self) -> Vec<FlightRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Drops every record (capacity is kept).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_last_n_calls() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record("f", &format!("({i})"), "ok", i);
+        }
+        let tail = rec.tail();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].args, "(2)");
+        assert_eq!(tail[2].args, "(4)");
+        assert_eq!(rec.capacity(), 3);
+    }
+
+    #[test]
+    fn truncates_long_args() {
+        let rec = FlightRecorder::new(1);
+        let long = "x".repeat(200);
+        rec.record("f", &long, "ok", 1);
+        let tail = rec.tail();
+        assert_eq!(tail[0].args.chars().count(), MAX_ARGS_LEN + 3);
+        assert!(tail[0].args.ends_with("..."));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let rec = FlightRecorder::new(0);
+        rec.record("f", "()", "ok", 1);
+        assert!(rec.is_empty());
+        assert_eq!(rec.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let rec = FlightRecorder::new(4);
+        rec.record("f", "()", "ok", 1);
+        assert!(!rec.is_empty());
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.capacity(), 4);
+    }
+}

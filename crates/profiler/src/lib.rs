@@ -29,16 +29,18 @@
 #![warn(missing_debug_implementations)]
 
 mod doc;
+mod flight;
 mod journal;
 mod report;
 mod server;
 mod stats;
 
-pub use doc::{parse_header_fields, to_xml, to_xml_with_healing};
+pub use doc::{parse_header_fields, to_xml, to_xml_with_flight, to_xml_with_healing};
+pub use flight::{FlightRecord, FlightRecorder, MAX_ARGS_LEN};
 pub use journal::{HealAction, HealEvent, HealingJournal};
 pub use report::{
-    render_lint_report, render_report, render_report_with_healing,
-    render_robust_api_health, LintLine,
+    render_fault_report, render_lint_report, render_report, render_report_with_healing,
+    render_robust_api_health, render_worker_report, LintLine, WorkerLine,
 };
 pub use server::{Collected, CollectionServer, Collector, Submission};
-pub use stats::{FuncStats, Snapshot, Stats};
+pub use stats::{FuncStats, LatencyHistogram, MutexStats, Snapshot, Stats};

@@ -7,8 +7,9 @@ use std::fmt::Write as _;
 
 use simproc::errno::{errno_name, strerror_text};
 
+use crate::flight::FlightRecord;
 use crate::journal::HealEvent;
-use crate::stats::Snapshot;
+use crate::stats::{LatencyHistogram, Snapshot};
 
 /// Renders the full profiling report for one run.
 pub fn render_report(app: &str, snap: &Snapshot) -> String {
@@ -62,6 +63,23 @@ pub fn render_report(app: &str, snap: &Snapshot) -> String {
     }
     if !any {
         let _ = writeln!(out, "  (none)");
+    }
+
+    if snap.has_latency() {
+        let _ = writeln!(out, "\nLatency histograms (log2 buckets, cycles):");
+        for (name, f) in &snap.per_func {
+            for (stage, hist) in &f.latency {
+                let _ = writeln!(out, "  {name} [{stage}] — {} samples", hist.count());
+                for (b, n) in hist.buckets() {
+                    let _ = writeln!(
+                        out,
+                        "    {:>22} {:>8}",
+                        LatencyHistogram::bucket_label(b),
+                        n
+                    );
+                }
+            }
+        }
     }
     out
 }
@@ -190,6 +208,117 @@ pub fn render_lint_report(library: &str, lines: &[LintLine]) -> String {
     out
 }
 
+/// Per-worker campaign metrics, pre-rendered by the injector into the
+/// profiler's report vocabulary — like [`LintLine`], the profiler knows
+/// nothing about campaigns; it renders whatever rows the workers
+/// produced, deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerLine {
+    /// Worker name (e.g. `worker-0`).
+    pub worker: String,
+    /// Functions this worker claimed from the shared queue.
+    pub functions: usize,
+    /// Injection tests it executed.
+    pub executed: usize,
+    /// Tests skipped via checkpoint hits.
+    pub checkpoint_hits: usize,
+    /// Flaky-outcome retries it performed.
+    pub retries: usize,
+    /// Contract violations (failures) it observed.
+    pub failures: usize,
+    /// Wall-clock microseconds the worker was busy.
+    pub elapsed_micros: u64,
+}
+
+/// Renders the per-worker campaign metrics: one line per worker sorted
+/// by name, then a totals line. Worker rows depend on scheduling, so
+/// this report is for operators — it is deliberately kept out of the
+/// deterministic campaign XML.
+pub fn render_worker_report(library: &str, lines: &[WorkerLine]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Campaign worker metrics for `{library}`:");
+    if lines.is_empty() {
+        let _ = writeln!(out, "  (serial campaign — no workers)");
+        return out;
+    }
+    let mut sorted: Vec<&WorkerLine> = lines.iter().collect();
+    sorted.sort_by(|a, b| a.worker.cmp(&b.worker));
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>6} {:>9} {:>7} {:>8} {:>9} {:>10} {:>12}",
+        "worker", "funcs", "executed", "hits", "retries", "failures", "elapsed", "tests/s"
+    );
+    let mut tot = WorkerLine {
+        worker: String::new(),
+        functions: 0,
+        executed: 0,
+        checkpoint_hits: 0,
+        retries: 0,
+        failures: 0,
+        elapsed_micros: 0,
+    };
+    for w in &sorted {
+        let rate = if w.elapsed_micros == 0 {
+            0.0
+        } else {
+            w.executed as f64 * 1_000_000.0 / w.elapsed_micros as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8}us {:>12.0}",
+            w.worker,
+            w.functions,
+            w.executed,
+            w.checkpoint_hits,
+            w.retries,
+            w.failures,
+            w.elapsed_micros,
+            rate
+        );
+        tot.functions += w.functions;
+        tot.executed += w.executed;
+        tot.checkpoint_hits += w.checkpoint_hits;
+        tot.retries += w.retries;
+        tot.failures += w.failures;
+        tot.elapsed_micros = tot.elapsed_micros.max(w.elapsed_micros);
+    }
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8}us",
+        "total",
+        tot.functions,
+        tot.executed,
+        tot.checkpoint_hits,
+        tot.retries,
+        tot.failures,
+        tot.elapsed_micros
+    );
+    out
+}
+
+/// Renders a fault report: the verdict that fired plus the flight
+/// recorder's last-N calls, oldest first — the call history an operator
+/// reads to see what led up to a `Fault`, `Deny` or heal.
+pub fn render_fault_report(app: &str, fault: &str, tail: &[FlightRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HEALERS fault report for `{app}`");
+    let _ = writeln!(out, "Fault: {fault}");
+    if tail.is_empty() {
+        let _ =
+            writeln!(out, "\nFlight recorder: (empty — recording disabled or no calls)");
+        return out;
+    }
+    let _ = writeln!(out, "\nFlight recorder (last {} calls, oldest first):", tail.len());
+    for rec in tail {
+        let _ = writeln!(
+            out,
+            "  {}{} -> {} [{} cycles]",
+            rec.func, rec.args, rec.verdict, rec.cycles
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +424,78 @@ mod tests {
 
         let clean = render_lint_report("libsimc.so.1", &[]);
         assert!(clean.contains("no findings"), "{clean}");
+    }
+
+    #[test]
+    fn latency_section_renders_when_present() {
+        let stats = Stats::new();
+        stats.record_call("memcpy", 100, None);
+        let plain = render_report("x", &stats.snapshot());
+        assert!(!plain.contains("Latency histograms"), "{plain}");
+
+        stats.record_latency("memcpy", "call", 3);
+        stats.record_latency("memcpy", "call", 900);
+        let report = render_report("x", &stats.snapshot());
+        assert!(report.contains("Latency histograms"), "{report}");
+        assert!(report.contains("memcpy [call] — 2 samples"), "{report}");
+        assert!(report.contains("2..3"), "{report}");
+        assert!(report.contains("512..1023"), "{report}");
+    }
+
+    #[test]
+    fn worker_report_renders_sorted_with_totals() {
+        let mk = |worker: &str, executed: usize| WorkerLine {
+            worker: worker.into(),
+            functions: 2,
+            executed,
+            checkpoint_hits: 1,
+            retries: 0,
+            failures: executed / 10,
+            elapsed_micros: 1_000,
+        };
+        let lines = vec![mk("worker-1", 50), mk("worker-0", 100)];
+        let r1 = render_worker_report("libsimc.so.1", &lines);
+        let mut reversed = lines.clone();
+        reversed.reverse();
+        let r2 = render_worker_report("libsimc.so.1", &reversed);
+        assert_eq!(r1, r2, "input order must not matter");
+        let w0 = r1.find("worker-0").unwrap();
+        let w1 = r1.find("worker-1").unwrap();
+        assert!(w0 < w1, "{r1}");
+        assert!(r1.contains("total"), "{r1}");
+        assert!(r1.contains("150"), "summed executed: {r1}");
+
+        let serial = render_worker_report("libsimc.so.1", &[]);
+        assert!(serial.contains("no workers"), "{serial}");
+    }
+
+    #[test]
+    fn fault_report_lists_flight_tail() {
+        let tail = vec![
+            FlightRecord {
+                func: "malloc".into(),
+                args: "(32)".into(),
+                verdict: "ok".into(),
+                cycles: 10,
+            },
+            FlightRecord {
+                func: "strcpy".into(),
+                args: "(0x1000, ...)".into(),
+                verdict: "security-violation".into(),
+                cycles: 44,
+            },
+        ];
+        let report = render_fault_report("victim", "SecurityViolation in strcpy", &tail);
+        assert!(report.contains("Fault: SecurityViolation in strcpy"), "{report}");
+        assert!(report.contains("last 2 calls"), "{report}");
+        assert!(report.contains("malloc(32) -> ok [10 cycles]"), "{report}");
+        assert!(report.contains("strcpy(0x1000, ...) -> security-violation"), "{report}");
+        let m = report.find("malloc").unwrap();
+        let s = report.find("strcpy(0x1000").unwrap();
+        assert!(m < s, "oldest first: {report}");
+
+        let empty = render_fault_report("victim", "fault", &[]);
+        assert!(empty.contains("recording disabled or no calls"), "{empty}");
     }
 
     #[test]

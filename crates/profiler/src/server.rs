@@ -4,7 +4,7 @@
 //! document format and aggregation are the paper's.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -60,15 +60,31 @@ impl Collected {
 pub struct Collector {
     tx: Sender<String>,
     closed: Arc<AtomicBool>,
+    in_flight: Arc<AtomicU64>,
 }
 
 impl Collector {
     /// Submits one document. Returns `false` if the server has shut down.
+    ///
+    /// A `true` return is a real acknowledgement: the document is
+    /// guaranteed to appear in the [`Collected`] result. The guarantee
+    /// rests on a Dekker-style handshake with [`CollectionServer`]
+    /// shutdown — submit publishes itself in `in_flight` *before*
+    /// checking `closed`, while shutdown sets `closed` and then waits
+    /// for `in_flight` to drain before signalling the server thread to
+    /// do its final drain. Both sides use `SeqCst`, so in the single
+    /// total order either submit's increment precedes shutdown's store
+    /// (and shutdown waits for the send to land before the final
+    /// drain), or submit observes `closed` and refuses.
     pub fn submit(&self, document: impl Into<String>) -> bool {
-        if self.closed.load(Ordering::Acquire) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             return false;
         }
-        self.tx.send(document.into()).is_ok()
+        let ok = self.tx.send(document.into()).is_ok();
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        ok
     }
 }
 
@@ -80,6 +96,7 @@ pub struct CollectionServer {
     tx: Sender<String>,
     stop_tx: Option<Sender<()>>,
     closed: Arc<AtomicBool>,
+    in_flight: Arc<AtomicU64>,
     handle: Option<JoinHandle<Collected>>,
 }
 
@@ -123,21 +140,39 @@ impl CollectionServer {
             tx,
             stop_tx: Some(stop_tx),
             closed: Arc::new(AtomicBool::new(false)),
+            in_flight: Arc::new(AtomicU64::new(0)),
             handle: Some(handle),
         }
     }
 
     /// A handle wrappers use to submit documents.
     pub fn collector(&self) -> Collector {
-        Collector { tx: self.tx.clone(), closed: Arc::clone(&self.closed) }
+        Collector {
+            tx: self.tx.clone(),
+            closed: Arc::clone(&self.closed),
+            in_flight: Arc::clone(&self.in_flight),
+        }
+    }
+
+    /// Closes the door to new submissions and waits for every submit
+    /// that already passed the `closed` check to finish its send — only
+    /// then may the server thread do its final drain, so every
+    /// `true`-acked submission is provably in the channel by the time
+    /// the drain runs. See [`Collector::submit`] for the ordering
+    /// argument.
+    fn close_and_drain(&mut self) {
+        self.closed.store(true, Ordering::SeqCst);
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        if let Some(stop) = self.stop_tx.take() {
+            let _ = stop.send(());
+        }
     }
 
     /// Stops accepting documents and returns everything gathered.
     pub fn shutdown(mut self) -> Collected {
-        self.closed.store(true, Ordering::Release);
-        if let Some(stop) = self.stop_tx.take() {
-            let _ = stop.send(());
-        }
+        self.close_and_drain();
         self.handle
             .take()
             .expect("server running")
@@ -148,10 +183,7 @@ impl CollectionServer {
 
 impl Drop for CollectionServer {
     fn drop(&mut self) {
-        self.closed.store(true, Ordering::Release);
-        if let Some(stop) = self.stop_tx.take() {
-            let _ = stop.send(());
-        }
+        self.close_and_drain();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -212,5 +244,50 @@ mod tests {
         let c = server.collector();
         let _ = server.shutdown();
         assert!(!c.submit("late"));
+    }
+
+    #[test]
+    fn every_acked_submission_is_collected() {
+        // Regression test for the shutdown race: submit could observe
+        // `closed == false`, the server could then drain and exit, and
+        // the send still "succeeded" into a channel nobody read —
+        // returning `true` for a silently dropped document. Race many
+        // submitters against shutdown and assert the ack count equals
+        // the collected count, every round.
+        use std::sync::atomic::AtomicUsize;
+        for round in 0..50 {
+            let server = CollectionServer::start();
+            let acked = Arc::new(AtomicUsize::new(0));
+            let submitters: Vec<_> = (0..4)
+                .map(|t| {
+                    let c = server.collector();
+                    let acked = Arc::clone(&acked);
+                    std::thread::spawn(move || {
+                        for i in 0..20 {
+                            if c.submit(doc(&format!("app-{t}-{i}"), "profiling")) {
+                                acked.fetch_add(1, Ordering::SeqCst);
+                            } else {
+                                // Once the server refuses, it stays shut.
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            // Shut down somewhere in the middle of the submission storm.
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            let collected = server.shutdown();
+            for t in submitters {
+                t.join().unwrap();
+            }
+            assert_eq!(
+                collected.submissions.len(),
+                acked.load(Ordering::SeqCst),
+                "round {round}: every true-acked submission must be collected"
+            );
+        }
     }
 }

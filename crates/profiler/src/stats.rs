@@ -1,11 +1,101 @@
 //! Runtime statistics gathered by the profiling wrapper's
-//! micro-generators: call counters, errno histograms and per-function
-//! execution time (deterministic cycles standing in for `rdtsc`).
+//! micro-generators: call counters, errno histograms, per-function
+//! execution time (deterministic cycles standing in for `rdtsc`) and
+//! log2-bucketed latency histograms per function and hook stage.
+//!
+//! # Sharding
+//!
+//! [`Stats`] used to be one global mutex, which serialized every wrapped
+//! call the moment two threads shared a wrapper. It is now a fixed array
+//! of cache-line-aligned shards; each recording thread is pinned to one
+//! shard on first use, so threads on different shards never contend.
+//! [`Stats::snapshot`] merges all shards into one deterministic
+//! [`Snapshot`]: every merge is a commutative sum into sorted maps, so
+//! the merged result is independent of thread scheduling, and a
+//! single-threaded run produces byte-for-byte the same XML document as
+//! the pre-shard implementation. [`MutexStats`] preserves that pre-shard
+//! implementation for A/B contention benchmarks and equivalence tests.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use simproc::errno::MAX_ERRNO;
+
+/// Number of statistics shards. Threads are assigned round-robin; more
+/// threads than shards simply share (correctness never depends on
+/// exclusivity, only contention does).
+const NUM_SHARDS: usize = 16;
+
+/// A log2-bucketed latency histogram: bucket `0` counts zero-valued
+/// samples, bucket `b >= 1` counts samples in `[2^(b-1), 2^b - 1]`.
+/// Sparse — only buckets that received samples are stored — and merged
+/// by commutative sums, so shard merges are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index a value falls into: `0` for `0`, else
+    /// `64 - value.leading_zeros()` (so `1 -> 1`, `2..=3 -> 2`,
+    /// `4..=7 -> 3`, ..., `u64::MAX -> 64`).
+    pub fn bucket_of(value: u64) -> u32 {
+        64 - value.leading_zeros()
+    }
+
+    /// The smallest value that lands in `bucket`.
+    pub fn bucket_floor(bucket: u32) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Human-readable range label for `bucket` (`"0"`, `"1"`,
+    /// `"2..3"`, `"4..7"`, ...).
+    pub fn bucket_label(bucket: u32) -> String {
+        match bucket {
+            0 | 1 => bucket.to_string(),
+            64 => format!("{}..{}", 1u64 << 63, u64::MAX),
+            b => format!("{}..{}", 1u64 << (b - 1), (1u64 << b) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(Self::bucket_of(value)).or_insert(0) += 1;
+    }
+
+    /// Adds every bucket of `other` into `self` (shard merge).
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (b, n) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += n;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates `(bucket index, count)` in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(b, n)| (*b, *n))
+    }
+}
 
 /// Statistics for one wrapped function.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -17,21 +107,137 @@ pub struct FuncStats {
     /// errno values produced by this function (`func errors`); the key
     /// `MAX_ERRNO` is the out-of-range bucket, as in Figure 3.
     pub errnos: BTreeMap<i32, u64>,
+    /// Latency histograms keyed by hook stage (`"call"`, `"check"`,
+    /// `"heal"`, ...). Only populated through
+    /// [`Stats::record_latency`] — the classic recording paths leave it
+    /// empty, which keeps the default XML document byte-identical to the
+    /// pre-histogram format.
+    pub latency: BTreeMap<String, LatencyHistogram>,
 }
 
-/// Statistics for a whole profiled run. Shared by all hooks through an
-/// `Arc`, like the wrapper's globals.
-#[derive(Debug, Default)]
-pub struct Stats {
-    inner: Mutex<StatsInner>,
-}
-
+/// The mergeable per-shard table (also the whole table of the pre-shard
+/// [`MutexStats`]).
 #[derive(Debug, Default)]
 struct StatsInner {
     per_func: BTreeMap<String, FuncStats>,
     /// Process-wide errno distribution (`collect errors`).
     global_errnos: BTreeMap<i32, u64>,
     total_cycles: u64,
+}
+
+impl StatsInner {
+    /// Looks up (or lazily creates) the per-function row. Lookups borrow
+    /// `func` so the hot path never allocates; the owned key is only
+    /// built the first time a function is seen.
+    fn func_entry(&mut self, func: &str) -> &mut FuncStats {
+        if !self.per_func.contains_key(func) {
+            self.per_func.insert(func.to_string(), FuncStats::default());
+        }
+        self.per_func.get_mut(func).expect("row just ensured")
+    }
+
+    fn record_call(&mut self, func: &str, cycles: u64, errno_changed_to: Option<i32>) {
+        let entry = self.func_entry(func);
+        entry.calls += 1;
+        entry.cycles += cycles;
+        if let Some(e) = errno_changed_to {
+            *entry.errnos.entry(bucket(e)).or_insert(0) += 1;
+        }
+        self.total_cycles += cycles;
+        if let Some(e) = errno_changed_to {
+            *self.global_errnos.entry(bucket(e)).or_insert(0) += 1;
+        }
+    }
+
+    fn record_count(&mut self, func: &str) {
+        self.func_entry(func).calls += 1;
+    }
+
+    fn record_cycles(&mut self, func: &str, cycles: u64) {
+        self.func_entry(func).cycles += cycles;
+        self.total_cycles += cycles;
+    }
+
+    fn record_func_errno(&mut self, func: &str, errno: i32) {
+        *self.func_entry(func).errnos.entry(bucket(errno)).or_insert(0) += 1;
+    }
+
+    fn record_global_errno(&mut self, errno: i32) {
+        *self.global_errnos.entry(bucket(errno)).or_insert(0) += 1;
+    }
+
+    fn record_latency(&mut self, func: &str, stage: &str, value: u64) {
+        let row = self.func_entry(func);
+        if let Some(hist) = row.latency.get_mut(stage) {
+            hist.record(value);
+        } else {
+            let mut hist = LatencyHistogram::new();
+            hist.record(value);
+            row.latency.insert(stage.to_string(), hist);
+        }
+    }
+
+    /// Adds everything recorded in `self` into `dst` — commutative and
+    /// associative, so the shard merge order never shows in a snapshot.
+    fn merge_into(&self, dst: &mut Snapshot) {
+        for (name, f) in &self.per_func {
+            let entry = dst.per_func.entry(name.clone()).or_default();
+            entry.calls += f.calls;
+            entry.cycles += f.cycles;
+            for (e, n) in &f.errnos {
+                *entry.errnos.entry(*e).or_insert(0) += n;
+            }
+            for (stage, hist) in &f.latency {
+                entry.latency.entry(stage.clone()).or_default().merge_from(hist);
+            }
+        }
+        for (e, n) in &self.global_errnos {
+            *dst.global_errnos.entry(*e).or_insert(0) += n;
+        }
+        dst.total_cycles += self.total_cycles;
+    }
+}
+
+/// One statistics shard, padded to a cache line so neighbouring shards
+/// never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard {
+    inner: Mutex<StatsInner>,
+}
+
+/// Statistics for a whole profiled run. Shared by all hooks through an
+/// `Arc`, like the wrapper's globals. Recording threads write to
+/// per-thread shards without contention; [`Stats::snapshot`] merges
+/// deterministically.
+#[derive(Debug)]
+pub struct Stats {
+    shards: [Shard; NUM_SHARDS],
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats { shards: std::array::from_fn(|_| Shard::default()) }
+    }
+}
+
+/// Round-robin assignment of threads to shards, fixed at a thread's
+/// first record. A plain counter (not the unstable `ThreadId` value)
+/// keeps the mapping cheap: one thread-local read per record.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static SHARD_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn shard_index() -> usize {
+    SHARD_INDEX.with(|cell| {
+        let mut i = cell.get();
+        if i == usize::MAX {
+            i = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
+            cell.set(i);
+        }
+        i
+    })
 }
 
 /// A snapshot of collected statistics.
@@ -59,6 +265,11 @@ impl Snapshot {
         let cycles = self.per_func.get(name).map(|f| f.cycles).unwrap_or(0);
         100.0 * cycles as f64 / self.total_cycles as f64
     }
+
+    /// `true` when any function carries a latency histogram.
+    pub fn has_latency(&self) -> bool {
+        self.per_func.values().any(|f| !f.latency.is_empty())
+    }
 }
 
 fn bucket(errno: i32) -> i32 {
@@ -75,65 +286,117 @@ impl Stats {
         Stats::default()
     }
 
+    fn shard(&self) -> &Shard {
+        &self.shards[shard_index()]
+    }
+
     /// Records one completed call. `errno_changed_to` carries the errno
     /// value if the call changed errno (the `func errors` /
     /// `collect errors` condition in Figure 3).
     pub fn record_call(&self, func: &str, cycles: u64, errno_changed_to: Option<i32>) {
-        let mut inner = self.inner.lock();
-        let entry = inner.per_func.entry(func.to_string()).or_default();
-        entry.calls += 1;
-        entry.cycles += cycles;
-        if let Some(e) = errno_changed_to {
-            *entry.errnos.entry(bucket(e)).or_insert(0) += 1;
-        }
-        inner.total_cycles += cycles;
-        if let Some(e) = errno_changed_to {
-            *inner.global_errnos.entry(bucket(e)).or_insert(0) += 1;
-        }
+        self.shard().inner.lock().record_call(func, cycles, errno_changed_to);
     }
 
     /// `call counter` micro-generator: one more call of `func`.
     pub fn record_count(&self, func: &str) {
-        let mut inner = self.inner.lock();
-        inner.per_func.entry(func.to_string()).or_default().calls += 1;
+        self.shard().inner.lock().record_count(func);
     }
 
     /// `function exectime` micro-generator: cycles spent inside `func`.
     pub fn record_cycles(&self, func: &str, cycles: u64) {
-        let mut inner = self.inner.lock();
-        inner.per_func.entry(func.to_string()).or_default().cycles += cycles;
-        inner.total_cycles += cycles;
+        self.shard().inner.lock().record_cycles(func, cycles);
     }
 
     /// `func errors` micro-generator: `func` changed errno to `errno`.
     pub fn record_func_errno(&self, func: &str, errno: i32) {
-        let mut inner = self.inner.lock();
-        *inner
-            .per_func
-            .entry(func.to_string())
-            .or_default()
-            .errnos
-            .entry(bucket(errno))
-            .or_insert(0) += 1;
+        self.shard().inner.lock().record_func_errno(func, errno);
     }
 
     /// `collect errors` micro-generator: process-wide errno histogram.
     pub fn record_global_errno(&self, errno: i32) {
-        let mut inner = self.inner.lock();
-        *inner.global_errnos.entry(bucket(errno)).or_insert(0) += 1;
+        self.shard().inner.lock().record_global_errno(errno);
+    }
+
+    /// Adds one sample to the log2 latency histogram of `func`'s `stage`
+    /// (`"call"` for the wrapped call itself; hooks use their own stage
+    /// names such as `"check"` or `"heal"`).
+    pub fn record_latency(&self, func: &str, stage: &str, value: u64) {
+        self.shard().inner.lock().record_latency(func, stage, value);
+    }
+
+    /// Takes a consistent, deterministic snapshot: shards are locked in
+    /// index order and merged by commutative sums into sorted maps, so
+    /// the same recorded multiset of events always yields the same
+    /// snapshot regardless of which thread recorded what.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.shards {
+            shard.inner.lock().merge_into(&mut snap);
+        }
+        snap
+    }
+
+    /// Clears everything (a fresh profiling run).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            *shard.inner.lock() = StatsInner::default();
+        }
+    }
+}
+
+/// The pre-shard statistics implementation: the same recording API as
+/// [`Stats`] behind one global mutex. Kept as the baseline side of the
+/// telemetry contention benchmark and for sharded-vs-mutex equivalence
+/// tests; new code should use [`Stats`].
+#[derive(Debug, Default)]
+pub struct MutexStats {
+    inner: Mutex<StatsInner>,
+}
+
+impl MutexStats {
+    /// Creates an empty statistics table.
+    pub fn new() -> Self {
+        MutexStats::default()
+    }
+
+    /// See [`Stats::record_call`].
+    pub fn record_call(&self, func: &str, cycles: u64, errno_changed_to: Option<i32>) {
+        self.inner.lock().record_call(func, cycles, errno_changed_to);
+    }
+
+    /// See [`Stats::record_count`].
+    pub fn record_count(&self, func: &str) {
+        self.inner.lock().record_count(func);
+    }
+
+    /// See [`Stats::record_cycles`].
+    pub fn record_cycles(&self, func: &str, cycles: u64) {
+        self.inner.lock().record_cycles(func, cycles);
+    }
+
+    /// See [`Stats::record_func_errno`].
+    pub fn record_func_errno(&self, func: &str, errno: i32) {
+        self.inner.lock().record_func_errno(func, errno);
+    }
+
+    /// See [`Stats::record_global_errno`].
+    pub fn record_global_errno(&self, errno: i32) {
+        self.inner.lock().record_global_errno(errno);
+    }
+
+    /// See [`Stats::record_latency`].
+    pub fn record_latency(&self, func: &str, stage: &str, value: u64) {
+        self.inner.lock().record_latency(func, stage, value);
     }
 
     /// Takes a consistent snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.lock();
-        Snapshot {
-            per_func: inner.per_func.clone(),
-            global_errnos: inner.global_errnos.clone(),
-            total_cycles: inner.total_cycles,
-        }
+        let mut snap = Snapshot::default();
+        self.inner.lock().merge_into(&mut snap);
+        snap
     }
 
-    /// Clears everything (a fresh profiling run).
+    /// Clears everything.
     pub fn reset(&self) {
         *self.inner.lock() = StatsInner::default();
     }
@@ -196,6 +459,7 @@ mod tests {
     fn reset_clears() {
         let stats = Stats::new();
         stats.record_call("x", 5, None);
+        stats.record_latency("x", "call", 5);
         stats.reset();
         assert_eq!(stats.snapshot(), Snapshot::default());
     }
@@ -205,5 +469,84 @@ mod tests {
         let snap = Stats::new().snapshot();
         assert_eq!(snap.time_share("anything"), 0.0);
         assert_eq!(snap.total_calls(), 0);
+        assert!(!snap.has_latency());
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(7), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::bucket_floor(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor(1), 1);
+        assert_eq!(LatencyHistogram::bucket_floor(11), 1024);
+        assert_eq!(LatencyHistogram::bucket_label(2), "2..3");
+        assert_eq!(LatencyHistogram::bucket_label(0), "0");
+        assert_eq!(
+            LatencyHistogram::bucket_label(64),
+            format!("{}..{}", 1u64 << 63, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn latency_histograms_record_and_merge() {
+        let stats = Stats::new();
+        for v in [0, 1, 2, 3, 900, 1100] {
+            stats.record_latency("memcpy", "call", v);
+        }
+        stats.record_latency("memcpy", "check", 5);
+        let snap = stats.snapshot();
+        assert!(snap.has_latency());
+        let call = &snap.per_func["memcpy"].latency["call"];
+        assert_eq!(call.count(), 6);
+        let buckets: Vec<_> = call.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1), (11, 1)]);
+        assert_eq!(snap.per_func["memcpy"].latency["check"].count(), 1);
+        // Latency never leaks into the classic counters.
+        assert_eq!(snap.per_func["memcpy"].calls, 0);
+        assert_eq!(snap.total_cycles, 0);
+    }
+
+    #[test]
+    fn sharded_and_mutex_stats_agree() {
+        let sharded = Stats::new();
+        let mutexed = MutexStats::new();
+        for i in 0..100u64 {
+            let errno = if i % 10 == 0 { Some(ENOENT) } else { None };
+            sharded.record_call("fopen", i, errno);
+            mutexed.record_call("fopen", i, errno);
+            sharded.record_latency("fopen", "call", i);
+            mutexed.record_latency("fopen", "call", i);
+        }
+        assert_eq!(sharded.snapshot(), mutexed.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let stats = std::sync::Arc::new(Stats::new());
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let stats = std::sync::Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        stats.record_call("hot", 2, (i % 50 == 0).then_some(EINVAL));
+                        stats.record_latency("hot", "call", t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_func["hot"].calls, threads * per_thread);
+        assert_eq!(snap.per_func["hot"].cycles, 2 * threads * per_thread);
+        assert_eq!(snap.per_func["hot"].errnos[&EINVAL], threads * (per_thread / 50));
+        assert_eq!(snap.per_func["hot"].latency["call"].count(), threads * per_thread);
     }
 }

@@ -55,14 +55,28 @@ impl VirtAddr {
         self.0.wrapping_sub(other.0)
     }
 
-    /// Aligns the address down to `align` (must be a power of two).
+    /// Aligns the address down to `align`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics unless `align` is a power of two. A zero
+    /// `align` in particular would underflow the mask and silently
+    /// produce garbage in release builds.
     pub const fn align_down(self, align: u64) -> Self {
-        VirtAddr(self.0 & !(align - 1))
+        debug_assert!(align.is_power_of_two(), "align must be a power of two");
+        VirtAddr(self.0 & !(align.wrapping_sub(1)))
     }
 
-    /// Aligns the address up to `align` (must be a power of two).
+    /// Aligns the address up to `align`, wrapping at the top of the
+    /// address space like [`VirtAddr::add`].
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics unless `align` is a power of two (see
+    /// [`VirtAddr::align_down`]).
     pub const fn align_up(self, align: u64) -> Self {
-        VirtAddr(self.0.wrapping_add(align - 1) & !(align - 1))
+        debug_assert!(align.is_power_of_two(), "align must be a power of two");
+        VirtAddr(self.0.wrapping_add(align.wrapping_sub(1)) & !(align.wrapping_sub(1)))
     }
 
     /// Returns `true` if the address is aligned to `align`.
@@ -197,6 +211,49 @@ mod tests {
         assert_eq!(a.align_up(0x1000).get(), 0x2000);
         assert!(VirtAddr::new(0x2000).is_aligned(0x1000));
         assert!(!a.is_aligned(16));
+    }
+
+    #[test]
+    fn addr_alignment_boundaries() {
+        // align == 1 is the identity at every address.
+        let a = VirtAddr::new(0x1234);
+        assert_eq!(a.align_down(1), a);
+        assert_eq!(a.align_up(1), a);
+        assert_eq!(VirtAddr::new(u64::MAX).align_down(1).get(), u64::MAX);
+        assert_eq!(VirtAddr::new(u64::MAX).align_up(1).get(), u64::MAX);
+        // The largest power-of-two alignment.
+        let top = 1u64 << 63;
+        assert_eq!(VirtAddr::new(top + 5).align_down(top).get(), top);
+        assert_eq!(VirtAddr::new(1).align_up(top).get(), top);
+        // Aligning up near the top of the address space wraps, like
+        // `add` does.
+        assert_eq!(VirtAddr::new(u64::MAX).align_up(0x1000), VirtAddr::NULL);
+        // Already-aligned addresses are fixpoints.
+        assert_eq!(VirtAddr::new(0x2000).align_up(0x1000).get(), 0x2000);
+    }
+
+    // `debug_assert!` only fires in debug builds — exactly how the
+    // regression surfaces (debug: panic; release: garbage mask). The
+    // test suite runs unoptimized, so the panic is observable here.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_alignment_is_rejected_down() {
+        let _ = VirtAddr::new(0x1234).align_down(0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_alignment_is_rejected_up() {
+        let _ = VirtAddr::new(0x1234).align_up(0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_alignment_is_rejected() {
+        let _ = VirtAddr::new(0x1234).align_down(24);
     }
 
     #[test]

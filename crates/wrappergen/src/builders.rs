@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use guardian::{CanaryRegistry, GuardOracle};
 use parking_lot::Mutex;
-use profiler::{Collector, HealingJournal, Stats};
+use profiler::{Collector, FlightRecorder, HealingJournal, Stats};
 use simproc::HostFn;
 use typelattice::{RobustApi, SafePred};
 
@@ -20,7 +20,7 @@ use crate::codegen::{
 };
 use crate::hooks::{
     ArgCheckHook, CallCounterHook, CanaryHook, CollectErrorsHook, ExectimeHook,
-    ExitReportHook, FuncErrorsHook,
+    ExitReportHook, FlightRecorderHook, FuncErrorsHook,
 };
 use crate::policy::PolicyEngine;
 use crate::runtime::{CallLog, Hook, WrappedFn};
@@ -94,6 +94,9 @@ pub struct WrapperLibrary {
     pub log: CallLog,
     /// Healing audit journal (populated by healing wrappers).
     pub journal: Arc<HealingJournal>,
+    /// Flight recorder ring shared by every wrapped function — present
+    /// only when [`WrapperConfig::flight_recorder`] asked for one.
+    pub recorder: Option<Arc<FlightRecorder>>,
     /// Human-readable warnings raised during generation — e.g. contracts
     /// derived by a budget-cut campaign that this wrapper enforces (or
     /// refused to enforce) despite their low confidence.
@@ -155,6 +158,17 @@ pub struct WrapperConfig {
     /// How contract-enforcing wrapper kinds treat functions whose
     /// contract is a conservative guess rather than a measurement.
     pub low_confidence: LowConfidence,
+    /// Record per-function log2 latency histograms (`call` stage for
+    /// profiling/healing wrappers; `check`/`heal` stages for healing
+    /// wrappers). Off by default: extra per-call recording, and it keeps
+    /// the affected hook pipelines dynamic.
+    pub latency_histograms: bool,
+    /// Keep a flight recorder of the last N calls through the wrapper
+    /// (`Some(n)`). Off by default — per-call recording forces every
+    /// wrapped function onto the dynamic pipeline, defeating compiled
+    /// call plans. The ring is shared library-wide and surfaces via
+    /// [`WrapperLibrary::recorder`] and the exit document.
+    pub flight_recorder: Option<usize>,
 }
 
 /// Whether a predicate guards *writes* (what the security wrapper
@@ -206,6 +220,7 @@ pub fn build_wrapper_with_impls(
     let journal = Arc::new(HealingJournal::new());
     let oracle = GuardOracle::new(Arc::clone(&registry));
     let engine = config.policy.clone().unwrap_or_else(PolicyEngine::healing);
+    let recorder = config.flight_recorder.map(|cap| Arc::new(FlightRecorder::new(cap)));
 
     let mut fns = BTreeMap::new();
     let mut warnings = Vec::new();
@@ -313,49 +328,74 @@ pub fn build_wrapper_with_impls(
             WrapperKind::Healing => {
                 // Statistics ride along so the exit document carries the
                 // call profile next to the healing journal.
-                hooks.push(Arc::new(ExectimeHook::new(Arc::clone(&stats))));
+                let exectime = if config.latency_histograms {
+                    ExectimeHook::with_latency(Arc::clone(&stats))
+                } else {
+                    ExectimeHook::new(Arc::clone(&stats))
+                };
+                hooks.push(Arc::new(exectime));
                 hooks.push(Arc::new(CollectErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
                 if name == "exit" {
                     if let Some(collector) = &config.collector {
-                        hooks.push(Arc::new(ExitReportHook::with_journal(
+                        let mut report = ExitReportHook::with_journal(
                             Arc::clone(&stats),
                             config.app_name.clone(),
                             kind.tag(),
                             collector.clone(),
                             Arc::clone(&journal),
-                        )));
+                        );
+                        if let Some(rec) = &recorder {
+                            report = report.with_flight(Arc::clone(rec));
+                        }
+                        hooks.push(Arc::new(report));
                     }
                 } else {
                     if f.skipped || !f.has_checks() {
                         continue; // nothing to heal, nothing to pay for
                     }
                     preds_for_codegen = f.preds.clone();
-                    hooks.push(Arc::new(ArgCheckHook::with_journal(
+                    let mut check = ArgCheckHook::with_journal(
                         f.preds.clone(),
                         f.proto.ret.clone(),
                         oracle.clone(),
                         engine.clone(),
                         Arc::clone(&journal),
-                    )));
+                    );
+                    if config.latency_histograms {
+                        // The healing pipeline is dynamic anyway (the
+                        // journal forbids compiled plans), so stage
+                        // latency costs no fast path here.
+                        check = check.with_stats(Arc::clone(&stats));
+                    }
+                    hooks.push(Arc::new(check));
                     gens.push(Box::new(HealArgsGen));
                     gens.push(Box::new(RetryGen));
                 }
             }
             WrapperKind::Profiling => {
-                hooks.push(Arc::new(ExectimeHook::new(Arc::clone(&stats))));
+                let exectime = if config.latency_histograms {
+                    ExectimeHook::with_latency(Arc::clone(&stats))
+                } else {
+                    ExectimeHook::new(Arc::clone(&stats))
+                };
+                hooks.push(Arc::new(exectime));
                 hooks.push(Arc::new(CollectErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
                 if name == "exit" {
                     if let Some(collector) = &config.collector {
-                        hooks.push(Arc::new(ExitReportHook::new(
+                        let mut report = ExitReportHook::new(
                             Arc::clone(&stats),
                             config.app_name.clone(),
                             kind.tag(),
                             collector.clone(),
-                        )));
+                        );
+                        if let Some(rec) = &recorder {
+                            report = report.with_flight(Arc::clone(rec));
+                        }
+                        hooks.push(Arc::new(report));
                     }
                 }
                 gens.push(Box::new(ExectimeGen));
@@ -372,6 +412,11 @@ pub fn build_wrapper_with_impls(
         source.push_str(&generate_function(&gen_refs, &cx));
         source.push('\n');
 
+        // The flight recorder goes first so its `after` runs last and
+        // records the verdict every other hook settled on.
+        if let Some(rec) = &recorder {
+            hooks.insert(0, Arc::new(FlightRecorderHook::new(Arc::clone(rec))));
+        }
         fns.insert(name, WrappedFn::new(f.proto.clone(), imp, hooks));
     }
 
@@ -384,6 +429,7 @@ pub fn build_wrapper_with_impls(
         registry,
         log,
         journal,
+        recorder,
         warnings,
     }
 }
@@ -440,6 +486,7 @@ impl WrapperBuilder {
             registry: Arc::new(CanaryRegistry::new()),
             log: Arc::new(Mutex::new(Vec::new())),
             journal: Arc::new(HealingJournal::new()),
+            recorder: None,
             warnings: Vec::new(),
         }
     }
@@ -633,6 +680,59 @@ mod tests {
             build_wrapper(WrapperKind::Profiling, &api, &WrapperConfig::default());
         assert!(profiling.warnings.is_empty(), "observational kinds never warn");
         assert!(profiling.get("strlen").is_some());
+    }
+
+    #[test]
+    fn flight_recorder_rides_every_wrapped_function() {
+        let config = WrapperConfig { flight_recorder: Some(4), ..WrapperConfig::default() };
+        let lib = build_wrapper(WrapperKind::Security, &tiny_api(), &config);
+        let recorder = lib.recorder.as_ref().expect("configured recorder");
+        let mut p = libc_proc();
+        let malloc = lib.get("malloc").unwrap();
+        let strcpy = lib.get("strcpy").unwrap();
+        let buf = malloc.call(&mut p, &[CVal::Int(8)]).unwrap().as_ptr();
+        let attack = p.alloc_cstr(&"X".repeat(64));
+        let err = strcpy.call(&mut p, &[CVal::Ptr(buf), CVal::Ptr(attack)]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+        let tail = recorder.tail();
+        assert_eq!(tail.len(), 2, "{tail:?}");
+        assert_eq!(tail[0].func, "malloc");
+        assert_eq!(tail[0].verdict, "ok");
+        assert_eq!(tail[1].func, "strcpy");
+        assert_eq!(tail[1].verdict, err.to_string());
+
+        // Off by default: no recorder, and compiled plans survive.
+        let plain =
+            build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
+        assert!(plain.recorder.is_none());
+        assert!(plain.get("strlen").unwrap().has_plan(), "fast path intact");
+        let recorded = build_wrapper(WrapperKind::Robustness, &tiny_api(), &config);
+        assert!(!recorded.get("strlen").unwrap().has_plan(), "recording is dynamic");
+    }
+
+    #[test]
+    fn exit_document_carries_latency_and_flight_sections() {
+        let server = profiler::CollectionServer::start();
+        let config = WrapperConfig {
+            app_name: "telemetry-demo".into(),
+            collector: Some(server.collector()),
+            latency_histograms: true,
+            flight_recorder: Some(8),
+            ..WrapperConfig::default()
+        };
+        let lib = build_wrapper(WrapperKind::Profiling, &tiny_api(), &config);
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("abcd");
+        lib.get("strlen").unwrap().call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        let err = lib.get("exit").unwrap().call(&mut p, &[CVal::Int(0)]).unwrap_err();
+        assert_eq!(err, Fault::Exit(0));
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        let doc = &collected.submissions[0].document;
+        assert!(doc.contains("name=\"latency-histogram\""), "{doc}");
+        assert!(doc.contains("<latency stage=\"call\""), "{doc}");
+        assert!(doc.contains("<flight-recorder entries="), "{doc}");
+        assert!(doc.contains("function=\"strlen\""), "{doc}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use cdecl::CType;
 use guardian::{CanaryRegistry, GuardOracle, CANARY_LEN};
-use profiler::{Collector, HealAction, HealEvent, HealingJournal, Stats};
+use profiler::{Collector, FlightRecorder, HealAction, HealEvent, HealingJournal, Stats};
 use simproc::{errno, CVal, Fault, VirtAddr};
 use typelattice::SafePred;
 
@@ -25,6 +25,10 @@ pub struct ArgCheckHook {
     oracle: GuardOracle,
     engine: PolicyEngine,
     journal: Option<Arc<HealingJournal>>,
+    /// When set, the hook records `check` / `heal` stage latency
+    /// histograms. Forces the dynamic pipeline — only wire it into
+    /// wrappers that are dynamic anyway (healing), never robustness.
+    stats: Option<Arc<Stats>>,
     /// Where the predicates came from (`"campaign"` unless overridden
     /// with [`ArgCheckHook::with_provenance`]).
     provenance: &'static str,
@@ -44,7 +48,15 @@ impl ArgCheckHook {
         oracle: GuardOracle,
         engine: PolicyEngine,
     ) -> Self {
-        ArgCheckHook { preds, ret, oracle, engine, journal: None, provenance: "campaign" }
+        ArgCheckHook {
+            preds,
+            ret,
+            oracle,
+            engine,
+            journal: None,
+            stats: None,
+            provenance: "campaign",
+        }
     }
 
     /// Builds the hook with a healing audit journal attached.
@@ -61,8 +73,20 @@ impl ArgCheckHook {
             oracle,
             engine,
             journal: Some(journal),
+            stats: None,
             provenance: "campaign",
         }
+    }
+
+    /// Attaches a statistics table: the hook then records `check` (the
+    /// whole before-call validation) and `heal` (each repair) stage
+    /// latencies into per-function log2 histograms. This keeps the hook
+    /// on the dynamic pipeline, so only wire it into wrapper kinds that
+    /// are dynamic anyway.
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<Stats>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Tags the hook's checks with where they came from — `"contract"`
@@ -126,69 +150,10 @@ impl ArgCheckHook {
         }
         Some(repaired)
     }
-}
 
-impl Hook for ArgCheckHook {
-    fn name(&self) -> &'static str {
-        "arg check"
-    }
-
-    fn lower(&self, _proto: &cdecl::Prototype) -> Lowered {
-        // The accept path of `before` — every non-`Always` predicate
-        // passes — is pure: no journal entry, no argument rewrite, no
-        // scratch, regardless of policy. So it lowers for *every* engine.
-        // The on-fail response is precomputable only for the uniform
-        // containment engine with no journal: then the dynamic path is
-        // exactly `reject` whatever predicate fired; anything else
-        // (healing, termination, per-class overrides, journaling) falls
-        // back to the dynamic pipeline to replay policy faithfully.
-        let on_fail = match self.engine.uniform() {
-            Some(Policy::Contain) if self.journal.is_none() => FailAction::Reject,
-            _ => FailAction::Fallback,
-        };
-        let checks = self
-            .preds
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p != SafePred::Always)
-            .map(|(i, p)| {
-                let pred = p.clone();
-                let oracle = self.oracle.clone();
-                PlannedCheck {
-                    check: Box::new(move |proc: &simproc::Proc, args: &[CVal]| {
-                        pred.check(proc, &oracle, args, i)
-                    }),
-                    on_fail,
-                    arg: Some(i),
-                    pred: Some(p.clone()),
-                }
-            })
-            .collect();
-        Lowered::Checks(checks)
-    }
-
-    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
-        // Every `SafePred::check` evaluator tests for NULL before any
-        // memory scan (`peek_cstr_len` returns `None` on NULL), so the
-        // checks are null-guarded by construction.
-        self.preds
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p != SafePred::Always)
-            .map(|(i, p)| HookOp::Check {
-                arg: i,
-                pred: Some(p.clone()),
-                label: p.to_string(),
-                null_guarded: true,
-            })
-            .collect()
-    }
-
-    fn provenance(&self) -> &str {
-        self.provenance
-    }
-
-    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+    /// The full before-call validation loop; see [`Hook::before`] for
+    /// why it re-checks from the top after every repair.
+    fn check_and_heal(&self, cx: &mut CallCx<'_>) -> HookAction {
         // Repairs can shift which predicate is violated (a substituted
         // destination makes the copy fit; a clamped count makes the
         // buffer large enough), so healing re-checks from the top after
@@ -256,8 +221,16 @@ impl Hook for ArgCheckHook {
                             );
                             return reject(cx.proc, &self.ret);
                         }
+                        let heal_start = cx.proc.cycles();
                         match apply_repair(cx.proc, &self.oracle, &mut cx.args, pred, i) {
                             Some(desc) => {
+                                if let Some(stats) = &self.stats {
+                                    stats.record_latency(
+                                        cx.func,
+                                        "heal",
+                                        cx.proc.cycles().saturating_sub(heal_start),
+                                    );
+                                }
                                 self.journal(
                                     cx.func,
                                     Some(i),
@@ -284,6 +257,89 @@ impl Hook for ArgCheckHook {
                 }
             }
             return HookAction::Continue;
+        }
+    }
+}
+
+impl Hook for ArgCheckHook {
+    fn name(&self) -> &'static str {
+        "arg check"
+    }
+
+    fn lower(&self, _proto: &cdecl::Prototype) -> Lowered {
+        // The accept path of `before` — every non-`Always` predicate
+        // passes — is pure: no journal entry, no argument rewrite, no
+        // scratch, regardless of policy. So it lowers for *every* engine.
+        // The on-fail response is precomputable only for the uniform
+        // containment engine with no journal: then the dynamic path is
+        // exactly `reject` whatever predicate fired; anything else
+        // (healing, termination, per-class overrides, journaling) falls
+        // back to the dynamic pipeline to replay policy faithfully.
+        // Stage-latency recording is a per-call side effect `before`
+        // must observe on every call, accept path included — it keeps
+        // the whole pipeline dynamic.
+        if self.stats.is_some() {
+            return Lowered::Dynamic;
+        }
+        let on_fail = match self.engine.uniform() {
+            Some(Policy::Contain) if self.journal.is_none() => FailAction::Reject,
+            _ => FailAction::Fallback,
+        };
+        let checks = self
+            .preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != SafePred::Always)
+            .map(|(i, p)| {
+                let pred = p.clone();
+                let oracle = self.oracle.clone();
+                PlannedCheck {
+                    check: Box::new(move |proc: &simproc::Proc, args: &[CVal]| {
+                        pred.check(proc, &oracle, args, i)
+                    }),
+                    on_fail,
+                    arg: Some(i),
+                    pred: Some(p.clone()),
+                }
+            })
+            .collect();
+        Lowered::Checks(checks)
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        // Every `SafePred::check` evaluator tests for NULL before any
+        // memory scan (`peek_cstr_len` returns `None` on NULL), so the
+        // checks are null-guarded by construction.
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != SafePred::Always)
+            .map(|(i, p)| HookOp::Check {
+                arg: i,
+                pred: Some(p.clone()),
+                label: p.to_string(),
+                null_guarded: true,
+            })
+            .collect()
+    }
+
+    fn provenance(&self) -> &str {
+        self.provenance
+    }
+
+    fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
+        match &self.stats {
+            None => self.check_and_heal(cx),
+            Some(stats) => {
+                let start = cx.proc.cycles();
+                let action = self.check_and_heal(cx);
+                stats.record_latency(
+                    cx.func,
+                    "check",
+                    cx.proc.cycles().saturating_sub(start),
+                );
+                action
+            }
         }
     }
 
@@ -552,12 +608,19 @@ impl Hook for CallCounterHook {
 #[derive(Debug)]
 pub struct ExectimeHook {
     stats: Arc<Stats>,
+    latency: bool,
 }
 
 impl ExectimeHook {
     /// Builds the hook over shared statistics.
     pub fn new(stats: Arc<Stats>) -> Self {
-        ExectimeHook { stats }
+        ExectimeHook { stats, latency: false }
+    }
+
+    /// Builds the hook so every measured call also feeds the `call`
+    /// stage log2 latency histogram of its function.
+    pub fn with_latency(stats: Arc<Stats>) -> Self {
+        ExectimeHook { stats, latency: true }
     }
 }
 
@@ -578,7 +641,11 @@ impl Hook for ExectimeHook {
     fn after(&self, cx: &mut CallCx<'_>, _result: &mut Result<CVal, Fault>) {
         let start = cx.scratch.pop().unwrap_or(cx.entry_cycles);
         let end = cx.proc.cycles();
-        self.stats.record_cycles(cx.func, end.saturating_sub(start));
+        let delta = end.saturating_sub(start);
+        self.stats.record_cycles(cx.func, delta);
+        if self.latency {
+            self.stats.record_latency(cx.func, "call", delta);
+        }
     }
 }
 
@@ -683,6 +750,48 @@ impl Hook for LogCallHook {
     }
 }
 
+/// Flight recorder: appends every call — function, rendered arguments,
+/// final verdict, cycles spent — to a bounded ring shared by the whole
+/// wrapper library. Installed *first* in the pipeline so its `after`
+/// runs last and observes the final result, including faults raised and
+/// substitutions made by every other hook. Per-call recording is a side
+/// effect, so the hook keeps its pipeline dynamic — it is opt-in via
+/// [`crate::WrapperConfig::flight_recorder`], never on by default.
+#[derive(Debug)]
+pub struct FlightRecorderHook {
+    recorder: Arc<FlightRecorder>,
+}
+
+impl FlightRecorderHook {
+    /// Builds the hook over a shared ring.
+    pub fn new(recorder: Arc<FlightRecorder>) -> Self {
+        FlightRecorderHook { recorder }
+    }
+}
+
+impl Hook for FlightRecorderHook {
+    fn name(&self) -> &'static str {
+        "flight recorder"
+    }
+
+    fn describe(&self, _proto: &cdecl::Prototype) -> Vec<HookOp> {
+        vec![HookOp::Observe]
+    }
+
+    fn after(&self, cx: &mut CallCx<'_>, result: &mut Result<CVal, Fault>) {
+        let args = format!(
+            "({})",
+            cx.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let verdict = match result {
+            Ok(_) => "ok".to_string(),
+            Err(f) => f.to_string(),
+        };
+        let cycles = cx.proc.cycles().saturating_sub(cx.entry_cycles);
+        self.recorder.record(cx.func, &args, &verdict, cycles);
+    }
+}
+
 /// At-termination reporting: "Just before the application terminates,
 /// the collection code is called to send the gathered information to a
 /// central server" (§2.3). Hooked onto `exit`.
@@ -693,6 +802,7 @@ pub struct ExitReportHook {
     wrapper: &'static str,
     collector: Collector,
     journal: Option<Arc<HealingJournal>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl ExitReportHook {
@@ -703,7 +813,14 @@ impl ExitReportHook {
         wrapper: &'static str,
         collector: Collector,
     ) -> Self {
-        ExitReportHook { stats, app: app.into(), wrapper, collector, journal: None }
+        ExitReportHook {
+            stats,
+            app: app.into(),
+            wrapper,
+            collector,
+            journal: None,
+            flight: None,
+        }
     }
 
     /// Builds the hook with a healing audit journal: the shipped document
@@ -721,7 +838,16 @@ impl ExitReportHook {
             wrapper,
             collector,
             journal: Some(journal),
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder: the shipped document then carries the
+    /// `<flight-recorder>` tail of last-N calls next to the statistics.
+    #[must_use]
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 }
 
@@ -737,14 +863,23 @@ impl Hook for ExitReportHook {
     fn before(&self, cx: &mut CallCx<'_>) -> HookAction {
         if cx.func == "exit" {
             let snap = self.stats.snapshot();
-            let doc = match &self.journal {
-                Some(j) => profiler::to_xml_with_healing(
+            let events = self.journal.as_ref().map(|j| j.snapshot());
+            let tail = self.flight.as_ref().map(|f| f.tail()).unwrap_or_default();
+            let doc = if !tail.is_empty() {
+                profiler::to_xml_with_flight(
                     &self.app,
                     self.wrapper,
                     &snap,
-                    &j.snapshot(),
-                ),
-                None => profiler::to_xml(&self.app, self.wrapper, &snap),
+                    events.as_deref(),
+                    &tail,
+                )
+            } else {
+                match &events {
+                    Some(ev) => {
+                        profiler::to_xml_with_healing(&self.app, self.wrapper, &snap, ev)
+                    }
+                    None => profiler::to_xml(&self.app, self.wrapper, &snap),
+                }
             };
             self.collector.submit(doc);
         }
@@ -1040,6 +1175,89 @@ mod tests {
         let mut proc = libc_proc();
         f.call(&mut proc, &[CVal::Int(-3)]).unwrap();
         assert_eq!(*log.lock(), vec!["abs(-3)"]);
+    }
+
+    #[test]
+    fn flight_recorder_captures_calls_and_verdicts() {
+        let recorder = Arc::new(FlightRecorder::new(3));
+        let p = proto("size_t strlen(const char *s);");
+        let check = ArgCheckHook::new(
+            vec![SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            PolicyEngine::terminating(),
+        );
+        // Recorder first: its `after` runs last and sees the verdict of
+        // every downstream hook, deny included.
+        let hooks: Vec<Arc<dyn Hook>> =
+            vec![Arc::new(FlightRecorderHook::new(Arc::clone(&recorder))), Arc::new(check)];
+        let f = WrappedFn::new(p, simlibc::find_symbol("strlen").unwrap().imp, hooks);
+        let mut proc = libc_proc();
+        let s = proc.alloc_cstr("hi");
+        assert_eq!(f.call(&mut proc, &[CVal::Ptr(s)]).unwrap(), CVal::Int(2));
+        let err = f.call(&mut proc, &[CVal::NULL]).unwrap_err();
+        assert!(matches!(err, Fault::SecurityViolation { .. }));
+        let tail = recorder.tail();
+        assert_eq!(tail.len(), 2, "{tail:?}");
+        assert_eq!(tail[0].func, "strlen");
+        assert_eq!(tail[0].verdict, "ok");
+        assert_eq!(tail[1].verdict, err.to_string());
+        assert!(tail[1].args.contains("NULL") || tail[1].args.contains("0x0"), "{tail:?}");
+    }
+
+    #[test]
+    fn exectime_with_latency_fills_histogram() {
+        let stats = Arc::new(Stats::new());
+        let p = proto("size_t strlen(const char *s);");
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(ExectimeHook::with_latency(Arc::clone(&stats)))],
+        );
+        let mut proc = libc_proc();
+        let s = proc.alloc_cstr("hello");
+        f.call(&mut proc, &[CVal::Ptr(s)]).unwrap();
+        f.call(&mut proc, &[CVal::Ptr(s)]).unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.has_latency());
+        assert_eq!(snap.per_func["strlen"].latency["call"].count(), 2, "{snap:?}");
+        // The plain constructor records no histograms.
+        let bare = Arc::new(Stats::new());
+        let p = proto("size_t strlen(const char *s);");
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(ExectimeHook::new(Arc::clone(&bare)))],
+        );
+        f.call(&mut proc, &[CVal::Ptr(s)]).unwrap();
+        assert!(!bare.snapshot().has_latency());
+    }
+
+    #[test]
+    fn arg_check_with_stats_records_check_and_heal_stages() {
+        let stats = Arc::new(Stats::new());
+        let p = proto("size_t strlen(const char *s);");
+        let hook = ArgCheckHook::with_journal(
+            vec![SafePred::CStr],
+            p.ret.clone(),
+            oracle(),
+            PolicyEngine::healing(),
+            Arc::new(HealingJournal::new()),
+        )
+        .with_stats(Arc::clone(&stats));
+        let f = WrappedFn::new(
+            p,
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(hook)],
+        );
+        assert!(!f.has_plan(), "stage recording must force the dynamic pipeline");
+        let mut proc = libc_proc();
+        let s = proc.alloc_cstr("ok");
+        f.call(&mut proc, &[CVal::Ptr(s)]).unwrap();
+        f.call(&mut proc, &[CVal::NULL]).unwrap(); // heals NULL -> ""
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_func["strlen"].latency["check"].count(), 2, "{snap:?}");
+        assert_eq!(snap.per_func["strlen"].latency["heal"].count(), 1, "{snap:?}");
     }
 
     #[test]

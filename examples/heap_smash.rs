@@ -163,7 +163,12 @@ fn main() {
     let wrapper = toolkit.generate_wrapper(
         WrapperKind::Security,
         &campaign.api,
-        &WrapperConfig::default(),
+        &WrapperConfig {
+            // Keep the last calls in a flight recorder so the fault
+            // report shows what the daemon was doing when it died.
+            flight_recorder: Some(8),
+            ..WrapperConfig::default()
+        },
     );
     println!(
         "security wrapper interposes {} functions (canaries on the allocator family)\n",
@@ -179,5 +184,12 @@ fn main() {
         "the wrapper must detect the overflow and terminate the process"
     );
     assert!(!protected.shell_spawned, "no shell for the attacker");
-    println!("\n*** attack detected, process terminated before the hijack ***");
+
+    let fault = protected.status.as_ref().unwrap_err().to_string();
+    let recorder = wrapper.recorder.as_ref().expect("flight recorder enabled");
+    println!(
+        "{}",
+        healers::profiler::render_fault_report("netd", &fault, &recorder.tail())
+    );
+    println!("*** attack detected, process terminated before the hijack ***");
 }
