@@ -32,7 +32,12 @@
 #![warn(missing_debug_implementations)]
 
 mod bridge;
+mod fleet;
 mod toolkit;
 
 pub use bridge::as_preload_library;
+pub use fleet::{
+    policy_for, run_fleet_sim, FleetSimConfig, FleetSimOutcome, FleetSupervisor,
+    BURST_WINDOW,
+};
 pub use toolkit::{process_factory, Toolkit};

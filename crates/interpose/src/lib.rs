@@ -44,4 +44,4 @@ mod session;
 pub use inspect::{inspect, render as render_app_info, to_xml as app_info_xml, AppInfo};
 pub use library::{AppEntry, Binding, Executable, SharedLibrary, Symbol};
 pub use loader::{LinkError, LinkedImage, Loader, ResolvedFrom, System};
-pub use session::{run, RunOutcome, Session};
+pub use session::{run, run_instance, RunOutcome, Session};

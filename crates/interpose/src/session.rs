@@ -99,9 +99,43 @@ pub fn run(
     system: &System,
     exe: &Executable,
 ) -> Result<RunOutcome, LinkError> {
+    run_opts(loader, system, exe, None)
+}
+
+/// [`run`] for one member of a simulated fleet: the process is stamped
+/// with `(instance, epoch, seed)` via [`Proc::set_fleet_identity`]
+/// before the entry point runs. Wrappers that ship documents at `exit`
+/// read the identity back and tag their submissions with it, and the
+/// application itself can derive per-instance deterministic behaviour
+/// from the triple.
+///
+/// # Errors
+///
+/// [`LinkError`] if linking fails; runtime faults are reported inside
+/// [`RunOutcome`].
+pub fn run_instance(
+    loader: &Loader,
+    system: &System,
+    exe: &Executable,
+    instance: u64,
+    epoch: u64,
+    seed: u64,
+) -> Result<RunOutcome, LinkError> {
+    run_opts(loader, system, exe, Some((instance, epoch, seed)))
+}
+
+fn run_opts(
+    loader: &Loader,
+    system: &System,
+    exe: &Executable,
+    identity: Option<(u64, u64, u64)>,
+) -> Result<RunOutcome, LinkError> {
     let image = loader.load(system, exe)?;
     let mut proc = simlibc::setup::init_process();
     proc.kernel.root_privilege = exe.setuid_root;
+    if let Some((instance, epoch, seed)) = identity {
+        proc.set_fleet_identity(instance, epoch, seed);
+    }
     let entry = exe.entry;
     let status = {
         let mut session = Session::new(&mut proc, &image);

@@ -45,6 +45,40 @@ pub fn to_xml_with_flight(
     to_xml_opts(app, wrapper, snap, events, flight)
 }
 
+/// Fleet identity and termination verdict stamped onto a submission's
+/// root element: which instance produced the document, which logical
+/// reporting window it covers, and — for post-mortem documents shipped
+/// on behalf of a crashed process — the wrapped function the fatal
+/// fault escaped from and the fault's tag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetMeta {
+    /// Fleet member id.
+    pub instance: u64,
+    /// Logical reporting window (an epoch number stamped by the fleet
+    /// driver, not wall-clock time — rollups stay deterministic).
+    pub window: u64,
+    /// Wrapped function a fatal fault escaped from, for crash documents.
+    pub crashed_in: Option<String>,
+    /// Tag of the fatal fault (`segv`, `hang`, ...), for crash documents.
+    pub fault: Option<String>,
+}
+
+/// [`to_xml_with_healing`] for a fleet member: the root element
+/// additionally carries `instance` and `window` attributes, plus
+/// `crashed-in`/`fault` when the document is a post-mortem for a
+/// process that died instead of reaching `exit`. Documents without the
+/// extra attributes parse as window 0 of instance 0, so legacy
+/// submitters and fleet submitters share one ingest path.
+pub fn to_xml_for_fleet(
+    app: &str,
+    wrapper: &str,
+    meta: &FleetMeta,
+    snap: &Snapshot,
+    events: Option<&[HealEvent]>,
+) -> String {
+    to_xml_fleet_opts(app, wrapper, Some(meta), snap, events, &[])
+}
+
 fn to_xml_opts(
     app: &str,
     wrapper: &str,
@@ -52,16 +86,37 @@ fn to_xml_opts(
     events: Option<&[HealEvent]>,
     flight: &[FlightRecord],
 ) -> String {
+    to_xml_fleet_opts(app, wrapper, None, snap, events, flight)
+}
+
+fn to_xml_fleet_opts(
+    app: &str,
+    wrapper: &str,
+    meta: Option<&FleetMeta>,
+    snap: &Snapshot,
+    events: Option<&[HealEvent]>,
+    flight: &[FlightRecord],
+) -> String {
     let mut w = XmlWriter::new();
-    w.open(
-        "healers-profile",
-        &[
-            ("application", app),
-            ("wrapper", wrapper),
-            ("total-calls", &snap.total_calls().to_string()),
-            ("total-cycles", &snap.total_cycles.to_string()),
-        ],
-    );
+    let mut root_attrs = vec![
+        ("application".to_string(), app.to_string()),
+        ("wrapper".to_string(), wrapper.to_string()),
+        ("total-calls".to_string(), snap.total_calls().to_string()),
+        ("total-cycles".to_string(), snap.total_cycles.to_string()),
+    ];
+    if let Some(meta) = meta {
+        root_attrs.push(("instance".to_string(), meta.instance.to_string()));
+        root_attrs.push(("window".to_string(), meta.window.to_string()));
+        if let Some(func) = &meta.crashed_in {
+            root_attrs.push(("crashed-in".to_string(), func.clone()));
+        }
+        if let Some(fault) = &meta.fault {
+            root_attrs.push(("fault".to_string(), fault.clone()));
+        }
+    }
+    let attr_refs: Vec<(&str, &str)> =
+        root_attrs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    w.open("healers-profile", &attr_refs);
     w.open("collected", &[]);
     w.leaf("metric", &[("name", "call-counter")]);
     w.leaf("metric", &[("name", "function-exectime")]);
@@ -193,6 +248,101 @@ pub fn parse_header_fields(doc: &str) -> Option<(String, String, Vec<String>)> {
         rest = &rest[seg_end..];
     }
     Some((app, wrapper, funcs))
+}
+
+/// One function's totals as read back from a submitted document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetFunc {
+    /// Function name.
+    pub name: String,
+    /// Call count.
+    pub calls: u64,
+    /// Cycles spent inside the function.
+    pub cycles: u64,
+    /// Total errno-reporting calls (sum of the `<error>` counts).
+    pub errors: u64,
+}
+
+/// A submitted document decoded for fleet ingest: the header identity
+/// plus per-function totals — everything the streaming rollup merge
+/// consumes. Produced by [`parse_fleet_document`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetDoc {
+    /// Application that was profiled.
+    pub application: String,
+    /// Wrapper type that collected the data.
+    pub wrapper: String,
+    /// Fleet member id (0 for legacy documents without one).
+    pub instance: u64,
+    /// Logical reporting window (0 for legacy documents).
+    pub window: u64,
+    /// Function a fatal fault escaped from, for post-mortem documents.
+    pub crashed_in: Option<String>,
+    /// Fault tag for post-mortem documents.
+    pub fault: Option<String>,
+    /// Per-function totals, in document order.
+    pub functions: Vec<FleetFunc>,
+    /// Number of healing-journal events the document carries.
+    pub heal_events: u64,
+}
+
+fn attr_in<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("{key}=\"");
+    let start = s.find(&pat)? + pat.len();
+    let end = s[start..].find('"')? + start;
+    Some(&s[start..end])
+}
+
+/// Decodes a submitted document for fleet ingest.
+///
+/// # Errors
+///
+/// A stable reason tag describing the first malformation found — what
+/// the ingest shards attach to their bounded rejected-document samples.
+pub fn parse_fleet_document(doc: &str) -> Result<FleetDoc, &'static str> {
+    let open = doc.find("<healers-profile").ok_or("no <healers-profile> root")?;
+    let tag_end = doc[open..].find('>').ok_or("unterminated root tag")? + open;
+    let tag = &doc[open..tag_end];
+    let mut out = FleetDoc {
+        application: attr_in(tag, "application")
+            .ok_or("missing application attribute")?
+            .to_string(),
+        wrapper: attr_in(tag, "wrapper").ok_or("missing wrapper attribute")?.to_string(),
+        ..FleetDoc::default()
+    };
+    out.instance = attr_in(tag, "instance").and_then(|v| v.parse().ok()).unwrap_or(0);
+    out.window = attr_in(tag, "window").and_then(|v| v.parse().ok()).unwrap_or(0);
+    out.crashed_in = attr_in(tag, "crashed-in").map(str::to_string);
+    out.fault = attr_in(tag, "fault").map(str::to_string);
+    let mut rest = &doc[tag_end..];
+    while let Some(pos) = rest.find("<function ") {
+        let seg_end =
+            rest[pos..].find('>').map(|e| e + pos).ok_or("malformed function element")?;
+        let ftag = &rest[pos..seg_end];
+        let close =
+            rest[seg_end..].find("</function>").map(|e| e + seg_end).unwrap_or(rest.len());
+        let mut func = FleetFunc {
+            name: attr_in(ftag, "name").ok_or("function element without name")?.to_string(),
+            calls: attr_in(ftag, "calls").and_then(|v| v.parse().ok()).unwrap_or(0),
+            cycles: attr_in(ftag, "cycles").and_then(|v| v.parse().ok()).unwrap_or(0),
+            errors: 0,
+        };
+        let mut body = &rest[seg_end..close];
+        while let Some(e) = body.find("<error ") {
+            let leaf_end = body[e..].find('>').map(|x| x + e).unwrap_or(body.len());
+            func.errors += attr_in(&body[e..leaf_end], "count")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            body = &body[leaf_end..];
+        }
+        out.functions.push(func);
+        rest = &rest[close..];
+    }
+    if let Some(pos) = rest.find("<healing events=\"") {
+        out.heal_events =
+            attr_in(&rest[pos..], "events").and_then(|v| v.parse().ok()).unwrap_or(0);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

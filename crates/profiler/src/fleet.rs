@@ -1,0 +1,876 @@
+//! The fleet-scale collection service: the ROADMAP's "millions of
+//! users" item. Where [`crate::CollectionServer`] is a single thread
+//! draining one unbounded channel after shutdown, this service ingests
+//! through N shards behind **bounded** queues with explicit
+//! back-pressure, parses and merges documents *while they arrive*
+//! (streaming rollups: top crashing functions fleet-wide, per-app
+//! health, per-window crash rates), and accounts for every document
+//! exactly: a [`SubmitOutcome::Accepted`] ack is a guarantee of
+//! collection, and everything not accepted is counted on a named
+//! counter — nothing is silently lost.
+//!
+//! Accounting invariant (checked by [`FleetAccounting::balanced`]):
+//! `accepted == merged + rejected`, and every non-accepted attempt is
+//! visible as `shed_full`, `shed_closed` or a retry signal.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::doc::parse_fleet_document;
+use crate::server::{DrainGate, RejectedSample};
+
+// ---------------------------------------------------------------------------
+// configuration and back-pressure vocabulary
+
+/// What a shard does with a submission when its queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop it (counted in `shed_full`) and tell the submitter so.
+    Shed,
+    /// Refuse it and hand the submitter a backoff hint; the document
+    /// stays with the submitter, nothing is queued or counted as lost.
+    Retry {
+        /// Suggested backoff before the next attempt, in microseconds.
+        backoff_micros: u64,
+    },
+    /// Block the submitter until the shard has room. No loss, no
+    /// retries — the submitter's thread absorbs the pressure.
+    Block,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy::Retry { backoff_micros: 50 }
+    }
+}
+
+/// Fleet service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of ingest shards (worker threads), each with its own
+    /// bounded queue and rollup accumulator.
+    pub shards: usize,
+    /// Per-shard queue capacity (documents).
+    pub queue_capacity: usize,
+    /// What to do when a shard's queue is full.
+    pub shed: ShedPolicy,
+    /// How many rejected documents each shard keeps as samples.
+    pub rejected_sample_cap: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            queue_capacity: 256,
+            shed: ShedPolicy::default(),
+            rejected_sample_cap: crate::server::REJECTED_SAMPLE_CAP,
+        }
+    }
+}
+
+/// The answer a submitter gets, immediately, for every attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued. The document **will** appear in the rollup (merged or,
+    /// if malformed, counted rejected with a sample) — the fleet
+    /// equivalent of the single server's `true` ack.
+    Accepted,
+    /// The shard is full and the policy is [`ShedPolicy::Retry`]: the
+    /// document was *not* queued; try again after the hinted backoff.
+    Retry {
+        /// Suggested backoff before the next attempt, in microseconds.
+        backoff_micros: u64,
+    },
+    /// The document was dropped: the shard was full under
+    /// [`ShedPolicy::Shed`] (counted in `shed_full`) or the service is
+    /// shutting down (counted in `shed_closed`).
+    Shed,
+}
+
+impl SubmitOutcome {
+    /// `true` for [`SubmitOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bounded MPSC queue (vendored crossbeam has only unbounded channels)
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A small bounded MPSC queue on `Mutex` + two condvars: `try_push` for
+/// shed/retry policies, blocking `push` for [`ShedPolicy::Block`], and
+/// a blocking `pop` that drains remaining items after close.
+#[derive(Debug)]
+struct BoundedQueue<T> {
+    cap: usize,
+    inner: Mutex<QueueInner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push; `Err` means full (or closed), nothing queued.
+    fn try_push(&self, value: T) -> Result<(), ()> {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if q.closed || q.items.len() >= self.cap {
+            return Err(());
+        }
+        q.items.push_back(value);
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push; waits for room. `false` if the queue closed while
+    /// waiting (nothing queued).
+    fn push(&self, value: T) -> bool {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while !q.closed && q.items.len() >= self.cap {
+            q = self.not_full.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        if q.closed {
+            return false;
+        }
+        q.items.push_back(value);
+        drop(q);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(v) = q.items.pop_front() {
+                drop(q);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes fail, pops drain what remains.
+    fn close(&self) {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        q.closed = true;
+        drop(q);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rollups
+
+/// Fleet-wide totals for one wrapped function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncRollup {
+    /// Calls across every submitted document.
+    pub calls: u64,
+    /// Cycles across every submitted document.
+    pub cycles: u64,
+    /// errno-reporting calls across every submitted document.
+    pub errors: u64,
+    /// Documents whose process died with a fatal fault escaping this
+    /// function.
+    pub crashes: u64,
+}
+
+/// Health of one application across the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppHealth {
+    /// Documents received for this application.
+    pub docs: u64,
+    /// Of those, post-mortem documents (the process crashed).
+    pub crashes: u64,
+    /// Total wrapped calls reported.
+    pub calls: u64,
+    /// Total errno-reporting calls reported.
+    pub errors: u64,
+    /// Healing-journal events reported.
+    pub heals: u64,
+}
+
+/// One function's activity inside one logical reporting window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowFunc {
+    /// Calls reported in this window.
+    pub calls: u64,
+    /// errno-reporting calls reported in this window.
+    pub errors: u64,
+    /// Crash documents attributing their fatal fault to this function.
+    pub crashes: u64,
+}
+
+impl WindowFunc {
+    /// Crash rate in this window, in fixed-point thousandths
+    /// (crashes per 1000 calls; the crashing call itself is counted).
+    pub fn crash_rate_x1000(&self) -> u64 {
+        let calls = self.calls + self.crashes;
+        self.crashes.saturating_mul(1000).checked_div(calls).unwrap_or(0)
+    }
+}
+
+/// Per-function activity inside one logical reporting window — what the
+/// remediation director consumes, one window at a time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Function name → activity, sorted.
+    pub per_func: BTreeMap<String, WindowFunc>,
+    /// Documents merged into this window.
+    pub docs: u64,
+}
+
+/// The live fleet rollup: everything merged so far. All maps are sorted
+/// and all counters are commutative sums, so the rollup — and any
+/// report rendered from it — is byte-identical however submissions
+/// interleaved across shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetRollup {
+    /// Documents merged.
+    pub docs: u64,
+    /// Of those, post-mortem (crash) documents.
+    pub crash_docs: u64,
+    /// Documents that failed to parse.
+    pub rejected: u64,
+    /// Fleet-wide per-function totals.
+    pub per_func: BTreeMap<String, FuncRollup>,
+    /// Per-application health.
+    pub per_app: BTreeMap<String, AppHealth>,
+    /// Per-window activity, keyed by logical window number.
+    pub windows: BTreeMap<u64, WindowStats>,
+    /// Bounded sample of rejected documents (sorted for determinism,
+    /// capped at the configured sample cap).
+    pub rejected_samples: Vec<RejectedSample>,
+}
+
+impl FleetRollup {
+    fn absorb_doc(&mut self, doc: &crate::doc::FleetDoc) {
+        self.docs += 1;
+        let crashed = doc.crashed_in.is_some();
+        if crashed {
+            self.crash_docs += 1;
+        }
+        let app = self.per_app.entry(doc.application.clone()).or_default();
+        app.docs += 1;
+        app.heals += doc.heal_events;
+        if crashed {
+            app.crashes += 1;
+        }
+        let window = self.windows.entry(doc.window).or_default();
+        window.docs += 1;
+        for f in &doc.functions {
+            let fr = self.per_func.entry(f.name.clone()).or_default();
+            fr.calls += f.calls;
+            fr.cycles += f.cycles;
+            fr.errors += f.errors;
+            let wf = window.per_func.entry(f.name.clone()).or_default();
+            wf.calls += f.calls;
+            wf.errors += f.errors;
+            let app = self.per_app.entry(doc.application.clone()).or_default();
+            app.calls += f.calls;
+            app.errors += f.errors;
+        }
+        if let Some(func) = &doc.crashed_in {
+            self.per_func.entry(func.clone()).or_default().crashes += 1;
+            window.per_func.entry(func.clone()).or_default().crashes += 1;
+        }
+    }
+
+    fn absorb_reject(&mut self, doc: &str, reason: &'static str, cap: usize) {
+        self.rejected += 1;
+        if self.rejected_samples.len() < cap {
+            self.rejected_samples.push(RejectedSample::of(doc, reason));
+        }
+    }
+
+    /// Merges another rollup in (commutative: shard accumulators can be
+    /// merged in any order).
+    pub fn merge(&mut self, other: &FleetRollup, sample_cap: usize) {
+        self.docs += other.docs;
+        self.crash_docs += other.crash_docs;
+        self.rejected += other.rejected;
+        for (name, fr) in &other.per_func {
+            let mine = self.per_func.entry(name.clone()).or_default();
+            mine.calls += fr.calls;
+            mine.cycles += fr.cycles;
+            mine.errors += fr.errors;
+            mine.crashes += fr.crashes;
+        }
+        for (name, ah) in &other.per_app {
+            let mine = self.per_app.entry(name.clone()).or_default();
+            mine.docs += ah.docs;
+            mine.crashes += ah.crashes;
+            mine.calls += ah.calls;
+            mine.errors += ah.errors;
+            mine.heals += ah.heals;
+        }
+        for (w, ws) in &other.windows {
+            let mine = self.windows.entry(*w).or_default();
+            mine.docs += ws.docs;
+            for (name, wf) in &ws.per_func {
+                let m = mine.per_func.entry(name.clone()).or_default();
+                m.calls += wf.calls;
+                m.errors += wf.errors;
+                m.crashes += wf.crashes;
+            }
+        }
+        self.rejected_samples.extend(other.rejected_samples.iter().cloned());
+        // Shard arrival order is scheduling-dependent; a sorted, capped
+        // sample keeps the merged rollup deterministic.
+        self.rejected_samples
+            .sort_by(|a, b| (a.reason, &a.snippet).cmp(&(b.reason, &b.snippet)));
+        self.rejected_samples.truncate(sample_cap);
+    }
+
+    /// The top-N crashing functions fleet-wide: most crashes first,
+    /// ties by name.
+    pub fn top_crashing(&self, n: usize) -> Vec<(&str, &FuncRollup)> {
+        let mut v: Vec<_> = self.per_func.iter().filter(|(_, f)| f.crashes > 0).collect();
+        v.sort_by(|a, b| b.1.crashes.cmp(&a.1.crashes).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v.into_iter().map(|(k, f)| (k.as_str(), f)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exact accounting
+
+/// Per-shard ingest counters, all monotone.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    accepted: AtomicU64,
+    merged: AtomicU64,
+    rejected: AtomicU64,
+    shed_full: AtomicU64,
+}
+
+/// The service's exact accounting, snapshot at shutdown (or live).
+/// Every submission attempt lands on exactly one of: `accepted`
+/// (thence `merged` or `rejected`), `shed_full`, `shed_closed` — or it
+/// got a [`SubmitOutcome::Retry`] signal and stayed with the submitter
+/// (`retry_signals`, a transient pressure gauge rather than a loss
+/// counter).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetAccounting {
+    /// Acked (queued) submissions, per shard.
+    pub accepted_per_shard: Vec<u64>,
+    /// Documents merged into rollups, per shard.
+    pub merged_per_shard: Vec<u64>,
+    /// Documents that failed to parse, per shard.
+    pub rejected_per_shard: Vec<u64>,
+    /// Documents dropped because a shard was full (Shed policy only).
+    pub shed_full_per_shard: Vec<u64>,
+    /// Submissions refused because the service was shutting down.
+    pub shed_closed: u64,
+    /// Retry back-pressure signals handed out (documents *not* queued
+    /// and *not* lost — they stayed with the submitter).
+    pub retry_signals: u64,
+}
+
+impl FleetAccounting {
+    /// Total acked submissions.
+    pub fn accepted(&self) -> u64 {
+        self.accepted_per_shard.iter().sum()
+    }
+
+    /// Total merged documents.
+    pub fn merged(&self) -> u64 {
+        self.merged_per_shard.iter().sum()
+    }
+
+    /// Total parse-rejected documents.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_per_shard.iter().sum()
+    }
+
+    /// Total queue-full drops.
+    pub fn shed_full(&self) -> u64 {
+        self.shed_full_per_shard.iter().sum()
+    }
+
+    /// Total sheds of either kind.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_full() + self.shed_closed
+    }
+
+    /// The zero-loss invariant: every acked document was merged or
+    /// rejected-with-trace; nothing acked went missing.
+    pub fn balanced(&self) -> bool {
+        self.accepted() == self.merged() + self.rejected()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the service
+
+#[derive(Debug)]
+struct Shard {
+    queue: BoundedQueue<String>,
+    counters: ShardCounters,
+    accum: Mutex<FleetRollup>,
+}
+
+/// Handle for submitting documents to a running [`FleetService`].
+/// Clones are cheap; submitters on any thread share the shards.
+#[derive(Debug, Clone)]
+pub struct FleetCollector {
+    shards: Arc<Vec<Arc<Shard>>>,
+    gate: Arc<DrainGate>,
+    shed_closed: Arc<AtomicU64>,
+    retry_signals: Arc<AtomicU64>,
+    rr: Arc<AtomicUsize>,
+    shed: ShedPolicy,
+}
+
+impl FleetCollector {
+    fn route(&self) -> &Shard {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// One submission attempt. The outcome is exact:
+    /// [`SubmitOutcome::Accepted`] guarantees the document reaches the
+    /// rollup; anything else guarantees it did not (and says whether it
+    /// was dropped-and-counted or stayed with the caller).
+    pub fn submit(&self, document: &str) -> SubmitOutcome {
+        if !self.gate.begin_submit() {
+            self.shed_closed.fetch_add(1, Ordering::SeqCst);
+            return SubmitOutcome::Shed;
+        }
+        let shard = self.route();
+        let outcome = match shard.queue.try_push(document.to_string()) {
+            Ok(()) => {
+                shard.counters.accepted.fetch_add(1, Ordering::SeqCst);
+                SubmitOutcome::Accepted
+            }
+            Err(()) => match self.shed {
+                ShedPolicy::Shed => {
+                    shard.counters.shed_full.fetch_add(1, Ordering::SeqCst);
+                    SubmitOutcome::Shed
+                }
+                ShedPolicy::Retry { backoff_micros } => {
+                    self.retry_signals.fetch_add(1, Ordering::SeqCst);
+                    SubmitOutcome::Retry { backoff_micros }
+                }
+                ShedPolicy::Block => {
+                    // Safe against shutdown deadlock: the gate holds
+                    // `in_flight` > 0 for the whole wait, so shard
+                    // workers keep draining until we are through.
+                    if shard.queue.push(document.to_string()) {
+                        shard.counters.accepted.fetch_add(1, Ordering::SeqCst);
+                        SubmitOutcome::Accepted
+                    } else {
+                        self.shed_closed.fetch_add(1, Ordering::SeqCst);
+                        SubmitOutcome::Shed
+                    }
+                }
+            },
+        };
+        self.gate.end_submit();
+        outcome
+    }
+
+    /// Submits with the policy's back-pressure resolved in place: retry
+    /// signals are honoured (bounded backoff between attempts) until the
+    /// document is accepted or definitively shed. Returns `true` only
+    /// for an accepted (and therefore collected) document.
+    pub fn submit_until_accepted(&self, document: &str) -> bool {
+        loop {
+            match self.submit(document) {
+                SubmitOutcome::Accepted => return true,
+                SubmitOutcome::Shed => return false,
+                SubmitOutcome::Retry { backoff_micros } => {
+                    if backoff_micros == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(backoff_micros.min(500)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The sharded, back-pressured fleet collection service. Construction
+/// spawns one worker thread per shard; each worker parses submissions
+/// off its bounded queue and merges them into its shard-local rollup as
+/// they arrive (streaming, not post-shutdown). [`FleetService::shutdown`]
+/// closes the submission gate, waits for in-flight submitters, drains
+/// every queue, and returns the merged rollup with exact accounting.
+#[derive(Debug)]
+pub struct FleetService {
+    shards: Arc<Vec<Arc<Shard>>>,
+    gate: Arc<DrainGate>,
+    shed_closed: Arc<AtomicU64>,
+    retry_signals: Arc<AtomicU64>,
+    rr: Arc<AtomicUsize>,
+    shed: ShedPolicy,
+    sample_cap: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Everything the fleet service gathered by shutdown time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetCollected {
+    /// The merged rollup.
+    pub rollup: FleetRollup,
+    /// The exact ingest accounting.
+    pub accounting: FleetAccounting,
+}
+
+impl FleetService {
+    /// Starts the service with `config`.
+    pub fn start(config: FleetConfig) -> Self {
+        let shards: Vec<Arc<Shard>> = (0..config.shards.max(1))
+            .map(|_| {
+                Arc::new(Shard {
+                    queue: BoundedQueue::new(config.queue_capacity),
+                    counters: ShardCounters::default(),
+                    accum: Mutex::new(FleetRollup::default()),
+                })
+            })
+            .collect();
+        let sample_cap = config.rejected_sample_cap;
+        let workers = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                std::thread::spawn(move || {
+                    while let Some(doc) = shard.queue.pop() {
+                        let mut accum =
+                            shard.accum.lock().unwrap_or_else(|p| p.into_inner());
+                        match parse_fleet_document(&doc) {
+                            Ok(parsed) => {
+                                accum.absorb_doc(&parsed);
+                                drop(accum);
+                                shard.counters.merged.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(reason) => {
+                                accum.absorb_reject(&doc, reason, sample_cap);
+                                drop(accum);
+                                shard.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        FleetService {
+            shards: Arc::new(shards),
+            gate: Arc::new(DrainGate::new()),
+            shed_closed: Arc::new(AtomicU64::new(0)),
+            retry_signals: Arc::new(AtomicU64::new(0)),
+            rr: Arc::new(AtomicUsize::new(0)),
+            shed: config.shed,
+            sample_cap,
+            workers,
+        }
+    }
+
+    /// A handle submitters use.
+    pub fn collector(&self) -> FleetCollector {
+        FleetCollector {
+            shards: Arc::clone(&self.shards),
+            gate: Arc::clone(&self.gate),
+            shed_closed: Arc::clone(&self.shed_closed),
+            retry_signals: Arc::clone(&self.retry_signals),
+            rr: Arc::clone(&self.rr),
+            shed: self.shed,
+        }
+    }
+
+    /// Waits until every accepted document has been merged (or
+    /// rejected) by its shard worker. Call between submission phases —
+    /// with no submitter mid-flight — to seal a logical window before
+    /// reading [`FleetService::rollup_snapshot`].
+    pub fn quiesce(&self) {
+        loop {
+            let accepted: u64 = self
+                .shards
+                .iter()
+                .map(|s| s.counters.accepted.load(Ordering::SeqCst))
+                .sum();
+            let done: u64 = self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.counters.merged.load(Ordering::SeqCst)
+                        + s.counters.rejected.load(Ordering::SeqCst)
+                })
+                .sum();
+            if done >= accepted {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// A merged copy of the live rollup — the streaming view. Counters
+    /// lag in-queue documents; call [`FleetService::quiesce`] first for
+    /// a sealed view.
+    pub fn rollup_snapshot(&self) -> FleetRollup {
+        let mut out = FleetRollup::default();
+        for shard in self.shards.iter() {
+            let accum = shard.accum.lock().unwrap_or_else(|p| p.into_inner());
+            out.merge(&accum, self.sample_cap);
+        }
+        out
+    }
+
+    /// The live accounting counters.
+    pub fn accounting(&self) -> FleetAccounting {
+        FleetAccounting {
+            accepted_per_shard: self
+                .shards
+                .iter()
+                .map(|s| s.counters.accepted.load(Ordering::SeqCst))
+                .collect(),
+            merged_per_shard: self
+                .shards
+                .iter()
+                .map(|s| s.counters.merged.load(Ordering::SeqCst))
+                .collect(),
+            rejected_per_shard: self
+                .shards
+                .iter()
+                .map(|s| s.counters.rejected.load(Ordering::SeqCst))
+                .collect(),
+            shed_full_per_shard: self
+                .shards
+                .iter()
+                .map(|s| s.counters.shed_full.load(Ordering::SeqCst))
+                .collect(),
+            shed_closed: self.shed_closed.load(Ordering::SeqCst),
+            retry_signals: self.retry_signals.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting submissions, drains every shard, joins the
+    /// workers and returns the merged rollup with exact accounting.
+    pub fn shutdown(mut self) -> FleetCollected {
+        self.close_and_join();
+        FleetCollected { rollup: self.rollup_snapshot(), accounting: self.accounting() }
+    }
+
+    fn close_and_join(&mut self) {
+        // Order matters: close the gate and wait for in-flight
+        // submitters first (blocked `push`es complete because the
+        // workers are still popping), only then close the queues so the
+        // workers drain what remains and exit.
+        self.gate.close_and_wait();
+        for shard in self.shards.iter() {
+            shard.queue.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{to_xml_for_fleet, FleetMeta};
+    use crate::stats::Stats;
+
+    fn doc(app: &str, instance: u64, window: u64, crashed: bool) -> String {
+        let stats = Stats::new();
+        stats.record_call("strcpy", 40, None);
+        stats.record_call("strlen", 10, Some(simproc::errno::EINVAL));
+        let meta = FleetMeta {
+            instance,
+            window,
+            crashed_in: crashed.then(|| "strcpy".to_string()),
+            fault: crashed.then(|| "segv".to_string()),
+        };
+        to_xml_for_fleet(app, "healing", &meta, &stats.snapshot(), None)
+    }
+
+    #[test]
+    fn accepted_documents_land_in_the_rollup() {
+        let service = FleetService::start(FleetConfig::default());
+        let c = service.collector();
+        for i in 0..10 {
+            assert!(c.submit(&doc("editor", i, i / 4, i % 3 == 0)).is_accepted());
+        }
+        let out = service.shutdown();
+        assert_eq!(out.rollup.docs, 10);
+        assert_eq!(out.rollup.crash_docs, 4);
+        assert_eq!(out.rollup.per_app["editor"].docs, 10);
+        assert_eq!(out.rollup.per_func["strcpy"].crashes, 4);
+        assert_eq!(out.rollup.per_func["strcpy"].calls, 10);
+        assert_eq!(out.rollup.per_func["strlen"].errors, 10);
+        assert_eq!(out.rollup.windows.len(), 3);
+        assert!(out.accounting.balanced(), "{:?}", out.accounting);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_samples() {
+        let service = FleetService::start(FleetConfig::default());
+        let c = service.collector();
+        assert!(c.submit("not xml").is_accepted(), "accepted into the queue");
+        assert!(c.submit("<healers-profile foo=\"1\">").is_accepted());
+        assert!(c.submit(&doc("ok", 1, 0, false)).is_accepted());
+        let out = service.shutdown();
+        assert_eq!(out.rollup.docs, 1);
+        assert_eq!(out.rollup.rejected, 2);
+        assert_eq!(out.rollup.rejected_samples.len(), 2);
+        let reasons: Vec<_> =
+            out.rollup.rejected_samples.iter().map(|s| s.reason).collect();
+        assert!(reasons.contains(&"no <healers-profile> root"), "{reasons:?}");
+        assert!(reasons.contains(&"missing application attribute"), "{reasons:?}");
+        assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn full_queue_sheds_and_counts_exactly() {
+        let service = FleetService::start(FleetConfig {
+            shards: 1,
+            queue_capacity: 4,
+            shed: ShedPolicy::Shed,
+            ..FleetConfig::default()
+        });
+        let c = service.collector();
+        let d = doc("app", 0, 0, false);
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        // Far more than capacity: some are shed while the worker drains.
+        for _ in 0..5_000 {
+            match c.submit(&d) {
+                SubmitOutcome::Accepted => accepted += 1,
+                SubmitOutcome::Shed => shed += 1,
+                SubmitOutcome::Retry { .. } => unreachable!("policy is Shed"),
+            }
+        }
+        let out = service.shutdown();
+        assert_eq!(out.accounting.accepted(), accepted);
+        assert_eq!(out.accounting.shed_full() + out.accounting.shed_closed, shed);
+        assert_eq!(out.rollup.docs, accepted);
+        assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn retry_signals_leave_the_document_with_the_caller() {
+        let service = FleetService::start(FleetConfig {
+            shards: 1,
+            queue_capacity: 2,
+            shed: ShedPolicy::Retry { backoff_micros: 10 },
+            ..FleetConfig::default()
+        });
+        let c = service.collector();
+        let d = doc("app", 0, 0, false);
+        let mut accepted = 0u64;
+        for _ in 0..200 {
+            if c.submit_until_accepted(&d) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 200, "retry resolves to acceptance, never loss");
+        let out = service.shutdown();
+        assert_eq!(out.accounting.accepted(), 200);
+        assert_eq!(out.accounting.shed_total(), 0);
+        assert_eq!(out.rollup.docs, 200);
+        assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn block_policy_never_loses_or_sheds() {
+        let service = FleetService::start(FleetConfig {
+            shards: 2,
+            queue_capacity: 2,
+            shed: ShedPolicy::Block,
+            ..FleetConfig::default()
+        });
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = service.collector();
+                std::thread::spawn(move || {
+                    let d = doc("app", t, 0, false);
+                    let mut accepted = 0u64;
+                    for _ in 0..100 {
+                        if c.submit(&d).is_accepted() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(accepted, 400);
+        let out = service.shutdown();
+        assert_eq!(out.accounting.shed_total(), 0);
+        assert_eq!(out.rollup.docs, 400);
+        assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_counted_shed_closed() {
+        let service = FleetService::start(FleetConfig::default());
+        let c = service.collector();
+        assert!(c.submit(&doc("app", 0, 0, false)).is_accepted());
+        let out = service.shutdown();
+        assert_eq!(out.rollup.docs, 1);
+        assert_eq!(c.submit("late"), SubmitOutcome::Shed);
+        assert!(!c.submit_until_accepted("late"));
+    }
+
+    #[test]
+    fn rollup_is_deterministic_across_shard_interleavings() {
+        let run = |shards: usize| {
+            let service = FleetService::start(FleetConfig {
+                shards,
+                shed: ShedPolicy::Block,
+                ..FleetConfig::default()
+            });
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    let c = service.collector();
+                    std::thread::spawn(move || {
+                        for i in 0..50u64 {
+                            let d = doc("editor", t * 100 + i, i % 5, i % 7 == 0);
+                            assert!(c.submit_until_accepted(&d));
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            service.shutdown().rollup
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b, "rollup independent of sharding and interleaving");
+    }
+}

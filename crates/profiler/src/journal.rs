@@ -26,6 +26,9 @@ pub enum HealAction {
     Contained,
     /// The process was terminated (security response).
     Terminated,
+    /// The violation was recorded and the call passed through unchanged
+    /// (observe-only posture).
+    Observed,
 }
 
 impl HealAction {
@@ -38,6 +41,7 @@ impl HealAction {
             HealAction::Obliviated => "obliviated",
             HealAction::Contained => "contained",
             HealAction::Terminated => "terminated",
+            HealAction::Observed => "observed",
         }
     }
 }

@@ -12,6 +12,11 @@
 //!   termination (§2.3);
 //! * [`CollectionServer`] — the central server receiving documents from
 //!   many processes over a channel;
+//! * [`FleetService`] — the sharded, back-pressured fleet-scale ingest
+//!   path with streaming rollups and exact shed accounting;
+//! * [`Director`] — closed-loop remediation: per-function crash-rate
+//!   anomaly detection over windowed rollups, escalation with rollback
+//!   and a circuit breaker, every decision journaled;
 //! * [`render_report`] — the Figure-5 tables (call frequency, time share,
 //!   errno distribution).
 //!
@@ -29,18 +34,34 @@
 #![warn(missing_debug_implementations)]
 
 mod doc;
+mod fleet;
 mod flight;
 mod journal;
+mod remedy;
 mod report;
 mod server;
 mod stats;
 
-pub use doc::{parse_header_fields, to_xml, to_xml_with_flight, to_xml_with_healing};
+pub use doc::{
+    parse_fleet_document, parse_header_fields, to_xml, to_xml_for_fleet,
+    to_xml_with_flight, to_xml_with_healing, FleetDoc, FleetFunc, FleetMeta,
+};
+pub use fleet::{
+    AppHealth, FleetAccounting, FleetCollected, FleetCollector, FleetConfig, FleetRollup,
+    FleetService, FuncRollup, ShedPolicy, SubmitOutcome, WindowFunc, WindowStats,
+};
 pub use flight::{FlightRecord, FlightRecorder, MAX_ARGS_LEN};
 pub use journal::{HealAction, HealEvent, HealingJournal};
-pub use report::{
-    render_fault_report, render_lint_report, render_report, render_report_with_healing,
-    render_robust_api_health, render_worker_report, LintLine, WorkerLine,
+pub use remedy::{
+    Director, DirectorConfig, EscalationLevel, PolicyChange, RemedyAction, RemedyEvent,
 };
-pub use server::{Collected, CollectionServer, Collector, Submission};
+pub use report::{
+    render_escalation_report, render_fault_report, render_fleet_report, render_lint_report,
+    render_report, render_report_with_healing, render_robust_api_health,
+    render_worker_report, LintLine, WorkerLine,
+};
+pub use server::{
+    Collected, CollectionServer, Collector, RejectedSample, Submission,
+    REJECTED_SAMPLE_CAP, REJECTED_SNIPPET_LEN,
+};
 pub use stats::{FuncStats, LatencyHistogram, MutexStats, Snapshot, Stats};

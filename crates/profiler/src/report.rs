@@ -319,6 +319,161 @@ pub fn render_fault_report(app: &str, fault: &str, tail: &[FlightRecord]) -> Str
     out
 }
 
+/// Renders the fleet rollup report: top crashing functions fleet-wide,
+/// per-application health, per-window crash rates, ingest accounting
+/// and the bounded rejected-document sample. Every section iterates
+/// sorted maps and the timing-dependent `retry_signals` gauge is
+/// deliberately omitted, so two same-seed fleet runs render
+/// byte-identically.
+pub fn render_fleet_report(
+    rollup: &crate::fleet::FleetRollup,
+    accounting: &crate::fleet::FleetAccounting,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HEALERS fleet rollup");
+    let _ = writeln!(
+        out,
+        "{} documents merged ({} post-mortem), {} rejected\n",
+        rollup.docs, rollup.crash_docs, rollup.rejected
+    );
+
+    let _ = writeln!(out, "Top crashing functions fleet-wide:");
+    let top = rollup.top_crashing(10);
+    if top.is_empty() {
+        let _ = writeln!(out, "  (no crashes attributed)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>10} {:>8}",
+            "function", "crashes", "calls", "errors"
+        );
+        for (name, f) in top {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>10} {:>8}",
+                name, f.crashes, f.calls, f.errors
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\nPer-application health:");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>6} {:>8} {:>10} {:>8} {:>7}",
+        "application", "docs", "crashes", "calls", "errors", "heals"
+    );
+    for (app, h) in &rollup.per_app {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>6} {:>8} {:>10} {:>8} {:>7}",
+            app, h.docs, h.crashes, h.calls, h.errors, h.heals
+        );
+    }
+
+    let _ = writeln!(out, "\nCrash rate by window (\u{2030} of calls):");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>6} {:>10} {:>8}   worst function",
+        "window", "docs", "calls", "rate"
+    );
+    for (w, ws) in &rollup.windows {
+        let calls: u64 = ws.per_func.values().map(|f| f.calls + f.crashes).sum();
+        let crashes: u64 = ws.per_func.values().map(|f| f.crashes).sum();
+        let rate = (crashes * 1000).checked_div(calls).unwrap_or(0);
+        let worst = ws
+            .per_func
+            .iter()
+            .filter(|(_, f)| f.crashes > 0)
+            .max_by(|a, b| {
+                a.1.crash_rate_x1000().cmp(&b.1.crash_rate_x1000()).then(b.0.cmp(a.0))
+            })
+            .map(|(name, f)| format!("{name} ({}\u{2030})", f.crash_rate_x1000()))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>10} {:>7}\u{2030}   {}",
+            w, ws.docs, calls, rate, worst
+        );
+    }
+
+    let _ = writeln!(out, "\nIngest accounting:");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>9} {:>8} {:>9} {:>10}",
+        "shard", "accepted", "merged", "rejected", "shed-full"
+    );
+    for i in 0..accounting.accepted_per_shard.len() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>9} {:>8} {:>9} {:>10}",
+            i,
+            accounting.accepted_per_shard[i],
+            accounting.merged_per_shard.get(i).copied().unwrap_or(0),
+            accounting.rejected_per_shard.get(i).copied().unwrap_or(0),
+            accounting.shed_full_per_shard.get(i).copied().unwrap_or(0),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>9} {:>8} {:>9} {:>10}   shed-closed {}  balanced {}",
+        "total",
+        accounting.accepted(),
+        accounting.merged(),
+        accounting.rejected(),
+        accounting.shed_full(),
+        accounting.shed_closed,
+        accounting.balanced()
+    );
+
+    if !rollup.rejected_samples.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nRejected document samples (first {} of {}):",
+            rollup.rejected_samples.len(),
+            rollup.rejected
+        );
+        for s in &rollup.rejected_samples {
+            let _ = writeln!(out, "  [{}] {:?}", s.reason, s.snippet);
+        }
+    }
+    out
+}
+
+/// Renders the remediation director's escalation journal: one line per
+/// decision in decision order, then a per-action summary. The journal
+/// is already deterministic, so the rendering is too.
+pub fn render_escalation_report(journal: &[crate::remedy::RemedyEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Escalation journal ({} decisions):", journal.len());
+    if journal.is_empty() {
+        let _ = writeln!(out, "  (fleet healthy — no remediation needed)");
+        return out;
+    }
+    for ev in journal {
+        let _ = writeln!(
+            out,
+            "  w{:<4} {:<14} {:<10} {:>9} -> {:<9} rate {:>4}\u{2030} ewma {:>4}\u{2030}  {}",
+            ev.window,
+            ev.func,
+            ev.action.tag(),
+            ev.from.tag(),
+            ev.to.tag(),
+            ev.rate_x1000,
+            ev.ewma_x1000,
+            ev.detail
+        );
+    }
+    let mut by_action: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in journal {
+        *by_action.entry(ev.action.tag()).or_insert(0) += 1;
+    }
+    let _ = writeln!(out, "\n  Summary:");
+    for (action, n) in &by_action {
+        let _ = writeln!(out, "    {action:<12} x{n}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,5 +662,81 @@ mod tests {
         let costly = report.find("costly").unwrap();
         let cheap = report.find("cheap").unwrap();
         assert!(costly < cheap);
+    }
+
+    #[test]
+    fn fleet_report_renders_all_sections() {
+        use crate::fleet::{
+            AppHealth, FleetAccounting, FleetRollup, FuncRollup, WindowFunc, WindowStats,
+        };
+        let mut rollup =
+            FleetRollup { docs: 12, crash_docs: 3, rejected: 1, ..FleetRollup::default() };
+        rollup.per_func.insert(
+            "strcpy".into(),
+            FuncRollup { calls: 100, cycles: 4000, errors: 2, crashes: 3 },
+        );
+        rollup.per_app.insert(
+            "editor".into(),
+            AppHealth { docs: 12, crashes: 3, calls: 100, errors: 2, heals: 5 },
+        );
+        let mut w = WindowStats { docs: 12, ..WindowStats::default() };
+        w.per_func.insert("strcpy".into(), WindowFunc { calls: 97, errors: 2, crashes: 3 });
+        rollup.windows.insert(2, w);
+        rollup
+            .rejected_samples
+            .push(crate::server::RejectedSample::of("junk", "no <healers-profile> root"));
+        let accounting = FleetAccounting {
+            accepted_per_shard: vec![7, 6],
+            merged_per_shard: vec![6, 6],
+            rejected_per_shard: vec![1, 0],
+            shed_full_per_shard: vec![0, 2],
+            shed_closed: 1,
+            retry_signals: 9,
+        };
+        let report = render_fleet_report(&rollup, &accounting);
+        assert!(report.contains("Top crashing functions"), "{report}");
+        assert!(report.contains("strcpy"), "{report}");
+        assert!(report.contains("editor"), "{report}");
+        assert!(report.contains("strcpy (30\u{2030})"), "{report}");
+        assert!(report.contains("balanced true"), "{report}");
+        assert!(report.contains("no <healers-profile> root"), "{report}");
+        assert!(
+            !report.contains("retry"),
+            "retry signals are timing-dependent and must stay out: {report}"
+        );
+    }
+
+    #[test]
+    fn escalation_report_lists_decisions_in_order() {
+        use crate::remedy::{EscalationLevel, RemedyAction, RemedyEvent};
+        let journal = vec![
+            RemedyEvent {
+                window: 2,
+                func: "strcpy".into(),
+                action: RemedyAction::Escalate,
+                from: EscalationLevel::Observe,
+                to: EscalationLevel::Contain,
+                rate_x1000: 400,
+                ewma_x1000: 10,
+                detail: "burst".into(),
+            },
+            RemedyEvent {
+                window: 4,
+                func: "strcpy".into(),
+                action: RemedyAction::Confirm,
+                from: EscalationLevel::Contain,
+                to: EscalationLevel::Contain,
+                rate_x1000: 20,
+                ewma_x1000: 120,
+                detail: "improved".into(),
+            },
+        ];
+        let report = render_escalation_report(&journal);
+        assert!(report.contains("2 decisions"), "{report}");
+        assert!(report.contains("observe -> contain"), "{report}");
+        assert!(report.contains("escalate     x1"), "{report}");
+        assert!(report.contains("confirm      x1"), "{report}");
+        let empty = render_escalation_report(&[]);
+        assert!(empty.contains("fleet healthy"), "{empty}");
     }
 }

@@ -5,12 +5,124 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{select, unbounded, Sender};
 
-use crate::doc::parse_header_fields;
+use crate::doc::{parse_fleet_document, parse_header_fields};
+
+/// How many rejected documents each collection point keeps as a sample
+/// for diagnosis (the first K to arrive, with their parse-failure
+/// reasons). Beyond the cap, rejects are counted but not stored.
+pub const REJECTED_SAMPLE_CAP: usize = 8;
+
+/// How much of a rejected document's text is kept in its sample.
+pub const REJECTED_SNIPPET_LEN: usize = 96;
+
+/// A diagnosable trace of one rejected document: why it failed to parse
+/// and the head of its text. Without these, a fleet with one malformed
+/// submitter shows only a climbing reject counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedSample {
+    /// Stable parse-failure reason tag from [`parse_fleet_document`].
+    pub reason: &'static str,
+    /// The first [`REJECTED_SNIPPET_LEN`] bytes of the document.
+    pub snippet: String,
+}
+
+impl RejectedSample {
+    /// Builds a sample for a document that failed to parse with `reason`.
+    pub fn of(doc: &str, reason: &'static str) -> Self {
+        let mut end = doc.len().min(REJECTED_SNIPPET_LEN);
+        while !doc.is_char_boundary(end) {
+            end -= 1;
+        }
+        RejectedSample { reason, snippet: doc[..end].to_string() }
+    }
+}
+
+/// The Dekker-style shutdown handshake shared by every collection point
+/// (the single-server [`Collector`] and the fleet ingest shards):
+/// a submitter publishes itself in `in_flight` *before* checking
+/// `closed`, while shutdown sets `closed` and then waits for `in_flight`
+/// to drain before the final queue drain. Both sides use `SeqCst`, so in
+/// the single total order either the submitter's increment precedes
+/// shutdown's store (and shutdown waits for the enqueue to land), or the
+/// submitter observes `closed` and refuses — a `true` ack is therefore
+/// a guarantee of collection.
+///
+/// The wait side spins only briefly before parking on a condvar: a
+/// preempted submitter must not pin the shutdown thread's core.
+#[derive(Debug, Default)]
+pub(crate) struct DrainGate {
+    closed: AtomicBool,
+    in_flight: AtomicU64,
+    lock: Mutex<()>,
+    drained: Condvar,
+}
+
+/// Rounds of `yield_now` before the shutdown waiter parks.
+const DRAIN_SPIN_ROUNDS: u32 = 64;
+
+/// Park timeout while waiting for in-flight submitters. The timeout
+/// (rather than a bare `wait`) closes the missed-wakeup race where the
+/// last submitter decrements and notifies between the waiter's check
+/// and its park.
+const DRAIN_PARK: Duration = Duration::from_millis(1);
+
+impl DrainGate {
+    pub(crate) fn new() -> Self {
+        DrainGate::default()
+    }
+
+    /// Submitter side: publish, then check. Returns `false` (after
+    /// un-publishing) when the gate is closed — the submission must be
+    /// refused. A `true` return obliges the caller to call
+    /// [`DrainGate::end_submit`] after its enqueue.
+    pub(crate) fn begin_submit(&self) -> bool {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            self.end_submit();
+            return false;
+        }
+        true
+    }
+
+    /// Submitter side: the enqueue landed (or was refused); un-publish
+    /// and wake a parked shutdown waiter if we were the last.
+    pub(crate) fn end_submit(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.closed.load(Ordering::SeqCst)
+        {
+            let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.drained.notify_all();
+        }
+    }
+
+    /// Shutdown side: close the door, then wait for every submitter
+    /// that already passed the `closed` check to finish its enqueue.
+    /// Bounded spin first (the common case drains in nanoseconds), then
+    /// parked waits so a preempted submitter cannot pin this core.
+    pub(crate) fn close_and_wait(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        for _ in 0..DRAIN_SPIN_ROUNDS {
+            if self.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            let (g, _timeout) = self
+                .drained
+                .wait_timeout(guard, DRAIN_PARK)
+                .unwrap_or_else(|p| p.into_inner());
+            guard = g;
+        }
+    }
+}
 
 /// One accepted submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +144,10 @@ pub struct Collected {
     pub submissions: Vec<Submission>,
     /// Documents that failed to parse.
     pub rejected: usize,
+    /// The first [`REJECTED_SAMPLE_CAP`] rejected documents, with their
+    /// parse-failure reasons — the diagnosable trace of a malformed
+    /// submitter.
+    pub rejected_samples: Vec<RejectedSample>,
 }
 
 impl Collected {
@@ -59,31 +175,21 @@ impl Collected {
 #[derive(Debug, Clone)]
 pub struct Collector {
     tx: Sender<String>,
-    closed: Arc<AtomicBool>,
-    in_flight: Arc<AtomicU64>,
+    gate: Arc<DrainGate>,
 }
 
 impl Collector {
     /// Submits one document. Returns `false` if the server has shut down.
     ///
     /// A `true` return is a real acknowledgement: the document is
-    /// guaranteed to appear in the [`Collected`] result. The guarantee
-    /// rests on a Dekker-style handshake with [`CollectionServer`]
-    /// shutdown — submit publishes itself in `in_flight` *before*
-    /// checking `closed`, while shutdown sets `closed` and then waits
-    /// for `in_flight` to drain before signalling the server thread to
-    /// do its final drain. Both sides use `SeqCst`, so in the single
-    /// total order either submit's increment precedes shutdown's store
-    /// (and shutdown waits for the send to land before the final
-    /// drain), or submit observes `closed` and refuses.
+    /// guaranteed to appear in the [`Collected`] result — see
+    /// [`DrainGate`] for the ordering argument.
     pub fn submit(&self, document: impl Into<String>) -> bool {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
-        if self.closed.load(Ordering::SeqCst) {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if !self.gate.begin_submit() {
             return false;
         }
         let ok = self.tx.send(document.into()).is_ok();
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.gate.end_submit();
         ok
     }
 }
@@ -95,8 +201,7 @@ impl Collector {
 pub struct CollectionServer {
     tx: Sender<String>,
     stop_tx: Option<Sender<()>>,
-    closed: Arc<AtomicBool>,
-    in_flight: Arc<AtomicU64>,
+    gate: Arc<DrainGate>,
     handle: Option<JoinHandle<Collected>>,
 }
 
@@ -117,7 +222,17 @@ impl CollectionServer {
                             document: doc,
                         });
                     }
-                    None => collected.rejected += 1,
+                    None => {
+                        collected.rejected += 1;
+                        if collected.rejected_samples.len() < REJECTED_SAMPLE_CAP {
+                            let reason = parse_fleet_document(&doc)
+                                .err()
+                                .unwrap_or("unparseable document");
+                            collected
+                                .rejected_samples
+                                .push(RejectedSample::of(&doc, reason));
+                        }
+                    }
                 };
             loop {
                 select! {
@@ -139,32 +254,23 @@ impl CollectionServer {
         CollectionServer {
             tx,
             stop_tx: Some(stop_tx),
-            closed: Arc::new(AtomicBool::new(false)),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            gate: Arc::new(DrainGate::new()),
             handle: Some(handle),
         }
     }
 
     /// A handle wrappers use to submit documents.
     pub fn collector(&self) -> Collector {
-        Collector {
-            tx: self.tx.clone(),
-            closed: Arc::clone(&self.closed),
-            in_flight: Arc::clone(&self.in_flight),
-        }
+        Collector { tx: self.tx.clone(), gate: Arc::clone(&self.gate) }
     }
 
     /// Closes the door to new submissions and waits for every submit
     /// that already passed the `closed` check to finish its send — only
     /// then may the server thread do its final drain, so every
     /// `true`-acked submission is provably in the channel by the time
-    /// the drain runs. See [`Collector::submit`] for the ordering
-    /// argument.
+    /// the drain runs. See [`DrainGate`] for the ordering argument.
     fn close_and_drain(&mut self) {
-        self.closed.store(true, Ordering::SeqCst);
-        while self.in_flight.load(Ordering::SeqCst) > 0 {
-            std::thread::yield_now();
-        }
+        self.gate.close_and_wait();
         if let Some(stop) = self.stop_tx.take() {
             let _ = stop.send(());
         }

@@ -67,6 +67,7 @@ pub struct Proc {
     rodata_cursor: VirtAddr,
     exit_status: Option<i32>,
     next_sentinel: u64,
+    fleet_identity: Option<(u64, u64, u64)>,
     /// Host implementations of registered functions, indexed by `FuncId`.
     impls: Vec<Option<HostFn>>,
 }
@@ -101,6 +102,7 @@ impl Proc {
             rodata_cursor: layout::RODATA_BASE,
             exit_status: None,
             next_sentinel: 0x5AFE_0000_0000_0000,
+            fleet_identity: None,
             impls: Vec::new(),
         }
     }
@@ -144,6 +146,21 @@ impl Proc {
     /// `function exectime` micro-generator samples instead of `rdtsc`.
     pub fn cycles(&self) -> u64 {
         self.fuel_used
+    }
+
+    /// Stamps the process with its fleet identity: which fleet member
+    /// this process is (`instance`), which logical reporting window
+    /// (`epoch`) the run belongs to, and the fleet-wide simulation seed.
+    /// Wrappers that ship documents at `exit` read it back to tag their
+    /// submissions; unset for ordinary (non-fleet) processes.
+    pub fn set_fleet_identity(&mut self, instance: u64, epoch: u64, seed: u64) {
+        self.fleet_identity = Some((instance, epoch, seed));
+    }
+
+    /// The `(instance, epoch, seed)` stamped by
+    /// [`Proc::set_fleet_identity`], if any.
+    pub fn fleet_identity(&self) -> Option<(u64, u64, u64)> {
+        self.fleet_identity
     }
 
     /// Burns `n` units of fuel.

@@ -152,6 +152,11 @@ pub struct WrapperConfig {
     /// Where profiling and healing wrappers ship their document at
     /// `exit`.
     pub collector: Option<Collector>,
+    /// Fleet-service sink: profiling and healing wrappers additionally
+    /// (or instead) ship the fleet document variant — stamped with the
+    /// process's fleet identity — to this back-pressured service at
+    /// `exit`.
+    pub fleet: Option<profiler::FleetCollector>,
     /// Policy engine for healing wrappers; defaults to
     /// [`PolicyEngine::healing`].
     pub policy: Option<PolicyEngine>,
@@ -338,14 +343,28 @@ pub fn build_wrapper_with_impls(
                 hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
                 if name == "exit" {
-                    if let Some(collector) = &config.collector {
-                        let mut report = ExitReportHook::with_journal(
-                            Arc::clone(&stats),
-                            config.app_name.clone(),
-                            kind.tag(),
-                            collector.clone(),
-                            Arc::clone(&journal),
-                        );
+                    if config.collector.is_some() || config.fleet.is_some() {
+                        let mut report = match &config.collector {
+                            Some(collector) => ExitReportHook::with_journal(
+                                Arc::clone(&stats),
+                                config.app_name.clone(),
+                                kind.tag(),
+                                collector.clone(),
+                                Arc::clone(&journal),
+                            ),
+                            None => ExitReportHook::fleet_only(
+                                Arc::clone(&stats),
+                                config.app_name.clone(),
+                                kind.tag(),
+                                config.fleet.clone().expect("fleet sink present"),
+                                Some(Arc::clone(&journal)),
+                            ),
+                        };
+                        if config.collector.is_some() {
+                            if let Some(fleet) = &config.fleet {
+                                report = report.with_fleet(fleet.clone());
+                            }
+                        }
                         if let Some(rec) = &recorder {
                             report = report.with_flight(Arc::clone(rec));
                         }
@@ -384,19 +403,32 @@ pub fn build_wrapper_with_impls(
                 hooks.push(Arc::new(CollectErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(FuncErrorsHook::new(Arc::clone(&stats))));
                 hooks.push(Arc::new(CallCounterHook::new(Arc::clone(&stats))));
-                if name == "exit" {
-                    if let Some(collector) = &config.collector {
-                        let mut report = ExitReportHook::new(
+                if name == "exit" && (config.collector.is_some() || config.fleet.is_some())
+                {
+                    let mut report = match &config.collector {
+                        Some(collector) => ExitReportHook::new(
                             Arc::clone(&stats),
                             config.app_name.clone(),
                             kind.tag(),
                             collector.clone(),
-                        );
-                        if let Some(rec) = &recorder {
-                            report = report.with_flight(Arc::clone(rec));
+                        ),
+                        None => ExitReportHook::fleet_only(
+                            Arc::clone(&stats),
+                            config.app_name.clone(),
+                            kind.tag(),
+                            config.fleet.clone().expect("fleet sink present"),
+                            None,
+                        ),
+                    };
+                    if config.collector.is_some() {
+                        if let Some(fleet) = &config.fleet {
+                            report = report.with_fleet(fleet.clone());
                         }
-                        hooks.push(Arc::new(report));
                     }
+                    if let Some(rec) = &recorder {
+                        report = report.with_flight(Arc::clone(rec));
+                    }
+                    hooks.push(Arc::new(report));
                 }
                 gens.push(Box::new(ExectimeGen));
                 gens.push(Box::new(CollectErrorsGen));

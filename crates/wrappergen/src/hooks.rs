@@ -171,6 +171,17 @@ impl ArgCheckHook {
                 }
                 let class = ViolationClass::of(pred, cx.args[i]);
                 match self.engine.resolve(cx.func, class) {
+                    Policy::Observe => {
+                        self.journal(
+                            cx.func,
+                            Some(i),
+                            Some(pred),
+                            Some(class),
+                            HealAction::Observed,
+                            "violation observed, call passed through",
+                        );
+                        continue;
+                    }
                     Policy::Contain => {
                         self.journal(
                             cx.func,
@@ -347,7 +358,12 @@ impl Hook for ArgCheckHook {
         match self.engine.fault_policy(cx.func) {
             // The classic wrappers let residual faults propagate — the
             // caller (or the fault injector's outcome scale) sees them.
-            Policy::Contain | Policy::Terminate => FaultDecision::Propagate,
+            // Observe does too, by definition: the fleet's baseline
+            // posture keeps crashes visible so the remediation director
+            // has a signal to escalate on.
+            Policy::Observe | Policy::Contain | Policy::Terminate => {
+                FaultDecision::Propagate
+            }
             Policy::Oblivious => {
                 self.journal(
                     cx.func,
@@ -800,7 +816,8 @@ pub struct ExitReportHook {
     stats: Arc<Stats>,
     app: String,
     wrapper: &'static str,
-    collector: Collector,
+    collector: Option<Collector>,
+    fleet: Option<profiler::FleetCollector>,
     journal: Option<Arc<HealingJournal>>,
     flight: Option<Arc<FlightRecorder>>,
 }
@@ -817,7 +834,8 @@ impl ExitReportHook {
             stats,
             app: app.into(),
             wrapper,
-            collector,
+            collector: Some(collector),
+            fleet: None,
             journal: None,
             flight: None,
         }
@@ -836,10 +854,41 @@ impl ExitReportHook {
             stats,
             app: app.into(),
             wrapper,
-            collector,
+            collector: Some(collector),
+            fleet: None,
             journal: Some(journal),
             flight: None,
         }
+    }
+
+    /// Builds the hook shipping to a fleet service only: the document is
+    /// the fleet variant, stamped with the process's fleet identity, and
+    /// submitted with the service's back-pressure resolved (retry hints
+    /// honoured until the document is accepted or definitively shed).
+    pub fn fleet_only(
+        stats: Arc<Stats>,
+        app: impl Into<String>,
+        wrapper: &'static str,
+        fleet: profiler::FleetCollector,
+        journal: Option<Arc<HealingJournal>>,
+    ) -> Self {
+        ExitReportHook {
+            stats,
+            app: app.into(),
+            wrapper,
+            collector: None,
+            fleet: Some(fleet),
+            journal,
+            flight: None,
+        }
+    }
+
+    /// Attaches a fleet collector next to the central-server collector:
+    /// the hook then ships to both sinks at `exit`.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: profiler::FleetCollector) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Attaches a flight recorder: the shipped document then carries the
@@ -864,24 +913,43 @@ impl Hook for ExitReportHook {
         if cx.func == "exit" {
             let snap = self.stats.snapshot();
             let events = self.journal.as_ref().map(|j| j.snapshot());
-            let tail = self.flight.as_ref().map(|f| f.tail()).unwrap_or_default();
-            let doc = if !tail.is_empty() {
-                profiler::to_xml_with_flight(
+            if let Some(collector) = &self.collector {
+                let tail = self.flight.as_ref().map(|f| f.tail()).unwrap_or_default();
+                let doc = if !tail.is_empty() {
+                    profiler::to_xml_with_flight(
+                        &self.app,
+                        self.wrapper,
+                        &snap,
+                        events.as_deref(),
+                        &tail,
+                    )
+                } else {
+                    match &events {
+                        Some(ev) => profiler::to_xml_with_healing(
+                            &self.app,
+                            self.wrapper,
+                            &snap,
+                            ev,
+                        ),
+                        None => profiler::to_xml(&self.app, self.wrapper, &snap),
+                    }
+                };
+                collector.submit(doc);
+            }
+            if let Some(fleet) = &self.fleet {
+                let (instance, window, _seed) =
+                    cx.proc.fleet_identity().unwrap_or((0, 0, 0));
+                let meta =
+                    profiler::FleetMeta { instance, window, crashed_in: None, fault: None };
+                let doc = profiler::to_xml_for_fleet(
                     &self.app,
                     self.wrapper,
+                    &meta,
                     &snap,
                     events.as_deref(),
-                    &tail,
-                )
-            } else {
-                match &events {
-                    Some(ev) => {
-                        profiler::to_xml_with_healing(&self.app, self.wrapper, &snap, ev)
-                    }
-                    None => profiler::to_xml(&self.app, self.wrapper, &snap),
-                }
-            };
-            self.collector.submit(doc);
+                );
+                fleet.submit_until_accepted(&doc);
+            }
         }
         HookAction::Continue
     }

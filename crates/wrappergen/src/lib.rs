@@ -55,7 +55,9 @@ pub use builders::{
     build_wrapper, build_wrapper_with_impls, LowConfidence, WrapperBuilder, WrapperConfig,
     WrapperKind, WrapperLibrary,
 };
-pub use policy::{apply_repair, Policy, PolicyEngine, ViolationClass, SUBSTITUTE_CAP};
+pub use policy::{
+    apply_repair, Policy, PolicyEngine, PolicyOverrides, ViolationClass, SUBSTITUTE_CAP,
+};
 pub use runtime::{
     containment_value, reject, CallCx, CallLog, CallModel, CompiledCheck, FailAction,
     FaultDecision, Hook, HookAction, HookOp, Lowered, ModelOp, PlannedCheck, WrappedFn,

@@ -25,6 +25,10 @@ use typelattice::{peek_cstr_len, repair_hint, RepairHint, SafePred};
 /// fault escaping the original function).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
+    /// Run the checks and journal violations, but let the call through
+    /// unchanged — the fleet's baseline posture, where crashes stay
+    /// visible so the remediation director has a signal to act on.
+    Observe,
     /// Reject the call: `errno = EINVAL`, containment value returned.
     /// The classic robustness wrapper.
     Contain,
@@ -117,16 +121,55 @@ impl ViolationClass {
     }
 }
 
+/// A shared, runtime-swappable table of per-function policy overrides —
+/// the knob the fleet's remediation director turns. Wrappers holding a
+/// clone consult it on every resolution, so a policy change applies to
+/// the *next* call with no rebuild and no restart.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyOverrides {
+    table: std::sync::Arc<parking_lot::Mutex<BTreeMap<String, Policy>>>,
+}
+
+impl PolicyOverrides {
+    /// An empty override table.
+    pub fn new() -> Self {
+        PolicyOverrides::default()
+    }
+
+    /// Sets (or replaces) the override for `func`.
+    pub fn set(&self, func: impl Into<String>, policy: Policy) {
+        self.table.lock().insert(func.into(), policy);
+    }
+
+    /// Removes the override for `func`, falling back to the engine's
+    /// static resolution.
+    pub fn clear(&self, func: &str) {
+        self.table.lock().remove(func);
+    }
+
+    /// The current override for `func`, if any.
+    pub fn get(&self, func: &str) -> Option<Policy> {
+        self.table.lock().get(func).copied()
+    }
+
+    /// A sorted snapshot of the current overrides.
+    pub fn snapshot(&self) -> BTreeMap<String, Policy> {
+        self.table.lock().clone()
+    }
+}
+
 /// Per-function, per-violation-class policy resolution.
 ///
-/// Resolution order, most specific wins:
-/// function + class, then function, then class, then the default.
+/// Resolution order, most specific wins: runtime override for the
+/// function, then function + class, then function, then class, then
+/// the default.
 #[derive(Debug, Clone)]
 pub struct PolicyEngine {
     default: Policy,
     by_class: BTreeMap<ViolationClass, Policy>,
     by_func: BTreeMap<String, Policy>,
     by_func_class: BTreeMap<(String, ViolationClass), Policy>,
+    overrides: Option<PolicyOverrides>,
 }
 
 impl PolicyEngine {
@@ -137,6 +180,7 @@ impl PolicyEngine {
             by_class: BTreeMap::new(),
             by_func: BTreeMap::new(),
             by_func_class: BTreeMap::new(),
+            overrides: None,
         }
     }
 
@@ -179,8 +223,23 @@ impl PolicyEngine {
         self
     }
 
+    /// Attaches a shared runtime override table. Overrides win over
+    /// every static rule, and attaching the table disables the
+    /// compiled fast path ([`PolicyEngine::uniform`] returns `None`):
+    /// a plan frozen at build time cannot honour a policy that may
+    /// change between calls.
+    pub fn with_overrides(mut self, overrides: PolicyOverrides) -> Self {
+        self.overrides = Some(overrides);
+        self
+    }
+
     /// The policy for a violation of `class` inside `func`.
     pub fn resolve(&self, func: &str, class: ViolationClass) -> Policy {
+        if let Some(ov) = &self.overrides {
+            if let Some(p) = ov.get(func) {
+                return p;
+            }
+        }
         if !self.by_func_class.is_empty() {
             if let Some(p) = self.by_func_class.get(&(func.to_string(), class)) {
                 return *p;
@@ -200,6 +259,9 @@ impl PolicyEngine {
     /// lets the call-plan compiler prove a check failure is equivalent
     /// to a plain rejection.
     pub fn uniform(&self) -> Option<Policy> {
+        if self.overrides.is_some() {
+            return None;
+        }
         if self.by_class.is_empty()
             && self.by_func.is_empty()
             && self.by_func_class.is_empty()
@@ -213,6 +275,11 @@ impl PolicyEngine {
     /// The policy consulted when the original function faults despite
     /// the argument checks (no violation class to key on).
     pub fn fault_policy(&self, func: &str) -> Policy {
+        if let Some(ov) = &self.overrides {
+            if let Some(p) = ov.get(func) {
+                return p;
+            }
+        }
         *self.by_func.get(func).unwrap_or(&self.default)
     }
 }

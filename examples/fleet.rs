@@ -1,0 +1,93 @@
+//! The fleet demo: hundreds of simulated application instances running
+//! under healing wrappers, shipping exit documents to the sharded
+//! collection service, while the remediation director watches windowed
+//! crash rates and walks `strcpy` up the escalation ladder — live, with
+//! no rebuild and no restart.
+//!
+//! ```text
+//! cargo run --release --example fleet -- --instances 256 --rounds 8
+//! ```
+//!
+//! `--gate` exits nonzero unless the run is lossless (every expected
+//! document merged, accounting balanced, nothing shed), the injected
+//! burst drove the Observe → Contain → Heal escalation, and a same-seed
+//! re-run renders a byte-identical fleet report — the CI fleet-smoke
+//! contract.
+
+use healers_core::{run_fleet_sim, FleetSimConfig};
+use profiler::{EscalationLevel, RemedyAction};
+
+fn arg_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let config = FleetSimConfig {
+        instances: arg_value(&args, "--instances").unwrap_or(256),
+        rounds: arg_value(&args, "--rounds").unwrap_or(8),
+        ..FleetSimConfig::default()
+    };
+
+    println!(
+        "running fleet: {} instances x {} rounds, {} shards\n",
+        config.instances, config.rounds, config.shards
+    );
+    let out = run_fleet_sim(&config);
+
+    println!("{}", out.fleet_report);
+    println!("{}", out.escalation_report);
+
+    if !gate {
+        return;
+    }
+
+    let mut failures = Vec::new();
+    if !out.lossless() {
+        failures.push(format!(
+            "acked-submission loss: {} docs merged of {} expected, accounting {:?}",
+            out.rollup.docs, out.expected_docs, out.accounting
+        ));
+    }
+    let escalated_to = |to: EscalationLevel| {
+        out.journal
+            .iter()
+            .any(|e| e.action == RemedyAction::Escalate && e.func == "strcpy" && e.to == to)
+    };
+    if !escalated_to(EscalationLevel::Contain) {
+        failures.push("burst did not escalate strcpy to Contain".into());
+    }
+    if !escalated_to(EscalationLevel::Heal) {
+        failures.push("residual crash rate did not escalate strcpy to Heal".into());
+    }
+    if out.journal.iter().any(|e| e.action == RemedyAction::Rollback) {
+        failures.push("an improving escalation was rolled back".into());
+    }
+
+    // Same-seed determinism: a second run must render byte-identically.
+    let rerun = run_fleet_sim(&config);
+    if rerun.fleet_report != out.fleet_report {
+        failures.push("same-seed re-run rendered a different fleet report".into());
+    }
+    if rerun.escalation_report != out.escalation_report {
+        failures.push("same-seed re-run rendered a different escalation journal".into());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "fleet gate OK: {} docs, {} crashes, {} escalation decisions, zero loss, deterministic",
+            out.rollup.docs,
+            out.rollup.crash_docs,
+            out.journal.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("fleet gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
