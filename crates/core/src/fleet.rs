@@ -28,6 +28,7 @@ pub fn policy_for(level: EscalationLevel) -> Policy {
         EscalationLevel::Observe => Policy::Observe,
         EscalationLevel::Contain => Policy::Contain,
         EscalationLevel::Heal => Policy::Heal,
+        EscalationLevel::Oblivious => Policy::Oblivious,
         EscalationLevel::Terminate => Policy::Terminate,
     }
 }

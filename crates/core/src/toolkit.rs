@@ -119,6 +119,28 @@ impl Toolkit {
         Some(analyzer::infer_contracts(soname, &protos, &simlibc::man_page))
     }
 
+    /// Functions whose inferred static contract tolerates a NULL input
+    /// (a `NullOk` fact at or above [`analyzer::NULL_OK_THRESHOLD`]):
+    /// the contract-derived default set for
+    /// [`WrapperConfig::oblivious_null_defaults`]. Under the oblivious
+    /// policy these functions' pointer returns are manufactured empty
+    /// strings instead of bare NULL.
+    pub fn oblivious_null_defaults(&self, soname: &str) -> Option<Vec<String>> {
+        let base = self.infer_contracts(soname)?;
+        Some(
+            base.functions
+                .values()
+                .filter(|c| {
+                    c.mentioned_params().into_iter().any(|i| {
+                        c.confidence(&analyzer::Fact::NullOk(i))
+                            >= analyzer::NULL_OK_THRESHOLD
+                    })
+                })
+                .map(|c| c.func.clone())
+                .collect(),
+        )
+    }
+
     /// [`Toolkit::derive_robust_api`] pre-seeded by static contract
     /// inference: facts above [`analyzer::PRESEED_THRESHOLD`] floor each
     /// parameter's candidate-type ladder, so the injector skips the rungs
@@ -255,6 +277,17 @@ impl Toolkit {
         let mut config = config.clone();
         if config.policy.is_none() {
             config.policy = self.healing_policy.clone();
+        }
+        // When the engine can go oblivious and the caller supplied no
+        // contract-derived defaults, derive them from the library's
+        // static contracts so manufactured values are context-selected
+        // out of the box.
+        let may_go_oblivious =
+            config.policy.as_ref().is_some_and(PolicyEngine::may_go_oblivious);
+        if may_go_oblivious && config.oblivious_null_defaults.is_empty() {
+            if let Some(defaults) = self.oblivious_null_defaults(&api.library) {
+                config.oblivious_null_defaults = defaults;
+            }
         }
         build_wrapper(WrapperKind::Healing, api, &config)
     }

@@ -27,6 +27,34 @@ impl GuardOracle {
         &self.registry
     }
 
+    /// The precise object containing `addr`, as `(base, size)`:
+    /// layered like the extent queries — a protected allocation's
+    /// payload and requested size first, then the live heap chunk's
+    /// payload bounds, then whatever contiguous writable region remains
+    /// (stack slot, data segment), reported from `addr` itself. `None`
+    /// when `addr` points at nothing writable at all (wild pointers,
+    /// free chunks, chunk headers, the wilderness). This is what
+    /// attributes an obliviously suppressed write to one object.
+    pub fn object_region(&self, proc: &Proc, addr: VirtAddr) -> Option<(VirtAddr, u64)> {
+        if let Some(alloc) = self.registry.region_of(addr) {
+            return Some((alloc.payload, alloc.requested));
+        }
+        if self.registry.contains(addr) {
+            return None; // guard word: never a legal write target
+        }
+        if simlibc::heap::in_heap(proc, addr) {
+            let chunks = simlibc::heap::walk(proc).ok()?;
+            let c = chunks.iter().find(|c| addr >= c.base && addr < c.base.add(c.size))?;
+            let payload = c.base.add(simlibc::heap::HDR);
+            if c.free || c.is_top || addr < payload {
+                return None;
+            }
+            return Some((payload, c.size - simlibc::heap::HDR));
+        }
+        let ext = HeapOracle::new().writable_extent(proc, addr)?;
+        Some((addr, ext))
+    }
+
     fn refined(&self, proc: &Proc, addr: VirtAddr) -> Option<Option<u64>> {
         // Registry first: requested size beats chunk size (the chunk
         // includes the guard word and rounding slack).
@@ -81,6 +109,29 @@ mod tests {
         assert_eq!(oracle.readable_extent(&p, guarded), Some(20));
         // The guard word itself is off limits.
         assert_eq!(oracle.writable_extent(&p, guarded.add(20)), None);
+    }
+
+    #[test]
+    fn object_region_names_a_precise_object() {
+        let mut p = libc_proc();
+        let registry = Arc::new(CanaryRegistry::new());
+        let oracle = GuardOracle::new(Arc::clone(&registry));
+        // Protected allocation: base and requested size, even from an
+        // interior pointer.
+        let guarded = heap::malloc(&mut p, 20 + CANARY_LEN).unwrap();
+        registry.protect(&mut p, guarded, 20).unwrap();
+        assert_eq!(oracle.object_region(&p, guarded.add(5)), Some((guarded, 20)));
+        assert_eq!(oracle.object_region(&p, guarded.add(20)), None, "guard word");
+        // Plain heap chunk: payload bounds from the chunk walk.
+        let plain = heap::malloc(&mut p, 24).unwrap();
+        let (base, size) = oracle.object_region(&p, plain.add(3)).unwrap();
+        assert_eq!(base, plain);
+        assert!(size >= 24);
+        // Freed chunk: no longer a legal object.
+        heap::free(&mut p, plain).unwrap();
+        assert_eq!(oracle.object_region(&p, plain), None);
+        // Wild pointer: nothing.
+        assert_eq!(oracle.object_region(&p, simproc::layout::WILD_ADDR), None);
     }
 
     #[test]

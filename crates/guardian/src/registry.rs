@@ -165,6 +165,19 @@ impl CanaryRegistry {
         }
     }
 
+    /// The protected allocation whose payload contains `addr`, if any —
+    /// the precise-object answer the oblivious shadow-write ledger needs
+    /// to attribute a suppressed write to a base address and size.
+    pub fn region_of(&self, addr: VirtAddr) -> Option<GuardedAlloc> {
+        let guard = self.live.lock();
+        let (_, alloc) = guard.sorted.range(..=addr.get()).next_back()?;
+        if addr >= alloc.payload && addr < alloc.payload.add(alloc.requested) {
+            Some(*alloc)
+        } else {
+            None
+        }
+    }
+
     /// Whether `addr` points inside any protected allocation (payload or
     /// guard word).
     pub fn contains(&self, addr: VirtAddr) -> bool {

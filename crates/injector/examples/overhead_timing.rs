@@ -11,7 +11,11 @@
 //! * `--json-wrapper` — machine-readable record (`BENCH_wrapper.json`
 //!   baseline is a snapshot of this);
 //! * `--json-mem`     — memory-oracle micro-bench record
-//!   (`BENCH_mem.json` baseline is a snapshot of this).
+//!   (`BENCH_mem.json` baseline is a snapshot of this);
+//! * `--json-oblivious` — failure-oblivious healing-wrapper record
+//!   (`BENCH_oblivious.json` baseline is a snapshot of this): the
+//!   accept path (valid call through the audited dynamic pipeline) and
+//!   the absorb path (every call a manufactured read + journal entry).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -19,7 +23,7 @@ use std::time::Instant;
 use cdecl::{parse_prototype, TypedefTable};
 use simproc::{Access, CVal, Proc, VirtAddr};
 use typelattice::{RobustApi, RobustFunction, SafePred};
-use wrappergen::{build_wrapper, WrapperConfig, WrapperKind};
+use wrappergen::{build_wrapper, Policy, PolicyEngine, WrapperConfig, WrapperKind};
 
 const WRAPPER_ITERS: u32 = 200_000;
 const MEM_ITERS: u32 = 1_000_000;
@@ -81,6 +85,43 @@ fn bench_wrapper() -> WrapperReport {
     // The tracing wrapper accumulates one log entry per call; drop them.
     tracing.log.lock().clear();
     WrapperReport { raw_ns, fast_ns, dynamic_ns, plan_active: fast.has_plan() }
+}
+
+struct ObliviousReport {
+    accept_ns: f64,
+    absorb_ns: f64,
+}
+
+/// The availability mode's per-call price: a healing wrapper whose
+/// uniform policy is `Oblivious` carries the audit ledger, so every
+/// call runs the dynamic pipeline. `accept` is the common case (valid
+/// arguments, checks pass); `absorb` is the worst case (every call a
+/// violation: manufactured read + ledger + journal entry).
+fn bench_oblivious() -> ObliviousReport {
+    let t = TypedefTable::with_builtins();
+    let api = RobustApi {
+        library: "libsimc.so.1".into(),
+        functions: vec![RobustFunction::new(
+            parse_prototype("size_t strlen(const char *s);", &t).unwrap(),
+            vec![SafePred::CStr],
+            true,
+        )],
+    };
+    let config = WrapperConfig {
+        policy: Some(PolicyEngine::new(Policy::Oblivious)),
+        ..WrapperConfig::default()
+    };
+    let lib = build_wrapper(WrapperKind::Healing, &api, &config);
+    let f = lib.get("strlen").unwrap();
+    assert!(!f.has_plan(), "the audited oblivious pipeline must stay dynamic");
+
+    let (mut p, s) = proc_with_hello();
+    let accept_ns = ns_per_call(&mut p, &[CVal::Ptr(s)], |p, a| f.call(p, a).unwrap());
+    let absorb_ns = ns_per_call(&mut p, &[CVal::NULL], |p, a| f.call(p, a).unwrap());
+    // The absorb path journals every call; drop the events, like the
+    // tracing log above.
+    lib.journal.clear();
+    ObliviousReport { accept_ns, absorb_ns }
 }
 
 struct MemReport {
@@ -147,6 +188,13 @@ fn main() {
                 w.plan_active
             );
         }
+        Some("--json-oblivious") => {
+            let o = bench_oblivious();
+            println!(
+                "{{\n  \"function\": \"strlen\",\n  \"iters\": {},\n  \"accept_ns_per_call\": {:.1},\n  \"absorb_ns_per_call\": {:.1},\n  \"plan_active\": false\n}}",
+                WRAPPER_ITERS, o.accept_ns, o.absorb_ns
+            );
+        }
         Some("--json-mem") => {
             let m = bench_mem();
             println!(
@@ -171,6 +219,14 @@ fn main() {
                 w.dynamic_ns - w.raw_ns,
                 (w.dynamic_ns / w.raw_ns - 1.0) * 100.0
             );
+            let o = bench_oblivious();
+            println!(
+                "  oblivious accept   {:8.1} ns/call  (+{:.1} ns, {:+.1}%)",
+                o.accept_ns,
+                o.accept_ns - w.raw_ns,
+                (o.accept_ns / w.raw_ns - 1.0) * 100.0
+            );
+            println!("  oblivious absorb   {:8.1} ns/call", o.absorb_ns);
             println!("memory oracle micro-ops x {MEM_ITERS}:");
             println!("  sequential peek (MRU hit)    {:8.1} ns/op", m.seq_read_u8_ns);
             println!("  alternating peek (bin search){:8.1} ns/op", m.rand_read_u8_ns);

@@ -282,11 +282,13 @@ impl CheckpointJournal {
     }
 
     /// Writes the durable form to `path`, atomically: the text is
-    /// written to a sibling `<path>.tmp`, synced to disk, then renamed
-    /// over `path`. A crash at any point leaves either the old journal
-    /// or the new one — never a truncated file, which is what a bare
-    /// `fs::write` risks and what PR 2's crash-resilient resume would
-    /// then misread.
+    /// written to a sibling `<path>.tmp`, synced to disk, renamed over
+    /// `path`, and the parent directory is then synced so the rename
+    /// itself is durable. A crash at any point leaves either the old
+    /// journal or the new one — never a truncated file, which is what a
+    /// bare `fs::write` risks and what PR 2's crash-resilient resume
+    /// would then misread, and never a lost rename, which a power cut
+    /// right after `rename` could otherwise produce.
     ///
     /// # Errors
     ///
@@ -303,7 +305,15 @@ impl CheckpointJournal {
         file.write_all(self.to_text().as_bytes())?;
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename only becomes durable once the directory entry is on
+        // disk; without this a crash immediately after checkpointing can
+        // resurrect the pre-rename journal despite the fsynced data.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()
     }
 
     /// Reads a journal previously written with [`CheckpointJournal::save`].

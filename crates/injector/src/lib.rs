@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod ablation;
 mod checkpoint;
 mod outcome;
 mod report;
 mod sandbox;
 mod search;
 
+pub use ablation::{run_policy_ablation, AblationArm};
 pub use checkpoint::{
     encode_case_key, function_fingerprint, hash_case_key, CheckpointError,
     CheckpointJournal, Fnv1a,
@@ -55,5 +57,5 @@ pub use search::{
     run_campaign_checkpointed_with_hints, run_campaign_parallel,
     run_campaign_parallel_checkpointed, run_campaign_with_hints, targets_from_simlibc,
     targets_from_simmath, CampaignConfig, CampaignResult, CrashCase, FunctionReport,
-    ParamResult, ReplaySummary, TargetFn,
+    NamedDispatch, ParamResult, ReplaySummary, TargetFn,
 };

@@ -73,6 +73,12 @@ fn main() {
     let shards4_kdocs_per_s = bench(4, &docs);
     let shards16_kdocs_per_s = bench(16, &docs);
     let docs_total = THREADS * DOCS_PER_THREAD;
+    // 4-shard vs 1-shard win, x100 (integer). Only meaningful with real
+    // parallelism: on a 1-core box both configurations serialize and
+    // this sits near 100 — `cores` records the provenance so gates can
+    // skip the comparison there.
+    let speedup_x100 =
+        (shards4_kdocs_per_s * 100).checked_div(shards1_kdocs_per_s).unwrap_or(0);
 
     if json {
         println!("{{");
@@ -81,7 +87,8 @@ fn main() {
         println!("  \"threads\": {THREADS},");
         println!("  \"shards1_kdocs_per_s\": {shards1_kdocs_per_s},");
         println!("  \"shards4_kdocs_per_s\": {shards4_kdocs_per_s},");
-        println!("  \"shards16_kdocs_per_s\": {shards16_kdocs_per_s}");
+        println!("  \"shards16_kdocs_per_s\": {shards16_kdocs_per_s},");
+        println!("  \"speedup_x100\": {speedup_x100}");
         println!("}}");
     } else {
         println!(
@@ -90,5 +97,6 @@ fn main() {
         println!("   1 shard   {shards1_kdocs_per_s:>7} kdocs/s");
         println!("   4 shards  {shards4_kdocs_per_s:>7} kdocs/s");
         println!("  16 shards  {shards16_kdocs_per_s:>7} kdocs/s");
+        println!("  4-shard/1-shard speedup: {speedup_x100}x100");
     }
 }

@@ -8,6 +8,7 @@ use simproc::errno::errno_name;
 
 use crate::flight::FlightRecord;
 use crate::journal::HealEvent;
+use crate::oblivious::ObliviousSnapshot;
 use crate::stats::Snapshot;
 
 /// Serialises a profiling snapshot into the self-describing document
@@ -76,7 +77,27 @@ pub fn to_xml_for_fleet(
     snap: &Snapshot,
     events: Option<&[HealEvent]>,
 ) -> String {
-    to_xml_fleet_opts(app, wrapper, Some(meta), snap, events, &[])
+    to_xml_fleet_opts(app, wrapper, Some(meta), snap, events, &[], None)
+}
+
+/// The full document form: everything [`to_xml_for_fleet`] carries plus
+/// the oblivious-execution audit as an `<oblivious>` section (one
+/// `<read>` per manufactured value, one `<write>` per suppressed
+/// out-of-bounds write with its precise-object attribution, one `<use>`
+/// per downstream call that consumed a tainted value). `meta` is
+/// optional, so standalone and fleet submitters share this entry point;
+/// an empty audit renders byte-identically to the audit-less forms —
+/// the section only appears when there is something to disclose.
+pub fn to_xml_with_oblivious(
+    app: &str,
+    wrapper: &str,
+    meta: Option<&FleetMeta>,
+    snap: &Snapshot,
+    events: Option<&[HealEvent]>,
+    flight: &[FlightRecord],
+    oblivious: &ObliviousSnapshot,
+) -> String {
+    to_xml_fleet_opts(app, wrapper, meta, snap, events, flight, Some(oblivious))
 }
 
 fn to_xml_opts(
@@ -86,7 +107,7 @@ fn to_xml_opts(
     events: Option<&[HealEvent]>,
     flight: &[FlightRecord],
 ) -> String {
-    to_xml_fleet_opts(app, wrapper, None, snap, events, flight)
+    to_xml_fleet_opts(app, wrapper, None, snap, events, flight, None)
 }
 
 fn to_xml_fleet_opts(
@@ -96,7 +117,9 @@ fn to_xml_fleet_opts(
     snap: &Snapshot,
     events: Option<&[HealEvent]>,
     flight: &[FlightRecord],
+    oblivious: Option<&ObliviousSnapshot>,
 ) -> String {
+    let oblivious = oblivious.filter(|o| !o.is_empty());
     let mut w = XmlWriter::new();
     let mut root_attrs = vec![
         ("application".to_string(), app.to_string()),
@@ -130,6 +153,9 @@ fn to_xml_fleet_opts(
     }
     if !flight.is_empty() {
         w.leaf("metric", &[("name", "flight-recorder")]);
+    }
+    if oblivious.is_some() {
+        w.leaf("metric", &[("name", "oblivious-audit")]);
     }
     w.close();
     for (name, f) in &snap.per_func {
@@ -219,6 +245,59 @@ fn to_xml_fleet_opts(
         }
         w.close();
     }
+    if let Some(o) = oblivious {
+        let arg_str = |arg: Option<usize>| {
+            arg.map(|i| (i + 1).to_string()).unwrap_or_else(|| "-".into())
+        };
+        w.open(
+            "oblivious",
+            &[
+                ("reads", &o.reads.len().to_string()),
+                ("writes", &o.writes.len().to_string()),
+                ("uses", &o.uses.len().to_string()),
+                ("dropped", &o.dropped.to_string()),
+            ],
+        );
+        for r in &o.reads {
+            w.leaf(
+                "read",
+                &[
+                    ("function", r.func.as_str()),
+                    ("arg", &arg_str(r.arg)),
+                    ("class", r.class.as_str()),
+                    ("role", r.role.as_str()),
+                    ("value", r.value.as_str()),
+                    ("detail", r.detail.as_str()),
+                ],
+            );
+        }
+        for s in &o.writes {
+            w.leaf(
+                "write",
+                &[
+                    ("function", s.func.as_str()),
+                    ("arg", &arg_str(s.arg)),
+                    ("addr", &format!("{:#x}", s.addr)),
+                    ("object-base", &format!("{:#x}", s.object_base)),
+                    ("object-extent", &s.object_extent.to_string()),
+                    ("attempted", &s.attempted.to_string()),
+                    ("clipped", &s.clipped.to_string()),
+                    ("detail", s.detail.as_str()),
+                ],
+            );
+        }
+        for u in &o.uses {
+            w.leaf(
+                "use",
+                &[
+                    ("function", u.func.as_str()),
+                    ("arg", &(u.arg + 1).to_string()),
+                    ("value", u.value.as_str()),
+                ],
+            );
+        }
+        w.close();
+    }
     w.close();
     w.finish()
 }
@@ -284,6 +363,12 @@ pub struct FleetDoc {
     pub functions: Vec<FleetFunc>,
     /// Number of healing-journal events the document carries.
     pub heal_events: u64,
+    /// Manufactured oblivious reads the document discloses.
+    pub oblivious_reads: u64,
+    /// Suppressed out-of-bounds writes the document discloses.
+    pub oblivious_writes: u64,
+    /// Downstream tainted-value consumptions the document discloses.
+    pub oblivious_uses: u64,
 }
 
 fn attr_in<'a>(s: &'a str, key: &str) -> Option<&'a str> {
@@ -341,6 +426,14 @@ pub fn parse_fleet_document(doc: &str) -> Result<FleetDoc, &'static str> {
     if let Some(pos) = rest.find("<healing events=\"") {
         out.heal_events =
             attr_in(&rest[pos..], "events").and_then(|v| v.parse().ok()).unwrap_or(0);
+    }
+    if let Some(pos) = rest.find("<oblivious ") {
+        let tag_end = rest[pos..].find('>').map(|e| e + pos).unwrap_or(rest.len());
+        let otag = &rest[pos..tag_end];
+        let count = |key| attr_in(otag, key).and_then(|v| v.parse().ok()).unwrap_or(0);
+        out.oblivious_reads = count("reads");
+        out.oblivious_writes = count("writes");
+        out.oblivious_uses = count("uses");
     }
     Ok(out)
 }
@@ -466,5 +559,67 @@ mod tests {
         let plain = to_xml("app", "profiling", &snap);
         let flight = to_xml_with_flight("app", "profiling", &snap, None, &[]);
         assert_eq!(plain, flight);
+    }
+
+    #[test]
+    fn oblivious_section_is_self_describing() {
+        use crate::oblivious::{
+            ManufacturedRead, ObliviousSnapshot, ShadowWrite, TaintedUse,
+        };
+        let snap = ObliviousSnapshot {
+            reads: vec![ManufacturedRead {
+                func: "strlen".into(),
+                arg: Some(0),
+                class: "null-pointer".into(),
+                role: "cstr-scan".into(),
+                value: "0".into(),
+                detail: "NULL scanned as empty string".into(),
+            }],
+            writes: vec![ShadowWrite {
+                func: "strcpy".into(),
+                arg: Some(0),
+                addr: 0x5000,
+                object_base: 0x5000,
+                object_extent: 8,
+                attempted: 20,
+                clipped: 12,
+                detail: "overflowing copy suppressed".into(),
+            }],
+            uses: vec![TaintedUse { func: "puts".into(), arg: 0, value: "0x5000".into() }],
+            dropped: 0,
+        };
+        let doc =
+            to_xml_with_oblivious("editor", "healing", None, &sample(), None, &[], &snap);
+        assert!(doc.contains("name=\"oblivious-audit\""), "{doc}");
+        assert!(
+            doc.contains("<oblivious reads=\"1\" writes=\"1\" uses=\"1\" dropped=\"0\">"),
+            "{doc}"
+        );
+        assert!(doc.contains("role=\"cstr-scan\""), "{doc}");
+        assert!(doc.contains("object-base=\"0x5000\""), "{doc}");
+        assert!(doc.contains("clipped=\"12\""), "{doc}");
+        assert!(doc.contains("<use function=\"puts\" arg=\"1\""), "{doc}");
+        // Fleet ingest decodes the disclosure counts.
+        let parsed = parse_fleet_document(&doc).unwrap();
+        assert_eq!(parsed.oblivious_reads, 1);
+        assert_eq!(parsed.oblivious_writes, 1);
+        assert_eq!(parsed.oblivious_uses, 1);
+    }
+
+    #[test]
+    fn empty_oblivious_audit_matches_plain_document() {
+        let snap = sample();
+        let plain = to_xml("app", "profiling", &snap);
+        let audited = to_xml_with_oblivious(
+            "app",
+            "profiling",
+            None,
+            &snap,
+            None,
+            &[],
+            &crate::oblivious::ObliviousSnapshot::default(),
+        );
+        assert_eq!(plain, audited, "no silent section, no silent difference");
+        assert!(!plain.contains("oblivious"));
     }
 }

@@ -495,10 +495,14 @@ impl FleetCollector {
     }
 
     /// Submits with the policy's back-pressure resolved in place: retry
-    /// signals are honoured (bounded backoff between attempts) until the
-    /// document is accepted or definitively shed. Returns `true` only
-    /// for an accepted (and therefore collected) document.
+    /// signals are honoured with a capped exponential backoff plus
+    /// deterministic, seeded jitter (so a storm of retrying submitters
+    /// de-synchronises without any wall-clock or RNG dependency) until
+    /// the document is accepted or definitively shed. Returns `true`
+    /// only for an accepted (and therefore collected) document.
     pub fn submit_until_accepted(&self, document: &str) -> bool {
+        let salt = document.len() as u64;
+        let mut attempt = 0u32;
         loop {
             match self.submit(document) {
                 SubmitOutcome::Accepted => return true,
@@ -507,12 +511,35 @@ impl FleetCollector {
                     if backoff_micros == 0 {
                         std::thread::yield_now();
                     } else {
-                        std::thread::sleep(Duration::from_micros(backoff_micros.min(500)));
+                        let micros = retry_backoff_micros(backoff_micros, attempt, salt);
+                        std::thread::sleep(Duration::from_micros(micros));
                     }
+                    attempt = attempt.saturating_add(1);
                 }
             }
         }
     }
+}
+
+/// Maximum sleep between retry attempts, in microseconds. The hinted
+/// backoff doubles each attempt up to this cap; the jitter never pushes
+/// the total past it.
+const RETRY_BACKOFF_CAP_MICROS: u64 = 500;
+
+/// The backoff schedule for [`FleetCollector::submit_until_accepted`]:
+/// the policy's `hint` doubled per `attempt`, capped at
+/// [`RETRY_BACKOFF_CAP_MICROS`], plus deterministic jitter derived from
+/// `(salt, attempt)` by a splitmix64 finalizer — same inputs, same
+/// delay, every run — spanning up to half the exponential term so
+/// synchronized retry storms spread out.
+fn retry_backoff_micros(hint: u64, attempt: u32, salt: u64) -> u64 {
+    let hint = hint.max(1);
+    let exp = hint.saturating_mul(1u64 << attempt.min(9)).min(RETRY_BACKOFF_CAP_MICROS);
+    let mut z = salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (exp + z % (exp / 2 + 1)).min(RETRY_BACKOFF_CAP_MICROS)
 }
 
 /// The sharded, back-pressured fleet collection service. Construction
@@ -801,6 +828,34 @@ mod tests {
         assert_eq!(out.accounting.shed_total(), 0);
         assert_eq!(out.rollup.docs, 200);
         assert!(out.accounting.balanced());
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_and_deterministic() {
+        // Deterministic: same (hint, attempt, salt) → same delay.
+        for attempt in 0..12 {
+            assert_eq!(
+                retry_backoff_micros(10, attempt, 42),
+                retry_backoff_micros(10, attempt, 42)
+            );
+        }
+        // Capped: never exceeds the ceiling, whatever the inputs.
+        for attempt in 0..64 {
+            for salt in [0u64, 1, 97, u64::MAX] {
+                assert!(retry_backoff_micros(50, attempt, salt) <= 500);
+                assert!(retry_backoff_micros(u64::MAX, attempt, salt) <= 500);
+            }
+        }
+        // Exponential: the un-jittered floor doubles until the cap.
+        assert!(retry_backoff_micros(10, 4, 0) >= 10 * 16 - 1);
+        assert!(retry_backoff_micros(10, 0, 7) >= 10);
+        // Jitter spreads distinct salts at the same attempt.
+        let delays: std::collections::BTreeSet<u64> =
+            (0..32u64).map(|salt| retry_backoff_micros(10, 1, salt)).collect();
+        assert!(delays.len() > 4, "jitter must spread submitters: {delays:?}");
+        // A zero hint is treated as the minimum granularity, not a
+        // divide-by-zero or a busy spin.
+        assert!(retry_backoff_micros(0, 0, 0) >= 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod doc;
 mod fleet;
 mod flight;
 mod journal;
+mod oblivious;
 mod remedy;
 mod report;
 mod server;
@@ -44,7 +45,8 @@ mod stats;
 
 pub use doc::{
     parse_fleet_document, parse_header_fields, to_xml, to_xml_for_fleet,
-    to_xml_with_flight, to_xml_with_healing, FleetDoc, FleetFunc, FleetMeta,
+    to_xml_with_flight, to_xml_with_healing, to_xml_with_oblivious, FleetDoc, FleetFunc,
+    FleetMeta,
 };
 pub use fleet::{
     AppHealth, FleetAccounting, FleetCollected, FleetCollector, FleetConfig, FleetRollup,
@@ -52,13 +54,17 @@ pub use fleet::{
 };
 pub use flight::{FlightRecord, FlightRecorder, MAX_ARGS_LEN};
 pub use journal::{HealAction, HealEvent, HealingJournal};
+pub use oblivious::{
+    ManufacturedRead, ObliviousAudit, ObliviousSnapshot, ShadowWrite, TaintedUse,
+    OBLIVIOUS_LEDGER_CAP,
+};
 pub use remedy::{
     Director, DirectorConfig, EscalationLevel, PolicyChange, RemedyAction, RemedyEvent,
 };
 pub use report::{
-    render_escalation_report, render_fault_report, render_fleet_report, render_lint_report,
-    render_report, render_report_with_healing, render_robust_api_health,
-    render_worker_report, LintLine, WorkerLine,
+    render_ablation_report, render_escalation_report, render_fault_report,
+    render_fleet_report, render_lint_report, render_report, render_report_with_healing,
+    render_robust_api_health, render_worker_report, AblationLine, LintLine, WorkerLine,
 };
 pub use server::{
     Collected, CollectionServer, Collector, RejectedSample, Submission,

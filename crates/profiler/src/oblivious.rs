@@ -1,0 +1,268 @@
+//! The oblivious-execution audit: every value the context-aware
+//! failure-oblivious engine manufactures, every out-of-bounds write it
+//! suppresses, and every later call that consumed one of those
+//! manufactured values. HEALERS' availability mode is only honest if
+//! nothing is absorbed silently — this ledger is what the exit/fault
+//! XML's `<oblivious>` section and the policy-ablation report read.
+//!
+//! All three ledgers are bounded; overflow is counted, never dropped
+//! silently. Recording is deterministic (no clocks, no RNG), so
+//! same-seed campaigns produce byte-identical audits.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default per-ledger entry cap.
+pub const OBLIVIOUS_LEDGER_CAP: usize = 256;
+
+/// One manufactured read: a check or fault the engine answered with a
+/// context-selected benign value instead of letting the call proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManufacturedRead {
+    /// Wrapped function that absorbed the violation.
+    pub func: String,
+    /// Zero-based argument index the violation was attributed to, if
+    /// argument-level (`None` for whole-call fault absorption).
+    pub arg: Option<usize>,
+    /// Violation class tag (`null-pointer`, `buffer-overflow`, ...).
+    pub class: String,
+    /// The argument role that selected the value (`cstr-scan`,
+    /// `buf-len-read`, `contract-default`, ...).
+    pub role: String,
+    /// The manufactured value, rendered.
+    pub value: String,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// One suppressed out-of-bounds write, attributed to a precise object
+/// via the guardian oracle's region introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowWrite {
+    /// Wrapped function whose write was suppressed.
+    pub func: String,
+    /// Zero-based index of the destination argument.
+    pub arg: Option<usize>,
+    /// Destination address of the suppressed write.
+    pub addr: u64,
+    /// Base of the object the destination resolves to (0 when the
+    /// pointer resolves to no object at all).
+    pub object_base: u64,
+    /// Size of that object in bytes.
+    pub object_extent: u64,
+    /// Bytes the call would have written (0 when unmeasurable).
+    pub attempted: u64,
+    /// Bytes that fell outside the object — the corruption clipped.
+    pub clipped: u64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// A downstream call that consumed a manufactured (tainted) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintedUse {
+    /// The consuming function.
+    pub func: String,
+    /// Zero-based argument index where the tainted value appeared.
+    pub arg: usize,
+    /// The tainted value, rendered.
+    pub value: String,
+}
+
+/// Point-in-time copy of the audit, for XML rendering and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObliviousSnapshot {
+    /// Manufactured reads, in record order.
+    pub reads: Vec<ManufacturedRead>,
+    /// Suppressed writes, in record order.
+    pub writes: Vec<ShadowWrite>,
+    /// Downstream consumptions of tainted values, in record order.
+    pub uses: Vec<TaintedUse>,
+    /// Entries dropped because a ledger hit its cap (reads, writes,
+    /// uses) — non-zero means the ledgers undercount but say so.
+    pub dropped: u64,
+}
+
+impl ObliviousSnapshot {
+    /// `true` when nothing was recorded (and nothing overflowed).
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && self.uses.is_empty()
+            && self.dropped == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct AuditInner {
+    reads: Vec<ManufacturedRead>,
+    writes: Vec<ShadowWrite>,
+    uses: Vec<TaintedUse>,
+    dropped: u64,
+    /// Non-null manufactured values, for downstream taint matching.
+    taint: BTreeSet<u64>,
+}
+
+/// The bounded oblivious-execution ledger shared by every hook of a
+/// wrapper library. Cheap to clone (`Arc` inside), thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct ObliviousAudit {
+    inner: Arc<Mutex<AuditInner>>,
+    cap: usize,
+}
+
+impl ObliviousAudit {
+    /// An audit with the default ledger cap.
+    pub fn new() -> Self {
+        Self::with_cap(OBLIVIOUS_LEDGER_CAP)
+    }
+
+    /// An audit bounding each ledger at `cap` entries.
+    pub fn with_cap(cap: usize) -> Self {
+        ObliviousAudit { inner: Arc::default(), cap: cap.max(1) }
+    }
+
+    /// Records a manufactured read and marks its value tainted.
+    pub fn record_read(&self, read: ManufacturedRead, taint_value: Option<u64>) {
+        let mut inner = self.inner.lock();
+        if let Some(v) = taint_value {
+            if v != 0 {
+                inner.taint.insert(v);
+            }
+        }
+        if inner.reads.len() < self.cap {
+            inner.reads.push(read);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Records a suppressed write.
+    pub fn record_write(&self, write: ShadowWrite) {
+        let mut inner = self.inner.lock();
+        if inner.writes.len() < self.cap {
+            inner.writes.push(write);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Records a downstream call consuming a tainted value.
+    pub fn record_use(&self, used: TaintedUse) {
+        let mut inner = self.inner.lock();
+        if inner.uses.len() < self.cap {
+            inner.uses.push(used);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Whether `value` was previously manufactured by this audit
+    /// (NULL/zero is never tracked: it is indistinguishable from a
+    /// legitimate zero).
+    pub fn is_tainted(&self, value: u64) -> bool {
+        value != 0 && self.inner.lock().taint.contains(&value)
+    }
+
+    /// Total recorded entries across all three ledgers.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.reads.len() + inner.writes.len() + inner.uses.len()
+    }
+
+    /// `true` when nothing has been recorded or dropped.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.reads.is_empty()
+            && inner.writes.is_empty()
+            && inner.uses.is_empty()
+            && inner.dropped == 0
+    }
+
+    /// A point-in-time copy for rendering.
+    pub fn snapshot(&self) -> ObliviousSnapshot {
+        let inner = self.inner.lock();
+        ObliviousSnapshot {
+            reads: inner.reads.clone(),
+            writes: inner.writes.clone(),
+            uses: inner.uses.clone(),
+            dropped: inner.dropped,
+        }
+    }
+
+    /// Clears every ledger and the taint set.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.reads.clear();
+        inner.writes.clear();
+        inner.uses.clear();
+        inner.taint.clear();
+        inner.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(func: &str) -> ManufacturedRead {
+        ManufacturedRead {
+            func: func.into(),
+            arg: Some(0),
+            class: "null-pointer".into(),
+            role: "cstr-scan".into(),
+            value: "0".into(),
+            detail: "NULL scanned as empty string".into(),
+        }
+    }
+
+    #[test]
+    fn ledgers_record_and_snapshot() {
+        let audit = ObliviousAudit::new();
+        assert!(audit.is_empty());
+        audit.record_read(read("strlen"), None);
+        audit.record_write(ShadowWrite {
+            func: "strcpy".into(),
+            arg: Some(0),
+            addr: 0x1000,
+            object_base: 0x1000,
+            object_extent: 8,
+            attempted: 12,
+            clipped: 4,
+            detail: "overflow suppressed".into(),
+        });
+        audit.record_use(TaintedUse { func: "puts".into(), arg: 0, value: "1".into() });
+        assert_eq!(audit.len(), 3);
+        let snap = audit.snapshot();
+        assert_eq!(snap.reads.len(), 1);
+        assert_eq!(snap.writes[0].clipped, 4);
+        assert_eq!(snap.uses[0].func, "puts");
+        assert!(!snap.is_empty());
+        audit.clear();
+        assert!(audit.is_empty());
+    }
+
+    #[test]
+    fn taint_tracks_nonzero_manufactured_values_only() {
+        let audit = ObliviousAudit::new();
+        audit.record_read(read("strlen"), Some(0));
+        assert!(!audit.is_tainted(0), "zero is never tainted");
+        audit.record_read(read("strdup"), Some(0x4000));
+        assert!(audit.is_tainted(0x4000));
+        assert!(!audit.is_tainted(0x4001));
+    }
+
+    #[test]
+    fn caps_count_overflow_instead_of_silently_dropping() {
+        let audit = ObliviousAudit::with_cap(2);
+        for _ in 0..5 {
+            audit.record_read(read("strlen"), None);
+        }
+        let snap = audit.snapshot();
+        assert_eq!(snap.reads.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert!(!snap.is_empty(), "overflow keeps the audit non-empty");
+    }
+}

@@ -10,6 +10,7 @@
 //! | Observe | checks run, violations journaled, call passes through |
 //! | Contain | violating calls rejected with an error return |
 //! | Heal | violating arguments repaired, call proceeds |
+//! | Oblivious | reads answered with manufactured values, out-of-bounds writes suppressed and audited — the process keeps serving |
 //! | Terminate | violating process stopped |
 //!
 //! Every decision is driven by integer fixed-point arithmetic over the
@@ -42,6 +43,10 @@ pub enum EscalationLevel {
     Contain,
     /// Violating arguments are repaired and the call proceeds.
     Heal,
+    /// Availability mode: violating reads are answered with manufactured
+    /// context-selected values, out-of-bounds writes are suppressed and
+    /// ledgered — the process keeps serving, every absorption audited.
+    Oblivious,
     /// The violating process is stopped.
     Terminate,
 }
@@ -53,6 +58,7 @@ impl EscalationLevel {
             EscalationLevel::Observe => "observe",
             EscalationLevel::Contain => "contain",
             EscalationLevel::Heal => "heal",
+            EscalationLevel::Oblivious => "oblivious",
             EscalationLevel::Terminate => "terminate",
         }
     }
@@ -62,7 +68,8 @@ impl EscalationLevel {
         match self {
             EscalationLevel::Observe => Some(EscalationLevel::Contain),
             EscalationLevel::Contain => Some(EscalationLevel::Heal),
-            EscalationLevel::Heal => Some(EscalationLevel::Terminate),
+            EscalationLevel::Heal => Some(EscalationLevel::Oblivious),
+            EscalationLevel::Oblivious => Some(EscalationLevel::Terminate),
             EscalationLevel::Terminate => None,
         }
     }
@@ -73,7 +80,8 @@ impl EscalationLevel {
             EscalationLevel::Observe => None,
             EscalationLevel::Contain => Some(EscalationLevel::Observe),
             EscalationLevel::Heal => Some(EscalationLevel::Contain),
-            EscalationLevel::Terminate => Some(EscalationLevel::Heal),
+            EscalationLevel::Oblivious => Some(EscalationLevel::Heal),
+            EscalationLevel::Terminate => Some(EscalationLevel::Oblivious),
         }
     }
 }
@@ -435,6 +443,17 @@ mod tests {
 
     fn director() -> Director {
         Director::new(DirectorConfig::default())
+    }
+
+    #[test]
+    fn ladder_places_oblivious_between_heal_and_terminate() {
+        assert_eq!(EscalationLevel::Heal.next(), Some(EscalationLevel::Oblivious));
+        assert_eq!(EscalationLevel::Oblivious.next(), Some(EscalationLevel::Terminate));
+        assert_eq!(EscalationLevel::Oblivious.prev(), Some(EscalationLevel::Heal));
+        assert_eq!(EscalationLevel::Terminate.prev(), Some(EscalationLevel::Oblivious));
+        assert!(EscalationLevel::Heal < EscalationLevel::Oblivious);
+        assert!(EscalationLevel::Oblivious < EscalationLevel::Terminate);
+        assert_eq!(EscalationLevel::Oblivious.tag(), "oblivious");
     }
 
     #[test]

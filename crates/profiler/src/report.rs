@@ -208,6 +208,83 @@ pub fn render_lint_report(library: &str, lines: &[LintLine]) -> String {
     out
 }
 
+/// One (function, policy) row of a policy-ablation study, pre-rendered
+/// by the injector into the profiler's report vocabulary — like
+/// [`LintLine`], the profiler knows nothing about wrapper policies; it
+/// renders whatever rows the replay produced, deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AblationLine {
+    /// Wrapped function the cases were replayed against.
+    pub func: String,
+    /// Policy label (e.g. `terminate`, `heal`, `oblivious`).
+    pub policy: String,
+    /// Crash cases replayed under this policy.
+    pub replayed: u64,
+    /// Cases that survived: the call returned normally or as a graceful
+    /// errno error (the paper's availability measure).
+    pub survived: u64,
+    /// Cases that "survived" while corrupting process state — Ballista's
+    /// Silent class, the cost side of failure-oblivious execution.
+    pub corruption_escaped: u64,
+    /// Survivals attributable to an audited absorption (manufactured
+    /// read, suppressed write or healing action on the record).
+    pub absorbed_audited: u64,
+    /// Survivals with **no** audit trace — each one is a violation of
+    /// the no-silent-absorption contract and must be zero for a
+    /// deployable oblivious wrapper.
+    pub unaudited_escapes: u64,
+}
+
+/// Renders the policy-ablation section: one line per (function, policy)
+/// sorted by function then policy, followed by a per-policy totals
+/// block. Input order never matters, so two same-seed replays render
+/// byte-identically.
+pub fn render_ablation_report(library: &str, lines: &[AblationLine]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Policy ablation for `{library}`:");
+    if lines.is_empty() {
+        let _ = writeln!(out, "  (no crash cases replayed)");
+        return out;
+    }
+    let mut sorted: Vec<&AblationLine> = lines.iter().collect();
+    sorted.sort_by(|a, b| a.func.cmp(&b.func).then_with(|| a.policy.cmp(&b.policy)));
+    let _ = writeln!(
+        out,
+        "  {:<14} {:<10} {:>8} {:>9} {:>8} {:>8} {:>10}",
+        "function", "policy", "replayed", "survived", "escaped", "audited", "unaudited"
+    );
+    for l in &sorted {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<10} {:>8} {:>9} {:>8} {:>8} {:>10}",
+            l.func,
+            l.policy,
+            l.replayed,
+            l.survived,
+            l.corruption_escaped,
+            l.absorbed_audited,
+            l.unaudited_escapes
+        );
+    }
+    let mut by_policy: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
+    for l in &sorted {
+        let t = by_policy.entry(l.policy.as_str()).or_insert((0, 0, 0, 0));
+        t.0 += l.replayed;
+        t.1 += l.survived;
+        t.2 += l.corruption_escaped;
+        t.3 += l.unaudited_escapes;
+    }
+    let _ = writeln!(out, "\n  Per-policy totals:");
+    for (policy, (replayed, survived, escaped, unaudited)) in &by_policy {
+        let _ = writeln!(
+            out,
+            "    {:<10} {}/{} survived, {} corruption escaped, {} unaudited",
+            policy, survived, replayed, escaped, unaudited
+        );
+    }
+    out
+}
+
 /// Per-worker campaign metrics, pre-rendered by the injector into the
 /// profiler's report vocabulary — like [`LintLine`], the profiler knows
 /// nothing about campaigns; it renders whatever rows the workers
@@ -579,6 +656,38 @@ mod tests {
 
         let clean = render_lint_report("libsimc.so.1", &[]);
         assert!(clean.contains("no findings"), "{clean}");
+    }
+
+    #[test]
+    fn ablation_report_renders_sorted_with_policy_totals() {
+        let mk = |func: &str, policy: &str, survived: u64, escaped: u64| AblationLine {
+            func: func.into(),
+            policy: policy.into(),
+            replayed: 10,
+            survived,
+            corruption_escaped: escaped,
+            absorbed_audited: survived,
+            unaudited_escapes: 0,
+        };
+        let lines = vec![
+            mk("strcpy", "terminate", 0, 0),
+            mk("memcpy", "oblivious", 9, 1),
+            mk("strcpy", "oblivious", 10, 0),
+        ];
+        let r1 = render_ablation_report("libsimc.so.1", &lines);
+        let mut reversed = lines.clone();
+        reversed.reverse();
+        let r2 = render_ablation_report("libsimc.so.1", &reversed);
+        assert_eq!(r1, r2, "input order must not matter");
+        let memcpy = r1.find("memcpy").unwrap();
+        let strcpy = r1.find("strcpy").unwrap();
+        assert!(memcpy < strcpy, "{r1}");
+        assert!(r1.contains("Per-policy totals:"), "{r1}");
+        assert!(r1.contains("oblivious  19/20 survived, 1 corruption escaped"), "{r1}");
+        assert!(r1.contains("terminate  0/10 survived, 0 corruption escaped"), "{r1}");
+
+        let empty = render_ablation_report("libsimc.so.1", &[]);
+        assert!(empty.contains("no crash cases replayed"), "{empty}");
     }
 
     #[test]

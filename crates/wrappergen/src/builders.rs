@@ -4,12 +4,12 @@
 //! wrapper types of Figure 1 (security / robustness / profiling) are
 //! built here from the same micro-generator parts.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use guardian::{CanaryRegistry, GuardOracle};
 use parking_lot::Mutex;
-use profiler::{Collector, FlightRecorder, HealingJournal, Stats};
+use profiler::{Collector, FlightRecorder, HealingJournal, ObliviousAudit, Stats};
 use simproc::HostFn;
 use typelattice::{RobustApi, SafePred};
 
@@ -94,6 +94,11 @@ pub struct WrapperLibrary {
     pub log: CallLog,
     /// Healing audit journal (populated by healing wrappers).
     pub journal: Arc<HealingJournal>,
+    /// Oblivious-execution audit ledger — present only when the policy
+    /// engine can resolve to [`crate::Policy::Oblivious`] somewhere
+    /// (default, per-function/class rule, or live overrides), so plain
+    /// healing wrappers keep their compiled fast paths.
+    pub oblivious: Option<ObliviousAudit>,
     /// Flight recorder ring shared by every wrapped function — present
     /// only when [`WrapperConfig::flight_recorder`] asked for one.
     pub recorder: Option<Arc<FlightRecorder>>,
@@ -174,6 +179,11 @@ pub struct WrapperConfig {
     /// call plans. The ring is shared library-wide and surfaces via
     /// [`WrapperLibrary::recorder`] and the exit document.
     pub flight_recorder: Option<usize>,
+    /// Functions whose static contract (analyzer `NullOk` facts) marks
+    /// string inputs as NULL-tolerant: under [`crate::Policy::Oblivious`]
+    /// their pointer returns are manufactured empty strings instead of
+    /// NULL — contract-derived defaults.
+    pub oblivious_null_defaults: Vec<String>,
 }
 
 /// Whether a predicate guards *writes* (what the security wrapper
@@ -226,6 +236,12 @@ pub fn build_wrapper_with_impls(
     let oracle = GuardOracle::new(Arc::clone(&registry));
     let engine = config.policy.clone().unwrap_or_else(PolicyEngine::healing);
     let recorder = config.flight_recorder.map(|cap| Arc::new(FlightRecorder::new(cap)));
+    // The audit (and the dynamic pipeline it forces) is paid for only
+    // when some route through the engine can actually go oblivious.
+    let oblivious = (kind == WrapperKind::Healing && engine.may_go_oblivious())
+        .then(ObliviousAudit::new);
+    let contract_defaults: Arc<BTreeSet<String>> =
+        Arc::new(config.oblivious_null_defaults.iter().cloned().collect());
 
     let mut fns = BTreeMap::new();
     let mut warnings = Vec::new();
@@ -368,6 +384,9 @@ pub fn build_wrapper_with_impls(
                         if let Some(rec) = &recorder {
                             report = report.with_flight(Arc::clone(rec));
                         }
+                        if let Some(audit) = &oblivious {
+                            report = report.with_oblivious(audit.clone());
+                        }
                         hooks.push(Arc::new(report));
                     }
                 } else {
@@ -382,6 +401,11 @@ pub fn build_wrapper_with_impls(
                         engine.clone(),
                         Arc::clone(&journal),
                     );
+                    if let Some(audit) = &oblivious {
+                        check = check
+                            .with_oblivious(audit.clone())
+                            .with_contract_defaults(Arc::clone(&contract_defaults));
+                    }
                     if config.latency_histograms {
                         // The healing pipeline is dynamic anyway (the
                         // journal forbids compiled plans), so stage
@@ -461,6 +485,7 @@ pub fn build_wrapper_with_impls(
         registry,
         log,
         journal,
+        oblivious,
         recorder,
         warnings,
     }
@@ -518,6 +543,7 @@ impl WrapperBuilder {
             registry: Arc::new(CanaryRegistry::new()),
             log: Arc::new(Mutex::new(Vec::new())),
             journal: Arc::new(HealingJournal::new()),
+            oblivious: None,
             recorder: None,
             warnings: Vec::new(),
         }

@@ -1,13 +1,18 @@
 //! The concrete runtime hooks: one per micro-generator family.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use cdecl::CType;
 use guardian::{CanaryRegistry, GuardOracle, CANARY_LEN};
-use profiler::{Collector, FlightRecorder, HealAction, HealEvent, HealingJournal, Stats};
+use profiler::{
+    Collector, FlightRecorder, HealAction, HealEvent, HealingJournal, ManufacturedRead,
+    ObliviousAudit, Stats, TaintedUse,
+};
 use simproc::{errno, CVal, Fault, VirtAddr};
 use typelattice::SafePred;
 
+use crate::oblivious::{oblivious_fault_value, oblivious_outcome, ObliviousCx};
 use crate::policy::{apply_repair, Policy, PolicyEngine, ViolationClass};
 use crate::runtime::{
     containment_value, reject, CallCx, CallLog, FailAction, FaultDecision, Hook,
@@ -32,6 +37,15 @@ pub struct ArgCheckHook {
     /// Where the predicates came from (`"campaign"` unless overridden
     /// with [`ArgCheckHook::with_provenance`]).
     provenance: &'static str,
+    /// When set, every oblivious absorption (manufactured read,
+    /// suppressed write) and every downstream consumption of a tainted
+    /// manufactured value is ledgered here. Forces the dynamic pipeline:
+    /// taint tracking is a per-call side effect.
+    oblivious: Option<ObliviousAudit>,
+    /// Functions whose static contract marks violated string inputs as
+    /// NULL-tolerant — the oblivious engine manufactures a real empty
+    /// string for their pointer returns instead of NULL.
+    contract_defaults: Arc<BTreeSet<String>>,
 }
 
 impl std::fmt::Debug for ArgCheckHook {
@@ -56,6 +70,8 @@ impl ArgCheckHook {
             journal: None,
             stats: None,
             provenance: "campaign",
+            oblivious: None,
+            contract_defaults: Arc::default(),
         }
     }
 
@@ -75,7 +91,28 @@ impl ArgCheckHook {
             journal: Some(journal),
             stats: None,
             provenance: "campaign",
+            oblivious: None,
+            contract_defaults: Arc::default(),
         }
+    }
+
+    /// Attaches the oblivious-execution audit: every manufactured read,
+    /// suppressed write and downstream tainted-value consumption is
+    /// ledgered. Keeps the hook on the dynamic pipeline (taint tracking
+    /// observes every call).
+    #[must_use]
+    pub fn with_oblivious(mut self, audit: ObliviousAudit) -> Self {
+        self.oblivious = Some(audit);
+        self
+    }
+
+    /// Names the functions whose static contract tolerates NULL string
+    /// inputs — for these, the oblivious engine's pointer returns are
+    /// manufactured empty strings rather than NULL.
+    #[must_use]
+    pub fn with_contract_defaults(mut self, names: Arc<BTreeSet<String>>) -> Self {
+        self.contract_defaults = names;
+        self
     }
 
     /// Attaches a statistics table: the hook then records `check` (the
@@ -151,9 +188,29 @@ impl ArgCheckHook {
         Some(repaired)
     }
 
+    /// Propagation audit: any pointer argument equal to a value the
+    /// oblivious engine previously manufactured marks this call as a
+    /// downstream consumer of tainted data.
+    fn record_tainted_uses(&self, cx: &CallCx<'_>) {
+        if let Some(audit) = &self.oblivious {
+            for (i, v) in cx.args.iter().enumerate() {
+                if let CVal::Ptr(p) = v {
+                    if audit.is_tainted(p.get()) {
+                        audit.record_use(TaintedUse {
+                            func: cx.func.to_string(),
+                            arg: i,
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// The full before-call validation loop; see [`Hook::before`] for
     /// why it re-checks from the top after every repair.
     fn check_and_heal(&self, cx: &mut CallCx<'_>) -> HookAction {
+        self.record_tainted_uses(cx);
         // Repairs can shift which predicate is violated (a substituted
         // destination makes the copy fit; a clamped count makes the
         // buffer large enough), so healing re-checks from the top after
@@ -209,15 +266,41 @@ impl ArgCheckHook {
                         )));
                     }
                     Policy::Oblivious => {
+                        let ocx = ObliviousCx {
+                            func: cx.func,
+                            arg: i,
+                            pred,
+                            class,
+                            ret: &self.ret,
+                            null_defaults: &self.contract_defaults,
+                        };
+                        let args = cx.args.clone();
+                        let out = oblivious_outcome(&ocx, cx.proc, &self.oracle, &args);
+                        if let Some(audit) = &self.oblivious {
+                            match &out.write {
+                                Some(w) => audit.record_write(w.clone()),
+                                None => audit.record_read(
+                                    ManufacturedRead {
+                                        func: cx.func.to_string(),
+                                        arg: Some(i),
+                                        class: class.tag().to_string(),
+                                        role: out.role.to_string(),
+                                        value: out.ret.to_string(),
+                                        detail: out.detail.clone(),
+                                    },
+                                    out.taint,
+                                ),
+                            }
+                        }
                         self.journal(
                             cx.func,
                             Some(i),
                             Some(pred),
                             Some(class),
                             HealAction::Obliviated,
-                            "call skipped, benign value returned",
+                            out.detail,
                         );
-                        return HookAction::ShortCircuit(containment_value(&self.ret));
+                        return HookAction::ShortCircuit(out.ret);
                     }
                     Policy::Heal | Policy::Retry { .. } => {
                         passes += 1;
@@ -289,7 +372,10 @@ impl Hook for ArgCheckHook {
         // Stage-latency recording is a per-call side effect `before`
         // must observe on every call, accept path included — it keeps
         // the whole pipeline dynamic.
-        if self.stats.is_some() {
+        // The oblivious audit is a per-call side effect too: taint
+        // propagation has to observe every call's arguments, accept path
+        // included.
+        if self.stats.is_some() || self.oblivious.is_some() {
             return Lowered::Dynamic;
         }
         let on_fail = match self.engine.uniform() {
@@ -365,15 +451,26 @@ impl Hook for ArgCheckHook {
                 FaultDecision::Propagate
             }
             Policy::Oblivious => {
-                self.journal(
-                    cx.func,
-                    None,
-                    None,
-                    None,
-                    HealAction::Obliviated,
-                    format!("fault swallowed: {fault}"),
-                );
-                FaultDecision::Substitute(containment_value(&self.ret))
+                // The check passed but the original still faulted (a
+                // check-evading violation): absorb it as a manufactured
+                // as-if-empty completion, errno untouched.
+                let value = oblivious_fault_value(&self.ret);
+                let detail = format!("fault absorbed obliviously: {fault}");
+                if let Some(audit) = &self.oblivious {
+                    audit.record_read(
+                        ManufacturedRead {
+                            func: cx.func.to_string(),
+                            arg: None,
+                            class: fault.tag().to_string(),
+                            role: "fault-absorb".to_string(),
+                            value: value.to_string(),
+                            detail: detail.clone(),
+                        },
+                        None,
+                    );
+                }
+                self.journal(cx.func, None, None, None, HealAction::Obliviated, detail);
+                FaultDecision::Substitute(value)
             }
             Policy::Heal => {
                 self.journal(
@@ -820,6 +917,7 @@ pub struct ExitReportHook {
     fleet: Option<profiler::FleetCollector>,
     journal: Option<Arc<HealingJournal>>,
     flight: Option<Arc<FlightRecorder>>,
+    oblivious: Option<ObliviousAudit>,
 }
 
 impl ExitReportHook {
@@ -838,6 +936,7 @@ impl ExitReportHook {
             fleet: None,
             journal: None,
             flight: None,
+            oblivious: None,
         }
     }
 
@@ -858,6 +957,7 @@ impl ExitReportHook {
             fleet: None,
             journal: Some(journal),
             flight: None,
+            oblivious: None,
         }
     }
 
@@ -880,6 +980,7 @@ impl ExitReportHook {
             fleet: Some(fleet),
             journal,
             flight: None,
+            oblivious: None,
         }
     }
 
@@ -898,6 +999,16 @@ impl ExitReportHook {
         self.flight = Some(flight);
         self
     }
+
+    /// Attaches the oblivious-execution audit: when the audit is
+    /// non-empty at exit, the shipped document carries the `<oblivious>`
+    /// section (manufactured reads, suppressed writes, tainted-value
+    /// consumptions) next to the healing journal.
+    #[must_use]
+    pub fn with_oblivious(mut self, audit: ObliviousAudit) -> Self {
+        self.oblivious = Some(audit);
+        self
+    }
 }
 
 impl Hook for ExitReportHook {
@@ -913,9 +1024,24 @@ impl Hook for ExitReportHook {
         if cx.func == "exit" {
             let snap = self.stats.snapshot();
             let events = self.journal.as_ref().map(|j| j.snapshot());
+            // An empty audit contributes no section (the document stays
+            // byte-identical to the audit-free form), so the oblivious
+            // path is only taken when something was actually absorbed.
+            let oblivious =
+                self.oblivious.as_ref().map(|a| a.snapshot()).filter(|s| !s.is_empty());
             if let Some(collector) = &self.collector {
                 let tail = self.flight.as_ref().map(|f| f.tail()).unwrap_or_default();
-                let doc = if !tail.is_empty() {
+                let doc = if let Some(osnap) = &oblivious {
+                    profiler::to_xml_with_oblivious(
+                        &self.app,
+                        self.wrapper,
+                        None,
+                        &snap,
+                        events.as_deref(),
+                        &tail,
+                        osnap,
+                    )
+                } else if !tail.is_empty() {
                     profiler::to_xml_with_flight(
                         &self.app,
                         self.wrapper,
@@ -941,13 +1067,25 @@ impl Hook for ExitReportHook {
                     cx.proc.fleet_identity().unwrap_or((0, 0, 0));
                 let meta =
                     profiler::FleetMeta { instance, window, crashed_in: None, fault: None };
-                let doc = profiler::to_xml_for_fleet(
-                    &self.app,
-                    self.wrapper,
-                    &meta,
-                    &snap,
-                    events.as_deref(),
-                );
+                let doc = if let Some(osnap) = &oblivious {
+                    profiler::to_xml_with_oblivious(
+                        &self.app,
+                        self.wrapper,
+                        Some(&meta),
+                        &snap,
+                        events.as_deref(),
+                        &[],
+                        osnap,
+                    )
+                } else {
+                    profiler::to_xml_for_fleet(
+                        &self.app,
+                        self.wrapper,
+                        &meta,
+                        &snap,
+                        events.as_deref(),
+                    )
+                };
                 fleet.submit_until_accepted(&doc);
             }
         }
@@ -1093,8 +1231,74 @@ mod tests {
         let mut proc = libc_proc();
         let errno_before = proc.errno();
         let r = f.call(&mut proc, &[CVal::NULL]).unwrap();
-        assert_eq!(r, CVal::Int(-1), "containment value, manufactured");
+        assert_eq!(r, CVal::Int(0), "NULL scans as a manufactured empty string");
         assert_eq!(proc.errno(), errno_before, "errno untouched");
+    }
+
+    #[test]
+    fn oblivious_audit_ledgers_reads_writes_and_tainted_uses() {
+        let audit = ObliviousAudit::new();
+        let defaults: Arc<BTreeSet<String>> =
+            Arc::new(["strstr".to_string()].into_iter().collect());
+        let engine = PolicyEngine::new(crate::policy::Policy::Oblivious);
+        let o = oracle();
+        let mk = |sig: &str, name: &str, preds: Vec<SafePred>| {
+            let p = proto(sig);
+            let hook = ArgCheckHook::new(preds, p.ret.clone(), o.clone(), engine.clone())
+                .with_oblivious(audit.clone())
+                .with_contract_defaults(Arc::clone(&defaults));
+            let f = WrappedFn::new(
+                p,
+                simlibc::find_symbol(name).unwrap().imp,
+                vec![Arc::new(hook)],
+            );
+            assert!(!f.has_plan(), "the audit must force the dynamic pipeline");
+            f
+        };
+        let strcpy = mk(
+            "char *strcpy(char *dest, const char *src);",
+            "strcpy",
+            vec![SafePred::HoldsCStrOf { src: 1 }, SafePred::CStr],
+        );
+        let strstr = mk(
+            "char *strstr(const char *haystack, const char *needle);",
+            "strstr",
+            vec![SafePred::CStr, SafePred::CStr],
+        );
+        let strlen = mk("size_t strlen(const char *s);", "strlen", vec![SafePred::CStr]);
+
+        let mut proc = libc_proc();
+        // A suppressed overflow: the destination is untouched, the write
+        // is measured and attributed.
+        let dest = simlibc::heap::malloc(&mut proc, 8).unwrap();
+        let big = proc.alloc_cstr(&"A".repeat(60));
+        let r = strcpy.call(&mut proc, &[CVal::Ptr(dest), CVal::Ptr(big)]).unwrap();
+        assert_eq!(r, CVal::Ptr(dest), "reports success");
+        assert_eq!(proc.read_cstr_lossy(dest), "", "nothing was written");
+
+        // A contract-derived manufactured pointer, then a downstream
+        // consumer of it: the taint propagates into the audit.
+        let needle = proc.alloc_cstr("x");
+        let fabricated =
+            strstr.call(&mut proc, &[CVal::NULL, CVal::Ptr(needle)]).unwrap().as_ptr();
+        assert!(!fabricated.is_null());
+        let n = strlen.call(&mut proc, &[CVal::Ptr(fabricated)]).unwrap();
+        assert_eq!(n, CVal::Int(0), "the manufactured empty string scans clean");
+
+        let snap = audit.snapshot();
+        assert_eq!(snap.writes.len(), 1, "{snap:?}");
+        assert_eq!(snap.writes[0].func, "strcpy");
+        assert_eq!(snap.writes[0].attempted, 61);
+        assert!(snap.writes[0].clipped > 0);
+        assert!(
+            snap.reads.iter().any(|r| r.func == "strstr" && r.role == "contract-default"),
+            "{snap:?}"
+        );
+        assert!(
+            snap.uses.iter().any(|u| u.func == "strlen" && u.arg == 0),
+            "downstream consumption must be audited: {snap:?}"
+        );
+        assert_eq!(snap.dropped, 0);
     }
 
     #[test]

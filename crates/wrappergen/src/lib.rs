@@ -48,12 +48,16 @@
 mod builders;
 pub mod codegen;
 pub mod hooks;
+mod oblivious;
 pub mod policy;
 mod runtime;
 
 pub use builders::{
     build_wrapper, build_wrapper_with_impls, LowConfidence, WrapperBuilder, WrapperConfig,
     WrapperKind, WrapperLibrary,
+};
+pub use oblivious::{
+    oblivious_fault_value, oblivious_outcome, ObliviousCx, ObliviousOutcome,
 };
 pub use policy::{
     apply_repair, Policy, PolicyEngine, PolicyOverrides, ViolationClass, SUBSTITUTE_CAP,

@@ -43,8 +43,11 @@ pub enum Policy {
         /// Upper bound on re-invocations of the original.
         max_attempts: u32,
     },
-    /// Never touch memory: skip the call and manufacture a benign
-    /// return value, leaving `errno` untouched (failure-oblivious).
+    /// Failure-oblivious availability mode (Rigger et al., context-aware
+    /// variant): violating *reads* are answered with a value manufactured
+    /// per (function, argument role, violation class); violating *writes*
+    /// are suppressed and recorded in the shadow-write ledger. `errno`
+    /// stays untouched and every absorption is journaled and audited.
     Oblivious,
 }
 
@@ -270,6 +273,19 @@ impl PolicyEngine {
         } else {
             None
         }
+    }
+
+    /// Whether any resolution of this engine can ever answer
+    /// [`Policy::Oblivious`]: the default is Oblivious, some static rule
+    /// maps to it, or a runtime override table is attached (the director
+    /// may set Oblivious at any moment). Builders use this to decide
+    /// whether a wrapper needs the oblivious audit ledger at all.
+    pub fn may_go_oblivious(&self) -> bool {
+        self.overrides.is_some()
+            || self.default == Policy::Oblivious
+            || self.by_class.values().any(|p| *p == Policy::Oblivious)
+            || self.by_func.values().any(|p| *p == Policy::Oblivious)
+            || self.by_func_class.values().any(|p| *p == Policy::Oblivious)
     }
 
     /// The policy consulted when the original function faults despite
@@ -498,6 +514,26 @@ mod tests {
         );
         assert_eq!(e.fault_policy("free"), Policy::Contain);
         assert_eq!(e.fault_policy("strlen"), Policy::Retry { max_attempts: 2 });
+    }
+
+    #[test]
+    fn may_go_oblivious_names_every_route_to_the_policy() {
+        assert!(!PolicyEngine::healing().may_go_oblivious());
+        assert!(!PolicyEngine::containment().may_go_oblivious());
+        assert!(PolicyEngine::new(Policy::Oblivious).may_go_oblivious());
+        assert!(PolicyEngine::healing()
+            .with_class(ViolationClass::BufferOverflow, Policy::Oblivious)
+            .may_go_oblivious());
+        assert!(PolicyEngine::healing()
+            .with_func("strcpy", Policy::Oblivious)
+            .may_go_oblivious());
+        assert!(PolicyEngine::healing()
+            .with_func_class("strcpy", ViolationClass::NullPointer, Policy::Oblivious)
+            .may_go_oblivious());
+        // A runtime override table can turn Oblivious on at any moment.
+        assert!(PolicyEngine::healing()
+            .with_overrides(PolicyOverrides::new())
+            .may_go_oblivious());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
 use healers::interpose::{Executable, Session};
 use healers::simproc::{CVal, Fault};
-use healers::{process_factory, Toolkit, WrapperConfig, WrapperKind};
+use healers::{
+    process_factory, HealAction, Policy, PolicyEngine, Toolkit, WrapperConfig, WrapperKind,
+};
 
 fn wrappers() -> (healers::WrapperLibrary, healers::WrapperLibrary) {
     let toolkit = Toolkit::new();
@@ -82,6 +84,58 @@ fn robustness_wrapper_rejects_the_second_free() {
     // The second free violates `NULL or live heap chunk` and is turned
     // into a no-op error; the allocator stays intact.
     assert_eq!(out.status, Ok(0), "{:?}", out.status);
+}
+
+/// The oblivious soundness contract: under `Policy::Oblivious` the
+/// double free is absorbed — the process keeps running and the
+/// allocator stays intact — but **never silently**. The skipped free is
+/// a suppressed write on the audit ledger, attributed to the function,
+/// and journaled as `Obliviated`.
+#[test]
+fn oblivious_wrapper_absorbs_the_double_free_on_the_audit_record() {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| ["malloc", "free", "exit", "puts"].contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    let toolkit = Toolkit::new();
+    let oblivious = toolkit.generate_healing_wrapper(
+        &campaign.api,
+        &WrapperConfig {
+            policy: Some(PolicyEngine::new(Policy::Oblivious)),
+            ..WrapperConfig::default()
+        },
+    );
+
+    let out = toolkit.run_protected(&victim(), &[&oblivious]).unwrap();
+    // The second free is suppressed, so the free list never corrupts and
+    // malloc never hands out one chunk twice (exit code 99).
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+
+    let snap = oblivious.oblivious.as_ref().expect("audit attached").snapshot();
+    assert_eq!(snap.dropped, 0, "{snap:?}");
+    assert!(
+        snap.writes.iter().any(|w| w.func == "free"),
+        "the skipped free must be a suppressed write on the ledger: {snap:?}"
+    );
+    let events = oblivious.journal.snapshot();
+    let obliviated: Vec<_> =
+        events.iter().filter(|e| e.action == HealAction::Obliviated).collect();
+    assert!(
+        obliviated.iter().any(|e| e.func == "free"),
+        "the absorption must be journaled, never silent: {events:?}"
+    );
+    assert!(
+        obliviated.len() >= snap.reads.len() + snap.writes.len(),
+        "every ledger entry has a journal record: {} events, {} entries",
+        obliviated.len(),
+        snap.reads.len() + snap.writes.len()
+    );
 }
 
 #[test]

@@ -211,6 +211,48 @@ fn saturation_accounting_is_exact_for_every_shed_policy() {
 }
 
 // -------------------------------------------------------------------------
+// satellite: a retry storm against one saturated shard — capped
+// exponential backoff with seeded jitter must still resolve every
+// submission and keep the accepted == merged + rejected invariant exact
+
+#[test]
+fn retry_storm_on_saturated_shard_keeps_exact_accounting() {
+    let service = FleetService::start(FleetConfig {
+        shards: 1,
+        queue_capacity: 2,
+        shed: ShedPolicy::Retry { backoff_micros: 1 },
+        ..FleetConfig::default()
+    });
+    let submitters = 8u64;
+    let per_thread = 300u64;
+    let acked: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|t| {
+                let c = service.collector();
+                scope.spawn(move || {
+                    let mut acked = 0u64;
+                    for i in 0..per_thread {
+                        let doc = sample_doc("storm", t, i % 4);
+                        if c.submit_until_accepted(&doc) {
+                            acked += 1;
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(acked, submitters * per_thread, "retry always resolves to an ack");
+    let out = service.shutdown();
+    assert_eq!(out.accounting.accepted(), acked);
+    assert!(out.accounting.balanced(), "{:?}", out.accounting);
+    assert_eq!(out.rollup.docs + out.rollup.rejected, acked);
+    assert_eq!(out.accounting.shed_total(), 0, "retry policy never sheds");
+    assert!(out.accounting.retry_signals > 0, "the storm must actually have retried");
+}
+
+// -------------------------------------------------------------------------
 // director-level: rollback and circuit breaker over the journal
 
 fn burst_window(func: &str, calls: u64, crashes: u64) -> WindowStats {

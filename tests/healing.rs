@@ -149,7 +149,7 @@ fn policy_overrides_route_per_function() {
     let mut p = process_factory();
     p.set_errno(0);
     let r = wrapper.get("strlen").unwrap().call(&mut p, &[CVal::NULL]).unwrap();
-    assert_eq!(r, CVal::Int(-1), "oblivious returns the containment value");
+    assert_eq!(r, CVal::Int(0), "oblivious scans NULL as a manufactured empty string");
     assert_eq!(p.errno(), 0, "without touching errno");
 
     let r = wrapper.get("puts").unwrap().call(&mut p, &[CVal::NULL]).unwrap();

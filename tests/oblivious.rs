@@ -1,0 +1,156 @@
+//! End-to-end tests of the context-aware failure-oblivious availability
+//! mode (`DESIGN.md` §14): a victim that strcpy-overflows, scans NULL
+//! and consumes a contract-derived default keeps running under a
+//! `Policy::Oblivious` healing wrapper — and every manufactured read,
+//! suppressed write and tainted downstream use lands on the audit
+//! record, in the journal and in the shipped XML document.
+
+use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::interpose::{Executable, Session};
+use healers::profiler::CollectionServer;
+use healers::simproc::{CVal, Fault};
+use healers::{
+    process_factory, HealAction, Policy, PolicyEngine, Toolkit, WrapperConfig,
+    WrapperLibrary,
+};
+
+const FUNCS: [&str; 7] = ["strcpy", "strlen", "strstr", "malloc", "free", "puts", "exit"];
+
+/// 60 'A's: strcpy'ing it (61 bytes with the NUL) into an 8-byte chunk
+/// is the canonical out-of-bounds write.
+const LONG: &str = "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA";
+
+fn victim_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
+    // (1) Out-of-bounds write: suppressed, measured, attributed.
+    let dest = s.malloc(8)?;
+    let long = s.literal(LONG);
+    s.call("strcpy", &[CVal::Ptr(dest), CVal::Ptr(long)])?;
+    // (2) NULL CStr scan: reads as a manufactured empty string.
+    let n = s.call("strlen", &[CVal::NULL])?;
+    if n != CVal::Int(0) {
+        return Ok(1);
+    }
+    // (3) Contract-derived default: strstr is NULL-tolerant by contract,
+    // so its pointer return is a manufactured (tainted) empty string...
+    let needle = s.literal("x");
+    let hit = s.call("strstr", &[CVal::NULL, CVal::Ptr(needle)])?;
+    let CVal::Ptr(p) = hit else { return Ok(2) };
+    if p.is_null() {
+        return Ok(3);
+    }
+    // ...(4) whose downstream consumption is a recorded tainted use.
+    let n = s.call("strlen", &[hit])?;
+    if n != CVal::Int(0) {
+        return Ok(4);
+    }
+    s.call("exit", &[CVal::Int(0)])?;
+    unreachable!()
+}
+
+fn victim() -> Executable {
+    Executable::new(
+        "obl-victim",
+        &["libsimc.so.1"],
+        &["strcpy", "strlen", "strstr", "malloc", "free", "puts", "exit"],
+        victim_entry,
+    )
+}
+
+/// Builds the oblivious healing wrapper; `collector` decides whether an
+/// exit document ships.
+fn oblivious_wrapper(
+    toolkit: &Toolkit,
+    collector: Option<healers::profiler::Collector>,
+) -> WrapperLibrary {
+    let targets: Vec<_> = targets_from_simlibc()
+        .into_iter()
+        .filter(|t| FUNCS.contains(&t.name.as_str()))
+        .collect();
+    let campaign = run_campaign(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &CampaignConfig { pair_values: 4, fuel: 300_000, ..CampaignConfig::default() },
+    );
+    toolkit.generate_healing_wrapper(
+        &campaign.api,
+        &WrapperConfig {
+            app_name: "obl-victim".into(),
+            collector,
+            policy: Some(PolicyEngine::new(Policy::Oblivious)),
+            oblivious_null_defaults: vec!["strstr".into()],
+            ..WrapperConfig::default()
+        },
+    )
+}
+
+#[test]
+fn oblivious_mode_survives_the_victim_with_a_full_audit_trail() {
+    let toolkit = Toolkit::new();
+    let server = CollectionServer::start();
+    let wrapper = oblivious_wrapper(&toolkit, Some(server.collector()));
+
+    let out = toolkit.run_protected(&victim(), &[&wrapper]).unwrap();
+    assert_eq!(out.status, Ok(0), "{:?}", out.status);
+
+    // The ledger attributes each kind of absorption.
+    let snap = wrapper.oblivious.as_ref().expect("oblivious wrapper carries an audit");
+    let snap = snap.snapshot();
+    assert_eq!(snap.dropped, 0, "{snap:?}");
+    let w = snap
+        .writes
+        .iter()
+        .find(|w| w.func == "strcpy")
+        .expect("suppressed strcpy write on the ledger");
+    assert_eq!(w.attempted, LONG.len() as u64 + 1, "60 chars + NUL: {w:?}");
+    assert!(w.object_extent >= 8, "attributed to the real 8-byte chunk: {w:?}");
+    assert_eq!(w.addr, w.object_base, "write starts at the chunk base: {w:?}");
+    assert!(w.clipped > 0 && w.clipped < w.attempted, "{w:?}");
+    assert!(
+        snap.reads.iter().any(|r| r.func == "strlen"),
+        "NULL scan is a manufactured read: {snap:?}"
+    );
+    assert!(
+        snap.reads.iter().any(|r| r.func == "strstr" && r.role == "contract-default"),
+        "contract-derived default recorded: {snap:?}"
+    );
+    assert!(
+        snap.uses.iter().any(|u| u.func == "strlen"),
+        "downstream consumption of the tainted value recorded: {snap:?}"
+    );
+
+    // Every absorption is journaled as Obliviated.
+    let events = wrapper.journal.snapshot();
+    let obliviated = events.iter().filter(|e| e.action == HealAction::Obliviated).count();
+    assert!(
+        obliviated >= snap.reads.len() + snap.writes.len(),
+        "no silent absorption: {obliviated} journal events for {} ledger entries",
+        snap.reads.len() + snap.writes.len()
+    );
+
+    // The exit document carries the <oblivious> section.
+    let collected = server.shutdown();
+    assert_eq!(collected.submissions.len(), 1);
+    let doc = &collected.submissions[0].document;
+    assert!(doc.contains("<oblivious "), "{doc}");
+    assert!(doc.contains("<write function=\"strcpy\""), "{doc}");
+    assert!(doc.contains("<read function=\"strlen\""), "{doc}");
+    assert!(doc.contains("<use function=\"strlen\""), "{doc}");
+}
+
+#[test]
+fn same_seed_oblivious_runs_ship_byte_identical_documents() {
+    let run = || {
+        let toolkit = Toolkit::new();
+        let server = CollectionServer::start();
+        let wrapper = oblivious_wrapper(&toolkit, Some(server.collector()));
+        let out = toolkit.run_protected(&victim(), &[&wrapper]).unwrap();
+        assert_eq!(out.status, Ok(0), "{:?}", out.status);
+        let collected = server.shutdown();
+        assert_eq!(collected.submissions.len(), 1);
+        collected.submissions[0].document.clone()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the audited availability mode must be deterministic");
+}
