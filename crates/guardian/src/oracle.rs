@@ -84,6 +84,13 @@ impl ExtentOracle for GuardOracle {
             None => HeapOracle::new().readable_extent(proc, addr),
         }
     }
+
+    fn validation_epoch(&self) -> u64 {
+        // The registry is the only state this oracle consults outside the
+        // process image (the heap oracle walks in-image chunk headers,
+        // which the address-space epoch already covers).
+        self.registry.epoch()
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! attacker-controlled metadata.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use simproc::{Fault, Proc, VirtAddr};
@@ -57,6 +58,13 @@ struct LiveSet {
 #[derive(Debug, Default)]
 pub struct CanaryRegistry {
     live: Mutex<LiveSet>,
+    /// Monotonic epoch, bumped whenever the live set changes
+    /// (`protect`/`release`). Extent answers derived from the registry are
+    /// reproducible while the epoch holds still, which is what lets
+    /// wrappers memoize pointer validations (`Proc::validation_hit`):
+    /// `release` removes an allocation without touching process memory, so
+    /// the address-space epoch alone cannot expire those entries.
+    epoch: AtomicU64,
 }
 
 /// A detected integrity violation.
@@ -103,6 +111,7 @@ impl CanaryRegistry {
         let mut live = self.live.lock();
         live.by_payload.insert(payload.get(), alloc);
         live.sorted.insert(payload.get(), alloc);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -132,8 +141,15 @@ impl CanaryRegistry {
         let alloc = live.by_payload.remove(&payload.get());
         if alloc.is_some() {
             live.sorted.remove(&payload.get());
+            self.epoch.fetch_add(1, Ordering::Relaxed);
         }
         alloc
+    }
+
+    /// The registry's validation epoch: advances on every `protect` and
+    /// every successful `release`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Sweeps every live canary — the wrapper runs this at process exit
@@ -282,6 +298,28 @@ mod tests {
             reg.contains(ptr.add(20)),
             "guard word still 'inside' for ownership checks"
         );
+    }
+
+    #[test]
+    fn epoch_tracks_live_set_mutations_only() {
+        let mut p = libc_proc();
+        let reg = CanaryRegistry::new();
+        let e0 = reg.epoch();
+        let ptr = guarded_alloc(&mut p, &reg, 16);
+        let e1 = reg.epoch();
+        assert!(e1 > e0, "protect must bump the epoch");
+        // Queries leave it alone.
+        let _ = reg.verify(&p, ptr);
+        let _ = reg.extent_within(ptr);
+        let _ = reg.contains(ptr);
+        let _ = reg.sweep(&p);
+        assert_eq!(reg.epoch(), e1);
+        // Release of something we own bumps; of a stranger, it does not.
+        assert!(reg.release(ptr).is_some());
+        let e2 = reg.epoch();
+        assert!(e2 > e1, "release must bump the epoch");
+        assert!(reg.release(ptr).is_none());
+        assert_eq!(reg.epoch(), e2, "failed release must not bump");
     }
 
     #[test]

@@ -223,6 +223,13 @@ pub struct AddressSpace {
     /// the slot is cleared whenever the region list mutates. Atomic (with
     /// relaxed ordering) rather than `Cell` so `AddressSpace` stays `Sync`.
     mru: AtomicUsize,
+    /// Monotonically increasing validation epoch. Bumped by every mutation
+    /// that can change the answer of a pointer-validity query — mapping
+    /// changes (`map`/`unmap`/`protect`/`grow`) *and* content writes
+    /// (heap chunk headers, canary words and C-string terminators all live
+    /// in region data). Wrapper-level memoized validations are tagged with
+    /// the epoch they were computed under and expire the moment it moves.
+    epoch: u64,
 }
 
 impl Clone for AddressSpace {
@@ -230,6 +237,7 @@ impl Clone for AddressSpace {
         AddressSpace {
             regions: self.regions.clone(),
             mru: AtomicUsize::new(self.mru.load(Ordering::Relaxed)),
+            epoch: self.epoch,
         }
     }
 }
@@ -237,7 +245,22 @@ impl Clone for AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        AddressSpace { regions: Vec::new(), mru: AtomicUsize::new(0) }
+        AddressSpace { regions: Vec::new(), mru: AtomicUsize::new(0), epoch: 0 }
+    }
+
+    /// The current validation epoch. Any cached judgement about this
+    /// address space is valid only while the epoch it was computed under
+    /// still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the validation epoch, expiring every memoized validation.
+    /// Called internally on any mutation; public so owners tracking state
+    /// *outside* the address space (stack-pointer moves, frame pops) can
+    /// expire caches too.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Maps `len` zeroed bytes at `base` with protection `prot`.
@@ -275,6 +298,7 @@ impl AddressSpace {
             Region { base, data: PoolBuf::zeroed(len as usize), prot, name: name.into() };
         self.regions.insert(idx, region);
         self.mru.store(0, Ordering::Relaxed);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -285,6 +309,7 @@ impl AddressSpace {
         if self.regions.get(i).is_some_and(|r| r.base() == base) {
             self.regions.remove(i);
             self.mru.store(0, Ordering::Relaxed);
+            self.epoch += 1;
             true
         } else {
             false
@@ -298,6 +323,7 @@ impl AddressSpace {
             Some(i) => {
                 self.regions[i].prot = prot;
                 self.mru.store(0, Ordering::Relaxed);
+                self.epoch += 1;
                 true
             }
             None => false,
@@ -323,6 +349,7 @@ impl AddressSpace {
         }
         let new_len = self.regions[i].data.len() + extra as usize;
         self.regions[i].data.resize_zeroed(new_len);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -461,6 +488,7 @@ impl AddressSpace {
         if src.is_empty() {
             return;
         }
+        self.epoch += 1;
         let mut i = self.region_index(addr).expect("checked");
         let mut cur = addr;
         let mut src = src;
@@ -519,6 +547,7 @@ impl AddressSpace {
                 let r = &mut self.regions[i];
                 let off = addr.diff(r.base) as usize;
                 r.data.slice_mut(off, 1)[0] = v;
+                self.epoch += 1;
                 Ok(())
             }
             _ => Err(Fault::segv(addr, Access::Write, "memory access")),
@@ -901,5 +930,42 @@ mod tests {
     fn check_zero_len_always_ok() {
         let m = AddressSpace::new();
         assert!(m.check(VirtAddr::new(0xdead), 0, Access::Write).is_ok());
+    }
+
+    #[test]
+    fn epoch_moves_on_every_mutation_and_only_then() {
+        let mut m = AddressSpace::new();
+        let mut last = m.epoch();
+        let mut expect_bump = |m: &AddressSpace, what: &str| {
+            assert!(m.epoch() > last, "{what} must bump the epoch");
+            last = m.epoch();
+        };
+        m.map(VirtAddr::new(0x1000), 0x1000, Prot::RW, "a").unwrap();
+        expect_bump(&m, "map");
+        m.write_u8(VirtAddr::new(0x1000), 7).unwrap();
+        expect_bump(&m, "write_u8");
+        m.write_bytes(VirtAddr::new(0x1008), &[1, 2, 3]).unwrap();
+        expect_bump(&m, "write_bytes");
+        assert!(m.poke_bytes(VirtAddr::new(0x1010), &[9]));
+        expect_bump(&m, "poke_bytes");
+        assert!(m.protect(VirtAddr::new(0x1000), Prot::R));
+        expect_bump(&m, "protect");
+        m.grow(VirtAddr::new(0x1000), 0x10).unwrap();
+        expect_bump(&m, "grow");
+        assert!(m.unmap(VirtAddr::new(0x1000)));
+        expect_bump(&m, "unmap");
+        // Reads leave the epoch alone: a cached validation stays live
+        // across arbitrarily many queries.
+        let before = m.epoch();
+        m.map(VirtAddr::new(0x2000), 0x100, Prot::RW, "b").unwrap();
+        let before2 = m.epoch();
+        assert!(before2 > before);
+        let _ = m.read_u8(VirtAddr::new(0x2000));
+        let _ = m.peek_u64(VirtAddr::new(0x2000));
+        let _ = m.accessible_extent(VirtAddr::new(0x2000), Access::Read);
+        let _ = m.check(VirtAddr::new(0x2000), 8, Access::Read);
+        assert_eq!(m.epoch(), before2, "reads must not move the epoch");
+        // Clones carry the epoch with them.
+        assert_eq!(m.clone().epoch(), m.epoch());
     }
 }

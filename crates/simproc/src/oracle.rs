@@ -19,6 +19,16 @@ pub trait ExtentOracle {
 
     /// Number of bytes readable starting at `addr`, or `None`.
     fn readable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64>;
+
+    /// Epoch of any *auxiliary* state the oracle consults beyond the
+    /// process image itself (e.g. guardian's canary registry). An extent
+    /// answer is reproducible while both this and `proc.mem.epoch()` are
+    /// unchanged; memoized validations carry both and expire when either
+    /// moves. Oracles answering purely from the process image keep the
+    /// constant default.
+    fn validation_epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// The baseline oracle: region protections, refined on the stack so that a

@@ -39,6 +39,26 @@ impl Frame {
 /// Default execution fuel for a single library call under fault injection.
 pub const DEFAULT_CALL_FUEL: u64 = 2_000_000;
 
+/// Slots in the per-process validation memo (direct mapped).
+const MEMO_SLOTS: usize = 64;
+
+/// One memoized pointer validation: "wrapper `key` judged pointer `ptr`
+/// valid while the address space sat at `mem_epoch` and the judging
+/// oracle's auxiliary state at `aux_epoch`". Expires the instant either
+/// epoch moves.
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    key: u64,
+    ptr: u64,
+    mem_epoch: u64,
+    aux_epoch: u64,
+}
+
+/// `key` is `u64::MAX` on empty slots: real keys are `(wrapper id << 3) |
+/// arg slot` with 32-bit ids, so they can never collide with the sentinel.
+const MEMO_EMPTY: MemoEntry =
+    MemoEntry { key: u64::MAX, ptr: 0, mem_epoch: 0, aux_epoch: 0 };
+
 /// A simulated process image.
 ///
 /// ```
@@ -70,6 +90,10 @@ pub struct Proc {
     fleet_identity: Option<(u64, u64, u64)>,
     /// Host implementations of registered functions, indexed by `FuncId`.
     impls: Vec<Option<HostFn>>,
+    /// Direct-mapped positive cache of pointer validations, keyed by
+    /// (wrapper, arg slot). Allocated lazily on the first store so
+    /// processes that never run compiled wrappers pay nothing.
+    validation_memo: Option<Box<[MemoEntry; MEMO_SLOTS]>>,
 }
 
 impl Default for Proc {
@@ -104,7 +128,39 @@ impl Proc {
             next_sentinel: 0x5AFE_0000_0000_0000,
             fleet_identity: None,
             impls: Vec::new(),
+            validation_memo: None,
         }
+    }
+
+    // ----- epoch-memoized pointer validation ------------------------------
+
+    /// Whether the validation memo holds a still-live entry for `key`
+    /// judging exactly `ptr`: same pointer, same address-space epoch, same
+    /// auxiliary (oracle) epoch. A hit means the cached judgement is
+    /// provably identical to re-running the check, so the caller may skip
+    /// it entirely.
+    pub fn validation_hit(&self, key: u64, ptr: VirtAddr, aux_epoch: u64) -> bool {
+        match &self.validation_memo {
+            Some(table) => {
+                let e = &table[(key as usize) % MEMO_SLOTS];
+                e.key == key
+                    && e.ptr == ptr.get()
+                    && e.mem_epoch == self.mem.epoch()
+                    && e.aux_epoch == aux_epoch
+            }
+            None => false,
+        }
+    }
+
+    /// Records a *successful* validation of `ptr` under `key` at the
+    /// current address-space epoch. Only positive results may be stored:
+    /// the memo is consulted to skip checks, never to fail them.
+    pub fn validation_store(&mut self, key: u64, ptr: VirtAddr, aux_epoch: u64) {
+        let mem_epoch = self.mem.epoch();
+        let table =
+            self.validation_memo.get_or_insert_with(|| Box::new([MEMO_EMPTY; MEMO_SLOTS]));
+        table[(key as usize) % MEMO_SLOTS] =
+            MemoEntry { key, ptr: ptr.get(), mem_epoch, aux_epoch };
     }
 
     /// Registers a callable function: a name, a text address, and a host
@@ -366,6 +422,9 @@ impl Proc {
             return Err(Fault::segv(new_sp, Access::Write, "stack overflow"));
         }
         self.sp = new_sp;
+        // Moving the stack pointer changes which addresses count as live
+        // frame locals (the stack extent oracle), without touching memory.
+        self.mem.bump_epoch();
         Ok(new_sp)
     }
 
@@ -381,6 +440,9 @@ impl Proc {
         let frame = self.frames.pop().expect("pop_frame without a frame");
         let stored = self.mem.read_u64(frame.ret_slot)?;
         self.sp = frame.top;
+        // The frame and its locals are dead: extents computed against it
+        // must expire even though no region data changed.
+        self.mem.bump_epoch();
         if stored == frame.ret_sentinel {
             return Ok(());
         }
@@ -674,6 +736,37 @@ mod tests {
         let mut p = Proc::new();
         let err = p.write_bytes(layout::TEXT_BASE, &[0u8; 4]).unwrap_err();
         assert!(matches!(err, Fault::Segv { access: Access::Write, .. }));
+    }
+
+    #[test]
+    fn validation_memo_expires_with_the_epoch() {
+        let mut p = Proc::new();
+        let a = p.alloc_data_zeroed(32);
+        let key = (7u64 << 3) | 1;
+        assert!(!p.validation_hit(key, a, 0), "empty memo never hits");
+        p.validation_store(key, a, 0);
+        assert!(p.validation_hit(key, a, 0), "fresh store hits");
+        assert!(!p.validation_hit(key, a.add(1), 0), "different pointer misses");
+        assert!(!p.validation_hit(key + 8, a, 0), "different key misses");
+        assert!(!p.validation_hit(key, a, 1), "different aux epoch misses");
+        // Any memory mutation expires the entry.
+        p.mem.write_u8(a, 1).unwrap();
+        assert!(!p.validation_hit(key, a, 0), "content write expires");
+        p.validation_store(key, a, 0);
+        assert!(p.validation_hit(key, a, 0));
+        // Stack machinery expires entries too: frames move the stack
+        // extent oracle without writing region data.
+        p.push_frame("f").unwrap();
+        assert!(!p.validation_hit(key, a, 0), "push_frame expires");
+        p.validation_store(key, a, 0);
+        let _ = p.stack_alloc(16).unwrap();
+        assert!(!p.validation_hit(key, a, 0), "stack_alloc expires");
+        p.validation_store(key, a, 0);
+        p.pop_frame().unwrap();
+        assert!(!p.validation_hit(key, a, 0), "pop_frame expires");
+        // The memo clones with the process.
+        p.validation_store(key, a, 0);
+        assert!(p.clone().validation_hit(key, a, 0));
     }
 
     #[test]

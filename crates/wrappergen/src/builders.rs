@@ -20,7 +20,7 @@ use crate::codegen::{
 };
 use crate::hooks::{
     ArgCheckHook, CallCounterHook, CanaryHook, CollectErrorsHook, ExectimeHook,
-    ExitReportHook, FlightRecorderHook, FuncErrorsHook,
+    ExitReportHook, FuncErrorsHook,
 };
 use crate::policy::PolicyEngine;
 use crate::runtime::{CallLog, Hook, WrappedFn};
@@ -169,14 +169,16 @@ pub struct WrapperConfig {
     /// contract is a conservative guess rather than a measurement.
     pub low_confidence: LowConfidence,
     /// Record per-function log2 latency histograms (`call` stage for
-    /// profiling/healing wrappers; `check`/`heal` stages for healing
-    /// wrappers). Off by default: extra per-call recording, and it keeps
-    /// the affected hook pipelines dynamic.
+    /// every wrapper kind; `check`/`heal` stages for healing wrappers).
+    /// Off by default: extra per-call recording. The `call`-stage sample
+    /// is compiled into the wrapper's epilogue and so costs no fast
+    /// path; healing's per-stage histograms still keep that (already
+    /// dynamic) pipeline dynamic.
     pub latency_histograms: bool,
     /// Keep a flight recorder of the last N calls through the wrapper
-    /// (`Some(n)`). Off by default — per-call recording forces every
-    /// wrapped function onto the dynamic pipeline, defeating compiled
-    /// call plans. The ring is shared library-wide and surfaces via
+    /// (`Some(n)`). Off by default — it records on every call. Recording
+    /// is compiled into the wrapper's epilogue, so compiled call plans
+    /// survive. The ring is shared library-wide and surfaces via
     /// [`WrapperLibrary::recorder`] and the exit document.
     pub flight_recorder: Option<usize>,
     /// Functions whose static contract (analyzer `NullOk` facts) marks
@@ -468,12 +470,21 @@ pub fn build_wrapper_with_impls(
         source.push_str(&generate_function(&gen_refs, &cx));
         source.push('\n');
 
-        // The flight recorder goes first so its `after` runs last and
-        // records the verdict every other hook settled on.
-        if let Some(rec) = &recorder {
-            hooks.insert(0, Arc::new(FlightRecorderHook::new(Arc::clone(rec))));
-        }
-        fns.insert(name, WrappedFn::new(f.proto.clone(), imp, hooks));
+        // Telemetry is compiled into the wrapper's epilogue rather than
+        // riding as hooks: it records after every other hook settled the
+        // verdict (the position a first-inserted recorder hook's `after`
+        // occupied) without forcing the dynamic pipeline. The `call`
+        // latency sample attaches only to kinds without an exectime
+        // hook — profiling/healing record it through
+        // `ExectimeHook::with_latency` already.
+        let latency = (config.latency_histograms
+            && matches!(kind, WrapperKind::Robustness | WrapperKind::Security))
+        .then(|| Arc::clone(&stats));
+        let flight = recorder.as_ref().map(Arc::clone);
+        fns.insert(
+            name,
+            WrappedFn::new_with_telemetry(f.proto.clone(), imp, hooks, latency, flight),
+        );
     }
 
     WrapperLibrary {
@@ -764,8 +775,20 @@ mod tests {
             build_wrapper(WrapperKind::Robustness, &tiny_api(), &WrapperConfig::default());
         assert!(plain.recorder.is_none());
         assert!(plain.get("strlen").unwrap().has_plan(), "fast path intact");
+        // Recording is compiled into the epilogue: the plan survives and
+        // the ring still fills.
         let recorded = build_wrapper(WrapperKind::Robustness, &tiny_api(), &config);
-        assert!(!recorded.get("strlen").unwrap().has_plan(), "recording is dynamic");
+        assert!(
+            recorded.get("strlen").unwrap().has_plan(),
+            "recording rides the fast path"
+        );
+        let mut p = libc_proc();
+        let s = p.alloc_cstr("xyz");
+        recorded.get("strlen").unwrap().call(&mut p, &[CVal::Ptr(s)]).unwrap();
+        let tail = recorded.recorder.as_ref().unwrap().tail();
+        assert_eq!(tail.len(), 1, "{tail:?}");
+        assert_eq!(tail[0].func, "strlen");
+        assert_eq!(tail[0].verdict, "ok");
     }
 
     #[test]

@@ -397,6 +397,7 @@ impl Hook for ArgCheckHook {
                     on_fail,
                     arg: Some(i),
                     pred: Some(p.clone()),
+                    oracle: Some(Arc::new(self.oracle.clone())),
                 }
             })
             .collect();

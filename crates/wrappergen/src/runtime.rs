@@ -5,13 +5,17 @@
 //! call), then runs `after` parts in reverse order — the same prefix/
 //! postfix discipline as Figure 3.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use cdecl::{CType, Prototype};
 use parking_lot::Mutex;
-use simproc::{errno, CVal, Fault, HostFn, Proc};
-use typelattice::{classify, trunc_int, ArgClass, SafePred};
+use profiler::{FlightRecorder, Stats};
+use simproc::{errno, CVal, ExtentOracle, Fault, HostFn, Proc};
+use typelattice::{classify, peek_cstr_len, trunc_int, ArgClass, SafePred};
 
 /// What a hook's `before` decides.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +92,12 @@ pub struct PlannedCheck {
     /// The symbolic [`SafePred`] the compiled closure evaluates, when the
     /// lowering hook can say (lint metadata, never read on the call path).
     pub pred: Option<SafePred>,
+    /// The extent oracle the closure consults, when the lowering hook can
+    /// say. Full metadata (`arg` + `pred` + `oracle`) lets the plan
+    /// compiler fuse this check into a specialized [`CheckKernel`] that
+    /// dispatches on the predicate directly instead of through the boxed
+    /// closure.
+    pub oracle: Option<Arc<dyn ExtentOracle + Send + Sync>>,
 }
 
 impl fmt::Debug for PlannedCheck {
@@ -118,6 +128,169 @@ impl fmt::Debug for Lowered {
             Lowered::Checks(c) => write!(f, "Checks({})", c.len()),
         }
     }
+}
+
+/// Shared handle to the extent oracle a kernel check consults.
+type ArcOracle = Arc<dyn ExtentOracle + Send + Sync>;
+
+/// One directly-dispatched check inside a [`CheckKernel::Seq`]: the
+/// symbolic predicate evaluated without the boxed-closure indirection of
+/// [`PlannedCheck`], plus its memoization key when the predicate's answer
+/// is a pure function of (pointer, memory epoch, oracle epoch).
+struct KernelCheck {
+    /// Argument index the predicate guards (always `< nargs`).
+    arg: usize,
+    /// The predicate itself.
+    pred: SafePred,
+    /// Extent oracle for the relational/extent predicates.
+    oracle: ArcOracle,
+    /// Response on failure.
+    on_fail: FailAction,
+    /// `Some(key)` when a passing validation of a non-null pointer may be
+    /// cached in [`Proc::validation_store`] and replayed while both the
+    /// address-space epoch and the oracle's auxiliary epoch hold still.
+    memo_key: Option<u64>,
+}
+
+impl fmt::Debug for KernelCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KernelCheck(arg{}: {})", self.arg + 1, self.pred)
+    }
+}
+
+/// The specialized check kernel a [`CallPlan`]'s check sequence fuses
+/// into at wrap time: one `match` dispatches the whole sequence instead
+/// of an op-by-op walk over boxed closures. The common libc shapes get
+/// monomorphized bodies; everything else with full metadata runs as a
+/// direct predicate sequence, and checks lowered without metadata keep
+/// the legacy closure walk.
+enum CheckKernel {
+    /// No checks at all (profiled-robust functions, `NonNull`-free
+    /// signatures).
+    NoChecks,
+    /// Exactly one `CStr` check — the `strlen`/`atoi` shape. Scans with
+    /// [`peek_cstr_len`] directly and memoizes the validated pointer.
+    CStrOnly {
+        /// Argument holding the string.
+        arg: usize,
+        /// Memo key for the validated pointer.
+        memo_key: u64,
+        /// Response on failure.
+        on_fail: FailAction,
+    },
+    /// The fused `strcpy` shape: `HoldsCStrOf { src }` on `dst` plus
+    /// `CStr` on `src`, sharing one source scan — the interpreter walked
+    /// the source string twice.
+    BufLenPair {
+        /// Destination-buffer argument.
+        dst: usize,
+        /// Source-string argument.
+        src: usize,
+        /// Oracle answering the destination's writable extent.
+        oracle: ArcOracle,
+        /// Response on failure (identical for both fused checks).
+        on_fail: FailAction,
+    },
+    /// General shape: direct predicate dispatch in pipeline order, no
+    /// closure indirection, memoized where sound.
+    Seq(Vec<KernelCheck>),
+    /// Legacy closure walk, for check sequences lowered without full
+    /// (`arg`, `pred`, `oracle`) metadata.
+    Opaque(Vec<PlannedCheck>),
+}
+
+impl fmt::Debug for CheckKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckKernel::NoChecks => write!(f, "NoChecks"),
+            CheckKernel::CStrOnly { arg, .. } => write!(f, "CStrOnly(arg{})", arg + 1),
+            CheckKernel::BufLenPair { dst, src, .. } => {
+                write!(f, "BufLenPair(dst=arg{}, src=arg{})", dst + 1, src + 1)
+            }
+            CheckKernel::Seq(seq) => f.debug_tuple("Seq").field(seq).finish(),
+            CheckKernel::Opaque(checks) => write!(f, "Opaque({})", checks.len()),
+        }
+    }
+}
+
+/// Whether a passing check of `pred` on a non-null pointer may be
+/// memoized: the answer must be a pure function of the pointer value,
+/// the process image (covered by `AddressSpace::epoch`) and the oracle's
+/// auxiliary state (covered by `ExtentOracle::validation_epoch`).
+/// Excluded: relational predicates (they read *other* arguments the memo
+/// key does not cover), `ValidFuncPtr` (the host function table has no
+/// epoch) and the value-only predicates (cheaper than the probe).
+fn memoizable(pred: &SafePred) -> bool {
+    match pred {
+        SafePred::CStr
+        | SafePred::Readable(_)
+        | SafePred::Writable(_)
+        | SafePred::ValidFilePtr
+        | SafePred::HeapChunkOrNull
+        | SafePred::PtrToCStrOrNull => true,
+        SafePred::NullOr(inner) => memoizable(inner),
+        _ => false,
+    }
+}
+
+/// Fuses a lowered check sequence into the tightest [`CheckKernel`]
+/// shape it fits. `wrapper_id` seeds the memo keys (`id << 3 | arg`).
+fn fuse_kernel(checks: Vec<PlannedCheck>, nargs: usize, wrapper_id: u32) -> CheckKernel {
+    if checks.is_empty() {
+        return CheckKernel::NoChecks;
+    }
+    let full_metadata = checks.iter().all(|c| {
+        matches!((&c.arg, &c.pred, &c.oracle), (Some(a), Some(_), Some(_)) if *a < nargs)
+    });
+    if !full_metadata {
+        return CheckKernel::Opaque(checks);
+    }
+    let memo_key = |arg: usize| (u64::from(wrapper_id) << 3) | arg as u64;
+    // strlen shape: a single CStr check.
+    if checks.len() == 1 {
+        let c = &checks[0];
+        if c.pred == Some(SafePred::CStr) {
+            let arg = c.arg.expect("full metadata");
+            return CheckKernel::CStrOnly {
+                arg,
+                memo_key: memo_key(arg),
+                on_fail: c.on_fail,
+            };
+        }
+    }
+    // strcpy shape: HoldsCStrOf{src} on dst, then CStr on src itself,
+    // with one failure policy — fusable into a single source scan.
+    if checks.len() == 2 {
+        if let (Some(SafePred::HoldsCStrOf { src }), Some(SafePred::CStr)) =
+            (&checks[0].pred, &checks[1].pred)
+        {
+            if checks[1].arg == Some(*src) && checks[0].on_fail == checks[1].on_fail {
+                return CheckKernel::BufLenPair {
+                    dst: checks[0].arg.expect("full metadata"),
+                    src: *src,
+                    oracle: Arc::clone(checks[0].oracle.as_ref().expect("full metadata")),
+                    on_fail: checks[0].on_fail,
+                };
+            }
+        }
+    }
+    CheckKernel::Seq(
+        checks
+            .into_iter()
+            .map(|c| {
+                let arg = c.arg.expect("full metadata");
+                let pred = c.pred.expect("full metadata");
+                let key = memoizable(&pred).then(|| memo_key(arg));
+                KernelCheck {
+                    arg,
+                    pred,
+                    oracle: c.oracle.expect("full metadata"),
+                    on_fail: c.on_fail,
+                    memo_key: key,
+                }
+            })
+            .collect(),
+    )
 }
 
 /// One symbolic operation in a hook's per-call behaviour — the abstract
@@ -242,6 +415,38 @@ pub struct WrappedFn {
 /// stack array of this size; longer signatures run dynamically).
 const MAX_FAST_ARGS: usize = 8;
 
+/// Retained capacity of the per-thread [`CallCx`] buffer pool.
+const CX_POOL_MAX: usize = 8;
+
+thread_local! {
+    /// Recycled `(args, scratch)` vector pairs for the dynamic path, so
+    /// steady-state `call_dynamic` traffic stops allocating per call
+    /// (the same recycling discipline as the address space's region
+    /// buffers). Popped on entry so re-entrant wrapped calls from inside
+    /// hooks get fresh buffers, returned cleared on exit.
+    static CX_POOL: RefCell<Vec<(Vec<CVal>, Vec<u64>)>> = const { RefCell::new(Vec::new()) };
+
+    /// Recycled render buffer for the compiled flight-recorder epilogue.
+    static ARGS_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Takes a recycled `(args, scratch)` pair, or fresh empty vectors.
+fn take_cx_bufs() -> (Vec<CVal>, Vec<u64>) {
+    CX_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns a `(args, scratch)` pair to the pool, cleared.
+fn put_cx_bufs(mut args: Vec<CVal>, mut scratch: Vec<u64>) {
+    args.clear();
+    scratch.clear();
+    CX_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < CX_POOL_MAX {
+            pool.push((args, scratch));
+        }
+    });
+}
+
 /// The flat, precomputed per-call program: truncation ops, check ops and
 /// the containment value, lowered from the hook pipeline at wrap time so
 /// the accept path is a branch-predictable array walk with no per-call
@@ -252,10 +457,23 @@ struct CallPlan {
     nargs: usize,
     /// `(index, bit width)` truncation ops for narrow integer params.
     int_ops: Vec<(usize, u64)>,
-    /// All hooks' checks, in pipeline order.
-    checks: Vec<PlannedCheck>,
+    /// All hooks' checks, fused into one specialized kernel.
+    kernel: CheckKernel,
     /// Precomputed `containment_value(&proto.ret)`.
     containment: CVal,
+}
+
+/// Telemetry recording compiled into the wrapper's epilogue, so the
+/// latency-histogram and flight-recorder configurations no longer force
+/// every call through the dynamic hook pipeline. Recording happens
+/// exactly once per call, at the point the dynamic pipeline's
+/// (first-positioned, hence last-run) recorder hooks fired, with the
+/// same cycle arithmetic and argument rendering — byte-identical XML.
+struct Telemetry {
+    /// Per-function "call" latency histogram sink.
+    latency: Option<Arc<Stats>>,
+    /// Recent-calls ring buffer sink.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 struct WrappedInner {
@@ -267,7 +485,12 @@ struct WrappedInner {
     int_widths: Vec<Option<u64>>,
     /// Compiled fast path; `None` when any hook requires dynamic dispatch.
     plan: Option<CallPlan>,
+    /// Compiled telemetry epilogue; `None` when nothing records.
+    telemetry: Option<Telemetry>,
 }
+
+/// Process-wide wrapper identity counter, seeding validation-memo keys.
+static NEXT_WRAPPER_ID: AtomicU32 = AtomicU32::new(0);
 
 impl fmt::Debug for WrappedFn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -285,6 +508,20 @@ impl WrappedFn {
     /// pipeline is lowered into a compiled [`CallPlan`] here, once, when
     /// every hook can express its accept path as pure checks.
     pub fn new(proto: Prototype, original: HostFn, hooks: Vec<Arc<dyn Hook>>) -> Self {
+        Self::new_with_telemetry(proto, original, hooks, None, None)
+    }
+
+    /// Like [`WrappedFn::new`], with telemetry sinks compiled into the
+    /// call epilogue: the per-function `"call"` latency histogram and the
+    /// flight recorder record on *every* path (fast or dynamic), exactly
+    /// once per call, without forcing dynamic dispatch.
+    pub fn new_with_telemetry(
+        proto: Prototype,
+        original: HostFn,
+        hooks: Vec<Arc<dyn Hook>>,
+        latency: Option<Arc<Stats>>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         let int_widths: Vec<Option<u64>> = proto
             .params
             .iter()
@@ -293,7 +530,13 @@ impl WrappedFn {
                 _ => None,
             })
             .collect();
-        let plan = Self::compile(&proto, &hooks, &int_widths);
+        let id = NEXT_WRAPPER_ID.fetch_add(1, Ordering::Relaxed);
+        let plan = Self::compile(&proto, &hooks, &int_widths, id);
+        let telemetry = if latency.is_some() || flight.is_some() {
+            Some(Telemetry { latency, flight })
+        } else {
+            None
+        };
         WrappedFn {
             inner: Arc::new(WrappedInner {
                 name: proto.name.clone(),
@@ -302,6 +545,7 @@ impl WrappedFn {
                 hooks,
                 int_widths,
                 plan,
+                telemetry,
             }),
         }
     }
@@ -312,6 +556,7 @@ impl WrappedFn {
         proto: &Prototype,
         hooks: &[Arc<dyn Hook>],
         int_widths: &[Option<u64>],
+        wrapper_id: u32,
     ) -> Option<CallPlan> {
         if proto.params.len() > MAX_FAST_ARGS {
             return None;
@@ -328,7 +573,7 @@ impl WrappedFn {
         Some(CallPlan {
             nargs: proto.params.len(),
             int_ops,
-            checks,
+            kernel: fuse_kernel(checks, proto.params.len(), wrapper_id),
             containment: containment_value(&proto.ret),
         })
     }
@@ -436,33 +681,181 @@ impl WrappedFn {
     ) -> Result<CVal, Fault> {
         let errno_before = proc.errno();
         let entry_cycles = proc.cycles();
+        // Stack-buffer copy only when a truncation op actually rewrites
+        // an argument; untruncated signatures use the caller's slice.
         let mut buf = [CVal::Void; MAX_FAST_ARGS];
-        let n = args.len();
-        buf[..n].copy_from_slice(args);
-        for &(i, bits) in &plan.int_ops {
-            buf[i] = CVal::Int(trunc_int(buf[i].as_int(), bits));
-        }
-        let norm = &buf[..n];
-        for planned in &plan.checks {
-            if !(planned.check)(proc, norm) {
-                return match planned.on_fail {
-                    // The dynamic pipeline re-discovers the violation and
-                    // applies policy/journaling; lowered hooks had no side
-                    // effects to replay, so re-entering from the top is
-                    // exact.
-                    FailAction::Fallback => self.call_dynamic(proc, args),
-                    FailAction::Reject => {
-                        proc.set_errno(errno::EINVAL);
-                        Ok(plan.containment)
-                    }
-                };
+        let norm: &[CVal] = if plan.int_ops.is_empty() {
+            args
+        } else {
+            let n = args.len();
+            buf[..n].copy_from_slice(args);
+            for &(i, bits) in &plan.int_ops {
+                buf[i] = CVal::Int(trunc_int(buf[i].as_int(), bits));
             }
+            &buf[..n]
+        };
+        if let Some(on_fail) = self.run_kernel(plan, proc, norm) {
+            return match on_fail {
+                // The dynamic pipeline re-discovers the violation and
+                // applies policy/journaling; lowered hooks had no side
+                // effects to replay, so re-entering from the top is
+                // exact. It also records telemetry — do not record here.
+                FailAction::Fallback => self.call_dynamic(proc, args),
+                FailAction::Reject => {
+                    proc.set_errno(errno::EINVAL);
+                    let result = Ok(plan.containment);
+                    self.record_telemetry(proc, norm, entry_cycles, &result);
+                    result
+                }
+            };
         }
         match (self.inner.original)(proc, norm) {
-            Ok(v) => Ok(v),
+            Ok(v) => {
+                let result = Ok(v);
+                self.record_telemetry(proc, norm, entry_cycles, &result);
+                result
+            }
             // Exit is the termination contract, not a fault to heal.
-            Err(f @ Fault::Exit(_)) => Err(f),
+            Err(f @ Fault::Exit(_)) => {
+                let result = Err(f);
+                self.record_telemetry(proc, norm, entry_cycles, &result);
+                result
+            }
             Err(f) => self.heal_after_fast_fault(proc, norm, errno_before, entry_cycles, f),
+        }
+    }
+
+    /// Runs the plan's fused check kernel over the normalized arguments.
+    /// `None` means every check passed; `Some(action)` is the first
+    /// failing check's response — the same answer, in the same order,
+    /// as the interpreted walk the kernel was fused from.
+    fn run_kernel(
+        &self,
+        plan: &CallPlan,
+        proc: &mut Proc,
+        norm: &[CVal],
+    ) -> Option<FailAction> {
+        match &plan.kernel {
+            CheckKernel::NoChecks => None,
+            CheckKernel::CStrOnly { arg, memo_key, on_fail } => {
+                let v = norm[*arg];
+                let ptr = v.as_ptr();
+                // CStr consults only process memory: auxiliary epoch 0.
+                if !v.is_null() && proc.validation_hit(*memo_key, ptr, 0) {
+                    return None;
+                }
+                if peek_cstr_len(proc, ptr).is_some() {
+                    proc.validation_store(*memo_key, ptr, 0);
+                    None
+                } else {
+                    Some(*on_fail)
+                }
+            }
+            CheckKernel::BufLenPair { dst, src, oracle, on_fail } => {
+                // One source scan serves both fused checks: the
+                // interpreter scanned `src` for `HoldsCStrOf` on `dst`,
+                // then scanned it again for `CStr` on `src` itself.
+                match peek_cstr_len(proc, norm[*src].as_ptr()) {
+                    Some(len)
+                        if oracle
+                            .writable_extent(proc, norm[*dst].as_ptr())
+                            .unwrap_or(0)
+                            > len =>
+                    {
+                        None
+                    }
+                    _ => Some(*on_fail),
+                }
+            }
+            CheckKernel::Seq(seq) => {
+                for kc in seq {
+                    let v = norm[kc.arg];
+                    if let Some(key) = kc.memo_key {
+                        if !v.is_null()
+                            && proc.validation_hit(
+                                key,
+                                v.as_ptr(),
+                                kc.oracle.validation_epoch(),
+                            )
+                        {
+                            continue;
+                        }
+                    }
+                    // Branch-free lowering for the scalar predicates; the
+                    // rest dispatch on the predicate directly.
+                    let ok = match &kc.pred {
+                        SafePred::NonNull => !v.is_null(),
+                        SafePred::IntNonZero => v.as_int() != 0,
+                        SafePred::IntInRange { min, max } => {
+                            let x = v.as_int();
+                            (x >= *min) & (x <= *max)
+                        }
+                        SafePred::SizeBelow(n) => v.as_usize() < *n,
+                        SafePred::CStr => peek_cstr_len(proc, v.as_ptr()).is_some(),
+                        pred => pred.check(proc, kc.oracle.as_ref(), norm, kc.arg),
+                    };
+                    if !ok {
+                        return Some(kc.on_fail);
+                    }
+                    if let Some(key) = kc.memo_key {
+                        if !v.is_null() {
+                            proc.validation_store(
+                                key,
+                                v.as_ptr(),
+                                kc.oracle.validation_epoch(),
+                            );
+                        }
+                    }
+                }
+                None
+            }
+            CheckKernel::Opaque(checks) => {
+                for planned in checks {
+                    if !(planned.check)(proc, norm) {
+                        return Some(planned.on_fail);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Records the compiled telemetry epilogue, if any: the `"call"`
+    /// latency histogram sample and the flight-recorder entry, with the
+    /// exact cycle arithmetic and argument rendering of the dynamic
+    /// recorder hooks (their XML must stay byte-identical).
+    fn record_telemetry(
+        &self,
+        proc: &Proc,
+        args: &[CVal],
+        entry_cycles: u64,
+        result: &Result<CVal, Fault>,
+    ) {
+        let Some(t) = &self.inner.telemetry else { return };
+        let cycles = proc.cycles().saturating_sub(entry_cycles);
+        if let Some(stats) = &t.latency {
+            stats.record_latency(&self.inner.name, "call", cycles);
+        }
+        if let Some(recorder) = &t.flight {
+            // Render into a recycled thread-local buffer: the epilogue
+            // itself stays allocation-free (the recorder's ring buffer
+            // copies out of it under its shard lock).
+            ARGS_BUF.with(|b| {
+                let mut s = b.borrow_mut();
+                s.clear();
+                s.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{a}");
+                }
+                s.push(')');
+                match result {
+                    Ok(_) => recorder.record(&self.inner.name, &s, "ok", cycles),
+                    Err(f) => recorder.record(&self.inner.name, &s, &f.to_string(), cycles),
+                }
+            });
         }
     }
 
@@ -478,17 +871,19 @@ impl WrappedFn {
         entry_cycles: u64,
         first_fault: Fault,
     ) -> Result<CVal, Fault> {
+        let (mut cx_args, cx_scratch) = take_cx_bufs();
+        cx_args.extend_from_slice(norm);
         let mut cx = CallCx {
             func: &self.inner.name,
             proc,
-            args: norm.to_vec(),
+            args: cx_args,
             errno_before,
             entry_cycles,
-            scratch: Vec::new(),
+            scratch: cx_scratch,
         };
         let mut fault = first_fault;
         let mut attempt: u32 = 0;
-        loop {
+        let result = loop {
             let mut decision = FaultDecision::Propagate;
             for hook in self.inner.hooks.iter() {
                 match hook.on_fault(&mut cx, &fault, attempt) {
@@ -500,24 +895,30 @@ impl WrappedFn {
                 }
             }
             match decision {
-                FaultDecision::Propagate => return Err(fault),
-                FaultDecision::Substitute(v) => return Ok(v),
+                FaultDecision::Propagate => break Err(fault),
+                FaultDecision::Substitute(v) => break Ok(v),
                 FaultDecision::Retry => {
                     attempt += 1;
                     match (self.inner.original)(cx.proc, &cx.args) {
-                        Ok(v) => return Ok(v),
-                        Err(f @ Fault::Exit(_)) => return Err(f),
+                        Ok(v) => break Ok(v),
+                        Err(f @ Fault::Exit(_)) => break Err(f),
                         Err(f) => fault = f,
                     }
                 }
             }
-        }
+        };
+        self.record_telemetry(cx.proc, &cx.args, entry_cycles, &result);
+        let CallCx { args, scratch, .. } = cx;
+        put_cx_bufs(args, scratch);
+        result
     }
 
     /// The fully dynamic pipeline (any hook with per-call side effects).
     fn call_dynamic(&self, proc: &mut Proc, args: &[CVal]) -> Result<CVal, Fault> {
-        // ABI-faithful width truncation of integer arguments.
-        let mut norm: Vec<CVal> = args.to_vec();
+        // ABI-faithful width truncation of integer arguments, into a
+        // recycled buffer.
+        let (mut norm, cx_scratch) = take_cx_bufs();
+        norm.extend_from_slice(args);
         for (i, width) in self.inner.int_widths.iter().enumerate() {
             if let (Some(b), Some(v)) = (width, norm.get(i).copied()) {
                 norm[i] = CVal::Int(trunc_int(v.as_int(), *b));
@@ -531,7 +932,7 @@ impl WrappedFn {
             args: norm,
             errno_before,
             entry_cycles,
-            scratch: Vec::new(),
+            scratch: cx_scratch,
         };
         let mut ran = self.inner.hooks.len();
         let mut early: Option<Result<CVal, Fault>> = None;
@@ -589,6 +990,12 @@ impl WrappedFn {
         for hook in self.inner.hooks[..ran].iter().rev() {
             hook.after(&mut cx, &mut result);
         }
+        // Compiled telemetry records after every after-hook ran — the
+        // position the (first-inserted, hence last-run) dynamic recorder
+        // hooks occupied.
+        self.record_telemetry(cx.proc, &cx.args, entry_cycles, &result);
+        let CallCx { args: pooled_args, scratch: pooled_scratch, .. } = cx;
+        put_cx_bufs(pooled_args, pooled_scratch);
         result
     }
 }

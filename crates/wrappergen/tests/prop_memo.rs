@@ -1,0 +1,164 @@
+//! Differential property test for epoch-memoized pointer validation.
+//!
+//! A compiled wrapper caches positive validations keyed on
+//! `(wrapper, arg-slot, pointer, mem epoch, oracle epoch)`
+//! (`Proc::validation_store`). The soundness bar: under *any*
+//! interleaving of mappings, unmappings, protection changes, content
+//! writes, canary-registry churn and wrapped calls, the memoized wrapper
+//! must give exactly the verdict an un-memoized evaluation of the same
+//! predicate gives — in particular it must never accept a pointer after
+//! its region was unmapped or protected read-only.
+
+use std::sync::Arc;
+
+use cdecl::{parse_prototype, TypedefTable};
+use guardian::{CanaryRegistry, GuardOracle};
+use proptest::prelude::*;
+use simproc::{CVal, Fault, Proc, Prot, VirtAddr};
+use typelattice::SafePred;
+use wrappergen::hooks::ArgCheckHook;
+use wrappergen::{PolicyEngine, WrappedFn};
+
+const SLOTS: usize = 4;
+const PAGE: u64 = 0x1000;
+
+/// Test regions live far above the standard process layout.
+fn slot_addr(slot: usize) -> VirtAddr {
+    VirtAddr::new(0x7000_0000 + (slot as u64) * 0x10_000)
+}
+
+/// Pure original: validation is the only thing under test, and a
+/// side-effect-free body keeps the address-space epoch still across
+/// calls, so memo entries survive as long as possible (the adversarial
+/// case for staleness).
+fn touch(_p: &mut Proc, _a: &[CVal]) -> Result<CVal, Fault> {
+    Ok(CVal::Int(7))
+}
+
+/// One step of the interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Map the slot's page read-write (no-op if something is mapped).
+    Map(usize),
+    /// Unmap the slot's page.
+    Unmap(usize),
+    /// Drop the slot's page to read-only.
+    ProtectRo(usize),
+    /// Restore the slot's page to read-write.
+    ProtectRw(usize),
+    /// Write a byte into the slot's page (content change).
+    Write(usize, u64),
+    /// Register a 16-byte canary-guarded allocation at `base + off`
+    /// (registry churn moves only the oracle's auxiliary epoch).
+    Guard(usize, u64),
+    /// Release the guarded allocation at `base + off`.
+    Unguard(usize, u64),
+    /// Call the `Writable(16)`-checked wrapper with `base + off`.
+    CallWritable(usize, u64),
+    /// Call the `CStr`-checked wrapper with `base + off`.
+    CallCStr(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = 0..SLOTS;
+    let off = 0..64u64;
+    prop_oneof![
+        slot.clone().prop_map(Op::Map),
+        slot.clone().prop_map(Op::Unmap),
+        slot.clone().prop_map(Op::ProtectRo),
+        slot.clone().prop_map(Op::ProtectRw),
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::Write(s, o)),
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::Guard(s, o)),
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::Unguard(s, o)),
+        // Calls appear twice so they dominate the mix and memo entries
+        // actually get replayed.
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::CallWritable(s, o)),
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::CallWritable(s, o)),
+        (slot.clone(), off.clone()).prop_map(|(s, o)| Op::CallCStr(s, o)),
+        (slot, off).prop_map(|(s, o)| Op::CallCStr(s, o)),
+    ]
+}
+
+/// Builds a compiled wrapper enforcing `pred` on its single argument.
+fn checked_fn(proto: &str, pred: SafePred, oracle: &GuardOracle) -> WrappedFn {
+    let proto = parse_prototype(proto, &TypedefTable::with_builtins()).unwrap();
+    let ret = proto.ret.clone();
+    let f = WrappedFn::new(
+        proto,
+        touch,
+        vec![Arc::new(ArgCheckHook::new(
+            vec![pred],
+            ret,
+            oracle.clone(),
+            PolicyEngine::containment(),
+        ))],
+    );
+    assert!(f.has_plan(), "the memoizing kernel is the thing under test");
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn memoized_verdicts_match_unmemoized_ground_truth(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let registry = Arc::new(CanaryRegistry::new());
+        let oracle = GuardOracle::new(Arc::clone(&registry));
+        let writable = checked_fn("int touch(void *p);", SafePred::Writable(16), &oracle);
+        let cstr = checked_fn("int slen(const char *s);", SafePred::CStr, &oracle);
+        let mut p = Proc::new();
+
+        for op in &ops {
+            match *op {
+                Op::Map(s) => {
+                    let _ = p.mem.map(slot_addr(s), PAGE, Prot::RW, format!("slot{s}"));
+                }
+                Op::Unmap(s) => {
+                    p.mem.unmap(slot_addr(s));
+                }
+                Op::ProtectRo(s) => {
+                    p.mem.protect(slot_addr(s), Prot::R);
+                }
+                Op::ProtectRw(s) => {
+                    p.mem.protect(slot_addr(s), Prot::RW);
+                }
+                Op::Write(s, off) => {
+                    let _ = p.mem.write_u8(slot_addr(s).add(off), 0x41);
+                }
+                Op::Guard(s, off) => {
+                    let _ = registry.protect(&mut p, slot_addr(s).add(off), 16);
+                }
+                Op::Unguard(s, off) => {
+                    registry.release(slot_addr(s).add(off));
+                }
+                Op::CallWritable(s, off) | Op::CallCStr(s, off) => {
+                    let (f, pred) = if matches!(*op, Op::CallWritable(..)) {
+                        (&writable, SafePred::Writable(16))
+                    } else {
+                        (&cstr, SafePred::CStr)
+                    };
+                    let args = [CVal::Ptr(slot_addr(s).add(off))];
+                    // Un-memoized ground truth, evaluated fresh.
+                    let valid = pred.check(&p, &oracle, &args, 0);
+                    let expect = if valid { CVal::Int(7) } else { CVal::Int(-1) };
+                    // Twice: the first call may populate the memo, the
+                    // second must replay it — both must agree with the
+                    // ground truth (nothing between them moves an epoch).
+                    for round in 0..2 {
+                        let got = f.call(&mut p, &args).unwrap();
+                        prop_assert_eq!(
+                            got,
+                            expect,
+                            "round {} of {:?}: memoized verdict diverged (valid={})",
+                            round,
+                            op,
+                            valid
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
