@@ -37,6 +37,7 @@
 mod contract;
 mod lint;
 mod report;
+mod subst;
 
 pub use contract::{
     contract_hook, contract_preds, infer_contracts, ladder_hints, ContractBase, Fact,
@@ -44,3 +45,4 @@ pub use contract::{
 };
 pub use lint::{lint_call_model, lint_contracts, lint_library, LintFinding, LintRule};
 pub use report::{render_findings, to_lint_lines};
+pub use subst::{analyze_substitutions, SubstitutionAnalysis};

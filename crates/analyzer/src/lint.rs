@@ -2,7 +2,7 @@
 //!
 //! A dataflow walk over the [`wrappergen::CallModel`] of each generated
 //! wrapper — the ordered check/mutate ops its hook pipeline admits to —
-//! plus a consistency pass over the contract fact base. Four rules:
+//! plus a consistency pass over the contract fact base. Five rules:
 //!
 //! 1. **check-after-mutation** — a check reads an argument an earlier
 //!    hook already rewrote, so it no longer validates what the caller
@@ -14,7 +14,12 @@
 //! 3. **unguarded-cstr-scan** — a string/byte scan not dominated by a
 //!    NULL check on the same argument dereferences NULL on the failure
 //!    path the wrapper exists to prevent;
-//! 4. **contradictory-contract-facts** — the fact base asserts both
+//! 4. **memoized-relational-verdict** — a memoized per-pointer verdict
+//!    about an argument that a downstream relational check relates to
+//!    other arguments: the memoizable predicate set disagrees with the
+//!    wrapper's relational contract facts (the cached verdict answers
+//!    for state the relational check must re-derive every call);
+//! 5. **contradictory-contract-facts** — the fact base asserts both
 //!    `NonNull` and `NullOk` for the same parameter with confidence.
 
 use std::collections::BTreeMap;
@@ -34,6 +39,9 @@ pub enum LintRule {
     NarrowMask,
     /// A scanning check not dominated by a NULL check.
     UnguardedScan,
+    /// A memoized verdict on an argument a downstream relational check
+    /// involves.
+    MemoizedRelational,
     /// `NonNull` and `NullOk` both asserted for one parameter.
     ContradictoryFacts,
 }
@@ -45,15 +53,17 @@ impl LintRule {
             LintRule::CheckAfterMutation => "check-after-mutation",
             LintRule::NarrowMask => "narrow-mask",
             LintRule::UnguardedScan => "unguarded-cstr-scan",
+            LintRule::MemoizedRelational => "memoized-relational-verdict",
             LintRule::ContradictoryFacts => "contradictory-contract-facts",
         }
     }
 
-    /// Report severity: pipeline defects are errors, fact-base
-    /// inconsistencies are warnings (they block pre-seeding, not calls).
+    /// Report severity: pipeline defects are errors, consistency
+    /// disagreements are warnings (the relational check still runs each
+    /// call; fact-base contradictions block pre-seeding, not calls).
     pub fn severity(self) -> &'static str {
         match self {
-            LintRule::ContradictoryFacts => "warning",
+            LintRule::ContradictoryFacts | LintRule::MemoizedRelational => "warning",
             _ => "error",
         }
     }
@@ -106,10 +116,12 @@ pub fn lint_call_model(model: &CallModel) -> Vec<LintFinding> {
     let mut mutated: BTreeMap<usize, (&str, String)> = BTreeMap::new();
     // args already established non-NULL by an earlier check.
     let mut null_checked: std::collections::BTreeSet<usize> = Default::default();
+    // arg -> (hook, label) of an earlier memoized per-pointer verdict.
+    let mut memoized_verdicts: BTreeMap<usize, (&str, String)> = BTreeMap::new();
 
     for op in &model.ops {
         match &op.op {
-            HookOp::Check { arg, pred, label, null_guarded } => {
+            HookOp::Check { arg, pred, label, null_guarded, memoized } => {
                 // Rule 1: the set of args this check reads.
                 let mut reads = vec![*arg];
                 if let Some(p) = pred {
@@ -165,6 +177,39 @@ pub fn lint_call_model(model: &CallModel) -> Vec<LintFinding> {
                             arg + 1
                         ),
                     });
+                }
+                // Rule 4: a relational check involving an argument whose
+                // verdict an earlier check memoized per pointer — the
+                // memoizable predicate set disagrees with the relational
+                // contract facts.
+                if pred.as_ref().is_some_and(SafePred::is_relational) {
+                    let mut involved = vec![*arg];
+                    if let Some(p) = pred {
+                        involved.extend(p.referenced_args());
+                    }
+                    involved.sort_unstable();
+                    involved.dedup();
+                    for r in involved {
+                        if let Some((mhook, mlabel)) = memoized_verdicts.get(&r) {
+                            findings.push(LintFinding {
+                                func: model.func.clone(),
+                                rule: LintRule::MemoizedRelational,
+                                arg: Some(r),
+                                message: format!(
+                                    "`{mhook}` memoizes a per-pointer verdict on arg {} \
+                                     ({mlabel}), but `{}` evaluates the relational check \
+                                     ({label}) involving the same argument on every call \
+                                     — the memoized verdict disagrees with the wrapper's \
+                                     relational facts",
+                                    r + 1,
+                                    op.hook
+                                ),
+                            });
+                        }
+                    }
+                }
+                if *memoized {
+                    memoized_verdicts.insert(*arg, (op.hook, label.clone()));
                 }
                 // A passed check whose predicate implies non-NULL
                 // dominates later raw scans of the same argument.
@@ -226,7 +271,17 @@ mod tests {
 
     fn check(arg: usize, pred: Option<SafePred>, guarded: bool) -> HookOp {
         let label = pred.as_ref().map(|p| p.to_string()).unwrap_or_else(|| "raw".into());
-        HookOp::Check { arg, pred, label, null_guarded: guarded }
+        HookOp::Check { arg, pred, label, null_guarded: guarded, memoized: false }
+    }
+
+    fn memo_check(arg: usize, pred: SafePred) -> HookOp {
+        HookOp::Check {
+            arg,
+            label: pred.to_string(),
+            pred: Some(pred),
+            null_guarded: true,
+            memoized: true,
+        }
     }
 
     fn model(
@@ -337,6 +392,59 @@ mod tests {
             ],
         );
         assert_eq!(lint_call_model(&other).len(), 1);
+    }
+
+    #[test]
+    fn memoized_verdict_under_a_relational_check_is_flagged() {
+        // The PR 8 allowlist memoizes Writable per pointer; a relational
+        // SizeFitsWritable downstream re-derives the same extent every
+        // call — the two disagree about what may be cached.
+        let m = model(
+            vec![],
+            vec![
+                ("kernel", memo_check(0, SafePred::Writable(1))),
+                (
+                    "arg check",
+                    check(2, Some(SafePred::SizeFitsWritable { ptr: 0, elem: 1 }), true),
+                ),
+            ],
+        );
+        let f = lint_call_model(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::MemoizedRelational);
+        assert_eq!(f[0].rule.severity(), "warning");
+        assert_eq!(f[0].arg, Some(0));
+        assert!(f[0].message.contains("memoizes"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn memoized_relational_rule_spares_unrelated_args() {
+        // Memoized verdict on an argument no relational check involves:
+        // clean (the fread shape — ValidFilePtr memoized on the stream,
+        // relational product check on the buffer).
+        let m = model(
+            vec![],
+            vec![
+                ("kernel", memo_check(3, SafePred::ValidFilePtr)),
+                (
+                    "arg check",
+                    check(0, Some(SafePred::WritableAtLeastProduct { a: 1, b: 2 }), true),
+                ),
+            ],
+        );
+        assert!(lint_call_model(&m).is_empty());
+        // Unmemoized verdicts never trigger the rule, wherever they sit.
+        let unmemo = model(
+            vec![],
+            vec![
+                ("kernel", check(0, Some(SafePred::Writable(1)), true)),
+                (
+                    "arg check",
+                    check(2, Some(SafePred::SizeFitsWritable { ptr: 0, elem: 1 }), true),
+                ),
+            ],
+        );
+        assert!(lint_call_model(&unmemo).is_empty());
     }
 
     #[test]

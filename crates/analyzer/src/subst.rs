@@ -1,0 +1,408 @@
+//! The flow-sensitive substitution analysis (the analyzer's third pass).
+//!
+//! A dataflow walk over each wrapper's symbolic [`CallModel`] — the same
+//! IR the soundness lint consumes — plus the inferred contract fact
+//! base, deriving per (function, argument) a point on the extent lattice
+//! (`Unknown → NullOk → NonNull → BoundedBy → ExactExtent`) and emitting
+//! a [`SubstitutionPlan`] only when the full proof obligation
+//! discharges:
+//!
+//! 1. the model is fully described (no opaque ops — an op the model
+//!    cannot vouch for could do anything);
+//! 2. the destination's extent is *exactly* known at entry
+//!    ([`ExtentClass::ExactExtent`]): some check already consults the
+//!    oracle's `extent_right` answer for that pointer, so the safer
+//!    variant may clip to the same exact bound;
+//! 3. no size-mutating op is ordered before the bounded copy (a mutated
+//!    destination invalidates the proven extent);
+//! 4. the source is established as a measurable C string (the clip
+//!    length exists);
+//! 5. no contradictory facts: the contract base must not confidently
+//!    assert the destination is NULL-tolerant while the rewrite
+//!    requires dereferencing it.
+//!
+//! Rejections are kept (with reasons) so the audit can show what was
+//! *not* rewritten and why — a substitution pass that silently skips
+//! functions reads as "covered everything" when it didn't.
+
+use typelattice::{ExtentClass, ProofStep, SafePred, SubstFamily, SubstitutionPlan};
+use wrappergen::{CallModel, HookOp, WrapperLibrary};
+
+use crate::contract::{ContractBase, Fact, NULL_OK_THRESHOLD};
+
+/// The analysis result over one wrapper library: proven plans plus the
+/// audit trail of fragile functions that could not be proven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstitutionAnalysis {
+    /// soname of the analyzed library.
+    pub library: String,
+    /// Proven-sound plans, sorted by function name.
+    pub plans: Vec<SubstitutionPlan>,
+    /// `(function, reason)` for every family member whose proof did not
+    /// discharge, sorted by function name.
+    pub rejected: Vec<(String, String)>,
+}
+
+impl SubstitutionAnalysis {
+    /// Renders the analysis deterministically: every plan with its
+    /// discharged proof, then every rejection with its reason.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Substitution analysis for `{}`: {} plan(s), {} rejection(s)",
+            self.library,
+            self.plans.len(),
+            self.rejected.len()
+        );
+        for plan in &self.plans {
+            out.push_str(&plan.render_proof());
+        }
+        for (func, reason) in &self.rejected {
+            let _ = writeln!(out, "{func}: NOT substituted — {reason}");
+        }
+        out
+    }
+}
+
+/// Per-argument lattice state threaded through one model walk.
+#[derive(Debug, Default)]
+struct ArgState {
+    extent: ExtentClass,
+    /// The op that established the current lattice point (for the proof).
+    evidence: Option<String>,
+}
+
+impl ArgState {
+    fn refine(&mut self, to: ExtentClass, evidence: &str) {
+        let next = self.extent.refine(to);
+        if next != self.extent || self.evidence.is_none() {
+            self.extent = next;
+            self.evidence = Some(evidence.to_string());
+        }
+    }
+}
+
+/// What one predicate teaches the lattice about its subject argument.
+fn transfer(pred: &SafePred) -> ExtentClass {
+    match pred {
+        SafePred::NonNull
+        | SafePred::CStr
+        | SafePred::Readable(_)
+        | SafePred::Writable(_)
+        | SafePred::ValidFilePtr
+        | SafePred::PtrToCStrOrNull => ExtentClass::NonNull,
+        // The check passed means the oracle answered the exact
+        // right-edge extent of this pointer and the relation held — the
+        // safer variant may re-ask the same oracle at call time.
+        SafePred::HoldsCStrOf { .. } => ExtentClass::ExactExtent,
+        SafePred::WritableAtLeastArg { size, .. } => ExtentClass::BoundedBy(*size),
+        SafePred::NullOr(_) | SafePred::HeapChunkOrNull => ExtentClass::NullOk,
+        _ => ExtentClass::Unknown,
+    }
+}
+
+/// Walks one call model, deciding whether the fragile `family` call may
+/// be rerouted. Returns the plan or the reason it may not.
+fn prove_model(
+    model: &CallModel,
+    family: SubstFamily,
+    base: Option<&ContractBase>,
+) -> Result<SubstitutionPlan, String> {
+    let dst = family.dst_arg();
+    let src = family.src_arg();
+    let mut args: std::collections::BTreeMap<usize, ArgState> = Default::default();
+    let mut proof = Vec::new();
+
+    for op in &model.ops {
+        match &op.op {
+            HookOp::Opaque => {
+                return Err(format!(
+                    "`{}` contributes an op the model cannot describe; \
+                     an undescribed op may mutate the destination",
+                    op.hook
+                ));
+            }
+            HookOp::Mutate { arg, label } => {
+                if *arg == dst {
+                    return Err(format!(
+                        "`{}` mutates the destination before the copy ({label}); \
+                         the proven extent would be stale",
+                        op.hook
+                    ));
+                }
+                // Any other mutated argument loses its lattice point.
+                args.entry(*arg).or_default().extent = ExtentClass::Unknown;
+                args.entry(*arg).or_default().evidence = None;
+            }
+            HookOp::Check { arg, pred: Some(p), label, .. } => {
+                let evidence = format!("`{}` check: {label}", op.hook);
+                // Relational predicates teach the lattice about the
+                // arguments they reference, not just their subject: a
+                // passed `holds-cstr(argN)` measured argN's string (its
+                // evaluation scans it), and a passed size-fits check got
+                // an exact oracle answer for the pointer it bounds.
+                match p {
+                    SafePred::SizeFitsWritable { ptr, .. } => {
+                        args.entry(*ptr)
+                            .or_default()
+                            .refine(ExtentClass::ExactExtent, &evidence);
+                    }
+                    SafePred::HoldsCStrOf { src: s } => {
+                        args.entry(*s).or_default().refine(
+                            ExtentClass::NonNull,
+                            &format!("{evidence} (source measured by the check)"),
+                        );
+                    }
+                    _ => {}
+                }
+                args.entry(*arg).or_default().refine(transfer(p), &evidence);
+            }
+            HookOp::Check { pred: None, .. } | HookOp::Observe => {}
+        }
+    }
+
+    // Obligation: the model was fully described (checked op by op above).
+    proof.push(ProofStep {
+        obligation: "wrapper model fully described (no opaque ops)".into(),
+        discharged_by: format!("{} described op(s)", model.ops.len()),
+    });
+
+    // Obligation: destination extent exactly known at entry.
+    let dst_state = args.get(&dst);
+    let dst_extent = dst_state.map(|s| s.extent).unwrap_or_default();
+    match dst_extent {
+        ExtentClass::ExactExtent => proof.push(ProofStep {
+            obligation: format!("arg {} extent exactly known at entry", dst + 1),
+            discharged_by: dst_state
+                .and_then(|s| s.evidence.clone())
+                .unwrap_or_else(|| "exact-extent".into()),
+        }),
+        other => {
+            return Err(format!(
+                "destination extent is `{other}` at entry, not exact — \
+                 the oracle cannot bound the copy"
+            ));
+        }
+    }
+
+    // Obligation: no size-mutating op before the copy (checked in the
+    // walk — reaching here means none was seen).
+    proof.push(ProofStep {
+        obligation: format!("no size-mutating op on arg {} before the copy", dst + 1),
+        discharged_by: "no Mutate op targets the destination".into(),
+    });
+
+    // Obligation: the source is a measurable C string.
+    let src_extent = args.get(&src).map(|s| s.extent).unwrap_or_default();
+    if src_extent.rank() >= ExtentClass::NonNull.rank() {
+        proof.push(ProofStep {
+            obligation: format!("arg {} measurable as a C string", src + 1),
+            discharged_by: args
+                .get(&src)
+                .and_then(|s| s.evidence.clone())
+                .unwrap_or_else(|| "non-null".into()),
+        });
+    } else {
+        return Err(format!(
+            "source extent is `{src_extent}` — the clip length cannot be measured"
+        ));
+    }
+
+    // Obligation: no contradictory contract facts about the destination.
+    if let Some(contract) = base.and_then(|b| b.function(&model.func)) {
+        let nullok = contract.confidence(&Fact::NullOk(dst));
+        if nullok >= NULL_OK_THRESHOLD {
+            return Err(format!(
+                "contract asserts arg {} is NULL-tolerant ({nullok:.2}) but the \
+                 rewrite must dereference it — contradictory facts",
+                dst + 1
+            ));
+        }
+        proof.push(ProofStep {
+            obligation: "no contradictory contract facts".into(),
+            discharged_by: format!(
+                "contract NullOk(arg {}) confidence {nullok:.2} < {NULL_OK_THRESHOLD}",
+                dst + 1
+            ),
+        });
+    } else {
+        proof.push(ProofStep {
+            obligation: "no contradictory contract facts".into(),
+            discharged_by: "no contract facts recorded for this function".into(),
+        });
+    }
+
+    Ok(SubstitutionPlan {
+        func: model.func.clone(),
+        family,
+        dst_arg: dst,
+        src_arg: src,
+        dst_extent,
+        proof,
+    })
+}
+
+/// Runs the substitution analysis over every wrapper in `lib` (normally
+/// the security wrapper — its models carry the campaign-derived
+/// relational checks the proofs lean on), consulting `base` for
+/// contradictory facts when given.
+pub fn analyze_substitutions(
+    lib: &WrapperLibrary,
+    base: Option<&ContractBase>,
+) -> SubstitutionAnalysis {
+    let mut plans = Vec::new();
+    let mut rejected = Vec::new();
+    for (name, wrapped) in lib.iter() {
+        let Some(family) = SubstFamily::of(name) else { continue };
+        match prove_model(&wrapped.call_model(), family, base) {
+            Ok(plan) => plans.push(plan),
+            Err(reason) => rejected.push((name.to_string(), reason)),
+        }
+    }
+    // `iter` walks a BTreeMap, but sort anyway so the contract is local.
+    plans.sort_by(|a, b| a.func.cmp(&b.func));
+    rejected.sort();
+    SubstitutionAnalysis { library: lib.soname.clone(), plans, rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrappergen::ModelOp;
+
+    fn check(arg: usize, pred: SafePred) -> HookOp {
+        HookOp::Check {
+            arg,
+            label: pred.to_string(),
+            pred: Some(pred),
+            null_guarded: true,
+            memoized: false,
+        }
+    }
+
+    fn model(func: &str, ops: Vec<HookOp>) -> CallModel {
+        CallModel {
+            func: func.into(),
+            truncations: vec![],
+            ops: ops
+                .into_iter()
+                .map(|op| ModelOp { hook: "arg check", provenance: "campaign".into(), op })
+                .collect(),
+        }
+    }
+
+    fn strcpy_model() -> CallModel {
+        model(
+            "strcpy",
+            vec![check(0, SafePred::HoldsCStrOf { src: 1 }), check(1, SafePred::CStr)],
+        )
+    }
+
+    #[test]
+    fn proves_the_strcpy_shape() {
+        let plan = prove_model(&strcpy_model(), SubstFamily::Strcpy, None).unwrap();
+        assert_eq!(plan.dst_extent, ExtentClass::ExactExtent);
+        assert_eq!(plan.dst_arg, 0);
+        assert_eq!(plan.src_arg, 1);
+        assert!(plan.proof.len() >= 4, "{:?}", plan.proof);
+        let rendered = plan.render_proof();
+        assert!(rendered.contains("exactly known"), "{rendered}");
+    }
+
+    #[test]
+    fn opaque_ops_block_the_proof() {
+        let mut m = strcpy_model();
+        m.ops.push(ModelOp {
+            hook: "mystery",
+            provenance: "builtin".into(),
+            op: HookOp::Opaque,
+        });
+        let err = prove_model(&m, SubstFamily::Strcpy, None).unwrap_err();
+        assert!(err.contains("cannot describe"), "{err}");
+    }
+
+    #[test]
+    fn destination_mutation_blocks_the_proof() {
+        let mut m = strcpy_model();
+        m.ops.insert(
+            0,
+            ModelOp {
+                hook: "canary",
+                provenance: "builtin".into(),
+                op: HookOp::Mutate { arg: 0, label: "inflate".into() },
+            },
+        );
+        let err = prove_model(&m, SubstFamily::Strcpy, None).unwrap_err();
+        assert!(err.contains("mutates the destination"), "{err}");
+    }
+
+    #[test]
+    fn inexact_destination_extent_blocks_the_proof() {
+        // Only NonNull established for dst: the lattice stops below
+        // ExactExtent and the proof must not discharge.
+        let m =
+            model("strcpy", vec![check(0, SafePred::NonNull), check(1, SafePred::CStr)]);
+        let err = prove_model(&m, SubstFamily::Strcpy, None).unwrap_err();
+        assert!(err.contains("non-null"), "{err}");
+        // NullOr admits NULL: even further down.
+        let nullok = model(
+            "strcpy",
+            vec![
+                check(0, SafePred::NullOr(Box::new(SafePred::Writable(1)))),
+                check(1, SafePred::CStr),
+            ],
+        );
+        let err = prove_model(&nullok, SubstFamily::Strcpy, None).unwrap_err();
+        assert!(err.contains("null-ok"), "{err}");
+    }
+
+    #[test]
+    fn unmeasurable_source_blocks_the_proof() {
+        // Destination extent is exact (a size-fits check measured it) but
+        // nothing ever touched the source string.
+        let m =
+            model("strcpy", vec![check(2, SafePred::SizeFitsWritable { ptr: 0, elem: 1 })]);
+        let err = prove_model(&m, SubstFamily::Strcpy, None).unwrap_err();
+        assert!(err.contains("clip length"), "{err}");
+    }
+
+    #[test]
+    fn holds_cstr_alone_proves_the_security_wrapper_shape() {
+        // The security wrapper strips the read-side CStr check to
+        // `Always`, leaving only the relational holds-cstr on dst — whose
+        // evaluation measures the source, so the proof still discharges.
+        let m = model("strcpy", vec![check(0, SafePred::HoldsCStrOf { src: 1 })]);
+        let plan = prove_model(&m, SubstFamily::Strcpy, None).unwrap();
+        assert_eq!(plan.dst_extent, ExtentClass::ExactExtent);
+        assert!(
+            plan.proof.iter().any(|s| s.discharged_by.contains("source measured")),
+            "{:?}",
+            plan.proof
+        );
+    }
+
+    #[test]
+    fn contradictory_nullok_contract_blocks_the_proof() {
+        use crate::contract::FunctionContract;
+        let mut c = FunctionContract::new("strcpy");
+        c.add_evidence(Fact::NullOk(0), 0.95, "man:may-be-NULL");
+        let mut base = ContractBase { library: "x".into(), ..Default::default() };
+        base.functions.insert("strcpy".into(), c);
+        let err =
+            prove_model(&strcpy_model(), SubstFamily::Strcpy, Some(&base)).unwrap_err();
+        assert!(err.contains("contradictory"), "{err}");
+    }
+
+    #[test]
+    fn analysis_text_is_deterministic() {
+        let a = SubstitutionAnalysis {
+            library: "libx.so.1".into(),
+            plans: vec![],
+            rejected: vec![("strcat".into(), "reason".into())],
+        };
+        assert_eq!(a.to_text(), a.to_text());
+        assert!(a.to_text().contains("NOT substituted"));
+    }
+}

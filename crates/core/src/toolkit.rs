@@ -8,7 +8,7 @@ use cdecl::xml::write_declaration_file;
 use injector::{run_campaign, CampaignConfig, CampaignResult, CheckpointJournal, TargetFn};
 use interpose::{AppInfo, Executable, Loader, RunOutcome, SharedLibrary, System};
 use simproc::Proc;
-use typelattice::RobustApi;
+use typelattice::{RobustApi, SubstitutionPlan};
 use wrappergen::{build_wrapper, PolicyEngine, WrapperConfig, WrapperKind, WrapperLibrary};
 
 use crate::bridge::as_preload_library;
@@ -290,6 +290,35 @@ impl Toolkit {
             }
         }
         build_wrapper(WrapperKind::Healing, api, &config)
+    }
+
+    /// Runs the flow-sensitive substitution analysis over a generated
+    /// wrapper library (normally the security wrapper — its call models
+    /// carry the campaign-derived relational checks the proofs lean on),
+    /// consulting the inferred contract base for contradictory facts
+    /// when one is supplied. Returns proven [`SubstitutionPlan`]s plus
+    /// the audit of rejected functions.
+    pub fn analyze_substitutions(
+        &self,
+        wrapper: &WrapperLibrary,
+        contracts: Option<&analyzer::ContractBase>,
+    ) -> analyzer::SubstitutionAnalysis {
+        analyzer::analyze_substitutions(wrapper, contracts)
+    }
+
+    /// Generates the safer-variant substitution wrapper: only functions
+    /// with a proven plan are interposed, each rerouted to a bounded
+    /// variant clipped to the oracle's exact extent — overflows are
+    /// prevented outright instead of canary-detected.
+    pub fn generate_substitute_wrapper(
+        &self,
+        api: &RobustApi,
+        config: &WrapperConfig,
+        plans: &[SubstitutionPlan],
+    ) -> WrapperLibrary {
+        let mut config = config.clone();
+        config.substitutions = plans.to_vec();
+        build_wrapper(WrapperKind::Substitute, api, &config)
     }
 
     /// Converts a generated wrapper into a preloadable shared library.

@@ -85,6 +85,20 @@ impl ExtentOracle for GuardOracle {
         }
     }
 
+    fn extent_right(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        // `object_region` already names the precise containing object
+        // (requested size for protected allocations — the canary is never
+        // writable space — then chunk payload, then region/stack rules),
+        // so the distance from `addr` to the object's right edge is the
+        // exact bound a substituted copy may fill.
+        let (base, size) = self.object_region(proc, addr)?;
+        let end = base.add(size);
+        if addr >= end {
+            return None;
+        }
+        Some(end.diff(addr))
+    }
+
     fn validation_epoch(&self) -> u64 {
         // The registry is the only state this oracle consults outside the
         // process image (the heap oracle walks in-image chunk headers,
@@ -139,6 +153,69 @@ mod tests {
         assert_eq!(oracle.object_region(&p, plain), None);
         // Wild pointer: nothing.
         assert_eq!(oracle.object_region(&p, simproc::layout::WILD_ADDR), None);
+    }
+
+    #[test]
+    fn extent_right_is_exact_at_object_edges() {
+        let mut p = libc_proc();
+        let registry = Arc::new(CanaryRegistry::new());
+        let oracle = GuardOracle::new(Arc::clone(&registry));
+
+        // Canary-guarded chunk: the extent must exclude the guard word —
+        // 20 requested bytes, never the CANARY_LEN slack behind them.
+        let guarded = heap::malloc(&mut p, 20 + CANARY_LEN).unwrap();
+        registry.protect(&mut p, guarded, 20).unwrap();
+        assert_eq!(oracle.extent_right(&p, guarded), Some(20));
+        // Pointer at the last byte of the protected region: exactly 1.
+        assert_eq!(oracle.extent_right(&p, guarded.add(19)), Some(1));
+        // First canary byte: not an object at all.
+        assert_eq!(oracle.extent_right(&p, guarded.add(20)), None);
+
+        // Interior pointer into a plain heap chunk: distance from the
+        // pointer to the payload's right edge, from the chunk walk.
+        let plain = heap::malloc(&mut p, 24).unwrap();
+        let (base, size) = oracle.object_region(&p, plain).unwrap();
+        assert_eq!(base, plain);
+        assert_eq!(oracle.extent_right(&p, plain.add(3)), Some(size - 3));
+        // Last payload byte of the plain chunk: exactly 1.
+        assert_eq!(oracle.extent_right(&p, plain.add(size - 1)), Some(1));
+        // Freed chunk: no object, no extent.
+        heap::free(&mut p, plain).unwrap();
+        assert_eq!(oracle.extent_right(&p, plain), None);
+
+        // The exact query never reports more than the writable extent.
+        let d = p.alloc_data_zeroed(32);
+        let right = oracle.extent_right(&p, d).unwrap();
+        assert!(right >= 32);
+        assert_eq!(Some(right), oracle.writable_extent(&p, d));
+    }
+
+    #[test]
+    fn extent_right_stack_extents_across_push_pop_epochs() {
+        let mut p = libc_proc();
+        let oracle = GuardOracle::new(Arc::new(CanaryRegistry::new()));
+
+        p.push_frame("outer").unwrap();
+        let outer_buf = p.stack_alloc(16).unwrap();
+        let outer_slot = p.frame_containing(outer_buf).unwrap().ret_slot;
+        assert_eq!(oracle.extent_right(&p, outer_buf), Some(outer_slot.diff(outer_buf)));
+
+        // A nested frame clips its own locals at its own return slot and
+        // leaves the outer buffer's answer unchanged.
+        p.push_frame("inner").unwrap();
+        let inner_buf = p.stack_alloc(8).unwrap();
+        let inner_slot = p.frame_containing(inner_buf).unwrap().ret_slot;
+        assert_eq!(oracle.extent_right(&p, inner_buf), Some(inner_slot.diff(inner_buf)));
+        assert_eq!(oracle.extent_right(&p, outer_buf), Some(outer_slot.diff(outer_buf)));
+
+        // Popping the inner frame bumps the address-space epoch (dead
+        // locals must expire memoized extents) and removes the inner
+        // frame's clipping rule.
+        let epoch_before = p.mem.epoch();
+        p.pop_frame().unwrap();
+        assert!(p.mem.epoch() > epoch_before, "pop must expire memoized extents");
+        assert!(p.frame_containing(inner_buf).is_none());
+        assert_eq!(oracle.extent_right(&p, outer_buf), Some(outer_slot.diff(outer_buf)));
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod outcome;
 mod report;
 mod sandbox;
 mod search;
+mod substitution;
 
 pub use ablation::{run_policy_ablation, AblationArm};
 pub use checkpoint::{
@@ -58,4 +59,7 @@ pub use search::{
     run_campaign_parallel_checkpointed, run_campaign_with_hints, targets_from_simlibc,
     targets_from_simmath, CampaignConfig, CampaignResult, CrashCase, FunctionReport,
     NamedDispatch, ParamResult, ReplaySummary, TargetFn,
+};
+pub use substitution::{
+    run_substitution_trial, Divergence, SubstitutionArms, SubstitutionSummary,
 };

@@ -29,6 +29,10 @@ pub enum HealAction {
     /// The violation was recorded and the call passed through unchanged
     /// (observe-only posture).
     Observed,
+    /// An overflow was *prevented* outright: a proven-sound safer-variant
+    /// substitution clipped the write to the destination's exact extent,
+    /// so no canary was ever smashed and no process was terminated.
+    Prevented,
 }
 
 impl HealAction {
@@ -42,6 +46,7 @@ impl HealAction {
             HealAction::Contained => "contained",
             HealAction::Terminated => "terminated",
             HealAction::Observed => "observed",
+            HealAction::Prevented => "prevented",
         }
     }
 }

@@ -64,7 +64,8 @@ pub use remedy::{
 pub use report::{
     render_ablation_report, render_escalation_report, render_fault_report,
     render_fleet_report, render_lint_report, render_report, render_report_with_healing,
-    render_robust_api_health, render_worker_report, AblationLine, LintLine, WorkerLine,
+    render_robust_api_health, render_substitution_report, render_worker_report,
+    AblationLine, LintLine, SubstitutionLine, WorkerLine,
 };
 pub use server::{
     Collected, CollectionServer, Collector, RejectedSample, Submission,

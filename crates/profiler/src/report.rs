@@ -285,6 +285,83 @@ pub fn render_ablation_report(library: &str, lines: &[AblationLine]) -> String {
     out
 }
 
+/// One function row of a substitution trial: the same recorded crash
+/// cases replayed through the detecting (canary/terminate) wrapper and
+/// through the safer-variant substitute, pre-rendered by the injector
+/// into the profiler's report vocabulary. The row is the paper-level
+/// claim: an overflow class moves from *detected* (process terminated
+/// after the canary is smashed) to *prevented* (write clipped to the
+/// exact extent, process keeps running).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstitutionLine {
+    /// Wrapped function the cases were replayed against.
+    pub func: String,
+    /// Crash cases replayed through each arm.
+    pub replayed: u64,
+    /// Detection arm: cases the unsubstituted security wrapper answered
+    /// by refusing or terminating (canary-detected after the fact).
+    pub detected: u64,
+    /// Substitution arm: cases that survived *with* a journaled
+    /// `prevented` clip — the overflow never happened.
+    pub prevented: u64,
+    /// Substitution arm: cases that survived in total (prevented clips
+    /// plus graceful rejections of unmeasurable preconditions).
+    pub survived: u64,
+    /// Same-seed behaviour divergences between the substitute and the
+    /// unsubstituted reference on cases the reference passes — must be
+    /// zero for a sound substitution (the CI gate).
+    pub diverged: u64,
+}
+
+/// Renders the substitution trial: the prevented-vs-detected table, a
+/// totals line, and the audit of every rewrite's discharged proof.
+/// Deterministic: rows sort by function, proofs render in plan order.
+pub fn render_substitution_report(
+    library: &str,
+    lines: &[SubstitutionLine],
+    plans: &[typelattice::SubstitutionPlan],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Safer-variant substitution trial for `{library}`:");
+    if lines.is_empty() {
+        let _ = writeln!(out, "  (no crash cases replayed)");
+    } else {
+        let mut sorted: Vec<&SubstitutionLine> = lines.iter().collect();
+        sorted.sort_by(|a, b| a.func.cmp(&b.func));
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>9} {:>10} {:>9} {:>9}",
+            "function", "replayed", "detected", "prevented", "survived", "diverged"
+        );
+        let mut tot = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for l in &sorted {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>9} {:>10} {:>9} {:>9}",
+                l.func, l.replayed, l.detected, l.prevented, l.survived, l.diverged
+            );
+            tot.0 += l.replayed;
+            tot.1 += l.detected;
+            tot.2 += l.prevented;
+            tot.3 += l.survived;
+            tot.4 += l.diverged;
+        }
+        let _ = writeln!(
+            out,
+            "\n  Totals: {} replayed, {} detected -> {} prevented \
+             ({} survived, {} diverged)",
+            tot.0, tot.1, tot.2, tot.3, tot.4
+        );
+    }
+    let _ = writeln!(out, "\n  Substitution audit ({} proven plan(s)):", plans.len());
+    for plan in plans {
+        for line in plan.render_proof().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
 /// Per-worker campaign metrics, pre-rendered by the injector into the
 /// profiler's report vocabulary — like [`LintLine`], the profiler knows
 /// nothing about campaigns; it renders whatever rows the workers

@@ -20,6 +20,19 @@ pub trait ExtentOracle {
     /// Number of bytes readable starting at `addr`, or `None`.
     fn readable_extent(&self, proc: &Proc, addr: VirtAddr) -> Option<u64>;
 
+    /// Exact bytes between `addr` and the right edge of the *object*
+    /// containing it — the `size_right` introspection query of Rigger et
+    /// al.'s "Introspection for C", and the number a bounded safer
+    /// variant may write without overflowing. `None` when `addr` points
+    /// at nothing writable. The default answers with the writable extent,
+    /// which every in-tree oracle already measures to the end of the
+    /// containing object; oracles with a more precise object map (the
+    /// guardian's canary registry) override this to the exact allocation
+    /// edge.
+    fn extent_right(&self, proc: &Proc, addr: VirtAddr) -> Option<u64> {
+        self.writable_extent(proc, addr)
+    }
+
     /// Epoch of any *auxiliary* state the oracle consults beyond the
     /// process image itself (e.g. guardian's canary registry). An extent
     /// answer is reproducible while both this and `proc.mem.epoch()` are
@@ -105,6 +118,20 @@ mod tests {
         assert_eq!(ext, frame.ret_slot.diff(buf));
         assert!(ext >= 32);
         assert!(ext < 32 + 24);
+    }
+
+    #[test]
+    fn extent_right_defaults_to_the_writable_extent() {
+        let mut p = Proc::new();
+        let oracle = RegionOracle::new();
+        // Pointer at the very last byte of the data segment: exactly 1.
+        let last = layout::DATA_BASE.add(layout::DATA_SIZE).sub(1);
+        assert_eq!(oracle.extent_right(&p, last), Some(1));
+        assert_eq!(oracle.extent_right(&p, layout::WILD_ADDR), None);
+        // On the stack the default inherits the return-slot clipping.
+        p.push_frame("f").unwrap();
+        let buf = p.stack_alloc(16).unwrap();
+        assert_eq!(oracle.extent_right(&p, buf), oracle.writable_extent(&p, buf));
     }
 
     #[test]

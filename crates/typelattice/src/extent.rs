@@ -1,0 +1,245 @@
+//! The extent lattice and substitution plans — the vocabulary of the
+//! flow-sensitive substitution analysis.
+//!
+//! Rigger et al.'s "Introspection for C" shows a library can *prevent*
+//! overflows outright when it may ask `size_right`-style exact-bounds
+//! queries, and S3Library shows fragile calls can be rerouted to
+//! compatible safer variants. The analyzer decides, per call site,
+//! when that rewrite is provably sound: it walks the wrapper's symbolic
+//! call model and climbs this lattice per (function, argument) —
+//!
+//! ```text
+//! Unknown → NullOk → NonNull → BoundedBy(len-arg) → ExactExtent
+//! ```
+//!
+//! A [`SubstitutionPlan`] is emitted only when every proof obligation
+//! discharges; the discharged proof travels with the plan so the
+//! substitution audit can journal *why* each rewrite was legal.
+
+use std::fmt;
+
+/// What the analysis knows about one argument's extent at the point the
+/// fragile call would run. Ordered by knowledge: later variants refine
+/// earlier ones, and [`ExtentClass::refine`] climbs monotonically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtentClass {
+    /// Nothing established (or an intervening mutation destroyed what
+    /// was).
+    #[default]
+    Unknown,
+    /// The argument may legally be NULL (a `NullOr` contract); no
+    /// extent fact survives a maybe-NULL pointer.
+    NullOk,
+    /// Established non-NULL, extent still unknown.
+    NonNull,
+    /// Writable up to the value of another argument (index carried) —
+    /// the `strncpy`/`snprintf` shape.
+    BoundedBy(usize),
+    /// The oracle answers the exact right-edge distance for this
+    /// pointer at call time (`ExtentOracle::extent_right`): the bound a
+    /// substituted copy may fill without overflowing.
+    ExactExtent,
+}
+
+impl ExtentClass {
+    /// Position in the lattice (higher is more knowledge).
+    pub fn rank(self) -> u8 {
+        match self {
+            ExtentClass::Unknown => 0,
+            ExtentClass::NullOk => 1,
+            ExtentClass::NonNull => 2,
+            ExtentClass::BoundedBy(_) => 3,
+            ExtentClass::ExactExtent => 4,
+        }
+    }
+
+    /// Monotone climb: keeps whichever side knows more. Equal-rank
+    /// disagreements (two different `BoundedBy` length arguments) stay
+    /// at the left value — the first established bound governs.
+    pub fn refine(self, other: ExtentClass) -> ExtentClass {
+        if other.rank() > self.rank() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for ExtentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtentClass::Unknown => write!(f, "unknown"),
+            ExtentClass::NullOk => write!(f, "null-ok"),
+            ExtentClass::NonNull => write!(f, "non-null"),
+            ExtentClass::BoundedBy(arg) => write!(f, "bounded-by(arg{})", arg + 1),
+            ExtentClass::ExactExtent => write!(f, "exact-extent"),
+        }
+    }
+}
+
+/// The fragile-call family a safer variant exists for: unbounded
+/// C-string writers whose destination extent the oracle can answer
+/// exactly at call time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SubstFamily {
+    /// `strcpy(dst, src)` → bounded copy clipped to `extent_right(dst)`.
+    Strcpy,
+    /// `strcat(dst, src)` → bounded append within `extent_right(dst)`.
+    Strcat,
+    /// `sprintf(dst, fmt, ...)` → `snprintf(dst, extent_right(dst), ...)`.
+    Sprintf,
+}
+
+impl SubstFamily {
+    /// The family of `func`, if it has a safer variant.
+    pub fn of(func: &str) -> Option<SubstFamily> {
+        match func {
+            "strcpy" => Some(SubstFamily::Strcpy),
+            "strcat" => Some(SubstFamily::Strcat),
+            "sprintf" => Some(SubstFamily::Sprintf),
+            _ => None,
+        }
+    }
+
+    /// The fragile function's name.
+    pub fn func(self) -> &'static str {
+        match self {
+            SubstFamily::Strcpy => "strcpy",
+            SubstFamily::Strcat => "strcat",
+            SubstFamily::Sprintf => "sprintf",
+        }
+    }
+
+    /// Human-readable description of the safer variant the call is
+    /// rerouted to.
+    pub fn variant(self) -> &'static str {
+        match self {
+            SubstFamily::Strcpy => "bounded copy clipped to extent_right(dst)",
+            SubstFamily::Strcat => "bounded append within extent_right(dst)",
+            SubstFamily::Sprintf => "snprintf(dst, extent_right(dst), ...)",
+        }
+    }
+
+    /// Destination-buffer argument index.
+    pub fn dst_arg(self) -> usize {
+        0
+    }
+
+    /// Source argument index (the string copied / the format rendered).
+    pub fn src_arg(self) -> usize {
+        1
+    }
+}
+
+impl fmt::Display for SubstFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.func(), self.variant())
+    }
+}
+
+/// One discharged proof obligation, journaled with the plan so every
+/// rewrite in the substitution audit names its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The obligation, stated.
+    pub obligation: String,
+    /// What discharged it (the model op / contract fact / lattice point).
+    pub discharged_by: String,
+}
+
+impl fmt::Display for ProofStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -- discharged by {}", self.obligation, self.discharged_by)
+    }
+}
+
+/// A proven-sound rewrite of one fragile function to its safer variant.
+/// Produced by the analyzer's substitution analysis, consumed by the
+/// `Substitute` wrapper kind's micro-generator, rendered in the
+/// substitution audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstitutionPlan {
+    /// The fragile function being rerouted.
+    pub func: String,
+    /// Its substitution family.
+    pub family: SubstFamily,
+    /// Destination-buffer argument index.
+    pub dst_arg: usize,
+    /// Source argument index.
+    pub src_arg: usize,
+    /// The destination's lattice point at entry (always
+    /// [`ExtentClass::ExactExtent`] for an emitted plan).
+    pub dst_extent: ExtentClass,
+    /// Every discharged obligation, in proof order.
+    pub proof: Vec<ProofStep>,
+}
+
+impl SubstitutionPlan {
+    /// Renders the discharged proof deterministically, one obligation
+    /// per line, for the substitution audit.
+    pub fn render_proof(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}: {}", self.func, self.family.variant());
+        for step in &self.proof {
+            let _ = writeln!(out, "  - {step}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_refines_monotonically() {
+        use ExtentClass::*;
+        assert_eq!(Unknown.refine(NullOk), NullOk);
+        assert_eq!(NullOk.refine(NonNull), NonNull);
+        assert_eq!(NonNull.refine(BoundedBy(1)), BoundedBy(1));
+        assert_eq!(BoundedBy(1).refine(ExactExtent), ExactExtent);
+        // Never loses knowledge.
+        assert_eq!(ExactExtent.refine(Unknown), ExactExtent);
+        assert_eq!(BoundedBy(1).refine(NonNull), BoundedBy(1));
+        // Equal rank keeps the established bound.
+        assert_eq!(BoundedBy(1).refine(BoundedBy(2)), BoundedBy(1));
+        // Ranks are strictly ordered along the climb.
+        let climb = [Unknown, NullOk, NonNull, BoundedBy(0), ExactExtent];
+        for w in climb.windows(2) {
+            assert!(w[0].rank() < w[1].rank(), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn families_cover_the_fragile_writers() {
+        assert_eq!(SubstFamily::of("strcpy"), Some(SubstFamily::Strcpy));
+        assert_eq!(SubstFamily::of("strcat"), Some(SubstFamily::Strcat));
+        assert_eq!(SubstFamily::of("sprintf"), Some(SubstFamily::Sprintf));
+        assert_eq!(SubstFamily::of("memcpy"), None);
+        for fam in [SubstFamily::Strcpy, SubstFamily::Strcat, SubstFamily::Sprintf] {
+            assert_eq!(SubstFamily::of(fam.func()), Some(fam));
+            assert_eq!(fam.dst_arg(), 0);
+            assert_eq!(fam.src_arg(), 1);
+        }
+    }
+
+    #[test]
+    fn proof_renders_deterministically() {
+        let plan = SubstitutionPlan {
+            func: "strcpy".into(),
+            family: SubstFamily::Strcpy,
+            dst_arg: 0,
+            src_arg: 1,
+            dst_extent: ExtentClass::ExactExtent,
+            proof: vec![ProofStep {
+                obligation: "dst extent exactly known at entry".into(),
+                discharged_by: "holds-cstr check against extent_right".into(),
+            }],
+        };
+        let a = plan.render_proof();
+        assert_eq!(a, plan.render_proof());
+        assert!(a.contains("strcpy"), "{a}");
+        assert!(a.contains("discharged by"), "{a}");
+    }
+}

@@ -33,6 +33,7 @@
 
 mod api;
 mod class;
+mod extent;
 mod gen;
 mod hints;
 mod ladder;
@@ -41,6 +42,7 @@ mod repair;
 
 pub use api::{Confidence, RobustApi, RobustFunction};
 pub use class::{classify, classify_params, ArgClass};
+pub use extent::{ExtentClass, ProofStep, SubstFamily, SubstitutionPlan};
 pub use gen::{benign_value, trunc_int, values_for, GenCx};
 pub use hints::LadderHints;
 pub use ladder::{ladder_for, plan, ParamPlan, Rung};

@@ -215,7 +215,10 @@ impl SafePred {
                 let Some(len) = peek_cstr_len(proc, src_val.as_ptr()) else {
                     return false;
                 };
-                writable(oracle, proc, own) > len
+                // Exact `size_right`-style bound: the copy lands inside
+                // the containing object, not merely inside writable pages
+                // — an overflow is *prevented* here, not canary-detected.
+                oracle.extent_right(proc, own.as_ptr()).unwrap_or(0) > len
             }
             SafePred::WritableAtLeastArg { size, elem } => {
                 let need = arg_u64(*size).saturating_mul(*elem);

@@ -11,7 +11,7 @@ use guardian::{CanaryRegistry, GuardOracle};
 use parking_lot::Mutex;
 use profiler::{Collector, FlightRecorder, HealingJournal, ObliviousAudit, Stats};
 use simproc::HostFn;
-use typelattice::{RobustApi, SafePred};
+use typelattice::{RobustApi, SafePred, SubstitutionPlan};
 
 use crate::codegen::{
     generate_function, ArgCheckGen, CallCounterGen, CallerGen, CanaryCheckGen, CodegenCx,
@@ -24,6 +24,7 @@ use crate::hooks::{
 };
 use crate::policy::PolicyEngine;
 use crate::runtime::{CallLog, Hook, WrappedFn};
+use crate::substitute::{SubstituteGen, SubstituteHook};
 
 /// The wrapper types of Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,12 @@ pub enum WrapperKind {
     /// retries faulting calls with sanitized arguments, journaling every
     /// action — graceful degradation instead of rejection.
     Healing,
+    /// Reroutes fragile calls (`strcpy`/`strcat`/`sprintf`) to bounded
+    /// safer variants clipped to the oracle's exact extent — only where
+    /// the analyzer's flow-sensitive substitution analysis proved the
+    /// rewrite sound ([`WrapperConfig::substitutions`]). Overflows are
+    /// *prevented* outright instead of canary-detected after the fact.
+    Substitute,
     /// A hand-composed wrapper built with [`WrapperBuilder`].
     Custom,
 }
@@ -58,6 +65,7 @@ impl WrapperKind {
             WrapperKind::Profiling => "libhealers_profile.so.1",
             WrapperKind::Tracing => "libhealers_trace.so.1",
             WrapperKind::Healing => "libhealers_heal.so.1",
+            WrapperKind::Substitute => "libhealers_subst.so.1",
             WrapperKind::Custom => "libhealers_custom.so.1",
         }
     }
@@ -70,6 +78,7 @@ impl WrapperKind {
             WrapperKind::Profiling => "profiling",
             WrapperKind::Tracing => "tracing",
             WrapperKind::Healing => "healing",
+            WrapperKind::Substitute => "substitute",
             WrapperKind::Custom => "custom",
         }
     }
@@ -186,6 +195,12 @@ pub struct WrapperConfig {
     /// their pointer returns are manufactured empty strings instead of
     /// NULL — contract-derived defaults.
     pub oblivious_null_defaults: Vec<String>,
+    /// Proven-sound rewrite plans for [`WrapperKind::Substitute`]: only
+    /// functions with a plan here are interposed, each by the safer
+    /// variant its plan names. Produced by the analyzer's substitution
+    /// analysis — never hand-written, so every entry carries a
+    /// discharged proof.
+    pub substitutions: Vec<SubstitutionPlan>,
 }
 
 /// Whether a predicate guards *writes* (what the security wrapper
@@ -347,6 +362,21 @@ pub fn build_wrapper_with_impls(
             WrapperKind::Tracing => {
                 hooks.push(Arc::new(crate::hooks::LogCallHook::new(Arc::clone(&log))));
                 gens.push(Box::new(crate::codegen::LogCallGen));
+            }
+            WrapperKind::Substitute => {
+                // Only functions the analyzer proved a rewrite for are
+                // interposed: no plan, no interception, no overhead.
+                let Some(plan) = config.substitutions.iter().find(|pl| pl.func == name)
+                else {
+                    continue;
+                };
+                hooks.push(Arc::new(SubstituteHook::new(
+                    plan.clone(),
+                    oracle.clone(),
+                    Arc::clone(&journal),
+                    f.proto.ret.clone(),
+                )));
+                gens.push(Box::new(SubstituteGen { plan: plan.clone() }));
             }
             WrapperKind::Healing => {
                 // Statistics ride along so the exit document carries the

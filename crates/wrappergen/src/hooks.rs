@@ -417,6 +417,10 @@ impl Hook for ArgCheckHook {
                 pred: Some(p.clone()),
                 label: p.to_string(),
                 null_guarded: true,
+                // The hook cannot know whether the plan compiler will
+                // memoize; when it does, the kernel see-through model
+                // replaces this description.
+                memoized: false,
             })
             .collect()
     }
@@ -565,6 +569,7 @@ impl Hook for CanaryHook {
             pred: None,
             label: "verify heap canary".to_string(),
             null_guarded: true, // `before` tests the pointer for NULL first
+            memoized: false,
         };
         match proto.name.as_str() {
             "malloc" => vec![mutate(0)],

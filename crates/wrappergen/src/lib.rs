@@ -51,6 +51,7 @@ pub mod hooks;
 mod oblivious;
 pub mod policy;
 mod runtime;
+mod substitute;
 
 pub use builders::{
     build_wrapper, build_wrapper_with_impls, LowConfidence, WrapperBuilder, WrapperConfig,
@@ -66,3 +67,4 @@ pub use runtime::{
     containment_value, reject, CallCx, CallLog, CallModel, CompiledCheck, FailAction,
     FaultDecision, Hook, HookAction, HookOp, Lowered, ModelOp, PlannedCheck, WrappedFn,
 };
+pub use substitute::{SubstituteGen, SubstituteHook};

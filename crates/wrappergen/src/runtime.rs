@@ -133,6 +133,12 @@ impl fmt::Debug for Lowered {
 /// Shared handle to the extent oracle a kernel check consults.
 type ArcOracle = Arc<dyn ExtentOracle + Send + Sync>;
 
+/// Attribution of a fused check back to the hook that lowered it —
+/// (`Hook::name`, `Hook::provenance`) captured at plan-compile time, so
+/// [`CheckKernel::describe`] can rebuild attributed [`ModelOp`]s for the
+/// wrapper-soundness lint after fusion erased the hook boundaries.
+type CheckOrigin = (&'static str, String);
+
 /// One directly-dispatched check inside a [`CheckKernel::Seq`]: the
 /// symbolic predicate evaluated without the boxed-closure indirection of
 /// [`PlannedCheck`], plus its memoization key when the predicate's answer
@@ -150,6 +156,8 @@ struct KernelCheck {
     /// cached in [`Proc::validation_store`] and replayed while both the
     /// address-space epoch and the oracle's auxiliary epoch hold still.
     memo_key: Option<u64>,
+    /// The hook this check was lowered from.
+    origin: CheckOrigin,
 }
 
 impl fmt::Debug for KernelCheck {
@@ -177,6 +185,8 @@ enum CheckKernel {
         memo_key: u64,
         /// Response on failure.
         on_fail: FailAction,
+        /// The hook the check was lowered from.
+        origin: CheckOrigin,
     },
     /// The fused `strcpy` shape: `HoldsCStrOf { src }` on `dst` plus
     /// `CStr` on `src`, sharing one source scan — the interpreter walked
@@ -186,17 +196,19 @@ enum CheckKernel {
         dst: usize,
         /// Source-string argument.
         src: usize,
-        /// Oracle answering the destination's writable extent.
+        /// Oracle answering the destination's exact right extent.
         oracle: ArcOracle,
         /// Response on failure (identical for both fused checks).
         on_fail: FailAction,
+        /// The hook the pair was lowered from.
+        origin: CheckOrigin,
     },
     /// General shape: direct predicate dispatch in pipeline order, no
     /// closure indirection, memoized where sound.
     Seq(Vec<KernelCheck>),
     /// Legacy closure walk, for check sequences lowered without full
     /// (`arg`, `pred`, `oracle`) metadata.
-    Opaque(Vec<PlannedCheck>),
+    Opaque(Vec<(PlannedCheck, CheckOrigin)>),
 }
 
 impl fmt::Debug for CheckKernel {
@@ -209,6 +221,73 @@ impl fmt::Debug for CheckKernel {
             }
             CheckKernel::Seq(seq) => f.debug_tuple("Seq").field(seq).finish(),
             CheckKernel::Opaque(checks) => write!(f, "Opaque({})", checks.len()),
+        }
+    }
+}
+
+impl CheckKernel {
+    /// Lowers the fused kernel back into attributed symbolic ops — the
+    /// see-through path that keeps kernel-fused wrappers lintable. Each
+    /// shape reports exactly the checks it evaluates, in evaluation
+    /// order, with the memoization the fused fast path actually applies
+    /// (which no per-hook [`Hook::describe`] model can know).
+    fn describe(&self) -> Vec<ModelOp> {
+        let check = |origin: &CheckOrigin, arg: usize, pred: SafePred, memoized: bool| {
+            ModelOp {
+                hook: origin.0,
+                provenance: origin.1.clone(),
+                op: HookOp::Check {
+                    arg,
+                    label: pred.to_string(),
+                    pred: Some(pred),
+                    // Every `SafePred` evaluator bails out on NULL
+                    // before scanning, and so do the monomorphized
+                    // kernel bodies.
+                    null_guarded: true,
+                    memoized,
+                },
+            }
+        };
+        match self {
+            CheckKernel::NoChecks => Vec::new(),
+            CheckKernel::CStrOnly { arg, origin, .. } => {
+                vec![check(origin, *arg, SafePred::CStr, true)]
+            }
+            CheckKernel::BufLenPair { dst, src, origin, .. } => vec![
+                check(origin, *dst, SafePred::HoldsCStrOf { src: *src }, false),
+                check(origin, *src, SafePred::CStr, false),
+            ],
+            CheckKernel::Seq(seq) => seq
+                .iter()
+                .map(|kc| check(&kc.origin, kc.arg, kc.pred.clone(), kc.memo_key.is_some()))
+                .collect(),
+            CheckKernel::Opaque(checks) => checks
+                .iter()
+                .map(|(planned, origin)| match planned.arg {
+                    Some(arg) => ModelOp {
+                        hook: origin.0,
+                        provenance: origin.1.clone(),
+                        op: HookOp::Check {
+                            arg,
+                            pred: planned.pred.clone(),
+                            label: planned
+                                .pred
+                                .as_ref()
+                                .map(|p| p.to_string())
+                                .unwrap_or_else(|| "lowered-check".to_string()),
+                            null_guarded: true,
+                            memoized: false,
+                        },
+                    },
+                    // A check that cannot even say which argument it
+                    // guards stays opaque to the lint.
+                    None => ModelOp {
+                        hook: origin.0,
+                        provenance: origin.1.clone(),
+                        op: HookOp::Opaque,
+                    },
+                })
+                .collect(),
         }
     }
 }
@@ -235,11 +314,15 @@ fn memoizable(pred: &SafePred) -> bool {
 
 /// Fuses a lowered check sequence into the tightest [`CheckKernel`]
 /// shape it fits. `wrapper_id` seeds the memo keys (`id << 3 | arg`).
-fn fuse_kernel(checks: Vec<PlannedCheck>, nargs: usize, wrapper_id: u32) -> CheckKernel {
+fn fuse_kernel(
+    checks: Vec<(PlannedCheck, CheckOrigin)>,
+    nargs: usize,
+    wrapper_id: u32,
+) -> CheckKernel {
     if checks.is_empty() {
         return CheckKernel::NoChecks;
     }
-    let full_metadata = checks.iter().all(|c| {
+    let full_metadata = checks.iter().all(|(c, _)| {
         matches!((&c.arg, &c.pred, &c.oracle), (Some(a), Some(_), Some(_)) if *a < nargs)
     });
     if !full_metadata {
@@ -248,13 +331,14 @@ fn fuse_kernel(checks: Vec<PlannedCheck>, nargs: usize, wrapper_id: u32) -> Chec
     let memo_key = |arg: usize| (u64::from(wrapper_id) << 3) | arg as u64;
     // strlen shape: a single CStr check.
     if checks.len() == 1 {
-        let c = &checks[0];
+        let (c, origin) = &checks[0];
         if c.pred == Some(SafePred::CStr) {
             let arg = c.arg.expect("full metadata");
             return CheckKernel::CStrOnly {
                 arg,
                 memo_key: memo_key(arg),
                 on_fail: c.on_fail,
+                origin: origin.clone(),
             };
         }
     }
@@ -262,31 +346,50 @@ fn fuse_kernel(checks: Vec<PlannedCheck>, nargs: usize, wrapper_id: u32) -> Chec
     // with one failure policy — fusable into a single source scan.
     if checks.len() == 2 {
         if let (Some(SafePred::HoldsCStrOf { src }), Some(SafePred::CStr)) =
-            (&checks[0].pred, &checks[1].pred)
+            (&checks[0].0.pred, &checks[1].0.pred)
         {
-            if checks[1].arg == Some(*src) && checks[0].on_fail == checks[1].on_fail {
+            if checks[0].0.on_fail == checks[1].0.on_fail && checks[1].0.arg == Some(*src) {
                 return CheckKernel::BufLenPair {
-                    dst: checks[0].arg.expect("full metadata"),
+                    dst: checks[0].0.arg.expect("full metadata"),
                     src: *src,
-                    oracle: Arc::clone(checks[0].oracle.as_ref().expect("full metadata")),
-                    on_fail: checks[0].on_fail,
+                    oracle: Arc::clone(checks[0].0.oracle.as_ref().expect("full metadata")),
+                    on_fail: checks[0].0.on_fail,
+                    origin: checks[0].1.clone(),
                 };
+            }
+        }
+    }
+    // Memoization must also stay consistent with the sequence's own
+    // relational facts: a cached per-pointer verdict about an argument
+    // that a relational check (in the same sequence) relates to other
+    // arguments would let the memo answer for state the relational
+    // check re-derives each call — the disagreement the lint's
+    // memoized-relational rule flags. Suppress memo keys for every
+    // argument a relational predicate is the subject of or references.
+    let mut relational_args = std::collections::BTreeSet::new();
+    for (c, _) in &checks {
+        if let (Some(arg), Some(pred)) = (c.arg, c.pred.as_ref()) {
+            if pred.is_relational() {
+                relational_args.insert(arg);
+                relational_args.extend(pred.referenced_args());
             }
         }
     }
     CheckKernel::Seq(
         checks
             .into_iter()
-            .map(|c| {
+            .map(|(c, origin)| {
                 let arg = c.arg.expect("full metadata");
                 let pred = c.pred.expect("full metadata");
-                let key = memoizable(&pred).then(|| memo_key(arg));
+                let key = (memoizable(&pred) && !relational_args.contains(&arg))
+                    .then(|| memo_key(arg));
                 KernelCheck {
                     arg,
                     pred,
                     oracle: c.oracle.expect("full metadata"),
                     on_fail: c.on_fail,
                     memo_key: key,
+                    origin,
                 }
             })
             .collect(),
@@ -313,6 +416,12 @@ pub enum HookOp {
         /// null test — `true` for every built-in [`SafePred`], whose
         /// evaluators bail out on NULL before dereferencing.
         null_guarded: bool,
+        /// Whether a passing verdict is cached per pointer and replayed
+        /// across calls while the validation epochs hold still (PR 8's
+        /// epoch-memoized fast path). Only the fused [`CheckKernel`]
+        /// knows this — hand-written [`Hook::describe`] models say
+        /// `false`, the kernel see-through reports the truth.
+        memoized: bool,
     },
     /// The hook rewrites argument `arg` before the original runs (the
     /// canary hook growing an allocation size).
@@ -565,7 +674,10 @@ impl WrappedFn {
         for hook in hooks {
             match hook.lower(proto) {
                 Lowered::Dynamic => return None,
-                Lowered::Checks(c) => checks.extend(c),
+                Lowered::Checks(c) => {
+                    let origin: CheckOrigin = (hook.name(), hook.provenance().to_string());
+                    checks.extend(c.into_iter().map(|pc| (pc, origin.clone())));
+                }
             }
         }
         let int_ops =
@@ -599,11 +711,22 @@ impl WrappedFn {
     }
 
     /// Builds the symbolic [`CallModel`] the wrapper-soundness lint
-    /// walks. Each hook contributes its [`Hook::describe`] ops; a hook
-    /// that kept the `Opaque` default but lowers into checks with full
-    /// metadata is modelled from the lowered plan instead (the closures
-    /// evaluate exactly the recorded [`SafePred`]s, which are null-safe
-    /// by construction).
+    /// walks.
+    ///
+    /// When the pipeline compiled into a [`CallPlan`], every hook proved
+    /// its behaviour equals a pure check sequence and the fused
+    /// [`CheckKernel`] *is* what runs per call — so the model is the
+    /// kernel's own see-through lowering ([`CheckKernel::describe`]),
+    /// attributed back to the lowering hooks and carrying the fast
+    /// path's real memoization. Per-hook [`Hook::describe`] models
+    /// cannot see fusion or memoization and went unlintable when PR 8
+    /// replaced the interpreted check walk.
+    ///
+    /// Dynamic pipelines keep the per-hook model: each hook contributes
+    /// its described ops, and a hook that kept the `Opaque` default but
+    /// lowers into fully-annotated checks is modelled from the lowered
+    /// checks instead (the closures evaluate exactly the recorded
+    /// [`SafePred`]s, which are null-safe by construction).
     pub fn call_model(&self) -> CallModel {
         let proto = &self.inner.proto;
         let truncations = self
@@ -613,6 +736,13 @@ impl WrappedFn {
             .enumerate()
             .filter_map(|(i, w)| w.map(|b| (i, b)))
             .collect();
+        if let Some(plan) = &self.inner.plan {
+            return CallModel {
+                func: self.inner.name.clone(),
+                truncations,
+                ops: plan.kernel.describe(),
+            };
+        }
         let mut ops = Vec::new();
         for hook in &self.inner.hooks {
             let described = hook.describe(proto);
@@ -634,6 +764,7 @@ impl WrappedFn {
                                         .map(|p| p.to_string())
                                         .unwrap_or_else(|| "lowered-check".to_string()),
                                     null_guarded: true,
+                                    memoized: false,
                                 },
                             });
                         }
@@ -737,7 +868,7 @@ impl WrappedFn {
     ) -> Option<FailAction> {
         match &plan.kernel {
             CheckKernel::NoChecks => None,
-            CheckKernel::CStrOnly { arg, memo_key, on_fail } => {
+            CheckKernel::CStrOnly { arg, memo_key, on_fail, .. } => {
                 let v = norm[*arg];
                 let ptr = v.as_ptr();
                 // CStr consults only process memory: auxiliary epoch 0.
@@ -751,15 +882,17 @@ impl WrappedFn {
                     Some(*on_fail)
                 }
             }
-            CheckKernel::BufLenPair { dst, src, oracle, on_fail } => {
+            CheckKernel::BufLenPair { dst, src, oracle, on_fail, .. } => {
                 // One source scan serves both fused checks: the
                 // interpreter scanned `src` for `HoldsCStrOf` on `dst`,
-                // then scanned it again for `CStr` on `src` itself.
+                // then scanned it again for `CStr` on `src` itself. The
+                // destination bound is the exact `extent_right` edge of
+                // the containing object, so an accepted copy can never
+                // reach the canary — the overflow is prevented, not
+                // detected after the fact.
                 match peek_cstr_len(proc, norm[*src].as_ptr()) {
                     Some(len)
-                        if oracle
-                            .writable_extent(proc, norm[*dst].as_ptr())
-                            .unwrap_or(0)
+                        if oracle.extent_right(proc, norm[*dst].as_ptr()).unwrap_or(0)
                             > len =>
                     {
                         None
@@ -810,7 +943,7 @@ impl WrappedFn {
                 None
             }
             CheckKernel::Opaque(checks) => {
-                for planned in checks {
+                for (planned, _) in checks {
                     if !(planned.check)(proc, norm) {
                         return Some(planned.on_fail);
                     }
@@ -1209,6 +1342,141 @@ mod tests {
         for (proto, expect) in cases {
             let p = parse_prototype(proto, &t).unwrap();
             assert_eq!(containment_value(&p.ret), expect, "{proto}");
+        }
+    }
+
+    /// Lowers into fully-annotated pure checks while keeping the
+    /// `describe` default — the shape that fuses into a [`CheckKernel`]
+    /// the per-hook symbolic model knows nothing about.
+    struct LoweredOnly {
+        preds: Vec<(usize, SafePred)>,
+    }
+
+    impl Hook for LoweredOnly {
+        fn name(&self) -> &'static str {
+            "lowered only"
+        }
+        fn provenance(&self) -> &str {
+            "campaign"
+        }
+        fn lower(&self, _proto: &Prototype) -> Lowered {
+            Lowered::Checks(
+                self.preds
+                    .iter()
+                    .cloned()
+                    .map(|(i, pred)| {
+                        let p = pred.clone();
+                        PlannedCheck {
+                            check: Box::new(move |proc: &Proc, args: &[CVal]| {
+                                p.check(proc, &simproc::RegionOracle::new(), args, i)
+                            }),
+                            on_fail: FailAction::Fallback,
+                            arg: Some(i),
+                            pred: Some(pred),
+                            oracle: Some(Arc::new(simproc::RegionOracle::new())),
+                        }
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn call_model_sees_through_the_fused_cstr_kernel() {
+        // Regression for the PR 8 fusion gap: the fast path memoizes the
+        // CStrOnly verdict per pointer, and only the kernel see-through
+        // (`CheckKernel::describe`) can say so — a per-hook `describe`
+        // model reports `memoized: false` because hooks cannot know what
+        // the plan compiler fused. Pre-fix, this model came from the
+        // unfused per-hook lowering and this assertion fails.
+        let f = WrappedFn::new(
+            strlen_proto(),
+            simlibc::find_symbol("strlen").unwrap().imp,
+            vec![Arc::new(LoweredOnly { preds: vec![(0, SafePred::CStr)] })],
+        );
+        assert!(f.has_plan(), "single CStr check must compile to CStrOnly");
+        let model = f.call_model();
+        assert_eq!(model.ops.len(), 1, "{model:?}");
+        assert_eq!(model.ops[0].hook, "lowered only");
+        assert_eq!(model.ops[0].provenance, "campaign");
+        match &model.ops[0].op {
+            HookOp::Check { arg, pred, null_guarded, memoized, .. } => {
+                assert_eq!(*arg, 0);
+                assert_eq!(pred.as_ref(), Some(&SafePred::CStr));
+                assert!(*null_guarded);
+                assert!(
+                    *memoized,
+                    "the fused CStrOnly kernel memoizes its verdict; the model must say so"
+                );
+            }
+            other => panic!("expected a Check op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_model_sees_through_the_fused_buflen_pair() {
+        let proto = parse_prototype(
+            "char *strcpy(char *dst, const char *src);",
+            &TypedefTable::with_builtins(),
+        )
+        .unwrap();
+        let f = WrappedFn::new(
+            proto,
+            simlibc::find_symbol("strcpy").unwrap().imp,
+            vec![Arc::new(LoweredOnly {
+                preds: vec![(0, SafePred::HoldsCStrOf { src: 1 }), (1, SafePred::CStr)],
+            })],
+        );
+        assert!(f.has_plan());
+        let model = f.call_model();
+        // Both fused checks stay visible and unmemoized (the pair shares
+        // one source scan but caches nothing across calls).
+        let got: Vec<_> = model
+            .ops
+            .iter()
+            .map(|op| match &op.op {
+                HookOp::Check { arg, pred, memoized, .. } => {
+                    (*arg, pred.clone(), *memoized)
+                }
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, Some(SafePred::HoldsCStrOf { src: 1 }), false),
+                (1, Some(SafePred::CStr), false),
+            ],
+            "{model:?}"
+        );
+    }
+
+    #[test]
+    fn relational_sequences_suppress_memo_keys() {
+        // A memoizable Writable verdict on an argument that a relational
+        // check in the same sequence references must not be memoized —
+        // the model (and hence the memoized-relational lint rule) would
+        // flag the disagreement otherwise.
+        let proto = parse_prototype(
+            "void *memset(void *s, int c, size_t n);",
+            &TypedefTable::with_builtins(),
+        )
+        .unwrap();
+        let f = WrappedFn::new(
+            proto,
+            simlibc::find_symbol("memset").unwrap().imp,
+            vec![Arc::new(LoweredOnly {
+                preds: vec![
+                    (0, SafePred::Writable(1)),
+                    (2, SafePred::SizeFitsWritable { ptr: 0, elem: 1 }),
+                ],
+            })],
+        );
+        assert!(f.has_plan());
+        for op in &f.call_model().ops {
+            if let HookOp::Check { memoized, .. } = &op.op {
+                assert!(!memoized, "relational sequence must not memoize: {op:?}");
+            }
         }
     }
 

@@ -55,6 +55,7 @@ impl Hook for MutateThenCheckHook {
                 pred: Some(SafePred::SizeBelow(1 << 16)),
                 label: "n below 2^16".into(),
                 null_guarded: true,
+                memoized: false,
             },
         ]
     }
@@ -74,6 +75,7 @@ impl Hook for NarrowMaskHook {
             pred: Some(SafePred::IntInRange { min: 0, max: 1 << 40 }),
             label: "wide range".into(),
             null_guarded: false,
+            memoized: false,
         }]
     }
 }
@@ -92,6 +94,7 @@ impl Hook for RawScanHook {
             pred: Some(SafePred::CStr),
             label: "raw cstr scan".into(),
             null_guarded: false,
+            memoized: false,
         }]
     }
 }
@@ -203,6 +206,50 @@ fn generated_wrappers_have_no_findings() {
         assert!(findings.is_empty(), "{kind:?}: {findings:?}");
     }
     assert!(analyzer::lint_contracts(&base).is_empty());
+}
+
+#[test]
+fn substitute_wrapper_is_proven_and_lint_clean() {
+    let (targets, base) = infer_subset();
+    let seeded = run_campaign_with_hints(
+        "libsimc.so.1",
+        &targets,
+        process_factory,
+        &quick_config(),
+        &analyzer::ladder_hints(
+            &base,
+            &targets.iter().map(|t| t.proto.clone()).collect::<Vec<_>>(),
+        ),
+    );
+    let toolkit = Toolkit::new();
+    let security = toolkit.generate_wrapper(
+        WrapperKind::Security,
+        &seeded.api,
+        &WrapperConfig::default(),
+    );
+    let analysis = toolkit.analyze_substitutions(&security, Some(&base));
+    assert!(
+        analysis.plans.iter().any(|p| p.func == "strcpy"),
+        "strcpy proof must discharge over the security wrapper:\n{}",
+        analysis.to_text()
+    );
+    let substitute = toolkit.generate_substitute_wrapper(
+        &seeded.api,
+        &WrapperConfig::default(),
+        &analysis.plans,
+    );
+    assert!(!substitute.is_empty(), "proven plans must produce wrapped functions");
+    // The rerouted wrappers stay fully lintable — real check/mutate ops,
+    // never an opaque fallback — and produce no findings.
+    for (name, f) in substitute.iter() {
+        let model = f.call_model();
+        assert!(
+            !model.ops.is_empty()
+                && !model.ops.iter().any(|op| matches!(op.op, HookOp::Opaque)),
+            "{name} went unlintable: {model:?}"
+        );
+    }
+    assert!(analyzer::lint_library(&substitute).is_empty());
 }
 
 // ---- contract-derived hooks -----------------------------------------
