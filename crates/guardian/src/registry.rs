@@ -53,6 +53,37 @@ struct LiveSet {
     sorted: BTreeMap<u64, GuardedAlloc>,
 }
 
+impl LiveSet {
+    /// Inserts `alloc` into both views as one step. Mutations go through
+    /// here (and [`LiveSet::remove`]) only, so no code path can leave the
+    /// views disagreeing at lock release.
+    fn insert(&mut self, alloc: GuardedAlloc) {
+        self.by_payload.insert(alloc.payload.get(), alloc);
+        self.sorted.insert(alloc.payload.get(), alloc);
+        debug_assert!(self.views_agree(), "live-set views diverged after insert");
+    }
+
+    /// Removes `payload` from both views as one step.
+    fn remove(&mut self, payload: u64) -> Option<GuardedAlloc> {
+        let a = self.by_payload.remove(&payload);
+        let b = self.sorted.remove(&payload);
+        debug_assert_eq!(
+            a.is_some(),
+            b.is_some(),
+            "views disagreed about {payload:#x} before remove"
+        );
+        debug_assert!(self.views_agree(), "live-set views diverged after remove");
+        a
+    }
+
+    /// The invariant every mutation re-establishes before the lock drops:
+    /// both views hold exactly the same payload set.
+    fn views_agree(&self) -> bool {
+        self.by_payload.len() == self.sorted.len()
+            && self.sorted.keys().all(|k| self.by_payload.contains_key(k))
+    }
+}
+
 /// Registry of live protected allocations. Shared between the wrapper
 /// hooks via `Arc`.
 #[derive(Debug, Default)]
@@ -109,9 +140,15 @@ impl CanaryRegistry {
         let alloc = GuardedAlloc { payload, requested };
         proc.mem.write_u64(alloc.canary_addr(), canary_value(payload))?;
         let mut live = self.live.lock();
-        live.by_payload.insert(payload.get(), alloc);
-        live.sorted.insert(payload.get(), alloc);
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        // Bump strictly *before* the views change (`Release`, pairing with
+        // the `Acquire` load in [`CanaryRegistry::epoch`]): the wrapper
+        // fast path reads the epoch without taking this lock, and a
+        // reader that still observes the old value must be able to
+        // conclude the mutation has not been published to it. A memoized
+        // verdict can then at worst go stale-but-safe (the check re-runs
+        // needlessly), never fresh-but-wrong (a needed check skipped).
+        self.epoch.fetch_add(1, Ordering::Release);
+        live.insert(alloc);
         Ok(())
     }
 
@@ -138,18 +175,27 @@ impl CanaryRegistry {
     /// Removes an allocation from protection (it is being freed).
     pub fn release(&self, payload: VirtAddr) -> Option<GuardedAlloc> {
         let mut live = self.live.lock();
-        let alloc = live.by_payload.remove(&payload.get());
-        if alloc.is_some() {
-            live.sorted.remove(&payload.get());
-            self.epoch.fetch_add(1, Ordering::Relaxed);
+        if !live.by_payload.contains_key(&payload.get()) {
+            return None;
         }
-        alloc
+        // Bump-before-mutate, same reasoning as in `protect`.
+        self.epoch.fetch_add(1, Ordering::Release);
+        live.remove(payload.get())
     }
 
     /// The registry's validation epoch: advances on every `protect` and
-    /// every successful `release`.
+    /// every successful `release`, strictly before the live set changes
+    /// (`Acquire`, pairing with the `Release` bumps).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the exact-lookup and range-query views currently hold the
+    /// same payload set — the invariant every mutation re-establishes
+    /// before its lock releases. Exposed for concurrency stress tests;
+    /// debug builds also assert it after every insert/remove.
+    pub fn views_agree(&self) -> bool {
+        self.live.lock().views_agree()
     }
 
     /// Sweeps every live canary — the wrapper runs this at process exit
@@ -320,6 +366,43 @@ mod tests {
         assert!(e2 > e1, "release must bump the epoch");
         assert!(reg.release(ptr).is_none());
         assert_eq!(reg.epoch(), e2, "failed release must not bump");
+    }
+
+    #[test]
+    fn concurrent_register_verify_release_keeps_views_agreeing() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const OPS: u64 = 400;
+        let reg = Arc::new(CanaryRegistry::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    // Each thread registers addresses from its own arena;
+                    // the *registry* (views, lock, epoch) is the shared
+                    // state under attack.
+                    let mut p = Proc::new();
+                    let base = VirtAddr::new(0x5000_0000 + t * 0x10_0000);
+                    p.mem.map(base, 0x1_0000, simproc::Prot::RW, "arena").unwrap();
+                    let mut last_epoch = reg.epoch();
+                    for i in 0..OPS {
+                        let ptr = base.add((i % 64) * 64);
+                        reg.protect(&mut p, ptr, 24).unwrap();
+                        assert!(reg.verify(&p, ptr).unwrap().is_some());
+                        assert!(reg.views_agree(), "views diverged under contention");
+                        let e = reg.epoch();
+                        assert!(e >= last_epoch, "epoch went backwards");
+                        last_epoch = e;
+                        assert!(reg.release(ptr).is_some());
+                        assert!(reg.verify(&p, ptr).unwrap().is_none());
+                    }
+                });
+            }
+        });
+        assert!(reg.is_empty());
+        assert!(reg.views_agree());
+        // Every protect and every successful release bumped exactly once.
+        assert_eq!(reg.epoch(), THREADS * OPS * 2);
     }
 
     #[test]

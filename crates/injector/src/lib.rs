@@ -36,6 +36,7 @@
 
 mod ablation;
 mod checkpoint;
+mod crossthread;
 mod outcome;
 mod report;
 mod sandbox;
@@ -47,6 +48,7 @@ pub use checkpoint::{
     encode_case_key, function_fingerprint, hash_case_key, CheckpointError,
     CheckpointJournal, Fnv1a,
 };
+pub use crossthread::{run_cross_thread_case, run_cross_thread_quorum, CrossThreadFault};
 pub use outcome::{classify, Outcome, TestOutcome};
 pub use report::{render_table, to_xml};
 pub use sandbox::{

@@ -46,6 +46,36 @@ pub const STACK_SIZE: u64 = 0x10_0000;
 /// Base (lowest address) of the stack mapping.
 pub const STACK_BASE: VirtAddr = VirtAddr::new(STACK_TOP.get() - STACK_SIZE);
 
+/// Size of each additional simulated thread's stack.
+pub const THREAD_STACK_SIZE: u64 = 0x4_0000;
+/// Unmapped guard gap between adjacent thread stacks: an overflow off the
+/// bottom of one thread's stack faults instead of smashing the next.
+pub const THREAD_STACK_GUARD: u64 = 0x1_0000;
+/// Top (exclusive) of the first spawned thread's stack. Thread stacks are
+/// carved downward from just under the main stack's own guard gap, toward
+/// the heap ceiling.
+pub const THREAD_STACKS_TOP: VirtAddr = VirtAddr::new(STACK_BASE.get() - 0x10_0000);
+/// Lowest address thread stacks may reach; [`Proc::spawn_thread`] fails
+/// beyond this rather than marching into the heap.
+///
+/// [`Proc::spawn_thread`]: crate::Proc::spawn_thread
+pub const THREAD_STACKS_FLOOR: VirtAddr = VirtAddr::new(0x8000_0000);
+
+/// Top (exclusive) of the stack of spawned thread number `n` (1-based:
+/// thread 0, the main thread, uses [`STACK_TOP`]). Returns `None` once the
+/// stack would dip below [`THREAD_STACKS_FLOOR`].
+pub fn thread_stack_top(n: u32) -> Option<VirtAddr> {
+    debug_assert!(n >= 1, "thread 0 uses the main stack");
+    let stride = THREAD_STACK_SIZE + THREAD_STACK_GUARD;
+    let top = THREAD_STACKS_TOP.get().checked_sub(u64::from(n - 1) * stride)?;
+    let base = top.checked_sub(THREAD_STACK_SIZE)?;
+    if base < THREAD_STACKS_FLOOR.get() {
+        None
+    } else {
+        Some(VirtAddr::new(top))
+    }
+}
+
 /// A famously wild pointer used by fault-injection value generators.
 pub const WILD_ADDR: VirtAddr = VirtAddr::new(0xdead_beef_0000);
 
@@ -72,6 +102,20 @@ mod tests {
     #[test]
     fn wild_addr_outside_all_segments() {
         assert!(WILD_ADDR > STACK_TOP);
+    }
+
+    #[test]
+    fn thread_stacks_sit_between_heap_and_main_stack() {
+        let first = thread_stack_top(1).unwrap();
+        assert!(first <= THREAD_STACKS_TOP);
+        assert!(first.sub(THREAD_STACK_SIZE) >= THREAD_STACKS_FLOOR);
+        assert!(THREAD_STACKS_FLOOR >= HEAP_BASE.add(HEAP_MAX));
+        assert!(THREAD_STACKS_TOP < STACK_BASE);
+        // Successive stacks are disjoint with a guard gap in between.
+        let second = thread_stack_top(2).unwrap();
+        assert_eq!(first.sub(THREAD_STACK_SIZE).diff(second), THREAD_STACK_GUARD);
+        // The floor eventually cuts allocation off instead of wrapping.
+        assert!(thread_stack_top(u32::MAX).is_none());
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use calltable::{CallTarget, FuncId, FuncTable, FUNC_STRIDE, SHELLCODE_MAGIC}
 pub use cval::CVal;
 pub use fault::Fault;
 pub use kernel::{Kernel, KernelError, OpenMode};
-pub use mem::{AddressSpace, MapError, Region};
+pub use mem::{AddressSpace, EpochHandle, MapError, Region};
 pub use oracle::{ExtentOracle, RegionOracle};
-pub use proc::{Frame, HostFn, Proc, DEFAULT_CALL_FUEL};
+pub use proc::{Frame, HostFn, Proc, ThreadId, DEFAULT_CALL_FUEL};

@@ -24,7 +24,8 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::addr::{Access, Prot, VirtAddr};
 use crate::fault::Fault;
@@ -220,8 +221,20 @@ pub struct AddressSpace {
     regions: Vec<Region>,
     /// Index + 1 of the last region a lookup resolved to (0 = none).
     /// Purely a cache: a hit is re-validated with `Region::contains`, and
-    /// the slot is cleared whenever the region list mutates. Atomic (with
-    /// relaxed ordering) rather than `Cell` so `AddressSpace` stays `Sync`.
+    /// the slot is cleared whenever the region list mutates.
+    ///
+    /// # Ordering audit
+    ///
+    /// All loads and stores are `Relaxed`, and that is sound: the hint is
+    /// only ever *advisory*. A reader that observes an arbitrarily stale
+    /// index re-validates it against the current `regions` vec with
+    /// `Region::contains` before trusting it, and `regions` itself is only
+    /// reachable through a `&`/`&mut` borrow, so the usual aliasing rules —
+    /// not the atomic — synchronize the data the hint points into. The
+    /// invalidating stores in `map`/`unmap`/`protect` run under `&mut self`
+    /// (no concurrent readers can exist) and are kept only so the *next*
+    /// borrow starts from a clean slot. The cross-thread publication signal
+    /// for cached pointer verdicts is the epoch below, never the MRU.
     mru: AtomicUsize,
     /// Monotonically increasing validation epoch. Bumped by every mutation
     /// that can change the answer of a pointer-validity query — mapping
@@ -229,7 +242,30 @@ pub struct AddressSpace {
     /// (heap chunk headers, canary words and C-string terminators all live
     /// in region data). Wrapper-level memoized validations are tagged with
     /// the epoch they were computed under and expire the moment it moves.
-    epoch: u64,
+    ///
+    /// Shared (via [`AddressSpace::epoch_handle`]) so observers on other
+    /// threads see bumps: every bump is a `Release` store paired with
+    /// `Acquire` loads in [`AddressSpace::epoch`] / [`EpochHandle::get`],
+    /// so a reader that still observes epoch `E` is guaranteed the
+    /// mutation tagged `E + 1` has not been published to it — a memoized
+    /// verdict can at worst be *re-checked* needlessly, never wrongly
+    /// trusted across an unmap.
+    epoch: Arc<AtomicU64>,
+}
+
+/// A cloneable, lock-free view of an address space's validation epoch,
+/// readable from any thread — including while the owning thread holds
+/// `&mut AddressSpace` and is mutating it. Obtained from
+/// [`AddressSpace::epoch_handle`].
+#[derive(Debug, Clone)]
+pub struct EpochHandle(Arc<AtomicU64>);
+
+impl EpochHandle {
+    /// The current epoch (`Acquire`: pairs with the `Release` bump, so any
+    /// mutation whose bump is visible here happened-before this load).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
 }
 
 impl Clone for AddressSpace {
@@ -237,7 +273,11 @@ impl Clone for AddressSpace {
         AddressSpace {
             regions: self.regions.clone(),
             mru: AtomicUsize::new(self.mru.load(Ordering::Relaxed)),
-            epoch: self.epoch,
+            // A clone is an independent space: snapshot the value into a
+            // fresh counter instead of sharing the allocation, so bumps in
+            // one never expire (or revive) verdicts cached against the
+            // other. Campaign determinism depends on this.
+            epoch: Arc::new(AtomicU64::new(self.epoch.load(Ordering::Acquire))),
         }
     }
 }
@@ -245,22 +285,36 @@ impl Clone for AddressSpace {
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        AddressSpace { regions: Vec::new(), mru: AtomicUsize::new(0), epoch: 0 }
+        AddressSpace {
+            regions: Vec::new(),
+            mru: AtomicUsize::new(0),
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The current validation epoch. Any cached judgement about this
     /// address space is valid only while the epoch it was computed under
     /// still matches.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A shareable handle for reading the epoch from other threads while
+    /// this space is being mutated elsewhere.
+    pub fn epoch_handle(&self) -> EpochHandle {
+        EpochHandle(Arc::clone(&self.epoch))
     }
 
     /// Advances the validation epoch, expiring every memoized validation.
     /// Called internally on any mutation; public so owners tracking state
     /// *outside* the address space (stack-pointer moves, frame pops) can
     /// expire caches too.
+    ///
+    /// `Release`: pairs with the `Acquire` loads in [`Self::epoch`] and
+    /// [`EpochHandle::get`] so everything written before the bump is
+    /// visible to a reader that observes the new value.
     pub fn bump_epoch(&mut self) {
-        self.epoch += 1;
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Maps `len` zeroed bytes at `base` with protection `prot`.
@@ -298,7 +352,7 @@ impl AddressSpace {
             Region { base, data: PoolBuf::zeroed(len as usize), prot, name: name.into() };
         self.regions.insert(idx, region);
         self.mru.store(0, Ordering::Relaxed);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -309,7 +363,7 @@ impl AddressSpace {
         if self.regions.get(i).is_some_and(|r| r.base() == base) {
             self.regions.remove(i);
             self.mru.store(0, Ordering::Relaxed);
-            self.epoch += 1;
+            self.bump_epoch();
             true
         } else {
             false
@@ -323,7 +377,7 @@ impl AddressSpace {
             Some(i) => {
                 self.regions[i].prot = prot;
                 self.mru.store(0, Ordering::Relaxed);
-                self.epoch += 1;
+                self.bump_epoch();
                 true
             }
             None => false,
@@ -349,7 +403,7 @@ impl AddressSpace {
         }
         let new_len = self.regions[i].data.len() + extra as usize;
         self.regions[i].data.resize_zeroed(new_len);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -488,7 +542,7 @@ impl AddressSpace {
         if src.is_empty() {
             return;
         }
-        self.epoch += 1;
+        self.bump_epoch();
         let mut i = self.region_index(addr).expect("checked");
         let mut cur = addr;
         let mut src = src;
@@ -547,7 +601,7 @@ impl AddressSpace {
                 let r = &mut self.regions[i];
                 let off = addr.diff(r.base) as usize;
                 r.data.slice_mut(off, 1)[0] = v;
-                self.epoch += 1;
+                self.bump_epoch();
                 Ok(())
             }
             _ => Err(Fault::segv(addr, Access::Write, "memory access")),
@@ -967,5 +1021,70 @@ mod tests {
         assert_eq!(m.epoch(), before2, "reads must not move the epoch");
         // Clones carry the epoch with them.
         assert_eq!(m.clone().epoch(), m.epoch());
+    }
+
+    #[test]
+    fn cloned_epoch_counters_are_independent() {
+        let mut m = space();
+        let mut c = m.clone();
+        let (me, ce) = (m.epoch(), c.epoch());
+        assert_eq!(me, ce);
+        c.bump_epoch();
+        c.bump_epoch();
+        assert_eq!(m.epoch(), me, "a clone bumping must not expire the original's memos");
+        m.bump_epoch();
+        assert_eq!(c.epoch(), ce + 2, "and vice versa");
+        // Nor does a handle taken from one observe the other.
+        assert_eq!(m.epoch_handle().get(), me + 1);
+    }
+
+    /// Regression test for the torn/stale epoch read: before the epoch
+    /// became an atomic with release/acquire pairing, a plain `u64` read
+    /// from another thread was a data race — a memoized pointer verdict
+    /// could survive an unmap it never observed. The writer publishes a
+    /// payload counter *before* each epoch-bumping mutation; readers that
+    /// observe epoch `e0 + 2i` must therefore observe a payload `>= i`.
+    /// Run under many interleavings (two reader threads, thousands of
+    /// map/unmap cycles) so a regression to relaxed/non-atomic ordering
+    /// has ample opportunity to trip the assertions.
+    #[test]
+    fn epoch_handle_publishes_mutations_across_threads() {
+        const ITERS: u64 = 4000;
+        let mut m = AddressSpace::new();
+        let handle = m.epoch_handle();
+        let e0 = handle.get();
+        let payload = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let h = handle.clone();
+                let payload = &payload;
+                s.spawn(move || {
+                    let mut last = e0;
+                    while last < e0 + 2 * ITERS {
+                        let e = h.get();
+                        assert!(e >= last, "epoch went backwards: {e} < {last}");
+                        // Acquire on the epoch orders this load after the
+                        // writer's pre-bump payload store.
+                        let p = payload.load(Ordering::Relaxed);
+                        assert!(
+                            p >= (e - e0) / 2,
+                            "observed epoch {e} but payload {p}: the bump was \
+                             published before the mutation that preceded it"
+                        );
+                        last = e;
+                    }
+                });
+            }
+            let payload = &payload;
+            s.spawn(move || {
+                let base = VirtAddr::new(0x1000);
+                for i in 1..=ITERS {
+                    payload.store(i, Ordering::Relaxed);
+                    m.map(base, 0x1000, Prot::RW, "scratch").unwrap(); // epoch e0+2i-1
+                    assert!(m.unmap(base)); // epoch e0+2i
+                }
+            });
+        });
+        assert_eq!(handle.get(), e0 + 2 * ITERS);
     }
 }

@@ -54,10 +54,67 @@ struct MemoEntry {
     aux_epoch: u64,
 }
 
-/// `key` is `u64::MAX` on empty slots: real keys are `(wrapper id << 3) |
-/// arg slot` with 32-bit ids, so they can never collide with the sentinel.
+/// `key` is `u64::MAX` on empty slots: real keys are `(wrapper id << 32) |
+/// arg slot` with the slot strictly below `u32::MAX`, so a real key's low
+/// half is never all-ones and no key can collide with the sentinel.
 const MEMO_EMPTY: MemoEntry =
     MemoEntry { key: u64::MAX, ptr: 0, mem_epoch: 0, aux_epoch: 0 };
+
+/// Direct-mapped table slot for `key`. The wrapper id and the arg slot
+/// occupy disjoint 32-bit halves of the key, so fold the halves together
+/// before reducing — a plain `key % MEMO_SLOTS` would map every wrapper's
+/// slot-0 key onto table slot 0.
+fn memo_slot(key: u64) -> usize {
+    ((key >> 32) ^ key) as usize % MEMO_SLOTS
+}
+
+/// Identifier of one simulated thread inside a [`Proc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main thread, alive from process creation.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Zero-based index (main thread is 0, spawn order after that).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The saved execution context of one simulated thread: everything that is
+/// private per-thread while the address space, heap, kernel and fuel meter
+/// stay shared. The *current* thread's context lives unpacked in the hot
+/// [`Proc`] fields (`errno`, `frames`, `sp`, `validation_memo`, stack
+/// bounds); its `SimThread` entry holds stale copies until the next
+/// [`Proc::switch_thread`] parks it.
+///
+/// The validation memo is deliberately per-thread: memoized verdicts from
+/// extent-oracle predicates can depend on the judging thread's own live
+/// frames and stack pointer, which swap on a thread switch *without* an
+/// address-space epoch bump. Keeping the table with the thread means a
+/// verdict can only ever be replayed under the frames it was computed
+/// against, while any thread's mutation still expires every table through
+/// the shared epoch.
+#[derive(Debug, Clone)]
+struct SimThread {
+    /// Diagnostic name (worker label in server reports).
+    name: String,
+    errno: i32,
+    frames: Vec<Frame>,
+    sp: VirtAddr,
+    /// Lowest address of this thread's stack mapping (overflow limit).
+    stack_base: VirtAddr,
+    /// Top (exclusive) of this thread's stack mapping.
+    stack_top: VirtAddr,
+    memo: Option<Box<[MemoEntry; MEMO_SLOTS]>>,
+}
 
 /// A simulated process image.
 ///
@@ -83,6 +140,10 @@ pub struct Proc {
     fuel_used: u64,
     frames: Vec<Frame>,
     sp: VirtAddr,
+    /// Lowest address of the current thread's stack (overflow limit).
+    stack_base: VirtAddr,
+    /// Top (exclusive) of the current thread's stack.
+    stack_top: VirtAddr,
     data_cursor: VirtAddr,
     rodata_cursor: VirtAddr,
     exit_status: Option<i32>,
@@ -92,8 +153,16 @@ pub struct Proc {
     impls: Vec<Option<HostFn>>,
     /// Direct-mapped positive cache of pointer validations, keyed by
     /// (wrapper, arg slot). Allocated lazily on the first store so
-    /// processes that never run compiled wrappers pay nothing.
+    /// processes that never run compiled wrappers pay nothing. Belongs to
+    /// the *current thread* — see [`SimThread`] for why the tables are
+    /// per-thread — and is swapped out by [`Proc::switch_thread`].
     validation_memo: Option<Box<[MemoEntry; MEMO_SLOTS]>>,
+    /// Every simulated thread of the process, indexed by [`ThreadId`].
+    /// Entry `cur_thread` is stale while that thread runs (its live
+    /// context sits in the fields above).
+    threads: Vec<SimThread>,
+    /// Index of the currently running thread.
+    cur_thread: u32,
 }
 
 impl Default for Proc {
@@ -122,6 +191,8 @@ impl Proc {
             fuel_used: 0,
             frames: Vec::new(),
             sp: layout::STACK_TOP,
+            stack_base: layout::STACK_BASE,
+            stack_top: layout::STACK_TOP,
             data_cursor: layout::DATA_CURSOR_START,
             rodata_cursor: layout::RODATA_BASE,
             exit_status: None,
@@ -129,7 +200,101 @@ impl Proc {
             fleet_identity: None,
             impls: Vec::new(),
             validation_memo: None,
+            threads: vec![SimThread {
+                name: "main".to_string(),
+                errno: 0,
+                frames: Vec::new(),
+                sp: layout::STACK_TOP,
+                stack_base: layout::STACK_BASE,
+                stack_top: layout::STACK_TOP,
+                memo: None,
+            }],
+            cur_thread: 0,
         }
+    }
+
+    // ----- simulated threads ----------------------------------------------
+
+    /// Spawns a new simulated thread with its own stack, errno, frame list
+    /// and validation memo, sharing this process's address space, heap,
+    /// kernel and fuel meter. The thread starts parked; run it with
+    /// [`Proc::switch_thread`]. Mapping the stack bumps the validation
+    /// epoch, so every memoized verdict in every thread expires.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Abort`] when the thread-stack area is exhausted.
+    pub fn spawn_thread(&mut self, name: &str) -> Result<ThreadId, Fault> {
+        let n = self.threads.len() as u32;
+        let top = layout::thread_stack_top(n).ok_or_else(|| {
+            Fault::abort(format!("thread stack area exhausted at {name}"))
+        })?;
+        let base = top.sub(layout::THREAD_STACK_SIZE);
+        self.mem
+            .map(base, layout::THREAD_STACK_SIZE, Prot::RW, format!("[stack:t{n}]"))
+            .map_err(|e| Fault::abort(format!("mapping stack for {name}: {e}")))?;
+        self.threads.push(SimThread {
+            name: name.to_string(),
+            errno: 0,
+            frames: Vec::new(),
+            sp: top,
+            stack_base: base,
+            stack_top: top,
+            memo: None,
+        });
+        Ok(ThreadId(n))
+    }
+
+    /// Parks the current thread and resumes `tid`: errno, the frame list,
+    /// the stack pointer/bounds and the validation memo are swapped; the
+    /// address space, heap, kernel, fuel meter and epoch stay shared. A
+    /// no-op when `tid` is already current. Deliberately *not* an epoch
+    /// bump: per-thread memo tables keep cached verdicts sound across
+    /// switches (see [`SimThread`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was never spawned.
+    pub fn switch_thread(&mut self, tid: ThreadId) {
+        assert!(tid.index() < self.threads.len(), "switch to unspawned thread {tid}");
+        if tid.0 == self.cur_thread {
+            return;
+        }
+        let cur = &mut self.threads[self.cur_thread as usize];
+        cur.errno = self.errno;
+        cur.sp = self.sp;
+        cur.frames = std::mem::take(&mut self.frames);
+        cur.memo = self.validation_memo.take();
+        let next = &mut self.threads[tid.index()];
+        self.errno = next.errno;
+        self.sp = next.sp;
+        self.stack_base = next.stack_base;
+        self.stack_top = next.stack_top;
+        self.frames = std::mem::take(&mut next.frames);
+        self.validation_memo = next.memo.take();
+        self.cur_thread = tid.0;
+    }
+
+    /// The currently running thread.
+    pub fn current_thread(&self) -> ThreadId {
+        ThreadId(self.cur_thread)
+    }
+
+    /// Number of simulated threads (main thread included).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Diagnostic name of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was never spawned.
+    pub fn thread_name(&self, tid: ThreadId) -> &str {
+        // The parked entry is stale only for context registers; the name
+        // never changes after spawn, so this is safe for the current
+        // thread too.
+        &self.threads[tid.index()].name
     }
 
     // ----- epoch-memoized pointer validation ------------------------------
@@ -142,7 +307,7 @@ impl Proc {
     pub fn validation_hit(&self, key: u64, ptr: VirtAddr, aux_epoch: u64) -> bool {
         match &self.validation_memo {
             Some(table) => {
-                let e = &table[(key as usize) % MEMO_SLOTS];
+                let e = &table[memo_slot(key)];
                 e.key == key
                     && e.ptr == ptr.get()
                     && e.mem_epoch == self.mem.epoch()
@@ -159,8 +324,7 @@ impl Proc {
         let mem_epoch = self.mem.epoch();
         let table =
             self.validation_memo.get_or_insert_with(|| Box::new([MEMO_EMPTY; MEMO_SLOTS]));
-        table[(key as usize) % MEMO_SLOTS] =
-            MemoEntry { key, ptr: ptr.get(), mem_epoch, aux_epoch };
+        table[memo_slot(key)] = MemoEntry { key, ptr: ptr.get(), mem_epoch, aux_epoch };
     }
 
     /// Registers a callable function: a name, a text address, and a host
@@ -388,7 +552,7 @@ impl Proc {
     pub fn push_frame(&mut self, func: &str) -> Result<(), Fault> {
         let ret_slot = self.sp.sub(8);
         let new_sp = self.sp.sub(16); // saved return address + saved frame ptr
-        if new_sp < layout::STACK_BASE {
+        if new_sp < self.stack_base {
             return Err(Fault::segv(new_sp, Access::Write, "stack overflow"));
         }
         let sentinel = self.next_sentinel;
@@ -418,7 +582,7 @@ impl Proc {
     pub fn stack_alloc(&mut self, len: u64) -> Result<VirtAddr, Fault> {
         assert!(!self.frames.is_empty(), "stack_alloc outside any frame");
         let new_sp = self.sp.sub(len).align_down(8);
-        if new_sp < layout::STACK_BASE {
+        if new_sp < self.stack_base {
             return Err(Fault::segv(new_sp, Access::Write, "stack overflow"));
         }
         self.sp = new_sp;
@@ -767,6 +931,115 @@ mod tests {
         // The memo clones with the process.
         p.validation_store(key, a, 0);
         assert!(p.clone().validation_hit(key, a, 0));
+    }
+
+    #[test]
+    fn spawned_threads_get_private_stacks_errno_and_frames() {
+        let mut p = Proc::new();
+        assert_eq!(p.current_thread(), ThreadId::MAIN);
+        assert_eq!(p.thread_count(), 1);
+        p.set_errno(1);
+        p.push_frame("main").unwrap();
+        let main_buf = p.stack_alloc(32).unwrap();
+
+        let t1 = p.spawn_thread("worker-1").unwrap();
+        let t2 = p.spawn_thread("worker-2").unwrap();
+        assert_eq!(p.thread_count(), 3);
+        assert_eq!(p.thread_name(t1), "worker-1");
+        assert_ne!(t1, t2);
+
+        // Worker 1: clean context, own stack region, own errno.
+        p.switch_thread(t1);
+        assert_eq!(p.current_thread(), t1);
+        assert_eq!(p.errno(), 0);
+        assert_eq!(p.frame_depth(), 0);
+        p.push_frame("handler").unwrap();
+        let w1_buf = p.stack_alloc(64).unwrap();
+        assert_eq!(p.mem.region_at(w1_buf).unwrap().name(), "[stack:t1]");
+        assert_ne!(
+            p.mem.region_at(w1_buf).unwrap().name(),
+            p.mem.region_at(main_buf).unwrap().name()
+        );
+        p.set_errno(7);
+
+        // Worker 2 sees none of worker 1's context.
+        p.switch_thread(t2);
+        assert_eq!(p.errno(), 0);
+        assert_eq!(p.frame_depth(), 0);
+        p.push_frame("handler").unwrap();
+        let w2_buf = p.stack_alloc(64).unwrap();
+        assert_eq!(p.mem.region_at(w2_buf).unwrap().name(), "[stack:t2]");
+        assert_ne!(w1_buf, w2_buf);
+        p.pop_frame().unwrap();
+
+        // Main thread resumes exactly where it parked.
+        p.switch_thread(ThreadId::MAIN);
+        assert_eq!(p.errno(), 1);
+        assert_eq!(p.frame_depth(), 1);
+        assert_eq!(p.frame_containing(main_buf).unwrap().func, "main");
+        p.pop_frame().unwrap();
+
+        // And worker 1's frame survived both switches.
+        p.switch_thread(t1);
+        assert_eq!(p.errno(), 7);
+        assert_eq!(p.frame_containing(w1_buf).unwrap().func, "handler");
+        p.pop_frame().unwrap();
+    }
+
+    #[test]
+    fn thread_switch_keeps_memo_tables_private() {
+        let mut p = Proc::new();
+        let t1 = p.spawn_thread("w").unwrap();
+        let a = p.alloc_data_zeroed(32);
+        let key = (7u64 << 32) | 1;
+        p.validation_store(key, a, 0);
+        assert!(p.validation_hit(key, a, 0));
+        // The other thread must not inherit the verdict...
+        p.switch_thread(t1);
+        assert!(!p.validation_hit(key, a, 0), "memo tables are per-thread");
+        p.validation_store(key, a, 0);
+        // ...and switching back revives the original table (epoch
+        // untouched by the switches themselves).
+        p.switch_thread(ThreadId::MAIN);
+        assert!(p.validation_hit(key, a, 0), "parked table survives a round trip");
+        // A mutation from the main thread expires the parked table too,
+        // through the shared epoch.
+        p.mem.write_u8(a, 1).unwrap();
+        p.switch_thread(t1);
+        assert!(!p.validation_hit(key, a, 0), "shared epoch expires parked memos");
+    }
+
+    #[test]
+    fn thread_stack_overflow_faults_at_its_own_base() {
+        let mut p = Proc::new();
+        let t1 = p.spawn_thread("w").unwrap();
+        p.switch_thread(t1);
+        p.push_frame("deep").unwrap();
+        // Larger than the (smaller) thread stack, though it would fit the
+        // main stack: the per-thread base must be the limit.
+        const { assert!(layout::THREAD_STACK_SIZE < layout::STACK_SIZE) };
+        let err = p.stack_alloc(layout::THREAD_STACK_SIZE + 1).unwrap_err();
+        assert!(matches!(err, Fault::Segv { .. }));
+        // Guard gap below the stack is unmapped.
+        let base = layout::thread_stack_top(1).unwrap().sub(layout::THREAD_STACK_SIZE);
+        assert!(p.mem.region_at(base.sub(1)).is_none());
+    }
+
+    #[test]
+    fn spawn_thread_exhausts_cleanly() {
+        let mut p = Proc::new();
+        let mut spawned = 0u32;
+        loop {
+            match p.spawn_thread("w") {
+                Ok(_) => spawned += 1,
+                Err(f) => {
+                    assert!(matches!(f, Fault::Abort { .. }));
+                    break;
+                }
+            }
+            assert!(spawned < 10_000, "floor never reached");
+        }
+        assert!(spawned >= 64, "area fits a useful number of threads, got {spawned}");
     }
 
     #[test]

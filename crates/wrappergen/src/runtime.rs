@@ -312,8 +312,29 @@ fn memoizable(pred: &SafePred) -> bool {
     }
 }
 
+/// Builds the memoization key for argument `arg_slot` of the wrapper
+/// numbered `wrapper_id`. Keys must be *globally disjoint* across
+/// wrappers: the memo table in [`Proc`] is shared by every wrapper that
+/// calls into a process, so two distinct `(wrapper, argument)` pairs
+/// mapping to one key would let one wrapper's positive verdict answer for
+/// another wrapper's argument — under a different predicate. The id and
+/// the slot therefore occupy disjoint 32-bit halves of the `u64`. (An
+/// earlier `id << 3 | arg` packing collided as soon as a slot index
+/// reached 8: wrapper 1 / slot 8 and wrapper 2 / slot 0 both encoded 16.)
+pub(crate) fn validation_memo_key(wrapper_id: u32, arg_slot: usize) -> u64 {
+    // Strictly below `u32::MAX`, not `<=`: keeps every legal key distinct
+    // from the memo table's `u64::MAX` empty-slot sentinel even for
+    // `wrapper_id == u32::MAX`.
+    debug_assert!(
+        arg_slot < u32::MAX as usize,
+        "arg slot {arg_slot} out of memo-key range"
+    );
+    (u64::from(wrapper_id) << 32) | arg_slot as u64
+}
+
 /// Fuses a lowered check sequence into the tightest [`CheckKernel`]
-/// shape it fits. `wrapper_id` seeds the memo keys (`id << 3 | arg`).
+/// shape it fits. `wrapper_id` seeds the memo keys — see
+/// [`validation_memo_key`] for the disjoint encoding.
 fn fuse_kernel(
     checks: Vec<(PlannedCheck, CheckOrigin)>,
     nargs: usize,
@@ -328,7 +349,7 @@ fn fuse_kernel(
     if !full_metadata {
         return CheckKernel::Opaque(checks);
     }
-    let memo_key = |arg: usize| (u64::from(wrapper_id) << 3) | arg as u64;
+    let memo_key = |arg: usize| validation_memo_key(wrapper_id, arg);
     // strlen shape: a single CStr check.
     if checks.len() == 1 {
         let (c, origin) = &checks[0];
@@ -1478,6 +1499,29 @@ mod tests {
                 assert!(!memoized, "relational sequence must not memoize: {op:?}");
             }
         }
+    }
+
+    #[test]
+    fn memo_keys_are_disjoint_across_wrappers_and_slots() {
+        // The regression pair: under the pre-fix `(id << 3) | arg` packing
+        // both of these encoded 16, so wrapper 1's cached verdict about
+        // its argument slot 8 answered for wrapper 2's argument slot 0.
+        assert_ne!(validation_memo_key(1, 8), validation_memo_key(2, 0));
+        // Disjointness over a grid much wider than MAX_FAST_ARGS — the
+        // encoding must stay collision-free even if the fast path ever
+        // admits wider signatures.
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64u32 {
+            for slot in 0..64usize {
+                assert!(
+                    seen.insert(validation_memo_key(id, slot)),
+                    "memo key collision at wrapper {id}, slot {slot}"
+                );
+            }
+        }
+        // No legal key may alias the memo table's empty-slot sentinel.
+        assert!(!seen.contains(&u64::MAX));
+        assert_ne!(validation_memo_key(u32::MAX, 0), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Threaded-server benchmark: wrapped vs raw request throughput, and
+//! per-thread scale-out with shared telemetry.
+//!
+//! Two measurements:
+//!
+//! * **Overhead** — the same clean request mix through the
+//!   security-wrapped C library vs the bare one, single shard. The
+//!   difference is the per-request price of canaries plus terminating
+//!   extent checks.
+//! * **Scale-out** — 1/2/4/8 **real** host threads, each running an
+//!   independent protected server shard (its own simulated process and
+//!   wrapper), all recording service telemetry into one shared sharded
+//!   [`Stats`] and one shared [`FlightRecorder`]. The merge must be
+//!   lossless under genuine parallelism (asserted), and throughput
+//!   should scale with cores.
+//!
+//! Run with `--json` to emit a machine-readable summary (all values
+//! integers, suitable for `BENCH_server.json` and the CI perf-smoke
+//! gate). `speedup2_x100` is the 2-thread/1-thread throughput ratio
+//! times 100; on a 1-core host both serialize and it sits near 100,
+//! which is why the CI gate only enforces it on multi-core runners.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use healers_core::{run_server_sim, run_server_sim_with, ServerConfig};
+use profiler::{FlightRecorder, Stats};
+
+const OVERHEAD_REQUESTS: u64 = 40_000;
+const SCALE_REQUESTS_PER_SHARD: u64 = 10_000;
+
+fn clean_config(requests: u64, seed: u64) -> ServerConfig {
+    ServerConfig { workers: 4, requests, seed, protected: true, adversarial: false }
+}
+
+/// Requests per second of one run.
+fn bench_one(cfg: &ServerConfig) -> u64 {
+    let t0 = Instant::now();
+    let rep = run_server_sim(cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(rep.lost, 0, "bench run lost requests");
+    (cfg.requests as f64 / elapsed) as u64
+}
+
+/// Scale-out: `threads` real host threads, each a protected server
+/// shard with the full adversarial mix, recording into the shared
+/// sinks. Returns requests/s across all shards.
+fn bench_scale(threads: usize, stats: &Arc<Stats>, flight: &Arc<FlightRecorder>) -> u64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = Arc::clone(stats);
+            let flight = Arc::clone(flight);
+            scope.spawn(move || {
+                let cfg = ServerConfig {
+                    workers: 4,
+                    requests: SCALE_REQUESTS_PER_SHARD,
+                    seed: 0xBADC_0FFE ^ t as u64,
+                    protected: true,
+                    adversarial: true,
+                };
+                let rep = run_server_sim_with(&cfg, Some(&stats), Some(&flight));
+                assert_eq!(rep.lost, 0, "shard {t} lost requests");
+                assert_eq!(rep.faulted, 0, "shard {t} leaked a fault");
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    ((threads as u64 * SCALE_REQUESTS_PER_SHARD) as f64 / elapsed) as u64
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Warm-up pass (allocator, branch predictors, wrapper codegen).
+    run_server_sim(&clean_config(2_000, 1));
+
+    let wrapped = bench_one(&clean_config(OVERHEAD_REQUESTS, 7));
+    let raw =
+        bench_one(&ServerConfig { protected: false, ..clean_config(OVERHEAD_REQUESTS, 7) });
+    let overhead_pct = if wrapped > 0 {
+        ((raw as i64 - wrapped as i64) * 100 / wrapped.max(1) as i64).max(0)
+    } else {
+        0
+    };
+
+    let stats = Arc::new(Stats::default());
+    let flight = Arc::new(FlightRecorder::new(64));
+    let mut scale = Vec::new();
+    let mut expected = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        scale.push((threads, bench_scale(threads, &stats, &flight)));
+        expected += threads as u64 * SCALE_REQUESTS_PER_SHARD;
+    }
+    // The sharded merge under real parallelism must be lossless, and
+    // the flight recorder must have seen the contained attacks.
+    let total = stats.snapshot().total_calls();
+    assert_eq!(total, expected, "service telemetry lost records in the merge");
+    assert!(!flight.tail().is_empty(), "no contained request reached the recorder");
+
+    let s1 = scale[0].1.max(1);
+    let speedup2_x100 = scale[1].1 * 100 / s1;
+
+    if json {
+        println!("{{");
+        println!("  \"requests\": {OVERHEAD_REQUESTS},");
+        println!("  \"wrapped_req_per_s\": {wrapped},");
+        println!("  \"raw_req_per_s\": {raw},");
+        println!("  \"wrapper_overhead_pct\": {overhead_pct},");
+        for (threads, rate) in &scale {
+            println!("  \"scale{threads}_req_per_s\": {rate},");
+        }
+        println!("  \"speedup2_x100\": {speedup2_x100},");
+        println!("  \"cores\": {cores}");
+        println!("}}");
+    } else {
+        println!("threaded server benchmark ({cores} cores)");
+        println!("  wrapped: {wrapped} req/s");
+        println!("  raw:     {raw} req/s  (wrapper overhead {overhead_pct}%)");
+        for (threads, rate) in &scale {
+            println!("  scale-out x{threads}: {rate} req/s");
+        }
+        println!("  2-thread speedup: {speedup2_x100} (x100)");
+        println!("  service telemetry merged losslessly: {total} records");
+    }
+}

@@ -48,8 +48,14 @@ pub use simproc;
 pub use typelattice;
 pub use wrappergen;
 
-pub use healers_core::{as_preload_library, process_factory, Toolkit};
-pub use injector::{CampaignConfig, CampaignResult, CheckpointJournal, Outcome};
+pub use healers_core::{
+    as_preload_library, process_factory, run_server_sim, run_server_sim_with,
+    server_wrapper, ServerConfig, ServerReport, Toolkit,
+};
+pub use injector::{
+    run_cross_thread_quorum, CampaignConfig, CampaignResult, CheckpointJournal,
+    CrossThreadFault, Outcome,
+};
 pub use interpose::{Executable, Loader, RunOutcome, Session, System};
 pub use profiler::{HealAction, HealEvent, HealingJournal};
 pub use typelattice::{repair_hint, Confidence, RepairHint, RobustApi, SafePred};

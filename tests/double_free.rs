@@ -5,7 +5,10 @@
 //! the robust `free` contract (`NULL or live heap chunk`) rejects the
 //! second free, and the security wrapper's registry does the same.
 
-use healers::injector::{run_campaign, targets_from_simlibc, CampaignConfig};
+use healers::injector::{
+    run_campaign, run_cross_thread_quorum, targets_from_simlibc, CampaignConfig,
+    CrossThreadFault, Outcome,
+};
 use healers::interpose::{Executable, Session};
 use healers::simproc::{CVal, Fault};
 use healers::{
@@ -136,6 +139,64 @@ fn oblivious_wrapper_absorbs_the_double_free_on_the_audit_record() {
         obliviated.len(),
         snap.reads.len() + snap.writes.len()
     );
+}
+
+/// The threaded variant of the same bug: two simulated threads sharing
+/// one heap race `free` on one chunk. Under the outcome-quorum
+/// discipline every seed (= pinned interleaving) must replay to the
+/// identical verdict — never `Flaky` — and at least one interleaving
+/// must corrupt the bare allocator, which is what the server's wrapper
+/// has to contain.
+#[test]
+fn racing_cross_thread_double_free_has_a_deterministic_quorum_verdict() {
+    let config = CampaignConfig { fuel: 300_000, quorum: 2, ..CampaignConfig::default() };
+    let mut corrupting_seeds = 0;
+    for seed in 0..10 {
+        let first = run_cross_thread_quorum(
+            CrossThreadFault::RacingDoubleFree,
+            process_factory,
+            seed,
+            &config,
+        );
+        let replay = run_cross_thread_quorum(
+            CrossThreadFault::RacingDoubleFree,
+            process_factory,
+            seed,
+            &config,
+        );
+        assert_eq!(
+            first.outcome, replay.outcome,
+            "seed {seed}: a pinned thread schedule must replay identically"
+        );
+        assert_ne!(
+            first.outcome,
+            Outcome::Flaky,
+            "seed {seed}: quorum disagreement means nondeterminism in the substrate"
+        );
+        if first.outcome.is_failure() {
+            corrupting_seeds += 1;
+        }
+    }
+    assert!(corrupting_seeds > 0, "some interleaving must corrupt the bare allocator");
+}
+
+/// The wrapped counterpart, at server scale: the security wrapper turns
+/// every racing double-free in the adversarial request mix into a
+/// contained request — the server loses nothing and the verdict
+/// (the full canonical report) is deterministic across replays.
+#[test]
+fn server_contains_racing_double_frees_deterministically() {
+    let config = healers::ServerConfig {
+        workers: 4,
+        requests: 3_000,
+        ..healers::ServerConfig::default()
+    };
+    let first = healers::run_server_sim(&config);
+    let replay = healers::run_server_sim(&config);
+    assert_eq!(first.lost, 0, "{first:?}");
+    assert_eq!(first.faulted, 0, "every attack must be contained: {first:?}");
+    assert!(first.contained > 0, "the racing frees must be exercised: {first:?}");
+    assert_eq!(first.canonical, replay.canonical, "verdict must replay identically");
 }
 
 #[test]

@@ -91,6 +91,27 @@ fn sharded_xml_matches_the_mutex_baseline_format() {
     assert_eq!(a, b);
 }
 
+/// The server-scale merge-discipline check: the telemetry document an
+/// 8-worker threaded server ships must be byte-identical to the serial
+/// (1-worker) ground truth for the same seed. Worker-private state
+/// (stacks, errno, memo tables) must never leak into the wrapper's
+/// sharded stats; only the global request order may.
+#[test]
+fn threaded_server_xml_is_byte_identical_to_the_serial_ground_truth() {
+    let base =
+        healers::ServerConfig { requests: 2_500, ..healers::ServerConfig::default() };
+    let serial =
+        healers::run_server_sim(&healers::ServerConfig { workers: 1, ..base.clone() });
+    let threaded = healers::run_server_sim(&healers::ServerConfig { workers: 8, ..base });
+    let ground_truth = serial.telemetry_xml.expect("protected run carries telemetry");
+    let merged = threaded.telemetry_xml.expect("protected run carries telemetry");
+    assert_eq!(
+        ground_truth, merged,
+        "worker-count must not leak into the telemetry document"
+    );
+    assert_eq!(serial.canonical, threaded.canonical);
+}
+
 /// A daemon with a textbook overflow: 8-byte allocation, long `strcpy`.
 fn smash_entry(s: &mut Session<'_>) -> Result<i32, Fault> {
     let name = s.literal("hi");
